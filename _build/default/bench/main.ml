@@ -1,0 +1,184 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (with the published values inline for comparison); the number of
+   averaged runs comes from CAP_RUNS (default 10 here; the paper and
+   the capsim CLI use 50).
+
+   Part 2 runs Bechamel micro-benchmarks: one timed kernel per paper
+   artifact (the work behind one data point of each table/figure) plus
+   the main substrate kernels. *)
+
+module Rng = Cap_util.Rng
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+let report_runs () =
+  match Sys.getenv_opt "CAP_RUNS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n > 0 -> n
+      | Some _ | None -> 10)
+  | None -> 10
+
+let reproduction_report () =
+  let runs = report_runs () in
+  Printf.printf
+    "Reproduction report: averaging %d runs per data point (CAP_RUNS to change; \
+     the paper uses 50).\n"
+    runs;
+  Cap_experiments.Report.print_all ~runs ~seed:1 ~optimal_time_limit:2. ()
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let rng = Rng.create ~seed:99 in
+  let default_world = World.generate rng Scenario.default in
+  let small_world = World.generate rng (List.hd Scenario.small_configurations) in
+  let big_world = World.generate rng (List.nth Scenario.table1_configurations 3) in
+  let big_assignment = Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec rng big_world in
+  let iap_gap = Cap_milp.Optimal.iap_instance small_world in
+  let iap_lp = Cap_milp.Gap.lp_relaxation iap_gap in
+  let grid = Array.init 26 (fun i -> 250. +. (10. *. float_of_int i)) in
+  let bench_rng = Rng.create ~seed:123 in
+  let correlated =
+    { Scenario.default with Scenario.correlation = 1.0; delay_bound = 200. }
+  in
+  let clustered =
+    let physical, virtual_world = Cap_experiments.Fig6.distribution_of_type 4 in
+    { Scenario.default with Scenario.physical; virtual_world }
+  in
+  let sim_config =
+    { Cap_sim.Dve_sim.default_config with Cap_sim.Dve_sim.duration = 60.; sample_interval = 10. }
+  in
+  [
+    (* Table 1: one data point = one two-phase algorithm on one world. *)
+    Test.make ~name:"table1/ranz-virc-20s"
+      (Staged.stage (fun () ->
+           Cap_core.Two_phase.run Cap_core.Two_phase.ranz_virc (Rng.split bench_rng)
+             default_world));
+    Test.make ~name:"table1/grez-virc-20s"
+      (Staged.stage (fun () ->
+           Cap_core.Two_phase.run Cap_core.Two_phase.grez_virc (Rng.split bench_rng)
+             default_world));
+    Test.make ~name:"table1/grez-grec-20s"
+      (Staged.stage (fun () ->
+           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
+             default_world));
+    Test.make ~name:"table1/grez-grec-30s"
+      (Staged.stage (fun () ->
+           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng) big_world));
+    (* Table 1, optimal column: branch-and-bound on the small config. *)
+    Test.make ~name:"table1/optimal-iap-bb-5s"
+      (Staged.stage (fun () ->
+           let options =
+             { Cap_milp.Branch_bound.default_options with time_limit = 1.; max_nodes = 200_000 }
+           in
+           Cap_milp.Branch_bound.solve ~options iap_gap));
+    (* Fig 4: delay samples + CDF evaluation over the plotting grid. *)
+    Test.make ~name:"fig4/delay-cdf-30s"
+      (Staged.stage (fun () ->
+           let cdf =
+             Cap_util.Stats.Cdf.of_samples (Assignment.delay_samples big_assignment big_world)
+           in
+           Array.map (Cap_util.Stats.Cdf.eval cdf) grid));
+    (* Fig 5: one data point = a correlated world + the best algorithm. *)
+    Test.make ~name:"fig5/correlated-point"
+      (Staged.stage (fun () ->
+           let world = World.generate (Rng.split bench_rng) correlated in
+           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng) world));
+    (* Fig 6: one data point = a clustered world + the best algorithm. *)
+    Test.make ~name:"fig6/clustered-point"
+      (Staged.stage (fun () ->
+           let world = World.generate (Rng.split bench_rng) clustered in
+           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng) world));
+    (* Table 3: churn perturbation + assignment adaptation. *)
+    Test.make ~name:"table3/churn-adapt"
+      (Staged.stage (fun () ->
+           let outcome =
+             Cap_model.Churn.apply (Rng.split bench_rng) Cap_model.Churn.paper_spec
+               default_world
+           in
+           let initial =
+             Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
+               default_world
+           in
+           Cap_model.Churn.adapt outcome ~old:initial));
+    (* Table 4: perturbing the delay model with estimation error. *)
+    Test.make ~name:"table4/estimation-error-e2"
+      (Staged.stage (fun () ->
+           World.with_estimation_error (Rng.split bench_rng) ~factor:2. default_world));
+    (* Substrates. *)
+    Test.make ~name:"substrate/brite-topology-500"
+      (Staged.stage (fun () ->
+           Cap_topology.Hierarchical.generate (Rng.split bench_rng)
+             Cap_topology.Hierarchical.default_params));
+    Test.make ~name:"substrate/world-gen-default"
+      (Staged.stage (fun () -> World.generate (Rng.split bench_rng) Scenario.default));
+    Test.make ~name:"substrate/simplex-iap-lp-5s"
+      (Staged.stage (fun () -> Cap_milp.Simplex.solve iap_lp));
+    Test.make ~name:"substrate/transit-stub-topology-500"
+      (Staged.stage (fun () ->
+           Cap_topology.Transit_stub.generate (Rng.split bench_rng)
+             Cap_topology.Transit_stub.default_params));
+    (* Extensions. *)
+    Test.make ~name:"extension/vivaldi-embed-500"
+      (Staged.stage (fun () ->
+           Cap_topology.Vivaldi.estimate (Rng.split bench_rng) default_world.World.delay));
+    Test.make ~name:"extension/incremental-refresh"
+      (Staged.stage (fun () ->
+           let outcome =
+             Cap_model.Churn.apply (Rng.split bench_rng) Cap_model.Churn.paper_spec
+               default_world
+           in
+           let initial =
+             Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
+               default_world
+           in
+           let adapted = Cap_model.Churn.adapt outcome ~old:initial in
+           Cap_core.Incremental.refresh outcome.Cap_model.Churn.world ~previous:adapted));
+    Test.make ~name:"extension/lp-rounding-iap-20s"
+      (Staged.stage (fun () -> Cap_milp.Lp_rounding.iap_targets default_world));
+    Test.make ~name:"substrate/dve-sim-60s"
+      (Staged.stage (fun () ->
+           Cap_sim.Dve_sim.run (Rng.split bench_rng) sim_config ~world:default_world
+             ~algorithm:Cap_core.Two_phase.grez_grec));
+  ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false ()
+  in
+  let tests = Test.make_grouped ~name:"cap" (make_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let print_benchmarks () =
+  print_endline "\n==============================";
+  print_endline "= Bechamel micro-benchmarks  =";
+  print_endline "==============================";
+  List.iter
+    (fun instance -> Bechamel_notty.Unit.add instance (Measure.unit instance))
+    Instance.[ monotonic_clock ];
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 120; h = 1 }
+  in
+  let results = benchmark () in
+  let image =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run results
+  in
+  Notty_unix.output_image (Notty_unix.eol image)
+
+let () =
+  reproduction_report ();
+  print_benchmarks ()

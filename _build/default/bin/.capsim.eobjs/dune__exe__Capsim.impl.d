@@ -1,0 +1,1 @@
+bin/capsim.ml: Arg Array Cap_core Cap_experiments Cap_milp Cap_model Cap_sim Cap_util Cmd Cmdliner List Option Printf Result String Term

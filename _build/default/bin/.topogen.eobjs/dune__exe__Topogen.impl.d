@@ -1,0 +1,1 @@
+bin/topogen.ml: Arg Array Cap_topology Cap_util Cmd Cmdliner Printf Term

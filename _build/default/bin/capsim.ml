@@ -1,0 +1,454 @@
+(* capsim — command-line driver for the client-assignment experiments.
+
+   Subcommands:
+     report   reproduce the paper's tables and figures
+     run      run one algorithm on one configuration
+     optimal  run the branch-and-bound baseline on one configuration
+     sim      run the dynamic churn simulation *)
+
+module Rng = Cap_util.Rng
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+open Cmdliner
+
+let runs_arg =
+  let doc = "Number of simulation runs to average (the paper uses 50)." in
+  Arg.(value & opt (some int) None & info [ "runs"; "r" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Base random seed; every run derives its own stream from it." in
+  Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+
+let config_arg =
+  let doc = "DVE configuration in paper notation, e.g. 20s-80z-1000c-500cp." in
+  Arg.(value & opt string "20s-80z-1000c-500cp" & info [ "config"; "c" ] ~docv:"CONF" ~doc)
+
+let time_limit_arg =
+  let doc = "CPU-seconds budget per branch-and-bound phase." in
+  Arg.(value & opt float 5. & info [ "time-limit" ] ~docv:"SECONDS" ~doc)
+
+let scenario_of_string s =
+  try Ok (Scenario.of_notation s) with Invalid_argument m -> Error (`Msg m)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let report_cmd =
+  let sections_arg =
+    let doc =
+      "Sections to reproduce: table1, fig4, fig5, fig6, table3, table4, timing, \
+       ablation, backbone, dynamics. Default: all."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"SECTION" ~doc)
+  in
+  let run runs seed time_limit sections =
+    let resolve name =
+      match Cap_experiments.Report.section_of_string name with
+      | Some s -> Ok s
+      | None -> Error ("unknown section: " ^ name)
+    in
+    let sections =
+      match sections with
+      | [] -> Ok Cap_experiments.Report.all_sections
+      | names ->
+          List.fold_right
+            (fun name acc ->
+              match acc, resolve name with
+              | Error e, _ -> Error e
+              | Ok _, Error e -> Error e
+              | Ok ss, Ok s -> Ok (s :: ss))
+            names (Ok [])
+    in
+    match sections with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok sections ->
+        List.iter
+          (Cap_experiments.Report.print_section ?runs ~seed ~optimal_time_limit:time_limit)
+          sections;
+        0
+  in
+  let term = Term.(const run $ runs_arg $ seed_arg $ time_limit_arg $ sections_arg) in
+  let info =
+    Cmd.info "report" ~doc:"Reproduce the paper's tables and figures (with paper values inline)."
+  in
+  Cmd.v info term
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let run_cmd =
+  let algorithm_arg =
+    let doc = "Algorithm: RanZ-VirC, RanZ-GreC, GreZ-VirC, GreZ-GreC (and extensions)." in
+    Arg.(value & opt string "GreZ-GreC" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let error_arg =
+    let doc = "Delay estimation error factor e >= 1 (1 = perfect input)." in
+    Arg.(value & opt float 1. & info [ "error-factor"; "e" ] ~docv:"E" ~doc)
+  in
+  let delays_csv_arg =
+    let doc = "Write every client's delay to this CSV file (for CDF plots)." in
+    Arg.(value & opt (some string) None & info [ "delays-csv" ] ~docv:"FILE" ~doc)
+  in
+  let run config algorithm seed error_factor delays_csv =
+    match scenario_of_string config, Cap_core.Two_phase.find algorithm with
+    | Error (`Msg m), _ ->
+        prerr_endline m;
+        1
+    | _, None ->
+        Printf.eprintf "unknown algorithm: %s\n" algorithm;
+        1
+    | Ok scenario, Some algorithm ->
+        let rng = Rng.create ~seed in
+        let world = World.generate rng scenario in
+        let world =
+          if error_factor > 1. then
+            World.with_estimation_error (Rng.split rng) ~factor:error_factor world
+          else world
+        in
+        let assignment, seconds =
+          Cap_experiments.Common.time_cpu (fun () ->
+              Cap_core.Two_phase.run algorithm (Rng.split rng) world)
+        in
+        let table = Table.create ~headers:[ "metric"; "value" ] () in
+        Table.add_row table [ "configuration"; Scenario.notation scenario ];
+        Table.add_row table [ "algorithm"; algorithm.Cap_core.Two_phase.name ];
+        Table.add_row table [ "pQoS"; Printf.sprintf "%.4f" (Assignment.pqos assignment world) ];
+        Table.add_row table
+          [ "resource utilization"; Printf.sprintf "%.4f" (Assignment.utilization assignment world) ];
+        Table.add_row table
+          [ "valid (capacities)"; string_of_bool (Assignment.is_valid assignment world) ];
+        Table.add_row table [ "CPU time (s)"; Printf.sprintf "%.4f" seconds ];
+        Table.print table;
+        (match delays_csv with
+        | None -> ()
+        | Some file ->
+            let delays = Assignment.delay_samples assignment world in
+            let out = open_out file in
+            output_string out "client,delay_ms\n";
+            Array.iteri (fun c d -> Printf.fprintf out "%d,%.3f\n" c d) delays;
+            close_out out;
+            Printf.printf "wrote %d delays to %s\n" (Array.length delays) file);
+        0
+  in
+  let term =
+    Term.(const run $ config_arg $ algorithm_arg $ seed_arg $ error_arg $ delays_csv_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one assignment algorithm on one configuration.") term
+
+(* ------------------------------------------------------------------ *)
+(* optimal                                                             *)
+
+let optimal_cmd =
+  let run config seed time_limit =
+    match scenario_of_string config with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        1
+    | Ok scenario ->
+        let rng = Rng.create ~seed in
+        let world = World.generate rng scenario in
+        let options = { Cap_milp.Branch_bound.default_options with time_limit } in
+        (match Cap_milp.Optimal.solve ~options world with
+        | None ->
+            print_endline "no feasible initial assignment found within budget";
+            ()
+        | Some (assignment, iap, rap) ->
+            let table = Table.create ~headers:[ "metric"; "value" ] () in
+            Table.add_row table [ "pQoS"; Printf.sprintf "%.4f" (Assignment.pqos assignment world) ];
+            Table.add_row table
+              [
+                "resource utilization";
+                Printf.sprintf "%.4f" (Assignment.utilization assignment world);
+              ];
+            Table.add_row table
+              [ "IAP"; Printf.sprintf "cost %.0f, %d nodes, %.3fs, optimal=%b"
+                  iap.Cap_milp.Optimal.objective iap.Cap_milp.Optimal.nodes
+                  iap.Cap_milp.Optimal.elapsed iap.Cap_milp.Optimal.proven_optimal ];
+            Table.add_row table
+              [ "RAP"; Printf.sprintf "cost %.0f, %d nodes, %.3fs, optimal=%b"
+                  rap.Cap_milp.Optimal.objective rap.Cap_milp.Optimal.nodes
+                  rap.Cap_milp.Optimal.elapsed rap.Cap_milp.Optimal.proven_optimal ];
+            Table.print table);
+        0
+  in
+  let term = Term.(const run $ config_arg $ seed_arg $ time_limit_arg) in
+  Cmd.v
+    (Cmd.info "optimal" ~doc:"Run the branch-and-bound baseline (the lp_solve substitute).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+
+let compare_cmd =
+  let with_optimal_arg =
+    let doc = "Also run the branch-and-bound baseline (small configurations only)." in
+    Arg.(value & flag & info [ "optimal" ] ~doc)
+  in
+  let run config seed time_limit with_optimal =
+    match scenario_of_string config with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        1
+    | Ok scenario ->
+        let rng = Rng.create ~seed in
+        let world = World.generate rng scenario in
+        let loadz_virc =
+          {
+            Cap_core.Two_phase.name = "LoadZ-VirC (related work)";
+            iap = (fun _rng w -> Cap_core.Balance.assign w);
+            rap = (fun _rng w ~targets -> Cap_core.Virc.assign w ~targets);
+          }
+        in
+        let candidates =
+          Cap_core.Two_phase.all
+          @ [
+              loadz_virc;
+              Cap_core.Two_phase.grez_grec_dynamic;
+              Cap_core.Two_phase.grez_grec_paper_regret;
+            ]
+        in
+        let table =
+          Table.create
+            ~headers:
+              [ "algorithm"; "pQoS"; "R"; "median(ms)"; "p95(ms)"; "Jain"; "time(s)" ]
+            ()
+        in
+        let row name (s : Cap_model.Metrics.summary) seconds =
+          Table.add_row table
+            [
+              name;
+              Printf.sprintf "%.3f" s.Cap_model.Metrics.pqos;
+              Printf.sprintf "%.3f" s.Cap_model.Metrics.utilization;
+              Printf.sprintf "%.0f" s.Cap_model.Metrics.median_delay;
+              Printf.sprintf "%.0f" s.Cap_model.Metrics.p95_delay;
+              Printf.sprintf "%.3f" s.Cap_model.Metrics.jain_fairness;
+              Printf.sprintf "%.4f" seconds;
+            ]
+        in
+        List.iter
+          (fun algorithm ->
+            let assignment, seconds =
+              Cap_experiments.Common.time_cpu (fun () ->
+                  Cap_core.Two_phase.run algorithm (Rng.split rng) world)
+            in
+            row algorithm.Cap_core.Two_phase.name
+              (Cap_model.Metrics.summary assignment world)
+              seconds)
+          candidates;
+        if with_optimal then begin
+          let options = { Cap_milp.Branch_bound.default_options with time_limit } in
+          match Cap_milp.Optimal.solve ~options world with
+          | Some (assignment, iap, rap) ->
+              row
+                (Printf.sprintf "optimal B&B%s"
+                   (if
+                      iap.Cap_milp.Optimal.proven_optimal
+                      && rap.Cap_milp.Optimal.proven_optimal
+                    then ""
+                    else " (budget hit)"))
+                (Cap_model.Metrics.summary assignment world)
+                (iap.Cap_milp.Optimal.elapsed +. rap.Cap_milp.Optimal.elapsed)
+          | None -> print_endline "optimal: no feasible assignment found within budget"
+        end;
+        Printf.printf "one world, configuration %s, seed %d:\n" (Scenario.notation scenario)
+          seed;
+        Table.print table;
+        0
+  in
+  let term = Term.(const run $ config_arg $ seed_arg $ time_limit_arg $ with_optimal_arg) in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare every algorithm (and the load-balancing baseline) on one world.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+
+let plan_cmd =
+  let target_arg =
+    let doc = "Target pQoS in (0, 1]." in
+    Arg.(value & opt float 0.9 & info [ "target-pqos"; "t" ] ~docv:"PQOS" ~doc)
+  in
+  let algorithm_arg =
+    Arg.(value & opt string "GreZ-GreC" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"Algorithm.")
+  in
+  let run config seed runs target algorithm =
+    match scenario_of_string config, Cap_core.Two_phase.find algorithm with
+    | Error (`Msg m), _ ->
+        prerr_endline m;
+        1
+    | _, None ->
+        Printf.eprintf "unknown algorithm: %s\n" algorithm;
+        1
+    | Ok scenario, Some algorithm -> (
+        try
+          let plan =
+            Cap_experiments.Planner.plan ?runs ~seed ~algorithm ~target_pqos:target scenario
+          in
+          Table.print (Cap_experiments.Planner.to_table plan);
+          (match plan.Cap_experiments.Planner.required_mbps with
+          | Some mbps ->
+              Printf.printf "target pQoS %.2f needs about %.0f Mbps of total capacity\n"
+                target mbps
+          | None ->
+              Printf.printf
+                "target pQoS %.2f is out of reach on this topology (ceiling %.3f)\n" target
+                plan.Cap_experiments.Planner.ceiling_pqos);
+          0
+        with Invalid_argument m ->
+          prerr_endline m;
+          1)
+  in
+  let term = Term.(const run $ config_arg $ seed_arg $ runs_arg $ target_arg $ algorithm_arg) in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Find the total capacity needed for a target pQoS (bisection).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* plots                                                               *)
+
+let plots_cmd =
+  let out_arg =
+    let doc = "Output directory for CSV data and gnuplot scripts." in
+    Arg.(value & opt string "plots" & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+  in
+  let run runs seed out =
+    let written = Cap_experiments.Export.write_all ?runs ~seed ~directory:out () in
+    Printf.printf "wrote %d files to %s:\n" (List.length written.Cap_experiments.Export.files)
+      written.Cap_experiments.Export.directory;
+    List.iter (Printf.printf "  %s\n") written.Cap_experiments.Export.files;
+    print_endline "render the figures with e.g.: gnuplot -p plots/fig4_delay_cdf.gp";
+    0
+  in
+  let term = Term.(const run $ runs_arg $ seed_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "plots" ~doc:"Export figure data as CSV plus gnuplot scripts.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sim                                                                 *)
+
+let sim_cmd =
+  let duration_arg =
+    Arg.(value & opt float 600. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
+  in
+  let policy_arg =
+    let doc = "Reassignment policy: never, periodic:SECONDS, or threshold:PQOS." in
+    Arg.(value & opt string "periodic:100" & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let algorithm_arg =
+    Arg.(value & opt string "GreZ-GreC" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"Algorithm.")
+  in
+  let roam_arg =
+    let doc = "Avatars roam to adjacent zones of a grid layout instead of teleporting." in
+    Arg.(value & flag & info [ "roam" ] ~doc)
+  in
+  let flash_arg =
+    let doc = "Flash crowd as AT:FRACTION, e.g. 300:0.6." in
+    Arg.(value & opt (some string) None & info [ "flash" ] ~docv:"AT:FRACTION" ~doc)
+  in
+  let diurnal_arg =
+    let doc = "Diurnal arrival modulation with this amplitude in [0,1] (random region phases)." in
+    Arg.(value & opt (some float) None & info [ "diurnal" ] ~docv:"AMPLITUDE" ~doc)
+  in
+  let trace_csv_arg =
+    let doc = "Also write the time series to this CSV file." in
+    Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
+  in
+  let parse_policy s =
+    match String.split_on_char ':' (String.lowercase_ascii s) with
+    | [ "never" ] -> Ok Cap_sim.Policy.Never
+    | [ "periodic"; v ] -> (
+        match float_of_string_opt v with
+        | Some f when f > 0. -> Ok (Cap_sim.Policy.Periodic f)
+        | Some _ | None -> Error "periodic: bad period")
+    | [ "threshold"; v ] -> (
+        match float_of_string_opt v with
+        | Some f when f > 0. && f <= 1. -> Ok (Cap_sim.Policy.On_threshold f)
+        | Some _ | None -> Error "threshold: bad level")
+    | _ -> Error ("unknown policy: " ^ s)
+  in
+  let parse_flash s =
+    match String.split_on_char ':' s with
+    | [ at; fraction ] -> (
+        match float_of_string_opt at, float_of_string_opt fraction with
+        | Some at, Some fraction ->
+            Ok { Cap_sim.Dve_sim.at; fraction; target_zone = None }
+        | _ -> Error ("bad flash spec: " ^ s))
+    | _ -> Error ("bad flash spec: " ^ s)
+  in
+  let run config seed duration policy algorithm roam flash diurnal trace_csv =
+    match scenario_of_string config, parse_policy policy, Cap_core.Two_phase.find algorithm with
+    | Error (`Msg m), _, _ ->
+        prerr_endline m;
+        1
+    | _, Error m, _ ->
+        prerr_endline m;
+        1
+    | _, _, None ->
+        Printf.eprintf "unknown algorithm: %s\n" algorithm;
+        1
+    | Ok scenario, Ok policy, Some algorithm -> (
+        let flash_crowd =
+          match flash with
+          | None -> Ok None
+          | Some s -> Result.map Option.some (parse_flash s)
+        in
+        match flash_crowd with
+        | Error m ->
+            prerr_endline m;
+            1
+        | Ok flash_crowd ->
+            let rng = Rng.create ~seed in
+            let world = World.generate rng scenario in
+            let movement =
+              if roam then
+                Cap_sim.Dve_sim.Roam
+                  (Cap_model.Zone_map.square_for ~zones:(World.zone_count world))
+              else Cap_sim.Dve_sim.Teleport
+            in
+            let diurnal =
+              Option.map
+                (fun amplitude ->
+                  Cap_sim.Diurnal.random (Rng.split rng) ~regions:world.World.regions
+                    ~amplitude ())
+                diurnal
+            in
+            let config =
+              {
+                Cap_sim.Dve_sim.default_config with
+                duration;
+                policy;
+                movement;
+                flash_crowd;
+                diurnal;
+              }
+            in
+            let outcome = Cap_sim.Dve_sim.run rng config ~world ~algorithm in
+            Table.print (Cap_sim.Trace.to_table outcome.Cap_sim.Dve_sim.trace);
+            Printf.printf "reassignments: %d\n" outcome.Cap_sim.Dve_sim.reassignments;
+            (match trace_csv with
+            | None -> ()
+            | Some file ->
+                let out = open_out file in
+                output_string out (Cap_sim.Trace.to_csv outcome.Cap_sim.Dve_sim.trace);
+                close_out out;
+                Printf.printf "wrote trace to %s\n" file);
+            0)
+  in
+  let term =
+    Term.(
+      const run $ config_arg $ seed_arg $ duration_arg $ policy_arg $ algorithm_arg
+      $ roam_arg $ flash_arg $ diurnal_arg $ trace_csv_arg)
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Run the dynamic churn simulation.") term
+
+let () =
+  let doc = "client-to-server assignment for distributed virtual environments" in
+  let info = Cmd.info "capsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ report_cmd; run_cmd; compare_cmd; optimal_cmd; plan_cmd; sim_cmd; plots_cmd ]))

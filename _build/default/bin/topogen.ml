@@ -1,0 +1,80 @@
+(* topogen — generate a topology and print its structural statistics:
+   node/edge counts, degree distribution, delay quantiles, diameter.
+   Useful for validating the synthetic topologies against the paper's
+   description (500 nodes, 20 ASes, Internet-like degrees). *)
+
+module Rng = Cap_util.Rng
+module Stats = Cap_util.Stats
+module Table = Cap_util.Table
+
+open Cmdliner
+
+let describe graph delay =
+  let degrees = Array.map float_of_int (Cap_topology.Graph.degree_array graph) in
+  let n = Cap_topology.Delay.node_count delay in
+  let delays = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      delays := Cap_topology.Delay.rtt delay u v :: !delays
+    done
+  done;
+  let delays = Array.of_list !delays in
+  let table = Table.create ~headers:[ "statistic"; "value" ] () in
+  let add k v = Table.add_row table [ k; v ] in
+  add "nodes" (string_of_int (Cap_topology.Graph.node_count graph));
+  add "edges" (string_of_int (Cap_topology.Graph.edge_count graph));
+  add "connected" (string_of_bool (Cap_topology.Graph.is_connected graph));
+  add "mean degree" (Printf.sprintf "%.2f" (Stats.mean degrees));
+  add "max degree" (Printf.sprintf "%.0f" (Stats.max_value degrees));
+  add "RTT p50 (ms)" (Printf.sprintf "%.1f" (Stats.quantile delays 0.5));
+  add "RTT p90 (ms)" (Printf.sprintf "%.1f" (Stats.quantile delays 0.9));
+  add "RTT max (ms)" (Printf.sprintf "%.1f" (Stats.max_value delays));
+  add "P(RTT <= 250ms)"
+    (Printf.sprintf "%.3f" (Stats.Cdf.eval (Stats.Cdf.of_samples delays) 250.));
+  Table.print table
+
+let run kind seed n_as routers access max_rtt =
+  let rng = Rng.create ~seed in
+  match kind with
+  | "brite" ->
+      let params =
+        { Cap_topology.Hierarchical.default_params with n_as; routers_per_as = routers }
+      in
+      let topo = Cap_topology.Hierarchical.generate rng params in
+      let delay = Cap_topology.Delay.create topo.Cap_topology.Hierarchical.graph ~max_rtt in
+      describe topo.Cap_topology.Hierarchical.graph delay;
+      0
+  | "att" ->
+      let topo = Cap_topology.Backbone.generate rng ~access_nodes:access in
+      let delay = Cap_topology.Delay.create topo.Cap_topology.Backbone.graph ~max_rtt in
+      describe topo.Cap_topology.Backbone.graph delay;
+      0
+  | "ts" ->
+      let topo =
+        Cap_topology.Transit_stub.generate rng Cap_topology.Transit_stub.default_params
+      in
+      let delay = Cap_topology.Delay.create topo.Cap_topology.Transit_stub.graph ~max_rtt in
+      describe topo.Cap_topology.Transit_stub.graph delay;
+      0
+  | other ->
+      Printf.eprintf "unknown topology kind: %s (expected brite, att or ts)\n" other;
+      1
+
+let () =
+  let kind =
+    Arg.(value & opt string "brite" & info [ "kind"; "k" ] ~docv:"KIND" ~doc:"brite, att or ts (transit-stub)")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let n_as = Arg.(value & opt int 20 & info [ "as" ] ~docv:"N" ~doc:"ASes (brite).") in
+  let routers =
+    Arg.(value & opt int 25 & info [ "routers" ] ~docv:"N" ~doc:"Routers per AS (brite).")
+  in
+  let access =
+    Arg.(value & opt int 475 & info [ "access" ] ~docv:"N" ~doc:"Access nodes (att).")
+  in
+  let max_rtt =
+    Arg.(value & opt float 500. & info [ "max-rtt" ] ~docv:"MS" ~doc:"Normalized maximum RTT.")
+  in
+  let term = Term.(const run $ kind $ seed $ n_as $ routers $ access $ max_rtt) in
+  let info = Cmd.info "topogen" ~doc:"Generate a topology and print its statistics." in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Cap_core Cap_model Cap_sim Cap_util List Printf

@@ -1,0 +1,1 @@
+examples/mmog_shards.ml: Array Cap_core Cap_model Cap_util List Printf

@@ -1,0 +1,1 @@
+examples/mmog_shards.mli:

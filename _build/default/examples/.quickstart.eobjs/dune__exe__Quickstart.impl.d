@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cap_core Cap_model Cap_util Printf

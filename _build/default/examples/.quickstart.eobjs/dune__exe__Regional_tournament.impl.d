@@ -1,0 +1,1 @@
+examples/regional_tournament.ml: Cap_core Cap_model Cap_util List Printf

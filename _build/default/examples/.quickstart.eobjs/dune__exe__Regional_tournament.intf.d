@@ -1,0 +1,1 @@
+examples/regional_tournament.mli:

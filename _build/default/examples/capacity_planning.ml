@@ -1,0 +1,80 @@
+(* Capacity planning: how much total server bandwidth does a deployment
+   need before interactivity stops being capacity-bound?
+
+   Uses the library as a what-if tool: sweep the system capacity for a
+   fixed client population, run GreZ-GreC on the same worlds, and find
+   the knee where extra bandwidth stops buying pQoS. Also demonstrates
+   the flash-crowd stress event on the dynamic simulator.
+
+     dune exec examples/capacity_planning.exe *)
+
+module Rng = Cap_util.Rng
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+let mean_pqos ~capacity_mbps =
+  let scenario =
+    Scenario.make ~servers:20 ~zones:80 ~clients:1000 ~total_capacity_mbps:capacity_mbps ()
+  in
+  let runs = 5 in
+  let master = Rng.create ~seed:31 in
+  let acc = ref 0. and valid = ref 0 in
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let world = World.generate rng scenario in
+    let a = Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec rng world in
+    acc := !acc +. Assignment.pqos a world;
+    if Assignment.is_valid a world then incr valid
+  done;
+  !acc /. float_of_int runs, float_of_int !valid /. float_of_int runs
+
+let () =
+  print_endline "capacity sweep for 20s-80z-1000c (GreZ-GreC, 5 runs per point):";
+  let table = Table.create ~headers:[ "capacity (Mbps)"; "pQoS"; "feasible runs" ] () in
+  List.iter
+    (fun capacity_mbps ->
+      let pqos, feasible = mean_pqos ~capacity_mbps in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f" capacity_mbps;
+          Printf.sprintf "%.3f" pqos;
+          Printf.sprintf "%.0f%%" (100. *. feasible);
+        ])
+    [ 300.; 350.; 400.; 500.; 700.; 1000. ];
+  Table.print table;
+  print_endline
+    "\nBelow ~350 Mbps the demand (about 290 Mbps plus relays) barely fits and the \
+     delay-aware placement is constrained; beyond ~500 Mbps extra capacity no longer \
+     buys interactivity -- the residual loss is purely topological.";
+
+  (* Flash crowd stress test: everyone piles into one zone mid-run. *)
+  print_endline "\nflash crowd at t=300s (60% of players into one zone), GreZ-GreC:";
+  let world = World.generate (Rng.create ~seed:32) Scenario.default in
+  let run policy =
+    let config =
+      {
+        Cap_sim.Dve_sim.default_config with
+        Cap_sim.Dve_sim.policy;
+        flash_crowd =
+          Some { Cap_sim.Dve_sim.at = 300.; fraction = 0.6; target_zone = Some 0 };
+      }
+    in
+    Cap_sim.Dve_sim.run (Rng.create ~seed:33) config ~world
+      ~algorithm:Cap_core.Two_phase.grez_grec
+  in
+  let summary = Table.create ~headers:[ "policy"; "mean pQoS"; "min pQoS"; "reassigns" ] () in
+  List.iter
+    (fun policy ->
+      let outcome = run policy in
+      let trace = outcome.Cap_sim.Dve_sim.trace in
+      Table.add_row summary
+        [
+          Cap_sim.Policy.describe policy;
+          Printf.sprintf "%.3f" (Cap_sim.Trace.mean_pqos trace);
+          Printf.sprintf "%.3f" (Cap_sim.Trace.min_pqos trace);
+          string_of_int outcome.Cap_sim.Dve_sim.reassignments;
+        ])
+    [ Cap_sim.Policy.Never; Cap_sim.Policy.On_threshold 0.85 ];
+  Table.print summary

@@ -1,0 +1,40 @@
+(* Quickstart: generate a DVE world, run the paper's best algorithm
+   (GreZ-GreC), and inspect the result.
+
+     dune exec examples/quickstart.exe *)
+
+module Rng = Cap_util.Rng
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+let () =
+  (* A deterministic world: 20 geographically distributed servers, a
+     virtual world of 80 zones, 1000 clients on a 500-node Internet-like
+     topology, 500 Mbps of total server bandwidth. *)
+  let rng = Rng.create ~seed:2006 in
+  let world = World.generate rng Scenario.default in
+  Printf.printf "world: %d clients, %d zones, %d servers, %d network nodes\n"
+    (World.client_count world) (World.zone_count world) (World.server_count world)
+    (World.node_count world);
+
+  (* Two-phase assignment: GreZ picks a target server per zone, GreC
+     picks a contact server per client. *)
+  let assignment = Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec rng world in
+
+  Printf.printf "pQoS                = %.3f  (fraction of clients within D = %.0f ms)\n"
+    (Assignment.pqos assignment world) world.World.scenario.Scenario.delay_bound;
+  Printf.printf "resource utilization = %.3f\n" (Assignment.utilization assignment world);
+  Printf.printf "assignment valid     = %b\n" (Assignment.is_valid assignment world);
+
+  (* Inspect a few clients: their contact and target servers and the
+     resulting round-trip delay. *)
+  print_endline "\nclient  zone  contact  target  delay(ms)  QoS";
+  for c = 0 to 9 do
+    let zone = world.World.client_zones.(c) in
+    Printf.printf "%6d %5d %8d %7d %10.1f  %b\n" c zone
+      assignment.Assignment.contact_of_client.(c)
+      assignment.Assignment.target_of_zone.(zone)
+      (Assignment.client_delay assignment world c)
+      (Assignment.has_qos assignment world c)
+  done

@@ -1,0 +1,1 @@
+lib/core/annealing.ml: Array Cap_model Cap_util Cost Server_load

@@ -1,0 +1,1 @@
+lib/core/annealing.mli: Cap_model Cap_util

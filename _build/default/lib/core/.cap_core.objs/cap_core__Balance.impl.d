@@ -1,0 +1,1 @@
+lib/core/balance.ml: Array Cap_model Server_load

@@ -1,0 +1,1 @@
+lib/core/balance.mli: Cap_model

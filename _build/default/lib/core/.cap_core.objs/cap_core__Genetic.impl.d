@@ -1,0 +1,1 @@
+lib/core/genetic.ml: Array Cap_model Cap_util Cost Server_load

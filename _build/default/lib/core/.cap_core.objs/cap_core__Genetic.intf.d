@@ -1,0 +1,1 @@
+lib/core/genetic.mli: Cap_model Cap_util

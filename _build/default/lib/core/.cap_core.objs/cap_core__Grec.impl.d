@@ -1,0 +1,1 @@
+lib/core/grec.ml: Array Cap_model Cost Regret

@@ -1,0 +1,1 @@
+lib/core/grec.mli: Cap_model Regret

@@ -1,0 +1,1 @@
+lib/core/grez.ml: Array Cap_model Cost List Regret Server_load

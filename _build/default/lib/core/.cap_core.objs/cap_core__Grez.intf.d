@@ -1,0 +1,1 @@
+lib/core/grez.mli: Cap_model Regret

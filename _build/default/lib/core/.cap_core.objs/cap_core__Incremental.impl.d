@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Cap_model Cost Grec List Server_load

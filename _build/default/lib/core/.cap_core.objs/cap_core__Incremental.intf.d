@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Cap_model

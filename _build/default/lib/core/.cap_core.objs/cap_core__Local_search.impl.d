@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Cap_model Cost Server_load

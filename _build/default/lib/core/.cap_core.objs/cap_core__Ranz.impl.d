@@ -1,0 +1,1 @@
+lib/core/ranz.ml: Array Cap_model Cap_util Server_load

@@ -1,0 +1,1 @@
+lib/core/ranz.mli: Cap_model Cap_util

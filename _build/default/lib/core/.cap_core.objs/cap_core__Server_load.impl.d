@@ -1,0 +1,1 @@
+lib/core/server_load.ml: Array Cap_model

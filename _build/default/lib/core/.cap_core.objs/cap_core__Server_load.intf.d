@@ -1,0 +1,1 @@
+lib/core/server_load.mli: Cap_model

@@ -1,0 +1,1 @@
+lib/core/two_phase.ml: Cap_model Cap_util Grec Grez List Ranz Regret String Virc

@@ -1,0 +1,1 @@
+lib/core/two_phase.mli: Cap_model Cap_util

@@ -1,0 +1,1 @@
+lib/core/virc.ml: Array Cap_model

@@ -1,0 +1,1 @@
+lib/core/virc.mli: Cap_model

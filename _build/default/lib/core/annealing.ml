@@ -1,0 +1,78 @@
+module Rng = Cap_util.Rng
+module World = Cap_model.World
+
+type params = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+}
+
+let default_params = { iterations = 20_000; initial_temperature = 2.; cooling = 0.9995 }
+
+type report = {
+  targets : int array;
+  cost_before : int;
+  cost_after : int;
+  accepted : int;
+  proposed : int;
+}
+
+let total_cost costs targets =
+  let acc = ref 0 in
+  Array.iteri (fun z s -> acc := !acc + costs.(z).(s)) targets;
+  !acc
+
+let improve rng ?(params = default_params) world ~targets =
+  if params.iterations <= 0 then invalid_arg "Annealing: iterations must be positive";
+  if params.initial_temperature <= 0. then
+    invalid_arg "Annealing: temperature must be positive";
+  if params.cooling <= 0. || params.cooling >= 1. then
+    invalid_arg "Annealing: cooling must be in (0, 1)";
+  let zones = World.zone_count world in
+  if Array.length targets <> zones then
+    invalid_arg "Annealing: assignment does not match the world";
+  let servers = World.server_count world in
+  let costs = Cost.initial_matrix world in
+  let rates = Server_load.zone_rates world in
+  let capacities = world.World.capacities in
+  let current = Array.copy targets in
+  let loads = Array.make servers 0. in
+  Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) current;
+  let cost_before = total_cost costs current in
+  let current_cost = ref cost_before in
+  let best = Array.copy current in
+  let best_cost = ref cost_before in
+  let temperature = ref params.initial_temperature in
+  let accepted = ref 0 in
+  for _ = 1 to params.iterations do
+    let z = Rng.int rng zones in
+    let destination = Rng.int rng servers in
+    let source = current.(z) in
+    if destination <> source && loads.(destination) +. rates.(z) <= capacities.(destination)
+    then begin
+      let delta = costs.(z).(destination) - costs.(z).(source) in
+      let accept =
+        delta <= 0
+        || Rng.uniform rng < exp (-.float_of_int delta /. !temperature)
+      in
+      if accept then begin
+        loads.(source) <- loads.(source) -. rates.(z);
+        loads.(destination) <- loads.(destination) +. rates.(z);
+        current.(z) <- destination;
+        current_cost := !current_cost + delta;
+        incr accepted;
+        if !current_cost < !best_cost then begin
+          best_cost := !current_cost;
+          Array.blit current 0 best 0 zones
+        end
+      end
+    end;
+    temperature := !temperature *. params.cooling
+  done;
+  {
+    targets = best;
+    cost_before;
+    cost_after = !best_cost;
+    accepted = !accepted;
+    proposed = params.iterations;
+  }

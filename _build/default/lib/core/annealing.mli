@@ -1,0 +1,38 @@
+(** Simulated-annealing refinement of an initial (zone) assignment —
+    an extension beyond the paper, sitting between the greedy
+    heuristics and exact branch-and-bound.
+
+    The search walks over feasible target assignments with single-zone
+    relocation moves, accepting uphill moves with the usual Metropolis
+    probability under a geometric cooling schedule, and returns the
+    best feasible assignment visited. Unlike {!Local_search} it can
+    escape the single-move local optima GreZ already reaches. *)
+
+type params = {
+  iterations : int;           (** total move proposals (default 20000) *)
+  initial_temperature : float;
+      (** in units of the cost (clients without QoS); default 2. *)
+  cooling : float;            (** geometric factor per iteration (default 0.9995) *)
+}
+
+val default_params : params
+
+type report = {
+  targets : int array;   (** best feasible assignment found *)
+  cost_before : int;
+  cost_after : int;
+  accepted : int;        (** accepted moves *)
+  proposed : int;        (** proposed moves (= iterations) *)
+}
+
+val improve :
+  Cap_util.Rng.t ->
+  ?params:params ->
+  Cap_model.World.t ->
+  targets:int array ->
+  report
+(** [improve rng world ~targets] anneals from [targets]. Only
+    capacity-feasible relocations are proposed, so a feasible input
+    yields a feasible output; the cost is the paper's total initial
+    cost [C_I] (Eq. 4) on observed delays. Raises [Invalid_argument]
+    on non-positive parameters or a mismatched assignment. *)

@@ -1,0 +1,46 @@
+module World = Cap_model.World
+
+let relative_loads world ~targets =
+  let rates = Server_load.zone_rates world in
+  let loads = Array.make (World.server_count world) 0. in
+  Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) targets;
+  Array.mapi (fun s load -> load /. world.World.capacities.(s)) loads
+
+let assign world =
+  let n = World.zone_count world in
+  let rates = Server_load.zone_rates world in
+  let capacities = world.World.capacities in
+  let loads = Array.make (World.server_count world) 0. in
+  let targets = Array.make n 0 in
+  (* longest processing time: heaviest zones first *)
+  let order = Array.init n (fun z -> z) in
+  Array.sort
+    (fun z1 z2 -> match compare rates.(z2) rates.(z1) with 0 -> compare z1 z2 | c -> c)
+    order;
+  Array.iter
+    (fun z ->
+      (* relatively least-loaded server that still fits the zone *)
+      let best = ref None in
+      Array.iteri
+        (fun s load ->
+          if load +. rates.(z) <= capacities.(s) then begin
+            let fill = (load +. rates.(z)) /. capacities.(s) in
+            match !best with
+            | Some (_, f) when f <= fill -> ()
+            | _ -> best := Some (s, fill)
+          end)
+        loads;
+      let server =
+        match !best with
+        | Some (s, _) -> s
+        | None -> Server_load.fallback_server ~loads ~capacities
+      in
+      targets.(z) <- server;
+      loads.(server) <- loads.(server) +. rates.(z))
+    order;
+  targets
+
+let imbalance world ~targets =
+  let fills = relative_loads world ~targets in
+  let mean = Array.fold_left ( +. ) 0. fills /. float_of_int (Array.length fills) in
+  Array.fold_left max 0. fills -. mean

@@ -1,0 +1,21 @@
+(** LoadZ — load-balancing initial assignment (related-work baseline).
+
+    The paper's §2.4 contrasts its delay-aware formulation with prior
+    work that treats client-to-server assignment purely as {e load
+    balancing} across a locally distributed cluster (Lui & Chan), and
+    argues such approaches damage interactivity because clients can be
+    far from their servers. This module implements that baseline: zones
+    are placed with the longest-processing-time rule — heaviest zone
+    first onto the relatively least-loaded server — optimizing balance
+    and ignoring delays altogether. Pairing it with VirC or GreC shows
+    exactly the gap the paper claims. *)
+
+val assign : Cap_model.World.t -> int array
+(** Deterministic. Balance is measured relative to capacity (load
+    divided by capacity), so heterogeneous servers fill
+    proportionally. Zones that fit nowhere fall back to the
+    largest-residual server, as in {!Ranz}. *)
+
+val imbalance : Cap_model.World.t -> targets:int array -> float
+(** Max over servers of load/capacity minus the mean of the same —
+    0 for perfectly proportional fills; the metric LoadZ optimizes. *)

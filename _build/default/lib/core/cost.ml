@@ -1,0 +1,31 @@
+module World = Cap_model.World
+module Scenario = Cap_model.Scenario
+
+let delay_bound (world : World.t) = world.World.scenario.Scenario.delay_bound
+
+let initial world ~zone_members ~server =
+  let bound = delay_bound world in
+  Array.fold_left
+    (fun acc client ->
+      if World.client_server_rtt world ~client ~server > bound then acc + 1 else acc)
+    0 zone_members
+
+let initial_matrix world =
+  let members = World.clients_of_zone world in
+  let servers = World.server_count world in
+  Array.map
+    (fun zone_members -> Array.init servers (fun server -> initial world ~zone_members ~server))
+    members
+
+let relayed_delay world ~targets ~client ~contact =
+  let target = targets.(world.World.client_zones.(client)) in
+  World.client_server_rtt world ~client ~server:contact
+  +. World.server_server_rtt world contact target
+
+let refined world ~targets ~client ~contact =
+  max 0. (relayed_delay world ~targets ~client ~contact -. delay_bound world)
+
+let refined_matrix world ~targets =
+  let servers = World.server_count world in
+  Array.init (World.client_count world) (fun client ->
+      Array.init servers (fun contact -> refined world ~targets ~client ~contact))

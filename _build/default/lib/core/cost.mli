@@ -1,0 +1,32 @@
+(** The paper's assignment cost metrics.
+
+    Both metrics are computed on the world's {e observed} delays — the
+    information actually available to an assignment algorithm — which
+    may differ from true delays under estimation error (Table 4).
+
+    - Initial (Eq. 3): [C^I_ij] is the number of clients of zone [z_j]
+      that would be without QoS if [z_j] were hosted on server [s_i],
+      i.e. whose observed RTT to [s_i] exceeds the bound [D].
+    - Refined (Eq. 8): [C^R] for client [c_j] and candidate contact
+      [s_k] with target [s_i] is how far the relayed delay
+      [d(c_j, s_k) + d(s_k, s_i)] overshoots [D], or 0 if within. *)
+
+val initial : Cap_model.World.t -> zone_members:int array -> server:int -> int
+(** [C^I] of one zone (given its member client ids) on one server. *)
+
+val initial_matrix : Cap_model.World.t -> int array array
+(** [C^I] for every zone and server: row per zone, column per server.
+    O(k * m) in total. *)
+
+val refined :
+  Cap_model.World.t -> targets:int array -> client:int -> contact:int -> float
+(** [C^R] of selecting [contact] for [client], whose target is
+    [targets.(zone of client)]. *)
+
+val refined_matrix : Cap_model.World.t -> targets:int array -> float array array
+(** [C^R] for every client and candidate contact server: row per
+    client, column per server. *)
+
+val relayed_delay :
+  Cap_model.World.t -> targets:int array -> client:int -> contact:int -> float
+(** Observed end-to-end delay [d(c, contact) + d(contact, target)]. *)

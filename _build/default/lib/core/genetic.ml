@@ -1,0 +1,110 @@
+module Rng = Cap_util.Rng
+module World = Cap_model.World
+
+type params = {
+  population : int;
+  generations : int;
+  mutation_rate : float;
+  tournament : int;
+}
+
+let default_params = { population = 40; generations = 120; mutation_rate = 0.05; tournament = 3 }
+
+type report = {
+  targets : int array;
+  cost_before : int;
+  cost_after : int;
+  generations_run : int;
+}
+
+let improve rng ?(params = default_params) world ~targets =
+  if params.population < 2 then invalid_arg "Genetic: population must be at least 2";
+  if params.generations <= 0 then invalid_arg "Genetic: generations must be positive";
+  if params.mutation_rate < 0. || params.mutation_rate > 1. then
+    invalid_arg "Genetic: mutation rate outside [0, 1]";
+  if params.tournament < 1 then invalid_arg "Genetic: tournament must be positive";
+  let zones = World.zone_count world in
+  if Array.length targets <> zones then invalid_arg "Genetic: assignment does not match the world";
+  let servers = World.server_count world in
+  let costs = Cost.initial_matrix world in
+  let rates = Server_load.zone_rates world in
+  let capacities = world.World.capacities in
+  let cost_of individual =
+    let acc = ref 0 in
+    Array.iteri (fun z s -> acc := !acc + costs.(z).(s)) individual;
+    !acc
+  in
+  let overload_of individual =
+    let loads = Array.make servers 0. in
+    Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) individual;
+    let acc = ref 0. in
+    Array.iteri (fun s load -> acc := !acc +. max 0. (load -. capacities.(s))) loads;
+    !acc
+  in
+  (* Fitness to minimize: cost plus a penalty strong enough that any
+     capacity violation dominates any cost difference. *)
+  let clients = float_of_int (World.client_count world) in
+  let penalized individual =
+    let overload = overload_of individual in
+    float_of_int (cost_of individual)
+    +. if overload > 0. then clients +. (overload /. 1000.) else 0.
+  in
+  let mutate individual =
+    let child = Array.copy individual in
+    Array.iteri
+      (fun z _ -> if Rng.uniform rng < params.mutation_rate then child.(z) <- Rng.int rng servers)
+      child;
+    child
+  in
+  let crossover a b = Array.init zones (fun z -> if Rng.bool rng then a.(z) else b.(z)) in
+  let population =
+    Array.init params.population (fun i -> if i = 0 then Array.copy targets else mutate targets)
+  in
+  let scores = Array.map penalized population in
+  let best_feasible = ref (if overload_of targets = 0. then Some (Array.copy targets) else None) in
+  let best_feasible_cost =
+    ref (match !best_feasible with Some t -> cost_of t | None -> max_int)
+  in
+  let consider individual =
+    if overload_of individual = 0. then begin
+      let cost = cost_of individual in
+      if cost < !best_feasible_cost then begin
+        best_feasible := Some (Array.copy individual);
+        best_feasible_cost := cost
+      end
+    end
+  in
+  Array.iter consider population;
+  let tournament_pick () =
+    let best = ref (Rng.int rng params.population) in
+    for _ = 2 to params.tournament do
+      let challenger = Rng.int rng params.population in
+      if scores.(challenger) < scores.(!best) then best := challenger
+    done;
+    !best
+  in
+  for _ = 1 to params.generations do
+    (* elite slot: keep the current best individual as-is *)
+    let elite = ref 0 in
+    Array.iteri (fun i s -> if s < scores.(!elite) then elite := i) scores;
+    let next = Array.make params.population population.(!elite) in
+    let next_scores = Array.make params.population scores.(!elite) in
+    for i = 1 to params.population - 1 do
+      let a = population.(tournament_pick ()) and b = population.(tournament_pick ()) in
+      let child = mutate (crossover a b) in
+      next.(i) <- child;
+      next_scores.(i) <- penalized child;
+      consider child
+    done;
+    Array.blit next 0 population 0 params.population;
+    Array.blit next_scores 0 scores 0 params.population
+  done;
+  let result =
+    match !best_feasible with Some t -> t | None -> Array.copy targets
+  in
+  {
+    targets = result;
+    cost_before = cost_of targets;
+    cost_after = cost_of result;
+    generations_run = params.generations;
+  }

@@ -1,0 +1,37 @@
+(** Genetic-algorithm search over initial (zone) assignments — the last
+    of the metaheuristic families provided alongside local search and
+    simulated annealing, for the ablation experiments.
+
+    Individuals are target vectors; fitness is the negated initial cost
+    [C_I] with a penalty for capacity violations, so evolution is free
+    to pass through slightly-infeasible intermediates while the
+    returned best is drawn from the feasible individuals seen.
+    Uniform crossover + single-zone mutation, tournament selection,
+    elitism of one. *)
+
+type params = {
+  population : int;       (** individuals (default 40) *)
+  generations : int;      (** default 120 *)
+  mutation_rate : float;  (** per-zone mutation probability (default 0.05) *)
+  tournament : int;       (** tournament size (default 3) *)
+}
+
+val default_params : params
+
+type report = {
+  targets : int array;    (** best feasible assignment encountered *)
+  cost_before : int;      (** C_I of the seed assignment *)
+  cost_after : int;       (** C_I of the returned assignment *)
+  generations_run : int;
+}
+
+val improve :
+  Cap_util.Rng.t ->
+  ?params:params ->
+  Cap_model.World.t ->
+  targets:int array ->
+  report
+(** Evolve starting from a population seeded with mutations of
+    [targets] (which is also kept as the initial incumbent if
+    feasible). Raises [Invalid_argument] on non-positive parameters,
+    a mutation rate outside [0, 1], or a mismatched assignment. *)

@@ -1,0 +1,56 @@
+module World = Cap_model.World
+module Traffic = Cap_model.Traffic
+module Scenario = Cap_model.Scenario
+
+let assign ?(rule = Regret.Best_minus_second) world ~targets =
+  let k = World.client_count world in
+  let bound = world.World.scenario.Scenario.delay_bound in
+  let traffic = world.World.scenario.Scenario.traffic in
+  let population = World.zone_population world in
+  let capacities = world.World.capacities in
+  (* Server loads start from the zone loads implied by the initial
+     assignment; refined choices then add forwarding bandwidth. *)
+  let loads = Array.make (World.server_count world) 0. in
+  Array.iteri
+    (fun z target ->
+      loads.(target) <- loads.(target) +. Traffic.zone_rate traffic ~population:population.(z))
+    targets;
+  let contacts = Array.make k 0 in
+  let late = ref [] in
+  for c = k - 1 downto 0 do
+    let target = targets.(world.World.client_zones.(c)) in
+    contacts.(c) <- target;
+    if World.client_server_rtt world ~client:c ~server:target > bound then late := c :: !late
+  done;
+  let forwarding c =
+    Traffic.forwarding_rate traffic ~zone_population:population.(world.World.client_zones.(c))
+  in
+  let items =
+    Regret.order ~ids:(Array.of_list !late) ~servers:(World.server_count world)
+      ~desirability:(fun c s -> -.Cost.refined world ~targets ~client:c ~contact:s)
+      ~tie_break:(fun c s -> Cost.relayed_delay world ~targets ~client:c ~contact:s)
+      ~rule
+  in
+  Array.iter
+    (fun (item : Regret.item) ->
+      let c = item.Regret.id in
+      let target = targets.(world.World.client_zones.(c)) in
+      let extra s = if s = target then 0. else forwarding c in
+      let chosen =
+        Array.fold_left
+          (fun acc (s, _) ->
+            match acc with
+            | Some _ -> acc
+            | None -> if loads.(s) +. extra s <= capacities.(s) then Some s else None)
+          None item.Regret.prefs
+      in
+      match chosen with
+      | Some s ->
+          contacts.(c) <- s;
+          loads.(s) <- loads.(s) +. extra s
+      | None ->
+          (* Unreachable when loads started feasible: the target adds
+             nothing and is always a candidate. Keep the direct link. *)
+          contacts.(c) <- target)
+    items;
+  contacts

@@ -1,0 +1,15 @@
+(** GreC — greedy refined assignment of clients (paper §3.2, Fig. 3).
+
+    Clients whose observed delay to their target server is within the
+    bound connect directly. The remainder are processed in regret order
+    over the desirability [mu = -C^R] (Eq. 8): each takes the most
+    desirable contact server that can still absorb the forwarding
+    bandwidth [R^C = 2 R^T] (choosing the target itself costs no extra
+    bandwidth and is always feasible, so the phase always completes). *)
+
+val assign :
+  ?rule:Regret.rule -> Cap_model.World.t -> targets:int array -> int array
+(** Contact server of each client, deterministically. Desirability
+    ties are broken towards the lower relayed delay, then the lower
+    server index. Server loads start from the zone loads implied by
+    [targets]. *)

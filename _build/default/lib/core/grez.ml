@@ -1,0 +1,122 @@
+module World = Cap_model.World
+
+(* Mean observed client-server RTT per (zone, server): the
+   desirability tie-breaker. Empty zones tie at 0 and fall back to
+   server-index order. *)
+let mean_delay_matrix world =
+  let members = World.clients_of_zone world in
+  let servers = World.server_count world in
+  Array.map
+    (fun zone_members ->
+      Array.init servers (fun server ->
+          if Array.length zone_members = 0 then 0.
+          else begin
+            let total =
+              Array.fold_left
+                (fun acc client -> acc +. World.client_server_rtt world ~client ~server)
+                0. zone_members
+            in
+            total /. float_of_int (Array.length zone_members)
+          end))
+    members
+
+let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) world =
+  let n = World.zone_count world in
+  let costs = Cost.initial_matrix world in
+  let delays = mean_delay_matrix world in
+  let rates = Server_load.zone_rates world in
+  let capacities = world.World.capacities in
+  let loads = Array.make (World.server_count world) 0. in
+  let targets = Array.make n 0 in
+  let place z s =
+    targets.(z) <- s;
+    loads.(s) <- loads.(s) +. rates.(z)
+  in
+  let feasible z s = loads.(s) +. rates.(z) <= capacities.(s) in
+  if not dynamic then begin
+    let items =
+      Regret.order
+        ~ids:(Array.init n (fun z -> z))
+        ~servers:(World.server_count world)
+        ~desirability:(fun z s -> -.float_of_int costs.(z).(s))
+        ~tie_break:(fun z s -> delays.(z).(s))
+        ~rule
+    in
+    Array.iter
+      (fun (item : Regret.item) ->
+        let z = item.Regret.id in
+        let chosen =
+          Array.fold_left
+            (fun acc (s, _) ->
+              match acc with Some _ -> acc | None -> if feasible z s then Some s else None)
+            None item.Regret.prefs
+        in
+        match chosen with
+        | Some s -> place z s
+        | None -> place z (Server_load.fallback_server ~loads ~capacities))
+      items
+  end
+  else begin
+    (* Dynamic variant: after every placement, re-rank the remaining
+       zones by regret over their currently feasible servers. *)
+    let remaining = ref (List.init n (fun z -> z)) in
+    let better mu1 tb1 s1 mu2 tb2 s2 =
+      mu1 > mu2 || (mu1 = mu2 && (tb1 < tb2 || (tb1 = tb2 && s1 < s2)))
+    in
+    while !remaining <> [] do
+      let evaluate z =
+        (* Best and second-best feasible servers for zone z. *)
+        let best = ref None and second = ref None in
+        Array.iteri
+          (fun s _ ->
+            if feasible z s then begin
+              let mu = -.float_of_int costs.(z).(s) and tb = delays.(z).(s) in
+              match !best with
+              | None -> best := Some (s, mu, tb)
+              | Some (bs, bmu, btb) ->
+                  if better mu tb s bmu btb bs then begin
+                    second := !best;
+                    best := Some (s, mu, tb)
+                  end
+                  else begin
+                    match !second with
+                    | None -> second := Some (s, mu, tb)
+                    | Some (ss, smu, stb) ->
+                        if better mu tb s smu stb ss then second := Some (s, mu, tb)
+                  end
+            end)
+          loads;
+        match !best with
+        | None -> None
+        | Some (s, mu, _) ->
+            let regret =
+              match !second, rule with
+              | None, _ -> 0.
+              | Some (_, smu, _), Regret.Best_minus_second -> mu -. smu
+              | Some (_, smu, _), Regret.Second_minus_best -> smu -. mu
+            in
+            Some (z, s, regret)
+      in
+      let pick =
+        List.fold_left
+          (fun acc z ->
+            match evaluate z with
+            | None -> acc
+            | Some (_, _, regret) as candidate -> (
+                match acc with
+                | Some (z', _, regret') when regret' > regret || (regret' = regret && z' < z) ->
+                    acc
+                | _ -> candidate))
+          None !remaining
+      in
+      match pick with
+      | Some (z, s, _) ->
+          place z s;
+          remaining := List.filter (fun z' -> z' <> z) !remaining
+      | None ->
+          (* Nothing fits anywhere: drain the rest through the fallback. *)
+          List.iter (fun z -> place z (Server_load.fallback_server ~loads ~capacities)) !remaining;
+          remaining := []
+    done
+  end;
+  targets

@@ -1,0 +1,115 @@
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+type migration = {
+  zone_moves : int;
+  contact_moves : int;
+}
+
+let migration_between ~previous ~current =
+  let count a b =
+    if Array.length a <> Array.length b then
+      invalid_arg "Incremental.migration_between: length mismatch";
+    let moves = ref 0 in
+    Array.iteri (fun i x -> if x <> b.(i) then incr moves) a;
+    !moves
+  in
+  {
+    zone_moves =
+      count previous.Assignment.target_of_zone current.Assignment.target_of_zone;
+    contact_moves =
+      count previous.Assignment.contact_of_client current.Assignment.contact_of_client;
+  }
+
+let refresh ?(max_zone_moves = 8) world ~previous =
+  let zones = World.zone_count world in
+  if Array.length previous.Assignment.target_of_zone <> zones then
+    invalid_arg "Incremental.refresh: assignment does not match the world";
+  let targets = Array.copy previous.Assignment.target_of_zone in
+  let rates = Server_load.zone_rates world in
+  let capacities = world.World.capacities in
+  let loads = Array.make (World.server_count world) 0. in
+  Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) targets;
+  let costs = Cost.initial_matrix world in
+  let budget = ref (max max_zone_moves 0) in
+  let move z destination =
+    loads.(targets.(z)) <- loads.(targets.(z)) -. rates.(z);
+    loads.(destination) <- loads.(destination) +. rates.(z);
+    targets.(z) <- destination;
+    decr budget
+  in
+  (* Cheapest feasible destination for a zone, by C^I then load. *)
+  let best_destination z =
+    let best = ref None in
+    Array.iteri
+      (fun s load ->
+        if s <> targets.(z) && load +. rates.(z) <= capacities.(s) then begin
+          let cost = costs.(z).(s) in
+          match !best with
+          | Some (_, c, l) when c < cost || (c = cost && l <= load) -> ()
+          | _ -> best := Some (s, cost, load)
+        end)
+      loads;
+    match !best with Some (s, cost, _) -> Some (s, cost) | None -> None
+  in
+  (* Phase 1: repair capacity violations (churn can overload a server
+     that was fine before). Move the smallest zones off the most
+     overloaded server first: they are the cheapest handoffs. *)
+  let overloaded () =
+    let worst = ref None in
+    Array.iteri
+      (fun s load ->
+        let excess = load -. capacities.(s) in
+        if excess > 1e-9 then begin
+          match !worst with
+          | Some (_, e) when e >= excess -> ()
+          | _ -> worst := Some (s, excess)
+        end)
+      loads;
+    !worst
+  in
+  let continue_repair = ref true in
+  while !continue_repair && !budget > 0 do
+    match overloaded () with
+    | None -> continue_repair := false
+    | Some (server, _) ->
+        let candidates = ref [] in
+        Array.iteri (fun z s -> if s = server then candidates := z :: !candidates) targets;
+        let movable =
+          List.filter_map
+            (fun z ->
+              match best_destination z with
+              | Some (destination, _) -> Some (z, destination)
+              | None -> None)
+            !candidates
+        in
+        (match
+           List.sort (fun (z1, _) (z2, _) -> compare rates.(z1) rates.(z2)) movable
+         with
+        | [] -> continue_repair := false (* nothing fits anywhere else *)
+        | (z, destination) :: _ -> move z destination)
+  done;
+  (* Phase 2: spend the remaining budget on the relocations with the
+     largest interactivity gain (clients brought within the bound). *)
+  let continue_improving = ref true in
+  while !continue_improving && !budget > 0 do
+    let best = ref None in
+    Array.iteri
+      (fun z current ->
+        match best_destination z with
+        | Some (destination, cost) ->
+            let gain = costs.(z).(current) - cost in
+            if gain > 0 then begin
+              match !best with
+              | Some (_, _, g) when g >= gain -> ()
+              | _ -> best := Some (z, destination, gain)
+            end
+        | None -> ())
+      targets;
+    match !best with
+    | Some (z, destination, _) -> move z destination
+    | None -> continue_improving := false
+  done;
+  let contacts = Grec.assign world ~targets in
+  let current = Assignment.make ~target_of_zone:targets ~contact_of_client:contacts in
+  current, migration_between ~previous ~current

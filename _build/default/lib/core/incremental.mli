@@ -1,0 +1,32 @@
+(** Incremental reassignment under churn — an extension of the paper.
+
+    §3.4 of the paper re-executes the full two-phase algorithm whenever
+    joins/leaves/moves degrade an assignment. A full re-execution may
+    retarget many zones, and a zone handoff is the expensive operation
+    in a live DVE (state transfer, client redirection, consistency
+    freeze). This module refreshes an existing assignment with a
+    bounded number of zone moves: first repairing capacity violations,
+    then spending the remaining budget on the zone relocations with the
+    largest interactivity gain, and finally re-running the (cheap)
+    refined phase for contacts. *)
+
+type migration = {
+  zone_moves : int;     (** zones whose target server changed *)
+  contact_moves : int;  (** clients whose contact server changed *)
+}
+
+val migration_between :
+  previous:Cap_model.Assignment.t -> current:Cap_model.Assignment.t -> migration
+(** Count the differences between two assignments over the same world.
+    Raises [Invalid_argument] on mismatched array lengths. *)
+
+val refresh :
+  ?max_zone_moves:int ->
+  Cap_model.World.t ->
+  previous:Cap_model.Assignment.t ->
+  Cap_model.Assignment.t * migration
+(** [refresh world ~previous] adapts [previous] (whose arrays must
+    match [world]'s current zones and clients — after churn, first run
+    {!Cap_model.Churn.adapt}) using at most [max_zone_moves] zone
+    relocations (default 8). Contacts are always recomputed with GreC.
+    The reported migration is measured against [previous]. *)

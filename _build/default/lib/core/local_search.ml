@@ -1,0 +1,54 @@
+module World = Cap_model.World
+
+type report = {
+  targets : int array;
+  rounds : int;
+  moves : int;
+  cost_before : int;
+  cost_after : int;
+}
+
+let total_cost costs targets =
+  let acc = ref 0 in
+  Array.iteri (fun z s -> acc := !acc + costs.(z).(s)) targets;
+  !acc
+
+let improve ?(max_rounds = 50) world ~targets =
+  let costs = Cost.initial_matrix world in
+  let rates = Server_load.zone_rates world in
+  let capacities = world.World.capacities in
+  let targets = Array.copy targets in
+  let loads = Array.make (World.server_count world) 0. in
+  Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) targets;
+  let cost_before = total_cost costs targets in
+  let rounds = ref 0 and moves = ref 0 in
+  let improved = ref true in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    Array.iteri
+      (fun z current ->
+        (* Best strictly-improving feasible relocation for this zone. *)
+        let best = ref None in
+        Array.iteri
+          (fun s _ ->
+            if s <> current && loads.(s) +. rates.(z) <= capacities.(s) then begin
+              let gain = costs.(z).(current) - costs.(z).(s) in
+              if gain > 0 then begin
+                match !best with
+                | Some (_, g) when g >= gain -> ()
+                | _ -> best := Some (s, gain)
+              end
+            end)
+          loads;
+        match !best with
+        | Some (s, _) ->
+            loads.(current) <- loads.(current) -. rates.(z);
+            loads.(s) <- loads.(s) +. rates.(z);
+            targets.(z) <- s;
+            incr moves;
+            improved := true
+        | None -> ())
+      targets
+  done;
+  { targets; rounds = !rounds; moves = !moves; cost_before; cost_after = total_cost costs targets }

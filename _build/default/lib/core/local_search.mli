@@ -1,0 +1,21 @@
+(** Local-search refinement of an initial (zone) assignment — an
+    extension beyond the paper, used in the ablation experiments.
+
+    Starting from any feasible target assignment, repeatedly relocate
+    single zones to servers that strictly reduce the total initial
+    cost [C_I] (Eq. 4) while respecting capacities, until a local
+    optimum or an iteration budget is reached. *)
+
+type report = {
+  targets : int array;
+  rounds : int;        (** full passes over the zones *)
+  moves : int;         (** zone relocations applied *)
+  cost_before : int;   (** total C^I before *)
+  cost_after : int;    (** total C^I after *)
+}
+
+val improve : ?max_rounds:int -> Cap_model.World.t -> targets:int array -> report
+(** [improve world ~targets] runs best-improvement single-zone moves.
+    [max_rounds] bounds the number of passes (default 50). The input
+    assignment's capacity violations, if any, are left as-is (only
+    moves into feasible servers are considered). *)

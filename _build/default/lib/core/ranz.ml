@@ -1,0 +1,34 @@
+module Rng = Cap_util.Rng
+module World = Cap_model.World
+module Traffic = Cap_model.Traffic
+module Scenario = Cap_model.Scenario
+
+let assign rng world =
+  let n = World.zone_count world in
+  let rates = Server_load.zone_rates world in
+  let population = World.zone_population world in
+  let capacities = world.World.capacities in
+  let loads = Array.make (World.server_count world) 0. in
+  let order = Array.init n (fun z -> z) in
+  Array.sort
+    (fun z1 z2 ->
+      match compare population.(z2) population.(z1) with
+      | 0 -> compare z1 z2
+      | c -> c)
+    order;
+  let targets = Array.make n 0 in
+  Array.iter
+    (fun z ->
+      let feasible = ref [] in
+      Array.iteri
+        (fun s load -> if load +. rates.(z) <= capacities.(s) then feasible := s :: !feasible)
+        loads;
+      let server =
+        match !feasible with
+        | [] -> Server_load.fallback_server ~loads ~capacities
+        | candidates -> Rng.choice rng (Array.of_list candidates)
+      in
+      targets.(z) <- server;
+      loads.(server) <- loads.(server) +. rates.(z))
+    order;
+  targets

@@ -1,0 +1,12 @@
+(** RanZ — random initial assignment of zones (paper §3.1).
+
+    Zones are taken in decreasing order of population and each is given
+    to a uniformly random server that still has enough capacity for
+    the zone's bandwidth. Delay-oblivious: the baseline the greedy
+    initial assignment is measured against. *)
+
+val assign : Cap_util.Rng.t -> Cap_model.World.t -> int array
+(** Returns the target server of each zone. If no server can fit a
+    zone (infeasible instance), the zone goes to the server with the
+    largest residual capacity — the assignment is then flagged by
+    {!Cap_model.Assignment.violations}. *)

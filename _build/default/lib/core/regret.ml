@@ -1,0 +1,42 @@
+type rule =
+  | Best_minus_second
+  | Second_minus_best
+
+type item = {
+  id : int;
+  prefs : (int * float) array;
+  regret : float;
+}
+
+let order ~ids ~servers ~desirability ~tie_break ~rule =
+  if servers < 1 then invalid_arg "Regret.order: need at least one server";
+  let build id =
+    let prefs = Array.init servers (fun s -> s, desirability id s) in
+    (* Most desirable first; ties by the caller's key, then index, so
+       the whole pipeline is deterministic. *)
+    Array.sort
+      (fun (s1, mu1) (s2, mu2) ->
+        match compare mu2 mu1 with
+        | 0 -> (
+            match compare (tie_break id s1) (tie_break id s2) with
+            | 0 -> compare s1 s2
+            | c -> c)
+        | c -> c)
+      prefs;
+    let regret =
+      if servers = 1 then 0.
+      else begin
+        let best = snd prefs.(0) and second = snd prefs.(1) in
+        match rule with
+        | Best_minus_second -> best -. second
+        | Second_minus_best -> second -. best
+      end
+    in
+    { id; prefs; regret }
+  in
+  let items = Array.map build ids in
+  Array.sort
+    (fun a b ->
+      match compare b.regret a.regret with 0 -> compare a.id b.id | c -> c)
+    items;
+  items

@@ -1,0 +1,38 @@
+(** Shared machinery for the paper's regret-based greedy heuristics
+    (GreZ, Fig. 2 and GreC, Fig. 3).
+
+    Each item (a zone, or a client) ranks all servers by a
+    "desirability" [mu] (the negated assignment cost); items are then
+    processed in an order derived from the gap between their best and
+    second-best options, so that items with the most to lose are placed
+    first — the approach of the generalized-assignment literature the
+    paper cites. *)
+
+type rule =
+  | Best_minus_second
+      (** standard GAP regret [mu_best - mu_second >= 0], largest
+          first (the reading our DESIGN.md argues the authors
+          intended) *)
+  | Second_minus_best
+      (** the formula exactly as printed in the paper's pseudo-code
+          ([<= 0]); kept for the ablation experiment *)
+
+type item = {
+  id : int;                   (** zone or client identifier *)
+  prefs : (int * float) array;
+      (** servers with their desirability, most desirable first *)
+  regret : float;
+}
+
+val order :
+  ids:int array ->
+  servers:int ->
+  desirability:(int -> int -> float) ->
+  tie_break:(int -> int -> float) ->
+  rule:rule ->
+  item array
+(** [order ~ids ~servers ~desirability ~tie_break ~rule] builds each
+    item's full preference list — ties in desirability broken by
+    ascending [tie_break id server], then server index — and returns
+    the items sorted by descending regret (ties by ascending id).
+    Raises [Invalid_argument] if [servers < 1]. *)

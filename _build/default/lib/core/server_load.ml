@@ -1,0 +1,19 @@
+module World = Cap_model.World
+module Traffic = Cap_model.Traffic
+module Scenario = Cap_model.Scenario
+
+let zone_rates world =
+  let traffic = world.World.scenario.Scenario.traffic in
+  Array.map (fun population -> Traffic.zone_rate traffic ~population) (World.zone_population world)
+
+let fallback_server ~loads ~capacities =
+  let best = ref 0 and best_residual = ref neg_infinity in
+  Array.iteri
+    (fun s load ->
+      let residual = capacities.(s) -. load in
+      if residual > !best_residual then begin
+        best := s;
+        best_residual := residual
+      end)
+    loads;
+  !best

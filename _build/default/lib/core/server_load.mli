@@ -1,0 +1,9 @@
+(** Helpers shared by the initial-assignment algorithms. *)
+
+val zone_rates : Cap_model.World.t -> float array
+(** Bandwidth [R_z] of each zone in bits/s under the current
+    populations. *)
+
+val fallback_server : loads:float array -> capacities:float array -> int
+(** Server with the largest residual capacity — the destination of a
+    zone that fits nowhere (infeasible instances only). *)

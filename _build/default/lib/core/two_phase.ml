@@ -1,0 +1,44 @@
+type iap = Cap_util.Rng.t -> Cap_model.World.t -> int array
+type rap = Cap_util.Rng.t -> Cap_model.World.t -> targets:int array -> int array
+
+type t = {
+  name : string;
+  iap : iap;
+  rap : rap;
+}
+
+let ranz : iap = Ranz.assign
+let grez : iap = fun _rng world -> Grez.assign world
+let virc : rap = fun _rng world ~targets -> Virc.assign world ~targets
+let grec : rap = fun _rng world ~targets -> Grec.assign world ~targets
+
+let ranz_virc = { name = "RanZ-VirC"; iap = ranz; rap = virc }
+let ranz_grec = { name = "RanZ-GreC"; iap = ranz; rap = grec }
+let grez_virc = { name = "GreZ-VirC"; iap = grez; rap = virc }
+let grez_grec = { name = "GreZ-GreC"; iap = grez; rap = grec }
+
+let all = [ ranz_virc; ranz_grec; grez_virc; grez_grec ]
+
+let grez_grec_dynamic =
+  {
+    name = "GreZ-GreC(dyn)";
+    iap = (fun _rng world -> Grez.assign ~dynamic:true world);
+    rap = grec;
+  }
+
+let grez_grec_paper_regret =
+  {
+    name = "GreZ-GreC(paper-regret)";
+    iap = (fun _rng world -> Grez.assign ~rule:Regret.Second_minus_best world);
+    rap = (fun _rng world ~targets -> Grec.assign ~rule:Regret.Second_minus_best world ~targets);
+  }
+
+let find name =
+  let normalize s = String.lowercase_ascii (String.trim s) in
+  let candidates = all @ [ grez_grec_dynamic; grez_grec_paper_regret ] in
+  List.find_opt (fun t -> normalize t.name = normalize name) candidates
+
+let run t rng world =
+  let targets = t.iap rng world in
+  let contacts = t.rap rng world ~targets in
+  Cap_model.Assignment.make ~target_of_zone:targets ~contact_of_client:contacts

@@ -1,0 +1,2 @@
+let assign world ~targets =
+  Array.map (fun z -> targets.(z)) world.Cap_model.World.client_zones

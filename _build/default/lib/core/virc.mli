@@ -1,0 +1,8 @@
+(** VirC — virtual-location-based refined assignment (paper §3.2).
+
+    The "natural" rule: every client connects directly to the server
+    hosting its zone, so contact = target, no inter-server forwarding
+    and no extra bandwidth. *)
+
+val assign : Cap_model.World.t -> targets:int array -> int array
+(** Contact server of each client: its zone's target. *)

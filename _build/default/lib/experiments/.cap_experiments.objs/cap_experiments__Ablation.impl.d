@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Cap_core Cap_milp Cap_model Cap_util Common List Printf

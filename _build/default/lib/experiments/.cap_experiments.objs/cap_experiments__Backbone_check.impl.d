@@ -1,0 +1,1 @@
+lib/experiments/backbone_check.ml: Cap_core Cap_model Cap_util Common List Printf

@@ -1,0 +1,1 @@
+lib/experiments/backbone_check.mli: Cap_util

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Cap_core Cap_model Cap_util List String Sys

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Buffer Cap_core Cap_util Fig4 Fig5 Fig6 Filename List Printf Sys Table1 Table3 Table4

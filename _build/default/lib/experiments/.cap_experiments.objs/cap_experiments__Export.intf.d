@@ -1,0 +1,1 @@
+lib/experiments/export.mli: Fig4 Fig5 Fig6

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Cap_core Cap_model Cap_util Common List Printf

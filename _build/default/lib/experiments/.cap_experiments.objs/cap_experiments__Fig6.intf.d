@@ -1,0 +1,1 @@
+lib/experiments/fig6.mli: Cap_model Cap_util

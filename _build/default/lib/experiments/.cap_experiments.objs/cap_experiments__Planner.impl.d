@@ -1,0 +1,1 @@
+lib/experiments/planner.ml: Cap_core Cap_model Cap_util Common List Printf

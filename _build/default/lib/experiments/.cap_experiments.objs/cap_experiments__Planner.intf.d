@@ -1,0 +1,1 @@
+lib/experiments/planner.mli: Cap_core Cap_model Cap_util

@@ -1,0 +1,1 @@
+lib/experiments/queueing_check.ml: Array Cap_core Cap_model Cap_sim Cap_util Common List Printf

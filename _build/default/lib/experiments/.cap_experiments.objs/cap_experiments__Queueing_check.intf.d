@@ -1,0 +1,1 @@
+lib/experiments/queueing_check.mli: Cap_util

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Ablation Backbone_check Cap_core Cap_model Cap_sim Cap_util Common Fig4 Fig5 Fig6 List Printf Queueing_check Stdlib String Table1 Table3 Table4 Timing Vivaldi_check

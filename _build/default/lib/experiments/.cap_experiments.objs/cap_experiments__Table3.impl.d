@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Cap_core Cap_model Cap_util Common List Printf

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Cap_core Cap_model Cap_topology Cap_util Common List Printf

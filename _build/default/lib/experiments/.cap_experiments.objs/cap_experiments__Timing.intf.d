@@ -1,0 +1,1 @@
+lib/experiments/timing.mli: Cap_util

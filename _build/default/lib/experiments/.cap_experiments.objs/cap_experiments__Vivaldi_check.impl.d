@@ -1,0 +1,1 @@
+lib/experiments/vivaldi_check.ml: Cap_core Cap_model Cap_topology Cap_util Common List Printf

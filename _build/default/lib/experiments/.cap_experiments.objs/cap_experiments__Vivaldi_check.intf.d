@@ -1,0 +1,1 @@
+lib/experiments/vivaldi_check.mli: Cap_topology Cap_util

@@ -1,0 +1,165 @@
+module Rng = Cap_util.Rng
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Two_phase = Cap_core.Two_phase
+
+type variant_row = {
+  name : string;
+  pqos : float;
+  utilization : float;
+  seconds : float;
+}
+
+type bound_row = {
+  bound : string;
+  nodes : float;
+  seconds : float;
+  proven_fraction : float;
+}
+
+type t = {
+  variants : variant_row list;
+  bounds : bound_row list;
+}
+
+(* LP-relaxation rounding as the initial phase, then GreC. *)
+let lpr_grec =
+  {
+    Two_phase.name = "LPR-GreC";
+    iap = (fun _rng world -> Cap_milp.Lp_rounding.iap_targets world);
+    rap = (fun _rng world ~targets -> Cap_core.Grec.assign world ~targets);
+  }
+
+(* GreZ annealed further, then GreC. *)
+let grez_sa_grec =
+  {
+    Two_phase.name = "GreZ+SA-GreC";
+    iap =
+      (fun rng world ->
+        let targets = Cap_core.Grez.assign world in
+        (Cap_core.Annealing.improve rng world ~targets).Cap_core.Annealing.targets);
+    rap = (fun _rng world ~targets -> Cap_core.Grec.assign world ~targets);
+  }
+
+(* GreZ evolved further by the genetic algorithm, then GreC. *)
+let grez_ga_grec =
+  {
+    Two_phase.name = "GreZ+GA-GreC";
+    iap =
+      (fun rng world ->
+        let targets = Cap_core.Grez.assign world in
+        (Cap_core.Genetic.improve rng world ~targets).Cap_core.Genetic.targets);
+    rap = (fun _rng world ~targets -> Cap_core.Grec.assign world ~targets);
+  }
+
+(* GreZ followed by the local-search post-pass, then GreC. *)
+let grez_ls_grec =
+  {
+    Two_phase.name = "GreZ+LS-GreC";
+    iap =
+      (fun _rng world ->
+        let targets = Cap_core.Grez.assign world in
+        (Cap_core.Local_search.improve world ~targets).Cap_core.Local_search.targets);
+    rap = (fun _rng world ~targets -> Cap_core.Grec.assign world ~targets);
+  }
+
+let variants =
+  [
+    Two_phase.grez_grec;
+    Two_phase.grez_grec_dynamic;
+    Two_phase.grez_grec_paper_regret;
+    grez_ls_grec;
+    grez_sa_grec;
+    grez_ga_grec;
+    lpr_grec;
+  ]
+
+let run ?runs ?(seed = 1) () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  let per_run =
+    Common.replicate ~runs ~seed (fun rng ->
+        let world = World.generate rng Scenario.default in
+        List.map
+          (fun algorithm ->
+            let assignment, seconds =
+              Common.time_cpu (fun () -> Two_phase.run algorithm (Rng.split rng) world)
+            in
+            ( algorithm.Two_phase.name,
+              (Assignment.pqos assignment world, Assignment.utilization assignment world, seconds)
+            ))
+          variants)
+  in
+  let variant_rows =
+    List.map
+      (fun algorithm ->
+        let name = algorithm.Two_phase.name in
+        let values = List.map (fun r -> List.assoc name r) per_run in
+        {
+          name;
+          pqos = Common.mean_by (fun (p, _, _) -> p) values;
+          utilization = Common.mean_by (fun (_, u, _) -> u) values;
+          seconds = Common.mean_by (fun (_, _, s) -> s) values;
+        })
+      variants
+  in
+  let smallest = List.hd Scenario.small_configurations in
+  let bound_runs = min runs 10 in
+  let bounds_of kind name =
+    let per_run =
+      Common.replicate ~runs:bound_runs ~seed (fun rng ->
+          let world = World.generate rng smallest in
+          let gap = Cap_milp.Optimal.iap_instance world in
+          let options =
+            { Cap_milp.Branch_bound.default_options with bound = kind; time_limit = 10. }
+          in
+          let result = Cap_milp.Branch_bound.solve ~options gap in
+          ( float_of_int result.Cap_milp.Branch_bound.nodes,
+            result.Cap_milp.Branch_bound.elapsed,
+            if result.Cap_milp.Branch_bound.proven_optimal then 1. else 0. ))
+    in
+    {
+      bound = name;
+      nodes = Common.mean_by (fun (n, _, _) -> n) per_run;
+      seconds = Common.mean_by (fun (_, s, _) -> s) per_run;
+      proven_fraction = Common.mean_by (fun (_, _, p) -> p) per_run;
+    }
+  in
+  {
+    variants = variant_rows;
+    bounds =
+      [
+        bounds_of Cap_milp.Branch_bound.Combinatorial "combinatorial";
+        bounds_of Cap_milp.Branch_bound.Lp_relaxation "LP relaxation";
+      ];
+  }
+
+let to_tables t =
+  let variant_table =
+    Table.create ~headers:[ "variant"; "pQoS"; "R"; "time (s)" ] ()
+  in
+  List.iter
+    (fun row ->
+      Table.add_row variant_table
+        [
+          row.name;
+          Printf.sprintf "%.3f" row.pqos;
+          Printf.sprintf "%.3f" row.utilization;
+          Printf.sprintf "%.4f" row.seconds;
+        ])
+    t.variants;
+  let bound_table =
+    Table.create ~headers:[ "B&B bound"; "nodes"; "time (s)"; "proven optimal" ] ()
+  in
+  List.iter
+    (fun row ->
+      Table.add_row bound_table
+        [
+          row.bound;
+          Printf.sprintf "%.0f" row.nodes;
+          Printf.sprintf "%.3f" row.seconds;
+          Printf.sprintf "%.0f%%" (100. *. row.proven_fraction);
+        ])
+    t.bounds;
+  variant_table, bound_table

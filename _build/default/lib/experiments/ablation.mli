@@ -1,0 +1,33 @@
+(** Ablations of the design choices DESIGN.md calls out:
+
+    - the regret reading in the greedy heuristics (standard
+      best-minus-second vs the formula as literally printed);
+    - static regret computed once (the paper's pseudo-code) vs dynamic
+      recomputation after every placement;
+    - a single-zone local-search post-pass on the initial assignment;
+    - LP-relaxation rounding as an alternative initial phase;
+    - the branch-and-bound lower bound (combinatorial vs LP
+      relaxation). *)
+
+type variant_row = {
+  name : string;
+  pqos : float;
+  utilization : float;
+  seconds : float;
+}
+
+type bound_row = {
+  bound : string;
+  nodes : float;
+  seconds : float;
+  proven_fraction : float;
+}
+
+type t = {
+  variants : variant_row list;   (** on the default configuration *)
+  bounds : bound_row list;       (** IAP B&B on the smallest configuration *)
+}
+
+val run : ?runs:int -> ?seed:int -> unit -> t
+
+val to_tables : t -> Cap_util.Table.t * Cap_util.Table.t

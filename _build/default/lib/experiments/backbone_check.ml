@@ -1,0 +1,40 @@
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+
+type row = {
+  name : string;
+  pqos : float;
+  utilization : float;
+}
+
+type t = row list
+
+let run ?runs ?(seed = 1) ?(access_nodes = 475) () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  let scenario =
+    { Scenario.default with Scenario.topology = Scenario.Att_backbone { access_nodes } }
+  in
+  let per_run =
+    Common.replicate ~runs ~seed (fun rng ->
+        let world = World.generate rng scenario in
+        List.map
+          (fun (name, assignment) -> name, Common.measure assignment world)
+          (Common.run_all_algorithms rng world))
+  in
+  List.map
+    (fun algorithm ->
+      let name = algorithm.Cap_core.Two_phase.name in
+      let ms = List.map (fun r -> List.assoc name r) per_run in
+      let m = Common.mean_measured ms in
+      { name; pqos = m.Common.pqos; utilization = m.Common.utilization })
+    Cap_core.Two_phase.all
+
+let to_table t =
+  let table = Table.create ~headers:[ "algorithm"; "pQoS"; "R" ] () in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [ row.name; Printf.sprintf "%.3f" row.pqos; Printf.sprintf "%.3f" row.utilization ])
+    t;
+  table

@@ -1,0 +1,18 @@
+(** The paper's "real topology" check: it reports that experiments on
+    the AT&T US continental backbone give results similar to the
+    BRITE-generated topology. This experiment runs the default
+    configuration on our backbone model (25 core cities plus random
+    access nodes, 500 nodes in total) for comparison against the
+    BRITE row of Table 1. *)
+
+type row = {
+  name : string;
+  pqos : float;
+  utilization : float;
+}
+
+type t = row list
+
+val run : ?runs:int -> ?seed:int -> ?access_nodes:int -> unit -> t
+
+val to_table : t -> Cap_util.Table.t

@@ -1,0 +1,46 @@
+module Rng = Cap_util.Rng
+
+let paper_runs = 50
+
+let default_runs () =
+  match Sys.getenv_opt "CAP_RUNS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n > 0 -> n
+      | Some _ | None -> paper_runs)
+  | None -> paper_runs
+
+let replicate ~runs ~seed body =
+  if runs <= 0 then invalid_arg "Common.replicate: runs must be positive";
+  let master = Rng.create ~seed in
+  List.init runs (fun _ -> body (Rng.split master))
+
+let mean_by f = function
+  | [] -> invalid_arg "Common.mean_by: empty list"
+  | xs -> List.fold_left (fun acc x -> acc +. f x) 0. xs /. float_of_int (List.length xs)
+
+type measured = {
+  pqos : float;
+  utilization : float;
+}
+
+let measure assignment world =
+  {
+    pqos = Cap_model.Assignment.pqos assignment world;
+    utilization = Cap_model.Assignment.utilization assignment world;
+  }
+
+let mean_measured ms =
+  { pqos = mean_by (fun m -> m.pqos) ms; utilization = mean_by (fun m -> m.utilization) ms }
+
+let run_all_algorithms rng world =
+  List.map
+    (fun algorithm ->
+      ( algorithm.Cap_core.Two_phase.name,
+        Cap_core.Two_phase.run algorithm (Rng.split rng) world ))
+    Cap_core.Two_phase.all
+
+let time_cpu f =
+  let start = Sys.time () in
+  let result = f () in
+  result, Sys.time () -. start

@@ -1,0 +1,39 @@
+(** Shared experiment plumbing: seeded replication and aggregate
+    metrics, mirroring the paper's methodology of averaging 50
+    simulation runs per data point. *)
+
+val paper_runs : int
+(** 50 — the paper's replication count. *)
+
+val default_runs : unit -> int
+(** [CAP_RUNS] from the environment if set and positive, otherwise
+    {!paper_runs}. Benchmarks use this to trade precision for time. *)
+
+val replicate : runs:int -> seed:int -> (Cap_util.Rng.t -> 'a) -> 'a list
+(** Run the body once per replicate, each with an independent RNG
+    stream derived deterministically from [seed]. Raises
+    [Invalid_argument] if [runs <= 0]. *)
+
+val mean_by : ('a -> float) -> 'a list -> float
+(** Mean of a projection; raises [Invalid_argument] on []. *)
+
+type measured = {
+  pqos : float;
+  utilization : float;
+}
+(** The paper's two performance measures for one algorithm. *)
+
+val measure :
+  Cap_model.Assignment.t -> Cap_model.World.t -> measured
+
+val mean_measured : measured list -> measured
+
+val run_all_algorithms :
+  Cap_util.Rng.t ->
+  Cap_model.World.t ->
+  (string * Cap_model.Assignment.t) list
+(** Every paper algorithm executed on the same world (same inputs, as
+    in the paper's comparisons). *)
+
+val time_cpu : (unit -> 'a) -> 'a * float
+(** Result and elapsed CPU seconds. *)

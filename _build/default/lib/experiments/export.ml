@@ -1,0 +1,90 @@
+module Table = Cap_util.Table
+
+let algorithm_names = List.map (fun a -> a.Cap_core.Two_phase.name) Cap_core.Two_phase.all
+
+let series_csv ~x_header ~x_values ~format_x series =
+  let table = Table.create ~headers:(x_header :: List.map fst series) () in
+  Array.iteri
+    (fun i x ->
+      Table.add_row table
+        (format_x x :: List.map (fun (_, ys) -> Printf.sprintf "%.4f" ys.(i)) series))
+    x_values;
+  Table.to_csv table
+
+let fig4_csv (t : Fig4.t) =
+  series_csv ~x_header:"delay_ms" ~x_values:t.Fig4.grid
+    ~format_x:(Printf.sprintf "%.0f") t.Fig4.series
+
+let fig5_csv (t : Fig5.t) =
+  let make series =
+    series_csv ~x_header:"delta" ~x_values:t.Fig5.deltas ~format_x:(Printf.sprintf "%.1f")
+      series
+  in
+  make t.Fig5.pqos, make t.Fig5.utilization
+
+let fig6_csv (t : Fig6.t) =
+  let x_values = Array.map float_of_int t.Fig6.types in
+  let make series =
+    series_csv ~x_header:"distribution_type" ~x_values ~format_x:(Printf.sprintf "%.0f")
+      series
+  in
+  make t.Fig6.pqos, make t.Fig6.utilization
+
+let gnuplot_script ~csv ~title ~xlabel ~ylabel ~columns =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "set datafile separator \",\"\n";
+  Buffer.add_string buf (Printf.sprintf "set title %S\n" title);
+  Buffer.add_string buf (Printf.sprintf "set xlabel %S\n" xlabel);
+  Buffer.add_string buf (Printf.sprintf "set ylabel %S\n" ylabel);
+  Buffer.add_string buf "set key bottom right\n";
+  Buffer.add_string buf "set grid\n";
+  Buffer.add_string buf "plot \\\n";
+  List.iteri
+    (fun i name ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S using 1:%d with linespoints title %S%s\n" csv (i + 2) name
+           (if i = List.length columns - 1 then "" else ", \\")))
+    columns;
+  Buffer.contents buf
+
+type written = {
+  directory : string;
+  files : string list;
+}
+
+let write_all ?runs ?(seed = 1) ~directory () =
+  if not (Sys.file_exists directory) then Sys.mkdir directory 0o755;
+  let files = ref [] in
+  let write name contents =
+    let path = Filename.concat directory name in
+    let out = open_out path in
+    output_string out contents;
+    close_out out;
+    files := name :: !files
+  in
+  let figure ~base ~title ~xlabel csv =
+    write (base ^ ".csv") csv;
+    write (base ^ ".gp")
+      (gnuplot_script ~csv:(base ^ ".csv") ~title ~xlabel ~ylabel:"value"
+         ~columns:algorithm_names)
+  in
+  let fig4 = Fig4.run ?runs ~seed () in
+  figure ~base:"fig4_delay_cdf" ~title:"Fig 4: CDF of delays (30s-160z-2000c-1000cp)"
+    ~xlabel:"delay (ms)" (fig4_csv fig4);
+  let fig5 = Fig5.run ?runs ~seed () in
+  let f5_pqos, f5_util = fig5_csv fig5 in
+  figure ~base:"fig5a_pqos_vs_correlation" ~title:"Fig 5(a): pQoS vs correlation"
+    ~xlabel:"correlation" f5_pqos;
+  figure ~base:"fig5b_utilization_vs_correlation"
+    ~title:"Fig 5(b): resource utilization vs correlation" ~xlabel:"correlation" f5_util;
+  let fig6 = Fig6.run ?runs ~seed () in
+  let f6_pqos, f6_util = fig6_csv fig6 in
+  figure ~base:"fig6a_pqos_vs_distribution" ~title:"Fig 6(a): pQoS vs distribution type"
+    ~xlabel:"distribution type" f6_pqos;
+  figure ~base:"fig6b_utilization_vs_distribution"
+    ~title:"Fig 6(b): resource utilization vs distribution type" ~xlabel:"distribution type"
+    f6_util;
+  write "table1.csv" (Table.to_csv (Table1.to_table (Table1.run ?runs ~seed ~with_optimal:false ())));
+  write "table3.csv" (Table.to_csv (Table3.to_table (Table3.run ?runs ~seed ())));
+  write "table4.csv" (Table.to_csv (Table4.to_table (Table4.run ?runs ~seed ())));
+  { directory; files = List.rev !files }

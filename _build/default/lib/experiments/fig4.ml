@@ -1,0 +1,90 @@
+module Stats = Cap_util.Stats
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+type t = {
+  grid : float array;
+  series : (string * float array) list;
+}
+
+let algorithm_names = List.map (fun a -> a.Cap_core.Two_phase.name) Cap_core.Two_phase.all
+
+let scenario () =
+  List.nth Scenario.table1_configurations 3 (* 30s-160z-2000c-1000cp *)
+
+let grid = Array.init 26 (fun i -> 250. +. (10. *. float_of_int i))
+
+let run ?runs ?(seed = 1) () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  let scenario = scenario () in
+  let per_run =
+    Common.replicate ~runs ~seed (fun rng ->
+        let world = World.generate rng scenario in
+        List.map
+          (fun (name, assignment) ->
+            let cdf = Stats.Cdf.of_samples (Assignment.delay_samples assignment world) in
+            name, Array.map (Stats.Cdf.eval cdf) grid)
+          (Common.run_all_algorithms rng world))
+  in
+  let series =
+    List.map
+      (fun name ->
+        let curves = List.map (fun run -> List.assoc name run) per_run in
+        let mean =
+          Array.init (Array.length grid) (fun i ->
+              Common.mean_by (fun curve -> curve.(i)) curves)
+        in
+        name, mean)
+      algorithm_names
+  in
+  { grid; series }
+
+(* Approximate values read off the published figure. *)
+let paper =
+  [
+    "RanZ-VirC", [ 250., 0.58; 300., 0.66; 350., 0.74; 400., 0.83; 450., 0.92; 500., 1.0 ];
+    "RanZ-GreC", [ 250., 0.76; 300., 0.81; 350., 0.86; 400., 0.91; 450., 0.96; 500., 1.0 ];
+    "GreZ-VirC", [ 250., 0.91; 300., 0.94; 350., 0.96; 400., 0.98; 450., 0.99; 500., 1.0 ];
+    "GreZ-GreC", [ 250., 0.96; 300., 0.98; 350., 0.99; 400., 0.995; 450., 1.0; 500., 1.0 ];
+  ]
+
+let to_table t =
+  let headers =
+    "delay (ms)" :: List.concat_map (fun name -> [ name; "(paper)" ]) algorithm_names
+  in
+  let table = Table.create ~headers () in
+  Array.iteri
+    (fun i d ->
+      (* Print every other point to keep the table readable. *)
+      if i mod 2 = 0 then begin
+        let cells =
+          List.concat_map
+            (fun name ->
+              let curve = List.assoc name t.series in
+              let reference =
+                match List.assoc_opt name paper with
+                | None -> "-"
+                | Some points -> (
+                    match List.assoc_opt d points with
+                    | Some v -> Printf.sprintf "%.2f" v
+                    | None -> "-")
+              in
+              [ Printf.sprintf "%.3f" curve.(i); reference ])
+            algorithm_names
+        in
+        Table.add_row table (Printf.sprintf "%.0f" d :: cells)
+      end)
+    t.grid;
+  table
+
+let crossing_delay t name level =
+  match List.assoc_opt name t.series with
+  | None -> None
+  | Some curve ->
+      let result = ref None in
+      Array.iteri
+        (fun i v -> if !result = None && v >= level then result := Some t.grid.(i))
+        curve;
+      !result

@@ -1,0 +1,98 @@
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+
+type t = {
+  deltas : float array;
+  pqos : (string * float array) list;
+  utilization : (string * float array) list;
+}
+
+let algorithm_names = List.map (fun a -> a.Cap_core.Two_phase.name) Cap_core.Two_phase.all
+
+let deltas = [| 0.; 0.2; 0.4; 0.6; 0.8; 1.0 |]
+
+let run ?runs ?(seed = 1) () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  let base = { Scenario.default with Scenario.delay_bound = 200. } in
+  let per_delta =
+    Array.map
+      (fun delta ->
+        let scenario = { base with Scenario.correlation = delta } in
+        let results =
+          Common.replicate ~runs ~seed (fun rng ->
+              let world = World.generate rng scenario in
+              List.map
+                (fun (name, assignment) -> name, Common.measure assignment world)
+                (Common.run_all_algorithms rng world))
+        in
+        List.map
+          (fun name ->
+            let ms = List.map (fun r -> List.assoc name r) results in
+            name, Common.mean_measured ms)
+          algorithm_names)
+      deltas
+  in
+  let series f =
+    List.map
+      (fun name -> name, Array.map (fun cells -> f (List.assoc name cells)) per_delta)
+      algorithm_names
+  in
+  {
+    deltas;
+    pqos = series (fun m -> m.Common.pqos);
+    utilization = series (fun m -> m.Common.utilization);
+  }
+
+(* Points read off the published figure. *)
+let paper_pqos =
+  [
+    "RanZ-VirC", [ 0., 0.48; 0.2, 0.48; 0.4, 0.49; 0.6, 0.49; 0.8, 0.50; 1.0, 0.50 ];
+    "RanZ-GreC", [ 0., 0.63; 0.2, 0.64; 0.4, 0.65; 0.6, 0.66; 0.8, 0.67; 1.0, 0.68 ];
+    "GreZ-VirC", [ 0., 0.80; 0.2, 0.83; 0.4, 0.86; 0.6, 0.90; 0.8, 0.94; 1.0, 0.97 ];
+    "GreZ-GreC", [ 0., 0.87; 0.2, 0.89; 0.4, 0.91; 0.6, 0.94; 0.8, 0.96; 1.0, 0.98 ];
+  ]
+
+let paper_utilization =
+  [
+    "RanZ-VirC", [ 0., 0.58; 0.2, 0.58; 0.4, 0.58; 0.6, 0.58; 0.8, 0.58; 1.0, 0.58 ];
+    "RanZ-GreC", [ 0., 0.90; 0.2, 0.90; 0.4, 0.89; 0.6, 0.89; 0.8, 0.88; 1.0, 0.88 ];
+    "GreZ-VirC", [ 0., 0.58; 0.2, 0.58; 0.4, 0.58; 0.6, 0.58; 0.8, 0.58; 1.0, 0.58 ];
+    "GreZ-GreC", [ 0., 0.72; 0.2, 0.70; 0.4, 0.67; 0.6, 0.64; 0.8, 0.61; 1.0, 0.59 ];
+  ]
+
+let render ~what ~reference series =
+  let headers =
+    "delta" :: List.concat_map (fun name -> [ name; "(paper)" ]) algorithm_names
+  in
+  let table = Table.create ~headers () in
+  Array.iteri
+    (fun i delta ->
+      let cells =
+        List.concat_map
+          (fun name ->
+            let values = List.assoc name series in
+            let ref_value =
+              match List.assoc_opt name reference with
+              | None -> "-"
+              | Some points -> (
+                  match List.assoc_opt delta points with
+                  | Some v -> Printf.sprintf "%.2f" v
+                  | None -> "-")
+            in
+            [ Printf.sprintf "%.3f" values.(i); ref_value ])
+          algorithm_names
+      in
+      Table.add_row table (Printf.sprintf "%.1f" delta :: cells))
+    deltas;
+  ignore what;
+  table
+
+let to_tables t =
+  ( render ~what:"pQoS" ~reference:paper_pqos t.pqos,
+    render ~what:"R" ~reference:paper_utilization t.utilization )
+
+let slope t name =
+  match List.assoc_opt name t.pqos with
+  | None -> 0.
+  | Some values -> values.(Array.length values - 1) -. values.(0)

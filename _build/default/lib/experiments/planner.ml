@@ -1,0 +1,91 @@
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+type probe = {
+  capacity_mbps : float;
+  pqos : float;
+  feasible_fraction : float;
+}
+
+type plan = {
+  required_mbps : float option;
+  ceiling_pqos : float;
+  probes : probe list;
+}
+
+let measure ~runs ~seed ~algorithm scenario capacity_mbps =
+  let scenario =
+    {
+      scenario with
+      Scenario.total_capacity = Cap_model.Traffic.of_mbps capacity_mbps;
+      name = Printf.sprintf "%s@%.0fMbps" scenario.Scenario.name capacity_mbps;
+    }
+  in
+  let results =
+    Common.replicate ~runs ~seed (fun rng ->
+        let world = World.generate rng scenario in
+        let assignment = Cap_core.Two_phase.run algorithm rng world in
+        Assignment.pqos assignment world, if Assignment.is_valid assignment world then 1. else 0.)
+  in
+  {
+    capacity_mbps;
+    pqos = Common.mean_by fst results;
+    feasible_fraction = Common.mean_by snd results;
+  }
+
+let plan ?(runs = 5) ?(seed = 1) ?(algorithm = Cap_core.Two_phase.grez_grec)
+    ?(lo_mbps = 250.) ?(hi_mbps = 2000.) ?(tolerance_mbps = 25.) ~target_pqos scenario =
+  if target_pqos <= 0. || target_pqos > 1. then
+    invalid_arg "Planner.plan: target_pqos outside (0, 1]";
+  if lo_mbps <= 0. || hi_mbps <= lo_mbps || tolerance_mbps <= 0. then
+    invalid_arg "Planner.plan: bad capacity bounds";
+  if Cap_model.Traffic.of_mbps lo_mbps
+     < float_of_int scenario.Scenario.servers *. scenario.Scenario.min_server_capacity
+  then invalid_arg "Planner.plan: lower bound below the per-server minimum";
+  let probes = ref [] in
+  let probe capacity =
+    let p = measure ~runs ~seed ~algorithm scenario capacity in
+    probes := p :: !probes;
+    p
+  in
+  let ceiling = probe hi_mbps in
+  let result =
+    if ceiling.pqos < target_pqos then None
+    else begin
+      (* invariant: pqos(lo) < target <= pqos(hi) — bisect until the
+         bracket closes *)
+      let lo_probe = probe lo_mbps in
+      if lo_probe.pqos >= target_pqos then Some lo_mbps
+      else begin
+        let lo = ref lo_mbps and hi = ref hi_mbps in
+        while !hi -. !lo > tolerance_mbps do
+          let mid = (!lo +. !hi) /. 2. in
+          let p = probe mid in
+          if p.pqos >= target_pqos then hi := mid else lo := mid
+        done;
+        Some !hi
+      end
+    end
+  in
+  {
+    required_mbps = result;
+    ceiling_pqos = ceiling.pqos;
+    probes = List.sort (fun a b -> compare a.capacity_mbps b.capacity_mbps) !probes;
+  }
+
+let to_table plan =
+  let table =
+    Table.create ~headers:[ "capacity (Mbps)"; "pQoS"; "feasible runs" ] ()
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f" p.capacity_mbps;
+          Printf.sprintf "%.3f" p.pqos;
+          Printf.sprintf "%.0f%%" (100. *. p.feasible_fraction);
+        ])
+    plan.probes;
+  table

@@ -1,0 +1,42 @@
+(** Capacity planning on top of the assignment algorithms: the
+    operator-facing question "how much total server bandwidth does this
+    deployment need for a target interactivity?".
+
+    pQoS under a fixed algorithm is monotone (in expectation) in the
+    total capacity until it saturates at the topology-limited ceiling,
+    so a bisection over capacity answers the question with a handful of
+    simulations per probe. *)
+
+type probe = {
+  capacity_mbps : float;
+  pqos : float;            (** mean over runs *)
+  feasible_fraction : float;  (** runs with no capacity violation *)
+}
+
+type plan = {
+  required_mbps : float option;
+      (** smallest probed capacity reaching the target, if any *)
+  ceiling_pqos : float;
+      (** pQoS at the upper capacity bound — the topology-limited
+          maximum the algorithm can reach *)
+  probes : probe list;  (** every bisection probe, ascending capacity *)
+}
+
+val plan :
+  ?runs:int ->
+  ?seed:int ->
+  ?algorithm:Cap_core.Two_phase.t ->
+  ?lo_mbps:float ->
+  ?hi_mbps:float ->
+  ?tolerance_mbps:float ->
+  target_pqos:float ->
+  Cap_model.Scenario.t ->
+  plan
+(** Bisect total capacity in [[lo_mbps, hi_mbps]] (defaults 250–2000,
+    tolerance 25) for the given scenario shape (its own capacity field
+    is ignored). [algorithm] defaults to GreZ-GreC; [runs] defaults to
+    5. Raises [Invalid_argument] if [target_pqos] is outside (0, 1],
+    bounds are non-positive or inverted, or the scenario's per-server
+    minimum exceeds the lower bound. *)
+
+val to_table : plan -> Cap_util.Table.t

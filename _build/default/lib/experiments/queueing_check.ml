@@ -1,0 +1,71 @@
+module Rng = Cap_util.Rng
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Fluid = Cap_sim.Fluid_sim
+
+type row = {
+  name : string;
+  nominal : float;
+  effective : float;
+  effective_provisioned : float;
+  queueing_ms : float;
+}
+
+type t = row list
+
+let algorithm_names = List.map (fun a -> a.Cap_core.Two_phase.name) Cap_core.Two_phase.all
+
+let run ?runs ?(seed = 1) () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  let per_run =
+    Common.replicate ~runs ~seed (fun rng ->
+        let world = World.generate rng Scenario.default in
+        let provisioned =
+          { world with World.capacities = Array.map (fun c -> 2. *. c) world.World.capacities }
+        in
+        List.map
+          (fun (name, assignment) ->
+            let tight = Fluid.run (Rng.split rng) world assignment in
+            let roomy = Fluid.run (Rng.split rng) provisioned assignment in
+            ( name,
+              ( tight.Fluid.nominal_pqos,
+                tight.Fluid.effective_pqos,
+                roomy.Fluid.effective_pqos,
+                tight.Fluid.mean_queueing_delay ) ))
+          (Common.run_all_algorithms rng world))
+  in
+  List.map
+    (fun name ->
+      let values = List.map (fun r -> List.assoc name r) per_run in
+      {
+        name;
+        nominal = Common.mean_by (fun (n, _, _, _) -> n) values;
+        effective = Common.mean_by (fun (_, e, _, _) -> e) values;
+        effective_provisioned = Common.mean_by (fun (_, _, p, _) -> p) values;
+        queueing_ms = Common.mean_by (fun (_, _, _, q) -> q) values;
+      })
+    algorithm_names
+
+let to_table t =
+  let table =
+    Table.create
+      ~headers:
+        [
+          "algorithm"; "nominal pQoS"; "effective pQoS"; "effective @2x capacity";
+          "mean queueing (ms)";
+        ]
+      ()
+  in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [
+          row.name;
+          Printf.sprintf "%.3f" row.nominal;
+          Printf.sprintf "%.3f" row.effective;
+          Printf.sprintf "%.3f" row.effective_provisioned;
+          Printf.sprintf "%.1f" row.queueing_ms;
+        ])
+    t;
+  table

@@ -1,0 +1,25 @@
+(** Extension: validating the paper's delay model with the fluid
+    queueing simulator.
+
+    The paper equates communication delay with network delay, justified
+    by the capacity constraint (Eq. 2). This experiment measures the
+    {e effective} pQoS — including egress queueing under bursty load —
+    for each algorithm, on the default configuration and on a
+    provisioned variant with double the capacity. The gap between
+    nominal and effective pQoS quantifies how much headroom the
+    assumption actually needs. *)
+
+type row = {
+  name : string;
+  nominal : float;             (** paper's pQoS *)
+  effective : float;           (** pQoS including queueing delay *)
+  effective_provisioned : float;
+      (** same with 2x capacity (same placement decisions) *)
+  queueing_ms : float;         (** mean added delay at 1x capacity *)
+}
+
+type t = row list
+
+val run : ?runs:int -> ?seed:int -> unit -> t
+
+val to_table : t -> Cap_util.Table.t

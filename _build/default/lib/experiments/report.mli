@@ -1,0 +1,31 @@
+(** One-stop reproduction report: runs every table and figure of the
+    paper's evaluation (plus the extensions) and prints them with the
+    published values alongside. *)
+
+type section =
+  | Table1
+  | Fig4
+  | Fig5
+  | Fig6
+  | Table3
+  | Table4
+  | Timing
+  | Ablation
+  | Backbone
+  | Dynamics
+  | Vivaldi
+  | Queueing
+
+val all_sections : section list
+
+val section_of_string : string -> section option
+(** Accepts names like "table1", "fig4", "backbone" (case
+    insensitive). *)
+
+val section_name : section -> string
+
+val print_section :
+  ?runs:int -> ?seed:int -> ?optimal_time_limit:float -> section -> unit
+(** Run one section and print its table(s) to stdout with headers. *)
+
+val print_all : ?runs:int -> ?seed:int -> ?optimal_time_limit:float -> unit -> unit

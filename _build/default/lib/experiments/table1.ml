@@ -1,0 +1,173 @@
+module Rng = Cap_util.Rng
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+type cell = {
+  pqos : float;
+  utilization : float;
+}
+
+type optimal_cell = {
+  cell : cell;
+  iap_seconds : float;
+  rap_seconds : float;
+  proven_fraction : float;
+}
+
+type row = {
+  scenario : Scenario.t;
+  cells : (string * cell) list;
+  optimal : optimal_cell option;
+}
+
+type t = row list
+
+let algorithm_names = List.map (fun a -> a.Cap_core.Two_phase.name) Cap_core.Two_phase.all
+
+let cell_of (m : Common.measured) =
+  { pqos = m.Common.pqos; utilization = m.Common.utilization }
+
+type one_run = {
+  by_algorithm : (string * Common.measured) list;
+  optimal_run : (Common.measured * Cap_milp.Optimal.stats * Cap_milp.Optimal.stats) option;
+}
+
+let run_one rng scenario ~with_optimal ~optimal_time_limit =
+  let world = World.generate rng scenario in
+  let by_algorithm =
+    List.map
+      (fun (name, assignment) -> name, Common.measure assignment world)
+      (Common.run_all_algorithms rng world)
+  in
+  let optimal_run =
+    if not with_optimal then None
+    else begin
+      let options =
+        { Cap_milp.Branch_bound.default_options with time_limit = optimal_time_limit }
+      in
+      match Cap_milp.Optimal.solve ~options world with
+      | None -> None
+      | Some (assignment, iap_stats, rap_stats) ->
+          Some (Common.measure assignment world, iap_stats, rap_stats)
+    end
+  in
+  { by_algorithm; optimal_run }
+
+let aggregate scenario results =
+  let cells =
+    List.map
+      (fun name ->
+        let measures = List.map (fun r -> List.assoc name r.by_algorithm) results in
+        name, cell_of (Common.mean_measured measures))
+      algorithm_names
+  in
+  let optimal_runs = List.filter_map (fun r -> r.optimal_run) results in
+  let optimal =
+    match optimal_runs with
+    | [] -> None
+    | runs ->
+        let measures = List.map (fun (m, _, _) -> m) runs in
+        let iap_seconds = Common.mean_by (fun (_, i, _) -> i.Cap_milp.Optimal.elapsed) runs in
+        let rap_seconds = Common.mean_by (fun (_, _, r) -> r.Cap_milp.Optimal.elapsed) runs in
+        let proven_fraction =
+          Common.mean_by
+            (fun (_, i, r) ->
+              if i.Cap_milp.Optimal.proven_optimal && r.Cap_milp.Optimal.proven_optimal then 1.
+              else 0.)
+            runs
+        in
+        Some
+          { cell = cell_of (Common.mean_measured measures); iap_seconds; rap_seconds;
+            proven_fraction }
+  in
+  { scenario; cells; optimal }
+
+let run ?runs ?(seed = 1) ?(with_optimal = true) ?(optimal_time_limit = 5.) () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  let small = List.map Scenario.notation Scenario.small_configurations in
+  List.map
+    (fun scenario ->
+      let optimal_here = with_optimal && List.mem (Scenario.notation scenario) small in
+      let results =
+        Common.replicate ~runs ~seed (fun rng ->
+            run_one rng scenario ~with_optimal:optimal_here ~optimal_time_limit)
+      in
+      aggregate scenario results)
+    Scenario.table1_configurations
+
+let paper =
+  let c p u = { pqos = p; utilization = u } in
+  [
+    ( "5s-15z-200c-100cp",
+      [
+        "RanZ-VirC", c 0.57 0.60;
+        "RanZ-GreC", c 0.66 0.77;
+        "GreZ-VirC", c 0.79 0.60;
+        "GreZ-GreC", c 0.82 0.66;
+      ],
+      Some (c 0.83 0.73) );
+    ( "10s-30z-400c-200cp",
+      [
+        "RanZ-VirC", c 0.57 0.61;
+        "RanZ-GreC", c 0.69 0.84;
+        "GreZ-VirC", c 0.83 0.61;
+        "GreZ-GreC", c 0.88 0.69;
+      ],
+      Some (c 0.89 0.69) );
+    ( "20s-80z-1000c-500cp",
+      [
+        "RanZ-VirC", c 0.61 0.58;
+        "RanZ-GreC", c 0.75 0.88;
+        "GreZ-VirC", c 0.89 0.58;
+        "GreZ-GreC", c 0.94 0.66;
+      ],
+      None );
+    ( "30s-160z-2000c-1000cp",
+      [
+        "RanZ-VirC", c 0.58 0.58;
+        "RanZ-GreC", c 0.76 0.93;
+        "GreZ-VirC", c 0.91 0.58;
+        "GreZ-GreC", c 0.96 0.65;
+      ],
+      None );
+  ]
+
+let show_cell c = Printf.sprintf "%.2f (%.2f)" c.pqos c.utilization
+
+let paper_cell config name =
+  match List.find_opt (fun (cfg, _, _) -> cfg = config) paper with
+  | None -> "-"
+  | Some (_, cells, _) -> (
+      match List.assoc_opt name cells with None -> "-" | Some c -> show_cell c)
+
+let paper_optimal config =
+  match List.find_opt (fun (cfg, _, _) -> cfg = config) paper with
+  | Some (_, _, Some c) -> show_cell c
+  | Some (_, _, None) | None -> "-"
+
+let to_table t =
+  let headers =
+    "DVE conf."
+    :: List.concat_map (fun name -> [ name; "(paper)" ]) algorithm_names
+    @ [ "optimal"; "(paper lp_solve)" ]
+  in
+  let table = Table.create ~headers () in
+  List.iter
+    (fun row ->
+      let config = Scenario.notation row.scenario in
+      let measured_cells =
+        List.concat_map
+          (fun (name, cell) -> [ show_cell cell; paper_cell config name ])
+          row.cells
+      in
+      let optimal_cell =
+        match row.optimal with
+        | None -> "-"
+        | Some o ->
+            Printf.sprintf "%s [%.0f%% proven]" (show_cell o.cell) (100. *. o.proven_fraction)
+      in
+      Table.add_row table ((config :: measured_cells) @ [ optimal_cell; paper_optimal config ]))
+    t;
+  table

@@ -1,0 +1,103 @@
+module Rng = Cap_util.Rng
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Churn = Cap_model.Churn
+module Two_phase = Cap_core.Two_phase
+module Incremental = Cap_core.Incremental
+
+type row = {
+  name : string;
+  before : float;
+  after : float;
+  executed : float;
+  incremental : float;
+  zone_moves : float;
+  executed_zone_moves : float;
+}
+
+type t = row list
+
+let run ?runs ?(seed = 1) ?(spec = Churn.paper_spec) ?(max_zone_moves = 8) () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  let scenario = { Scenario.default with Scenario.correlation = 0. } in
+  let per_run =
+    Common.replicate ~runs ~seed (fun rng ->
+        let world = World.generate rng scenario in
+        (* Same churn event for every algorithm, as in the paper. *)
+        let outcome = Churn.apply (Rng.split rng) spec world in
+        List.map
+          (fun algorithm ->
+            let initial = Two_phase.run algorithm (Rng.split rng) world in
+            let adapted = Churn.adapt outcome ~old:initial in
+            let re_executed = Two_phase.run algorithm (Rng.split rng) outcome.Churn.world in
+            let refreshed, migration =
+              Incremental.refresh ~max_zone_moves outcome.Churn.world ~previous:adapted
+            in
+            let executed_migration =
+              Incremental.migration_between ~previous:adapted ~current:re_executed
+            in
+            ( algorithm.Two_phase.name,
+              ( Assignment.pqos initial world,
+                Assignment.pqos adapted outcome.Churn.world,
+                Assignment.pqos re_executed outcome.Churn.world,
+                Assignment.pqos refreshed outcome.Churn.world,
+                float_of_int migration.Incremental.zone_moves,
+                float_of_int executed_migration.Incremental.zone_moves ) ))
+          Two_phase.all)
+  in
+  List.map
+    (fun algorithm ->
+      let name = algorithm.Two_phase.name in
+      let values = List.map (fun r -> List.assoc name r) per_run in
+      {
+        name;
+        before = Common.mean_by (fun (b, _, _, _, _, _) -> b) values;
+        after = Common.mean_by (fun (_, a, _, _, _, _) -> a) values;
+        executed = Common.mean_by (fun (_, _, e, _, _, _) -> e) values;
+        incremental = Common.mean_by (fun (_, _, _, i, _, _) -> i) values;
+        zone_moves = Common.mean_by (fun (_, _, _, _, m, _) -> m) values;
+        executed_zone_moves = Common.mean_by (fun (_, _, _, _, _, m) -> m) values;
+      })
+    Two_phase.all
+
+let paper =
+  [
+    "RanZ-VirC", 0.59, 0.59, 0.59;
+    "RanZ-GreC", 0.73, 0.68, 0.71;
+    "GreZ-VirC", 0.83, 0.79, 0.82;
+    "GreZ-GreC", 0.90, 0.83, 0.90;
+  ]
+
+let to_table t =
+  let table =
+    Table.create
+      ~headers:
+        [
+          "Time"; "Before"; "(paper)"; "After"; "(paper)"; "Executed"; "(paper)";
+          "Incr. (ours)"; "zone moves incr/full";
+        ]
+      ()
+  in
+  List.iter
+    (fun row ->
+      let reference =
+        List.find_opt (fun (name, _, _, _) -> name = row.name) paper
+      in
+      let show v = Printf.sprintf "%.2f" v in
+      let show_ref f = match reference with None -> "-" | Some r -> show (f r) in
+      Table.add_row table
+        [
+          row.name;
+          show row.before;
+          show_ref (fun (_, b, _, _) -> b);
+          show row.after;
+          show_ref (fun (_, _, a, _) -> a);
+          show row.executed;
+          show_ref (fun (_, _, _, e) -> e);
+          show row.incremental;
+          Printf.sprintf "%.1f / %.1f" row.zone_moves row.executed_zone_moves;
+        ])
+    t;
+  table

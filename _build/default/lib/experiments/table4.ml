@@ -1,0 +1,84 @@
+module Rng = Cap_util.Rng
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+
+type cell = {
+  pqos : float;
+  utilization : float;
+}
+
+type t = (float * (string * cell) list) list
+
+let algorithm_names = List.map (fun a -> a.Cap_core.Two_phase.name) Cap_core.Two_phase.all
+
+let default_factors = [ Cap_topology.Estimation_error.king; Cap_topology.Estimation_error.idmaps ]
+
+let run ?runs ?(seed = 1) ?(factors = default_factors) () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  List.map
+    (fun factor ->
+      let results =
+        Common.replicate ~runs ~seed (fun rng ->
+            let world = World.generate rng Scenario.default in
+            let world = World.with_estimation_error (Rng.split rng) ~factor world in
+            List.map
+              (fun (name, assignment) -> name, Common.measure assignment world)
+              (Common.run_all_algorithms rng world))
+      in
+      let cells =
+        List.map
+          (fun name ->
+            let ms = List.map (fun r -> List.assoc name r) results in
+            let m = Common.mean_measured ms in
+            name, { pqos = m.Common.pqos; utilization = m.Common.utilization })
+          algorithm_names
+      in
+      factor, cells)
+    factors
+
+let paper =
+  let c p u = { pqos = p; utilization = u } in
+  [
+    ( 1.2,
+      [
+        "RanZ-VirC", c 0.58 0.58;
+        "RanZ-GreC", c 0.70 0.91;
+        "GreZ-VirC", c 0.86 0.58;
+        "GreZ-GreC", c 0.90 0.67;
+      ] );
+    ( 2.0,
+      [
+        "RanZ-VirC", c 0.59 0.58;
+        "RanZ-GreC", c 0.57 1.0;
+        "GreZ-VirC", c 0.80 0.58;
+        "GreZ-GreC", c 0.78 0.82;
+      ] );
+  ]
+
+let show_cell c = Printf.sprintf "%.2f (%.2f)" c.pqos c.utilization
+
+let to_table t =
+  let headers =
+    "e" :: List.concat_map (fun name -> [ name; "(paper)" ]) algorithm_names
+  in
+  let table = Table.create ~headers () in
+  List.iter
+    (fun (factor, cells) ->
+      let reference = List.assoc_opt factor paper in
+      let row =
+        List.concat_map
+          (fun name ->
+            let measured = show_cell (List.assoc name cells) in
+            let ref_cell =
+              match reference with
+              | None -> "-"
+              | Some r -> (
+                  match List.assoc_opt name r with None -> "-" | Some c -> show_cell c)
+            in
+            [ measured; ref_cell ])
+          algorithm_names
+      in
+      Table.add_row table (Printf.sprintf "%.1f" factor :: row))
+    t;
+  table

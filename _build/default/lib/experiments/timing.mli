@@ -1,0 +1,31 @@
+(** Reproduction of the paper's execution-time observations (§4.2):
+    every heuristic finishes well under a second on all configurations,
+    while the exact branch-and-bound baseline takes seconds on the
+    small configurations and is impractical beyond them (the paper
+    reports 0.2 s, 41.5 s, and "unfinished after 10 hours" for
+    lp_solve). *)
+
+type heuristic_row = {
+  config : string;
+  seconds : (string * float) list;  (** algorithm -> mean CPU seconds *)
+}
+
+type optimal_row = {
+  config : string;
+  iap_seconds : float;
+  rap_seconds : float;
+  nodes : float;             (** mean branch-and-bound nodes, both phases *)
+  proven_fraction : float;
+}
+
+type t = {
+  heuristics : heuristic_row list;
+  optimal : optimal_row list;
+}
+
+val run : ?runs:int -> ?seed:int -> ?optimal_time_limit:float -> unit -> t
+
+val to_tables : t -> Cap_util.Table.t * Cap_util.Table.t
+
+val paper_note : string
+(** The timing claims quoted from the paper. *)

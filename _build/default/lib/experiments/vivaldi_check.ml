@@ -1,0 +1,70 @@
+module Rng = Cap_util.Rng
+module Table = Cap_util.Table
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Vivaldi = Cap_topology.Vivaldi
+
+type row = {
+  name : string;
+  pqos : float;
+  utilization : float;
+}
+
+type t = {
+  median_error : float;
+  rows : row list;
+  perfect : row list;
+}
+
+let algorithm_names = List.map (fun a -> a.Cap_core.Two_phase.name) Cap_core.Two_phase.all
+
+let run ?runs ?(seed = 1) ?params () =
+  let runs = match runs with Some r -> r | None -> Common.default_runs () in
+  let per_run =
+    Common.replicate ~runs ~seed (fun rng ->
+        let world = World.generate rng Scenario.default in
+        let estimated = World.with_vivaldi_observed (Rng.split rng) ?params world in
+        let error =
+          Vivaldi.median_relative_error
+            ~estimated:estimated.World.observed
+            ~reference:world.World.delay
+        in
+        let measure w =
+          List.map
+            (fun (name, assignment) -> name, Common.measure assignment w)
+            (Common.run_all_algorithms rng w)
+        in
+        error, measure estimated, measure world)
+  in
+  let collect extract =
+    List.map
+      (fun name ->
+        let ms = List.map (fun r -> List.assoc name (extract r)) per_run in
+        let m = Common.mean_measured ms in
+        { name; pqos = m.Common.pqos; utilization = m.Common.utilization })
+      algorithm_names
+  in
+  {
+    median_error = Common.mean_by (fun (e, _, _) -> e) per_run;
+    rows = collect (fun (_, vivaldi, _) -> vivaldi);
+    perfect = collect (fun (_, _, perfect) -> perfect);
+  }
+
+let to_table t =
+  let table =
+    Table.create
+      ~headers:[ "algorithm"; "Vivaldi pQoS (R)"; "perfect pQoS (R)"; "pQoS loss" ]
+      ()
+  in
+  List.iter
+    (fun row ->
+      let perfect = List.find (fun p -> p.name = row.name) t.perfect in
+      Table.add_row table
+        [
+          row.name;
+          Printf.sprintf "%.2f (%.2f)" row.pqos row.utilization;
+          Printf.sprintf "%.2f (%.2f)" perfect.pqos perfect.utilization;
+          Printf.sprintf "%.3f" (perfect.pqos -. row.pqos);
+        ])
+    t.rows;
+  table

@@ -1,0 +1,29 @@
+(** Extension of the paper's Table 4: imperfect delay input from a
+    Vivaldi coordinate embedding instead of an independent uniform
+    error factor.
+
+    §3.4 of the paper proposes King and IDMaps as the delay sources and
+    Table 4 models them as multiplicative noise. A coordinate system is
+    the scalable alternative a production DVE would deploy; its error
+    is structured (triangle-inequality violations compress, clustered
+    nodes blur), so it stresses the algorithms differently than
+    i.i.d. noise with the same median error: empirically the
+    delay-aware phases lose {e more} pQoS, because a zone's summed
+    cost averages out independent noise but not systematic coordinate
+    distortion. *)
+
+type row = {
+  name : string;
+  pqos : float;
+  utilization : float;
+}
+
+type t = {
+  median_error : float;  (** Vivaldi median relative estimation error *)
+  rows : row list;       (** per-algorithm results on Vivaldi input *)
+  perfect : row list;    (** same worlds with perfect input, for reference *)
+}
+
+val run : ?runs:int -> ?seed:int -> ?params:Cap_topology.Vivaldi.params -> unit -> t
+
+val to_table : t -> Cap_util.Table.t

@@ -1,0 +1,1 @@
+lib/milp/gap.ml: Array List Lp

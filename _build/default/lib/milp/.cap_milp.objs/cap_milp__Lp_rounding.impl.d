@@ -1,0 +1,1 @@
+lib/milp/lp_rounding.ml: Array Cap_core Gap Optimal Simplex

@@ -1,0 +1,1 @@
+lib/milp/lp_rounding.mli: Cap_model Gap

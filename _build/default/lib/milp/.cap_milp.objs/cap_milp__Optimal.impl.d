@@ -1,0 +1,1 @@
+lib/milp/optimal.ml: Array Branch_bound Cap_core Cap_model Gap

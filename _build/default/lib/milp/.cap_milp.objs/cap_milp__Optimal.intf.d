@@ -1,0 +1,1 @@
+lib/milp/optimal.mli: Branch_bound Cap_model Gap

@@ -1,0 +1,147 @@
+type bound_kind =
+  | Combinatorial
+  | Lp_relaxation
+
+type options = {
+  max_nodes : int;
+  time_limit : float;
+  bound : bound_kind;
+  initial_incumbent : (int array * float) option;
+}
+
+let default_options =
+  { max_nodes = 200_000_000; time_limit = 30.; bound = Combinatorial; initial_incumbent = None }
+
+type result = {
+  solution : int array option;
+  objective : float;
+  nodes : int;
+  elapsed : float;
+  proven_optimal : bool;
+}
+
+exception Budget_exhausted
+
+let combinatorial_bound gap ~order ~position ~residual =
+  let items = Array.length order in
+  let servers = Gap.server_count gap in
+  let acc = ref 0. in
+  (try
+     for p = position to items - 1 do
+       let j = order.(p) in
+       let best = ref infinity in
+       for i = 0 to servers - 1 do
+         if gap.Gap.demands.(j).(i) <= residual.(i) && gap.Gap.costs.(j).(i) < !best then
+           best := gap.Gap.costs.(j).(i)
+       done;
+       if !best = infinity then begin
+         acc := infinity;
+         raise Exit
+       end;
+       acc := !acc +. !best
+     done
+   with Exit -> ());
+  !acc
+
+let lp_bound gap ~order ~position ~residual =
+  let remaining = Array.sub order position (Array.length order - position) in
+  if Array.length remaining = 0 then 0.
+  else begin
+    let sub =
+      Gap.make
+        ~costs:(Array.map (fun j -> gap.Gap.costs.(j)) remaining)
+        ~demands:(Array.map (fun j -> gap.Gap.demands.(j)) remaining)
+        ~capacities:(Array.copy residual)
+    in
+    match Simplex.solve (Gap.lp_relaxation sub) with
+    | Simplex.Optimal { objective; _ } -> objective
+    | Simplex.Infeasible -> infinity
+    | Simplex.Unbounded -> 0.
+  end
+
+(* Items with the largest gap between their cheapest and second
+   cheapest server go first: misplacing them is most costly. *)
+let item_order gap =
+  let items = Gap.item_count gap in
+  let regret j =
+    let sorted = Array.copy gap.Gap.costs.(j) in
+    Array.sort compare sorted;
+    if Array.length sorted < 2 then 0. else sorted.(1) -. sorted.(0)
+  in
+  let order = Array.init items (fun j -> j) in
+  let keys = Array.init items regret in
+  Array.sort
+    (fun a b -> match compare keys.(b) keys.(a) with 0 -> compare a b | c -> c)
+    order;
+  order
+
+let solve ?(options = default_options) gap =
+  let start = Sys.time () in
+  let order = item_order gap in
+  let items = Array.length order in
+  let servers = Gap.server_count gap in
+  let residual = Array.copy gap.Gap.capacities in
+  let assignment = Array.make items (-1) in
+  let incumbent = ref None in
+  let incumbent_cost = ref infinity in
+  (match options.initial_incumbent with
+  | Some (solution, cost) when Gap.is_feasible gap solution ->
+      incumbent := Some (Array.copy solution);
+      incumbent_cost := cost
+  | Some _ | None -> ());
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let bound_of =
+    match options.bound with
+    | Combinatorial -> combinatorial_bound
+    | Lp_relaxation -> lp_bound
+  in
+  let check_budget () =
+    incr nodes;
+    if !nodes > options.max_nodes then raise Budget_exhausted;
+    if !nodes land 1023 = 0 && Sys.time () -. start > options.time_limit then
+      raise Budget_exhausted
+  in
+  let rec explore position cost =
+    check_budget ();
+    if position = items then begin
+      if cost < !incumbent_cost then begin
+        incumbent := Some (Array.copy assignment);
+        incumbent_cost := cost
+      end
+    end
+    else begin
+      let lower = cost +. bound_of gap ~order ~position ~residual in
+      if lower < !incumbent_cost -. 1e-9 then begin
+        let j = order.(position) in
+        let children =
+          Array.init servers (fun i -> i)
+          |> Array.to_list
+          |> List.filter (fun i -> gap.Gap.demands.(j).(i) <= residual.(i))
+          |> List.sort (fun a b ->
+                 match compare gap.Gap.costs.(j).(a) gap.Gap.costs.(j).(b) with
+                 | 0 -> (
+                     match compare gap.Gap.demands.(j).(a) gap.Gap.demands.(j).(b) with
+                     | 0 -> compare a b
+                     | c -> c)
+                 | c -> c)
+        in
+        List.iter
+          (fun i ->
+            assignment.(j) <- i;
+            residual.(i) <- residual.(i) -. gap.Gap.demands.(j).(i);
+            explore (position + 1) (cost +. gap.Gap.costs.(j).(i));
+            residual.(i) <- residual.(i) +. gap.Gap.demands.(j).(i);
+            assignment.(j) <- -1)
+          children
+      end
+    end
+  in
+  (try explore 0 0. with Budget_exhausted -> exhausted := true);
+  {
+    solution = !incumbent;
+    objective = !incumbent_cost;
+    nodes = !nodes;
+    elapsed = Sys.time () -. start;
+    proven_optimal = not !exhausted;
+  }

@@ -1,0 +1,35 @@
+(** Branch-and-bound for {!Gap.t} — the substitute for the paper's
+    lp_solve MILP baseline.
+
+    Depth-first search assigns items one at a time (items ordered by
+    decreasing best/second-best cost regret, children by increasing
+    cost). A node is pruned when its lower bound reaches the incumbent.
+    Two admissible bounds are available: a combinatorial bound (sum of
+    each remaining item's cheapest individually-fitting server) and the
+    LP relaxation of the remaining subproblem solved with {!Simplex}. *)
+
+type bound_kind =
+  | Combinatorial
+  | Lp_relaxation
+
+type options = {
+  max_nodes : int;       (** node budget (default 2_000_000) *)
+  time_limit : float;    (** CPU seconds (default 30.) *)
+  bound : bound_kind;    (** default [Combinatorial] *)
+  initial_incumbent : (int array * float) option;
+      (** warm-start solution, e.g. from a greedy heuristic *)
+}
+
+val default_options : options
+
+type result = {
+  solution : int array option;  (** best assignment found, if any *)
+  objective : float;            (** its cost; [infinity] if none *)
+  nodes : int;                  (** search nodes expanded *)
+  elapsed : float;              (** CPU seconds *)
+  proven_optimal : bool;
+      (** [true] when the search completed within budget: the returned
+          solution is optimal (or the instance proven infeasible) *)
+}
+
+val solve : ?options:options -> Gap.t -> result

@@ -1,0 +1,43 @@
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;
+  relation : relation;
+  rhs : float;
+}
+
+type t = {
+  objective : float array;
+  constraints : constr list;
+}
+
+let make ~objective ~constraints =
+  let n = Array.length objective in
+  if n = 0 then invalid_arg "Lp.make: no variables";
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> n then invalid_arg "Lp.make: constraint width mismatch")
+    constraints;
+  { objective; constraints }
+
+let variable_count t = Array.length t.objective
+let constraint_count t = List.length t.constraints
+
+let dot a b =
+  let acc = ref 0. in
+  Array.iteri (fun i ai -> acc := !acc +. (ai *. b.(i))) a;
+  !acc
+
+let eval_objective t x = dot t.objective x
+
+let feasible ?(eps = 1e-6) t x =
+  Array.length x = variable_count t
+  && Array.for_all (fun v -> v >= -.eps) x
+  && List.for_all
+       (fun c ->
+         let lhs = dot c.coeffs x in
+         match c.relation with
+         | Le -> lhs <= c.rhs +. eps
+         | Ge -> lhs >= c.rhs -. eps
+         | Eq -> abs_float (lhs -. c.rhs) <= eps)
+       t.constraints

@@ -1,0 +1,31 @@
+(** Dense linear programs in inequality form.
+
+    A problem has [n] non-negative variables, a linear objective to
+    {e minimize}, and a list of linear constraints. This is the input
+    language of {!Simplex} and the target of the GAP relaxations. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;
+  relation : relation;
+  rhs : float;
+}
+
+type t = {
+  objective : float array;
+  constraints : constr list;
+}
+
+val make : objective:float array -> constraints:constr list -> t
+(** Raises [Invalid_argument] if any constraint row's width differs
+    from the objective's, or there are no variables. *)
+
+val variable_count : t -> int
+val constraint_count : t -> int
+
+val eval_objective : t -> float array -> float
+
+val feasible : ?eps:float -> t -> float array -> bool
+(** Whether a point satisfies every constraint and non-negativity,
+    within tolerance [eps] (default 1e-6). *)

@@ -1,0 +1,70 @@
+type result = {
+  assignment : int array;
+  lp_objective : float;
+  rounded_objective : float;
+  fractional_items : int;
+}
+
+let solve gap =
+  let items = Gap.item_count gap and servers = Gap.server_count gap in
+  match Simplex.solve (Gap.lp_relaxation gap) with
+  | Simplex.Infeasible -> None
+  | Simplex.Unbounded -> None (* impossible: costs bounded, region bounded *)
+  | Simplex.Optimal { objective = lp_objective; solution } ->
+      let fraction j i = solution.((j * servers) + i) in
+      let fractional_items = ref 0 in
+      let order = Array.init items (fun j -> j) in
+      let max_fraction j =
+        let best = ref 0. in
+        for i = 0 to servers - 1 do
+          if fraction j i > !best then best := fraction j i
+        done;
+        !best
+      in
+      Array.iteri
+        (fun _ j -> if max_fraction j < 1. -. 1e-6 then incr fractional_items)
+        order;
+      (* Fix the most decided items first: they are the ones the LP is
+         confident about, and fixing them constrains the rest least. *)
+      Array.sort (fun a b -> compare (max_fraction b) (max_fraction a)) order;
+      let residual = Array.copy gap.Gap.capacities in
+      let assignment = Array.make items (-1) in
+      Array.iter
+        (fun j ->
+          (* feasible server with the largest LP mass, ties by cost *)
+          let best = ref None in
+          for i = 0 to servers - 1 do
+            if gap.Gap.demands.(j).(i) <= residual.(i) then begin
+              let f = fraction j i and c = gap.Gap.costs.(j).(i) in
+              match !best with
+              | Some (_, f', c') when f' > f || (f' = f && c' <= c) -> ()
+              | _ -> best := Some (i, f, c)
+            end
+          done;
+          let chosen =
+            match !best with
+            | Some (i, _, _) -> i
+            | None ->
+                (* nothing fits: largest residual, as the greedy
+                   heuristics do *)
+                let arg = ref 0 in
+                for i = 1 to servers - 1 do
+                  if residual.(i) > residual.(!arg) then arg := i
+                done;
+                !arg
+          in
+          assignment.(j) <- chosen;
+          residual.(chosen) <- residual.(chosen) -. gap.Gap.demands.(j).(chosen))
+        order;
+      Some
+        {
+          assignment;
+          lp_objective;
+          rounded_objective = Gap.objective gap assignment;
+          fractional_items = !fractional_items;
+        }
+
+let iap_targets world =
+  match solve (Optimal.iap_instance world) with
+  | Some { assignment; _ } -> assignment
+  | None -> Cap_core.Grez.assign world

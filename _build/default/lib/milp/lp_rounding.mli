@@ -1,0 +1,25 @@
+(** LP-relaxation rounding heuristic for {!Gap.t} — a classic baseline
+    between the paper's greedy heuristics and exact branch-and-bound.
+
+    The continuous relaxation is solved once with {!Simplex}; items are
+    then fixed in decreasing order of their largest fractional value,
+    each to the feasible server on which the LP placed the most of it
+    (ties by cost). Items the LP left fully unplaceable fall back to
+    the largest-residual server, like the greedy heuristics. *)
+
+type result = {
+  assignment : int array;
+  lp_objective : float;      (** the relaxation bound *)
+  rounded_objective : float; (** cost of the rounded assignment *)
+  fractional_items : int;    (** items the LP did not already place integrally *)
+}
+
+val solve : Gap.t -> result option
+(** [None] when the LP relaxation itself is infeasible. The rounded
+    assignment is always complete, but may violate capacities on
+    infeasible-leaning instances — check {!Gap.is_feasible}. *)
+
+val iap_targets : Cap_model.World.t -> int array
+(** The IAP solved by LP rounding: a drop-in initial-assignment
+    algorithm (used by the ablation experiments). Falls back to GreZ
+    if the relaxation is infeasible. *)

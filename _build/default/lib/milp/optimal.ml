@@ -1,0 +1,90 @@
+module World = Cap_model.World
+module Traffic = Cap_model.Traffic
+module Scenario = Cap_model.Scenario
+
+type stats = {
+  nodes : int;
+  elapsed : float;
+  proven_optimal : bool;
+  objective : float;
+}
+
+let stats_of (r : Branch_bound.result) =
+  {
+    nodes = r.Branch_bound.nodes;
+    elapsed = r.Branch_bound.elapsed;
+    proven_optimal = r.Branch_bound.proven_optimal;
+    objective = r.Branch_bound.objective;
+  }
+
+let iap_instance world =
+  let costs =
+    Array.map (Array.map float_of_int) (Cap_core.Cost.initial_matrix world)
+  in
+  let rates = Cap_core.Server_load.zone_rates world in
+  let servers = World.server_count world in
+  let demands = Array.map (fun r -> Array.make servers r) rates in
+  Gap.make ~costs ~demands ~capacities:world.World.capacities
+
+let rap_instance world ~targets =
+  let costs = Cap_core.Cost.refined_matrix world ~targets in
+  let servers = World.server_count world in
+  let traffic = world.World.scenario.Scenario.traffic in
+  let population = World.zone_population world in
+  let residual = Array.copy world.World.capacities in
+  Array.iteri
+    (fun z target ->
+      residual.(target) <-
+        residual.(target) -. Traffic.zone_rate traffic ~population:population.(z))
+    targets;
+  let residual = Array.map (fun r -> max r 0.) residual in
+  let demands =
+    Array.init (World.client_count world) (fun c ->
+        let target = targets.(world.World.client_zones.(c)) in
+        let forwarding =
+          Traffic.forwarding_rate traffic
+            ~zone_population:population.(world.World.client_zones.(c))
+        in
+        Array.init servers (fun s -> if s = target then 0. else forwarding))
+  in
+  Gap.make ~costs ~demands ~capacities:residual
+
+let solve_iap ?(options = Branch_bound.default_options) world =
+  let gap = iap_instance world in
+  let warm = Cap_core.Grez.assign world in
+  let options =
+    if Gap.is_feasible gap warm then
+      { options with Branch_bound.initial_incumbent = Some (warm, Gap.objective gap warm) }
+    else options
+  in
+  let result = Branch_bound.solve ~options gap in
+  match result.Branch_bound.solution with
+  | None -> None
+  | Some targets -> Some (targets, stats_of result)
+
+let solve_rap ?(options = Branch_bound.default_options) world ~targets =
+  let gap = rap_instance world ~targets in
+  let warm = Cap_core.Grec.assign world ~targets in
+  let options =
+    if Gap.is_feasible gap warm then
+      { options with Branch_bound.initial_incumbent = Some (warm, Gap.objective gap warm) }
+    else options
+  in
+  let result = Branch_bound.solve ~options gap in
+  match result.Branch_bound.solution with
+  | None ->
+      (* The RAP always has the all-targets solution; reaching this
+         means the node budget ran out before any leaf. Fall back. *)
+      let direct = Array.map (fun z -> targets.(z)) world.World.client_zones in
+      direct, stats_of { result with Branch_bound.solution = Some direct }
+  | Some contacts -> contacts, stats_of result
+
+let solve ?options world =
+  match solve_iap ?options world with
+  | None -> None
+  | Some (targets, iap_stats) ->
+      let contacts, rap_stats = solve_rap ?options world ~targets in
+      let assignment =
+        Cap_model.Assignment.make ~target_of_zone:targets ~contact_of_client:contacts
+      in
+      Some (assignment, iap_stats, rap_stats)

@@ -1,0 +1,44 @@
+(** Optimal initial and refined assignments via branch-and-bound — the
+    reproduction of the paper's lp_solve baseline (Table 1, rightmost
+    column).
+
+    As in the paper, the two phases are optimized sequentially: the
+    optimal IAP solution is found first, and the RAP is then optimized
+    given those targets. *)
+
+type stats = {
+  nodes : int;
+  elapsed : float;           (** CPU seconds *)
+  proven_optimal : bool;
+  objective : float;
+}
+
+val iap_instance : Cap_model.World.t -> Gap.t
+(** The IAP (Def. 2.2) as a GAP: items are zones, costs are [C^I],
+    demands are zone bandwidths. *)
+
+val rap_instance : Cap_model.World.t -> targets:int array -> Gap.t
+(** The RAP (Def. 2.3) as a GAP: items are clients, costs are [C^R],
+    demand is 0 on the client's target and [2 R^T] elsewhere,
+    capacities are the residuals left by the initial assignment
+    (clamped at 0 if a fallback overloaded a server). *)
+
+val solve_iap :
+  ?options:Branch_bound.options -> Cap_model.World.t -> (int array * stats) option
+(** Optimal zone targets, or [None] if infeasible within budget.
+    Warm-started with the GreZ heuristic solution. *)
+
+val solve_rap :
+  ?options:Branch_bound.options ->
+  Cap_model.World.t ->
+  targets:int array ->
+  int array * stats
+(** Optimal contact servers given targets (always feasible: the target
+    itself has zero demand). Warm-started with GreC. *)
+
+val solve :
+  ?options:Branch_bound.options ->
+  Cap_model.World.t ->
+  (Cap_model.Assignment.t * stats * stats) option
+(** Optimal IAP then optimal RAP; [None] if the IAP is infeasible
+    within budget. *)

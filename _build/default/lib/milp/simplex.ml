@@ -1,0 +1,198 @@
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: [rows] is an array of constraint rows, each of width
+   [cols + 1] with the right-hand side in the last cell. [obj] is the
+   reduced objective row of the current phase (same width); [basis]
+   maps each row to its basic column. [active] marks rows not dropped
+   as redundant after phase one. *)
+type tableau = {
+  rows : float array array;
+  obj : float array;
+  basis : int array;
+  active : bool array;
+  cols : int;
+}
+
+let pivot t ~row ~col =
+  let prow = t.rows.(row) in
+  let p = prow.(col) in
+  for j = 0 to t.cols do
+    prow.(j) <- prow.(j) /. p
+  done;
+  let eliminate target =
+    let f = target.(col) in
+    if abs_float f > 0. then
+      for j = 0 to t.cols do
+        target.(j) <- target.(j) -. (f *. prow.(j))
+      done
+  in
+  Array.iteri (fun r other -> if r <> row && t.active.(r) then eliminate other) t.rows;
+  eliminate t.obj;
+  t.basis.(row) <- col
+
+(* One phase of the simplex: pivot until no column improves the
+   current reduced objective. [allowed col] restricts entering
+   columns (used to freeze artificials in phase two). *)
+let optimize ?(max_iterations = 20000) t ~allowed =
+  let iterations = ref 0 in
+  let result = ref None in
+  while !result = None do
+    incr iterations;
+    if !iterations > max_iterations then failwith "Simplex.optimize: iteration limit";
+    let bland = !iterations > max_iterations / 4 in
+    (* Entering column: most negative reduced cost (Dantzig), or the
+       lowest-index negative one once Bland's anti-cycling kicks in. *)
+    let entering = ref (-1) in
+    let best = ref (-.eps) in
+    (try
+       for j = 0 to t.cols - 1 do
+         if allowed j && t.obj.(j) < !best then begin
+           entering := j;
+           best := t.obj.(j);
+           if bland then raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then result := Some `Optimal
+    else begin
+      let col = !entering in
+      let leaving = ref (-1) in
+      let best_ratio = ref infinity in
+      Array.iteri
+        (fun r prow ->
+          if t.active.(r) && prow.(col) > eps then begin
+            let ratio = prow.(t.cols) /. prow.(col) in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps && (!leaving < 0 || t.basis.(r) < t.basis.(!leaving)))
+            then begin
+              leaving := r;
+              best_ratio := ratio
+            end
+          end)
+        t.rows;
+      if !leaving < 0 then result := Some `Unbounded else pivot t ~row:!leaving ~col
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let solve ?max_iterations (problem : Lp.t) =
+  let n = Lp.variable_count problem in
+  let constraints = Array.of_list problem.Lp.constraints in
+  let m = Array.length constraints in
+  (* Normalize to non-negative right-hand sides. *)
+  let normalized =
+    Array.map
+      (fun (c : Lp.constr) ->
+        if c.Lp.rhs < 0. then
+          {
+            Lp.coeffs = Array.map (fun x -> -.x) c.Lp.coeffs;
+            relation =
+              (match c.Lp.relation with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq);
+            rhs = -.c.Lp.rhs;
+          }
+        else c)
+      constraints
+  in
+  (* Column layout: originals, then one slack/surplus per inequality,
+     then one artificial per Ge/Eq row. *)
+  let slack_count =
+    Array.fold_left
+      (fun acc c -> match c.Lp.relation with Lp.Eq -> acc | Lp.Le | Lp.Ge -> acc + 1)
+      0 normalized
+  in
+  let artificial_count =
+    Array.fold_left
+      (fun acc c -> match c.Lp.relation with Lp.Le -> acc | Lp.Ge | Lp.Eq -> acc + 1)
+      0 normalized
+  in
+  let cols = n + slack_count + artificial_count in
+  let first_artificial = n + slack_count in
+  let rows = Array.init m (fun _ -> Array.make (cols + 1) 0.) in
+  let basis = Array.make m (-1) in
+  let next_slack = ref n in
+  let next_artificial = ref first_artificial in
+  Array.iteri
+    (fun r (c : Lp.constr) ->
+      Array.blit c.Lp.coeffs 0 rows.(r) 0 n;
+      rows.(r).(cols) <- c.Lp.rhs;
+      (match c.Lp.relation with
+      | Lp.Le ->
+          rows.(r).(!next_slack) <- 1.;
+          basis.(r) <- !next_slack;
+          incr next_slack
+      | Lp.Ge ->
+          rows.(r).(!next_slack) <- -1.;
+          incr next_slack
+      | Lp.Eq -> ());
+      match c.Lp.relation with
+      | Lp.Le -> ()
+      | Lp.Ge | Lp.Eq ->
+          rows.(r).(!next_artificial) <- 1.;
+          basis.(r) <- !next_artificial;
+          incr next_artificial)
+    normalized;
+  let t = { rows; obj = Array.make (cols + 1) 0.; basis; active = Array.make m true; cols } in
+  let is_artificial col = col >= first_artificial in
+  let rebuild_objective costs =
+    Array.fill t.obj 0 (cols + 1) 0.;
+    Array.blit costs 0 t.obj 0 (Array.length costs);
+    (* Zero out the basic columns so the row holds reduced costs. *)
+    Array.iteri
+      (fun r b ->
+        if t.active.(r) && b >= 0 && abs_float t.obj.(b) > 0. then begin
+          let f = t.obj.(b) in
+          for j = 0 to cols do
+            t.obj.(j) <- t.obj.(j) -. (f *. t.rows.(r).(j))
+          done
+        end)
+      t.basis
+  in
+  if artificial_count > 0 then begin
+    let phase1 = Array.make cols 0. in
+    for j = first_artificial to cols - 1 do
+      phase1.(j) <- 1.
+    done;
+    rebuild_objective phase1;
+    match optimize ?max_iterations t ~allowed:(fun _ -> true) with
+    | `Unbounded -> assert false (* phase-one objective is bounded below by 0 *)
+    | `Optimal ->
+        let artificial_sum =
+          Array.to_list t.rows
+          |> List.mapi (fun r row ->
+                 if t.active.(r) && is_artificial t.basis.(r) then row.(cols) else 0.)
+          |> List.fold_left ( +. ) 0.
+        in
+        if artificial_sum > 1e-7 then raise Exit
+  end;
+  (* Drive leftover artificials out of the basis, dropping rows that
+     turn out to be redundant. *)
+  Array.iteri
+    (fun r b ->
+      if t.active.(r) && is_artificial b then begin
+        let col = ref (-1) in
+        for j = 0 to first_artificial - 1 do
+          if !col < 0 && abs_float t.rows.(r).(j) > eps then col := j
+        done;
+        if !col >= 0 then pivot t ~row:r ~col:!col else t.active.(r) <- false
+      end)
+    t.basis;
+  let phase2 = Array.make cols 0. in
+  Array.blit problem.Lp.objective 0 phase2 0 n;
+  rebuild_objective phase2;
+  match optimize ?max_iterations t ~allowed:(fun j -> not (is_artificial j)) with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let solution = Array.make n 0. in
+      Array.iteri
+        (fun r b -> if t.active.(r) && b >= 0 && b < n then solution.(b) <- t.rows.(r).(cols))
+        t.basis;
+      Optimal { objective = Lp.eval_objective problem solution; solution }
+
+let solve ?max_iterations problem =
+  try solve ?max_iterations problem with Exit -> Infeasible

@@ -1,0 +1,18 @@
+(** Two-phase primal simplex over dense tableaus.
+
+    Solves [minimize c.x subject to A x (<=|=|>=) b, x >= 0]. Phase one
+    minimizes the sum of artificial variables to find a basic feasible
+    solution; phase two optimizes the real objective. Dantzig pricing
+    with a Bland's-rule fallback guards against cycling. Suited to the
+    small/medium dense problems produced by the GAP relaxations. *)
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_iterations:int -> Lp.t -> outcome
+(** [max_iterations] (default 20000 per phase) bounds pivots; raises
+    [Failure] if the bound is hit, which indicates a degenerate cycle
+    that even Bland's rule did not resolve (not expected in
+    practice). *)

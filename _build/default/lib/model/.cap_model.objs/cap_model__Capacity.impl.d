@@ -1,0 +1,1 @@
+lib/model/capacity.ml: Array Cap_util

@@ -1,0 +1,1 @@
+lib/model/capacity.mli: Cap_util

@@ -1,0 +1,1 @@
+lib/model/churn.ml: Array Assignment Cap_util Distribution World

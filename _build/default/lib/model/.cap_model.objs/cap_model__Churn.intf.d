@@ -1,0 +1,1 @@
+lib/model/churn.mli: Assignment Cap_util World

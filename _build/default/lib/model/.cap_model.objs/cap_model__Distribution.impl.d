@@ -1,0 +1,1 @@
+lib/model/distribution.ml: Array Cap_util

@@ -1,0 +1,1 @@
+lib/model/distribution.mli: Cap_util

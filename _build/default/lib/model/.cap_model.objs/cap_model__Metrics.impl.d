@@ -1,0 +1,1 @@
+lib/model/metrics.ml: Array Assignment Cap_util List Printf World

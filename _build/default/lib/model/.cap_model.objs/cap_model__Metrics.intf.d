@@ -1,0 +1,1 @@
+lib/model/metrics.mli: Assignment Cap_util World

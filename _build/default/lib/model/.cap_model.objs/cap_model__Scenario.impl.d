@@ -1,0 +1,1 @@
+lib/model/scenario.ml: Cap_topology Distribution Printf String Traffic

@@ -1,0 +1,1 @@
+lib/model/scenario.mli: Cap_topology Distribution Traffic

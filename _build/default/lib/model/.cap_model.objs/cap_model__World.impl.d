@@ -1,0 +1,1 @@
+lib/model/world.ml: Array Cap_topology Cap_util Capacity Distribution Scenario Traffic

@@ -1,0 +1,1 @@
+lib/model/world.mli: Cap_topology Cap_util Distribution Scenario

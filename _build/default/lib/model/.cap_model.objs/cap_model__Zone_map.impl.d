@@ -1,0 +1,1 @@
+lib/model/zone_map.ml: Array Cap_util List

@@ -1,0 +1,1 @@
+lib/model/zone_map.mli: Cap_util

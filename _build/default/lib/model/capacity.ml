@@ -1,0 +1,16 @@
+module Rng = Cap_util.Rng
+
+let generate rng ~servers ~total ~min_per_server =
+  if servers <= 0 then invalid_arg "Capacity.generate: servers must be positive";
+  if min_per_server < 0. || total < 0. then invalid_arg "Capacity.generate: negative capacity";
+  let base = float_of_int servers *. min_per_server in
+  if total < base then invalid_arg "Capacity.generate: total below the per-server minimum";
+  let slack = total -. base in
+  let shares = Array.init servers (fun _ -> Rng.uniform rng) in
+  let share_sum = Array.fold_left ( +. ) 0. shares in
+  if share_sum = 0. then Array.make servers (total /. float_of_int servers)
+  else Array.map (fun s -> min_per_server +. (slack *. s /. share_sum)) shares
+
+let uniform ~servers ~total =
+  if servers <= 0 then invalid_arg "Capacity.uniform: servers must be positive";
+  Array.make servers (total /. float_of_int servers)

@@ -1,0 +1,17 @@
+(** Server bandwidth capacity planning.
+
+    The paper fixes a minimum per-server capacity (10 Mbps) and a total
+    system capacity per configuration (e.g. 500 Mbps for the 20-server
+    setup); individual server capacities are heterogeneous. *)
+
+val generate :
+  Cap_util.Rng.t -> servers:int -> total:float -> min_per_server:float -> float array
+(** [generate rng ~servers ~total ~min_per_server] returns per-server
+    capacities (same unit as the inputs) that are each at least
+    [min_per_server] and sum to [total] (up to rounding): every server
+    gets the minimum plus a uniform random share of the remainder.
+    Raises [Invalid_argument] if [servers <= 0], any value is
+    negative, or [total < servers * min_per_server]. *)
+
+val uniform : servers:int -> total:float -> float array
+(** Homogeneous capacities summing to [total]. *)

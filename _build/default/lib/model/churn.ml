@@ -1,0 +1,69 @@
+module Rng = Cap_util.Rng
+
+type spec = {
+  joins : int;
+  leaves : int;
+  moves : int;
+}
+
+let paper_spec = { joins = 200; leaves = 200; moves = 200 }
+
+type outcome = {
+  world : World.t;
+  previous_of : int option array;
+}
+
+let apply rng spec world =
+  if spec.joins < 0 || spec.leaves < 0 || spec.moves < 0 then
+    invalid_arg "Churn.apply: negative count";
+  let k = World.client_count world in
+  if spec.leaves > k then invalid_arg "Churn.apply: more leaves than clients";
+  let leaving = Array.make k false in
+  Array.iter (fun c -> leaving.(c) <- true) (Rng.sample_distinct rng ~k:spec.leaves ~n:k);
+  let survivors = ref [] in
+  for c = k - 1 downto 0 do
+    if not leaving.(c) then survivors := c :: !survivors
+  done;
+  let survivors = Array.of_list !survivors in
+  let n_survivors = Array.length survivors in
+  let nodes = Array.make (n_survivors + spec.joins) 0 in
+  let zones = Array.make (n_survivors + spec.joins) 0 in
+  let previous_of = Array.make (n_survivors + spec.joins) None in
+  Array.iteri
+    (fun i old ->
+      nodes.(i) <- world.World.client_nodes.(old);
+      zones.(i) <- world.World.client_zones.(old);
+      previous_of.(i) <- Some old)
+    survivors;
+  (* Movers are drawn among the survivors; each gets a freshly sampled
+     zone, different from its current one when possible. *)
+  let sampler = world.World.sampler in
+  let n_zones = World.zone_count world in
+  let movers = Rng.sample_distinct rng ~k:(min spec.moves n_survivors) ~n:n_survivors in
+  Array.iter
+    (fun i ->
+      let rec draw attempts =
+        let z = Distribution.sample_zone sampler rng ~node:nodes.(i) in
+        if z <> zones.(i) || n_zones = 1 || attempts > 20 then z else draw (attempts + 1)
+      in
+      zones.(i) <- draw 0)
+    movers;
+  for j = 0 to spec.joins - 1 do
+    let i = n_survivors + j in
+    let node = Distribution.sample_node sampler rng in
+    nodes.(i) <- node;
+    zones.(i) <- Distribution.sample_zone sampler rng ~node
+  done;
+  { world = World.replace_clients world ~client_nodes:nodes ~client_zones:zones; previous_of }
+
+let adapt outcome ~old =
+  let target_of_zone = Array.copy old.Assignment.target_of_zone in
+  let contact_of_client =
+    Array.mapi
+      (fun i previous ->
+        match previous with
+        | Some old_id -> old.Assignment.contact_of_client.(old_id)
+        | None -> target_of_zone.(outcome.world.World.client_zones.(i)))
+      outcome.previous_of
+  in
+  Assignment.make ~target_of_zone ~contact_of_client

@@ -1,0 +1,35 @@
+(** DVE dynamics: clients joining, leaving and moving between zones
+    (the paper's Table 3 experiment).
+
+    Applying churn yields a new world plus enough bookkeeping to adapt
+    an existing assignment without re-running the algorithms: surviving
+    clients keep their contact server, movers keep their contact but
+    their target follows the new zone, and joiners default to their
+    zone's target server as contact. *)
+
+type spec = {
+  joins : int;
+  leaves : int;
+  moves : int;
+}
+
+val paper_spec : spec
+(** 200 joins, 200 leaves, 200 moves — the paper's setting. *)
+
+type outcome = {
+  world : World.t;             (** the perturbed world *)
+  previous_of : int option array;
+      (** new client id -> its id in the old world, or [None] for a
+          joiner *)
+}
+
+val apply : Cap_util.Rng.t -> spec -> World.t -> outcome
+(** Remove [leaves] random clients, move [moves] random surviving
+    clients to a fresh random zone (drawn from the world's sampler),
+    and add [joins] new clients placed like the original population.
+    Raises [Invalid_argument] if [leaves] exceeds the population or any
+    count is negative. *)
+
+val adapt : outcome -> old:Assignment.t -> Assignment.t
+(** The "after churn, before re-execution" assignment described
+    above. *)

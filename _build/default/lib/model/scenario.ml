@@ -1,0 +1,115 @@
+type topology_spec =
+  | Brite of Cap_topology.Hierarchical.params
+  | Att_backbone of { access_nodes : int }
+  | Transit_stub of Cap_topology.Transit_stub.params
+
+type t = {
+  name : string;
+  servers : int;
+  zones : int;
+  clients : int;
+  total_capacity : float;
+  min_server_capacity : float;
+  delay_bound : float;
+  max_rtt : float;
+  inter_server_factor : float;
+  correlation : float;
+  physical : Distribution.physical;
+  virtual_world : Distribution.virtual_world;
+  traffic : Traffic.t;
+  topology : topology_spec;
+}
+
+let notation_of ~servers ~zones ~clients ~total_capacity =
+  Printf.sprintf "%ds-%dz-%dc-%.0fcp" servers zones clients (Traffic.mbps total_capacity)
+
+let default =
+  let servers = 20 and zones = 80 and clients = 1000 in
+  let total_capacity = Traffic.of_mbps 500. in
+  {
+    name = notation_of ~servers ~zones ~clients ~total_capacity;
+    servers;
+    zones;
+    clients;
+    total_capacity;
+    min_server_capacity = Traffic.of_mbps 10.;
+    delay_bound = 250.;
+    max_rtt = 500.;
+    inter_server_factor = 0.5;
+    correlation = 0.5;
+    physical = Distribution.Uniform_physical;
+    virtual_world = Distribution.Uniform_virtual;
+    traffic = Traffic.default;
+    topology = Brite Cap_topology.Hierarchical.default_params;
+  }
+
+let topology_nodes = function
+  | Brite p -> p.Cap_topology.Hierarchical.n_as * p.Cap_topology.Hierarchical.routers_per_as
+  | Att_backbone { access_nodes } -> Cap_topology.Backbone.city_count + access_nodes
+  | Transit_stub p -> Cap_topology.Transit_stub.node_count_of p
+
+let validate t =
+  if t.servers <= 0 || t.zones <= 0 || t.clients < 0 then
+    invalid_arg "Scenario: sizes must be positive";
+  if t.servers > topology_nodes t.topology then
+    invalid_arg "Scenario: more servers than topology nodes";
+  if t.total_capacity < float_of_int t.servers *. t.min_server_capacity then
+    invalid_arg "Scenario: total capacity below per-server minimum";
+  if t.delay_bound <= 0. || t.max_rtt <= 0. then
+    invalid_arg "Scenario: delay parameters must be positive";
+  if t.inter_server_factor < 0. || t.inter_server_factor > 1. then
+    invalid_arg "Scenario: inter_server_factor outside [0, 1]";
+  if t.correlation < 0. || t.correlation > 1. then
+    invalid_arg "Scenario: correlation outside [0, 1]";
+  t
+
+let make ?name ~servers ~zones ~clients ~total_capacity_mbps () =
+  let total_capacity = Traffic.of_mbps total_capacity_mbps in
+  let name =
+    match name with Some n -> n | None -> notation_of ~servers ~zones ~clients ~total_capacity
+  in
+  validate { default with name; servers; zones; clients; total_capacity }
+
+let notation t =
+  notation_of ~servers:t.servers ~zones:t.zones ~clients:t.clients
+    ~total_capacity:t.total_capacity
+
+let of_notation s =
+  match String.split_on_char '-' s with
+  | [ sv; zn; cl; cp ] ->
+      let strip suffix field =
+        match String.index_opt field suffix.[0] with
+        | Some i when String.sub field i (String.length field - i) = suffix ->
+            String.sub field 0 i
+        | _ -> invalid_arg ("Scenario.of_notation: malformed field " ^ field)
+      in
+      let parse_int what v =
+        match int_of_string_opt v with
+        | Some i -> i
+        | None -> invalid_arg ("Scenario.of_notation: bad " ^ what)
+      in
+      let parse_float what v =
+        match float_of_string_opt v with
+        | Some f -> f
+        | None -> invalid_arg ("Scenario.of_notation: bad " ^ what)
+      in
+      make
+        ~servers:(parse_int "servers" (strip "s" sv))
+        ~zones:(parse_int "zones" (strip "z" zn))
+        ~clients:(parse_int "clients" (strip "c" cl))
+        ~total_capacity_mbps:(parse_float "capacity" (strip "cp" cp))
+        ()
+  | _ -> invalid_arg "Scenario.of_notation: expected ms-nz-kc-Xcp"
+
+let table1_configurations =
+  [
+    make ~servers:5 ~zones:15 ~clients:200 ~total_capacity_mbps:100. ();
+    make ~servers:10 ~zones:30 ~clients:400 ~total_capacity_mbps:200. ();
+    make ~servers:20 ~zones:80 ~clients:1000 ~total_capacity_mbps:500. ();
+    make ~servers:30 ~zones:160 ~clients:2000 ~total_capacity_mbps:1000. ();
+  ]
+
+let small_configurations =
+  match table1_configurations with
+  | a :: b :: _ -> [ a; b ]
+  | _ -> assert false

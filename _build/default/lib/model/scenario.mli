@@ -1,0 +1,62 @@
+(** DVE scenario descriptions: everything needed to generate a
+    simulated world, mirroring the paper's experimental setup.
+
+    A configuration is written [ms-nz-kc-Xcp] in the paper — e.g.
+    [20s-80z-1000c-500cp] is 20 servers, 80 zones, 1000 clients and
+    500 Mbps total server bandwidth. *)
+
+type topology_spec =
+  | Brite of Cap_topology.Hierarchical.params
+      (** synthetic hierarchical topology (the paper's main setup) *)
+  | Att_backbone of { access_nodes : int }
+      (** US backbone topology with random access nodes *)
+  | Transit_stub of Cap_topology.Transit_stub.params
+      (** GT-ITM-style transit-stub topology (robustness check) *)
+
+type t = {
+  name : string;
+  servers : int;
+  zones : int;
+  clients : int;
+  total_capacity : float;       (** bits/s across all servers *)
+  min_server_capacity : float;  (** bits/s per server (paper: 10 Mbps) *)
+  delay_bound : float;          (** QoS bound D in ms (paper: 250) *)
+  max_rtt : float;              (** topology max RTT in ms (paper: 500) *)
+  inter_server_factor : float;  (** well-provisioned discount (paper: 0.5) *)
+  correlation : float;          (** physical/virtual correlation delta *)
+  physical : Distribution.physical;
+  virtual_world : Distribution.virtual_world;
+  traffic : Traffic.t;
+  topology : topology_spec;
+}
+
+val default : t
+(** The paper's default: 20s-80z-1000c-500cp, delta = 0.5, D = 250 ms,
+    uniform distributions, BRITE hierarchical topology. *)
+
+val make :
+  ?name:string ->
+  servers:int ->
+  zones:int ->
+  clients:int ->
+  total_capacity_mbps:float ->
+  unit ->
+  t
+(** A scenario with the given size and all other fields from
+    {!default}; [name] defaults to the paper notation. Raises
+    [Invalid_argument] on non-positive sizes or if the topology has
+    fewer nodes than servers. *)
+
+val notation : t -> string
+(** Paper notation, e.g. ["20s-80z-1000c-500cp"]. *)
+
+val of_notation : string -> t
+(** Parse paper notation into a scenario (other fields from
+    {!default}). Raises [Invalid_argument] on a malformed string. *)
+
+val table1_configurations : t list
+(** The four configurations of the paper's Table 1. *)
+
+val small_configurations : t list
+(** The two configurations small enough for the optimal MILP baseline
+    (5s-15z-200c-100cp and 10s-30z-400c-200cp). *)

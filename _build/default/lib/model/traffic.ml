@@ -1,0 +1,42 @@
+type t = {
+  message_rate : float;
+  message_size : int;
+  visibility_cap : int option;
+}
+
+let make ?visibility_cap ~message_rate ~message_size () =
+  if message_rate <= 0. then invalid_arg "Traffic.make: message_rate must be positive";
+  if message_size <= 0 then invalid_arg "Traffic.make: message_size must be positive";
+  (match visibility_cap with
+  | Some cap when cap <= 0 -> invalid_arg "Traffic.make: visibility cap must be positive"
+  | Some _ | None -> ());
+  { message_rate; message_size; visibility_cap }
+
+let default = make ~message_rate:25. ~message_size:100 ()
+
+let with_visibility_cap cap t =
+  if cap <= 0 then invalid_arg "Traffic.with_visibility_cap: cap must be positive";
+  { t with visibility_cap = Some cap }
+
+let stream_bps t = t.message_rate *. float_of_int (t.message_size * 8)
+
+let client_rate t ~zone_population =
+  if zone_population < 1 then invalid_arg "Traffic.client_rate: population must be >= 1";
+  (* one upstream input stream + one downstream update stream per
+     visible zone member (including the client's own avatar) *)
+  let visible =
+    match t.visibility_cap with
+    | None -> zone_population
+    | Some cap -> min cap zone_population
+  in
+  stream_bps t *. (1. +. float_of_int visible)
+
+let forwarding_rate t ~zone_population = 2. *. client_rate t ~zone_population
+
+let zone_rate t ~population =
+  if population < 0 then invalid_arg "Traffic.zone_rate: negative population";
+  if population = 0 then 0.
+  else float_of_int population *. client_rate t ~zone_population:population
+
+let mbps bps = bps /. 1_000_000.
+let of_mbps m = m *. 1_000_000.

@@ -1,0 +1,53 @@
+(** Client/server bandwidth model.
+
+    Following Pellegrino & Dovrolis (the model the paper adopts), a
+    client sends inputs at a fixed message rate and the server streams
+    back state updates about every client in the same zone, so the
+    per-client server bandwidth grows linearly — and the per-zone
+    bandwidth quadratically — with the zone population. The paper's
+    defaults are 25 messages/s of 100 bytes. *)
+
+type t = {
+  message_rate : float;  (** client input frequency, messages/s *)
+  message_size : int;    (** bytes per input or update message *)
+  visibility_cap : int option;
+      (** interest management: a client receives updates about at most
+          this many avatars. [None] (the paper's model) broadcasts the
+          whole zone, making zone bandwidth quadratic in population;
+          a cap makes it linear beyond the cap — the standard
+          area-of-interest optimization in networked virtual
+          environments (Singhal & Zyda). *)
+}
+
+val default : t
+(** 25 messages/s, 100 bytes, no visibility cap — the paper's
+    setting. *)
+
+val make : ?visibility_cap:int -> message_rate:float -> message_size:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive parameters (including a
+    non-positive cap). *)
+
+val with_visibility_cap : int -> t -> t
+(** Same traffic with interest management enabled. *)
+
+val client_rate : t -> zone_population:int -> float
+(** [R^T_c] in bits/s: the server bandwidth one client consumes on its
+    target server when its zone has the given population (its upstream
+    input stream plus one update stream per zone member). Positive for
+    any population >= 1. Raises [Invalid_argument] if
+    [zone_population < 1]. *)
+
+val forwarding_rate : t -> zone_population:int -> float
+(** [R^C_c = 2 * R^T_c] in bits/s: the bandwidth a client consumes on a
+    contact server distinct from its target (all traffic is relayed in
+    both directions). *)
+
+val zone_rate : t -> population:int -> float
+(** [R_z] in bits/s: total target-server bandwidth of a zone,
+    [population * client_rate]; 0 for an empty zone. *)
+
+val mbps : float -> float
+(** Convert bits/s to Mbit/s (decimal mega). *)
+
+val of_mbps : float -> float
+(** Convert Mbit/s to bits/s. *)

@@ -1,0 +1,166 @@
+module Rng = Cap_util.Rng
+module Delay = Cap_topology.Delay
+module Hierarchical = Cap_topology.Hierarchical
+module Backbone = Cap_topology.Backbone
+module Point = Cap_topology.Point
+
+type t = {
+  scenario : Scenario.t;
+  delay : Delay.t;
+  observed : Delay.t;
+  region_of_node : int array;
+  regions : int;
+  server_nodes : int array;
+  capacities : float array;
+  client_nodes : int array;
+  client_zones : int array;
+  sampler : Distribution.t;
+}
+
+let server_count t = Array.length t.server_nodes
+let zone_count t = t.scenario.Scenario.zones
+let client_count t = Array.length t.client_nodes
+let node_count t = Delay.node_count t.delay
+
+let build_topology rng (scenario : Scenario.t) =
+  match scenario.Scenario.topology with
+  | Scenario.Brite params ->
+      let topo = Hierarchical.generate rng params in
+      let graph = topo.Hierarchical.graph in
+      graph, Array.copy topo.Hierarchical.as_of, topo.Hierarchical.n_as
+  | Scenario.Att_backbone { access_nodes } ->
+      let topo = Backbone.generate rng ~access_nodes in
+      let graph = topo.Backbone.graph in
+      let core = topo.Backbone.core_count in
+      let points = topo.Backbone.points in
+      (* Region = nearest core city, so physically close access nodes
+         share a region. *)
+      let region_of p =
+        let best = ref 0 and best_d = ref infinity in
+        for c = 0 to core - 1 do
+          let d = Point.distance p points.(c) in
+          if d < !best_d then begin
+            best := c;
+            best_d := d
+          end
+        done;
+        !best
+      in
+      let regions = Array.init (Array.length points) (fun i -> region_of points.(i)) in
+      graph, regions, core
+  | Scenario.Transit_stub params ->
+      let topo = Cap_topology.Transit_stub.generate rng params in
+      (* Region = transit/stub domain, so stub neighbourhoods share a
+         region. *)
+      let domains =
+        1 + Array.fold_left max 0 topo.Cap_topology.Transit_stub.domain_of
+      in
+      ( topo.Cap_topology.Transit_stub.graph,
+        Array.copy topo.Cap_topology.Transit_stub.domain_of,
+        domains )
+
+let generate rng (scenario : Scenario.t) =
+  let graph, region_of_node, regions = build_topology rng scenario in
+  let delay = Delay.create graph ~max_rtt:scenario.Scenario.max_rtt in
+  let nodes = Delay.node_count delay in
+  if scenario.Scenario.servers > nodes then invalid_arg "World.generate: more servers than nodes";
+  let server_nodes = Rng.sample_distinct rng ~k:scenario.Scenario.servers ~n:nodes in
+  let capacities =
+    Capacity.generate rng ~servers:scenario.Scenario.servers
+      ~total:scenario.Scenario.total_capacity
+      ~min_per_server:scenario.Scenario.min_server_capacity
+  in
+  let sampler =
+    Distribution.prepare rng ~physical:scenario.Scenario.physical
+      ~virtual_world:scenario.Scenario.virtual_world
+      ~correlation:scenario.Scenario.correlation ~nodes ~zones:scenario.Scenario.zones
+      ~region_of_node:(fun n -> region_of_node.(n))
+      ~regions
+  in
+  let client_nodes = Array.make scenario.Scenario.clients 0 in
+  let client_zones = Array.make scenario.Scenario.clients 0 in
+  for c = 0 to scenario.Scenario.clients - 1 do
+    let node = Distribution.sample_node sampler rng in
+    client_nodes.(c) <- node;
+    client_zones.(c) <- Distribution.sample_zone sampler rng ~node
+  done;
+  {
+    scenario;
+    delay;
+    observed = delay;
+    region_of_node;
+    regions;
+    server_nodes;
+    capacities;
+    client_nodes;
+    client_zones;
+    sampler;
+  }
+
+let with_estimation_error rng ~factor t =
+  { t with observed = Cap_topology.Estimation_error.apply rng ~factor t.delay }
+
+let with_vivaldi_observed rng ?params t =
+  { t with observed = Cap_topology.Vivaldi.estimate rng ?params t.delay }
+
+let zone_population t =
+  let pop = Array.make (zone_count t) 0 in
+  Array.iter (fun z -> pop.(z) <- pop.(z) + 1) t.client_zones;
+  pop
+
+let clients_of_zone t =
+  let members = Array.make (zone_count t) [] in
+  for c = client_count t - 1 downto 0 do
+    let z = t.client_zones.(c) in
+    members.(z) <- c :: members.(z)
+  done;
+  Array.map Array.of_list members
+
+let population_of_zone t z =
+  let count = ref 0 in
+  Array.iter (fun z' -> if z' = z then incr count) t.client_zones;
+  !count
+
+let client_rate t c =
+  let population = population_of_zone t t.client_zones.(c) in
+  Traffic.client_rate t.scenario.Scenario.traffic ~zone_population:population
+
+let forwarding_rate t c = 2. *. client_rate t c
+
+let zone_rate t z =
+  Traffic.zone_rate t.scenario.Scenario.traffic ~population:(population_of_zone t z)
+
+let total_demand t =
+  let pop = zone_population t in
+  Array.fold_left
+    (fun acc population ->
+      acc +. Traffic.zone_rate t.scenario.Scenario.traffic ~population)
+    0. pop
+
+let total_capacity t = Array.fold_left ( +. ) 0. t.capacities
+
+let rtt_in model t ~client ~server =
+  Delay.rtt model t.client_nodes.(client) t.server_nodes.(server)
+
+let server_rtt_in model t s1 s2 =
+  if s1 = s2 then 0.
+  else
+    t.scenario.Scenario.inter_server_factor
+    *. Delay.rtt model t.server_nodes.(s1) t.server_nodes.(s2)
+
+let client_server_rtt t ~client ~server = rtt_in t.observed t ~client ~server
+let server_server_rtt t s1 s2 = server_rtt_in t.observed t s1 s2
+let true_client_server_rtt t ~client ~server = rtt_in t.delay t ~client ~server
+let true_server_server_rtt t s1 s2 = server_rtt_in t.delay t s1 s2
+
+let replace_clients t ~client_nodes ~client_zones =
+  if Array.length client_nodes <> Array.length client_zones then
+    invalid_arg "World.replace_clients: length mismatch";
+  let nodes = node_count t and zones = zone_count t in
+  Array.iter
+    (fun n -> if n < 0 || n >= nodes then invalid_arg "World.replace_clients: bad node")
+    client_nodes;
+  Array.iter
+    (fun z -> if z < 0 || z >= zones then invalid_arg "World.replace_clients: bad zone")
+    client_zones;
+  { t with client_nodes = Array.copy client_nodes; client_zones = Array.copy client_zones }

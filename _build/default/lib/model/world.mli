@@ -1,0 +1,77 @@
+(** A generated DVE instance: topology, delays, server placement and
+    capacities, and client placement in both worlds.
+
+    Worlds are immutable; churn (see {!Churn}) builds a new world that
+    shares the topology and servers. All delays are round-trip times in
+    milliseconds. The [observed] delay model is what assignment
+    algorithms are allowed to read; it equals the true model unless
+    estimation error has been applied. *)
+
+type t = {
+  scenario : Scenario.t;
+  delay : Cap_topology.Delay.t;     (** true node-to-node RTTs *)
+  observed : Cap_topology.Delay.t;  (** RTTs as seen by algorithms *)
+  region_of_node : int array;       (** node -> geographic region *)
+  regions : int;
+  server_nodes : int array;         (** server id -> topology node *)
+  capacities : float array;         (** server id -> capacity, bits/s *)
+  client_nodes : int array;         (** client id -> topology node *)
+  client_zones : int array;         (** client id -> zone id *)
+  sampler : Distribution.t;         (** placement sampler (reused by churn) *)
+}
+
+val generate : Cap_util.Rng.t -> Scenario.t -> t
+(** Build a world: generate the topology, compute the delay model,
+    place servers on distinct nodes, draw capacities, and place
+    clients per the scenario's distributions and correlation. *)
+
+val with_estimation_error : Cap_util.Rng.t -> factor:float -> t -> t
+(** A copy whose [observed] delays are perturbed by the multiplicative
+    error model; true delays are unchanged. *)
+
+val with_vivaldi_observed :
+  Cap_util.Rng.t -> ?params:Cap_topology.Vivaldi.params -> t -> t
+(** A copy whose [observed] delays come from a Vivaldi coordinate
+    embedding of the true delays — a structured, realistic "imperfect
+    input" model (extension of the paper's Table 4). *)
+
+val server_count : t -> int
+val zone_count : t -> int
+val client_count : t -> int
+val node_count : t -> int
+
+val zone_population : t -> int array
+(** zone id -> number of clients currently in the zone. *)
+
+val clients_of_zone : t -> int array array
+(** zone id -> client ids, ascending. *)
+
+val client_rate : t -> int -> float
+(** [R^T_c] for a client, bits/s, under the current populations. *)
+
+val forwarding_rate : t -> int -> float
+(** [R^C_c = 2 R^T_c] for a client, bits/s. *)
+
+val zone_rate : t -> int -> float
+(** [R_z] for a zone, bits/s. *)
+
+val total_demand : t -> float
+(** Sum of all zone rates, bits/s. *)
+
+val total_capacity : t -> float
+
+(** Delays. [true_] variants always read the unperturbed model; plain
+    variants read the observed model and are what algorithms use. *)
+
+val client_server_rtt : t -> client:int -> server:int -> float
+val server_server_rtt : t -> int -> int -> float
+(** Inter-server RTT with the well-provisioned discount applied; 0 for
+    a server and itself. *)
+
+val true_client_server_rtt : t -> client:int -> server:int -> float
+val true_server_server_rtt : t -> int -> int -> float
+
+val replace_clients : t -> client_nodes:int array -> client_zones:int array -> t
+(** A world with a different client population (used by churn and the
+    dynamic simulator). Raises [Invalid_argument] if the arrays differ
+    in length or reference unknown nodes/zones. *)

@@ -1,0 +1,53 @@
+type t = {
+  rows : int;
+  columns : int;
+  zones : int;
+}
+
+let grid ~rows ~columns =
+  if rows <= 0 || columns <= 0 then invalid_arg "Zone_map.grid: non-positive dimensions";
+  { rows; columns; zones = rows * columns }
+
+let square_for ~zones =
+  if zones <= 0 then invalid_arg "Zone_map.square_for: non-positive zone count";
+  let columns = int_of_float (ceil (sqrt (float_of_int zones))) in
+  let rows = (zones + columns - 1) / columns in
+  { rows; columns; zones }
+
+let zone_count t = t.zones
+let rows t = t.rows
+let columns t = t.columns
+
+let check t z =
+  if z < 0 || z >= t.zones then invalid_arg "Zone_map: zone out of range"
+
+let position t z =
+  check t z;
+  z / t.columns, z mod t.columns
+
+let neighbors t z =
+  check t z;
+  let row, column = position t z in
+  let candidates =
+    [ row - 1, column; row + 1, column; row, column - 1; row, column + 1 ]
+  in
+  List.filter_map
+    (fun (r, c) ->
+      if r < 0 || c < 0 || r >= t.rows || c >= t.columns then None
+      else begin
+        let z' = (r * t.columns) + c in
+        if z' < t.zones then Some z' else None
+      end)
+    candidates
+  |> List.sort compare
+
+let are_adjacent t a b = List.mem b (neighbors t a)
+
+let random_neighbor rng t z =
+  match neighbors t z with
+  | [] -> z
+  | options -> Cap_util.Rng.choice rng (Array.of_list options)
+
+let distance t a b =
+  let ra, ca = position t a and rb, cb = position t b in
+  abs (ra - rb) + abs (ca - cb)

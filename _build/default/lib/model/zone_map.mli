@@ -1,0 +1,39 @@
+(** Spatial layout of the virtual world's zones.
+
+    The paper only needs the zone {e partition} (avatars interact
+    within a zone and "may move to other zones"); for the dynamic
+    simulation it is more realistic that avatars cross into {e
+    adjacent} zones rather than teleporting uniformly. This module
+    lays the zones out on a rectangular grid — the layout used by
+    zone-based MMOGs — and exposes the adjacency. *)
+
+type t
+
+val grid : rows:int -> columns:int -> t
+(** A [rows x columns] world; zone ids are assigned row-major. Raises
+    [Invalid_argument] on non-positive dimensions. *)
+
+val square_for : zones:int -> t
+(** The most-square grid with at least [zones] cells, truncated to
+    exactly [zones] zones (the last row may be partial). Raises
+    [Invalid_argument] if [zones <= 0]. *)
+
+val zone_count : t -> int
+val rows : t -> int
+val columns : t -> int
+
+val position : t -> int -> int * int
+(** (row, column) of a zone. Raises [Invalid_argument] for an unknown
+    zone. *)
+
+val neighbors : t -> int -> int list
+(** 4-connected adjacent zones, ascending; never empty for a world
+    with more than one zone (a 1-zone world has no neighbors). *)
+
+val are_adjacent : t -> int -> int -> bool
+
+val random_neighbor : Cap_util.Rng.t -> t -> int -> int
+(** Uniform adjacent zone; the zone itself if it has no neighbors. *)
+
+val distance : t -> int -> int -> int
+(** Manhattan distance between two zones' grid cells. *)

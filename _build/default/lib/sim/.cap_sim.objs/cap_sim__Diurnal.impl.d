@@ -1,0 +1,1 @@
+lib/sim/diurnal.ml: Array Cap_util Float

@@ -1,0 +1,1 @@
+lib/sim/diurnal.mli: Cap_util

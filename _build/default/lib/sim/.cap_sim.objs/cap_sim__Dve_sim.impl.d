@@ -1,0 +1,1 @@
+lib/sim/dve_sim.ml: Array Cap_core Cap_model Cap_util Diurnal Event_queue Hashtbl Lazy List Policy Trace

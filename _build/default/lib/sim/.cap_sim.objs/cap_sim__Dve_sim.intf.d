@@ -1,0 +1,1 @@
+lib/sim/dve_sim.mli: Cap_core Cap_model Cap_util Diurnal Policy Trace

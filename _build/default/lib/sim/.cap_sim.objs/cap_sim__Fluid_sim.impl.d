@@ -1,0 +1,1 @@
+lib/sim/fluid_sim.ml: Array Cap_model Cap_util

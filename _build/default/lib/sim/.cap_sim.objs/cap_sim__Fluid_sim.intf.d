@@ -1,0 +1,1 @@
+lib/sim/fluid_sim.mli: Cap_model Cap_util

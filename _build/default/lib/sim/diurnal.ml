@@ -1,0 +1,40 @@
+module Rng = Cap_util.Rng
+
+type t = {
+  period : float;
+  amplitude : float;
+  phases : float array;
+}
+
+let make ?(period = 86_400.) ?(amplitude = 0.8) ~phases () =
+  if Array.length phases = 0 then invalid_arg "Diurnal.make: no regions";
+  if period <= 0. then invalid_arg "Diurnal.make: period must be positive";
+  if amplitude < 0. || amplitude > 1. then invalid_arg "Diurnal.make: amplitude outside [0, 1]";
+  Array.iter
+    (fun p -> if p < 0. || p >= 1. then invalid_arg "Diurnal.make: phase outside [0, 1)")
+    phases;
+  { period; amplitude; phases = Array.copy phases }
+
+let random rng ~regions ?period ?amplitude () =
+  if regions <= 0 then invalid_arg "Diurnal.random: regions must be positive";
+  make ?period ?amplitude ~phases:(Array.init regions (fun _ -> Rng.uniform rng)) ()
+
+let regions t = Array.length t.phases
+let period t = t.period
+
+let factor t ~region ~time =
+  if region < 0 || region >= Array.length t.phases then
+    invalid_arg "Diurnal.factor: unknown region";
+  let angle = 2. *. Float.pi *. ((time /. t.period) +. t.phases.(region)) in
+  1. +. (t.amplitude *. sin angle)
+
+let peak_region t ~time =
+  let best = ref 0 and best_factor = ref neg_infinity in
+  for region = 0 to regions t - 1 do
+    let f = factor t ~region ~time in
+    if f > !best_factor then begin
+      best := region;
+      best_factor := f
+    end
+  done;
+  !best

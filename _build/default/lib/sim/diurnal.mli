@@ -1,0 +1,35 @@
+(** Diurnal arrival modulation per geographic region.
+
+    The paper motivates its clustered physical distributions with the
+    observation that "due to the differences in time zones ... the
+    number of online clients may be quite different for different
+    geographic regions" (citing Feng & Feng's measurements). This
+    module provides the time-varying version for the dynamic
+    simulation: each region's arrival intensity follows a sinusoidal
+    day/night cycle with its own phase, so the active population's
+    geography shifts over simulated time. *)
+
+type t
+
+val make : ?period:float -> ?amplitude:float -> phases:float array -> unit -> t
+(** [make ~phases ()] builds a model with one phase offset in [0, 1) per
+    region. [period] is the cycle length in simulated seconds (default
+    86400); [amplitude] in [0, 1] scales the swing (default 0.8 — at
+    the trough a region receives 20% of its peak arrivals). Raises
+    [Invalid_argument] on an empty phase array, out-of-range phases,
+    amplitude or non-positive period. *)
+
+val random : Cap_util.Rng.t -> regions:int -> ?period:float -> ?amplitude:float -> unit -> t
+(** Independent uniform phases — regions scattered over time zones. *)
+
+val regions : t -> int
+val period : t -> float
+
+val factor : t -> region:int -> time:float -> float
+(** Arrival-intensity multiplier, in [[1 - amplitude, 1 + amplitude]]
+    (mean 1 over a full period). Raises [Invalid_argument] for an
+    unknown region. *)
+
+val peak_region : t -> time:float -> int
+(** The region with the largest factor at that instant (lowest index
+    on ties). *)

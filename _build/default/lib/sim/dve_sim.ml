@@ -1,0 +1,264 @@
+module Rng = Cap_util.Rng
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Distribution = Cap_model.Distribution
+module Two_phase = Cap_core.Two_phase
+
+type flash_crowd = {
+  at : float;
+  fraction : float;
+  target_zone : int option;
+}
+
+type movement =
+  | Teleport
+  | Roam of Cap_model.Zone_map.t
+
+type config = {
+  duration : float;
+  arrival_rate : float;
+  mean_session : float;
+  mean_move_interval : float;
+  sample_interval : float;
+  policy : Policy.t;
+  flash_crowd : flash_crowd option;
+  movement : movement;
+  diurnal : Diurnal.t option;
+}
+
+let default_config =
+  {
+    duration = 600.;
+    arrival_rate = 1.;
+    mean_session = 500.;
+    mean_move_interval = 120.;
+    sample_interval = 20.;
+    policy = Policy.Periodic 100.;
+    flash_crowd = None;
+    movement = Teleport;
+    diurnal = None;
+  }
+
+let roaming_config ~zones =
+  { default_config with movement = Roam (Cap_model.Zone_map.square_for ~zones) }
+
+type outcome = {
+  trace : Trace.t;
+  reassignments : int;
+  final_world : World.t;
+  final_assignment : Assignment.t;
+}
+
+type event =
+  | Arrival
+  | Departure of int  (* sim client id *)
+  | Move of int
+  | Sample
+  | Reassign
+  | Flash of flash_crowd
+
+type live_client = {
+  node : int;
+  mutable zone : int;
+  mutable contact : int;
+}
+
+let validate config =
+  if config.duration <= 0. then invalid_arg "Dve_sim: duration must be positive";
+  if config.arrival_rate < 0. then invalid_arg "Dve_sim: negative arrival rate";
+  if config.mean_session <= 0. then invalid_arg "Dve_sim: mean_session must be positive";
+  if config.mean_move_interval <= 0. then invalid_arg "Dve_sim: mean_move_interval must be positive";
+  if config.sample_interval <= 0. then invalid_arg "Dve_sim: sample_interval must be positive";
+  (match config.flash_crowd with
+  | Some f ->
+      if f.at < 0. then invalid_arg "Dve_sim: flash crowd in the past";
+      if f.fraction <= 0. || f.fraction > 1. then
+        invalid_arg "Dve_sim: flash crowd fraction outside (0, 1]"
+  | None -> ());
+  ignore (Policy.validate config.policy)
+
+let validate_diurnal config ~regions =
+  match config.diurnal with
+  | None -> ()
+  | Some d ->
+      if Diurnal.regions d <> regions then
+        invalid_arg "Dve_sim: diurnal model does not match the world's regions"
+
+let validate_movement config ~zones =
+  match config.movement with
+  | Teleport -> ()
+  | Roam map ->
+      if Cap_model.Zone_map.zone_count map <> zones then
+        invalid_arg "Dve_sim: zone map does not match the world's zone count"
+
+let run rng config ~world ~algorithm =
+  validate config;
+  validate_movement config ~zones:(World.zone_count world);
+  validate_diurnal config ~regions:world.World.regions;
+  (* node ids per region, for diurnal arrival placement *)
+  let region_nodes =
+    lazy
+      (let buckets = Array.make world.World.regions [] in
+       Array.iteri
+         (fun node region -> buckets.(region) <- node :: buckets.(region))
+         world.World.region_of_node;
+       Array.map Array.of_list buckets)
+  in
+  let sample_arrival_node at =
+    match config.diurnal with
+    | None -> Distribution.sample_node world.World.sampler rng
+    | Some d ->
+        let buckets = Lazy.force region_nodes in
+        let weights =
+          Array.mapi
+            (fun region nodes ->
+              float_of_int (Array.length nodes) *. Diurnal.factor d ~region ~time:at)
+            buckets
+        in
+        let region = Rng.weighted_index rng weights in
+        buckets.(region).(Rng.int rng (Array.length buckets.(region)))
+  in
+  let queue = Event_queue.create () in
+  let clients : (int, live_client) Hashtbl.t = Hashtbl.create 256 in
+  let next_id = ref 0 in
+  let targets = ref [||] in
+  let reassignments = ref 0 in
+  let trace = Trace.create () in
+  let sampler = world.World.sampler in
+  (* Snapshot the live population as a world + assignment, in sim-id
+     order so that rebuilding is deterministic. *)
+  let snapshot () =
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) clients [] in
+    let ids = List.sort compare ids in
+    let k = List.length ids in
+    let nodes = Array.make k 0 and zones = Array.make k 0 and contacts = Array.make k 0 in
+    List.iteri
+      (fun i id ->
+        let c = Hashtbl.find clients id in
+        nodes.(i) <- c.node;
+        zones.(i) <- c.zone;
+        contacts.(i) <- c.contact)
+      ids;
+    let w = World.replace_clients world ~client_nodes:nodes ~client_zones:zones in
+    let a = Assignment.make ~target_of_zone:!targets ~contact_of_client:contacts in
+    ids, w, a
+  in
+  let reassign () =
+    let ids, w, _ = snapshot () in
+    let assignment = Two_phase.run algorithm rng w in
+    targets := Array.copy assignment.Assignment.target_of_zone;
+    List.iteri
+      (fun i id ->
+        let c = Hashtbl.find clients id in
+        c.contact <- assignment.Assignment.contact_of_client.(i))
+      ids;
+    incr reassignments
+  in
+  let schedule_departure id at =
+    Event_queue.schedule queue
+      ~time:(at +. Rng.exponential rng ~rate:(1. /. config.mean_session))
+      (Departure id)
+  in
+  let schedule_move id at =
+    Event_queue.schedule queue
+      ~time:(at +. Rng.exponential rng ~rate:(1. /. config.mean_move_interval))
+      (Move id)
+  in
+  let spawn ~node ~zone ~contact ~at =
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.replace clients id { node; zone; contact };
+    schedule_departure id at;
+    schedule_move id at;
+    id
+  in
+  (* Seed the initial population from the world and assign it. *)
+  let initial = Two_phase.run algorithm rng world in
+  targets := Array.copy initial.Assignment.target_of_zone;
+  Array.iteri
+    (fun i node ->
+      ignore
+        (spawn ~node
+           ~zone:world.World.client_zones.(i)
+           ~contact:initial.Assignment.contact_of_client.(i)
+           ~at:0.))
+    world.World.client_nodes;
+  reassignments := 0;
+  if config.arrival_rate > 0. then
+    Event_queue.schedule queue
+      ~time:(Rng.exponential rng ~rate:config.arrival_rate)
+      Arrival;
+  Event_queue.schedule queue ~time:config.sample_interval Sample;
+  (match config.policy with
+  | Policy.Periodic period -> Event_queue.schedule queue ~time:period Reassign
+  | Policy.Never | Policy.On_threshold _ -> ());
+  (match config.flash_crowd with
+  | Some f -> Event_queue.schedule queue ~time:f.at (Flash f)
+  | None -> ());
+  let sample_metrics at =
+    let _, w, a = snapshot () in
+    let pqos = Assignment.pqos a w in
+    Trace.record trace
+      {
+        Trace.time = at;
+        clients = Hashtbl.length clients;
+        pqos;
+        utilization = Assignment.utilization a w;
+        reassignments = !reassignments;
+      };
+    pqos
+  in
+  let finished = ref false in
+  while not !finished do
+    match Event_queue.next queue with
+    | None -> finished := true
+    | Some (at, _) when at > config.duration -> finished := true
+    | Some (at, event) -> (
+        match event with
+        | Arrival ->
+            let node = sample_arrival_node at in
+            let zone = Distribution.sample_zone sampler rng ~node in
+            ignore (spawn ~node ~zone ~contact:!targets.(zone) ~at);
+            Event_queue.schedule queue
+              ~time:(at +. Rng.exponential rng ~rate:config.arrival_rate)
+              Arrival
+        | Departure id -> Hashtbl.remove clients id
+        | Move id -> (
+            match Hashtbl.find_opt clients id with
+            | None -> ()
+            | Some c ->
+                (c.zone <-
+                   (match config.movement with
+                   | Teleport -> Distribution.sample_zone sampler rng ~node:c.node
+                   | Roam map -> Cap_model.Zone_map.random_neighbor rng map c.zone));
+                schedule_move id at)
+        | Sample ->
+            let pqos = sample_metrics at in
+            (match config.policy with
+            | Policy.On_threshold threshold when pqos < threshold -> reassign ()
+            | Policy.Never | Policy.Periodic _ | Policy.On_threshold _ -> ());
+            Event_queue.schedule queue ~time:(at +. config.sample_interval) Sample
+        | Reassign -> (
+            reassign ();
+            match config.policy with
+            | Policy.Periodic period ->
+                Event_queue.schedule queue ~time:(at +. period) Reassign
+            | Policy.Never | Policy.On_threshold _ -> ())
+        | Flash f ->
+            let zone =
+              match f.target_zone with
+              | Some z -> z
+              | None -> Rng.int rng (World.zone_count world)
+            in
+            let ids = Hashtbl.fold (fun id _ acc -> id :: acc) clients [] in
+            let ids = Array.of_list (List.sort compare ids) in
+            let crowd =
+              int_of_float (f.fraction *. float_of_int (Array.length ids))
+            in
+            let chosen = Rng.sample_distinct rng ~k:crowd ~n:(Array.length ids) in
+            Array.iter
+              (fun idx -> (Hashtbl.find clients ids.(idx)).zone <- zone)
+              chosen)
+  done;
+  let _, final_world, final_assignment = snapshot () in
+  { trace; reassignments = !reassignments; final_world; final_assignment }

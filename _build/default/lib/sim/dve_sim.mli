@@ -1,0 +1,72 @@
+(** Discrete-event simulation of a live DVE under churn.
+
+    Clients arrive as a Poisson process, stay for exponentially
+    distributed sessions, and move between zones at exponentially
+    distributed intervals (zones drawn from the world's placement
+    sampler, so clustering and correlation are preserved). New clients
+    connect to their zone's current target server; a {!Policy.t}
+    decides when the two-phase assignment algorithm is re-executed for
+    everyone. Metrics are sampled on a fixed grid.
+
+    This extends the paper's one-shot join/leave/move experiment
+    (Table 3) into a continuous-time setting. *)
+
+type flash_crowd = {
+  at : float;               (** when the event fires, seconds *)
+  fraction : float;         (** share of the live population that piles in *)
+  target_zone : int option; (** the hot zone; random when [None] *)
+}
+(** A flash-crowd event: a boss spawn, a world event, a server-wide
+    announcement — a large share of players converges on one zone at
+    once. This is the worst case for the quadratic bandwidth model and
+    stresses the reassignment policy. *)
+
+type movement =
+  | Teleport
+      (** moves re-sample a zone from the placement distribution (the
+          paper's one-shot model extended in time) *)
+  | Roam of Cap_model.Zone_map.t
+      (** moves go to a uniformly random adjacent zone of the grid
+          layout — spatially coherent avatar movement *)
+
+type config = {
+  duration : float;            (** simulated seconds *)
+  arrival_rate : float;        (** clients per second (>= 0) *)
+  mean_session : float;        (** mean client lifetime, seconds *)
+  mean_move_interval : float;  (** mean time between zone moves *)
+  sample_interval : float;     (** metric sampling period *)
+  policy : Policy.t;
+  flash_crowd : flash_crowd option;
+  movement : movement;
+  diurnal : Diurnal.t option;
+      (** when set, new arrivals land in regions weighted by the
+          time-of-day factor (region sizes still matter); must have one
+          phase per world region *)
+}
+
+val default_config : config
+(** 600 s, 1 client/s arrivals, 500 s sessions, 120 s between moves,
+    20 s sampling, reassignment every 100 s, no flash crowd,
+    teleporting movement. *)
+
+val roaming_config : zones:int -> config
+(** {!default_config} with [Roam] movement over the most-square grid
+    for the given zone count. Raises [Invalid_argument] if the zone
+    count is not positive. *)
+
+type outcome = {
+  trace : Trace.t;
+  reassignments : int;
+  final_world : Cap_model.World.t;
+  final_assignment : Cap_model.Assignment.t;
+}
+
+val run :
+  Cap_util.Rng.t ->
+  config ->
+  world:Cap_model.World.t ->
+  algorithm:Cap_core.Two_phase.t ->
+  outcome
+(** Simulate starting from [world]'s client population, initially
+    assigned by [algorithm]. Raises [Invalid_argument] on non-positive
+    durations/intervals or a negative arrival rate. *)

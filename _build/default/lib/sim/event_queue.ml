@@ -1,0 +1,39 @@
+module Binary_heap = Cap_util.Binary_heap
+
+type 'a entry = {
+  time : float;
+  seq : int;
+  payload : 'a;
+}
+
+type 'a t = {
+  heap : 'a entry Binary_heap.t;
+  mutable next_seq : int;
+  mutable clock : float;
+}
+
+let compare_entry a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  { heap = Binary_heap.create ~cmp:compare_entry (); next_seq = 0; clock = 0. }
+
+let schedule t ~time payload =
+  if Float.is_nan time || time < 0. then invalid_arg "Event_queue.schedule: bad time";
+  if time < t.clock then invalid_arg "Event_queue.schedule: scheduling into the past";
+  Binary_heap.add t.heap { time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1
+
+let next t =
+  match Binary_heap.pop t.heap with
+  | None -> None
+  | Some entry ->
+      t.clock <- entry.time;
+      Some (entry.time, entry.payload)
+
+let peek_time t =
+  match Binary_heap.peek t.heap with None -> None | Some entry -> Some entry.time
+
+let now t = t.clock
+let length t = Binary_heap.length t.heap
+let is_empty t = Binary_heap.is_empty t.heap

@@ -1,0 +1,23 @@
+(** Time-ordered event queue for discrete-event simulation.
+
+    Events with equal timestamps are delivered in insertion order
+    (FIFO), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] if [time] is negative, NaN, or earlier
+    than the last popped time (scheduling into the past). *)
+
+val next : 'a t -> (float * 'a) option
+(** Pop the earliest event. *)
+
+val peek_time : 'a t -> float option
+
+val now : 'a t -> float
+(** Time of the last popped event; 0 initially. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,17 @@
+type t =
+  | Never
+  | Periodic of float
+  | On_threshold of float
+
+let describe = function
+  | Never -> "never"
+  | Periodic s -> Printf.sprintf "periodic(%gs)" s
+  | On_threshold q -> Printf.sprintf "threshold(pQoS<%g)" q
+
+let validate t =
+  (match t with
+  | Never -> ()
+  | Periodic s -> if s <= 0. then invalid_arg "Policy: period must be positive"
+  | On_threshold q ->
+      if q <= 0. || q > 1. then invalid_arg "Policy: threshold outside (0, 1]");
+  t

@@ -1,0 +1,18 @@
+(** Reassignment policies: when a live DVE re-runs the two-phase
+    assignment algorithm, as §3.4 of the paper recommends for dynamic
+    worlds. *)
+
+type t =
+  | Never
+      (** keep the initial assignment forever (the paper's "After"
+          column, extended in time) *)
+  | Periodic of float
+      (** re-execute every given number of simulated seconds *)
+  | On_threshold of float
+      (** re-execute whenever sampled pQoS falls below the threshold *)
+
+val describe : t -> string
+
+val validate : t -> t
+(** Raises [Invalid_argument] on a non-positive period or a threshold
+    outside (0, 1]. *)

@@ -1,0 +1,44 @@
+module Table = Cap_util.Table
+
+type point = {
+  time : float;
+  clients : int;
+  pqos : float;
+  utilization : float;
+  reassignments : int;
+}
+
+type t = { mutable rev_points : point list }
+
+let create () = { rev_points = [] }
+let record t p = t.rev_points <- p :: t.rev_points
+let points t = List.rev t.rev_points
+let length t = List.length t.rev_points
+
+let mean_pqos t =
+  match t.rev_points with
+  | [] -> 0.
+  | ps -> List.fold_left (fun acc p -> acc +. p.pqos) 0. ps /. float_of_int (List.length ps)
+
+let min_pqos t = List.fold_left (fun acc p -> min acc p.pqos) 1. t.rev_points
+
+let final t = match t.rev_points with [] -> None | p :: _ -> Some p
+
+let to_table t =
+  let table =
+    Table.create ~headers:[ "time"; "clients"; "pQoS"; "util"; "reassigns" ] ()
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.1f" p.time;
+          string_of_int p.clients;
+          Table.cell_float ~decimals:3 p.pqos;
+          Table.cell_float ~decimals:3 p.utilization;
+          string_of_int p.reassignments;
+        ])
+    (points t);
+  table
+
+let to_csv t = Table.to_csv (to_table t)

@@ -1,0 +1,29 @@
+(** Time series produced by the dynamic DVE simulation. *)
+
+type point = {
+  time : float;
+  clients : int;
+  pqos : float;
+  utilization : float;
+  reassignments : int;  (** cumulative re-executions so far *)
+}
+
+type t
+
+val create : unit -> t
+val record : t -> point -> unit
+val points : t -> point list
+(** In chronological (insertion) order. *)
+
+val length : t -> int
+
+val mean_pqos : t -> float
+(** Time-unweighted mean over samples; 0 if empty. *)
+
+val min_pqos : t -> float
+(** 1.0 if empty. *)
+
+val final : t -> point option
+
+val to_table : t -> Cap_util.Table.t
+val to_csv : t -> string

@@ -1,0 +1,1 @@
+lib/topology/backbone.ml: Array Cap_util Float Graph List Point

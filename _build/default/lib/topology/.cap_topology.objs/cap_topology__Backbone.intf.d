@@ -1,0 +1,1 @@
+lib/topology/backbone.mli: Cap_util Graph Point

@@ -1,0 +1,1 @@
+lib/topology/barabasi_albert.ml: Array Cap_util Graph List Point

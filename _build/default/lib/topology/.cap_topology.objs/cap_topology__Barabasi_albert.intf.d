@@ -1,0 +1,1 @@
+lib/topology/barabasi_albert.mli: Cap_util Graph Point

@@ -1,0 +1,1 @@
+lib/topology/delay.ml: Array Graph Shortest_paths

@@ -1,0 +1,1 @@
+lib/topology/delay.mli: Graph

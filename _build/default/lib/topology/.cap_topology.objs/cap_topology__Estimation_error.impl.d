@@ -1,0 +1,1 @@
+lib/topology/estimation_error.ml: Cap_util Delay

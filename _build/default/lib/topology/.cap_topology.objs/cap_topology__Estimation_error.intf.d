@@ -1,0 +1,1 @@
+lib/topology/estimation_error.mli: Cap_util Delay

@@ -1,0 +1,1 @@
+lib/topology/hierarchical.ml: Array Barabasi_albert Cap_util Graph Point Waxman

@@ -1,0 +1,1 @@
+lib/topology/hierarchical.mli: Cap_util Graph Point

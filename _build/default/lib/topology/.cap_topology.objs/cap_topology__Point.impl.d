@@ -1,0 +1,1 @@
+lib/topology/point.ml: Cap_util

@@ -1,0 +1,1 @@
+lib/topology/shortest_paths.ml: Array Cap_util Graph

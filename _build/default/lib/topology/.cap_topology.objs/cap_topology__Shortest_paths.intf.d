@@ -1,0 +1,1 @@
+lib/topology/shortest_paths.mli: Graph

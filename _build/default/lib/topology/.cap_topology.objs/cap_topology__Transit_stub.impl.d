@@ -1,0 +1,1 @@
+lib/topology/transit_stub.ml: Array Cap_util Graph Point Waxman

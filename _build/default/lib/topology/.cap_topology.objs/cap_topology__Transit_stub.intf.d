@@ -1,0 +1,1 @@
+lib/topology/transit_stub.mli: Cap_util Graph Point

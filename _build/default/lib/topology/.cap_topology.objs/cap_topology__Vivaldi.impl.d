@@ -1,0 +1,1 @@
+lib/topology/vivaldi.ml: Array Cap_util Delay

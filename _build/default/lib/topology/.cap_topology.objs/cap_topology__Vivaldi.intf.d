@@ -1,0 +1,1 @@
+lib/topology/vivaldi.mli: Cap_util Delay

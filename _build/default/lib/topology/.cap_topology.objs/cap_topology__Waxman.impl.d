@@ -1,0 +1,1 @@
+lib/topology/waxman.ml: Array Cap_util Graph Point

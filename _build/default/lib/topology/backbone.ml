@@ -1,0 +1,156 @@
+module Rng = Cap_util.Rng
+
+type t = {
+  graph : Graph.t;
+  points : Point.t array;
+  city_names : string array;
+  core_count : int;
+}
+
+(* Major cities of the AT&T continental IP backbone, with (latitude,
+   longitude). The link list below approximates the published core
+   mesh: a west-coast chain, two transcontinental routes, a dense
+   north-east, and south-east / gulf interconnects. *)
+let cities =
+  [|
+    "Seattle", (47.61, -122.33);
+    "San Francisco", (37.77, -122.42);
+    "Los Angeles", (34.05, -118.24);
+    "San Diego", (32.72, -117.16);
+    "Phoenix", (33.45, -112.07);
+    "Salt Lake City", (40.76, -111.89);
+    "Denver", (39.74, -104.99);
+    "Dallas", (32.78, -96.80);
+    "Houston", (29.76, -95.37);
+    "San Antonio", (29.42, -98.49);
+    "Kansas City", (39.10, -94.58);
+    "St. Louis", (38.63, -90.20);
+    "Chicago", (41.88, -87.63);
+    "Detroit", (42.33, -83.05);
+    "Cleveland", (41.50, -81.69);
+    "Nashville", (36.16, -86.78);
+    "Atlanta", (33.75, -84.39);
+    "New Orleans", (29.95, -90.07);
+    "Orlando", (28.54, -81.38);
+    "Miami", (25.76, -80.19);
+    "Charlotte", (35.23, -80.84);
+    "Washington DC", (38.91, -77.04);
+    "Philadelphia", (39.95, -75.17);
+    "New York", (40.71, -74.01);
+    "Boston", (42.36, -71.06);
+  |]
+
+let links =
+  [
+    (* west coast *)
+    "Seattle", "San Francisco";
+    "San Francisco", "Los Angeles";
+    "Los Angeles", "San Diego";
+    "San Diego", "Phoenix";
+    "Los Angeles", "Phoenix";
+    (* mountain / transcontinental *)
+    "Seattle", "Salt Lake City";
+    "San Francisco", "Salt Lake City";
+    "Salt Lake City", "Denver";
+    "Denver", "Kansas City";
+    "Phoenix", "Dallas";
+    "Denver", "Dallas";
+    (* texas triangle and gulf *)
+    "Dallas", "Houston";
+    "Houston", "San Antonio";
+    "San Antonio", "Dallas";
+    "Houston", "New Orleans";
+    "New Orleans", "Atlanta";
+    (* midwest *)
+    "Kansas City", "St. Louis";
+    "St. Louis", "Chicago";
+    "Kansas City", "Dallas";
+    "Chicago", "Detroit";
+    "Detroit", "Cleveland";
+    "Chicago", "Cleveland";
+    "St. Louis", "Nashville";
+    (* south east *)
+    "Nashville", "Atlanta";
+    "Atlanta", "Orlando";
+    "Orlando", "Miami";
+    "Atlanta", "Charlotte";
+    "Charlotte", "Washington DC";
+    "Atlanta", "Dallas";
+    (* north east *)
+    "Cleveland", "Washington DC";
+    "Washington DC", "Philadelphia";
+    "Philadelphia", "New York";
+    "New York", "Boston";
+    "Chicago", "New York";
+    "Boston", "Cleveland";
+  ]
+
+let city_count = Array.length cities
+
+(* Equirectangular projection at the mean US latitude; good enough for
+   relative link lengths. One degree of latitude is ~111.2 km. *)
+let project (lat, lon) =
+  let km_per_degree = 111.2 in
+  let mean_lat_rad = 38. *. Float.pi /. 180. in
+  Point.make (lon *. km_per_degree *. cos mean_lat_rad) (lat *. km_per_degree)
+
+let city_index name =
+  let rec search i =
+    if i >= city_count then invalid_arg ("Backbone: unknown city " ^ name)
+    else if fst cities.(i) = name then i
+    else search (i + 1)
+  in
+  search 0
+
+let edge_weight a b = max (Point.distance a b) 1e-9
+
+let generate rng ~access_nodes =
+  if access_nodes < 0 then invalid_arg "Backbone.generate: negative access_nodes";
+  let n = city_count + access_nodes in
+  let points = Array.make n (Point.make 0. 0.) in
+  Array.iteri (fun i (_, coords) -> points.(i) <- project coords) cities;
+  let builder = Graph.Builder.create n in
+  List.iter
+    (fun (a, b) ->
+      let u = city_index a and v = city_index b in
+      Graph.Builder.add_edge builder u v (edge_weight points.(u) points.(v)))
+    links;
+  (* Access nodes cluster around a home city within a metro radius and
+     attach to their nearest core cities. *)
+  let metro_radius = 150. in
+  for i = city_count to n - 1 do
+    let home = Rng.int rng city_count in
+    let dx = Rng.float_in rng (-.metro_radius) metro_radius in
+    let dy = Rng.float_in rng (-.metro_radius) metro_radius in
+    points.(i) <- Point.make (points.(home).Point.x +. dx) (points.(home).Point.y +. dy);
+    let nearest = ref home and nearest_d = ref (Point.distance points.(i) points.(home)) in
+    for c = 0 to city_count - 1 do
+      let d = Point.distance points.(i) points.(c) in
+      if d < !nearest_d then begin
+        nearest := c;
+        nearest_d := d
+      end
+    done;
+    Graph.Builder.add_edge builder i !nearest (edge_weight points.(i) points.(!nearest));
+    (* Occasional multihoming to a second core city. *)
+    if Rng.uniform rng < 0.3 then begin
+      let second = ref None in
+      for c = 0 to city_count - 1 do
+        if c <> !nearest then begin
+          let d = Point.distance points.(i) points.(c) in
+          match !second with
+          | Some (_, d') when d' <= d -> ()
+          | _ -> second := Some (c, d)
+        end
+      done;
+      match !second with
+      | Some (c, _) -> Graph.Builder.add_edge builder i c (edge_weight points.(i) points.(c))
+      | None -> ()
+    end
+  done;
+  {
+    graph = Graph.Builder.finish builder;
+    points;
+    city_names = Array.map fst cities;
+    core_count = city_count;
+  }

@@ -1,0 +1,24 @@
+(** A realistic US continental IP backbone in the style of the AT&T
+    topology the paper cites as its "real topology" (Heckmann et al.).
+
+    Core nodes are major US cities with geographic coordinates; link
+    delays come from great-circle distances. Random access nodes can be
+    attached to the core to host clients and servers, so that the
+    client-assignment experiments can be run on this topology as an
+    alternative to the synthetic BRITE-style one. *)
+
+type t = {
+  graph : Graph.t;          (** core cities followed by access nodes *)
+  points : Point.t array;   (** equirectangular projection, in km *)
+  city_names : string array;(** names of the core nodes *)
+  core_count : int;
+}
+
+val city_count : int
+(** Number of core backbone cities. *)
+
+val generate : Cap_util.Rng.t -> access_nodes:int -> t
+(** [generate rng ~access_nodes] builds the backbone plus the given
+    number of access nodes; each access node connects to its nearest
+    core city, and with some probability to a second nearby city
+    (multihoming). Raises [Invalid_argument] if [access_nodes < 0]. *)

@@ -1,0 +1,47 @@
+module Rng = Cap_util.Rng
+
+type t = {
+  graph : Graph.t;
+  points : Point.t array;
+}
+
+let edge_weight a b = max (Point.distance a b) 1e-9
+
+let generate rng ~n ~m ?(x0 = 0.) ?(y0 = 0.) ~side () =
+  if m < 1 then invalid_arg "Barabasi_albert.generate: m must be >= 1";
+  if n < m + 1 then invalid_arg "Barabasi_albert.generate: n must be >= m + 1";
+  let points = Array.init n (fun _ -> Point.random_in rng ~x0 ~y0 ~side) in
+  let builder = Graph.Builder.create n in
+  (* Degree-proportional sampling via the repeated-endpoints list: each
+     edge contributes both endpoints, so drawing a uniform element of
+     the list is preferential attachment. *)
+  let endpoints = ref [] in
+  let endpoint_count = ref 0 in
+  let endpoints_array = ref [||] in
+  let dirty = ref true in
+  let add_edge u v =
+    Graph.Builder.add_edge builder u v (edge_weight points.(u) points.(v));
+    endpoints := u :: v :: !endpoints;
+    endpoint_count := !endpoint_count + 2;
+    dirty := true
+  in
+  let seed = m + 1 in
+  for u = 0 to seed - 1 do
+    for v = u + 1 to seed - 1 do
+      add_edge u v
+    done
+  done;
+  for i = seed to n - 1 do
+    if !dirty then begin
+      endpoints_array := Array.of_list !endpoints;
+      dirty := false
+    end;
+    let pool = !endpoints_array in
+    let chosen = ref [] in
+    while List.length !chosen < m do
+      let candidate = pool.(Rng.int rng (Array.length pool)) in
+      if not (List.mem candidate !chosen) then chosen := candidate :: !chosen
+    done;
+    List.iter (fun v -> add_edge i v) !chosen
+  done;
+  { graph = Graph.Builder.finish builder; points }

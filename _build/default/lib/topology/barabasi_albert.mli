@@ -1,0 +1,26 @@
+(** Barabási–Albert preferential-attachment random graphs.
+
+    New nodes attach to [m] distinct existing nodes with probability
+    proportional to current degree, producing the heavy-tailed degree
+    distributions characteristic of AS-level Internet topology — the
+    model BRITE uses at the AS level. *)
+
+type t = {
+  graph : Graph.t;
+  points : Point.t array;
+}
+
+val generate :
+  Cap_util.Rng.t ->
+  n:int ->
+  m:int ->
+  ?x0:float ->
+  ?y0:float ->
+  side:float ->
+  unit ->
+  t
+(** [generate rng ~n ~m ~side ()] grows a connected BA graph: the first
+    [m + 1] nodes form a clique, then each new node attaches to [m]
+    distinct nodes by preferential attachment. Node positions are
+    uniform in the placement square and edge weights are Euclidean
+    distances. Raises [Invalid_argument] if [m < 1] or [n < m + 1]. *)

@@ -1,0 +1,65 @@
+type t = {
+  matrix : float array array;
+  max_rtt : float;
+}
+
+let node_count t = Array.length t.matrix
+
+let rtt t u v = t.matrix.(u).(v)
+
+let max_rtt t = t.max_rtt
+
+let matrix_max m =
+  Array.fold_left (fun acc row -> Array.fold_left max acc row) 0. m
+
+let create g ~max_rtt =
+  if max_rtt <= 0. then invalid_arg "Delay.create: max_rtt must be positive";
+  let n = Graph.node_count g in
+  if n = 0 then invalid_arg "Delay.create: empty graph";
+  let dist = Shortest_paths.all_pairs g in
+  let raw_max = ref 0. in
+  Array.iter
+    (Array.iter (fun d ->
+         if d = infinity then invalid_arg "Delay.create: disconnected graph";
+         if d > !raw_max then raw_max := d))
+    dist;
+  let scale = if !raw_max > 0. then max_rtt /. !raw_max else 1. in
+  let matrix = Array.map (Array.map (fun d -> d *. scale)) dist in
+  (* Dijkstra from u and from v may differ in the last float bit
+     (different summation order); force exact symmetry. *)
+  for u = 0 to n - 1 do
+    matrix.(u).(u) <- 0.;
+    for v = u + 1 to n - 1 do
+      matrix.(v).(u) <- matrix.(u).(v)
+    done
+  done;
+  { matrix; max_rtt = matrix_max matrix }
+
+let of_matrix m =
+  let n = Array.length m in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then invalid_arg "Delay.of_matrix: not square";
+      Array.iteri
+        (fun j d ->
+          if d < 0. then invalid_arg "Delay.of_matrix: negative delay";
+          if i = j && d <> 0. then invalid_arg "Delay.of_matrix: non-zero diagonal";
+          if d <> m.(j).(i) then invalid_arg "Delay.of_matrix: not symmetric")
+        row)
+    m;
+  { matrix = Array.map Array.copy m; max_rtt = matrix_max m }
+
+let map_pairs t ~f =
+  let n = node_count t in
+  let matrix = Array.map Array.copy t.matrix in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = f u v matrix.(u).(v) in
+      if d < 0. then invalid_arg "Delay.map_pairs: negative delay";
+      matrix.(u).(v) <- d;
+      matrix.(v).(u) <- d
+    done
+  done;
+  { matrix; max_rtt = matrix_max matrix }
+
+let row t u = Array.copy t.matrix.(u)

@@ -1,0 +1,35 @@
+(** End-to-end round-trip delay models derived from a topology.
+
+    A delay model is a symmetric matrix of node-to-node round-trip
+    delays in milliseconds, obtained from all-pairs shortest paths and
+    normalised so that the largest delay equals a configured maximum
+    (500 ms in the paper's setup). *)
+
+type t
+
+val create : Graph.t -> max_rtt:float -> t
+(** All-pairs shortest-path delays scaled so the maximum equals
+    [max_rtt]. Raises [Invalid_argument] if the graph is disconnected,
+    empty, or [max_rtt <= 0]. *)
+
+val of_matrix : float array array -> t
+(** Wrap an explicit symmetric matrix (used by tests and by
+    {!Estimation_error}). Raises [Invalid_argument] if the matrix is
+    not square, not symmetric, has a non-zero diagonal or negative
+    entries. *)
+
+val node_count : t -> int
+
+val rtt : t -> int -> int -> float
+(** Round-trip delay between two nodes, in milliseconds. *)
+
+val max_rtt : t -> float
+(** Largest delay in the model. *)
+
+val map_pairs : t -> f:(int -> int -> float -> float) -> t
+(** Apply [f u v d] to every unordered pair [u < v], mirroring the
+    result so the matrix stays symmetric; the diagonal is untouched.
+    Raises [Invalid_argument] if [f] produces a negative delay. *)
+
+val row : t -> int -> float array
+(** Copy of one node's delay row. *)

@@ -1,0 +1,8 @@
+module Rng = Cap_util.Rng
+
+let king = 1.2
+let idmaps = 2.0
+
+let apply rng ~factor delay =
+  if factor < 1. then invalid_arg "Estimation_error.apply: factor must be >= 1";
+  Delay.map_pairs delay ~f:(fun _ _ d -> Rng.float_in rng (d /. factor) (d *. factor))

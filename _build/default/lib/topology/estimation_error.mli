@@ -1,0 +1,17 @@
+(** Multiplicative delay-estimation error, modelling imperfect input
+    from measurement services such as King (factor ~1.2) and IDMaps
+    (factor ~2), following the model of Qiu et al. that the paper
+    adopts: a true delay [d] is observed as a uniform draw from
+    [\[d / e, d * e\]]. *)
+
+val king : float
+(** Error factor representative of King (1.2). *)
+
+val idmaps : float
+(** Error factor representative of IDMaps (2.0). *)
+
+val apply : Cap_util.Rng.t -> factor:float -> Delay.t -> Delay.t
+(** Perturb every node pair independently (symmetrically — both
+    directions of a pair observe the same estimate, as a measurement
+    service would report). The diagonal stays zero. Raises
+    [Invalid_argument] if [factor < 1.]. *)

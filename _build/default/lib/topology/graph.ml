@@ -1,0 +1,109 @@
+type t = {
+  adj : (int * float) array array;
+  edges : (int * int * float) array;
+}
+
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module Builder = struct
+  type t = {
+    n : int;
+    mutable rev_edges : (int * int * float) list;
+    mutable count : int;
+    mutable seen : Edge_set.t;
+    degrees : int array;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative size";
+    { n; rev_edges = []; count = 0; seen = Edge_set.empty; degrees = Array.make (max n 1) 0 }
+
+  let key u v = if u < v then u, v else v, u
+
+  let check_node b u =
+    if u < 0 || u >= b.n then invalid_arg "Graph.Builder: node out of range"
+
+  let has_edge b u v =
+    check_node b u;
+    check_node b v;
+    Edge_set.mem (key u v) b.seen
+
+  let add_edge b u v w =
+    check_node b u;
+    check_node b v;
+    if u = v then invalid_arg "Graph.Builder.add_edge: self-loop";
+    if w <= 0. then invalid_arg "Graph.Builder.add_edge: non-positive weight";
+    if Edge_set.mem (key u v) b.seen then invalid_arg "Graph.Builder.add_edge: duplicate edge";
+    b.seen <- Edge_set.add (key u v) b.seen;
+    let u, v = key u v in
+    b.rev_edges <- (u, v, w) :: b.rev_edges;
+    b.count <- b.count + 1;
+    b.degrees.(u) <- b.degrees.(u) + 1;
+    b.degrees.(v) <- b.degrees.(v) + 1
+
+  let edge_count b = b.count
+
+  let degree b u =
+    check_node b u;
+    b.degrees.(u)
+
+  let finish b =
+    let edges = Array.of_list (List.rev b.rev_edges) in
+    let adj = Array.init b.n (fun u -> Array.make b.degrees.(u) (0, 0.)) in
+    let fill = Array.make b.n 0 in
+    let place u v w =
+      adj.(u).(fill.(u)) <- (v, w);
+      fill.(u) <- fill.(u) + 1
+    in
+    Array.iter
+      (fun (u, v, w) ->
+        place u v w;
+        place v u w)
+      edges;
+    { adj; edges }
+end
+
+let node_count t = Array.length t.adj
+let edge_count t = Array.length t.edges
+let neighbors t u = t.adj.(u)
+let degree t u = Array.length t.adj.(u)
+let iter_edges t f = Array.iter (fun (u, v, w) -> f u v w) t.edges
+let edges t = Array.copy t.edges
+
+let edge_weight t u v =
+  if u < 0 || u >= node_count t || v < 0 || v >= node_count t then None
+  else
+    Array.fold_left
+      (fun acc (x, w) -> match acc with Some _ -> acc | None -> if x = v then Some w else None)
+      None t.adj.(u)
+
+let has_edge t u v = edge_weight t u v <> None
+
+let is_connected t =
+  let n = node_count t in
+  if n <= 1 then true
+  else begin
+    let visited = Array.make n false in
+    let queue = Queue.create () in
+    visited.(0) <- true;
+    Queue.add 0 queue;
+    let reached = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun (v, _) ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            incr reached;
+            Queue.add v queue
+          end)
+        t.adj.(u)
+    done;
+    !reached = n
+  end
+
+let degree_array t = Array.init (node_count t) (degree t)

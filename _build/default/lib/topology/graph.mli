@@ -1,0 +1,50 @@
+(** Undirected weighted graphs in a compact adjacency representation.
+
+    Node identifiers are dense integers [0 .. node_count - 1]; edge
+    weights are link round-trip delays. Graphs are immutable once
+    built; construction goes through {!Builder}. *)
+
+type t
+
+(** Mutable graph under construction. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : int -> t
+  (** [create n] starts an edgeless graph on [n] nodes. *)
+
+  val add_edge : t -> int -> int -> float -> unit
+  (** [add_edge b u v w] adds an undirected edge of weight [w]. Raises
+      [Invalid_argument] on out-of-range endpoints, self-loops,
+      duplicate edges, or non-positive weights. *)
+
+  val has_edge : t -> int -> int -> bool
+  val edge_count : t -> int
+  val degree : t -> int -> int
+  val finish : t -> graph
+end
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val neighbors : t -> int -> (int * float) array
+(** Adjacent nodes with edge weights. The returned array must not be
+    mutated. *)
+
+val degree : t -> int -> int
+
+val iter_edges : t -> (int -> int -> float -> unit) -> unit
+(** Each undirected edge is visited once, with [u < v]. *)
+
+val edges : t -> (int * int * float) array
+
+val has_edge : t -> int -> int -> bool
+
+val edge_weight : t -> int -> int -> float option
+
+val is_connected : t -> bool
+(** Breadth-first reachability from node 0; the empty graph is
+    connected. *)
+
+val degree_array : t -> int array

@@ -1,0 +1,82 @@
+module Rng = Cap_util.Rng
+
+type t = {
+  graph : Graph.t;
+  points : Point.t array;
+  as_of : int array;
+  n_as : int;
+}
+
+type params = {
+  n_as : int;
+  routers_per_as : int;
+  as_m : int;
+  router_m : int;
+  alpha : float;
+  beta : float;
+  side : float;
+}
+
+let default_params =
+  { n_as = 20; routers_per_as = 25; as_m = 2; router_m = 2; alpha = 0.15; beta = 0.2; side = 1000. }
+
+let node_count t = Array.length t.points
+
+let routers_of_as t asn =
+  let acc = ref [] in
+  for i = Array.length t.as_of - 1 downto 0 do
+    if t.as_of.(i) = asn then acc := i :: !acc
+  done;
+  !acc
+
+let edge_weight a b = max (Point.distance a b) 1e-9
+
+let generate rng p =
+  if p.n_as < 1 || p.routers_per_as < 1 then
+    invalid_arg "Hierarchical.generate: sizes must be positive";
+  if p.side <= 0. then invalid_arg "Hierarchical.generate: side must be positive";
+  let n = p.n_as * p.routers_per_as in
+  (* ASes live in distinct cells of a sqrt-grid over the plane so that
+     intra-AS links are short and inter-AS links span the plane. *)
+  let grid = int_of_float (ceil (sqrt (float_of_int p.n_as))) in
+  let cell = p.side /. float_of_int grid in
+  let as_subnets =
+    Array.init p.n_as (fun k ->
+        let x0 = float_of_int (k mod grid) *. cell in
+        let y0 = float_of_int (k / grid) *. cell in
+        Waxman.generate_incremental rng ~n:p.routers_per_as ~m:p.router_m ~alpha:p.alpha
+          ~beta:p.beta ~x0 ~y0 ~side:cell ())
+  in
+  let as_level =
+    if p.n_as = 1 then None
+    else
+      Some
+        (Barabasi_albert.generate rng ~n:p.n_as ~m:(min p.as_m (p.n_as - 1)) ~side:p.side ())
+  in
+  let global k r = (k * p.routers_per_as) + r in
+  let points = Array.make n (Point.make 0. 0.) in
+  let as_of = Array.make n 0 in
+  Array.iteri
+    (fun k (subnet : Waxman.t) ->
+      Array.iteri
+        (fun r pt ->
+          points.(global k r) <- pt;
+          as_of.(global k r) <- k)
+        subnet.points)
+    as_subnets;
+  let builder = Graph.Builder.create n in
+  Array.iteri
+    (fun k (subnet : Waxman.t) ->
+      Graph.iter_edges subnet.graph (fun u v w ->
+          Graph.Builder.add_edge builder (global k u) (global k v) w))
+    as_subnets;
+  (match as_level with
+  | None -> ()
+  | Some ba ->
+      Graph.iter_edges ba.graph (fun a b _ ->
+          let u = global a (Rng.int rng p.routers_per_as) in
+          let v = global b (Rng.int rng p.routers_per_as) in
+          if not (Graph.Builder.has_edge builder u v) then
+            Graph.Builder.add_edge builder u v (edge_weight points.(u) points.(v))));
+  let graph = Graph.Builder.finish builder in
+  { graph; points; as_of; n_as = p.n_as }

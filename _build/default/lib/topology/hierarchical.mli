@@ -1,0 +1,37 @@
+(** BRITE-style hierarchical top-down Internet topologies.
+
+    An AS-level Barabási–Albert graph is generated first; each AS then
+    receives a Waxman router-level subgraph placed inside its own cell
+    of the plane, and every AS-level edge is realised as a link between
+    random border routers of the two ASes. This mirrors the topology
+    used in the paper's simulations: 20 ASes (Barabási–Albert) with 25
+    Waxman router nodes each, 500 nodes in total. *)
+
+type t = {
+  graph : Graph.t;          (** flat router-level graph *)
+  points : Point.t array;   (** router positions in the plane *)
+  as_of : int array;        (** router id -> AS id *)
+  n_as : int;
+}
+
+type params = {
+  n_as : int;               (** number of ASes (default 20) *)
+  routers_per_as : int;     (** routers per AS (default 25) *)
+  as_m : int;               (** BA attachment degree at AS level (default 2) *)
+  router_m : int;           (** Waxman links per new router (default 2) *)
+  alpha : float;            (** Waxman alpha (default 0.15) *)
+  beta : float;             (** Waxman beta (default 0.2) *)
+  side : float;             (** plane side length (default 1000.) *)
+}
+
+val default_params : params
+(** The paper's configuration: 20 ASes x 25 routers = 500 nodes. *)
+
+val generate : Cap_util.Rng.t -> params -> t
+(** Generate a connected hierarchical topology. Raises
+    [Invalid_argument] on non-positive parameters. *)
+
+val node_count : t -> int
+
+val routers_of_as : t -> int -> int list
+(** Router ids belonging to the given AS. *)

@@ -1,0 +1,10 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let random_in rng ~x0 ~y0 ~side =
+  { x = x0 +. Cap_util.Rng.float rng side; y = y0 +. Cap_util.Rng.float rng side }

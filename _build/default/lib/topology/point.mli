@@ -1,0 +1,10 @@
+(** Points in the 2-D plane used to place topology nodes; link
+    propagation delays derive from Euclidean distances. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val distance : t -> t -> float
+val random_in : Cap_util.Rng.t -> x0:float -> y0:float -> side:float -> t
+(** Uniform point in the axis-aligned square with corner [(x0, y0)]
+    and the given side length. *)

@@ -1,0 +1,110 @@
+module Rng = Cap_util.Rng
+
+type params = {
+  transit_domains : int;
+  transit_nodes : int;
+  stubs_per_transit : int;
+  stub_nodes : int;
+  side : float;
+}
+
+let default_params =
+  { transit_domains = 4; transit_nodes = 5; stubs_per_transit = 3; stub_nodes = 8; side = 1000. }
+
+let node_count_of p =
+  let transit = p.transit_domains * p.transit_nodes in
+  transit + (transit * p.stubs_per_transit * p.stub_nodes)
+
+type t = {
+  graph : Graph.t;
+  points : Point.t array;
+  domain_of : int array;
+  is_transit : bool array;
+}
+
+let edge_weight a b = max (Point.distance a b) 1e-9
+
+let generate rng p =
+  if
+    p.transit_domains <= 0 || p.transit_nodes <= 0 || p.stubs_per_transit < 0
+    || p.stub_nodes <= 0
+  then invalid_arg "Transit_stub.generate: sizes must be positive";
+  if p.side <= 0. then invalid_arg "Transit_stub.generate: side must be positive";
+  let n = node_count_of p in
+  let points = Array.make n (Point.make 0. 0.) in
+  let domain_of = Array.make n 0 in
+  let is_transit = Array.make n false in
+  let builder = Graph.Builder.create n in
+  let next_node = ref 0 in
+  let next_domain = ref 0 in
+  let fresh_node point domain transit =
+    let id = !next_node in
+    incr next_node;
+    points.(id) <- point;
+    domain_of.(id) <- domain;
+    is_transit.(id) <- transit;
+    id
+  in
+  (* Transit domains occupy distinct grid cells of the plane. *)
+  let grid = int_of_float (ceil (sqrt (float_of_int p.transit_domains))) in
+  let cell = p.side /. float_of_int grid in
+  let transit_ids = Array.make (p.transit_domains * p.transit_nodes) 0 in
+  for d = 0 to p.transit_domains - 1 do
+    let domain = !next_domain in
+    incr next_domain;
+    let x0 = float_of_int (d mod grid) *. cell in
+    let y0 = float_of_int (d / grid) *. cell in
+    for k = 0 to p.transit_nodes - 1 do
+      let point = Point.random_in rng ~x0 ~y0 ~side:cell in
+      transit_ids.((d * p.transit_nodes) + k) <- fresh_node point domain true
+    done;
+    (* ring + random chords keep each transit domain 2-connected-ish *)
+    for k = 0 to p.transit_nodes - 1 do
+      let u = transit_ids.((d * p.transit_nodes) + k) in
+      let v = transit_ids.((d * p.transit_nodes) + ((k + 1) mod p.transit_nodes)) in
+      if u <> v && not (Graph.Builder.has_edge builder u v) then
+        Graph.Builder.add_edge builder u v (edge_weight points.(u) points.(v))
+    done;
+    if p.transit_nodes > 3 then begin
+      let u = transit_ids.(d * p.transit_nodes) in
+      let v = transit_ids.((d * p.transit_nodes) + (p.transit_nodes / 2)) in
+      if not (Graph.Builder.has_edge builder u v) then
+        Graph.Builder.add_edge builder u v (edge_weight points.(u) points.(v))
+    end
+  done;
+  (* Full mesh between transit domains through random border nodes
+     (one inter-domain link per domain pair). *)
+  for a = 0 to p.transit_domains - 1 do
+    for b = a + 1 to p.transit_domains - 1 do
+      let u = transit_ids.((a * p.transit_nodes) + Rng.int rng p.transit_nodes) in
+      let v = transit_ids.((b * p.transit_nodes) + Rng.int rng p.transit_nodes) in
+      if not (Graph.Builder.has_edge builder u v) then
+        Graph.Builder.add_edge builder u v (edge_weight points.(u) points.(v))
+    done
+  done;
+  (* Stub domains: a small Waxman cloud near the anchor transit node,
+     plus the uplink. *)
+  let stub_radius = cell /. 4. in
+  Array.iter
+    (fun anchor ->
+      for _ = 1 to p.stubs_per_transit do
+        let domain = !next_domain in
+        incr next_domain;
+        let x0 = points.(anchor).Point.x -. (stub_radius /. 2.) in
+        let y0 = points.(anchor).Point.y -. (stub_radius /. 2.) in
+        let cloud =
+          Waxman.generate_incremental rng ~n:p.stub_nodes ~m:1 ~alpha:0.4 ~beta:0.4 ~x0 ~y0
+            ~side:stub_radius ()
+        in
+        let ids =
+          Array.map (fun point -> fresh_node point domain false) cloud.Waxman.points
+        in
+        Graph.iter_edges cloud.Waxman.graph (fun u v w ->
+            Graph.Builder.add_edge builder ids.(u) ids.(v) w);
+        (* uplink from a random stub node to the anchor *)
+        let gateway = ids.(Rng.int rng p.stub_nodes) in
+        Graph.Builder.add_edge builder gateway anchor
+          (edge_weight points.(gateway) points.(anchor))
+      done)
+    transit_ids;
+  { graph = Graph.Builder.finish builder; points; domain_of; is_transit }

@@ -1,0 +1,33 @@
+(** GT-ITM-style transit-stub topologies — the other classic synthetic
+    Internet model (Zegura et al.), provided as an alternative to the
+    BRITE-style hierarchy for robustness checks.
+
+    A small number of well-connected {e transit} domains form the core;
+    every transit node anchors a few {e stub} domains whose nodes only
+    reach the rest of the network through their transit node. Link
+    delays are Euclidean distances, so stub-local paths are short and
+    core paths span the plane. *)
+
+type params = {
+  transit_domains : int;    (** default 4 *)
+  transit_nodes : int;      (** nodes per transit domain (default 5) *)
+  stubs_per_transit : int;  (** stub domains per transit node (default 3) *)
+  stub_nodes : int;         (** nodes per stub domain (default 8) *)
+  side : float;             (** plane side (default 1000.) *)
+}
+
+val default_params : params
+(** 4 x 5 transit nodes, each with 3 stubs of 8 nodes = 500 nodes. *)
+
+val node_count_of : params -> int
+
+type t = {
+  graph : Graph.t;
+  points : Point.t array;
+  domain_of : int array;  (** node -> stub/transit domain id *)
+  is_transit : bool array;
+}
+
+val generate : Cap_util.Rng.t -> params -> t
+(** Connected by construction. Raises [Invalid_argument] on
+    non-positive parameters. *)

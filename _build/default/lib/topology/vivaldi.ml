@@ -1,0 +1,110 @@
+module Rng = Cap_util.Rng
+
+type params = {
+  dimensions : int;
+  rounds : int;
+  neighbors : int;
+  ce : float;
+  cc : float;
+}
+
+let default_params = { dimensions = 3; rounds = 60; neighbors = 16; ce = 0.25; cc = 0.25 }
+
+type t = {
+  coordinates : float array array;
+  errors : float array;
+}
+
+let validate params n =
+  if params.dimensions <= 0 then invalid_arg "Vivaldi: dimensions must be positive";
+  if params.rounds <= 0 then invalid_arg "Vivaldi: rounds must be positive";
+  if params.neighbors <= 0 then invalid_arg "Vivaldi: neighbors must be positive";
+  if params.ce <= 0. || params.cc <= 0. then invalid_arg "Vivaldi: gains must be positive";
+  if n < 2 then invalid_arg "Vivaldi: need at least 2 nodes"
+
+let norm v =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v)
+
+let coordinate_distance a b =
+  let acc = ref 0. in
+  Array.iteri (fun i ai -> acc := !acc +. ((ai -. b.(i)) *. (ai -. b.(i)))) a;
+  sqrt !acc
+
+let embed rng ?(params = default_params) delay =
+  let n = Delay.node_count delay in
+  validate params n;
+  (* Small random initial coordinates break the symmetry of starting
+     everyone at the origin. *)
+  let coordinates =
+    Array.init n (fun _ ->
+        Array.init params.dimensions (fun _ -> Rng.float_in rng (-1.) 1.))
+  in
+  let errors = Array.make n 1. in
+  (* Fixed random neighbor sets, as a deployment would have. *)
+  let neighbor_sets =
+    Array.init n (fun i ->
+        let k = min params.neighbors (n - 1) in
+        let chosen = Rng.sample_distinct rng ~k ~n:(n - 1) in
+        (* indices skip the node itself *)
+        Array.map (fun j -> if j >= i then j + 1 else j) chosen)
+  in
+  let update i j =
+    let rtt = Delay.rtt delay i j in
+    if rtt > 0. then begin
+      let xi = coordinates.(i) and xj = coordinates.(j) in
+      let dist = coordinate_distance xi xj in
+      (* confidence weight: how much node i trusts itself vs j *)
+      let w =
+        if errors.(i) +. errors.(j) = 0. then 0.5 else errors.(i) /. (errors.(i) +. errors.(j))
+      in
+      let sample_error = abs_float (dist -. rtt) /. rtt in
+      errors.(i) <- (sample_error *. params.ce *. w) +. (errors.(i) *. (1. -. (params.ce *. w)));
+      let timestep = params.cc *. w in
+      (* unit vector from j towards i; random direction if coincident *)
+      let direction = Array.make params.dimensions 0. in
+      Array.iteri (fun d xid -> direction.(d) <- xid -. xj.(d)) xi;
+      let len = norm direction in
+      if len > 1e-12 then
+        Array.iteri (fun d v -> direction.(d) <- v /. len) direction
+      else
+        Array.iteri (fun d _ -> direction.(d) <- Rng.float_in rng (-1.) 1.) direction;
+      let force = timestep *. (rtt -. dist) in
+      Array.iteri (fun d v -> xi.(d) <- v +. (force *. direction.(d))) xi
+    end
+  in
+  for _ = 1 to params.rounds do
+    for i = 0 to n - 1 do
+      Array.iter (fun j -> update i j) neighbor_sets.(i)
+    done
+  done;
+  { coordinates; errors }
+
+let estimated_delay t =
+  let n = Array.length t.coordinates in
+  let matrix = Array.init n (fun _ -> Array.make n 0.) in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = coordinate_distance t.coordinates.(u) t.coordinates.(v) in
+      matrix.(u).(v) <- d;
+      matrix.(v).(u) <- d
+    done
+  done;
+  Delay.of_matrix matrix
+
+let estimate rng ?params delay = estimated_delay (embed rng ?params delay)
+
+let median_relative_error ~estimated ~reference =
+  let n = Delay.node_count reference in
+  if Delay.node_count estimated <> n then
+    invalid_arg "Vivaldi.median_relative_error: size mismatch";
+  let samples = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let r = Delay.rtt reference u v in
+      if r > 0. then
+        samples := abs_float (Delay.rtt estimated u v -. r) /. r :: !samples
+    done
+  done;
+  match !samples with
+  | [] -> 0.
+  | xs -> Cap_util.Stats.median (Array.of_list xs)

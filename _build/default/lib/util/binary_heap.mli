@@ -1,0 +1,31 @@
+(** Polymorphic array-backed binary min-heap.
+
+    Ordering is supplied at creation time via a [compare]-style
+    function. Used for event queues and other priority scheduling. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (minimum on
+    top). *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Bottom-up heapify in O(n). The array is not modified. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** O(log n) insertion. *)
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val drain : 'a t -> 'a list
+(** Remove all elements in ascending order. *)

@@ -1,0 +1,87 @@
+type t = {
+  keys : int array;       (* heap slot -> key *)
+  prio : float array;     (* heap slot -> priority *)
+  pos : int array;        (* key -> heap slot, or -1 if absent *)
+  mutable size : int;
+}
+
+let create n =
+  {
+    keys = Array.make (max n 1) 0;
+    prio = Array.make (max n 1) 0.;
+    pos = Array.make (max n 1) (-1);
+    size = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let mem t key = key >= 0 && key < Array.length t.pos && t.pos.(key) >= 0
+
+let priority t key = if mem t key then Some t.prio.(t.pos.(key)) else None
+
+let swap t i j =
+  let ki = t.keys.(i) and kj = t.keys.(j) in
+  t.keys.(i) <- kj;
+  t.keys.(j) <- ki;
+  let pi = t.prio.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.prio.(j) <- pi;
+  t.pos.(kj) <- i;
+  t.pos.(ki) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(i) < t.prio.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && t.prio.(l) < t.prio.(i) then l else i in
+  let smallest = if r < t.size && t.prio.(r) < t.prio.(smallest) then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let insert t key p =
+  if key < 0 || key >= Array.length t.pos then invalid_arg "Indexed_heap.insert: key out of range";
+  if t.pos.(key) >= 0 then invalid_arg "Indexed_heap.insert: key already present";
+  let i = t.size in
+  t.size <- i + 1;
+  t.keys.(i) <- key;
+  t.prio.(i) <- p;
+  t.pos.(key) <- i;
+  sift_up t i
+
+let decrease t key p =
+  if not (mem t key) then invalid_arg "Indexed_heap.decrease: key absent";
+  let i = t.pos.(key) in
+  if p > t.prio.(i) then invalid_arg "Indexed_heap.decrease: priority increase";
+  t.prio.(i) <- p;
+  sift_up t i
+
+let insert_or_decrease t key p =
+  match priority t key with
+  | None -> insert t key p
+  | Some current -> if p < current then decrease t key p
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) and p = t.prio.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      let last = t.size in
+      t.keys.(0) <- t.keys.(last);
+      t.prio.(0) <- t.prio.(last);
+      t.pos.(t.keys.(0)) <- 0
+    end;
+    t.pos.(key) <- -1;
+    if t.size > 1 then sift_down t 0;
+    Some (key, p)
+  end

@@ -1,0 +1,35 @@
+(** Indexed binary min-heap over the keys [0 .. n-1] with float
+    priorities and decrease-key, as needed by Dijkstra's algorithm.
+
+    Each key may be present at most once; its heap position is tracked
+    so that priority decreases are O(log n). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty heap over the key universe [0 .. n-1]. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Whether the key is currently in the heap. *)
+
+val priority : t -> int -> float option
+(** Current priority of a key, if present. *)
+
+val insert : t -> int -> float -> unit
+(** [insert t key p] adds [key] with priority [p]. Raises
+    [Invalid_argument] if the key is out of range or already present. *)
+
+val decrease : t -> int -> float -> unit
+(** [decrease t key p] lowers [key]'s priority to [p]. Raises
+    [Invalid_argument] if the key is absent or [p] is larger than the
+    current priority. *)
+
+val insert_or_decrease : t -> int -> float -> unit
+(** Insert the key, or decrease its priority if the new one is lower;
+    a no-op if the key is present with a smaller or equal priority. *)
+
+val pop_min : t -> (int * float) option
+(** Remove and return the key with the smallest priority. *)

@@ -1,0 +1,89 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+(* Non-negative 62-bit integer: OCaml's native int is 63-bit. *)
+let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let max_nonneg = (1 lsl 62) - 1
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let lim = max_nonneg - (max_nonneg mod n) in
+  let rec draw () =
+    let v = nonneg t in
+    if v >= lim then draw () else v mod n
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let uniform t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits53 *. 0x1p-53
+
+let float t x = uniform t *. x
+
+let float_in t lo hi = lo +. (uniform t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  (* 1 - uniform is in (0, 1], so log is finite. *)
+  -.log (1. -. uniform t) /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+let sample_distinct t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_distinct";
+  (* Partial Fisher-Yates over an index array: O(n) space, O(n + k). *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k
+
+let weighted_index t w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then invalid_arg "Rng.weighted_index: weights must sum to > 0";
+  let target = float t total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.

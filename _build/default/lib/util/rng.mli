@@ -1,0 +1,61 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The implementation is splitmix64, which is fast, has a 64-bit state,
+    and supports cheap derivation of statistically independent streams.
+    Every stochastic component of the library takes an explicit [Rng.t]
+    so that any simulation run is a pure function of its seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is statistically
+    independent from the remainder of [t]'s stream. [t] is advanced. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on [\[lo, hi\]] inclusive. Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val uniform : t -> float
+(** Uniform float in [\[0, 1)], 53 bits of precision. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [\[0, x)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform on [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> rate:float -> float
+(** Exponentially distributed value with the given rate (mean
+    [1. /. rate]). Raises [Invalid_argument] if [rate <= 0.]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniformly random element. Raises [Invalid_argument] on [||]. *)
+
+val sample_distinct : t -> k:int -> n:int -> int array
+(** [sample_distinct t ~k ~n] draws [k] distinct integers from
+    [\[0, n)], in random order. Raises [Invalid_argument] if [k > n]
+    or [k < 0]. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index t w] draws index [i] with probability proportional
+    to [w.(i)]. Weights must be non-negative with a positive sum. *)

@@ -1,0 +1,103 @@
+let sum = Array.fold_left ( +. ) 0.
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty array";
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let extremum name better xs =
+  if Array.length xs = 0 then invalid_arg name;
+  Array.fold_left (fun acc x -> if better x acc then x else acc) xs.(0) xs
+
+let min_value xs = extremum "Stats.min_value: empty array" ( < ) xs
+let max_value xs = extremum "Stats.max_value: empty array" ( > ) xs
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = quantile xs 0.5
+
+let ci95_halfwidth xs =
+  let n = Array.length xs in
+  if n < 2 then 0. else 1.96 *. stddev xs /. sqrt (float_of_int n)
+
+module Cdf = struct
+  type t = { sorted : float array }
+
+  let of_samples xs =
+    if Array.length xs = 0 then invalid_arg "Stats.Cdf.of_samples: empty array";
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    { sorted }
+
+  let size t = Array.length t.sorted
+
+  (* Number of samples <= x, by binary search for the last such index. *)
+  let count_le t x =
+    let a = t.sorted in
+    let n = Array.length a in
+    if n = 0 || a.(0) > x then 0
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      (* invariant: a.(lo) <= x, and a.(hi+1) > x if hi+1 < n *)
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if a.(mid) <= x then lo := mid else hi := mid - 1
+      done;
+      !lo + 1
+    end
+
+  let eval t x = float_of_int (count_le t x) /. float_of_int (size t)
+
+  let evaluate_grid t grid = Array.to_list (Array.map (fun x -> x, eval t x) grid)
+
+  let inverse t q = quantile t.sorted q
+end
+
+module Running = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+end
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if hi <= lo then invalid_arg "Stats.histogram: empty range";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let bucket x =
+    let i = int_of_float ((x -. lo) /. width) in
+    max 0 (min (bins - 1) i)
+  in
+  Array.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+  counts

@@ -1,0 +1,61 @@
+(** Descriptive statistics, empirical distributions and streaming
+    accumulators used throughout the experiment harness. *)
+
+val sum : float array -> float
+val mean : float array -> float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 for arrays of length < 2. *)
+
+val stddev : float array -> float
+val min_value : float array -> float
+val max_value : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0, 1\]], with linear interpolation
+    between order statistics. The input need not be sorted. *)
+
+val median : float array -> float
+
+val ci95_halfwidth : float array -> float
+(** Half-width of a normal-approximation 95% confidence interval for
+    the mean ([1.96 * s / sqrt n]); 0 for fewer than 2 samples. *)
+
+(** Empirical cumulative distribution functions. *)
+module Cdf : sig
+  type t
+
+  val of_samples : float array -> t
+  (** Raises [Invalid_argument] on an empty array. *)
+
+  val eval : t -> float -> float
+  (** [eval t x] is the fraction of samples [<= x]. *)
+
+  val evaluate_grid : t -> float array -> (float * float) list
+  (** CDF values at each grid point, as [(x, F(x))] pairs. *)
+
+  val inverse : t -> float -> float
+  (** [inverse t q] is the [q]-quantile of the sample. *)
+
+  val size : t -> int
+end
+
+(** Streaming mean/variance accumulator (Welford's algorithm). *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  val stddev : t -> float
+end
+
+val histogram : bins:int -> lo:float -> hi:float -> float array -> int array
+(** Counts per equal-width bin; values outside [\[lo, hi\]] are clamped
+    into the edge bins. Raises [Invalid_argument] if [bins <= 0] or
+    [hi <= lo]. *)

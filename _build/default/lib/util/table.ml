@@ -1,0 +1,100 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns ~headers () =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length headers then
+          invalid_arg "Table.create: aligns/headers width mismatch";
+        a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let column_widths t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let account = function
+    | Separator -> ()
+    | Cells cells ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter account t.rows;
+  widths
+
+let pad align width s =
+  let fill = String.make (max 0 (width - String.length s)) ' ' in
+  match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let widths = column_widths t in
+  let aligns = Array.of_list t.aligns in
+  let buf = Buffer.create 256 in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  rule ();
+  let emit = function Cells cells -> line cells | Separator -> rule () in
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_field cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  let emit = function Cells cells -> line cells | Separator -> () in
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let cell_float ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+let cell_percent ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (100. *. x)

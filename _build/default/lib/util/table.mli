@@ -1,0 +1,35 @@
+(** Plain-text table rendering and CSV output for experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> headers:string list -> unit -> t
+(** A table with the given column headers. [aligns] defaults to left
+    for the first column and right for the rest (the common shape of a
+    label column followed by numeric columns). *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header
+    width. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule before the next row. *)
+
+val render : t -> string
+(** Render with aligned columns, a header rule, and trailing
+    newline. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV (quoting fields that contain commas, quotes or
+    newlines), one line per row, headers first. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float for a table cell; [decimals] defaults to 3. *)
+
+val cell_percent : ?decimals:int -> float -> string
+(** Format a fraction as a percentage string, e.g. [0.57] -> ["57.0%"]
+    with the default single decimal. *)

@@ -1,0 +1,21 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used to check and enforce connectivity when generating random
+    network topologies. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0 .. n-1], each in its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets. Returns [true] if they were distinct. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements are in the same set. *)
+
+val count : t -> int
+(** Number of disjoint sets remaining. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Cap_model Cap_topology Cap_util Hashtbl List

@@ -1,0 +1,1 @@
+test/test_assignment.ml: Alcotest Array Cap_model Cap_util Fixtures QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_backbone.ml: Alcotest Array Cap_topology Cap_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Array Cap_core Cap_model Fixtures Printf QCheck QCheck_alcotest

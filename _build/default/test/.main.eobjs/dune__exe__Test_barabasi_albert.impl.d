@@ -1,0 +1,1 @@
+test/test_barabasi_albert.ml: Alcotest Array Cap_topology Cap_util QCheck QCheck_alcotest

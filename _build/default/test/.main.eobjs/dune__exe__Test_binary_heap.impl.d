@@ -1,0 +1,1 @@
+test/test_binary_heap.ml: Alcotest Cap_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_branch_bound.ml: Alcotest Array Cap_milp Cap_util QCheck QCheck_alcotest

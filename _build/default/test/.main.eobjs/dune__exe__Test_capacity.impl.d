@@ -1,0 +1,1 @@
+test/test_capacity.ml: Alcotest Array Cap_model Cap_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_churn.ml: Alcotest Array Cap_model Cap_util Fixtures QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Cap_core Cap_model Cap_topology Fixtures QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cross_validation.ml: Alcotest Array Cap_core Cap_milp Cap_model Cap_sim Cap_util Fixtures List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Array Cap_topology Cap_util QCheck QCheck_alcotest

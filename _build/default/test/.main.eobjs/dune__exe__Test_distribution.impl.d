@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array Cap_model Cap_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_diurnal.ml: Alcotest Cap_sim Cap_util QCheck QCheck_alcotest

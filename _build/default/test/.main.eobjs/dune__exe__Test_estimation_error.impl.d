@@ -1,0 +1,1 @@
+test/test_estimation_error.ml: Alcotest Cap_topology Cap_util QCheck QCheck_alcotest

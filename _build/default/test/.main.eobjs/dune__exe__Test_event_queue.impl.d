@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Cap_sim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Cap_experiments Cap_util Filename List String

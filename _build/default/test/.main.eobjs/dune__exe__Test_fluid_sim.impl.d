@@ -1,0 +1,1 @@
+test/test_fluid_sim.ml: Alcotest Array Cap_core Cap_model Cap_sim Cap_util Fixtures Printf QCheck QCheck_alcotest

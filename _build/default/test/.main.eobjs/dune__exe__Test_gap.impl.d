@@ -1,0 +1,1 @@
+test/test_gap.ml: Alcotest Array Cap_milp Cap_util QCheck QCheck_alcotest

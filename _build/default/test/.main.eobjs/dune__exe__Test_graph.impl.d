@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cap_topology Cap_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hierarchical.ml: Alcotest Array Cap_topology Cap_util List Printf QCheck QCheck_alcotest

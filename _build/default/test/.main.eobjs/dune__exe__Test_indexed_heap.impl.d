@@ -1,0 +1,1 @@
+test/test_indexed_heap.ml: Alcotest Cap_util Gen Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_local_search.ml: Alcotest Array Cap_core Cap_model Cap_util Fixtures QCheck QCheck_alcotest

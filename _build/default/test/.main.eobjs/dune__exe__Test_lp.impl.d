@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Cap_milp

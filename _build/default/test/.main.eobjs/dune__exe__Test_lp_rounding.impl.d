@@ -1,0 +1,1 @@
+test/test_lp_rounding.ml: Alcotest Array Cap_milp Cap_model Cap_util Fixtures QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Cap_core Cap_model Cap_util Fixtures QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_optimal.ml: Alcotest Array Cap_core Cap_milp Cap_model Cap_util QCheck QCheck_alcotest

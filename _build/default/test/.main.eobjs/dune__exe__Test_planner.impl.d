@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Cap_experiments Cap_model Cap_util List String

@@ -1,0 +1,1 @@
+test/test_point.ml: Alcotest Cap_topology Cap_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ranz.ml: Alcotest Array Cap_core Cap_model Cap_util Fixtures QCheck QCheck_alcotest

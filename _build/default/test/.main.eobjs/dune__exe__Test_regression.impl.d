@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Array Cap_core Cap_model Cap_util List

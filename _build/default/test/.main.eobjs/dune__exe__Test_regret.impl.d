@@ -1,0 +1,1 @@
+test/test_regret.ml: Alcotest Array Cap_core Cap_util List QCheck QCheck_alcotest

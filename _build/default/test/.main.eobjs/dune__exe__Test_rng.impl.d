@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Cap_util List Printf QCheck QCheck_alcotest

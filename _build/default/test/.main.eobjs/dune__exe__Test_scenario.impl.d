@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Cap_model List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cap_core Cap_model Cap_sim Cap_util Fixtures List Printf QCheck QCheck_alcotest String

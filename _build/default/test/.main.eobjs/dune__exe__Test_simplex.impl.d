@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Cap_milp Cap_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cap_util Gen List QCheck QCheck_alcotest

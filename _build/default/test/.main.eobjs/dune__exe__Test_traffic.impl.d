@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Cap_model QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_transit_stub.ml: Alcotest Array Cap_core Cap_model Cap_topology Cap_util QCheck QCheck_alcotest

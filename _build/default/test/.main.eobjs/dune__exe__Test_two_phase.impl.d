@@ -1,0 +1,1 @@
+test/test_two_phase.ml: Alcotest Array Cap_core Cap_model Cap_util Fixtures List Option QCheck QCheck_alcotest

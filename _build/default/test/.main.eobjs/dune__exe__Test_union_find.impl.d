@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest Array Cap_util List QCheck QCheck_alcotest

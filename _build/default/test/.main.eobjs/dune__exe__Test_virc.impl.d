@@ -1,0 +1,1 @@
+test/test_virc.ml: Alcotest Array Cap_core Cap_model Fixtures QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vivaldi.ml: Alcotest Array Cap_model Cap_topology Cap_util Fixtures Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_waxman.ml: Alcotest Array Cap_topology Cap_util QCheck QCheck_alcotest

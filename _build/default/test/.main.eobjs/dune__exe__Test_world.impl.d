@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest Array Cap_model Cap_topology Cap_util Fixtures List QCheck QCheck_alcotest

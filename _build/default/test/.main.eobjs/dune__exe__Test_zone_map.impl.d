@@ -1,0 +1,1 @@
+test/test_zone_map.ml: Alcotest Array Cap_model Cap_util List QCheck QCheck_alcotest Queue

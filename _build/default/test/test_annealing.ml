@@ -1,0 +1,91 @@
+module Annealing = Cap_core.Annealing
+module Grez = Cap_core.Grez
+module Cost = Cap_core.Cost
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let total_cost w targets =
+  let costs = Cost.initial_matrix w in
+  let acc = ref 0 in
+  Array.iteri (fun z s -> acc := !acc + costs.(z).(s)) targets;
+  !acc
+
+let test_validation () =
+  let w = Fixtures.standard () in
+  let bad params =
+    try
+      ignore (Annealing.improve (Rng.create ~seed:1) ~params w ~targets:[| 0; 1 |]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "iterations" true
+    (bad { Annealing.default_params with Annealing.iterations = 0 });
+  Alcotest.(check bool) "temperature" true
+    (bad { Annealing.default_params with Annealing.initial_temperature = 0. });
+  Alcotest.(check bool) "cooling" true
+    (bad { Annealing.default_params with Annealing.cooling = 1. });
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument "Annealing: assignment does not match the world") (fun () ->
+      ignore (Annealing.improve (Rng.create ~seed:1) w ~targets:[| 0 |]))
+
+let test_finds_fixture_optimum () =
+  let w = Fixtures.standard () in
+  (* start from the worst assignment; the optimum has cost 0 *)
+  let report = Annealing.improve (Rng.create ~seed:2) w ~targets:[| 1; 0 |] in
+  Alcotest.(check int) "cost before" 3 report.Annealing.cost_before;
+  Alcotest.(check int) "reaches zero cost" 0 report.Annealing.cost_after;
+  Alcotest.(check (array int)) "optimal targets" [| 0; 1 |] report.Annealing.targets
+
+let test_report_consistency () =
+  let w = Fixtures.generated () in
+  let targets = Array.make (World.zone_count w) 0 in
+  let report = Annealing.improve (Rng.create ~seed:3) w ~targets in
+  Alcotest.(check int) "cost_before matches" (total_cost w targets)
+    report.Annealing.cost_before;
+  Alcotest.(check int) "cost_after matches returned targets"
+    (total_cost w report.Annealing.targets)
+    report.Annealing.cost_after;
+  Alcotest.(check int) "proposed = iterations" 20000 report.Annealing.proposed;
+  Alcotest.(check bool) "accepted <= proposed" true
+    (report.Annealing.accepted <= report.Annealing.proposed)
+
+let prop_never_worse =
+  QCheck.Test.make ~name:"best cost never above the start" ~count:10 QCheck.small_nat
+    (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let report = Annealing.improve (Rng.create ~seed) w ~targets in
+      report.Annealing.cost_after <= report.Annealing.cost_before)
+
+let prop_feasible_stays_feasible =
+  QCheck.Test.make ~name:"feasible input, feasible output" ~count:10 QCheck.small_nat
+    (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let report = Annealing.improve (Rng.create ~seed) w ~targets in
+      Assignment.is_valid
+        (Assignment.with_virc_contacts w ~target_of_zone:report.Annealing.targets)
+        w)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same seed, same anneal" ~count:5 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated () in
+      let targets = Array.make (World.zone_count w) 0 in
+      let run () = (Annealing.improve (Rng.create ~seed) w ~targets).Annealing.targets in
+      run () = run ())
+
+let tests =
+  [
+    ( "core/annealing",
+      [
+        case "validation" test_validation;
+        case "finds fixture optimum" test_finds_fixture_optimum;
+        case "report consistency" test_report_consistency;
+        QCheck_alcotest.to_alcotest prop_never_worse;
+        QCheck_alcotest.to_alcotest prop_feasible_stays_feasible;
+        QCheck_alcotest.to_alcotest prop_deterministic;
+      ] );
+  ]

@@ -1,0 +1,156 @@
+module Assignment = Cap_model.Assignment
+module World = Cap_model.World
+
+let case name f = Alcotest.test_case name `Quick f
+let feq = Alcotest.(check (float 1e-9))
+
+(* Fixture recap (see Fixtures.standard): servers s0@node0, s1@node1
+   (inter-server 50 ms); clients c0@n0/z0, c1@n2/z0, c2@n3/z1,
+   c3@n3/z1; D = 150 ms; stream = 1000 bit/s. *)
+
+let test_virc_contacts () =
+  let w = Fixtures.standard () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 1 |] in
+  Alcotest.(check (array int)) "contacts = zone targets" [| 0; 0; 1; 1 |]
+    a.Assignment.contact_of_client
+
+let test_direct_delay () =
+  let w = Fixtures.standard () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 1 |] in
+  feq "c0 at its server" 0. (Assignment.client_delay a w 0);
+  feq "c1 direct to s0" 40. (Assignment.client_delay a w 1);
+  feq "c2 direct to s1" 60. (Assignment.client_delay a w 2)
+
+let test_relayed_delay () =
+  let w = Fixtures.standard () in
+  (* z0 hosted on s1; c1 (node 2) contacts s0: d(c1,s0)=40 plus
+     inter-server 50 = 90, rather than the direct 260. *)
+  let a =
+    Assignment.make ~target_of_zone:[| 1; 1 |] ~contact_of_client:[| 1; 0; 1; 1 |]
+  in
+  feq "relayed" 90. (Assignment.client_delay a w 1);
+  Alcotest.(check bool) "qos via relay" true (Assignment.has_qos a w 1)
+
+let test_target_of_client () =
+  let w = Fixtures.standard () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 1; 0 |] in
+  Alcotest.(check int) "c0's target" 1 (Assignment.target_of_client a w 0);
+  Alcotest.(check int) "c2's target" 0 (Assignment.target_of_client a w 2)
+
+let test_pqos () =
+  let w = Fixtures.standard () in
+  (* best assignment: z0 -> s0 (c0: 0, c1: 40), z1 -> s1 (c2, c3: 60) *)
+  let best = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 1 |] in
+  feq "all with qos" 1. (Assignment.pqos best w);
+  (* worst: z0 -> s1 (c0: 100 ok, c1: 260 no), z1 -> s0 (300 no, 300 no) *)
+  let worst = Assignment.with_virc_contacts w ~target_of_zone:[| 1; 0 |] in
+  feq "one of four" 0.25 (Assignment.pqos worst w)
+
+let test_delay_samples () =
+  let w = Fixtures.standard () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 1 |] in
+  Alcotest.(check (array (float 1e-9))) "per-client delays" [| 0.; 40.; 60.; 60. |]
+    (Assignment.delay_samples a w)
+
+let test_server_loads_virc () =
+  let w = Fixtures.standard () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 1 |] in
+  (* z0: 2 clients -> R_z = 2 * (1+2) kbit = 6000; z1 same *)
+  Alcotest.(check (array (float 1e-6))) "zone loads only" [| 6000.; 6000. |]
+    (Assignment.server_loads a w)
+
+let test_server_loads_forwarding () =
+  let w = Fixtures.standard () in
+  (* c1 contacts s1 while its zone z0 sits on s0: s1 carries
+     R^C = 2 * R^T = 2 * 3000. *)
+  let a = Assignment.make ~target_of_zone:[| 0; 1 |] ~contact_of_client:[| 0; 1; 1; 1 |] in
+  Alcotest.(check (array (float 1e-6))) "forwarding accounted" [| 6000.; 12000. |]
+    (Assignment.server_loads a w)
+
+let test_utilization () =
+  let w = Fixtures.standard ~capacities:[| 10000.; 14000. |] () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 1 |] in
+  feq "loads over capacity" (12000. /. 24000.) (Assignment.utilization a w)
+
+let test_validity () =
+  let w = Fixtures.standard () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 1 |] in
+  Alcotest.(check (list string)) "no violations" [] (Assignment.violations a w);
+  Alcotest.(check bool) "valid" true (Assignment.is_valid a w);
+  Alcotest.(check (list int)) "no overloads" [] (Assignment.overloaded_servers a w)
+
+let test_structural_violations () =
+  let w = Fixtures.standard () in
+  let short = Assignment.make ~target_of_zone:[| 0 |] ~contact_of_client:[| 0; 0; 0; 0 |] in
+  Alcotest.(check bool) "wrong zone width" false (Assignment.is_valid short w);
+  let bad_server = Assignment.make ~target_of_zone:[| 0; 7 |] ~contact_of_client:[| 0; 0; 0; 0 |] in
+  Alcotest.(check bool) "invalid server id" false (Assignment.is_valid bad_server w);
+  let bad_contact = Assignment.make ~target_of_zone:[| 0; 1 |] ~contact_of_client:[| 0; -1; 0; 0 |] in
+  Alcotest.(check bool) "invalid contact id" false (Assignment.is_valid bad_contact w)
+
+let test_capacity_violation () =
+  (* capacities too small for the zone loads *)
+  let w = Fixtures.standard ~capacities:[| 5000.; 5000. |] () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 1 |] in
+  Alcotest.(check bool) "overloaded" false (Assignment.is_valid a w);
+  Alcotest.(check (list int)) "both servers over" [ 0; 1 ] (Assignment.overloaded_servers a w)
+
+let test_empty_world_pqos () =
+  let w =
+    Fixtures.world ~server_nodes:[| 0 |] ~capacities:[| 1e6 |] ~clients:[] ~zones:1 ()
+  in
+  let a = Assignment.make ~target_of_zone:[| 0 |] ~contact_of_client:[||] in
+  feq "vacuous pqos" 1. (Assignment.pqos a w)
+
+let test_make_copies () =
+  let targets = [| 0; 1 |] and contacts = [| 0; 0; 1; 1 |] in
+  let a = Assignment.make ~target_of_zone:targets ~contact_of_client:contacts in
+  targets.(0) <- 1;
+  contacts.(0) <- 1;
+  Alcotest.(check int) "targets copied" 0 a.Assignment.target_of_zone.(0);
+  Alcotest.(check int) "contacts copied" 0 a.Assignment.contact_of_client.(0)
+
+let prop_pqos_bounds =
+  QCheck.Test.make ~name:"pqos in [0,1] on random assignments" ~count:50
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, algo_seed) ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let rng = Cap_util.Rng.create ~seed:algo_seed in
+      let targets = Array.init (World.zone_count w) (fun _ -> Cap_util.Rng.int rng 5) in
+      let contacts = Array.init (World.client_count w) (fun _ -> Cap_util.Rng.int rng 5) in
+      let a = Assignment.make ~target_of_zone:targets ~contact_of_client:contacts in
+      let p = Assignment.pqos a w in
+      p >= 0. && p <= 1.)
+
+let prop_loads_nonnegative =
+  QCheck.Test.make ~name:"server loads non-negative and conserve demand" ~count:30
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Array.make (World.zone_count w) 0 in
+      let a = Assignment.with_virc_contacts w ~target_of_zone:targets in
+      let loads = Assignment.server_loads a w in
+      Array.for_all (fun l -> l >= 0.) loads
+      && abs_float (Array.fold_left ( +. ) 0. loads -. World.total_demand w) < 1e-3)
+
+let tests =
+  [
+    ( "model/assignment",
+      [
+        case "virc contacts" test_virc_contacts;
+        case "direct delay" test_direct_delay;
+        case "relayed delay" test_relayed_delay;
+        case "target of client" test_target_of_client;
+        case "pqos" test_pqos;
+        case "delay samples" test_delay_samples;
+        case "server loads (virc)" test_server_loads_virc;
+        case "server loads (forwarding)" test_server_loads_forwarding;
+        case "utilization" test_utilization;
+        case "validity" test_validity;
+        case "structural violations" test_structural_violations;
+        case "capacity violation" test_capacity_violation;
+        case "empty world pqos" test_empty_world_pqos;
+        case "make copies" test_make_copies;
+        QCheck_alcotest.to_alcotest prop_pqos_bounds;
+        QCheck_alcotest.to_alcotest prop_loads_nonnegative;
+      ] );
+  ]

@@ -1,0 +1,73 @@
+module Backbone = Cap_topology.Backbone
+module Graph = Cap_topology.Graph
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_core_only () =
+  let rng = Rng.create ~seed:1 in
+  let t = Backbone.generate rng ~access_nodes:0 in
+  Alcotest.(check int) "core count" Backbone.city_count t.Backbone.core_count;
+  Alcotest.(check int) "nodes = cities" Backbone.city_count (Graph.node_count t.Backbone.graph);
+  Alcotest.(check int) "city names" Backbone.city_count (Array.length t.Backbone.city_names);
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.Backbone.graph)
+
+let test_with_access_nodes () =
+  let rng = Rng.create ~seed:2 in
+  let t = Backbone.generate rng ~access_nodes:100 in
+  Alcotest.(check int) "total nodes" (Backbone.city_count + 100)
+    (Graph.node_count t.Backbone.graph);
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.Backbone.graph);
+  (* every access node has at least one uplink *)
+  for i = Backbone.city_count to Graph.node_count t.Backbone.graph - 1 do
+    Alcotest.(check bool) "access uplink" true (Graph.degree t.Backbone.graph i >= 1)
+  done
+
+let test_geography () =
+  let rng = Rng.create ~seed:3 in
+  let t = Backbone.generate rng ~access_nodes:0 in
+  (* Seattle-Miami should be much farther than New York-Philadelphia. *)
+  let find name =
+    let rec search i =
+      if t.Backbone.city_names.(i) = name then i else search (i + 1)
+    in
+    search 0
+  in
+  let dist a b =
+    Cap_topology.Point.distance t.Backbone.points.(find a) t.Backbone.points.(find b)
+  in
+  Alcotest.(check bool) "continental scale" true
+    (dist "Seattle" "Miami" > 5. *. dist "New York" "Philadelphia");
+  (* coast-to-coast is roughly 4000 km in this projection *)
+  let transcontinental = dist "San Francisco" "New York" in
+  Alcotest.(check bool) "km scale" true (transcontinental > 3000. && transcontinental < 5500.)
+
+let test_validation () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.check_raises "negative access"
+    (Invalid_argument "Backbone.generate: negative access_nodes") (fun () ->
+      ignore (Backbone.generate rng ~access_nodes:(-1)))
+
+let prop_connected =
+  QCheck.Test.make ~name:"backbone always connected" ~count:20 QCheck.small_nat (fun seed ->
+      let rng = Rng.create ~seed in
+      let t = Backbone.generate rng ~access_nodes:50 in
+      Graph.is_connected t.Backbone.graph)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"same seed, same backbone" ~count:10 QCheck.small_nat (fun seed ->
+      let gen () = Backbone.generate (Rng.create ~seed) ~access_nodes:30 in
+      Graph.edges (gen ()).Backbone.graph = Graph.edges (gen ()).Backbone.graph)
+
+let tests =
+  [
+    ( "topology/backbone",
+      [
+        case "core only" test_core_only;
+        case "with access nodes" test_with_access_nodes;
+        case "geography" test_geography;
+        case "validation" test_validation;
+        QCheck_alcotest.to_alcotest prop_connected;
+        QCheck_alcotest.to_alcotest prop_determinism;
+      ] );
+  ]

@@ -1,0 +1,74 @@
+module Ba = Cap_topology.Barabasi_albert
+module Graph = Cap_topology.Graph
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_structure () =
+  let rng = Rng.create ~seed:1 in
+  let n = 40 and m = 2 in
+  let t = Ba.generate rng ~n ~m ~side:100. () in
+  Alcotest.(check int) "nodes" n (Graph.node_count t.Ba.graph);
+  (* seed clique of m+1 nodes, then m edges per newcomer *)
+  let expected_edges = (m * (m + 1) / 2) + ((n - m - 1) * m) in
+  Alcotest.(check int) "edges" expected_edges (Graph.edge_count t.Ba.graph);
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.Ba.graph)
+
+let test_min_degree () =
+  let rng = Rng.create ~seed:2 in
+  let t = Ba.generate rng ~n:50 ~m:3 ~side:100. () in
+  Array.iter
+    (fun d -> Alcotest.(check bool) "degree >= m" true (d >= 3))
+    (Graph.degree_array t.Ba.graph)
+
+let test_hub_emergence () =
+  (* Preferential attachment should grow hubs well beyond the minimum
+     degree on a reasonably large graph. *)
+  let rng = Rng.create ~seed:3 in
+  let t = Ba.generate rng ~n:300 ~m:2 ~side:100. () in
+  let degrees = Graph.degree_array t.Ba.graph in
+  let max_degree = Array.fold_left max 0 degrees in
+  Alcotest.(check bool) "hub exists" true (max_degree >= 15)
+
+let test_validation () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.check_raises "m < 1" (Invalid_argument "Barabasi_albert.generate: m must be >= 1")
+    (fun () -> ignore (Ba.generate rng ~n:5 ~m:0 ~side:1. ()));
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Barabasi_albert.generate: n must be >= m + 1") (fun () ->
+      ignore (Ba.generate rng ~n:2 ~m:2 ~side:1. ()))
+
+let test_minimal () =
+  let rng = Rng.create ~seed:5 in
+  let t = Ba.generate rng ~n:2 ~m:1 ~side:1. () in
+  Alcotest.(check int) "two nodes one edge" 1 (Graph.edge_count t.Ba.graph)
+
+let prop_connected =
+  QCheck.Test.make ~name:"always connected" ~count:30
+    QCheck.(pair small_nat (int_range 1 4))
+    (fun (seed, m) ->
+      let rng = Rng.create ~seed in
+      let t = Ba.generate rng ~n:(m + 10) ~m ~side:100. () in
+      Graph.is_connected t.Ba.graph)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"same seed, same graph" ~count:20 QCheck.small_nat (fun seed ->
+      let gen () =
+        let rng = Rng.create ~seed in
+        Ba.generate rng ~n:20 ~m:2 ~side:100. ()
+      in
+      Graph.edges (gen ()).Ba.graph = Graph.edges (gen ()).Ba.graph)
+
+let tests =
+  [
+    ( "topology/barabasi_albert",
+      [
+        case "structure" test_structure;
+        case "min degree" test_min_degree;
+        case "hub emergence" test_hub_emergence;
+        case "validation" test_validation;
+        case "minimal" test_minimal;
+        QCheck_alcotest.to_alcotest prop_connected;
+        QCheck_alcotest.to_alcotest prop_determinism;
+      ] );
+  ]

@@ -1,0 +1,94 @@
+module Heap = Cap_util.Binary_heap
+
+let case name f = Alcotest.test_case name `Quick f
+
+let int_heap () = Heap.create ~cmp:compare ()
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Binary_heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  Alcotest.(check int) "length" 7 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 7; 8; 9 ] (Heap.drain h);
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_duplicates () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 2; 2; 1; 2 ];
+  Alcotest.(check (list int)) "duplicates kept" [ 1; 2; 2; 2 ] (Heap.drain h)
+
+let test_of_array () =
+  let a = [| 4; 1; 3; 9; 7; 0 |] in
+  let h = Heap.of_array ~cmp:compare a in
+  Alcotest.(check (list int)) "heapify" [ 0; 1; 3; 4; 7; 9 ] (Heap.drain h);
+  Alcotest.(check (array int)) "input untouched" [| 4; 1; 3; 9; 7; 0 |] a;
+  let empty = Heap.of_array ~cmp:compare [||] in
+  Alcotest.(check bool) "empty of_array" true (Heap.is_empty empty)
+
+let test_custom_order () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) () in
+  List.iter (Heap.add h) [ 1; 5; 3 ];
+  Alcotest.(check (list int)) "max-heap drain" [ 5; 3; 1 ] (Heap.drain h)
+
+let test_growth () =
+  let h = Heap.create ~capacity:1 ~cmp:compare () in
+  for i = 100 downto 1 do
+    Heap.add h i
+  done;
+  Alcotest.(check int) "length after growth" 100 (Heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.pop h)
+
+let prop_drain_sorted =
+  QCheck.Test.make ~name:"drain is sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.add h) xs;
+      Heap.drain h = List.sort compare xs)
+
+let prop_interleaved_matches_model =
+  (* Random add/pop interleavings agree with a sorted-list model. *)
+  QCheck.Test.make ~name:"interleaved add/pop matches model" ~count:200
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let h = int_heap () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              Heap.add h x;
+              model := List.sort compare (x :: !model);
+              true
+          | None -> (
+              let popped = Heap.pop h in
+              match !model with
+              | [] -> popped = None
+              | m :: rest ->
+                  model := rest;
+                  popped = Some m))
+        ops)
+
+let tests =
+  [
+    ( "util/binary_heap",
+      [
+        case "empty" test_empty;
+        case "ordering" test_ordering;
+        case "duplicates" test_duplicates;
+        case "of_array" test_of_array;
+        case "custom order" test_custom_order;
+        case "growth" test_growth;
+        QCheck_alcotest.to_alcotest prop_drain_sorted;
+        QCheck_alcotest.to_alcotest prop_interleaved_matches_model;
+      ] );
+  ]

@@ -1,0 +1,64 @@
+module Capacity = Cap_model.Capacity
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_generate () =
+  let rng = Rng.create ~seed:1 in
+  let caps = Capacity.generate rng ~servers:20 ~total:500. ~min_per_server:10. in
+  Alcotest.(check int) "count" 20 (Array.length caps);
+  Alcotest.(check (float 1e-6)) "sums to total" 500. (Array.fold_left ( +. ) 0. caps);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "at least minimum" true (c >= 10.))
+    caps
+
+let test_generate_heterogeneous () =
+  let rng = Rng.create ~seed:2 in
+  let caps = Capacity.generate rng ~servers:10 ~total:200. ~min_per_server:5. in
+  let distinct = Array.to_list caps |> List.sort_uniq compare |> List.length in
+  Alcotest.(check bool) "not all equal" true (distinct > 1)
+
+let test_tight_total () =
+  let rng = Rng.create ~seed:3 in
+  let caps = Capacity.generate rng ~servers:4 ~total:40. ~min_per_server:10. in
+  Alcotest.(check (array (float 1e-9))) "all at minimum" [| 10.; 10.; 10.; 10. |] caps
+
+let test_validation () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.check_raises "servers" (Invalid_argument "Capacity.generate: servers must be positive")
+    (fun () -> ignore (Capacity.generate rng ~servers:0 ~total:1. ~min_per_server:0.));
+  Alcotest.check_raises "negative" (Invalid_argument "Capacity.generate: negative capacity")
+    (fun () -> ignore (Capacity.generate rng ~servers:2 ~total:(-1.) ~min_per_server:0.));
+  Alcotest.check_raises "too little"
+    (Invalid_argument "Capacity.generate: total below the per-server minimum") (fun () ->
+      ignore (Capacity.generate rng ~servers:5 ~total:40. ~min_per_server:10.))
+
+let test_uniform () =
+  let caps = Capacity.uniform ~servers:4 ~total:100. in
+  Alcotest.(check (array (float 1e-9))) "equal shares" [| 25.; 25.; 25.; 25. |] caps;
+  Alcotest.check_raises "servers" (Invalid_argument "Capacity.uniform: servers must be positive")
+    (fun () -> ignore (Capacity.uniform ~servers:0 ~total:1.))
+
+let prop_invariants =
+  QCheck.Test.make ~name:"sum and minimum invariants" ~count:200
+    QCheck.(triple small_nat (int_range 1 30) (float_range 0. 20.))
+    (fun (seed, servers, min_per_server) ->
+      let rng = Rng.create ~seed in
+      let total = (float_of_int servers *. min_per_server) +. 100. in
+      let caps = Capacity.generate rng ~servers ~total ~min_per_server in
+      let sum = Array.fold_left ( +. ) 0. caps in
+      abs_float (sum -. total) < 1e-6
+      && Array.for_all (fun c -> c >= min_per_server -. 1e-9) caps)
+
+let tests =
+  [
+    ( "model/capacity",
+      [
+        case "generate" test_generate;
+        case "heterogeneous" test_generate_heterogeneous;
+        case "tight total" test_tight_total;
+        case "validation" test_validation;
+        case "uniform" test_uniform;
+        QCheck_alcotest.to_alcotest prop_invariants;
+      ] );
+  ]

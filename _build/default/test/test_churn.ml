@@ -1,0 +1,131 @@
+module Churn = Cap_model.Churn
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_population_arithmetic () =
+  let w = Fixtures.generated () in
+  let rng = Rng.create ~seed:1 in
+  let outcome = Churn.apply rng { Churn.joins = 30; leaves = 20; moves = 10 } w in
+  Alcotest.(check int) "new population" (120 - 20 + 30)
+    (World.client_count outcome.Churn.world);
+  Alcotest.(check int) "previous_of length" 130 (Array.length outcome.Churn.previous_of)
+
+let test_survivors_and_joiners () =
+  let w = Fixtures.generated () in
+  let rng = Rng.create ~seed:2 in
+  let outcome = Churn.apply rng { Churn.joins = 15; leaves = 25; moves = 0 } w in
+  let survivors = ref 0 and joiners = ref 0 in
+  Array.iteri
+    (fun i previous ->
+      match previous with
+      | Some old ->
+          incr survivors;
+          (* physical node carries over; zone too since moves = 0 *)
+          Alcotest.(check int) "node preserved" w.World.client_nodes.(old)
+            outcome.Churn.world.World.client_nodes.(i);
+          Alcotest.(check int) "zone preserved" w.World.client_zones.(old)
+            outcome.Churn.world.World.client_zones.(i)
+      | None -> incr joiners)
+    outcome.Churn.previous_of;
+  Alcotest.(check int) "survivors" 95 !survivors;
+  Alcotest.(check int) "joiners" 15 !joiners
+
+let test_moves_change_zones () =
+  let w = Fixtures.generated () in
+  let rng = Rng.create ~seed:3 in
+  let outcome = Churn.apply rng { Churn.joins = 0; leaves = 0; moves = 40 } w in
+  let moved = ref 0 in
+  Array.iteri
+    (fun i previous ->
+      match previous with
+      | Some old ->
+          if outcome.Churn.world.World.client_zones.(i) <> w.World.client_zones.(old) then
+            incr moved
+      | None -> ())
+    outcome.Churn.previous_of;
+  Alcotest.(check bool) "at most the requested moves" true (!moved <= 40);
+  Alcotest.(check bool) "most moves landed elsewhere" true (!moved >= 30)
+
+let test_adapt () =
+  let w = Fixtures.generated () in
+  let rng = Rng.create ~seed:4 in
+  let targets = Array.make (World.zone_count w) 2 in
+  let old = Assignment.with_virc_contacts w ~target_of_zone:targets in
+  (* give one client a distinctive contact to track it through churn *)
+  let old =
+    Assignment.make ~target_of_zone:old.Assignment.target_of_zone
+      ~contact_of_client:
+        (Array.mapi
+           (fun i c -> if i = 0 then 4 else c)
+           old.Assignment.contact_of_client)
+  in
+  let outcome = Churn.apply rng { Churn.joins = 10; leaves = 0; moves = 0 } w in
+  let adapted = Churn.adapt outcome ~old in
+  Alcotest.(check (array int)) "targets unchanged" old.Assignment.target_of_zone
+    adapted.Assignment.target_of_zone;
+  Array.iteri
+    (fun i previous ->
+      match previous with
+      | Some old_id ->
+          Alcotest.(check int) "survivor keeps contact"
+            old.Assignment.contact_of_client.(old_id)
+            adapted.Assignment.contact_of_client.(i)
+      | None ->
+          Alcotest.(check int) "joiner contacts its zone's target"
+            adapted.Assignment.target_of_zone.(outcome.Churn.world.World.client_zones.(i))
+            adapted.Assignment.contact_of_client.(i))
+    outcome.Churn.previous_of
+
+let test_paper_spec () =
+  Alcotest.(check int) "200 joins" 200 Churn.paper_spec.Churn.joins;
+  Alcotest.(check int) "200 leaves" 200 Churn.paper_spec.Churn.leaves;
+  Alcotest.(check int) "200 moves" 200 Churn.paper_spec.Churn.moves
+
+let test_validation () =
+  let w = Fixtures.generated () in
+  let rng = Rng.create ~seed:5 in
+  Alcotest.check_raises "negative" (Invalid_argument "Churn.apply: negative count") (fun () ->
+      ignore (Churn.apply rng { Churn.joins = -1; leaves = 0; moves = 0 } w));
+  Alcotest.check_raises "too many leaves"
+    (Invalid_argument "Churn.apply: more leaves than clients") (fun () ->
+      ignore (Churn.apply rng { Churn.joins = 0; leaves = 1000; moves = 0 } w))
+
+let test_leave_everyone () =
+  let w = Fixtures.generated () in
+  let rng = Rng.create ~seed:6 in
+  let outcome = Churn.apply rng { Churn.joins = 5; leaves = 120; moves = 50 } w in
+  Alcotest.(check int) "only joiners remain" 5 (World.client_count outcome.Churn.world);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "all joiners" true (p = None))
+    outcome.Churn.previous_of
+
+let prop_adapted_assignment_structurally_sound =
+  QCheck.Test.make ~name:"adapted assignment has an in-range contact per client" ~count:30
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let rng = Rng.create ~seed in
+      let targets = Array.init (World.zone_count w) (fun z -> z mod 5) in
+      let old = Assignment.with_virc_contacts w ~target_of_zone:targets in
+      let outcome = Churn.apply rng { Churn.joins = 12; leaves = 7; moves = 9 } w in
+      let adapted = Churn.adapt outcome ~old in
+      Array.length adapted.Assignment.contact_of_client
+      = World.client_count outcome.Churn.world
+      && Array.for_all (fun s -> s >= 0 && s < 5) adapted.Assignment.contact_of_client)
+
+let tests =
+  [
+    ( "model/churn",
+      [
+        case "population arithmetic" test_population_arithmetic;
+        case "survivors and joiners" test_survivors_and_joiners;
+        case "moves change zones" test_moves_change_zones;
+        case "adapt" test_adapt;
+        case "paper spec" test_paper_spec;
+        case "validation" test_validation;
+        case "leave everyone" test_leave_everyone;
+        QCheck_alcotest.to_alcotest prop_adapted_assignment_structurally_sound;
+      ] );
+  ]

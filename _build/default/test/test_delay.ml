@@ -1,0 +1,114 @@
+module Delay = Cap_topology.Delay
+module Graph = Cap_topology.Graph
+
+let case name f = Alcotest.test_case name `Quick f
+
+let line_graph () =
+  let b = Graph.Builder.create 3 in
+  Graph.Builder.add_edge b 0 1 10.;
+  Graph.Builder.add_edge b 1 2 30.;
+  Graph.Builder.finish b
+
+let test_create_normalizes () =
+  let d = Delay.create (line_graph ()) ~max_rtt:500. in
+  (* raw max is 40 (0 -> 2), scaled by 12.5 *)
+  Alcotest.(check (float 1e-6)) "max is 500" 500. (Delay.max_rtt d);
+  Alcotest.(check (float 1e-6)) "0-2" 500. (Delay.rtt d 0 2);
+  Alcotest.(check (float 1e-6)) "0-1" 125. (Delay.rtt d 0 1);
+  Alcotest.(check (float 1e-6)) "1-2" 375. (Delay.rtt d 1 2);
+  Alcotest.(check (float 1e-6)) "diagonal" 0. (Delay.rtt d 1 1);
+  Alcotest.(check int) "node count" 3 (Delay.node_count d)
+
+let test_create_validation () =
+  Alcotest.check_raises "bad max_rtt" (Invalid_argument "Delay.create: max_rtt must be positive")
+    (fun () -> ignore (Delay.create (line_graph ()) ~max_rtt:0.));
+  let disconnected =
+    let b = Graph.Builder.create 2 in
+    Graph.Builder.finish b
+  in
+  Alcotest.check_raises "disconnected" (Invalid_argument "Delay.create: disconnected graph")
+    (fun () -> ignore (Delay.create disconnected ~max_rtt:500.))
+
+let test_of_matrix_ok () =
+  let d = Delay.of_matrix [| [| 0.; 5. |]; [| 5.; 0. |] |] in
+  Alcotest.(check (float 1e-9)) "rtt" 5. (Delay.rtt d 0 1);
+  Alcotest.(check (float 1e-9)) "max" 5. (Delay.max_rtt d);
+  Alcotest.(check (array (float 1e-9))) "row copy" [| 0.; 5. |] (Delay.row d 0)
+
+let test_of_matrix_validation () =
+  Alcotest.check_raises "not square" (Invalid_argument "Delay.of_matrix: not square")
+    (fun () -> ignore (Delay.of_matrix [| [| 0.; 1. |] |]));
+  Alcotest.check_raises "not symmetric" (Invalid_argument "Delay.of_matrix: not symmetric")
+    (fun () -> ignore (Delay.of_matrix [| [| 0.; 1. |]; [| 2.; 0. |] |]));
+  Alcotest.check_raises "diag" (Invalid_argument "Delay.of_matrix: non-zero diagonal")
+    (fun () -> ignore (Delay.of_matrix [| [| 1. |] |]));
+  Alcotest.check_raises "negative" (Invalid_argument "Delay.of_matrix: negative delay")
+    (fun () -> ignore (Delay.of_matrix [| [| 0.; -1. |]; [| -1.; 0. |] |]))
+
+let test_map_pairs () =
+  let d = Delay.of_matrix [| [| 0.; 10. |]; [| 10.; 0. |] |] in
+  let doubled = Delay.map_pairs d ~f:(fun _ _ x -> 2. *. x) in
+  Alcotest.(check (float 1e-9)) "doubled" 20. (Delay.rtt doubled 0 1);
+  Alcotest.(check (float 1e-9)) "original untouched" 10. (Delay.rtt d 0 1);
+  Alcotest.(check (float 1e-9)) "diagonal untouched" 0. (Delay.rtt doubled 0 0);
+  Alcotest.(check (float 1e-9)) "max updated" 20. (Delay.max_rtt doubled);
+  Alcotest.check_raises "negative result" (Invalid_argument "Delay.map_pairs: negative delay")
+    (fun () -> ignore (Delay.map_pairs d ~f:(fun _ _ _ -> -1.)))
+
+let test_row_is_copy () =
+  let d = Delay.of_matrix [| [| 0.; 3. |]; [| 3.; 0. |] |] in
+  let row = Delay.row d 0 in
+  row.(1) <- 99.;
+  Alcotest.(check (float 1e-9)) "mutation does not leak" 3. (Delay.rtt d 0 1)
+
+let random_graph seed =
+  let rng = Cap_util.Rng.create ~seed in
+  let n = 12 in
+  let b = Graph.Builder.create n in
+  for v = 1 to n - 1 do
+    Graph.Builder.add_edge b (Cap_util.Rng.int rng v) v (1. +. Cap_util.Rng.uniform rng)
+  done;
+  Graph.Builder.finish b
+
+let prop_symmetric_zero_diag =
+  QCheck.Test.make ~name:"create: symmetric with zero diagonal" ~count:30 QCheck.small_nat
+    (fun seed ->
+      let d = Delay.create (random_graph seed) ~max_rtt:500. in
+      let n = Delay.node_count d in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if Delay.rtt d u u <> 0. then ok := false;
+        for v = 0 to n - 1 do
+          if Delay.rtt d u v <> Delay.rtt d v u then ok := false
+        done
+      done;
+      !ok)
+
+let prop_triangle =
+  QCheck.Test.make ~name:"create: triangle inequality" ~count:30 QCheck.small_nat (fun seed ->
+      let d = Delay.create (random_graph seed) ~max_rtt:500. in
+      let n = Delay.node_count d in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          for w = 0 to n - 1 do
+            if Delay.rtt d u v > Delay.rtt d u w +. Delay.rtt d w v +. 1e-6 then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let tests =
+  [
+    ( "topology/delay",
+      [
+        case "create normalizes" test_create_normalizes;
+        case "create validation" test_create_validation;
+        case "of_matrix" test_of_matrix_ok;
+        case "of_matrix validation" test_of_matrix_validation;
+        case "map_pairs" test_map_pairs;
+        case "row is a copy" test_row_is_copy;
+        QCheck_alcotest.to_alcotest prop_symmetric_zero_diag;
+        QCheck_alcotest.to_alcotest prop_triangle;
+      ] );
+  ]

@@ -1,0 +1,136 @@
+module D = Cap_model.Distribution
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let prepare ?(physical = D.Uniform_physical) ?(virtual_world = D.Uniform_virtual)
+    ?(correlation = 0.) ?(nodes = 20) ?(zones = 10) ?(regions = 4) () =
+  D.prepare (Rng.create ~seed:1) ~physical ~virtual_world ~correlation ~nodes ~zones
+    ~region_of_node:(fun n -> n mod regions)
+    ~regions
+
+let test_validation () =
+  Alcotest.check_raises "correlation" (Invalid_argument "Distribution.prepare: correlation outside [0, 1]")
+    (fun () -> ignore (prepare ~correlation:1.5 ()));
+  Alcotest.check_raises "sizes" (Invalid_argument "Distribution.prepare: sizes must be positive")
+    (fun () -> ignore (prepare ~nodes:0 ()));
+  Alcotest.check_raises "too many clusters"
+    (Invalid_argument "Distribution: physical: more clusters than elements") (fun () ->
+      ignore (prepare ~physical:(D.Clustered_physical { clusters = 30; weight = 5. }) ()));
+  Alcotest.check_raises "weight too small"
+    (Invalid_argument "Distribution: virtual: cluster weight must exceed 1") (fun () ->
+      ignore (prepare ~virtual_world:(D.Clustered_virtual { hot_zones = 2; weight = 1. }) ()));
+  Alcotest.check_raises "cluster count"
+    (Invalid_argument "Distribution: virtual: cluster count must be positive") (fun () ->
+      ignore (prepare ~virtual_world:(D.Clustered_virtual { hot_zones = 0; weight = 2. }) ()))
+
+let test_samples_in_range () =
+  let t = prepare ~correlation:0.5 () in
+  let rng = Rng.create ~seed:2 in
+  for _ = 1 to 500 do
+    let node = D.sample_node t rng in
+    Alcotest.(check bool) "node in range" true (node >= 0 && node < 20);
+    let zone = D.sample_zone t rng ~node in
+    Alcotest.(check bool) "zone in range" true (zone >= 0 && zone < 10)
+  done
+
+let test_uniform_covers () =
+  let t = prepare () in
+  let rng = Rng.create ~seed:3 in
+  let seen_nodes = Array.make 20 false and seen_zones = Array.make 10 false in
+  for _ = 1 to 3000 do
+    let node = D.sample_node t rng in
+    seen_nodes.(node) <- true;
+    seen_zones.(D.sample_zone t rng ~node) <- true
+  done;
+  Alcotest.(check bool) "all nodes hit" true (Array.for_all (fun b -> b) seen_nodes);
+  Alcotest.(check bool) "all zones hit" true (Array.for_all (fun b -> b) seen_zones)
+
+let test_clustered_physical_bias () =
+  let t = prepare ~physical:(D.Clustered_physical { clusters = 2; weight = 10. }) () in
+  let rng = Rng.create ~seed:4 in
+  let counts = Array.make 20 0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    let node = D.sample_node t rng in
+    counts.(node) <- counts.(node) + 1
+  done;
+  let sorted = Array.copy counts in
+  Array.sort compare sorted;
+  (* two hot nodes should each get about weight/(2*weight+18) = 26% *)
+  let hot_share = float_of_int (sorted.(18) + sorted.(19)) /. float_of_int draws in
+  Alcotest.(check bool) "hot nodes dominate" true (hot_share > 0.45 && hot_share < 0.6)
+
+let test_full_correlation_uses_preferred () =
+  let t = prepare ~correlation:1.0 () in
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 500 do
+    let node = D.sample_node t rng in
+    let region = node mod 4 in
+    let zone = D.sample_zone t rng ~node in
+    Alcotest.(check bool) "zone from region's preferred set" true
+      (List.mem zone (D.preferred_zones t ~region))
+  done
+
+let test_preferred_partition () =
+  let t = prepare () in
+  let all = List.concat_map (fun r -> D.preferred_zones t ~region:r) [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "covers all zones" 10 (List.length all);
+  Alcotest.(check (list int)) "each zone exactly once"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.sort compare all)
+
+let test_fewer_zones_than_regions () =
+  let t =
+    D.prepare (Rng.create ~seed:6) ~physical:D.Uniform_physical
+      ~virtual_world:D.Uniform_virtual ~correlation:1. ~nodes:8 ~zones:2
+      ~region_of_node:(fun n -> n mod 5)
+      ~regions:5
+  in
+  for r = 0 to 4 do
+    Alcotest.(check int) "one preferred zone" 1 (List.length (D.preferred_zones t ~region:r))
+  done
+
+let test_zero_correlation_ignores_regions () =
+  (* with delta = 0 the zone distribution must not depend on the node:
+     statistically check a hot zone draws ~weight share everywhere *)
+  let t =
+    prepare ~correlation:0.
+      ~virtual_world:(D.Clustered_virtual { hot_zones = 1; weight = 50. })
+      ()
+  in
+  let rng = Rng.create ~seed:7 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let zone = D.sample_zone t rng ~node:3 in
+    counts.(zone) <- counts.(zone) + 1
+  done;
+  (* the dominant zone should hold about 50/59 of the mass *)
+  let max_count = Array.fold_left max 0 counts in
+  Alcotest.(check bool) "hot zone dominates regardless of node" true
+    (float_of_int max_count > 0.7 *. float_of_int (Array.fold_left ( + ) 0 counts))
+
+let prop_zone_in_range =
+  QCheck.Test.make ~name:"sampled zones within range" ~count:100
+    QCheck.(triple small_nat (float_range 0. 1.) (int_range 1 19))
+    (fun (seed, correlation, node) ->
+      let t = prepare ~correlation () in
+      let rng = Rng.create ~seed in
+      let zone = D.sample_zone t rng ~node in
+      zone >= 0 && zone < 10)
+
+let tests =
+  [
+    ( "model/distribution",
+      [
+        case "validation" test_validation;
+        case "samples in range" test_samples_in_range;
+        case "uniform covers" test_uniform_covers;
+        case "clustered physical bias" test_clustered_physical_bias;
+        case "full correlation uses preferred" test_full_correlation_uses_preferred;
+        case "preferred sets partition zones" test_preferred_partition;
+        case "fewer zones than regions" test_fewer_zones_than_regions;
+        case "zero correlation ignores regions" test_zero_correlation_ignores_regions;
+        QCheck_alcotest.to_alcotest prop_zone_in_range;
+      ] );
+  ]

@@ -1,0 +1,77 @@
+module Diurnal = Cap_sim.Diurnal
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+let feq = Alcotest.(check (float 1e-9))
+
+let test_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "no regions" true (bad (fun () -> Diurnal.make ~phases:[||] ()));
+  Alcotest.(check bool) "bad phase" true (bad (fun () -> Diurnal.make ~phases:[| 1.5 |] ()));
+  Alcotest.(check bool) "bad amplitude" true
+    (bad (fun () -> Diurnal.make ~amplitude:2. ~phases:[| 0. |] ()));
+  Alcotest.(check bool) "bad period" true
+    (bad (fun () -> Diurnal.make ~period:0. ~phases:[| 0. |] ()));
+  Alcotest.(check bool) "bad region count" true
+    (bad (fun () -> Diurnal.random (Rng.create ~seed:1) ~regions:0 ()))
+
+let test_factor_extremes () =
+  (* phase 0.25 puts sin at its maximum at t = 0 *)
+  let t = Diurnal.make ~period:100. ~amplitude:0.8 ~phases:[| 0.25; 0.75 |] () in
+  feq "peak" 1.8 (Diurnal.factor t ~region:0 ~time:0.);
+  feq "trough" 0.2 (Diurnal.factor t ~region:1 ~time:0.);
+  (* half a period later the roles swap *)
+  Alcotest.(check (float 1e-6)) "swap at half period" 0.2
+    (Diurnal.factor t ~region:0 ~time:50.);
+  Alcotest.check_raises "unknown region" (Invalid_argument "Diurnal.factor: unknown region")
+    (fun () -> ignore (Diurnal.factor t ~region:5 ~time:0.))
+
+let test_periodicity () =
+  let t = Diurnal.make ~period:60. ~phases:[| 0.3 |] () in
+  Alcotest.(check (float 1e-6)) "period" (Diurnal.factor t ~region:0 ~time:7.)
+    (Diurnal.factor t ~region:0 ~time:(7. +. 60.))
+
+let test_peak_region () =
+  let t = Diurnal.make ~period:100. ~phases:[| 0.75; 0.25; 0.5 |] () in
+  Alcotest.(check int) "region 1 peaks at 0" 1 (Diurnal.peak_region t ~time:0.);
+  Alcotest.(check int) "region 0 peaks at half period" 0 (Diurnal.peak_region t ~time:50.)
+
+let test_accessors () =
+  let t = Diurnal.make ~period:42. ~phases:[| 0.; 0.5 |] () in
+  Alcotest.(check int) "regions" 2 (Diurnal.regions t);
+  feq "period" 42. (Diurnal.period t)
+
+let prop_factor_bounds =
+  QCheck.Test.make ~name:"factor within [1-a, 1+a]" ~count:200
+    QCheck.(triple (float_range 0. 1.) (float_range 0. 0.999) (float_range 0. 10_000.))
+    (fun (amplitude, phase, time) ->
+      let t = Diurnal.make ~amplitude ~phases:[| phase |] () in
+      let f = Diurnal.factor t ~region:0 ~time in
+      f >= 1. -. amplitude -. 1e-9 && f <= 1. +. amplitude +. 1e-9)
+
+let prop_mean_one =
+  (* averaging the factor over one full period gives ~1 *)
+  QCheck.Test.make ~name:"mean factor over a period is 1" ~count:50
+    QCheck.(pair (float_range 0. 0.999) (float_range 0.1 1.))
+    (fun (phase, amplitude) ->
+      let t = Diurnal.make ~period:100. ~amplitude ~phases:[| phase |] () in
+      let samples = 1000 in
+      let acc = ref 0. in
+      for i = 0 to samples - 1 do
+        acc := !acc +. Diurnal.factor t ~region:0 ~time:(100. *. float_of_int i /. float_of_int samples)
+      done;
+      abs_float ((!acc /. float_of_int samples) -. 1.) < 0.01)
+
+let tests =
+  [
+    ( "sim/diurnal",
+      [
+        case "validation" test_validation;
+        case "factor extremes" test_factor_extremes;
+        case "periodicity" test_periodicity;
+        case "peak region" test_peak_region;
+        case "accessors" test_accessors;
+        QCheck_alcotest.to_alcotest prop_factor_bounds;
+        QCheck_alcotest.to_alcotest prop_mean_one;
+      ] );
+  ]

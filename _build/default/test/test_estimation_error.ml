@@ -1,0 +1,87 @@
+module Error = Cap_topology.Estimation_error
+module Delay = Cap_topology.Delay
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let sample_delay () =
+  Delay.of_matrix
+    [|
+      [| 0.; 100.; 200. |];
+      [| 100.; 0.; 300. |];
+      [| 200.; 300.; 0. |];
+    |]
+
+let test_constants () =
+  Alcotest.(check (float 1e-9)) "king" 1.2 Error.king;
+  Alcotest.(check (float 1e-9)) "idmaps" 2.0 Error.idmaps
+
+let test_validation () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.check_raises "factor < 1"
+    (Invalid_argument "Estimation_error.apply: factor must be >= 1") (fun () ->
+      ignore (Error.apply rng ~factor:0.9 (sample_delay ())))
+
+let test_identity_factor () =
+  let rng = Rng.create ~seed:2 in
+  let perturbed = Error.apply rng ~factor:1. (sample_delay ()) in
+  for u = 0 to 2 do
+    for v = 0 to 2 do
+      Alcotest.(check (float 1e-9)) "unchanged at e=1"
+        (Delay.rtt (sample_delay ()) u v)
+        (Delay.rtt perturbed u v)
+    done
+  done
+
+let test_bounds_and_symmetry () =
+  let rng = Rng.create ~seed:3 in
+  let original = sample_delay () in
+  for _ = 1 to 20 do
+    let perturbed = Error.apply rng ~factor:2. original in
+    for u = 0 to 2 do
+      Alcotest.(check (float 1e-9)) "diagonal zero" 0. (Delay.rtt perturbed u u);
+      for v = u + 1 to 2 do
+        let d = Delay.rtt original u v and d' = Delay.rtt perturbed u v in
+        Alcotest.(check bool) "within [d/e, d*e]" true (d' >= d /. 2. && d' <= d *. 2.);
+        Alcotest.(check (float 1e-9)) "symmetric" d' (Delay.rtt perturbed v u)
+      done
+    done
+  done
+
+let test_perturbs () =
+  let rng = Rng.create ~seed:4 in
+  let perturbed = Error.apply rng ~factor:2. (sample_delay ()) in
+  Alcotest.(check bool) "actually changes something" true
+    (Delay.rtt perturbed 0 1 <> 100.
+    || Delay.rtt perturbed 0 2 <> 200.
+    || Delay.rtt perturbed 1 2 <> 300.)
+
+let prop_bounds =
+  QCheck.Test.make ~name:"perturbed delays within multiplicative band" ~count:100
+    QCheck.(pair small_nat (float_range 1. 3.))
+    (fun (seed, factor) ->
+      let rng = Rng.create ~seed in
+      let original = sample_delay () in
+      let perturbed = Error.apply rng ~factor original in
+      let ok = ref true in
+      for u = 0 to 2 do
+        for v = 0 to 2 do
+          let d = Delay.rtt original u v and d' = Delay.rtt perturbed u v in
+          if u = v then (if d' <> 0. then ok := false)
+          else if d' < (d /. factor) -. 1e-9 || d' > (d *. factor) +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let tests =
+  [
+    ( "topology/estimation_error",
+      [
+        case "constants" test_constants;
+        case "validation" test_validation;
+        case "identity factor" test_identity_factor;
+        case "bounds and symmetry" test_bounds_and_symmetry;
+        case "perturbs" test_perturbs;
+        QCheck_alcotest.to_alcotest prop_bounds;
+      ] );
+  ]

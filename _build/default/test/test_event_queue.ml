@@ -1,0 +1,80 @@
+module Eq = Cap_sim.Event_queue
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_time_order () =
+  let q = Eq.create () in
+  Eq.schedule q ~time:3. "c";
+  Eq.schedule q ~time:1. "a";
+  Eq.schedule q ~time:2. "b";
+  Alcotest.(check (option (pair (float 1e-9) string))) "first" (Some (1., "a")) (Eq.next q);
+  Alcotest.(check (option (pair (float 1e-9) string))) "second" (Some (2., "b")) (Eq.next q);
+  Alcotest.(check (option (pair (float 1e-9) string))) "third" (Some (3., "c")) (Eq.next q);
+  Alcotest.(check (option (pair (float 1e-9) string))) "empty" None (Eq.next q)
+
+let test_fifo_ties () =
+  let q = Eq.create () in
+  Eq.schedule q ~time:1. "first";
+  Eq.schedule q ~time:1. "second";
+  Eq.schedule q ~time:1. "third";
+  let order = List.init 3 (fun _ -> match Eq.next q with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ] order
+
+let test_clock () =
+  let q = Eq.create () in
+  Alcotest.(check (float 1e-9)) "initial clock" 0. (Eq.now q);
+  Eq.schedule q ~time:5. ();
+  ignore (Eq.next q);
+  Alcotest.(check (float 1e-9)) "clock advanced" 5. (Eq.now q)
+
+let test_no_scheduling_into_past () =
+  let q = Eq.create () in
+  Eq.schedule q ~time:5. ();
+  ignore (Eq.next q);
+  Alcotest.check_raises "past" (Invalid_argument "Event_queue.schedule: scheduling into the past")
+    (fun () -> Eq.schedule q ~time:4. ());
+  (* same time as the clock is fine *)
+  Eq.schedule q ~time:5. ()
+
+let test_bad_times () =
+  let q = Eq.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Event_queue.schedule: bad time")
+    (fun () -> Eq.schedule q ~time:(-1.) ());
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.schedule: bad time") (fun () ->
+      Eq.schedule q ~time:nan ())
+
+let test_peek_and_length () =
+  let q = Eq.create () in
+  Alcotest.(check bool) "empty" true (Eq.is_empty q);
+  Eq.schedule q ~time:2. ();
+  Eq.schedule q ~time:1. ();
+  Alcotest.(check int) "length" 2 (Eq.length q);
+  Alcotest.(check (option (float 1e-9))) "peek earliest" (Some 1.) (Eq.peek_time q);
+  Alcotest.(check int) "peek does not pop" 2 (Eq.length q)
+
+let prop_drains_in_order =
+  QCheck.Test.make ~name:"events drain in time order" ~count:200
+    QCheck.(list (float_range 0. 100.))
+    (fun times ->
+      let q = Eq.create () in
+      List.iter (fun t -> Eq.schedule q ~time:t ()) times;
+      let rec drain acc = match Eq.next q with
+        | Some (t, ()) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let drained = drain [] in
+      drained = List.sort compare times)
+
+let tests =
+  [
+    ( "sim/event_queue",
+      [
+        case "time order" test_time_order;
+        case "fifo ties" test_fifo_ties;
+        case "clock" test_clock;
+        case "no scheduling into past" test_no_scheduling_into_past;
+        case "bad times" test_bad_times;
+        case "peek and length" test_peek_and_length;
+        QCheck_alcotest.to_alcotest prop_drains_in_order;
+      ] );
+  ]

@@ -1,0 +1,263 @@
+module E = Cap_experiments
+
+let case name f = Alcotest.test_case name `Quick f
+
+let in_unit x = x >= 0. && x <= 1.
+
+let test_common_replicate () =
+  let results = E.Common.replicate ~runs:5 ~seed:1 (fun rng -> Cap_util.Rng.uniform rng) in
+  Alcotest.(check int) "one result per run" 5 (List.length results);
+  Alcotest.(check bool) "streams differ" true
+    (List.sort_uniq compare results |> List.length > 1);
+  let again = E.Common.replicate ~runs:5 ~seed:1 (fun rng -> Cap_util.Rng.uniform rng) in
+  Alcotest.(check bool) "deterministic in seed" true (results = again);
+  Alcotest.check_raises "bad runs" (Invalid_argument "Common.replicate: runs must be positive")
+    (fun () -> ignore (E.Common.replicate ~runs:0 ~seed:1 (fun _ -> ())))
+
+let test_common_mean_by () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (E.Common.mean_by float_of_int [ 1; 2; 3 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Common.mean_by: empty list") (fun () ->
+      ignore (E.Common.mean_by (fun x -> x) []))
+
+let test_table1_structure () =
+  let rows = E.Table1.run ~runs:1 ~seed:1 ~with_optimal:false () in
+  Alcotest.(check int) "four configurations" 4 (List.length rows);
+  List.iter
+    (fun (row : E.Table1.row) ->
+      Alcotest.(check int) "four algorithms" 4 (List.length row.E.Table1.cells);
+      Alcotest.(check bool) "no optimal requested" true (row.E.Table1.optimal = None);
+      List.iter
+        (fun (_, (cell : E.Table1.cell)) ->
+          Alcotest.(check bool) "pqos in unit" true (in_unit cell.E.Table1.pqos);
+          Alcotest.(check bool) "utilization positive" true (cell.E.Table1.utilization >= 0.))
+        row.E.Table1.cells)
+    rows;
+  Alcotest.(check bool) "renders" true (String.length (Cap_util.Table.render (E.Table1.to_table rows)) > 0)
+
+let test_table1_optimal_on_small () =
+  let rows = E.Table1.run ~runs:1 ~seed:1 ~with_optimal:true ~optimal_time_limit:2. () in
+  let with_optimal =
+    List.filter (fun (r : E.Table1.row) -> r.E.Table1.optimal <> None) rows
+  in
+  Alcotest.(check int) "optimal only on the two small configs" 2 (List.length with_optimal);
+  List.iter
+    (fun (row : E.Table1.row) ->
+      match row.E.Table1.optimal with
+      | None -> ()
+      | Some o ->
+          (* the optimal IAP objective minimizes clients without QoS on
+             targets; its pQoS should not trail GreZ-GreC by much, and
+             generally beats it *)
+          let grez_grec = List.assoc "GreZ-GreC" row.E.Table1.cells in
+          Alcotest.(check bool) "optimal competitive" true
+            (o.E.Table1.cell.E.Table1.pqos >= grez_grec.E.Table1.pqos -. 0.05))
+    rows
+
+let test_fig4_structure () =
+  let t = E.Fig4.run ~runs:1 ~seed:1 () in
+  Alcotest.(check int) "four series" 4 (List.length t.E.Fig4.series);
+  Alcotest.(check (float 1e-9)) "grid starts at the delay bound" 250. t.E.Fig4.grid.(0);
+  List.iter
+    (fun (_, curve) ->
+      Alcotest.(check int) "curve covers grid" (Array.length t.E.Fig4.grid) (Array.length curve);
+      (* CDF curves are monotone and end at 1 at the max RTT *)
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool) "monotone" true (i = 0 || v >= curve.(i - 1) -. 1e-9))
+        curve;
+      Alcotest.(check (float 0.015)) "reaches ~1 at 500ms" 1. curve.(Array.length curve - 1))
+    t.E.Fig4.series;
+  match E.Fig4.crossing_delay t "GreZ-GreC" 0.5 with
+  | Some d -> Alcotest.(check bool) "crossing in range" true (d >= 250. && d <= 500.)
+  | None -> Alcotest.fail "GreZ-GreC should pass 50% within the grid"
+
+let test_fig5_structure () =
+  let t = E.Fig5.run ~runs:1 ~seed:1 () in
+  Alcotest.(check int) "six deltas" 6 (Array.length t.E.Fig5.deltas);
+  List.iter
+    (fun (_, values) ->
+      Array.iter (fun v -> Alcotest.(check bool) "pqos unit" true (in_unit v)) values)
+    t.E.Fig5.pqos;
+  (* the paper's qualitative claim: GreZ-VirC gains a lot from
+     correlation, RanZ-VirC does not *)
+  Alcotest.(check bool) "GreZ-VirC rises" true (E.Fig5.slope t "GreZ-VirC" > 0.1);
+  Alcotest.(check bool) "RanZ-VirC flat-ish" true (abs_float (E.Fig5.slope t "RanZ-VirC") < 0.15)
+
+let test_fig6_structure () =
+  let t = E.Fig6.run ~runs:1 ~seed:1 () in
+  Alcotest.(check (array int)) "types" [| 1; 2; 3; 4 |] t.E.Fig6.types;
+  Alcotest.(check int) "pqos series" 4 (List.length t.E.Fig6.pqos);
+  (* VW clustering must raise utilization for the VirC algorithms *)
+  let virc_util = List.assoc "GreZ-VirC" t.E.Fig6.utilization in
+  Alcotest.(check bool) "type 3 utilization above type 1" true (virc_util.(2) > virc_util.(0));
+  Alcotest.check_raises "bad type" (Invalid_argument "Fig6.distribution_of_type: 5 outside 1..4")
+    (fun () -> ignore (E.Fig6.distribution_of_type 5))
+
+let test_table3_structure () =
+  let rows = E.Table3.run ~runs:1 ~seed:1 () in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  List.iter
+    (fun (row : E.Table3.row) ->
+      Alcotest.(check bool) "before in unit" true (in_unit row.E.Table3.before);
+      Alcotest.(check bool) "after in unit" true (in_unit row.E.Table3.after);
+      Alcotest.(check bool) "executed in unit" true (in_unit row.E.Table3.executed))
+    rows;
+  (* the headline: GreZ-GreC degrades after churn and recovers on
+     re-execution *)
+  let grez_grec = List.find (fun (r : E.Table3.row) -> r.E.Table3.name = "GreZ-GreC") rows in
+  Alcotest.(check bool) "degrades" true (grez_grec.E.Table3.after < grez_grec.E.Table3.before);
+  Alcotest.(check bool) "recovers" true (grez_grec.E.Table3.executed > grez_grec.E.Table3.after);
+  (* the extension column: bounded refresh recovers interactivity too,
+     at a fraction of the zone handoffs of a full re-execution *)
+  Alcotest.(check bool) "incremental recovers" true
+    (grez_grec.E.Table3.incremental > grez_grec.E.Table3.after);
+  Alcotest.(check bool) "incremental within budget" true (grez_grec.E.Table3.zone_moves <= 8.);
+  Alcotest.(check bool) "full re-execution moves more zones" true
+    (grez_grec.E.Table3.executed_zone_moves >= grez_grec.E.Table3.zone_moves)
+
+let test_table4_structure () =
+  let t = E.Table4.run ~runs:1 ~seed:1 () in
+  Alcotest.(check int) "two factors" 2 (List.length t);
+  List.iter
+    (fun (factor, cells) ->
+      Alcotest.(check bool) "factor >= 1" true (factor >= 1.);
+      Alcotest.(check int) "four algorithms" 4 (List.length cells))
+    t
+
+let test_timing_structure () =
+  let t = E.Timing.run ~runs:1 ~seed:1 ~optimal_time_limit:1. () in
+  Alcotest.(check int) "four heuristic rows" 4 (List.length t.E.Timing.heuristics);
+  Alcotest.(check int) "two optimal rows" 2 (List.length t.E.Timing.optimal);
+  List.iter
+    (fun (row : E.Timing.heuristic_row) ->
+      List.iter
+        (fun (_, s) ->
+          (* the paper's claim: every heuristic well under a second *)
+          Alcotest.(check bool) "heuristic < 1s" true (s < 1.))
+        row.E.Timing.seconds)
+    t.E.Timing.heuristics
+
+let test_report_sections () =
+  Alcotest.(check int) "twelve sections" 12 (List.length E.Report.all_sections);
+  List.iter
+    (fun s ->
+      match E.Report.section_of_string (E.Report.section_name s) with
+      | Some s' -> Alcotest.(check bool) "roundtrip" true (s = s')
+      | None -> Alcotest.fail "section name should parse")
+    E.Report.all_sections;
+  Alcotest.(check bool) "case-insensitive" true
+    (E.Report.section_of_string "TABLE1" = Some E.Report.Table1);
+  Alcotest.(check bool) "unknown" true (E.Report.section_of_string "nope" = None)
+
+let test_backbone_structure () =
+  let rows = E.Backbone_check.run ~runs:1 ~seed:1 ~access_nodes:100 () in
+  Alcotest.(check int) "four algorithms" 4 (List.length rows);
+  List.iter
+    (fun (row : E.Backbone_check.row) ->
+      Alcotest.(check bool) "pqos in unit" true (in_unit row.E.Backbone_check.pqos))
+    rows
+
+let test_vivaldi_structure () =
+  let t = E.Vivaldi_check.run ~runs:1 ~seed:1 () in
+  Alcotest.(check bool) "error positive" true (t.E.Vivaldi_check.median_error > 0.);
+  Alcotest.(check int) "four rows" 4 (List.length t.E.Vivaldi_check.rows);
+  Alcotest.(check int) "four perfect rows" 4 (List.length t.E.Vivaldi_check.perfect);
+  List.iter
+    (fun (row : E.Vivaldi_check.row) ->
+      Alcotest.(check bool) "pqos in unit" true (in_unit row.E.Vivaldi_check.pqos))
+    t.E.Vivaldi_check.rows
+
+let test_queueing_structure () =
+  let rows = E.Queueing_check.run ~runs:1 ~seed:1 () in
+  Alcotest.(check int) "four algorithms" 4 (List.length rows);
+  List.iter
+    (fun (row : E.Queueing_check.row) ->
+      Alcotest.(check bool) "effective <= nominal" true
+        (row.E.Queueing_check.effective <= row.E.Queueing_check.nominal +. 1e-9);
+      Alcotest.(check bool) "provisioning helps" true
+        (row.E.Queueing_check.effective_provisioned
+        >= row.E.Queueing_check.effective -. 0.02))
+    rows
+
+let test_ablation_structure () =
+  let t = E.Ablation.run ~runs:1 ~seed:1 () in
+  Alcotest.(check int) "seven variants" 7 (List.length t.E.Ablation.variants);
+  Alcotest.(check int) "two bounds" 2 (List.length t.E.Ablation.bounds);
+  List.iter
+    (fun (row : E.Ablation.bound_row) ->
+      Alcotest.(check bool) "explored nodes" true (row.E.Ablation.nodes >= 1.))
+    t.E.Ablation.bounds
+
+let tests =
+  [
+    ( "experiments",
+      [
+        case "common replicate" test_common_replicate;
+        case "common mean_by" test_common_mean_by;
+        case "table1 structure" test_table1_structure;
+        case "table1 optimal on small configs" test_table1_optimal_on_small;
+        case "fig4 structure" test_fig4_structure;
+        case "fig5 structure" test_fig5_structure;
+        case "fig6 structure" test_fig6_structure;
+        case "table3 structure" test_table3_structure;
+        case "table4 structure" test_table4_structure;
+        case "timing structure" test_timing_structure;
+        case "report sections" test_report_sections;
+        case "backbone structure" test_backbone_structure;
+        case "vivaldi structure" test_vivaldi_structure;
+        case "queueing structure" test_queueing_structure;
+        case "ablation structure" test_ablation_structure;
+      ] );
+  ]
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_export_csv_shapes () =
+  let fig4 = E.Fig4.run ~runs:1 ~seed:1 () in
+  let csv = E.Export.fig4_csv fig4 in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one row per grid point"
+    (1 + Array.length fig4.E.Fig4.grid)
+    (List.length lines);
+  Alcotest.(check bool) "header names algorithms" true
+    (match lines with
+    | header :: _ ->
+        contains ~needle:"RanZ-VirC" header && contains ~needle:"GreZ-GreC" header
+    | [] -> false)
+
+let test_export_gnuplot () =
+  let script =
+    E.Export.gnuplot_script ~csv:"data.csv" ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      ~columns:[ "a"; "b" ]
+  in
+  Alcotest.(check bool) "references csv" true (contains ~needle:"data.csv" script);
+  Alcotest.(check bool) "plots two columns" true (contains ~needle:"using 1:3" script)
+
+let test_export_write_all () =
+  let directory = Filename.concat (Filename.get_temp_dir_name ()) "cap_export_test" in
+  let written = E.Export.write_all ~runs:1 ~seed:1 ~directory () in
+  Alcotest.(check bool) "several files" true (List.length written.E.Export.files >= 10);
+  List.iter
+    (fun name ->
+      let path = Filename.concat directory name in
+      let size =
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        close_in ic;
+        n
+      in
+      Alcotest.(check bool) (name ^ " exists and non-empty") true (size > 0))
+    written.E.Export.files
+
+let export_tests =
+  [
+    ( "experiments/export",
+      [
+        case "csv shapes" test_export_csv_shapes;
+        case "gnuplot script" test_export_gnuplot;
+        case "write_all" test_export_write_all;
+      ] );
+  ]

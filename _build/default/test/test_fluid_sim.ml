@@ -1,0 +1,130 @@
+module Fluid = Cap_sim.Fluid_sim
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let valid_state seed =
+  let w = Fixtures.generated ~seed () in
+  let a = Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.create ~seed) w in
+  w, a
+
+let test_validation () =
+  let w, a = valid_state 1 in
+  let bad config =
+    try
+      ignore (Fluid.run (Rng.create ~seed:1) ~config w a);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "duration" true (bad { Fluid.default_config with Fluid.duration = 0. });
+  Alcotest.(check bool) "tick" true (bad { Fluid.default_config with Fluid.tick = 0. });
+  Alcotest.(check bool) "burstiness" true
+    (bad { Fluid.default_config with Fluid.burstiness = -1. });
+  let tiny = Assignment.make ~target_of_zone:[| 0 |] ~contact_of_client:[| 0 |] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Fluid_sim: assignment does not match the world") (fun () ->
+      ignore (Fluid.run (Rng.create ~seed:1) w tiny))
+
+let with_headroom factor (w : World.t) =
+  { w with World.capacities = Array.map (fun c -> c *. factor) w.World.capacities }
+
+let test_valid_assignment_no_queueing_collapse () =
+  let w, a = valid_state 2 in
+  (* provision well below saturation: queueing theory says delay is
+     small only when utilization has headroom, not merely rho <= 1 *)
+  let w = with_headroom 4. w in
+  let outcome = Fluid.run (Rng.create ~seed:2) w a in
+  Alcotest.(check (float 1e-9)) "nominal matches the analytic pQoS" (Assignment.pqos a w)
+    outcome.Fluid.nominal_pqos;
+  Alcotest.(check bool)
+    (Printf.sprintf "effective %.3f close to nominal %.3f" outcome.Fluid.effective_pqos
+       outcome.Fluid.nominal_pqos)
+    true
+    (outcome.Fluid.effective_pqos >= outcome.Fluid.nominal_pqos -. 0.05);
+  Alcotest.(check bool) "small mean queueing delay" true
+    (outcome.Fluid.mean_queueing_delay < 20.)
+
+let test_heavy_traffic_hurts_even_when_feasible () =
+  (* Eq. 2 only demands load <= capacity; a server filled to ~100%
+     still queues under bursty arrivals. This is the regime where the
+     paper's "communication delay = network delay" assumption breaks. *)
+  let w, a = valid_state 2 in
+  let relaxed = Fluid.run (Rng.create ~seed:2) (with_headroom 4. w) a in
+  let tight = Fluid.run (Rng.create ~seed:2) w a in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight %.3f below relaxed %.3f" tight.Fluid.effective_pqos
+       relaxed.Fluid.effective_pqos)
+    true
+    (tight.Fluid.effective_pqos <= relaxed.Fluid.effective_pqos)
+
+let test_deterministic_fluid_idle () =
+  (* burstiness 0 and loads strictly below capacity: zero backlog *)
+  let w, a = valid_state 3 in
+  let config = { Fluid.default_config with Fluid.burstiness = 0. } in
+  let outcome = Fluid.run (Rng.create ~seed:3) ~config w a in
+  Array.iter
+    (fun r ->
+      Alcotest.(check (float 1e-9)) "no backlog" 0. r.Fluid.final_backlog;
+      Alcotest.(check (float 1e-9)) "no delay" 0. r.Fluid.mean_queueing_delay)
+    outcome.Fluid.per_server;
+  Alcotest.(check (float 1e-9)) "effective = nominal" outcome.Fluid.nominal_pqos
+    outcome.Fluid.effective_pqos
+
+let test_overload_collapses () =
+  (* an infeasible placement (everything on server 0 with a small
+     capacity) must show saturation and an effective pQoS collapse *)
+  let w = Fixtures.standard ~capacities:[| 3000.; 1e9 |] () in
+  let a = Assignment.with_virc_contacts w ~target_of_zone:[| 0; 0 |] in
+  (* offered on server 0: 12000 bit/s against 3000 bit/s capacity *)
+  let config = { Fluid.default_config with Fluid.burstiness = 0. } in
+  let outcome = Fluid.run (Rng.create ~seed:4) ~config w a in
+  let report = outcome.Fluid.per_server.(0) in
+  Alcotest.(check (float 1e-9)) "always saturated" 1. report.Fluid.saturated_fraction;
+  Alcotest.(check bool) "backlog grows" true (report.Fluid.final_backlog > 0.);
+  Alcotest.(check bool) "interactivity collapses" true
+    (outcome.Fluid.effective_pqos < outcome.Fluid.nominal_pqos);
+  Alcotest.(check (float 1e-9)) "nobody effective" 0. outcome.Fluid.effective_pqos
+
+let test_relayed_clients_cross_two_queues () =
+  (* give c1 a relay via server 0 while its zone sits on saturated
+     server 1: both queue delays must apply; with server 1 saturated
+     even the relayed client misses the bound *)
+  let w = Fixtures.standard ~capacities:[| 1e9; 9000. |] () in
+  let a = Assignment.make ~target_of_zone:[| 1; 1 |] ~contact_of_client:[| 1; 0; 1; 1 |] in
+  (* loads: server 1 carries both zones (12000) > 9000 plus c1's relay *)
+  let config = { Fluid.default_config with Fluid.burstiness = 0. } in
+  let outcome = Fluid.run (Rng.create ~seed:5) ~config w a in
+  Alcotest.(check bool) "server 1 saturated" true
+    (outcome.Fluid.per_server.(1).Fluid.saturated_fraction > 0.9);
+  Alcotest.(check bool) "relay cannot rescue a saturated target" true
+    (outcome.Fluid.effective_pqos < outcome.Fluid.nominal_pqos)
+
+let test_determinism () =
+  let w, a = valid_state 6 in
+  let run () = Fluid.run (Rng.create ~seed:6) w a in
+  let x = run () and y = run () in
+  Alcotest.(check (float 1e-12)) "same effective pqos" x.Fluid.effective_pqos
+    y.Fluid.effective_pqos
+
+let prop_effective_never_exceeds_nominal =
+  QCheck.Test.make ~name:"queueing can only hurt" ~count:10 QCheck.small_nat (fun seed ->
+      let w, a = valid_state (seed + 1) in
+      let outcome = Fluid.run (Rng.create ~seed) w a in
+      outcome.Fluid.effective_pqos <= outcome.Fluid.nominal_pqos +. 1e-9)
+
+let tests =
+  [
+    ( "sim/fluid_sim",
+      [
+        case "validation" test_validation;
+        case "valid assignment stays interactive" test_valid_assignment_no_queueing_collapse;
+        case "heavy traffic hurts even when feasible" test_heavy_traffic_hurts_even_when_feasible;
+        case "deterministic fluid idle" test_deterministic_fluid_idle;
+        case "overload collapses" test_overload_collapses;
+        case "relays cross two queues" test_relayed_clients_cross_two_queues;
+        case "determinism" test_determinism;
+        QCheck_alcotest.to_alcotest prop_effective_never_exceeds_nominal;
+      ] );
+  ]

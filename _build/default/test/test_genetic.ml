@@ -1,0 +1,87 @@
+module Genetic = Cap_core.Genetic
+module Grez = Cap_core.Grez
+module Cost = Cap_core.Cost
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let total_cost w targets =
+  let costs = Cost.initial_matrix w in
+  let acc = ref 0 in
+  Array.iteri (fun z s -> acc := !acc + costs.(z).(s)) targets;
+  !acc
+
+let test_validation () =
+  let w = Fixtures.standard () in
+  let bad params =
+    try
+      ignore (Genetic.improve (Rng.create ~seed:1) ~params w ~targets:[| 0; 1 |]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "population" true
+    (bad { Genetic.default_params with Genetic.population = 1 });
+  Alcotest.(check bool) "generations" true
+    (bad { Genetic.default_params with Genetic.generations = 0 });
+  Alcotest.(check bool) "mutation" true
+    (bad { Genetic.default_params with Genetic.mutation_rate = 1.5 });
+  Alcotest.(check bool) "tournament" true
+    (bad { Genetic.default_params with Genetic.tournament = 0 });
+  Alcotest.check_raises "width" (Invalid_argument "Genetic: assignment does not match the world")
+    (fun () -> ignore (Genetic.improve (Rng.create ~seed:1) w ~targets:[| 0 |]))
+
+let test_finds_fixture_optimum () =
+  let w = Fixtures.standard () in
+  let report = Genetic.improve (Rng.create ~seed:2) w ~targets:[| 1; 0 |] in
+  Alcotest.(check int) "cost before" 3 report.Genetic.cost_before;
+  Alcotest.(check int) "reaches zero cost" 0 report.Genetic.cost_after;
+  Alcotest.(check (array int)) "optimal targets" [| 0; 1 |] report.Genetic.targets
+
+let test_report_consistency () =
+  let w = Fixtures.generated () in
+  let targets = Array.make (World.zone_count w) 0 in
+  let report = Genetic.improve (Rng.create ~seed:3) w ~targets in
+  Alcotest.(check int) "cost_before" (total_cost w targets) report.Genetic.cost_before;
+  Alcotest.(check int) "cost_after matches targets" (total_cost w report.Genetic.targets)
+    report.Genetic.cost_after;
+  Alcotest.(check int) "generations" 120 report.Genetic.generations_run
+
+let prop_never_worse_than_feasible_seed =
+  QCheck.Test.make ~name:"never worse than a feasible seed" ~count:6 QCheck.small_nat
+    (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let report = Genetic.improve (Rng.create ~seed) w ~targets in
+      report.Genetic.cost_after <= report.Genetic.cost_before)
+
+let prop_feasible_result =
+  QCheck.Test.make ~name:"returned assignment is feasible" ~count:6 QCheck.small_nat
+    (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let report = Genetic.improve (Rng.create ~seed) w ~targets in
+      Assignment.is_valid
+        (Assignment.with_virc_contacts w ~target_of_zone:report.Genetic.targets)
+        w)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same seed, same evolution" ~count:3 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated () in
+      let targets = Array.make (World.zone_count w) 0 in
+      let run () = (Genetic.improve (Rng.create ~seed) w ~targets).Genetic.targets in
+      run () = run ())
+
+let tests =
+  [
+    ( "core/genetic",
+      [
+        case "validation" test_validation;
+        case "finds fixture optimum" test_finds_fixture_optimum;
+        case "report consistency" test_report_consistency;
+        QCheck_alcotest.to_alcotest prop_never_worse_than_feasible_seed;
+        QCheck_alcotest.to_alcotest prop_feasible_result;
+        QCheck_alcotest.to_alcotest prop_deterministic;
+      ] );
+  ]

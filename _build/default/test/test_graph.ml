@@ -1,0 +1,130 @@
+module Graph = Cap_topology.Graph
+
+let case name f = Alcotest.test_case name `Quick f
+
+let path_graph n =
+  (* 0 - 1 - 2 - ... - (n-1), weight i+1 on edge (i, i+1) *)
+  let b = Graph.Builder.create n in
+  for i = 0 to n - 2 do
+    Graph.Builder.add_edge b i (i + 1) (float_of_int (i + 1))
+  done;
+  Graph.Builder.finish b
+
+let test_builder_validation () =
+  let b = Graph.Builder.create 3 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph.Builder: node out of range")
+    (fun () -> Graph.Builder.add_edge b 0 3 1.);
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.Builder.add_edge: self-loop")
+    (fun () -> Graph.Builder.add_edge b 1 1 1.);
+  Alcotest.check_raises "non-positive weight"
+    (Invalid_argument "Graph.Builder.add_edge: non-positive weight") (fun () ->
+      Graph.Builder.add_edge b 0 1 0.);
+  Graph.Builder.add_edge b 0 1 1.;
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.Builder.add_edge: duplicate edge")
+    (fun () -> Graph.Builder.add_edge b 1 0 2.);
+  Alcotest.(check bool) "has_edge" true (Graph.Builder.has_edge b 1 0);
+  Alcotest.(check int) "edge_count" 1 (Graph.Builder.edge_count b);
+  Alcotest.(check int) "degree" 1 (Graph.Builder.degree b 0)
+
+let test_counts_and_adjacency () =
+  let g = path_graph 4 in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "edges" 3 (Graph.edge_count g);
+  Alcotest.(check (array int)) "degrees" [| 1; 2; 2; 1 |] (Graph.degree_array g);
+  let neighbors_of_1 =
+    Array.to_list (Graph.neighbors g 1) |> List.sort compare
+  in
+  Alcotest.(check (list (pair int (float 1e-9)))) "neighbors" [ 0, 1.; 2, 2. ] neighbors_of_1
+
+let test_edge_queries () =
+  let g = path_graph 3 in
+  Alcotest.(check bool) "has 0-1" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "has 1-0 (undirected)" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "no 0-2" false (Graph.has_edge g 0 2);
+  Alcotest.(check (option (float 1e-9))) "weight" (Some 2.) (Graph.edge_weight g 1 2);
+  Alcotest.(check (option (float 1e-9))) "missing" None (Graph.edge_weight g 0 2);
+  Alcotest.(check (option (float 1e-9))) "out of range safe" None (Graph.edge_weight g 0 9)
+
+let test_iter_edges_once () =
+  let g = path_graph 5 in
+  let visited = ref [] in
+  Graph.iter_edges g (fun u v w -> visited := (u, v, w) :: !visited);
+  Alcotest.(check int) "each edge once" 4 (List.length !visited);
+  List.iter
+    (fun (u, v, _) -> Alcotest.(check bool) "u < v" true (u < v))
+    !visited
+
+let test_connectivity () =
+  Alcotest.(check bool) "path connected" true (Graph.is_connected (path_graph 6));
+  let disconnected =
+    let b = Graph.Builder.create 4 in
+    Graph.Builder.add_edge b 0 1 1.;
+    Graph.Builder.add_edge b 2 3 1.;
+    Graph.Builder.finish b
+  in
+  Alcotest.(check bool) "two components" false (Graph.is_connected disconnected);
+  let isolated =
+    let b = Graph.Builder.create 2 in
+    Graph.Builder.finish b
+  in
+  Alcotest.(check bool) "isolated nodes" false (Graph.is_connected isolated);
+  let singleton = Graph.Builder.finish (Graph.Builder.create 1) in
+  Alcotest.(check bool) "singleton connected" true (Graph.is_connected singleton);
+  let empty = Graph.Builder.finish (Graph.Builder.create 0) in
+  Alcotest.(check bool) "empty connected" true (Graph.is_connected empty)
+
+let random_graph seed n extra_edges =
+  let rng = Cap_util.Rng.create ~seed in
+  let b = Graph.Builder.create n in
+  (* random spanning tree, then extra random edges *)
+  for v = 1 to n - 1 do
+    let u = Cap_util.Rng.int rng v in
+    Graph.Builder.add_edge b u v (1. +. Cap_util.Rng.uniform rng)
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_edges && !attempts < 100 do
+    incr attempts;
+    let u = Cap_util.Rng.int rng n and v = Cap_util.Rng.int rng n in
+    if u <> v && not (Graph.Builder.has_edge b u v) then begin
+      Graph.Builder.add_edge b u v (1. +. Cap_util.Rng.uniform rng);
+      incr added
+    end
+  done;
+  Graph.Builder.finish b
+
+let prop_adjacency_symmetric =
+  QCheck.Test.make ~name:"adjacency symmetric" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, extra) ->
+      let g = random_graph seed 12 (extra mod 10) in
+      let ok = ref true in
+      for u = 0 to Graph.node_count g - 1 do
+        Array.iter
+          (fun (v, w) ->
+            if Graph.edge_weight g v u <> Some w then ok := false)
+          (Graph.neighbors g u)
+      done;
+      !ok)
+
+let prop_handshake =
+  QCheck.Test.make ~name:"sum of degrees = 2 * edges" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, extra) ->
+      let g = random_graph seed 15 (extra mod 12) in
+      let total = Array.fold_left ( + ) 0 (Graph.degree_array g) in
+      total = 2 * Graph.edge_count g)
+
+let tests =
+  [
+    ( "topology/graph",
+      [
+        case "builder validation" test_builder_validation;
+        case "counts and adjacency" test_counts_and_adjacency;
+        case "edge queries" test_edge_queries;
+        case "iter_edges once" test_iter_edges_once;
+        case "connectivity" test_connectivity;
+        QCheck_alcotest.to_alcotest prop_adjacency_symmetric;
+        QCheck_alcotest.to_alcotest prop_handshake;
+      ] );
+  ]

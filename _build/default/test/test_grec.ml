@@ -1,0 +1,119 @@
+module Grec = Cap_core.Grec
+module Virc = Cap_core.Virc
+module Cost = Cap_core.Cost
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Scenario = Cap_model.Scenario
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_within_bound_keeps_target () =
+  let w = Fixtures.standard () in
+  (* optimal targets: everyone within the bound, so GreC = VirC *)
+  let targets = [| 0; 1 |] in
+  Alcotest.(check (array int)) "no relays needed" (Virc.assign w ~targets)
+    (Grec.assign w ~targets)
+
+let test_relays_late_clients () =
+  let w = Fixtures.standard () in
+  (* z0 hosted on s1: c1's direct delay is 260 > 150, but via s0 it is
+     40 + 50 = 90. GreC must relay c1 through s0. c0 (100 direct) stays. *)
+  let targets = [| 1; 1 |] in
+  let contacts = Grec.assign w ~targets in
+  Alcotest.(check int) "c0 direct" 1 contacts.(0);
+  Alcotest.(check int) "c1 relayed via s0" 0 contacts.(1);
+  Alcotest.(check int) "c2 direct" 1 contacts.(2)
+
+let test_relay_denied_by_capacity () =
+  (* same as above but s0 has no spare capacity for the forwarding
+     load (R^C = 2 * R^T = 2 * 3000): c1 falls back to its target. *)
+  let w = Fixtures.standard ~capacities:[| 3000.; 100000. |] () in
+  let targets = [| 1; 1 |] in
+  (* zone loads: z0 and z1 both on s1 -> s0 carries nothing but has
+     capacity 3000 < 6000 = R^C of c1. *)
+  let contacts = Grec.assign w ~targets in
+  Alcotest.(check int) "denied relay keeps target" 1 contacts.(1)
+
+let test_capacity_respected () =
+  let w = Fixtures.generated () in
+  let targets = Cap_core.Grez.assign w in
+  let contacts = Grec.assign w ~targets in
+  let a = Assignment.make ~target_of_zone:targets ~contact_of_client:contacts in
+  Alcotest.(check bool) "valid" true (Assignment.is_valid a w)
+
+let test_deterministic () =
+  let w = Fixtures.generated () in
+  let targets = Cap_core.Grez.assign w in
+  Alcotest.(check bool) "two runs agree" true
+    (Grec.assign w ~targets = Grec.assign w ~targets)
+
+let prop_never_worse_than_virc_per_client =
+  (* Key invariant (with perfect delay knowledge): GreC never gives a
+     client a larger delay than connecting straight to its target. *)
+  QCheck.Test.make ~name:"per-client delay <= VirC's" ~count:25 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Cap_core.Grez.assign w in
+      let grec = Assignment.make ~target_of_zone:targets
+          ~contact_of_client:(Grec.assign w ~targets) in
+      let virc = Assignment.with_virc_contacts w ~target_of_zone:targets in
+      Array.for_all
+        (fun c ->
+          Assignment.client_delay grec w c <= Assignment.client_delay virc w c +. 1e-9)
+        (Array.init (World.client_count w) (fun c -> c)))
+
+let prop_pqos_at_least_virc =
+  QCheck.Test.make ~name:"pQoS >= VirC's (same targets)" ~count:25 QCheck.small_nat
+    (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Cap_core.Grez.assign w in
+      let grec =
+        Assignment.make ~target_of_zone:targets ~contact_of_client:(Grec.assign w ~targets)
+      in
+      let virc = Assignment.with_virc_contacts w ~target_of_zone:targets in
+      Assignment.pqos grec w >= Assignment.pqos virc w -. 1e-9)
+
+let prop_valid_on_generated_worlds =
+  QCheck.Test.make ~name:"always respects capacities" ~count:25 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Cap_core.Grez.assign w in
+      let a =
+        Assignment.make ~target_of_zone:targets ~contact_of_client:(Grec.assign w ~targets)
+      in
+      Assignment.is_valid a w)
+
+let test_estimation_error_can_mislead () =
+  (* With a large estimation error the observed-delay guarantee no
+     longer transfers to true delays: run many seeds and require that
+     at least one client ends up worse than direct (this reproduces
+     the paper's Table 4 mechanism). *)
+  let misled = ref false in
+  for seed = 1 to 30 do
+    let w = Fixtures.generated ~seed () in
+    let w = World.with_estimation_error (Cap_util.Rng.create ~seed) ~factor:3. w in
+    let targets = Cap_core.Grez.assign w in
+    let grec =
+      Assignment.make ~target_of_zone:targets ~contact_of_client:(Grec.assign w ~targets)
+    in
+    let virc = Assignment.with_virc_contacts w ~target_of_zone:targets in
+    for c = 0 to World.client_count w - 1 do
+      if Assignment.client_delay grec w c > Assignment.client_delay virc w c +. 1e-6 then
+        misled := true
+    done
+  done;
+  Alcotest.(check bool) "error can make relays counterproductive" true !misled
+
+let tests =
+  [
+    ( "core/grec",
+      [
+        case "within bound keeps target" test_within_bound_keeps_target;
+        case "relays late clients" test_relays_late_clients;
+        case "relay denied by capacity" test_relay_denied_by_capacity;
+        case "capacity respected" test_capacity_respected;
+        case "deterministic" test_deterministic;
+        case "estimation error can mislead" test_estimation_error_can_mislead;
+        QCheck_alcotest.to_alcotest prop_never_worse_than_virc_per_client;
+        QCheck_alcotest.to_alcotest prop_pqos_at_least_virc;
+        QCheck_alcotest.to_alcotest prop_valid_on_generated_worlds;
+      ] );
+  ]

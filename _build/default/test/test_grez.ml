@@ -1,0 +1,97 @@
+module Grez = Cap_core.Grez
+module Cost = Cap_core.Cost
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+let case name f = Alcotest.test_case name `Quick f
+
+let total_cost w targets =
+  let costs = Cost.initial_matrix w in
+  let acc = ref 0 in
+  Array.iteri (fun z s -> acc := !acc + costs.(z).(s)) targets;
+  !acc
+
+let test_picks_zero_cost_servers () =
+  let w = Fixtures.standard () in
+  (* optimal initial assignment is z0 -> s0, z1 -> s1 with zero cost *)
+  Alcotest.(check (array int)) "optimal on the fixture" [| 0; 1 |] (Grez.assign w)
+
+let test_capacity_forces_spread () =
+  (* both zones prefer... z0 -> s0 (cost 0), z1 -> s1 (cost 0); shrink
+     s1 so that z1 does not fit: z1 must go to s0 (cost 2) despite
+     preference, and z0 keeps s0 if it still fits. *)
+  let w = Fixtures.standard ~capacities:[| 12000.; 1000. |] () in
+  let targets = Grez.assign w in
+  Alcotest.(check (array int)) "forced onto s0" [| 0; 0 |] targets;
+  let a = Assignment.with_virc_contacts w ~target_of_zone:targets in
+  Alcotest.(check bool) "still within capacity" true (Assignment.is_valid a w)
+
+let test_deterministic () =
+  let w = Fixtures.generated () in
+  Alcotest.(check bool) "two runs agree" true (Grez.assign w = Grez.assign w)
+
+let test_dynamic_variant () =
+  let w = Fixtures.generated () in
+  let static = Grez.assign w in
+  let dynamic = Grez.assign ~dynamic:true w in
+  let valid targets =
+    Assignment.is_valid (Assignment.with_virc_contacts w ~target_of_zone:targets) w
+  in
+  Alcotest.(check bool) "static valid" true (valid static);
+  Alcotest.(check bool) "dynamic valid" true (valid dynamic)
+
+let test_paper_regret_variant () =
+  let w = Fixtures.generated () in
+  let targets = Grez.assign ~rule:Cap_core.Regret.Second_minus_best w in
+  Alcotest.(check bool) "valid assignment" true
+    (Assignment.is_valid (Assignment.with_virc_contacts w ~target_of_zone:targets) w)
+
+let test_fallback_when_infeasible () =
+  let w = Fixtures.standard ~capacities:[| 1000.; 1000. |] () in
+  let targets = Grez.assign w in
+  Alcotest.(check int) "complete despite infeasibility" 2 (Array.length targets)
+
+let prop_beats_random_on_cost =
+  (* The whole point of GreZ: lower total initial cost than random
+     assignment (weakly, on every seed). *)
+  QCheck.Test.make ~name:"total C^I <= RanZ's" ~count:25 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let grez_cost = total_cost w (Grez.assign w) in
+      let ranz_cost =
+        total_cost w (Cap_core.Ranz.assign (Cap_util.Rng.create ~seed) w)
+      in
+      grez_cost <= ranz_cost)
+
+let prop_valid_on_generated_worlds =
+  QCheck.Test.make ~name:"valid on amply provisioned worlds" ~count:25 QCheck.small_nat
+    (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let a = Assignment.with_virc_contacts w ~target_of_zone:(Grez.assign w) in
+      Assignment.is_valid a w)
+
+let prop_dynamic_not_worse =
+  (* dynamic regret recomputation should not increase the total cost
+     in the common case; we assert it stays within one zone's worth of
+     clients to allow for genuine trade-offs. *)
+  QCheck.Test.make ~name:"dynamic variant comparable to static" ~count:15 QCheck.small_nat
+    (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let s = total_cost w (Grez.assign w) in
+      let d = total_cost w (Grez.assign ~dynamic:true w) in
+      d <= s + 12)
+
+let tests =
+  [
+    ( "core/grez",
+      [
+        case "picks zero-cost servers" test_picks_zero_cost_servers;
+        case "capacity forces spread" test_capacity_forces_spread;
+        case "deterministic" test_deterministic;
+        case "dynamic variant" test_dynamic_variant;
+        case "paper-regret variant" test_paper_regret_variant;
+        case "fallback when infeasible" test_fallback_when_infeasible;
+        QCheck_alcotest.to_alcotest prop_beats_random_on_cost;
+        QCheck_alcotest.to_alcotest prop_valid_on_generated_worlds;
+        QCheck_alcotest.to_alcotest prop_dynamic_not_worse;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+module H = Cap_topology.Hierarchical
+module Graph = Cap_topology.Graph
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let small_params = { H.default_params with H.n_as = 4; routers_per_as = 6 }
+
+let test_default_paper_size () =
+  Alcotest.(check int) "20 ASes" 20 H.default_params.H.n_as;
+  Alcotest.(check int) "25 routers per AS" 25 H.default_params.H.routers_per_as;
+  let rng = Rng.create ~seed:1 in
+  let t = H.generate rng H.default_params in
+  Alcotest.(check int) "500 nodes" 500 (H.node_count t);
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.H.graph)
+
+let test_as_membership () =
+  let rng = Rng.create ~seed:2 in
+  let t = H.generate rng small_params in
+  Alcotest.(check int) "nodes" 24 (H.node_count t);
+  Array.iteri
+    (fun router asn ->
+      Alcotest.(check int) "block membership" (router / 6) asn)
+    t.H.as_of;
+  for asn = 0 to 3 do
+    Alcotest.(check int) "routers per AS" 6 (List.length (H.routers_of_as t asn))
+  done
+
+let test_intra_as_connectivity () =
+  (* Each AS's internal subgraph must itself be connected (the Waxman
+     substrate guarantees it). *)
+  let rng = Rng.create ~seed:3 in
+  let t = H.generate rng small_params in
+  for asn = 0 to small_params.H.n_as - 1 do
+    let members = H.routers_of_as t asn in
+    let index = List.mapi (fun i r -> r, i) members in
+    let b = Graph.Builder.create (List.length members) in
+    Graph.iter_edges t.H.graph (fun u v w ->
+        match List.assoc_opt u index, List.assoc_opt v index with
+        | Some iu, Some iv -> Graph.Builder.add_edge b iu iv w
+        | _ -> ());
+    Alcotest.(check bool)
+      (Printf.sprintf "AS %d internally connected" asn)
+      true
+      (Graph.is_connected (Graph.Builder.finish b))
+  done
+
+let test_single_as () =
+  let rng = Rng.create ~seed:4 in
+  let t = H.generate rng { small_params with H.n_as = 1 } in
+  Alcotest.(check int) "nodes" 6 (H.node_count t);
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.H.graph)
+
+let test_validation () =
+  let rng = Rng.create ~seed:5 in
+  Alcotest.check_raises "bad sizes"
+    (Invalid_argument "Hierarchical.generate: sizes must be positive") (fun () ->
+      ignore (H.generate rng { small_params with H.n_as = 0 }));
+  Alcotest.check_raises "bad side"
+    (Invalid_argument "Hierarchical.generate: side must be positive") (fun () ->
+      ignore (H.generate rng { small_params with H.side = 0. }))
+
+let prop_connected =
+  QCheck.Test.make ~name:"hierarchical always connected" ~count:20 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let t = H.generate rng small_params in
+      Graph.is_connected t.H.graph)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"same seed, same topology" ~count:10 QCheck.small_nat (fun seed ->
+      let gen () = H.generate (Rng.create ~seed) small_params in
+      let a = gen () and b = gen () in
+      Graph.edges a.H.graph = Graph.edges b.H.graph && a.H.as_of = b.H.as_of)
+
+let prop_positive_weights =
+  QCheck.Test.make ~name:"edge weights positive" ~count:10 QCheck.small_nat (fun seed ->
+      let t = H.generate (Rng.create ~seed) small_params in
+      let ok = ref true in
+      Graph.iter_edges t.H.graph (fun _ _ w -> if w <= 0. then ok := false);
+      !ok)
+
+let tests =
+  [
+    ( "topology/hierarchical",
+      [
+        case "paper size (20x25=500)" test_default_paper_size;
+        case "AS membership" test_as_membership;
+        case "intra-AS connectivity" test_intra_as_connectivity;
+        case "single AS" test_single_as;
+        case "validation" test_validation;
+        QCheck_alcotest.to_alcotest prop_connected;
+        QCheck_alcotest.to_alcotest prop_determinism;
+        QCheck_alcotest.to_alcotest prop_positive_weights;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+module Incremental = Cap_core.Incremental
+module Churn = Cap_model.Churn
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Two_phase = Cap_core.Two_phase
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_migration_between () =
+  let a = Assignment.make ~target_of_zone:[| 0; 1; 2 |] ~contact_of_client:[| 0; 0 |] in
+  let b = Assignment.make ~target_of_zone:[| 0; 2; 2 |] ~contact_of_client:[| 1; 0 |] in
+  let m = Incremental.migration_between ~previous:a ~current:b in
+  Alcotest.(check int) "zone moves" 1 m.Incremental.zone_moves;
+  Alcotest.(check int) "contact moves" 1 m.Incremental.contact_moves;
+  let short = Assignment.make ~target_of_zone:[| 0 |] ~contact_of_client:[| 0; 0 |] in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Incremental.migration_between: length mismatch") (fun () ->
+      ignore (Incremental.migration_between ~previous:a ~current:short))
+
+let churned_state seed =
+  let w = Fixtures.generated ~seed () in
+  let initial = Two_phase.run Two_phase.grez_grec (Rng.create ~seed) w in
+  let spec = { Churn.joins = 25; leaves = 25; moves = 25 } in
+  let outcome = Churn.apply (Rng.create ~seed:(seed + 100)) spec w in
+  let adapted = Churn.adapt outcome ~old:initial in
+  outcome.Churn.world, adapted
+
+let test_budget_respected () =
+  let w, adapted = churned_state 1 in
+  let refreshed, migration = Incremental.refresh ~max_zone_moves:3 w ~previous:adapted in
+  Alcotest.(check bool) "at most 3 zone moves" true (migration.Incremental.zone_moves <= 3);
+  Alcotest.(check int) "complete targets" (World.zone_count w)
+    (Array.length refreshed.Assignment.target_of_zone)
+
+let test_zero_budget_keeps_targets () =
+  let w, adapted = churned_state 2 in
+  let refreshed, migration = Incremental.refresh ~max_zone_moves:0 w ~previous:adapted in
+  Alcotest.(check int) "no zone moves" 0 migration.Incremental.zone_moves;
+  Alcotest.(check (array int)) "targets identical" adapted.Assignment.target_of_zone
+    refreshed.Assignment.target_of_zone
+
+let test_improves_pqos () =
+  (* starting from a deliberately bad assignment, a small budget must
+     already recover interactivity *)
+  let w = Fixtures.generated ~seed:3 () in
+  let bad = Assignment.with_virc_contacts w ~target_of_zone:(Array.make (World.zone_count w) 0) in
+  let refreshed, _ = Incremental.refresh ~max_zone_moves:6 w ~previous:bad in
+  Alcotest.(check bool) "pqos improves" true
+    (Assignment.pqos refreshed w > Assignment.pqos bad w)
+
+let test_contact_phase_always_runs () =
+  let w, adapted = churned_state 4 in
+  let refreshed, _ = Incremental.refresh ~max_zone_moves:0 w ~previous:adapted in
+  (* even with zero zone budget the GreC pass must hold its invariant:
+     no client worse than direct-to-target *)
+  Array.iteri
+    (fun c _ ->
+      let direct =
+        World.true_client_server_rtt w ~client:c
+          ~server:(Assignment.target_of_client refreshed w c)
+      in
+      Alcotest.(check bool) "client never worse than direct" true
+        (Assignment.client_delay refreshed w c <= direct +. 1e-9))
+    refreshed.Assignment.contact_of_client
+
+let test_wrong_world_raises () =
+  let w = Fixtures.generated ~seed:5 () in
+  let tiny = Assignment.make ~target_of_zone:[| 0 |] ~contact_of_client:[| 0 |] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Incremental.refresh: assignment does not match the world") (fun () ->
+      ignore (Incremental.refresh w ~previous:tiny))
+
+let prop_between_adapted_and_full =
+  (* refresh should recover at least some of the churn loss *)
+  QCheck.Test.make ~name:"refresh does not materially hurt the adapted assignment" ~count:10
+    QCheck.small_nat (fun seed ->
+      let w, adapted = churned_state (seed + 10) in
+      let refreshed, _ = Incremental.refresh w ~previous:adapted in
+      (* zone moves optimize an aggregate; individual relayed clients
+         can occasionally lose, so allow a small tolerance *)
+      Assignment.pqos refreshed w >= Assignment.pqos adapted w -. 0.05)
+
+let prop_migration_counts_accurate =
+  QCheck.Test.make ~name:"reported migration matches the diff" ~count:10 QCheck.small_nat
+    (fun seed ->
+      let w, adapted = churned_state (seed + 30) in
+      let refreshed, migration = Incremental.refresh w ~previous:adapted in
+      migration = Incremental.migration_between ~previous:adapted ~current:refreshed)
+
+let tests =
+  [
+    ( "core/incremental",
+      [
+        case "migration_between" test_migration_between;
+        case "budget respected" test_budget_respected;
+        case "zero budget keeps targets" test_zero_budget_keeps_targets;
+        case "improves pqos" test_improves_pqos;
+        case "contact phase always runs" test_contact_phase_always_runs;
+        case "wrong world raises" test_wrong_world_raises;
+        QCheck_alcotest.to_alcotest prop_between_adapted_and_full;
+        QCheck_alcotest.to_alcotest prop_migration_counts_accurate;
+      ] );
+  ]

@@ -1,0 +1,106 @@
+module Heap = Cap_util.Indexed_heap
+
+let case name f = Alcotest.test_case name `Quick f
+
+let pop_all h =
+  let rec loop acc =
+    match Heap.pop_min h with Some kv -> loop (kv :: acc) | None -> List.rev acc
+  in
+  loop []
+
+let test_basic_order () =
+  let h = Heap.create 5 in
+  Heap.insert h 0 3.;
+  Heap.insert h 1 1.;
+  Heap.insert h 2 2.;
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "ascending priorities"
+    [ 1, 1.; 2, 2.; 0, 3. ]
+    (pop_all h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_mem_priority () =
+  let h = Heap.create 4 in
+  Heap.insert h 2 5.;
+  Alcotest.(check bool) "mem present" true (Heap.mem h 2);
+  Alcotest.(check bool) "mem absent" false (Heap.mem h 1);
+  Alcotest.(check bool) "mem out of range" false (Heap.mem h 7);
+  Alcotest.(check (option (float 1e-9))) "priority" (Some 5.) (Heap.priority h 2);
+  ignore (Heap.pop_min h);
+  Alcotest.(check bool) "gone after pop" false (Heap.mem h 2)
+
+let test_decrease () =
+  let h = Heap.create 3 in
+  Heap.insert h 0 10.;
+  Heap.insert h 1 5.;
+  Heap.decrease h 0 1.;
+  Alcotest.(check (option (pair int (float 1e-9)))) "decreased wins" (Some (0, 1.))
+    (Heap.pop_min h)
+
+let test_decrease_errors () =
+  let h = Heap.create 3 in
+  Heap.insert h 0 10.;
+  Alcotest.check_raises "absent" (Invalid_argument "Indexed_heap.decrease: key absent")
+    (fun () -> Heap.decrease h 1 1.);
+  Alcotest.check_raises "increase" (Invalid_argument "Indexed_heap.decrease: priority increase")
+    (fun () -> Heap.decrease h 0 20.)
+
+let test_insert_errors () =
+  let h = Heap.create 2 in
+  Heap.insert h 0 1.;
+  Alcotest.check_raises "duplicate" (Invalid_argument "Indexed_heap.insert: key already present")
+    (fun () -> Heap.insert h 0 2.);
+  Alcotest.check_raises "out of range" (Invalid_argument "Indexed_heap.insert: key out of range")
+    (fun () -> Heap.insert h 5 2.)
+
+let test_insert_or_decrease () =
+  let h = Heap.create 3 in
+  Heap.insert_or_decrease h 0 10.;
+  Heap.insert_or_decrease h 0 4.;
+  Heap.insert_or_decrease h 0 8. (* no-op: larger *);
+  Alcotest.(check (option (float 1e-9))) "kept the minimum" (Some 4.) (Heap.priority h 0)
+
+let prop_pop_order =
+  QCheck.Test.make ~name:"pop order ascending" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 50) (float_range 0. 100.))
+    (fun priorities ->
+      let n = List.length priorities in
+      let h = Heap.create (max n 1) in
+      List.iteri (fun i p -> Heap.insert h i p) priorities;
+      let popped = pop_all h in
+      let ps = List.map snd popped in
+      List.sort compare ps = ps && List.length popped = n)
+
+let prop_dijkstra_style =
+  (* insert_or_decrease over random updates pops each key at its
+     minimum assigned priority. *)
+  QCheck.Test.make ~name:"insert_or_decrease keeps minima" ~count:200
+    QCheck.(list (pair (int_range 0 9) (float_range 0. 50.)))
+    (fun updates ->
+      let h = Heap.create 10 in
+      let best = Hashtbl.create 10 in
+      List.iter
+        (fun (k, p) ->
+          Heap.insert_or_decrease h k p;
+          let current = try Hashtbl.find best k with Not_found -> infinity in
+          if p < current then Hashtbl.replace best k p)
+        updates;
+      List.for_all
+        (fun (k, p) -> abs_float (Hashtbl.find best k -. p) < 1e-9)
+        (pop_all h))
+
+let tests =
+  [
+    ( "util/indexed_heap",
+      [
+        case "basic order" test_basic_order;
+        case "mem/priority" test_mem_priority;
+        case "decrease" test_decrease;
+        case "decrease errors" test_decrease_errors;
+        case "insert errors" test_insert_errors;
+        case "insert_or_decrease" test_insert_or_decrease;
+        QCheck_alcotest.to_alcotest prop_pop_order;
+        QCheck_alcotest.to_alcotest prop_dijkstra_style;
+      ] );
+  ]

@@ -1,0 +1,80 @@
+module Ls = Cap_core.Local_search
+module Grez = Cap_core.Grez
+module Cost = Cap_core.Cost
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_improves_bad_start () =
+  let w = Fixtures.standard () in
+  (* worst start: z0 -> s1 (cost 1), z1 -> s0 (cost 2) *)
+  let report = Ls.improve w ~targets:[| 1; 0 |] in
+  Alcotest.(check int) "cost before" 3 report.Ls.cost_before;
+  Alcotest.(check int) "cost after" 0 report.Ls.cost_after;
+  Alcotest.(check (array int)) "reaches the optimum" [| 0; 1 |] report.Ls.targets;
+  Alcotest.(check bool) "made moves" true (report.Ls.moves > 0)
+
+let test_fixed_point_on_optimum () =
+  let w = Fixtures.standard () in
+  let report = Ls.improve w ~targets:[| 0; 1 |] in
+  Alcotest.(check int) "no moves" 0 report.Ls.moves;
+  Alcotest.(check int) "one scan round" 1 report.Ls.rounds
+
+let test_max_rounds () =
+  let w = Fixtures.generated () in
+  let rng = Rng.create ~seed:1 in
+  let targets = Array.init (World.zone_count w) (fun _ -> Rng.int rng 5) in
+  let report = Ls.improve ~max_rounds:1 w ~targets in
+  Alcotest.(check bool) "bounded" true (report.Ls.rounds <= 1)
+
+let test_input_not_mutated () =
+  let w = Fixtures.standard () in
+  let targets = [| 1; 0 |] in
+  ignore (Ls.improve w ~targets);
+  Alcotest.(check (array int)) "caller array untouched" [| 1; 0 |] targets
+
+let prop_never_increases_cost =
+  QCheck.Test.make ~name:"cost_after <= cost_before" ~count:25 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let rng = Rng.create ~seed in
+      let targets = Array.init (World.zone_count w) (fun _ -> Cap_util.Rng.int rng 5) in
+      let report = Ls.improve w ~targets in
+      report.Ls.cost_after <= report.Ls.cost_before)
+
+let prop_preserves_feasibility =
+  QCheck.Test.make ~name:"feasible stays feasible" ~count:25 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let before_valid =
+        Assignment.is_valid (Assignment.with_virc_contacts w ~target_of_zone:targets) w
+      in
+      let report = Ls.improve w ~targets in
+      let after_valid =
+        Assignment.is_valid
+          (Assignment.with_virc_contacts w ~target_of_zone:report.Ls.targets)
+          w
+      in
+      (not before_valid) || after_valid)
+
+let prop_no_worse_than_grez =
+  QCheck.Test.make ~name:"post-pass never hurts GreZ" ~count:25 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let report = Ls.improve w ~targets in
+      report.Ls.cost_after <= report.Ls.cost_before)
+
+let tests =
+  [
+    ( "core/local_search",
+      [
+        case "improves bad start" test_improves_bad_start;
+        case "fixed point on optimum" test_fixed_point_on_optimum;
+        case "max rounds" test_max_rounds;
+        case "input not mutated" test_input_not_mutated;
+        QCheck_alcotest.to_alcotest prop_never_increases_cost;
+        QCheck_alcotest.to_alcotest prop_preserves_feasibility;
+        QCheck_alcotest.to_alcotest prop_no_worse_than_grez;
+      ] );
+  ]

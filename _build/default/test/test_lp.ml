@@ -1,0 +1,50 @@
+module Lp = Cap_milp.Lp
+
+let case name f = Alcotest.test_case name `Quick f
+
+let sample () =
+  Lp.make ~objective:[| 1.; 2. |]
+    ~constraints:
+      [
+        { Lp.coeffs = [| 1.; 1. |]; relation = Lp.Le; rhs = 4. };
+        { Lp.coeffs = [| 1.; 0. |]; relation = Lp.Ge; rhs = 1. };
+        { Lp.coeffs = [| 0.; 1. |]; relation = Lp.Eq; rhs = 2. };
+      ]
+
+let test_make () =
+  let p = sample () in
+  Alcotest.(check int) "variables" 2 (Lp.variable_count p);
+  Alcotest.(check int) "constraints" 3 (Lp.constraint_count p)
+
+let test_make_validation () =
+  Alcotest.check_raises "no variables" (Invalid_argument "Lp.make: no variables") (fun () ->
+      ignore (Lp.make ~objective:[||] ~constraints:[]));
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Lp.make: constraint width mismatch") (fun () ->
+      ignore
+        (Lp.make ~objective:[| 1.; 2. |]
+           ~constraints:[ { Lp.coeffs = [| 1. |]; relation = Lp.Le; rhs = 0. } ]))
+
+let test_eval_objective () =
+  Alcotest.(check (float 1e-9)) "dot product" 7. (Lp.eval_objective (sample ()) [| 3.; 2. |])
+
+let test_feasible () =
+  let p = sample () in
+  Alcotest.(check bool) "feasible point" true (Lp.feasible p [| 1.5; 2. |]);
+  Alcotest.(check bool) "violates Le" false (Lp.feasible p [| 3.; 2. |]);
+  Alcotest.(check bool) "violates Ge" false (Lp.feasible p [| 0.5; 2. |]);
+  Alcotest.(check bool) "violates Eq" false (Lp.feasible p [| 1.5; 1. |]);
+  Alcotest.(check bool) "negative variable" false (Lp.feasible p [| -1.; 2. |]);
+  Alcotest.(check bool) "wrong arity" false (Lp.feasible p [| 1. |]);
+  Alcotest.(check bool) "eps tolerance" true (Lp.feasible ~eps:0.1 p [| 1.5; 2.05 |])
+
+let tests =
+  [
+    ( "milp/lp",
+      [
+        case "make" test_make;
+        case "make validation" test_make_validation;
+        case "eval objective" test_eval_objective;
+        case "feasible" test_feasible;
+      ] );
+  ]

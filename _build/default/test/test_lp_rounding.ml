@@ -1,0 +1,111 @@
+module Lpr = Cap_milp.Lp_rounding
+module Gap = Cap_milp.Gap
+module Bb = Cap_milp.Branch_bound
+
+let case name f = Alcotest.test_case name `Quick f
+
+let random_gap ?(items = 5) ?(servers = 3) seed =
+  let rng = Cap_util.Rng.create ~seed in
+  Gap.make
+    ~costs:
+      (Array.init items (fun _ -> Array.init servers (fun _ -> Cap_util.Rng.float_in rng 0. 10.)))
+    ~demands:
+      (Array.init items (fun _ -> Array.init servers (fun _ -> Cap_util.Rng.float_in rng 0.5 2.)))
+    ~capacities:(Array.init servers (fun _ -> Cap_util.Rng.float_in rng 3. 8.))
+
+let test_integral_lp_is_exact () =
+  (* with huge capacities the LP optimum is integral (pick the min-cost
+     server per item), so rounding must return exactly that *)
+  let g =
+    Gap.make
+      ~costs:[| [| 5.; 1. |]; [| 2.; 9. |] |]
+      ~demands:[| [| 1.; 1. |]; [| 1.; 1. |] |]
+      ~capacities:[| 100.; 100. |]
+  in
+  match Lpr.solve g with
+  | None -> Alcotest.fail "expected a result"
+  | Some r ->
+      Alcotest.(check (array int)) "min-cost columns" [| 1; 0 |] r.Lpr.assignment;
+      Alcotest.(check (float 1e-6)) "lp = rounded" r.Lpr.lp_objective r.Lpr.rounded_objective;
+      Alcotest.(check int) "no fractional items" 0 r.Lpr.fractional_items
+
+let test_complete_assignment () =
+  match Lpr.solve (random_gap 1) with
+  | None -> Alcotest.fail "feasible instance"
+  | Some r ->
+      Alcotest.(check int) "every item assigned" 5 (Array.length r.Lpr.assignment);
+      Array.iter
+        (fun s -> Alcotest.(check bool) "valid server" true (s >= 0 && s < 3))
+        r.Lpr.assignment
+
+let test_infeasible_lp () =
+  let g = Gap.make ~costs:[| [| 1. |] |] ~demands:[| [| 5. |] |] ~capacities:[| 1. |] in
+  Alcotest.(check bool) "None on infeasible relaxation" true (Lpr.solve g = None)
+
+let prop_bound_sandwich =
+  (* LP objective <= exact optimum <= rounded objective *)
+  QCheck.Test.make ~name:"lp <= optimal <= rounded" ~count:50 QCheck.small_nat (fun seed ->
+      let g = random_gap seed in
+      match Lpr.solve g with
+      | None -> true
+      | Some r -> (
+          let exact = Bb.solve g in
+          match exact.Bb.solution with
+          | None -> true (* integrally infeasible; nothing to compare *)
+          | Some _ ->
+              r.Lpr.lp_objective <= exact.Bb.objective +. 1e-6
+              &&
+              if Gap.is_feasible g r.Lpr.assignment then
+                exact.Bb.objective <= r.Lpr.rounded_objective +. 1e-6
+              else true))
+
+let prop_rounded_objective_consistent =
+  QCheck.Test.make ~name:"rounded objective matches the assignment" ~count:50
+    QCheck.small_nat (fun seed ->
+      let g = random_gap ~items:6 seed in
+      match Lpr.solve g with
+      | None -> true
+      | Some r ->
+          abs_float (Gap.objective g r.Lpr.assignment -. r.Lpr.rounded_objective) < 1e-9)
+
+let prop_usually_feasible_with_headroom =
+  (* with generous capacities the rounding should rarely violate them;
+     we require feasibility with slack 3x demands *)
+  QCheck.Test.make ~name:"feasible with ample headroom" ~count:40 QCheck.small_nat
+    (fun seed ->
+      let rng = Cap_util.Rng.create ~seed in
+      let items = 6 and servers = 3 in
+      let g =
+        Gap.make
+          ~costs:
+            (Array.init items (fun _ ->
+                 Array.init servers (fun _ -> Cap_util.Rng.float_in rng 0. 10.)))
+          ~demands:
+            (Array.init items (fun _ ->
+                 Array.init servers (fun _ -> Cap_util.Rng.float_in rng 0.5 1.5)))
+          ~capacities:(Array.make servers 20.)
+      in
+      match Lpr.solve g with
+      | None -> false
+      | Some r -> Gap.is_feasible g r.Lpr.assignment)
+
+let test_iap_targets () =
+  let w = Fixtures.generated () in
+  let targets = Lpr.iap_targets w in
+  Alcotest.(check int) "all zones" (Cap_model.World.zone_count w) (Array.length targets);
+  let a = Cap_model.Assignment.with_virc_contacts w ~target_of_zone:targets in
+  Alcotest.(check bool) "valid" true (Cap_model.Assignment.is_valid a w)
+
+let tests =
+  [
+    ( "milp/lp_rounding",
+      [
+        case "integral LP is exact" test_integral_lp_is_exact;
+        case "complete assignment" test_complete_assignment;
+        case "infeasible LP" test_infeasible_lp;
+        case "IAP targets" test_iap_targets;
+        QCheck_alcotest.to_alcotest prop_bound_sandwich;
+        QCheck_alcotest.to_alcotest prop_rounded_objective_consistent;
+        QCheck_alcotest.to_alcotest prop_usually_feasible_with_headroom;
+      ] );
+  ]

@@ -1,0 +1,91 @@
+module Optimal = Cap_milp.Optimal
+module Gap = Cap_milp.Gap
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Scenario = Cap_model.Scenario
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* a small world keeps branch-and-bound instant *)
+let small_world ?(seed = 3) () =
+  let scenario = Scenario.make ~servers:3 ~zones:6 ~clients:40 ~total_capacity_mbps:40. () in
+  World.generate (Cap_util.Rng.create ~seed) scenario
+
+let test_iap_instance_shape () =
+  let w = small_world () in
+  let gap = Optimal.iap_instance w in
+  Alcotest.(check int) "items = zones" 6 (Gap.item_count gap);
+  Alcotest.(check int) "servers" 3 (Gap.server_count gap);
+  (* demands equal across servers for a zone (server-independent) *)
+  Array.iter
+    (fun row ->
+      Alcotest.(check (float 1e-9)) "uniform demand row" row.(0) row.(1);
+      Alcotest.(check (float 1e-9)) "uniform demand row'" row.(0) row.(2))
+    gap.Gap.demands
+
+let test_rap_instance_shape () =
+  let w = small_world () in
+  let targets = Cap_core.Grez.assign w in
+  let gap = Optimal.rap_instance w ~targets in
+  Alcotest.(check int) "items = clients" 40 (Gap.item_count gap);
+  (* zero demand exactly on the client's target column *)
+  Array.iteri
+    (fun c row ->
+      let target = targets.(w.World.client_zones.(c)) in
+      Array.iteri
+        (fun s d ->
+          if s = target then Alcotest.(check (float 1e-9)) "target free" 0. d
+          else Alcotest.(check bool) "forwarding positive" true (d > 0.))
+        row)
+    gap.Gap.demands
+
+let test_iap_not_worse_than_grez () =
+  let w = small_world () in
+  match Optimal.solve_iap w with
+  | None -> Alcotest.fail "IAP should be feasible"
+  | Some (targets, stats) ->
+      let gap = Optimal.iap_instance w in
+      Alcotest.(check bool) "feasible" true (Gap.is_feasible gap targets);
+      let grez_cost = Gap.objective gap (Cap_core.Grez.assign w) in
+      Alcotest.(check bool) "cost <= GreZ" true (stats.Optimal.objective <= grez_cost +. 1e-9)
+
+let test_rap_not_worse_than_grec () =
+  let w = small_world () in
+  let targets = Cap_core.Grez.assign w in
+  let contacts, stats = Optimal.solve_rap w ~targets in
+  let gap = Optimal.rap_instance w ~targets in
+  Alcotest.(check bool) "feasible" true (Gap.is_feasible gap contacts);
+  let grec_cost = Gap.objective gap (Cap_core.Grec.assign w ~targets) in
+  Alcotest.(check bool) "cost <= GreC" true (stats.Optimal.objective <= grec_cost +. 1e-9)
+
+let test_solve_combined () =
+  let w = small_world () in
+  match Optimal.solve w with
+  | None -> Alcotest.fail "expected a solution"
+  | Some (assignment, iap_stats, rap_stats) ->
+      Alcotest.(check bool) "valid assignment" true (Assignment.is_valid assignment w);
+      Alcotest.(check bool) "iap nodes > 0" true (iap_stats.Optimal.nodes > 0);
+      Alcotest.(check bool) "rap nodes > 0" true (rap_stats.Optimal.nodes > 0)
+
+let prop_optimal_iap_dominates_heuristic =
+  QCheck.Test.make ~name:"optimal IAP cost <= GreZ across seeds" ~count:10 QCheck.small_nat
+    (fun seed ->
+      let w = small_world ~seed:(seed + 1) () in
+      match Optimal.solve_iap w with
+      | None -> true
+      | Some (_, stats) ->
+          let gap = Optimal.iap_instance w in
+          stats.Optimal.objective <= Gap.objective gap (Cap_core.Grez.assign w) +. 1e-9)
+
+let tests =
+  [
+    ( "milp/optimal",
+      [
+        case "IAP instance shape" test_iap_instance_shape;
+        case "RAP instance shape" test_rap_instance_shape;
+        case "IAP not worse than GreZ" test_iap_not_worse_than_grez;
+        case "RAP not worse than GreC" test_rap_not_worse_than_grec;
+        case "combined solve" test_solve_combined;
+        QCheck_alcotest.to_alcotest prop_optimal_iap_dominates_heuristic;
+      ] );
+  ]

@@ -1,0 +1,62 @@
+module Planner = Cap_experiments.Planner
+module Scenario = Cap_model.Scenario
+
+let case name f = Alcotest.test_case name `Quick f
+
+let small_scenario =
+  Scenario.make ~servers:5 ~zones:12 ~clients:120 ~total_capacity_mbps:80. ()
+
+let test_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "target" true
+    (bad (fun () -> Planner.plan ~target_pqos:0. small_scenario));
+  Alcotest.(check bool) "bounds inverted" true
+    (bad (fun () ->
+         Planner.plan ~lo_mbps:100. ~hi_mbps:50. ~target_pqos:0.5 small_scenario));
+  Alcotest.(check bool) "below server minimum" true
+    (bad (fun () ->
+         Planner.plan ~lo_mbps:10. ~hi_mbps:100. ~target_pqos:0.5 small_scenario))
+
+let test_unreachable_target () =
+  (* pQoS = 1.0 is (almost surely) unreachable on this topology *)
+  let plan =
+    Planner.plan ~runs:2 ~seed:1 ~lo_mbps:60. ~hi_mbps:200. ~tolerance_mbps:50.
+      ~target_pqos:1.0 small_scenario
+  in
+  Alcotest.(check bool) "no capacity suffices" true (plan.Planner.required_mbps = None);
+  Alcotest.(check bool) "ceiling below 1" true (plan.Planner.ceiling_pqos < 1.)
+
+let test_reachable_target () =
+  let plan =
+    Planner.plan ~runs:2 ~seed:1 ~lo_mbps:60. ~hi_mbps:400. ~tolerance_mbps:50.
+      ~target_pqos:0.5 small_scenario
+  in
+  (match plan.Planner.required_mbps with
+  | None -> Alcotest.fail "a modest target should be reachable"
+  | Some mbps -> Alcotest.(check bool) "within bounds" true (mbps >= 60. && mbps <= 400.));
+  Alcotest.(check bool) "probes recorded" true (List.length plan.Planner.probes >= 2);
+  (* probes ascend by capacity *)
+  let capacities = List.map (fun p -> p.Planner.capacity_mbps) plan.Planner.probes in
+  Alcotest.(check bool) "ascending" true (List.sort compare capacities = capacities);
+  Alcotest.(check bool) "renders" true
+    (String.length (Cap_util.Table.render (Planner.to_table plan)) > 0)
+
+let test_trivial_lower_bound () =
+  (* if the lower bound already meets the target, it is returned *)
+  let plan =
+    Planner.plan ~runs:2 ~seed:1 ~lo_mbps:300. ~hi_mbps:500. ~tolerance_mbps:50.
+      ~target_pqos:0.1 small_scenario
+  in
+  Alcotest.(check (option (float 1e-9))) "lower bound suffices" (Some 300.)
+    plan.Planner.required_mbps
+
+let tests =
+  [
+    ( "experiments/planner",
+      [
+        case "validation" test_validation;
+        case "unreachable target" test_unreachable_target;
+        case "reachable target" test_reachable_target;
+        case "trivial lower bound" test_trivial_lower_bound;
+      ] );
+  ]

@@ -1,0 +1,48 @@
+module Point = Cap_topology.Point
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_distance () =
+  let a = Point.make 0. 0. and b = Point.make 3. 4. in
+  Alcotest.(check (float 1e-9)) "3-4-5" 5. (Point.distance a b);
+  Alcotest.(check (float 1e-9)) "self" 0. (Point.distance a a)
+
+let test_random_in () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 200 do
+    let p = Point.random_in rng ~x0:10. ~y0:(-5.) ~side:2. in
+    Alcotest.(check bool) "x in square" true (p.Point.x >= 10. && p.Point.x < 12.);
+    Alcotest.(check bool) "y in square" true (p.Point.y >= -5. && p.Point.y < -3.)
+  done
+
+let point_gen =
+  QCheck.(
+    map
+      (fun (x, y) -> Point.make x y)
+      (pair (float_range (-100.) 100.) (float_range (-100.) 100.)))
+
+let prop_symmetry =
+  QCheck.Test.make ~name:"distance symmetric" ~count:300 (QCheck.pair point_gen point_gen)
+    (fun (a, b) -> abs_float (Point.distance a b -. Point.distance b a) < 1e-9)
+
+let prop_triangle =
+  QCheck.Test.make ~name:"triangle inequality" ~count:300
+    (QCheck.triple point_gen point_gen point_gen) (fun (a, b, c) ->
+      Point.distance a c <= Point.distance a b +. Point.distance b c +. 1e-9)
+
+let prop_nonnegative =
+  QCheck.Test.make ~name:"distance non-negative" ~count:300 (QCheck.pair point_gen point_gen)
+    (fun (a, b) -> Point.distance a b >= 0.)
+
+let tests =
+  [
+    ( "topology/point",
+      [
+        case "distance" test_distance;
+        case "random_in bounds" test_random_in;
+        QCheck_alcotest.to_alcotest prop_symmetry;
+        QCheck_alcotest.to_alcotest prop_triangle;
+        QCheck_alcotest.to_alcotest prop_nonnegative;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+module Ranz = Cap_core.Ranz
+module Server_load = Cap_core.Server_load
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_complete_assignment () =
+  let w = Fixtures.standard () in
+  let targets = Ranz.assign (Rng.create ~seed:1) w in
+  Alcotest.(check int) "every zone assigned" 2 (Array.length targets);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "valid server" true (s >= 0 && s < 2))
+    targets
+
+let test_respects_capacity () =
+  (* z0 and z1 each need 6000 bit/s; only server 1 can host both, and
+     server 0 can host exactly one. *)
+  let w = Fixtures.standard ~capacities:[| 6000.; 12000. |] () in
+  for seed = 1 to 20 do
+    let targets = Ranz.assign (Rng.create ~seed) w in
+    let a = Assignment.with_virc_contacts w ~target_of_zone:targets in
+    Alcotest.(check bool) "capacity respected" true (Assignment.is_valid a w)
+  done
+
+let test_fallback_when_infeasible () =
+  (* no server can host any zone: fallback must still produce a
+     complete (flagged invalid) assignment rather than loop *)
+  let w = Fixtures.standard ~capacities:[| 1000.; 1000. |] () in
+  let targets = Ranz.assign (Rng.create ~seed:3) w in
+  Alcotest.(check int) "complete" 2 (Array.length targets);
+  let a = Assignment.with_virc_contacts w ~target_of_zone:targets in
+  Alcotest.(check bool) "flagged invalid" false (Assignment.is_valid a w)
+
+let test_randomness () =
+  let w = Fixtures.generated () in
+  let a = Ranz.assign (Rng.create ~seed:1) w in
+  let b = Ranz.assign (Rng.create ~seed:2) w in
+  Alcotest.(check bool) "different seeds usually differ" true (a <> b)
+
+let test_determinism () =
+  let w = Fixtures.generated () in
+  let a = Ranz.assign (Rng.create ~seed:5) w in
+  let b = Ranz.assign (Rng.create ~seed:5) w in
+  Alcotest.(check bool) "same seed same result" true (a = b)
+
+let prop_valid_on_generated_worlds =
+  QCheck.Test.make ~name:"valid on amply provisioned worlds" ~count:25 QCheck.small_nat
+    (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Ranz.assign (Rng.create ~seed) w in
+      let a = Assignment.with_virc_contacts w ~target_of_zone:targets in
+      Assignment.is_valid a w)
+
+let prop_zone_rates_helper =
+  QCheck.Test.make ~name:"Server_load.zone_rates matches World.zone_rate" ~count:20
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let rates = Server_load.zone_rates w in
+      Array.for_all
+        (fun z -> abs_float (rates.(z) -. World.zone_rate w z) < 1e-6)
+        (Array.init (World.zone_count w) (fun z -> z)))
+
+let test_fallback_server_helper () =
+  let s =
+    Server_load.fallback_server ~loads:[| 5.; 1.; 9. |] ~capacities:[| 10.; 4.; 10. |]
+  in
+  Alcotest.(check int) "largest residual" 0 s
+
+let tests =
+  [
+    ( "core/ranz",
+      [
+        case "complete assignment" test_complete_assignment;
+        case "respects capacity" test_respects_capacity;
+        case "fallback when infeasible" test_fallback_when_infeasible;
+        case "randomness" test_randomness;
+        case "determinism" test_determinism;
+        case "fallback helper" test_fallback_server_helper;
+        QCheck_alcotest.to_alcotest prop_valid_on_generated_worlds;
+        QCheck_alcotest.to_alcotest prop_zone_rates_helper;
+      ] );
+  ]

@@ -1,0 +1,59 @@
+(* Regression pins: exact end-to-end results on a fixed seed. These
+   intentionally break when anything changes the sequence of random
+   draws or any numeric step of the pipeline — bump the constants only
+   for a change that is *supposed* to alter results. *)
+
+module Rng = Cap_util.Rng
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+
+let case name f = Alcotest.test_case name `Quick f
+
+let world () = World.generate (Rng.create ~seed:2006) Cap_model.Scenario.default
+
+let test_world_pins () =
+  let w = world () in
+  Alcotest.(check (float 1e-3)) "total demand (Mbps)" 288.600
+    (Cap_model.Traffic.mbps (World.total_demand w));
+  Alcotest.(check int) "server 0 node" 249 w.World.server_nodes.(0);
+  Alcotest.(check int) "client 0 node" 183 w.World.client_nodes.(0);
+  Alcotest.(check int) "client 0 zone" 0 w.World.client_zones.(0)
+
+let algorithm_pins =
+  [
+    "RanZ-VirC", 0.587, 0.5772;
+    "RanZ-GreC", 0.813, 0.95208;
+    "GreZ-VirC", 0.892, 0.5772;
+    "GreZ-GreC", 0.960, 0.67168;
+  ]
+
+let test_algorithm_pins () =
+  let w = world () in
+  List.iter
+    (fun (name, pqos, utilization) ->
+      match Cap_core.Two_phase.find name with
+      | None -> Alcotest.fail ("unknown algorithm " ^ name)
+      | Some algorithm ->
+          let a = Cap_core.Two_phase.run algorithm (Rng.create ~seed:1) w in
+          Alcotest.(check (float 5e-4)) (name ^ " pQoS") pqos (Assignment.pqos a w);
+          Alcotest.(check (float 5e-4)) (name ^ " R") utilization (Assignment.utilization a w))
+    algorithm_pins
+
+let test_paper_shape_on_pinned_world () =
+  (* the pins above must also exhibit the paper's ordering *)
+  let sorted =
+    List.sort (fun (_, p1, _) (_, p2, _) -> compare p1 p2) algorithm_pins
+  in
+  Alcotest.(check (list string)) "paper ordering"
+    [ "RanZ-VirC"; "RanZ-GreC"; "GreZ-VirC"; "GreZ-GreC" ]
+    (List.map (fun (n, _, _) -> n) sorted)
+
+let tests =
+  [
+    ( "regression",
+      [
+        case "world pins" test_world_pins;
+        case "algorithm pins" test_algorithm_pins;
+        case "paper shape on pinned world" test_paper_shape_on_pinned_world;
+      ] );
+  ]

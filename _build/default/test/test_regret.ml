@@ -1,0 +1,110 @@
+module Regret = Cap_core.Regret
+
+let case name f = Alcotest.test_case name `Quick f
+
+let order ?(rule = Regret.Best_minus_second) ?(tie_break = fun _ _ -> 0.) ~servers desirability
+    ids =
+  Regret.order ~ids:(Array.of_list ids) ~servers ~desirability ~tie_break ~rule
+
+let test_pref_sorting () =
+  let items = order ~servers:3 (fun _ s -> float_of_int s) [ 0 ] in
+  Alcotest.(check (list int)) "descending desirability" [ 2; 1; 0 ]
+    (Array.to_list (Array.map fst items.(0).Regret.prefs))
+
+let test_tie_break () =
+  (* equal desirability everywhere: ties broken by tie_break key, then
+     server index *)
+  let items =
+    order ~servers:3
+      ~tie_break:(fun _ s -> if s = 2 then -1. else 0.)
+      (fun _ _ -> 5.)
+      [ 0 ]
+  in
+  Alcotest.(check (list int)) "tie break first, then index" [ 2; 0; 1 ]
+    (Array.to_list (Array.map fst items.(0).Regret.prefs))
+
+let test_regret_value () =
+  let items = order ~servers:3 (fun _ s -> [| 10.; 4.; 7. |].(s)) [ 0 ] in
+  Alcotest.(check (float 1e-9)) "best minus second" 3. items.(0).Regret.regret
+
+let test_paper_rule () =
+  let items =
+    order ~rule:Regret.Second_minus_best ~servers:3 (fun _ s -> [| 10.; 4.; 7. |].(s)) [ 0 ]
+  in
+  Alcotest.(check (float 1e-9)) "second minus best" (-3.) items.(0).Regret.regret
+
+let test_processing_order () =
+  (* item 1 has a much larger regret than item 0, so it goes first *)
+  let desirability j s =
+    match j, s with
+    | 0, 0 -> 5.
+    | 0, _ -> 4.9
+    | 1, 0 -> 10.
+    | 1, _ -> 1.
+    | _ -> assert false
+  in
+  let items = order ~servers:2 desirability [ 0; 1 ] in
+  Alcotest.(check (list int)) "largest regret first" [ 1; 0 ]
+    (Array.to_list (Array.map (fun i -> i.Regret.id) items))
+
+let test_regret_tie_by_id () =
+  let items = order ~servers:2 (fun _ s -> float_of_int s) [ 5; 2; 9 ] in
+  Alcotest.(check (list int)) "equal regrets by ascending id" [ 2; 5; 9 ]
+    (Array.to_list (Array.map (fun i -> i.Regret.id) items))
+
+let test_single_server () =
+  let items = order ~servers:1 (fun _ _ -> 3.) [ 0; 1 ] in
+  Array.iter
+    (fun item -> Alcotest.(check (float 1e-9)) "zero regret" 0. item.Regret.regret)
+    items
+
+let test_validation () =
+  Alcotest.check_raises "no servers" (Invalid_argument "Regret.order: need at least one server")
+    (fun () -> ignore (order ~servers:0 (fun _ _ -> 0.) [ 0 ]))
+
+let prop_prefs_complete_and_sorted =
+  QCheck.Test.make ~name:"prefs are a sorted permutation of servers" ~count:100
+    QCheck.(pair (int_range 1 10) small_nat)
+    (fun (servers, seed) ->
+      let rng = Cap_util.Rng.create ~seed in
+      let table = Array.init 5 (fun _ -> Array.init servers (fun _ -> Cap_util.Rng.uniform rng)) in
+      let items =
+        order ~servers (fun j s -> table.(j).(s)) [ 0; 1; 2; 3; 4 ]
+      in
+      Array.for_all
+        (fun item ->
+          let prefs = item.Regret.prefs in
+          let servers_seen = Array.map fst prefs |> Array.to_list |> List.sort compare in
+          servers_seen = List.init servers (fun s -> s)
+          && Array.for_all
+               (fun i -> snd prefs.(i) >= snd prefs.(i + 1))
+               (Array.init (servers - 1) (fun i -> i)))
+        items)
+
+let prop_processing_order_monotone =
+  QCheck.Test.make ~name:"items sorted by descending regret" ~count:100
+    QCheck.(pair (int_range 2 8) small_nat)
+    (fun (servers, seed) ->
+      let rng = Cap_util.Rng.create ~seed in
+      let table = Array.init 6 (fun _ -> Array.init servers (fun _ -> Cap_util.Rng.uniform rng)) in
+      let items = order ~servers (fun j s -> table.(j).(s)) [ 0; 1; 2; 3; 4; 5 ] in
+      Array.for_all
+        (fun i -> items.(i).Regret.regret >= items.(i + 1).Regret.regret)
+        (Array.init 5 (fun i -> i)))
+
+let tests =
+  [
+    ( "core/regret",
+      [
+        case "pref sorting" test_pref_sorting;
+        case "tie break" test_tie_break;
+        case "regret value" test_regret_value;
+        case "paper-literal rule" test_paper_rule;
+        case "processing order" test_processing_order;
+        case "regret ties by id" test_regret_tie_by_id;
+        case "single server" test_single_server;
+        case "validation" test_validation;
+        QCheck_alcotest.to_alcotest prop_prefs_complete_and_sorted;
+        QCheck_alcotest.to_alcotest prop_processing_order_monotone;
+      ] );
+  ]

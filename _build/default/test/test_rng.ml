@@ -1,0 +1,168 @@
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing one does not advance the other *)
+  let a1 = Rng.bits64 a and b1 = Rng.bits64 b in
+  check_bool "streams now diverge" true (a1 <> b1)
+
+let test_split_independent () =
+  let parent = Rng.create ~seed:4 in
+  let child = Rng.split parent in
+  let xs = List.init 50 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 50 (fun _ -> Rng.bits64 child) in
+  check_bool "split streams differ" true (xs <> ys)
+
+let test_int_invalid () =
+  let rng = Rng.create ~seed:5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.create ~seed:6 in
+  for _ = 1 to 200 do
+    let v = Rng.int_in rng (-3) 3 in
+    check_bool "in range" true (v >= -3 && v <= 3)
+  done;
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range") (fun () ->
+      ignore (Rng.int_in rng 2 1))
+
+let test_int_covers_all_values () =
+  let rng = Rng.create ~seed:7 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_exponential () =
+  let rng = Rng.create ~seed:8 in
+  let acc = ref 0. in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Rng.exponential rng ~rate:2. in
+    check_bool "positive" true (v >= 0.);
+    acc := !acc +. v
+  done;
+  let mean = !acc /. float_of_int n in
+  check_bool "mean near 1/rate" true (abs_float (mean -. 0.5) < 0.02);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Rng.exponential: rate must be positive") (fun () ->
+      ignore (Rng.exponential rng ~rate:0.))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:9 in
+  let a = Array.init 30 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" a sorted
+
+let test_choice () =
+  let rng = Rng.create ~seed:10 in
+  for _ = 1 to 50 do
+    let v = Rng.choice rng [| 2; 4; 6 |] in
+    check_bool "member" true (List.mem v [ 2; 4; 6 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choice: empty array") (fun () ->
+      ignore (Rng.choice rng [||]))
+
+let test_sample_distinct () =
+  let rng = Rng.create ~seed:11 in
+  let s = Rng.sample_distinct rng ~k:5 ~n:10 in
+  check_int "length" 5 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = Array.for_all (fun x -> x >= 0 && x < 10) sorted in
+  check_bool "in range" true distinct;
+  for i = 0 to 3 do
+    check_bool "distinct" true (sorted.(i) <> sorted.(i + 1))
+  done;
+  check_int "k = n is a permutation" 10 (Array.length (Rng.sample_distinct rng ~k:10 ~n:10));
+  Alcotest.check_raises "k > n" (Invalid_argument "Rng.sample_distinct") (fun () ->
+      ignore (Rng.sample_distinct rng ~k:3 ~n:2))
+
+let test_weighted_index () =
+  let rng = Rng.create ~seed:12 in
+  (* zero-weight entries are never drawn *)
+  for _ = 1 to 500 do
+    let i = Rng.weighted_index rng [| 0.; 1.; 0.; 2. |] in
+    check_bool "only positive weights" true (i = 1 || i = 3)
+  done;
+  (* frequencies roughly proportional to weights *)
+  let counts = Array.make 2 0 in
+  for _ = 1 to 30_000 do
+    let i = Rng.weighted_index rng [| 1.; 3. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let ratio = float_of_int counts.(1) /. float_of_int counts.(0) in
+  check_bool "ratio near 3" true (ratio > 2.6 && ratio < 3.4);
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Rng.weighted_index: weights must sum to > 0") (fun () ->
+      ignore (Rng.weighted_index rng [| 0.; 0. |]))
+
+let prop_uniform_in_range =
+  QCheck.Test.make ~name:"uniform in [0,1)" ~count:500 QCheck.int (fun seed ->
+      let rng = Rng.create ~seed in
+      let v = Rng.uniform rng in
+      v >= 0. && v < 1.)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int below bound" ~count:500
+    QCheck.(pair int (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"float_in within bounds" ~count:500
+    QCheck.(triple int (float_range (-100.) 100.) (float_range 0.001 100.))
+    (fun (seed, lo, width) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.float_in rng lo (lo +. width) in
+      v >= lo && v < lo +. width)
+
+let tests =
+  [
+    ( "util/rng",
+      [
+        case "determinism" test_determinism;
+        case "seed sensitivity" test_seed_sensitivity;
+        case "copy" test_copy_independent;
+        case "split" test_split_independent;
+        case "int invalid" test_int_invalid;
+        case "int_in" test_int_in;
+        case "int covers values" test_int_covers_all_values;
+        case "exponential" test_exponential;
+        case "shuffle permutation" test_shuffle_permutation;
+        case "choice" test_choice;
+        case "sample_distinct" test_sample_distinct;
+        case "weighted_index" test_weighted_index;
+        QCheck_alcotest.to_alcotest prop_uniform_in_range;
+        QCheck_alcotest.to_alcotest prop_int_in_bounds;
+        QCheck_alcotest.to_alcotest prop_float_in_bounds;
+      ] );
+  ]

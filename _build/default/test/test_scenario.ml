@@ -1,0 +1,82 @@
+module Scenario = Cap_model.Scenario
+module Traffic = Cap_model.Traffic
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_default () =
+  let d = Scenario.default in
+  Alcotest.(check string) "name is paper notation" "20s-80z-1000c-500cp" d.Scenario.name;
+  Alcotest.(check int) "servers" 20 d.Scenario.servers;
+  Alcotest.(check int) "zones" 80 d.Scenario.zones;
+  Alcotest.(check int) "clients" 1000 d.Scenario.clients;
+  Alcotest.(check (float 1e-6)) "capacity" 500. (Traffic.mbps d.Scenario.total_capacity);
+  Alcotest.(check (float 1e-9)) "delay bound" 250. d.Scenario.delay_bound;
+  Alcotest.(check (float 1e-9)) "max rtt" 500. d.Scenario.max_rtt;
+  Alcotest.(check (float 1e-9)) "inter-server factor" 0.5 d.Scenario.inter_server_factor;
+  Alcotest.(check (float 1e-9)) "correlation" 0.5 d.Scenario.correlation
+
+let test_notation_roundtrip () =
+  let s = Scenario.make ~servers:5 ~zones:15 ~clients:200 ~total_capacity_mbps:100. () in
+  Alcotest.(check string) "notation" "5s-15z-200c-100cp" (Scenario.notation s);
+  let parsed = Scenario.of_notation "5s-15z-200c-100cp" in
+  Alcotest.(check int) "servers" 5 parsed.Scenario.servers;
+  Alcotest.(check int) "zones" 15 parsed.Scenario.zones;
+  Alcotest.(check int) "clients" 200 parsed.Scenario.clients;
+  Alcotest.(check (float 1e-6)) "capacity" 100. (Traffic.mbps parsed.Scenario.total_capacity)
+
+let test_of_notation_errors () =
+  let bad s = try ignore (Scenario.of_notation s); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "missing fields" true (bad "5s-15z");
+  Alcotest.(check bool) "bad int" true (bad "xs-15z-200c-100cp");
+  Alcotest.(check bool) "bad suffix" true (bad "5q-15z-200c-100cp")
+
+let test_make_validations () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "too many servers" true
+    (bad (fun () -> Scenario.make ~servers:501 ~zones:1 ~clients:1 ~total_capacity_mbps:1e6 ()));
+  Alcotest.(check bool) "capacity below minimum" true
+    (bad (fun () -> Scenario.make ~servers:10 ~zones:5 ~clients:10 ~total_capacity_mbps:50. ()));
+  Alcotest.(check bool) "non-positive zones" true
+    (bad (fun () -> Scenario.make ~servers:2 ~zones:0 ~clients:1 ~total_capacity_mbps:100. ()))
+
+let test_table1_configurations () =
+  let notations = List.map Scenario.notation Scenario.table1_configurations in
+  Alcotest.(check (list string)) "paper configurations"
+    [
+      "5s-15z-200c-100cp";
+      "10s-30z-400c-200cp";
+      "20s-80z-1000c-500cp";
+      "30s-160z-2000c-1000cp";
+    ]
+    notations
+
+let test_small_configurations () =
+  Alcotest.(check int) "two small configs" 2 (List.length Scenario.small_configurations);
+  Alcotest.(check string) "first"
+    "5s-15z-200c-100cp"
+    (Scenario.notation (List.hd Scenario.small_configurations))
+
+let prop_notation_roundtrip =
+  QCheck.Test.make ~name:"notation round-trips" ~count:100
+    QCheck.(quad (int_range 1 40) (int_range 1 200) (int_range 0 5000) (int_range 1 50))
+    (fun (servers, zones, clients, cap_per_server) ->
+      let total = float_of_int (servers * (10 + cap_per_server)) in
+      let s = Scenario.make ~servers ~zones ~clients ~total_capacity_mbps:total () in
+      let back = Scenario.of_notation (Scenario.notation s) in
+      back.Scenario.servers = servers
+      && back.Scenario.zones = zones
+      && back.Scenario.clients = clients)
+
+let tests =
+  [
+    ( "model/scenario",
+      [
+        case "default matches paper" test_default;
+        case "notation roundtrip" test_notation_roundtrip;
+        case "of_notation errors" test_of_notation_errors;
+        case "make validations" test_make_validations;
+        case "table1 configurations" test_table1_configurations;
+        case "small configurations" test_small_configurations;
+        QCheck_alcotest.to_alcotest prop_notation_roundtrip;
+      ] );
+  ]

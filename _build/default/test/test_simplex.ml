@@ -1,0 +1,144 @@
+module Lp = Cap_milp.Lp
+module Simplex = Cap_milp.Simplex
+
+let case name f = Alcotest.test_case name `Quick f
+
+let solve_exn p =
+  match Simplex.solve p with
+  | Simplex.Optimal { objective; solution } -> objective, solution
+  | Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+let le coeffs rhs = { Lp.coeffs; relation = Lp.Le; rhs }
+let ge coeffs rhs = { Lp.coeffs; relation = Lp.Ge; rhs }
+let eq coeffs rhs = { Lp.coeffs; relation = Lp.Eq; rhs }
+
+let test_textbook_maximization () =
+  (* maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18
+     (classic Dantzig example; optimum 36 at (2, 6)) *)
+  let p =
+    Lp.make ~objective:[| -3.; -5. |]
+      ~constraints:[ le [| 1.; 0. |] 4.; le [| 0.; 2. |] 12.; le [| 3.; 2. |] 18. ]
+  in
+  let obj, x = solve_exn p in
+  Alcotest.(check (float 1e-6)) "objective" (-36.) obj;
+  Alcotest.(check (float 1e-6)) "x" 2. x.(0);
+  Alcotest.(check (float 1e-6)) "y" 6. x.(1)
+
+let test_minimization_with_ge () =
+  (* minimize 2x + 3y s.t. x + y >= 4, x >= 1 -> optimum 8 at (4, 0) *)
+  let p =
+    Lp.make ~objective:[| 2.; 3. |] ~constraints:[ ge [| 1.; 1. |] 4.; ge [| 1.; 0. |] 1. ]
+  in
+  let obj, x = solve_exn p in
+  Alcotest.(check (float 1e-6)) "objective" 8. obj;
+  Alcotest.(check (float 1e-6)) "x" 4. x.(0);
+  Alcotest.(check (float 1e-6)) "y" 0. x.(1)
+
+let test_equality_constraints () =
+  (* minimize x + y s.t. x + 2y = 4, x - y = 1 -> unique point (2, 1) *)
+  let p =
+    Lp.make ~objective:[| 1.; 1. |]
+      ~constraints:[ eq [| 1.; 2. |] 4.; eq [| 1.; -1. |] 1. ]
+  in
+  let obj, x = solve_exn p in
+  Alcotest.(check (float 1e-6)) "objective" 3. obj;
+  Alcotest.(check (float 1e-6)) "x" 2. x.(0);
+  Alcotest.(check (float 1e-6)) "y" 1. x.(1)
+
+let test_negative_rhs_normalization () =
+  (* minimize x s.t. -x <= -3 (i.e. x >= 3) *)
+  let p = Lp.make ~objective:[| 1. |] ~constraints:[ le [| -1. |] (-3.) ] in
+  let obj, _ = solve_exn p in
+  Alcotest.(check (float 1e-6)) "objective" 3. obj
+
+let test_infeasible () =
+  let p =
+    Lp.make ~objective:[| 1. |] ~constraints:[ le [| 1. |] 1.; ge [| 1. |] 2. ]
+  in
+  Alcotest.(check bool) "infeasible detected" true (Simplex.solve p = Simplex.Infeasible)
+
+let test_unbounded () =
+  (* minimize -x with only x >= 0 -> unbounded below *)
+  let p = Lp.make ~objective:[| -1. |] ~constraints:[ ge [| 1. |] 0. ] in
+  Alcotest.(check bool) "unbounded detected" true (Simplex.solve p = Simplex.Unbounded)
+
+let test_degenerate () =
+  (* redundant constraints producing degeneracy should still solve *)
+  let p =
+    Lp.make ~objective:[| -1.; -1. |]
+      ~constraints:
+        [ le [| 1.; 1. |] 2.; le [| 1.; 1. |] 2.; le [| 2.; 2. |] 4.; le [| 1.; 0. |] 2. ]
+  in
+  let obj, _ = solve_exn p in
+  Alcotest.(check (float 1e-6)) "objective" (-2.) obj
+
+let test_zero_objective () =
+  let p = Lp.make ~objective:[| 0.; 0. |] ~constraints:[ le [| 1.; 1. |] 1. ] in
+  let obj, x = solve_exn p in
+  Alcotest.(check (float 1e-6)) "objective zero" 0. obj;
+  Alcotest.(check bool) "feasible point" true (Lp.feasible p x)
+
+(* random LPs: the solution must be feasible, and no feasible corner of
+   a random sample may beat the reported optimum *)
+let random_lp seed =
+  let rng = Cap_util.Rng.create ~seed in
+  let vars = 1 + Cap_util.Rng.int rng 4 in
+  let rows = 1 + Cap_util.Rng.int rng 4 in
+  let objective = Array.init vars (fun _ -> Cap_util.Rng.float_in rng (-1.) 5.) in
+  let constraints =
+    List.init rows (fun _ ->
+        {
+          Lp.coeffs = Array.init vars (fun _ -> Cap_util.Rng.float_in rng 0. 3.);
+          relation = Lp.Le;
+          rhs = Cap_util.Rng.float_in rng 1. 10.;
+        })
+  in
+  Lp.make ~objective ~constraints
+
+let prop_solution_feasible =
+  QCheck.Test.make ~name:"optimal solution is feasible" ~count:150 QCheck.small_nat
+    (fun seed ->
+      let p = random_lp seed in
+      match Simplex.solve p with
+      | Simplex.Optimal { solution; _ } -> Lp.feasible ~eps:1e-6 p solution
+      | Simplex.Infeasible | Simplex.Unbounded ->
+          (* all-Le with positive rhs is feasible at 0; negative
+             objective coefficients can make it unbounded only if some
+             variable column is <= 0 everywhere, which our generator
+             cannot produce with strictly... it can produce 0 columns,
+             so allow Unbounded. *)
+          true)
+
+let prop_no_sampled_point_beats_optimum =
+  QCheck.Test.make ~name:"no random feasible point beats the optimum" ~count:100
+    QCheck.small_nat (fun seed ->
+      let p = random_lp seed in
+      match Simplex.solve p with
+      | Simplex.Infeasible | Simplex.Unbounded -> true
+      | Simplex.Optimal { objective; _ } ->
+          let rng = Cap_util.Rng.create ~seed:(seed + 1000) in
+          let vars = Lp.variable_count p in
+          let ok = ref true in
+          for _ = 1 to 200 do
+            let x = Array.init vars (fun _ -> Cap_util.Rng.float_in rng 0. 5.) in
+            if Lp.feasible p x && Lp.eval_objective p x < objective -. 1e-6 then ok := false
+          done;
+          !ok)
+
+let tests =
+  [
+    ( "milp/simplex",
+      [
+        case "textbook maximization" test_textbook_maximization;
+        case "minimization with >=" test_minimization_with_ge;
+        case "equality constraints" test_equality_constraints;
+        case "negative rhs normalization" test_negative_rhs_normalization;
+        case "infeasible" test_infeasible;
+        case "unbounded" test_unbounded;
+        case "degenerate" test_degenerate;
+        case "zero objective" test_zero_objective;
+        QCheck_alcotest.to_alcotest prop_solution_feasible;
+        QCheck_alcotest.to_alcotest prop_no_sampled_point_beats_optimum;
+      ] );
+  ]

@@ -1,0 +1,127 @@
+module Stats = Cap_util.Stats
+
+let case name f = Alcotest.test_case name `Quick f
+let feq = Alcotest.(check (float 1e-9))
+let fapprox tol = Alcotest.(check (float tol))
+
+let test_basics () =
+  let xs = [| 2.; 4.; 6.; 8. |] in
+  feq "sum" 20. (Stats.sum xs);
+  feq "mean" 5. (Stats.mean xs);
+  fapprox 1e-9 "variance" (20. /. 3.) (Stats.variance xs);
+  feq "min" 2. (Stats.min_value xs);
+  feq "max" 8. (Stats.max_value xs);
+  feq "stddev squared" (Stats.variance xs) (Stats.stddev xs *. Stats.stddev xs)
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (Stats.mean [||]));
+  Alcotest.check_raises "min" (Invalid_argument "Stats.min_value: empty array") (fun () ->
+      ignore (Stats.min_value [||]));
+  Alcotest.check_raises "quantile" (Invalid_argument "Stats.quantile: empty array") (fun () ->
+      ignore (Stats.quantile [||] 0.5))
+
+let test_degenerate () =
+  feq "variance singleton" 0. (Stats.variance [| 3. |]);
+  feq "ci singleton" 0. (Stats.ci95_halfwidth [| 3. |]);
+  feq "variance empty" 0. (Stats.variance [||])
+
+let test_quantile () =
+  let xs = [| 30.; 10.; 20.; 40. |] in
+  feq "q0" 10. (Stats.quantile xs 0.);
+  feq "q1" 40. (Stats.quantile xs 1.);
+  feq "median interpolates" 25. (Stats.median xs);
+  feq "q1/3" 20. (Stats.quantile xs (1. /. 3.));
+  Alcotest.check_raises "out of range" (Invalid_argument "Stats.quantile: q out of [0, 1]")
+    (fun () -> ignore (Stats.quantile xs 1.5))
+
+let test_cdf () =
+  let cdf = Stats.Cdf.of_samples [| 1.; 2.; 2.; 3. |] in
+  Alcotest.(check int) "size" 4 (Stats.Cdf.size cdf);
+  feq "below all" 0. (Stats.Cdf.eval cdf 0.5);
+  feq "at 1" 0.25 (Stats.Cdf.eval cdf 1.);
+  feq "duplicates counted" 0.75 (Stats.Cdf.eval cdf 2.);
+  feq "between" 0.75 (Stats.Cdf.eval cdf 2.5);
+  feq "at max" 1. (Stats.Cdf.eval cdf 3.);
+  feq "above all" 1. (Stats.Cdf.eval cdf 10.);
+  let grid = Stats.Cdf.evaluate_grid cdf [| 1.; 3. |] in
+  Alcotest.(check int) "grid points" 2 (List.length grid)
+
+let test_running_matches_batch () =
+  let xs = [| 1.; 4.; 9.; 16.; 25. |] in
+  let r = Stats.Running.create () in
+  Array.iter (Stats.Running.add r) xs;
+  Alcotest.(check int) "count" 5 (Stats.Running.count r);
+  fapprox 1e-9 "mean" (Stats.mean xs) (Stats.Running.mean r);
+  fapprox 1e-9 "variance" (Stats.variance xs) (Stats.Running.variance r)
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  feq "mean empty" 0. (Stats.Running.mean r);
+  feq "variance empty" 0. (Stats.Running.variance r)
+
+let test_histogram () =
+  let counts = Stats.histogram ~bins:4 ~lo:0. ~hi:4. [| 0.5; 1.5; 1.6; 3.9; -1.; 9. |] in
+  Alcotest.(check (array int)) "counts with clamping" [| 2; 2; 0; 2 |] counts;
+  Alcotest.check_raises "bad bins" (Invalid_argument "Stats.histogram: bins must be positive")
+    (fun () -> ignore (Stats.histogram ~bins:0 ~lo:0. ~hi:1. [||]));
+  Alcotest.check_raises "bad range" (Invalid_argument "Stats.histogram: empty range")
+    (fun () -> ignore (Stats.histogram ~bins:2 ~lo:1. ~hi:1. [||]))
+
+let test_ci95 () =
+  let xs = Array.make 100 5. in
+  feq "no spread no width" 0. (Stats.ci95_halfwidth xs)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"cdf monotone in x" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 40) (float_range (-50.) 50.)) (pair (float_range (-60.) 60.) (float_range 0. 20.)))
+    (fun (samples, (x, dx)) ->
+      let cdf = Stats.Cdf.of_samples (Array.of_list samples) in
+      Stats.Cdf.eval cdf x <= Stats.Cdf.eval cdf (x +. dx))
+
+let prop_quantile_within_range =
+  QCheck.Test.make ~name:"quantile within [min,max]" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 40) (float_range (-50.) 50.)) (float_range 0. 1.))
+    (fun (samples, q) ->
+      let xs = Array.of_list samples in
+      let v = Stats.quantile xs q in
+      v >= Stats.min_value xs -. 1e-9 && v <= Stats.max_value xs +. 1e-9)
+
+let prop_running_matches =
+  QCheck.Test.make ~name:"running = batch" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-10.) 10.))
+    (fun samples ->
+      let xs = Array.of_list samples in
+      let r = Stats.Running.create () in
+      Array.iter (Stats.Running.add r) xs;
+      abs_float (Stats.Running.mean r -. Stats.mean xs) < 1e-6
+      && abs_float (Stats.Running.variance r -. Stats.variance xs) < 1e-6)
+
+let prop_cdf_inverse_consistent =
+  QCheck.Test.make ~name:"inverse quantile lies in sample hull" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range 0. 100.)) (float_range 0. 1.))
+    (fun (samples, q) ->
+      let cdf = Stats.Cdf.of_samples (Array.of_list samples) in
+      let v = Stats.Cdf.inverse cdf q in
+      let xs = Array.of_list samples in
+      v >= Stats.min_value xs -. 1e-9 && v <= Stats.max_value xs +. 1e-9)
+
+let tests =
+  [
+    ( "util/stats",
+      [
+        case "basics" test_basics;
+        case "empty raises" test_empty_raises;
+        case "degenerate" test_degenerate;
+        case "quantile" test_quantile;
+        case "cdf" test_cdf;
+        case "running matches batch" test_running_matches_batch;
+        case "running empty" test_running_empty;
+        case "histogram" test_histogram;
+        case "ci95" test_ci95;
+        QCheck_alcotest.to_alcotest prop_cdf_monotone;
+        QCheck_alcotest.to_alcotest prop_quantile_within_range;
+        QCheck_alcotest.to_alcotest prop_running_matches;
+        QCheck_alcotest.to_alcotest prop_cdf_inverse_consistent;
+      ] );
+  ]

@@ -1,0 +1,64 @@
+module Table = Cap_util.Table
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_render () =
+  let t = Table.create ~headers:[ "name"; "value" ] () in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let expected = "name  | value\n------+------\nalpha |     1\nb     |    22\n" in
+  Alcotest.(check string) "aligned render" expected (Table.render t)
+
+let test_alignment_override () =
+  let t = Table.create ~aligns:[ Table.Right; Table.Left ] ~headers:[ "n"; "v" ] () in
+  Table.add_row t [ "10"; "x" ];
+  let expected = " n | v\n---+--\n10 | x\n" in
+  Alcotest.(check string) "custom aligns" expected (Table.render t)
+
+let test_separator () =
+  let t = Table.create ~headers:[ "a" ] () in
+  Table.add_row t [ "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "2" ];
+  Alcotest.(check string) "separator rendered" "a\n-\n1\n-\n2\n" (Table.render t)
+
+let test_row_width_mismatch () =
+  let t = Table.create ~headers:[ "a"; "b" ] () in
+  Alcotest.check_raises "short row" (Invalid_argument "Table.add_row: row width mismatch")
+    (fun () -> Table.add_row t [ "only" ])
+
+let test_aligns_mismatch () =
+  Alcotest.check_raises "aligns mismatch"
+    (Invalid_argument "Table.create: aligns/headers width mismatch") (fun () ->
+      ignore (Table.create ~aligns:[ Table.Left ] ~headers:[ "a"; "b" ] ()))
+
+let test_csv () =
+  let t = Table.create ~headers:[ "name"; "note" ] () in
+  Table.add_row t [ "plain"; "ok" ];
+  Table.add_row t [ "has,comma"; "has\"quote" ];
+  Table.add_row t [ "has\nnewline"; "-" ];
+  Table.add_separator t;
+  let expected =
+    "name,note\nplain,ok\n\"has,comma\",\"has\"\"quote\"\n\"has\nnewline\",-\n"
+  in
+  Alcotest.(check string) "csv quoting, separators skipped" expected (Table.to_csv t)
+
+let test_cells () =
+  Alcotest.(check string) "float default" "1.235" (Table.cell_float 1.23456);
+  Alcotest.(check string) "float decimals" "1.2" (Table.cell_float ~decimals:1 1.23456);
+  Alcotest.(check string) "percent" "57.0%" (Table.cell_percent 0.57);
+  Alcotest.(check string) "percent decimals" "57%" (Table.cell_percent ~decimals:0 0.57)
+
+let tests =
+  [
+    ( "util/table",
+      [
+        case "render" test_render;
+        case "alignment override" test_alignment_override;
+        case "separator" test_separator;
+        case "row width mismatch" test_row_width_mismatch;
+        case "aligns mismatch" test_aligns_mismatch;
+        case "csv" test_csv;
+        case "cells" test_cells;
+      ] );
+  ]

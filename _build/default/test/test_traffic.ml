@@ -1,0 +1,97 @@
+module Traffic = Cap_model.Traffic
+
+let case name f = Alcotest.test_case name `Quick f
+let feq = Alcotest.(check (float 1e-9))
+
+let test_default () =
+  feq "paper rate" 25. Traffic.default.Traffic.message_rate;
+  Alcotest.(check int) "paper size" 100 Traffic.default.Traffic.message_size;
+  Alcotest.(check bool) "paper model has no cap" true
+    (Traffic.default.Traffic.visibility_cap = None)
+
+let test_validation () =
+  Alcotest.check_raises "rate" (Invalid_argument "Traffic.make: message_rate must be positive")
+    (fun () -> ignore (Traffic.make ~message_rate:0. ~message_size:100 ()));
+  Alcotest.check_raises "size" (Invalid_argument "Traffic.make: message_size must be positive")
+    (fun () -> ignore (Traffic.make ~message_rate:1. ~message_size:0 ()))
+
+let test_client_rate_formula () =
+  (* 1 msg/s x 125 B = 1000 bit/s per stream; R^T = (1 + n) kbit/s *)
+  let t = Traffic.make ~message_rate:1. ~message_size:125 () in
+  feq "population 1" 2000. (Traffic.client_rate t ~zone_population:1);
+  feq "population 9" 10_000. (Traffic.client_rate t ~zone_population:9);
+  Alcotest.check_raises "population 0"
+    (Invalid_argument "Traffic.client_rate: population must be >= 1") (fun () ->
+      ignore (Traffic.client_rate t ~zone_population:0))
+
+let test_client_rate_positive () =
+  (* the paper requires R^T > 0 for every client *)
+  Alcotest.(check bool) "positive" true
+    (Traffic.client_rate Traffic.default ~zone_population:1 > 0.)
+
+let test_forwarding_rate () =
+  let t = Traffic.default in
+  feq "R^C = 2 R^T"
+    (2. *. Traffic.client_rate t ~zone_population:7)
+    (Traffic.forwarding_rate t ~zone_population:7)
+
+let test_zone_rate () =
+  let t = Traffic.make ~message_rate:1. ~message_size:125 () in
+  feq "empty zone" 0. (Traffic.zone_rate t ~population:0);
+  feq "zone of 4 = 4 * client_rate(4)" (4. *. 5000.) (Traffic.zone_rate t ~population:4);
+  Alcotest.check_raises "negative" (Invalid_argument "Traffic.zone_rate: negative population")
+    (fun () -> ignore (Traffic.zone_rate t ~population:(-1)))
+
+let test_quadratic_growth () =
+  (* doubling the population should more than double the zone load *)
+  let t = Traffic.default in
+  let r n = Traffic.zone_rate t ~population:n in
+  Alcotest.(check bool) "superlinear" true (r 20 > 2.5 *. r 10)
+
+let test_visibility_cap () =
+  let t = Traffic.make ~visibility_cap:10 ~message_rate:1. ~message_size:125 () in
+  (* below the cap: identical to broadcast *)
+  feq "below cap" 6000. (Traffic.client_rate t ~zone_population:5);
+  (* above the cap: clamped to 1 + cap streams *)
+  feq "above cap" 11_000. (Traffic.client_rate t ~zone_population:50);
+  (* zone rate becomes linear above the cap *)
+  feq "linear zone growth"
+    (2. *. Traffic.zone_rate t ~population:50)
+    (Traffic.zone_rate t ~population:100);
+  Alcotest.check_raises "bad cap" (Invalid_argument "Traffic.make: visibility cap must be positive")
+    (fun () -> ignore (Traffic.make ~visibility_cap:0 ~message_rate:1. ~message_size:1 ()));
+  let capped = Traffic.with_visibility_cap 3 Traffic.default in
+  feq "with_visibility_cap applies"
+    (Traffic.client_rate capped ~zone_population:3)
+    (Traffic.client_rate capped ~zone_population:99);
+  Alcotest.check_raises "with bad cap"
+    (Invalid_argument "Traffic.with_visibility_cap: cap must be positive") (fun () ->
+      ignore (Traffic.with_visibility_cap (-1) Traffic.default))
+
+let test_units () =
+  feq "mbps" 1.5 (Traffic.mbps 1_500_000.);
+  feq "roundtrip" 42. (Traffic.mbps (Traffic.of_mbps 42.))
+
+let prop_monotone_in_population =
+  QCheck.Test.make ~name:"client rate monotone in population" ~count:100
+    QCheck.(int_range 1 1000)
+    (fun n ->
+      Traffic.client_rate Traffic.default ~zone_population:(n + 1)
+      > Traffic.client_rate Traffic.default ~zone_population:n)
+
+let tests =
+  [
+    ( "model/traffic",
+      [
+        case "default" test_default;
+        case "validation" test_validation;
+        case "client rate formula" test_client_rate_formula;
+        case "client rate positive" test_client_rate_positive;
+        case "forwarding rate" test_forwarding_rate;
+        case "zone rate" test_zone_rate;
+        case "quadratic growth" test_quadratic_growth;
+        case "visibility cap" test_visibility_cap;
+        case "units" test_units;
+        QCheck_alcotest.to_alcotest prop_monotone_in_population;
+      ] );
+  ]

@@ -1,0 +1,101 @@
+module Ts = Cap_topology.Transit_stub
+module Graph = Cap_topology.Graph
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let small_params =
+  { Ts.transit_domains = 2; transit_nodes = 3; stubs_per_transit = 2; stub_nodes = 4;
+    side = 100. }
+
+let test_node_count () =
+  Alcotest.(check int) "default is 500 nodes" 500 (Ts.node_count_of Ts.default_params);
+  (* 2*3 transit + 6 anchors * 2 stubs * 4 nodes = 6 + 48 = 54 *)
+  Alcotest.(check int) "small params" 54 (Ts.node_count_of small_params)
+
+let test_structure () =
+  let t = Ts.generate (Rng.create ~seed:1) small_params in
+  Alcotest.(check int) "nodes" 54 (Graph.node_count t.Ts.graph);
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.Ts.graph);
+  let transit_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.Ts.is_transit in
+  Alcotest.(check int) "transit nodes" 6 transit_count
+
+let test_domains () =
+  let t = Ts.generate (Rng.create ~seed:2) small_params in
+  (* 2 transit domains + 12 stub domains *)
+  let max_domain = Array.fold_left max 0 t.Ts.domain_of in
+  Alcotest.(check int) "domain count" 14 (max_domain + 1);
+  (* transit nodes live in domains 0..1, stubs in 2.. *)
+  Array.iteri
+    (fun i transit ->
+      if transit then
+        Alcotest.(check bool) "transit domain id" true (t.Ts.domain_of.(i) < 2)
+      else Alcotest.(check bool) "stub domain id" true (t.Ts.domain_of.(i) >= 2))
+    t.Ts.is_transit
+
+let test_stub_isolation () =
+  (* removing all transit nodes must disconnect stubs from other
+     stubs: stub domains only reach the world through their anchor *)
+  let t = Ts.generate (Rng.create ~seed:3) small_params in
+  let stub_edges_crossing_domains = ref 0 in
+  Graph.iter_edges t.Ts.graph (fun u v _ ->
+      if
+        (not t.Ts.is_transit.(u))
+        && (not t.Ts.is_transit.(v))
+        && t.Ts.domain_of.(u) <> t.Ts.domain_of.(v)
+      then incr stub_edges_crossing_domains);
+  Alcotest.(check int) "no stub-to-stub shortcuts" 0 !stub_edges_crossing_domains
+
+let test_default_paper_scale () =
+  let t = Ts.generate (Rng.create ~seed:4) Ts.default_params in
+  Alcotest.(check int) "500 nodes" 500 (Graph.node_count t.Ts.graph);
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.Ts.graph)
+
+let test_validation () =
+  Alcotest.check_raises "bad sizes"
+    (Invalid_argument "Transit_stub.generate: sizes must be positive") (fun () ->
+      ignore (Ts.generate (Rng.create ~seed:5) { small_params with Ts.transit_nodes = 0 }));
+  Alcotest.check_raises "bad side"
+    (Invalid_argument "Transit_stub.generate: side must be positive") (fun () ->
+      ignore (Ts.generate (Rng.create ~seed:5) { small_params with Ts.side = 0. }))
+
+let test_world_integration () =
+  let scenario =
+    {
+      (Cap_model.Scenario.make ~servers:4 ~zones:8 ~clients:60 ~total_capacity_mbps:60. ())
+      with
+      Cap_model.Scenario.topology = Cap_model.Scenario.Transit_stub small_params;
+    }
+  in
+  let w = Cap_model.World.generate (Rng.create ~seed:6) scenario in
+  Alcotest.(check int) "world nodes" 54 (Cap_model.World.node_count w);
+  Alcotest.(check int) "regions = domains" 14 w.Cap_model.World.regions;
+  let a = Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.create ~seed:7) w in
+  Alcotest.(check bool) "algorithms run on it" true (Cap_model.Assignment.is_valid a w)
+
+let prop_connected =
+  QCheck.Test.make ~name:"transit-stub always connected" ~count:20 QCheck.small_nat
+    (fun seed ->
+      let t = Ts.generate (Rng.create ~seed) small_params in
+      Graph.is_connected t.Ts.graph)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"same seed, same topology" ~count:10 QCheck.small_nat (fun seed ->
+      let gen () = Ts.generate (Rng.create ~seed) small_params in
+      Graph.edges (gen ()).Ts.graph = Graph.edges (gen ()).Ts.graph)
+
+let tests =
+  [
+    ( "topology/transit_stub",
+      [
+        case "node count" test_node_count;
+        case "structure" test_structure;
+        case "domains" test_domains;
+        case "stub isolation" test_stub_isolation;
+        case "default paper scale" test_default_paper_scale;
+        case "validation" test_validation;
+        case "world integration" test_world_integration;
+        QCheck_alcotest.to_alcotest prop_connected;
+        QCheck_alcotest.to_alcotest prop_determinism;
+      ] );
+  ]

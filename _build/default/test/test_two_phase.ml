@@ -1,0 +1,86 @@
+module Two_phase = Cap_core.Two_phase
+module Assignment = Cap_model.Assignment
+module World = Cap_model.World
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_roster () =
+  Alcotest.(check (list string)) "paper order"
+    [ "RanZ-VirC"; "RanZ-GreC"; "GreZ-VirC"; "GreZ-GreC" ]
+    (List.map (fun a -> a.Two_phase.name) Two_phase.all)
+
+let test_find () =
+  let found name = Option.is_some (Two_phase.find name) in
+  Alcotest.(check bool) "exact" true (found "GreZ-GreC");
+  Alcotest.(check bool) "case-insensitive" true (found "grez-grec");
+  Alcotest.(check bool) "trimmed" true (found "  RanZ-VirC ");
+  Alcotest.(check bool) "extensions findable" true (found "GreZ-GreC(dyn)");
+  Alcotest.(check bool) "unknown" false (found "FooBar")
+
+let test_run_produces_valid_assignments () =
+  let w = Fixtures.generated () in
+  List.iter
+    (fun algorithm ->
+      let a = Two_phase.run algorithm (Rng.create ~seed:3) w in
+      Alcotest.(check bool)
+        (algorithm.Two_phase.name ^ " valid")
+        true (Assignment.is_valid a w);
+      Alcotest.(check int)
+        (algorithm.Two_phase.name ^ " contacts")
+        (World.client_count w)
+        (Array.length a.Assignment.contact_of_client))
+    (Two_phase.all @ [ Two_phase.grez_grec_dynamic; Two_phase.grez_grec_paper_regret ])
+
+let test_grez_deterministic_across_rng () =
+  (* the greedy pipeline ignores the RNG: different seeds, same answer *)
+  let w = Fixtures.generated () in
+  let a = Two_phase.run Two_phase.grez_grec (Rng.create ~seed:1) w in
+  let b = Two_phase.run Two_phase.grez_grec (Rng.create ~seed:999) w in
+  Alcotest.(check bool) "identical assignments" true
+    (a.Assignment.target_of_zone = b.Assignment.target_of_zone
+    && a.Assignment.contact_of_client = b.Assignment.contact_of_client)
+
+let test_fixture_optimum () =
+  let w = Fixtures.standard () in
+  let a = Two_phase.run Two_phase.grez_grec (Rng.create ~seed:1) w in
+  Alcotest.(check (float 1e-9)) "perfect pQoS on the fixture" 1. (Assignment.pqos a w)
+
+let prop_ordering_on_paper_shape =
+  (* The paper's headline: GreZ-GreC >= GreZ-VirC and
+     GreZ-GreC >= RanZ-VirC in pQoS, per world. (RanZ-GreC vs GreZ-VirC
+     can go either way on a single world, so we don't order those.) *)
+  QCheck.Test.make ~name:"GreZ-GreC dominates its ablations per world" ~count:15
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let pqos algorithm =
+        Assignment.pqos (Two_phase.run algorithm (Rng.create ~seed) w) w
+      in
+      let grez_grec = pqos Two_phase.grez_grec in
+      grez_grec >= pqos Two_phase.grez_virc -. 1e-9
+      && grez_grec +. 0.10 >= pqos Two_phase.ranz_virc)
+
+let prop_virc_variants_use_no_forwarding =
+  QCheck.Test.make ~name:"VirC-based algorithms never add forwarding load" ~count:15
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      List.for_all
+        (fun algorithm ->
+          let a = Two_phase.run algorithm (Rng.create ~seed) w in
+          let loads = Assignment.server_loads a w in
+          abs_float (Array.fold_left ( +. ) 0. loads -. World.total_demand w) < 1e-3)
+        [ Two_phase.ranz_virc; Two_phase.grez_virc ])
+
+let tests =
+  [
+    ( "core/two_phase",
+      [
+        case "roster" test_roster;
+        case "find" test_find;
+        case "valid assignments" test_run_produces_valid_assignments;
+        case "greedy ignores rng" test_grez_deterministic_across_rng;
+        case "fixture optimum" test_fixture_optimum;
+        QCheck_alcotest.to_alcotest prop_ordering_on_paper_shape;
+        QCheck_alcotest.to_alcotest prop_virc_variants_use_no_forwarding;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+module Uf = Cap_util.Union_find
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_initial () =
+  let uf = Uf.create 5 in
+  Alcotest.(check int) "count" 5 (Uf.count uf);
+  for i = 0 to 4 do
+    Alcotest.(check int) "own root" i (Uf.find uf i)
+  done;
+  Alcotest.(check bool) "not same" false (Uf.same uf 0 1)
+
+let test_union () =
+  let uf = Uf.create 4 in
+  Alcotest.(check bool) "first union" true (Uf.union uf 0 1);
+  Alcotest.(check bool) "redundant union" false (Uf.union uf 0 1);
+  Alcotest.(check int) "count" 3 (Uf.count uf);
+  Alcotest.(check bool) "same" true (Uf.same uf 0 1)
+
+let test_transitivity () =
+  let uf = Uf.create 6 in
+  ignore (Uf.union uf 0 1);
+  ignore (Uf.union uf 1 2);
+  ignore (Uf.union uf 3 4);
+  Alcotest.(check bool) "0~2" true (Uf.same uf 0 2);
+  Alcotest.(check bool) "3~4" true (Uf.same uf 3 4);
+  Alcotest.(check bool) "0!~3" false (Uf.same uf 0 3);
+  Alcotest.(check int) "count" 3 (Uf.count uf);
+  ignore (Uf.union uf 2 3);
+  Alcotest.(check bool) "0~4 after merge" true (Uf.same uf 0 4)
+
+let prop_matches_model =
+  (* Compare against a brute-force connectivity model. *)
+  QCheck.Test.make ~name:"matches transitive-closure model" ~count:200
+    QCheck.(list (pair (int_range 0 9) (int_range 0 9)))
+    (fun unions ->
+      let n = 10 in
+      let uf = Uf.create n in
+      let adj = Array.make_matrix n n false in
+      for i = 0 to n - 1 do
+        adj.(i).(i) <- true
+      done;
+      List.iter
+        (fun (a, b) ->
+          ignore (Uf.union uf a b);
+          adj.(a).(b) <- true;
+          adj.(b).(a) <- true)
+        unions;
+      (* Warshall closure *)
+      for k = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if adj.(i).(k) && adj.(k).(j) then adj.(i).(j) <- true
+          done
+        done
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Uf.same uf i j <> adj.(i).(j) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_count_components =
+  QCheck.Test.make ~name:"count equals distinct roots" ~count:200
+    QCheck.(list (pair (int_range 0 7) (int_range 0 7)))
+    (fun unions ->
+      let uf = Uf.create 8 in
+      List.iter (fun (a, b) -> ignore (Uf.union uf a b)) unions;
+      let roots = List.sort_uniq compare (List.init 8 (Uf.find uf)) in
+      List.length roots = Uf.count uf)
+
+let tests =
+  [
+    ( "util/union_find",
+      [
+        case "initial" test_initial;
+        case "union" test_union;
+        case "transitivity" test_transitivity;
+        QCheck_alcotest.to_alcotest prop_matches_model;
+        QCheck_alcotest.to_alcotest prop_count_components;
+      ] );
+  ]

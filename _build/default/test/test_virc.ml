@@ -1,0 +1,38 @@
+module Virc = Cap_core.Virc
+module World = Cap_model.World
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_contacts_follow_targets () =
+  let w = Fixtures.standard () in
+  Alcotest.(check (array int)) "zone 0 on s1, zone 1 on s0" [| 1; 1; 0; 0 |]
+    (Virc.assign w ~targets:[| 1; 0 |])
+
+let test_no_forwarding_load () =
+  let w = Fixtures.standard () in
+  let targets = [| 0; 1 |] in
+  let contacts = Virc.assign w ~targets in
+  let a = Cap_model.Assignment.make ~target_of_zone:targets ~contact_of_client:contacts in
+  let loads = Cap_model.Assignment.server_loads a w in
+  (* only the zone loads, no R^C anywhere *)
+  Alcotest.(check (float 1e-6)) "total load = demand" (World.total_demand w)
+    (Array.fold_left ( +. ) 0. loads)
+
+let prop_every_client_contacts_its_target =
+  QCheck.Test.make ~name:"contact equals zone target" ~count:30 QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Array.init (World.zone_count w) (fun z -> (z + seed) mod 5) in
+      let contacts = Virc.assign w ~targets in
+      Array.for_all
+        (fun c -> contacts.(c) = targets.(w.World.client_zones.(c)))
+        (Array.init (World.client_count w) (fun c -> c)))
+
+let tests =
+  [
+    ( "core/virc",
+      [
+        case "contacts follow targets" test_contacts_follow_targets;
+        case "no forwarding load" test_no_forwarding_load;
+        QCheck_alcotest.to_alcotest prop_every_client_contacts_its_target;
+      ] );
+  ]

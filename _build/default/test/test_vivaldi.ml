@@ -1,0 +1,134 @@
+module Vivaldi = Cap_topology.Vivaldi
+module Delay = Cap_topology.Delay
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* An exactly-embeddable delay space: points on a line. *)
+let line_delays n spacing =
+  let matrix =
+    Array.init n (fun u ->
+        Array.init n (fun v -> float_of_int (abs (u - v)) *. spacing))
+  in
+  Delay.of_matrix matrix
+
+let test_validation () =
+  let d = line_delays 4 10. in
+  let bad params =
+    try
+      ignore (Vivaldi.embed (Rng.create ~seed:1) ~params d);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "dimensions" true
+    (bad { Vivaldi.default_params with Vivaldi.dimensions = 0 });
+  Alcotest.(check bool) "rounds" true (bad { Vivaldi.default_params with Vivaldi.rounds = 0 });
+  Alcotest.(check bool) "neighbors" true
+    (bad { Vivaldi.default_params with Vivaldi.neighbors = 0 });
+  Alcotest.(check bool) "gains" true (bad { Vivaldi.default_params with Vivaldi.ce = 0. });
+  let tiny = Delay.of_matrix [| [| 0. |] |] in
+  Alcotest.(check bool) "too few nodes" true
+    (try
+       ignore (Vivaldi.embed (Rng.create ~seed:1) tiny);
+       false
+     with Invalid_argument _ -> true)
+
+let test_embeddable_space_converges () =
+  let d = line_delays 12 50. in
+  let t =
+    Vivaldi.embed (Rng.create ~seed:2)
+      ~params:{ Vivaldi.default_params with Vivaldi.rounds = 200; neighbors = 11 }
+      d
+  in
+  let estimated = Vivaldi.estimated_delay t in
+  let error = Vivaldi.median_relative_error ~estimated ~reference:d in
+  Alcotest.(check bool)
+    (Printf.sprintf "median error %.3f below 15%%" error)
+    true (error < 0.15)
+
+let test_estimated_delay_shape () =
+  let d = line_delays 6 30. in
+  let estimated = Vivaldi.estimate (Rng.create ~seed:3) d in
+  Alcotest.(check int) "same node count" 6 (Delay.node_count estimated);
+  for u = 0 to 5 do
+    Alcotest.(check (float 1e-9)) "zero diagonal" 0. (Delay.rtt estimated u u);
+    for v = u + 1 to 5 do
+      Alcotest.(check (float 1e-9)) "symmetric" (Delay.rtt estimated u v)
+        (Delay.rtt estimated v u);
+      Alcotest.(check bool) "non-negative" true (Delay.rtt estimated u v >= 0.)
+    done
+  done
+
+let test_errors_shrink () =
+  let d = line_delays 10 40. in
+  let t =
+    Vivaldi.embed (Rng.create ~seed:4)
+      ~params:{ Vivaldi.default_params with Vivaldi.rounds = 150; neighbors = 9 }
+      d
+  in
+  let mean_error = Cap_util.Stats.mean t.Vivaldi.errors in
+  Alcotest.(check bool) "confidence below the initial 1.0" true (mean_error < 0.5)
+
+let test_on_real_topology () =
+  (* On a real (triangle-inequality-respecting) topology the embedding
+     should land well under the IDMaps-level factor-2 error. *)
+  let w = Fixtures.generated () in
+  let estimated = Vivaldi.estimate (Rng.create ~seed:5) w.Cap_model.World.delay in
+  let error =
+    Vivaldi.median_relative_error ~estimated ~reference:w.Cap_model.World.delay
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "median relative error %.3f < 0.5" error)
+    true (error < 0.5)
+
+let test_median_relative_error_checks () =
+  let a = line_delays 3 10. and b = line_delays 4 10. in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Vivaldi.median_relative_error: size mismatch") (fun () ->
+      ignore (Vivaldi.median_relative_error ~estimated:a ~reference:b));
+  Alcotest.(check (float 1e-9)) "identical spaces" 0.
+    (Vivaldi.median_relative_error ~estimated:a ~reference:a)
+
+let test_world_integration () =
+  let w = Fixtures.generated () in
+  let w' = Cap_model.World.with_vivaldi_observed (Rng.create ~seed:6) w in
+  (* true delays unchanged, observed replaced *)
+  Alcotest.(check (float 1e-9)) "true unchanged"
+    (Cap_model.World.true_client_server_rtt w ~client:0 ~server:0)
+    (Cap_model.World.true_client_server_rtt w' ~client:0 ~server:0);
+  let differs = ref false in
+  for c = 0 to 20 do
+    if
+      Cap_model.World.client_server_rtt w' ~client:c ~server:0
+      <> Cap_model.World.client_server_rtt w ~client:c ~server:0
+    then differs := true
+  done;
+  Alcotest.(check bool) "observed actually estimated" true !differs
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same seed, same embedding" ~count:5 QCheck.small_nat (fun seed ->
+      let d = line_delays 8 25. in
+      let run () = Vivaldi.estimate (Rng.create ~seed) d in
+      let a = run () and b = run () in
+      let ok = ref true in
+      for u = 0 to 7 do
+        for v = 0 to 7 do
+          if Delay.rtt a u v <> Delay.rtt b u v then ok := false
+        done
+      done;
+      !ok)
+
+let tests =
+  [
+    ( "topology/vivaldi",
+      [
+        case "validation" test_validation;
+        case "embeddable space converges" test_embeddable_space_converges;
+        case "estimated delay shape" test_estimated_delay_shape;
+        case "confidence errors shrink" test_errors_shrink;
+        case "accuracy on a real topology" test_on_real_topology;
+        case "median error checks" test_median_relative_error_checks;
+        case "world integration" test_world_integration;
+        QCheck_alcotest.to_alcotest prop_deterministic;
+      ] );
+  ]

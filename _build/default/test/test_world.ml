@@ -1,0 +1,153 @@
+module World = Cap_model.World
+module Scenario = Cap_model.Scenario
+module Traffic = Cap_model.Traffic
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let small_world ?(seed = 1) () = Fixtures.generated ~seed ()
+
+let test_counts () =
+  let w = small_world () in
+  Alcotest.(check int) "servers" 5 (World.server_count w);
+  Alcotest.(check int) "zones" 12 (World.zone_count w);
+  Alcotest.(check int) "clients" 120 (World.client_count w);
+  Alcotest.(check int) "nodes" 500 (World.node_count w);
+  Alcotest.(check int) "capacity entries" 5 (Array.length w.World.capacities)
+
+let test_server_nodes_distinct () =
+  let w = small_world () in
+  let sorted = Array.to_list w.World.server_nodes |> List.sort_uniq compare in
+  Alcotest.(check int) "distinct server nodes" 5 (List.length sorted);
+  List.iter
+    (fun n -> Alcotest.(check bool) "in node range" true (n >= 0 && n < 500))
+    sorted
+
+let test_capacities () =
+  let w = small_world () in
+  Alcotest.(check (float 1.)) "total capacity" (Traffic.of_mbps 80.) (World.total_capacity w);
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "at least minimum" true (c >= w.World.scenario.Scenario.min_server_capacity))
+    w.World.capacities
+
+let test_populations () =
+  let w = small_world () in
+  let pop = World.zone_population w in
+  Alcotest.(check int) "population sums to clients" 120 (Array.fold_left ( + ) 0 pop);
+  let members = World.clients_of_zone w in
+  Array.iteri
+    (fun z zone_members ->
+      Alcotest.(check int) "members match population" pop.(z) (Array.length zone_members);
+      Array.iter
+        (fun c -> Alcotest.(check int) "member is in zone" z w.World.client_zones.(c))
+        zone_members)
+    members
+
+let test_rates () =
+  let w = small_world () in
+  let pop = World.zone_population w in
+  let c = 0 in
+  let z = w.World.client_zones.(c) in
+  Alcotest.(check (float 1e-6)) "client rate uses zone population"
+    (Traffic.client_rate w.World.scenario.Scenario.traffic ~zone_population:pop.(z))
+    (World.client_rate w c);
+  Alcotest.(check (float 1e-6)) "forwarding = 2x" (2. *. World.client_rate w c)
+    (World.forwarding_rate w c);
+  let demand = Array.to_list pop |> List.mapi (fun z _ -> World.zone_rate w z) in
+  Alcotest.(check (float 1e-3)) "total demand = sum of zones"
+    (List.fold_left ( +. ) 0. demand)
+    (World.total_demand w)
+
+let test_delays () =
+  let w = small_world () in
+  Alcotest.(check (float 1e-9)) "same server zero" 0. (World.server_server_rtt w 2 2);
+  let factor = w.World.scenario.Scenario.inter_server_factor in
+  let raw =
+    Cap_topology.Delay.rtt w.World.delay w.World.server_nodes.(0) w.World.server_nodes.(1)
+  in
+  Alcotest.(check (float 1e-9)) "inter-server discount" (factor *. raw)
+    (World.server_server_rtt w 0 1);
+  Alcotest.(check (float 1e-9)) "observed = true without error"
+    (World.true_client_server_rtt w ~client:3 ~server:2)
+    (World.client_server_rtt w ~client:3 ~server:2)
+
+let test_estimation_error () =
+  let w = small_world () in
+  let rng = Rng.create ~seed:5 in
+  let w' = World.with_estimation_error rng ~factor:2. w in
+  (* true delays unchanged *)
+  Alcotest.(check (float 1e-9)) "true unchanged"
+    (World.true_client_server_rtt w ~client:0 ~server:0)
+    (World.true_client_server_rtt w' ~client:0 ~server:0);
+  (* observed stays within the band *)
+  let ok = ref true in
+  for c = 0 to World.client_count w - 1 do
+    for s = 0 to World.server_count w - 1 do
+      let d = World.true_client_server_rtt w ~client:c ~server:s in
+      let o = World.client_server_rtt w' ~client:c ~server:s in
+      if o < (d /. 2.) -. 1e-9 || o > (d *. 2.) +. 1e-9 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "observed within band" true !ok
+
+let test_replace_clients () =
+  let w = small_world () in
+  let w' = World.replace_clients w ~client_nodes:[| 1; 2 |] ~client_zones:[| 0; 3 |] in
+  Alcotest.(check int) "new count" 2 (World.client_count w');
+  Alcotest.(check int) "original untouched" 120 (World.client_count w);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "World.replace_clients: length mismatch") (fun () ->
+      ignore (World.replace_clients w ~client_nodes:[| 1 |] ~client_zones:[||]));
+  Alcotest.check_raises "bad node" (Invalid_argument "World.replace_clients: bad node")
+    (fun () ->
+      ignore (World.replace_clients w ~client_nodes:[| 1000 |] ~client_zones:[| 0 |]));
+  Alcotest.check_raises "bad zone" (Invalid_argument "World.replace_clients: bad zone")
+    (fun () -> ignore (World.replace_clients w ~client_nodes:[| 0 |] ~client_zones:[| 50 |]))
+
+let test_determinism () =
+  let a = small_world ~seed:9 () and b = small_world ~seed:9 () in
+  Alcotest.(check bool) "same servers" true (a.World.server_nodes = b.World.server_nodes);
+  Alcotest.(check bool) "same clients" true
+    (a.World.client_nodes = b.World.client_nodes && a.World.client_zones = b.World.client_zones);
+  Alcotest.(check bool) "same capacities" true (a.World.capacities = b.World.capacities)
+
+let test_backbone_world () =
+  let scenario =
+    {
+      (Scenario.make ~servers:5 ~zones:10 ~clients:50 ~total_capacity_mbps:100. ()) with
+      Scenario.topology = Scenario.Att_backbone { access_nodes = 40 };
+    }
+  in
+  let w = World.generate (Rng.create ~seed:2) scenario in
+  Alcotest.(check int) "nodes" (Cap_topology.Backbone.city_count + 40) (World.node_count w);
+  Alcotest.(check bool) "regions are core cities" true
+    (w.World.regions = Cap_topology.Backbone.city_count);
+  Array.iter
+    (fun r -> Alcotest.(check bool) "region in range" true (r >= 0 && r < w.World.regions))
+    w.World.region_of_node
+
+let prop_client_placement_valid =
+  QCheck.Test.make ~name:"clients placed on valid nodes and zones" ~count:20 QCheck.small_nat
+    (fun seed ->
+      let w = small_world ~seed:(seed + 1) () in
+      Array.for_all (fun n -> n >= 0 && n < 500) w.World.client_nodes
+      && Array.for_all (fun z -> z >= 0 && z < 12) w.World.client_zones)
+
+let tests =
+  [
+    ( "model/world",
+      [
+        case "counts" test_counts;
+        case "server nodes distinct" test_server_nodes_distinct;
+        case "capacities" test_capacities;
+        case "populations" test_populations;
+        case "rates" test_rates;
+        case "delays" test_delays;
+        case "estimation error" test_estimation_error;
+        case "replace clients" test_replace_clients;
+        case "determinism" test_determinism;
+        case "backbone world" test_backbone_world;
+        QCheck_alcotest.to_alcotest prop_client_placement_valid;
+      ] );
+  ]

@@ -1,0 +1,117 @@
+module Zm = Cap_model.Zone_map
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_grid () =
+  let m = Zm.grid ~rows:3 ~columns:4 in
+  Alcotest.(check int) "zones" 12 (Zm.zone_count m);
+  Alcotest.(check int) "rows" 3 (Zm.rows m);
+  Alcotest.(check int) "columns" 4 (Zm.columns m);
+  Alcotest.(check (pair int int)) "position row-major" (1, 2) (Zm.position m 6);
+  Alcotest.check_raises "bad dims" (Invalid_argument "Zone_map.grid: non-positive dimensions")
+    (fun () -> ignore (Zm.grid ~rows:0 ~columns:2))
+
+let test_square_for () =
+  let m = Zm.square_for ~zones:10 in
+  Alcotest.(check int) "exactly requested zones" 10 (Zm.zone_count m);
+  Alcotest.(check int) "columns = ceil sqrt" 4 (Zm.columns m);
+  Alcotest.(check int) "rows cover" 3 (Zm.rows m);
+  Alcotest.check_raises "bad count"
+    (Invalid_argument "Zone_map.square_for: non-positive zone count") (fun () ->
+      ignore (Zm.square_for ~zones:0))
+
+let test_neighbors_interior () =
+  let m = Zm.grid ~rows:3 ~columns:3 in
+  Alcotest.(check (list int)) "interior 4-connected" [ 1; 3; 5; 7 ] (Zm.neighbors m 4);
+  Alcotest.(check (list int)) "corner" [ 1; 3 ] (Zm.neighbors m 0);
+  Alcotest.(check (list int)) "edge" [ 0; 2; 4 ] (Zm.neighbors m 1)
+
+let test_partial_last_row () =
+  (* 10 zones on a 4-wide grid: the last row has only zones 8, 9 *)
+  let m = Zm.square_for ~zones:10 in
+  Alcotest.(check bool) "no phantom zones" true
+    (List.for_all (fun z -> z < 10) (Zm.neighbors m 7));
+  Alcotest.check_raises "phantom zone rejected" (Invalid_argument "Zone_map: zone out of range")
+    (fun () -> ignore (Zm.neighbors m 11))
+
+let test_adjacency () =
+  let m = Zm.grid ~rows:2 ~columns:2 in
+  Alcotest.(check bool) "adjacent" true (Zm.are_adjacent m 0 1);
+  Alcotest.(check bool) "diagonal not adjacent" false (Zm.are_adjacent m 0 3);
+  Alcotest.(check bool) "self not adjacent" false (Zm.are_adjacent m 0 0)
+
+let test_distance () =
+  let m = Zm.grid ~rows:3 ~columns:4 in
+  Alcotest.(check int) "manhattan" 3 (Zm.distance m 0 6);
+  Alcotest.(check int) "self" 0 (Zm.distance m 5 5)
+
+let test_random_neighbor () =
+  let m = Zm.grid ~rows:2 ~columns:3 in
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    let z = Rng.int rng 6 in
+    let n = Zm.random_neighbor rng m z in
+    Alcotest.(check bool) "is adjacent" true (Zm.are_adjacent m z n)
+  done;
+  let single = Zm.grid ~rows:1 ~columns:1 in
+  Alcotest.(check int) "singleton stays put" 0 (Zm.random_neighbor rng single 0)
+
+let prop_symmetry =
+  QCheck.Test.make ~name:"adjacency is symmetric" ~count:100
+    QCheck.(triple (int_range 1 6) (int_range 1 6) small_nat)
+    (fun (rows, columns, seed) ->
+      let m = Zm.grid ~rows ~columns in
+      let rng = Rng.create ~seed in
+      let a = Rng.int rng (rows * columns) and b = Rng.int rng (rows * columns) in
+      Zm.are_adjacent m a b = Zm.are_adjacent m b a)
+
+let prop_neighbors_at_distance_one =
+  QCheck.Test.make ~name:"neighbors are exactly distance 1" ~count:100
+    QCheck.(pair (int_range 2 6) (pair (int_range 2 6) small_nat))
+    (fun (rows, (columns, seed)) ->
+      let m = Zm.grid ~rows ~columns in
+      let rng = Rng.create ~seed in
+      let z = Rng.int rng (rows * columns) in
+      List.for_all (fun n -> Zm.distance m z n = 1) (Zm.neighbors m z))
+
+let prop_grid_connected =
+  (* BFS over adjacency reaches every zone *)
+  QCheck.Test.make ~name:"zone grid is connected" ~count:50
+    QCheck.(int_range 1 40)
+    (fun zones ->
+      let m = Zm.square_for ~zones in
+      let visited = Array.make zones false in
+      let queue = Queue.create () in
+      visited.(0) <- true;
+      Queue.add 0 queue;
+      let reached = ref 1 in
+      while not (Queue.is_empty queue) do
+        let z = Queue.pop queue in
+        List.iter
+          (fun n ->
+            if not visited.(n) then begin
+              visited.(n) <- true;
+              incr reached;
+              Queue.add n queue
+            end)
+          (Zm.neighbors m z)
+      done;
+      !reached = zones)
+
+let tests =
+  [
+    ( "model/zone_map",
+      [
+        case "grid" test_grid;
+        case "square_for" test_square_for;
+        case "neighbors" test_neighbors_interior;
+        case "partial last row" test_partial_last_row;
+        case "adjacency" test_adjacency;
+        case "distance" test_distance;
+        case "random neighbor" test_random_neighbor;
+        QCheck_alcotest.to_alcotest prop_symmetry;
+        QCheck_alcotest.to_alcotest prop_neighbors_at_distance_one;
+        QCheck_alcotest.to_alcotest prop_grid_connected;
+      ] );
+  ]
