@@ -14,6 +14,35 @@ module Scenario = Cap_model.Scenario
 module World = Cap_model.World
 module Assignment = Cap_model.Assignment
 
+(* Telemetry hook: CAP_OBS=1 instruments the reproduction report with
+   Cap_obs and prints the span/metric summary after it (optionally
+   exporting CAP_OBS_METRICS / CAP_OBS_TRACE files). Telemetry is
+   switched off again before the Bechamel kernels run, so the
+   micro-benchmarks always measure the disabled fast path. *)
+let obs_hook =
+  match Sys.getenv_opt "CAP_OBS" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let obs_report () =
+  if obs_hook then begin
+    print_endline "\n==============================";
+    print_endline "= Cap_obs telemetry summary  =";
+    print_endline "==============================";
+    Cap_obs.Summary.print ();
+    (match Sys.getenv_opt "CAP_OBS_METRICS" with
+    | None | Some "" -> ()
+    | Some file ->
+        Cap_obs.Prometheus.write file;
+        Printf.printf "wrote Prometheus metrics to %s\n" file);
+    (match Sys.getenv_opt "CAP_OBS_TRACE" with
+    | None | Some "" -> ()
+    | Some file ->
+        Cap_obs.Jsonl.write file;
+        Printf.printf "wrote JSONL trace to %s\n" file);
+    Cap_obs.Control.disable ()
+  end
+
 let report_runs () =
   match Sys.getenv_opt "CAP_RUNS" with
   | Some v -> (
@@ -180,5 +209,7 @@ let print_benchmarks () =
   Notty_unix.output_image (Notty_unix.eol image)
 
 let () =
+  if obs_hook then Cap_obs.Control.enable ();
   reproduction_report ();
+  obs_report ();
   print_benchmarks ()

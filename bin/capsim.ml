@@ -27,11 +27,58 @@ let config_arg =
   Arg.(value & opt string "20s-80z-1000c-500cp" & info [ "config"; "c" ] ~docv:"CONF" ~doc)
 
 let time_limit_arg =
-  let doc = "CPU-seconds budget per branch-and-bound phase." in
+  let doc = "Wall-clock seconds budget per branch-and-bound phase." in
   Arg.(value & opt float 5. & info [ "time-limit" ] ~docv:"SECONDS" ~doc)
 
 let scenario_of_string s =
   try Ok (Scenario.of_notation s) with Invalid_argument m -> Error (`Msg m)
+
+(* ------------------------------------------------------------------ *)
+(* telemetry (Cap_obs), shared by every subcommand                     *)
+
+type obs_options = {
+  metrics_file : string option;
+  trace_file : string option;
+  obs_summary : bool;
+}
+
+let obs_term =
+  let metrics_arg =
+    let doc = "Write Prometheus text-format metrics to $(docv) on exit." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE.prom" ~doc)
+  in
+  let trace_arg =
+    let doc = "Write the span/event stream as JSON Lines to $(docv) on exit." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl" ~doc)
+  in
+  let summary_arg =
+    let doc = "Print a per-span timing and metrics summary after the command." in
+    Arg.(value & flag & info [ "obs-summary" ] ~doc)
+  in
+  Term.(
+    const (fun metrics_file trace_file obs_summary ->
+        { metrics_file; trace_file; obs_summary })
+    $ metrics_arg $ trace_arg $ summary_arg)
+
+(* Enable telemetry iff any sink was requested, run the command, then
+   drain the sinks. Telemetry stays fully disabled (the no-op fast
+   path) when no flag is given. *)
+let with_obs obs body =
+  if obs.metrics_file <> None || obs.trace_file <> None || obs.obs_summary then
+    Cap_obs.Control.enable ();
+  let code = body () in
+  (match obs.metrics_file with
+  | None -> ()
+  | Some file ->
+      Cap_obs.Prometheus.write file;
+      Printf.eprintf "wrote Prometheus metrics to %s\n" file);
+  (match obs.trace_file with
+  | None -> ()
+  | Some file ->
+      Cap_obs.Jsonl.write file;
+      Printf.eprintf "wrote JSONL trace to %s\n" file);
+  if obs.obs_summary then Cap_obs.Summary.print ();
+  code
 
 (* ------------------------------------------------------------------ *)
 (* report                                                              *)
@@ -44,7 +91,8 @@ let report_cmd =
     in
     Arg.(value & pos_all string [] & info [] ~docv:"SECTION" ~doc)
   in
-  let run runs seed time_limit sections =
+  let run obs runs seed time_limit sections =
+    with_obs obs @@ fun () ->
     let resolve name =
       match Cap_experiments.Report.section_of_string name with
       | Some s -> Ok s
@@ -72,7 +120,9 @@ let report_cmd =
           sections;
         0
   in
-  let term = Term.(const run $ runs_arg $ seed_arg $ time_limit_arg $ sections_arg) in
+  let term =
+    Term.(const run $ obs_term $ runs_arg $ seed_arg $ time_limit_arg $ sections_arg)
+  in
   let info =
     Cmd.info "report" ~doc:"Reproduce the paper's tables and figures (with paper values inline)."
   in
@@ -94,7 +144,8 @@ let run_cmd =
     let doc = "Write every client's delay to this CSV file (for CDF plots)." in
     Arg.(value & opt (some string) None & info [ "delays-csv" ] ~docv:"FILE" ~doc)
   in
-  let run config algorithm seed error_factor delays_csv =
+  let run obs config algorithm seed error_factor delays_csv =
+    with_obs obs @@ fun () ->
     match scenario_of_string config, Cap_core.Two_phase.find algorithm with
     | Error (`Msg m), _ ->
         prerr_endline m;
@@ -111,7 +162,7 @@ let run_cmd =
           else world
         in
         let assignment, seconds =
-          Cap_experiments.Common.time_cpu (fun () ->
+          Cap_experiments.Common.time_wall (fun () ->
               Cap_core.Two_phase.run algorithm (Rng.split rng) world)
         in
         let table = Table.create ~headers:[ "metric"; "value" ] () in
@@ -122,7 +173,7 @@ let run_cmd =
           [ "resource utilization"; Printf.sprintf "%.4f" (Assignment.utilization assignment world) ];
         Table.add_row table
           [ "valid (capacities)"; string_of_bool (Assignment.is_valid assignment world) ];
-        Table.add_row table [ "CPU time (s)"; Printf.sprintf "%.4f" seconds ];
+        Table.add_row table [ "wall time (s)"; Printf.sprintf "%.4f" seconds ];
         Table.print table;
         (match delays_csv with
         | None -> ()
@@ -136,7 +187,9 @@ let run_cmd =
         0
   in
   let term =
-    Term.(const run $ config_arg $ algorithm_arg $ seed_arg $ error_arg $ delays_csv_arg)
+    Term.(
+      const run $ obs_term $ config_arg $ algorithm_arg $ seed_arg $ error_arg
+      $ delays_csv_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one assignment algorithm on one configuration.") term
 
@@ -144,7 +197,8 @@ let run_cmd =
 (* optimal                                                             *)
 
 let optimal_cmd =
-  let run config seed time_limit =
+  let run obs config seed time_limit =
+    with_obs obs @@ fun () ->
     match scenario_of_string config with
     | Error (`Msg m) ->
         prerr_endline m;
@@ -176,7 +230,7 @@ let optimal_cmd =
             Table.print table);
         0
   in
-  let term = Term.(const run $ config_arg $ seed_arg $ time_limit_arg) in
+  let term = Term.(const run $ obs_term $ config_arg $ seed_arg $ time_limit_arg) in
   Cmd.v
     (Cmd.info "optimal" ~doc:"Run the branch-and-bound baseline (the lp_solve substitute).")
     term
@@ -189,7 +243,8 @@ let compare_cmd =
     let doc = "Also run the branch-and-bound baseline (small configurations only)." in
     Arg.(value & flag & info [ "optimal" ] ~doc)
   in
-  let run config seed time_limit with_optimal =
+  let run obs config seed time_limit with_optimal =
+    with_obs obs @@ fun () ->
     match scenario_of_string config with
     | Error (`Msg m) ->
         prerr_endline m;
@@ -233,7 +288,7 @@ let compare_cmd =
         List.iter
           (fun algorithm ->
             let assignment, seconds =
-              Cap_experiments.Common.time_cpu (fun () ->
+              Cap_experiments.Common.time_wall (fun () ->
                   Cap_core.Two_phase.run algorithm (Rng.split rng) world)
             in
             row algorithm.Cap_core.Two_phase.name
@@ -260,7 +315,10 @@ let compare_cmd =
         Table.print table;
         0
   in
-  let term = Term.(const run $ config_arg $ seed_arg $ time_limit_arg $ with_optimal_arg) in
+  let term =
+    Term.(
+      const run $ obs_term $ config_arg $ seed_arg $ time_limit_arg $ with_optimal_arg)
+  in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare every algorithm (and the load-balancing baseline) on one world.")
@@ -277,7 +335,8 @@ let plan_cmd =
   let algorithm_arg =
     Arg.(value & opt string "GreZ-GreC" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"Algorithm.")
   in
-  let run config seed runs target algorithm =
+  let run obs config seed runs target algorithm =
+    with_obs obs @@ fun () ->
     match scenario_of_string config, Cap_core.Two_phase.find algorithm with
     | Error (`Msg m), _ ->
         prerr_endline m;
@@ -304,7 +363,10 @@ let plan_cmd =
           prerr_endline m;
           1)
   in
-  let term = Term.(const run $ config_arg $ seed_arg $ runs_arg $ target_arg $ algorithm_arg) in
+  let term =
+    Term.(
+      const run $ obs_term $ config_arg $ seed_arg $ runs_arg $ target_arg $ algorithm_arg)
+  in
   Cmd.v
     (Cmd.info "plan" ~doc:"Find the total capacity needed for a target pQoS (bisection).")
     term
@@ -317,7 +379,8 @@ let plots_cmd =
     let doc = "Output directory for CSV data and gnuplot scripts." in
     Arg.(value & opt string "plots" & info [ "out"; "o" ] ~docv:"DIR" ~doc)
   in
-  let run runs seed out =
+  let run obs runs seed out =
+    with_obs obs @@ fun () ->
     let written = Cap_experiments.Export.write_all ?runs ~seed ~directory:out () in
     Printf.printf "wrote %d files to %s:\n" (List.length written.Cap_experiments.Export.files)
       written.Cap_experiments.Export.directory;
@@ -325,7 +388,7 @@ let plots_cmd =
     print_endline "render the figures with e.g.: gnuplot -p plots/fig4_delay_cdf.gp";
     0
   in
-  let term = Term.(const run $ runs_arg $ seed_arg $ out_arg) in
+  let term = Term.(const run $ obs_term $ runs_arg $ seed_arg $ out_arg) in
   Cmd.v
     (Cmd.info "plots" ~doc:"Export figure data as CSV plus gnuplot scripts.")
     term
@@ -382,7 +445,8 @@ let sim_cmd =
         | _ -> Error ("bad flash spec: " ^ s))
     | _ -> Error ("bad flash spec: " ^ s)
   in
-  let run config seed duration policy algorithm roam flash diurnal trace_csv =
+  let run obs config seed duration policy algorithm roam flash diurnal trace_csv =
+    with_obs obs @@ fun () ->
     match scenario_of_string config, parse_policy policy, Cap_core.Two_phase.find algorithm with
     | Error (`Msg m), _, _ ->
         prerr_endline m;
@@ -443,8 +507,8 @@ let sim_cmd =
   in
   let term =
     Term.(
-      const run $ config_arg $ seed_arg $ duration_arg $ policy_arg $ algorithm_arg
-      $ roam_arg $ flash_arg $ diurnal_arg $ trace_csv_arg)
+      const run $ obs_term $ config_arg $ seed_arg $ duration_arg $ policy_arg
+      $ algorithm_arg $ roam_arg $ flash_arg $ diurnal_arg $ trace_csv_arg)
   in
   Cmd.v (Cmd.info "sim" ~doc:"Run the dynamic churn simulation.") term
 

@@ -22,7 +22,15 @@ let total_cost costs targets =
   Array.iteri (fun z s -> acc := !acc + costs.(z).(s)) targets;
   !acc
 
-let improve rng ?(params = default_params) world ~targets =
+let proposed_total =
+  Cap_obs.Metrics.Counter.create "annealing_moves_proposed_total"
+    ~help:"Annealing move proposals"
+
+let accepted_total =
+  Cap_obs.Metrics.Counter.create "annealing_moves_accepted_total"
+    ~help:"Annealing moves accepted"
+
+let improve_body rng ~params world ~targets =
   if params.iterations <= 0 then invalid_arg "Annealing: iterations must be positive";
   if params.initial_temperature <= 0. then
     invalid_arg "Annealing: temperature must be positive";
@@ -69,6 +77,8 @@ let improve rng ?(params = default_params) world ~targets =
     end;
     temperature := !temperature *. params.cooling
   done;
+  Cap_obs.Metrics.Counter.add proposed_total (float_of_int params.iterations);
+  Cap_obs.Metrics.Counter.add accepted_total (float_of_int !accepted);
   {
     targets = best;
     cost_before;
@@ -76,3 +86,6 @@ let improve rng ?(params = default_params) world ~targets =
     accepted = !accepted;
     proposed = params.iterations;
   }
+
+let improve rng ?(params = default_params) world ~targets =
+  Cap_obs.Span.with_span "annealing/improve" (fun () -> improve_body rng ~params world ~targets)

@@ -17,7 +17,15 @@ type report = {
   generations_run : int;
 }
 
-let improve rng ?(params = default_params) world ~targets =
+let generations_total =
+  Cap_obs.Metrics.Counter.create "genetic_generations_total"
+    ~help:"Generations evolved by the genetic improver"
+
+let offspring_total =
+  Cap_obs.Metrics.Counter.create "genetic_offspring_total"
+    ~help:"Crossover+mutation children evaluated"
+
+let improve_body rng ~params world ~targets =
   if params.population < 2 then invalid_arg "Genetic: population must be at least 2";
   if params.generations <= 0 then invalid_arg "Genetic: generations must be positive";
   if params.mutation_rate < 0. || params.mutation_rate > 1. then
@@ -102,9 +110,15 @@ let improve rng ?(params = default_params) world ~targets =
   let result =
     match !best_feasible with Some t -> t | None -> Array.copy targets
   in
+  Cap_obs.Metrics.Counter.add generations_total (float_of_int params.generations);
+  Cap_obs.Metrics.Counter.add offspring_total
+    (float_of_int (params.generations * (params.population - 1)));
   {
     targets = result;
     cost_before = cost_of targets;
     cost_after = cost_of result;
     generations_run = params.generations;
   }
+
+let improve rng ?(params = default_params) world ~targets =
+  Cap_obs.Span.with_span "genetic/improve" (fun () -> improve_body rng ~params world ~targets)

@@ -2,6 +2,14 @@ module World = Cap_model.World
 module Traffic = Cap_model.Traffic
 module Scenario = Cap_model.Scenario
 
+let late_clients_total =
+  Cap_obs.Metrics.Counter.create "grec_late_clients_total"
+    ~help:"Clients beyond the delay bound considered for contact refinement"
+
+let refined_clients_total =
+  Cap_obs.Metrics.Counter.create "grec_refined_clients_total"
+    ~help:"Late clients actually moved to a cheaper contact server"
+
 let assign ?(rule = Regret.Best_minus_second) world ~targets =
   let k = World.client_count world in
   let bound = world.World.scenario.Scenario.delay_bound in
@@ -31,6 +39,7 @@ let assign ?(rule = Regret.Best_minus_second) world ~targets =
       ~tie_break:(fun c s -> Cost.relayed_delay world ~targets ~client:c ~contact:s)
       ~rule
   in
+  let refined = ref 0 in
   Array.iter
     (fun (item : Regret.item) ->
       let c = item.Regret.id in
@@ -46,6 +55,7 @@ let assign ?(rule = Regret.Best_minus_second) world ~targets =
       in
       match chosen with
       | Some s ->
+          if s <> target then incr refined;
           contacts.(c) <- s;
           loads.(s) <- loads.(s) +. extra s
       | None ->
@@ -53,4 +63,6 @@ let assign ?(rule = Regret.Best_minus_second) world ~targets =
              nothing and is always a candidate. Keep the direct link. *)
           contacts.(c) <- target)
     items;
+  Cap_obs.Metrics.Counter.add late_clients_total (float_of_int (Array.length items));
+  Cap_obs.Metrics.Counter.add refined_clients_total (float_of_int !refined);
   contacts

@@ -20,8 +20,17 @@ let mean_delay_matrix world =
           end))
     members
 
+let zones_placed_total =
+  Cap_obs.Metrics.Counter.create "grez_zones_placed_total"
+    ~help:"Zones placed by the greedy initial assignment"
+
+let fallback_placements_total =
+  Cap_obs.Metrics.Counter.create "grez_fallback_placements_total"
+    ~help:"Zones that fit no server and went to the fallback"
+
 let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) world =
   let n = World.zone_count world in
+  let fallbacks = ref 0 in
   let costs = Cost.initial_matrix world in
   let delays = mean_delay_matrix world in
   let rates = Server_load.zone_rates world in
@@ -53,7 +62,9 @@ let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) world =
         in
         match chosen with
         | Some s -> place z s
-        | None -> place z (Server_load.fallback_server ~loads ~capacities))
+        | None ->
+            incr fallbacks;
+            place z (Server_load.fallback_server ~loads ~capacities))
       items
   end
   else begin
@@ -115,8 +126,14 @@ let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) world =
           remaining := List.filter (fun z' -> z' <> z) !remaining
       | None ->
           (* Nothing fits anywhere: drain the rest through the fallback. *)
-          List.iter (fun z -> place z (Server_load.fallback_server ~loads ~capacities)) !remaining;
+          List.iter
+            (fun z ->
+              incr fallbacks;
+              place z (Server_load.fallback_server ~loads ~capacities))
+            !remaining;
           remaining := []
     done
   end;
+  Cap_obs.Metrics.Counter.add zones_placed_total (float_of_int n);
+  Cap_obs.Metrics.Counter.add fallback_placements_total (float_of_int !fallbacks);
   targets

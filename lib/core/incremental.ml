@@ -21,7 +21,15 @@ let migration_between ~previous ~current =
       count previous.Assignment.contact_of_client current.Assignment.contact_of_client;
   }
 
-let refresh ?(max_zone_moves = 8) world ~previous =
+let zone_moves_total =
+  Cap_obs.Metrics.Counter.create "incremental_zone_moves_total"
+    ~help:"Zone relocations spent by incremental refreshes"
+
+let refreshes_total =
+  Cap_obs.Metrics.Counter.create "incremental_refreshes_total"
+    ~help:"Incremental refresh invocations"
+
+let refresh_body ~max_zone_moves world ~previous =
   let zones = World.zone_count world in
   if Array.length previous.Assignment.target_of_zone <> zones then
     invalid_arg "Incremental.refresh: assignment does not match the world";
@@ -112,4 +120,11 @@ let refresh ?(max_zone_moves = 8) world ~previous =
   done;
   let contacts = Grec.assign world ~targets in
   let current = Assignment.make ~target_of_zone:targets ~contact_of_client:contacts in
-  current, migration_between ~previous ~current
+  let migration = migration_between ~previous ~current in
+  Cap_obs.Metrics.Counter.incr refreshes_total;
+  Cap_obs.Metrics.Counter.add zone_moves_total (float_of_int migration.zone_moves);
+  current, migration
+
+let refresh ?(max_zone_moves = 8) world ~previous =
+  Cap_obs.Span.with_span "incremental/refresh" (fun () ->
+      refresh_body ~max_zone_moves world ~previous)

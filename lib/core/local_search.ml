@@ -13,7 +13,15 @@ let total_cost costs targets =
   Array.iteri (fun z s -> acc := !acc + costs.(z).(s)) targets;
   !acc
 
-let improve ?(max_rounds = 50) world ~targets =
+let rounds_total =
+  Cap_obs.Metrics.Counter.create "local_search_rounds_total"
+    ~help:"Full improvement sweeps over all zones"
+
+let moves_total =
+  Cap_obs.Metrics.Counter.create "local_search_moves_total"
+    ~help:"Improving zone relocations applied"
+
+let improve_body ~max_rounds world ~targets =
   let costs = Cost.initial_matrix world in
   let rates = Server_load.zone_rates world in
   let capacities = world.World.capacities in
@@ -51,4 +59,10 @@ let improve ?(max_rounds = 50) world ~targets =
         | None -> ())
       targets
   done;
+  Cap_obs.Metrics.Counter.add rounds_total (float_of_int !rounds);
+  Cap_obs.Metrics.Counter.add moves_total (float_of_int !moves);
   { targets; rounds = !rounds; moves = !moves; cost_before; cost_after = total_cost costs targets }
+
+let improve ?(max_rounds = 50) world ~targets =
+  Cap_obs.Span.with_span "local_search/improve" (fun () ->
+      improve_body ~max_rounds world ~targets)

@@ -38,7 +38,21 @@ let find name =
   let candidates = all @ [ grez_grec_dynamic; grez_grec_paper_regret ] in
   List.find_opt (fun t -> normalize t.name = normalize name) candidates
 
+let runs_total =
+  Cap_obs.Metrics.Counter.create "two_phase_runs_total"
+    ~help:"Completed two-phase algorithm runs"
+
+let run_seconds =
+  Cap_obs.Metrics.Histogram.create "two_phase_run_seconds"
+    ~help:"Wall time of one two-phase run (IAP + RAP)"
+
 let run t rng world =
-  let targets = t.iap rng world in
-  let contacts = t.rap rng world ~targets in
-  Cap_model.Assignment.make ~target_of_zone:targets ~contact_of_client:contacts
+  Cap_obs.Span.with_span "two_phase/run" ~attrs:[ ("algorithm", t.name) ] (fun () ->
+      let t0 = Cap_obs.Clock.now () in
+      let targets = Cap_obs.Span.with_span "two_phase/iap" (fun () -> t.iap rng world) in
+      let contacts =
+        Cap_obs.Span.with_span "two_phase/rap" (fun () -> t.rap rng world ~targets)
+      in
+      Cap_obs.Metrics.Counter.incr runs_total;
+      Cap_obs.Metrics.Histogram.observe run_seconds (Cap_obs.Clock.elapsed_since t0);
+      Cap_model.Assignment.make ~target_of_zone:targets ~contact_of_client:contacts)

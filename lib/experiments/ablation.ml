@@ -84,7 +84,7 @@ let run ?runs ?(seed = 1) () =
         List.map
           (fun algorithm ->
             let assignment, seconds =
-              Common.time_cpu (fun () -> Two_phase.run algorithm (Rng.split rng) world)
+              Common.time_wall (fun () -> Two_phase.run algorithm (Rng.split rng) world)
             in
             ( algorithm.Two_phase.name,
               (Assignment.pqos assignment world, Assignment.utilization assignment world, seconds)

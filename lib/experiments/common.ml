@@ -40,7 +40,4 @@ let run_all_algorithms rng world =
         Cap_core.Two_phase.run algorithm (Rng.split rng) world ))
     Cap_core.Two_phase.all
 
-let time_cpu f =
-  let start = Sys.time () in
-  let result = f () in
-  result, Sys.time () -. start
+let time_wall f = Cap_obs.Clock.time f

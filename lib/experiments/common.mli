@@ -35,5 +35,6 @@ val run_all_algorithms :
 (** Every paper algorithm executed on the same world (same inputs, as
     in the paper's comparisons). *)
 
-val time_cpu : (unit -> 'a) -> 'a * float
-(** Result and elapsed CPU seconds. *)
+val time_wall : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds on [Cap_obs.Clock] — the
+    one clock every reported timing uses. *)

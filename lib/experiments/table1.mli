@@ -10,8 +10,8 @@ type cell = {
 
 type optimal_cell = {
   cell : cell;
-  iap_seconds : float;      (** mean CPU time of the IAP search *)
-  rap_seconds : float;      (** mean CPU time of the RAP search *)
+  iap_seconds : float;      (** mean wall time of the IAP search *)
+  rap_seconds : float;      (** mean wall time of the RAP search *)
   proven_fraction : float;  (** runs where both phases proved optimality *)
 }
 
@@ -32,7 +32,7 @@ val run :
   t
 (** Defaults: [runs] from {!Common.default_runs}, [seed] 1,
     [with_optimal] true (small configurations only),
-    [optimal_time_limit] 5 CPU seconds per phase per run. *)
+    [optimal_time_limit] 5 wall-clock seconds per phase per run. *)
 
 val paper : (string * (string * cell) list * cell option) list
 (** The numbers printed in the paper, for side-by-side comparison:

@@ -33,7 +33,7 @@ let run ?runs ?(seed = 1) ?(optimal_time_limit = 5.) () =
               List.map
                 (fun algorithm ->
                   let _, seconds =
-                    Common.time_cpu (fun () -> Two_phase.run algorithm (Rng.split rng) world)
+                    Common.time_wall (fun () -> Two_phase.run algorithm (Rng.split rng) world)
                   in
                   algorithm.Two_phase.name, seconds)
                 Two_phase.all)

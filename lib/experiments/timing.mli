@@ -7,7 +7,7 @@
 
 type heuristic_row = {
   config : string;
-  seconds : (string * float) list;  (** algorithm -> mean CPU seconds *)
+  seconds : (string * float) list;  (** algorithm -> mean wall-clock seconds *)
 }
 
 type optimal_row = {

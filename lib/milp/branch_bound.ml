@@ -75,8 +75,28 @@ let item_order gap =
     order;
   order
 
-let solve ?(options = default_options) gap =
-  let start = Sys.time () in
+let nodes_total =
+  Cap_obs.Metrics.Counter.create "bb_nodes_total"
+    ~help:"Branch-and-bound nodes explored"
+
+let pruned_total =
+  Cap_obs.Metrics.Counter.create "bb_pruned_total"
+    ~help:"Subtrees cut off by the lower bound"
+
+let exhausted_total =
+  Cap_obs.Metrics.Counter.create "bb_budget_exhausted_total"
+    ~help:"Solves stopped by the node or time budget"
+
+let solve_seconds =
+  Cap_obs.Metrics.Histogram.create "bb_solve_seconds"
+    ~help:"Wall time of one branch-and-bound solve"
+
+let bound_name = function Combinatorial -> "combinatorial" | Lp_relaxation -> "lp_relaxation"
+
+(* The time budget is wall time on Cap_obs.Clock (Sys.time would
+   measure CPU time and drift from what users and the CLI report). *)
+let solve_body ~options gap =
+  let start = Cap_obs.Clock.now () in
   let order = item_order gap in
   let items = Array.length order in
   let servers = Gap.server_count gap in
@@ -96,10 +116,11 @@ let solve ?(options = default_options) gap =
     | Combinatorial -> combinatorial_bound
     | Lp_relaxation -> lp_bound
   in
+  let prunes = ref 0 in
   let check_budget () =
     incr nodes;
     if !nodes > options.max_nodes then raise Budget_exhausted;
-    if !nodes land 1023 = 0 && Sys.time () -. start > options.time_limit then
+    if !nodes land 1023 = 0 && Cap_obs.Clock.elapsed_since start > options.time_limit then
       raise Budget_exhausted
   in
   let rec explore position cost =
@@ -135,13 +156,24 @@ let solve ?(options = default_options) gap =
             assignment.(j) <- -1)
           children
       end
+      else incr prunes
     end
   in
   (try explore 0 0. with Budget_exhausted -> exhausted := true);
+  let elapsed = Cap_obs.Clock.elapsed_since start in
+  Cap_obs.Metrics.Counter.add nodes_total (float_of_int !nodes);
+  Cap_obs.Metrics.Counter.add pruned_total (float_of_int !prunes);
+  if !exhausted then Cap_obs.Metrics.Counter.incr exhausted_total;
+  Cap_obs.Metrics.Histogram.observe solve_seconds elapsed;
   {
     solution = !incumbent;
     objective = !incumbent_cost;
     nodes = !nodes;
-    elapsed = Sys.time () -. start;
+    elapsed;
     proven_optimal = not !exhausted;
   }
+
+let solve ?(options = default_options) gap =
+  Cap_obs.Span.with_span "branch_bound/solve"
+    ~attrs:[ ("bound", bound_name options.bound) ]
+    (fun () -> solve_body ~options gap)

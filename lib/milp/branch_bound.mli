@@ -14,7 +14,7 @@ type bound_kind =
 
 type options = {
   max_nodes : int;       (** node budget (default 2_000_000) *)
-  time_limit : float;    (** CPU seconds (default 30.) *)
+  time_limit : float;    (** wall-clock seconds on [Cap_obs.Clock] (default 30.) *)
   bound : bound_kind;    (** default [Combinatorial] *)
   initial_incumbent : (int array * float) option;
       (** warm-start solution, e.g. from a greedy heuristic *)
@@ -26,7 +26,7 @@ type result = {
   solution : int array option;  (** best assignment found, if any *)
   objective : float;            (** its cost; [infinity] if none *)
   nodes : int;                  (** search nodes expanded *)
-  elapsed : float;              (** CPU seconds *)
+  elapsed : float;              (** wall-clock seconds *)
   proven_optimal : bool;
       (** [true] when the search completed within budget: the returned
           solution is optimal (or the instance proven infeasible) *)

@@ -8,7 +8,7 @@
 
 type stats = {
   nodes : int;
-  elapsed : float;           (** CPU seconds *)
+  elapsed : float;           (** wall-clock seconds *)
   proven_optimal : bool;
   objective : float;
 }

@@ -18,7 +18,18 @@ type tableau = {
   cols : int;
 }
 
+let pivots_total =
+  Cap_obs.Metrics.Counter.create "simplex_pivots_total" ~help:"Simplex pivot operations"
+
+let solves_total =
+  Cap_obs.Metrics.Counter.create "simplex_solves_total" ~help:"Simplex solves (all phases)"
+
+(* Local tally flushed per solve: one int increment per pivot is
+   negligible next to the O(rows * cols) pivot itself. *)
+let pivot_tally = ref 0
+
 let pivot t ~row ~col =
+  incr pivot_tally;
   let prow = t.rows.(row) in
   let p = prow.(col) in
   for j = 0 to t.cols do
@@ -195,4 +206,11 @@ let solve ?max_iterations (problem : Lp.t) =
       Optimal { objective = Lp.eval_objective problem solution; solution }
 
 let solve ?max_iterations problem =
-  try solve ?max_iterations problem with Exit -> Infeasible
+  Cap_obs.Span.with_span "simplex/solve" (fun () ->
+      let before = !pivot_tally in
+      let finish outcome =
+        Cap_obs.Metrics.Counter.incr solves_total;
+        Cap_obs.Metrics.Counter.add pivots_total (float_of_int (!pivot_tally - before));
+        outcome
+      in
+      try finish (solve ?max_iterations problem) with Exit -> finish Infeasible)

@@ -1,0 +1,8 @@
+let now_ns () = Monotonic_clock.now ()
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed_since t0 = now () -. t0
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  result, now () -. t0

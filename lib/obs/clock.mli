@@ -1,0 +1,19 @@
+(** Monotonic wall clock.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] (via the bechamel
+    stub), so readings never jump backwards and measure elapsed wall
+    time — unlike [Sys.time], which measures CPU time and saturates
+    under multi-threading or sleeps. All Cap_obs timestamps and every
+    reported timing in the repo use this clock. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin (system boot). *)
+
+val now : unit -> float
+(** Seconds since the same origin, as a float. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0], in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Run a thunk and also return its wall-clock duration in seconds. *)

@@ -1,0 +1,12 @@
+let enabled = ref false
+let on () = !enabled
+
+(* Span epoch handling lives in Span, which registers a hook here to
+   avoid a dependency cycle (Span depends on Control for the flag). *)
+let on_enable : (unit -> unit) list ref = ref []
+
+let enable () =
+  enabled := true;
+  List.iter (fun f -> f ()) !on_enable
+
+let disable () = enabled := false

@@ -1,0 +1,21 @@
+(** Global telemetry switch.
+
+    Telemetry is off by default: every [Cap_obs] recording entry point
+    ([Span.with_span], [Metrics.Counter.add], ...) first consults
+    [on ()] and returns immediately when disabled, so instrumented hot
+    paths cost a single branch. Enabling is process-wide. *)
+
+val enable : unit -> unit
+(** Turn telemetry on and reset the span epoch so exported timestamps
+    are relative to this call. *)
+
+val disable : unit -> unit
+val on : unit -> bool
+
+val enabled : bool ref
+(** The raw flag, exposed so hot loops can hoist the check. Prefer
+    [on ()] elsewhere. *)
+
+val on_enable : (unit -> unit) list ref
+(** Internal: callbacks run by [enable] (used by [Span] to reset its
+    epoch without a dependency cycle). *)

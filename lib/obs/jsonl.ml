@@ -1,0 +1,51 @@
+let escape_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_json attrs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape_string k) (escape_string v))
+         attrs)
+  ^ "}"
+
+let parent_json = function None -> "null" | Some id -> string_of_int id
+
+let ms s = Printf.sprintf "%.3f" (s *. 1e3)
+
+let line = function
+  | Span.Span s ->
+      Printf.sprintf
+        "{\"type\":\"span\",\"id\":%d,\"parent\":%s,\"depth\":%d,\"name\":\"%s\",\"attrs\":%s,\"start_ms\":%s,\"dur_ms\":%s}"
+        s.Span.id
+        (parent_json s.Span.parent)
+        s.Span.depth
+        (escape_string s.Span.name)
+        (attrs_json s.Span.attrs)
+        (ms s.Span.start_s)
+        (ms s.Span.duration_s)
+  | Span.Event e ->
+      Printf.sprintf "{\"type\":\"event\",\"parent\":%s,\"name\":\"%s\",\"attrs\":%s,\"at_ms\":%s}"
+        (parent_json e.Span.e_parent)
+        (escape_string e.Span.e_name)
+        (attrs_json e.Span.e_attrs)
+        (ms e.Span.at_s)
+
+let render () =
+  String.concat "" (List.map (fun r -> line r ^ "\n") (Span.records ()))
+
+let write file =
+  let out = open_out file in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> output_string out (render ()))

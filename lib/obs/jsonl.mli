@@ -1,0 +1,10 @@
+(** JSONL export of the span/event stream: one JSON object per line,
+    chronological. Spans carry [type, id, parent, depth, name, attrs,
+    start_ms, dur_ms]; events carry [type, parent, name, attrs,
+    at_ms]. Times are milliseconds since the telemetry epoch. *)
+
+val escape_string : string -> string
+(** JSON string-body escaping (quotes, backslash, control chars). *)
+
+val render : unit -> string
+val write : string -> unit

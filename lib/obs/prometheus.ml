@@ -1,0 +1,93 @@
+let escape ~quote s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value = escape ~quote:true
+let escape_help = escape ~quote:false
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
+      ^ "}"
+
+let number v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else Printf.sprintf "%.12g" v
+
+let render () =
+  let samples = Metrics.collect () in
+  let buf = Buffer.create 4096 in
+  let seen_header = Hashtbl.create 16 in
+  let header name help kind =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.replace seen_header name ();
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  (* Group series of the same metric under one header, keeping first-
+     registration order for the groups themselves. *)
+  let groups = Hashtbl.create 16 in
+  let group_order = ref [] in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      if not (Hashtbl.mem groups s.Metrics.name) then begin
+        Hashtbl.replace groups s.Metrics.name ();
+        group_order := s.Metrics.name :: !group_order
+      end)
+    samples;
+  List.iter
+    (fun group ->
+      List.iter
+        (fun (s : Metrics.sample) ->
+          if s.Metrics.name = group then begin
+            let name = s.Metrics.name and labels = s.Metrics.labels in
+            match s.Metrics.data with
+            | Metrics.Counter_sample v ->
+                header name s.Metrics.help "counter";
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %s\n" name (label_string labels) (number v))
+            | Metrics.Gauge_sample v ->
+                header name s.Metrics.help "gauge";
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %s\n" name (label_string labels) (number v))
+            | Metrics.Histogram_sample h ->
+                header name s.Metrics.help "histogram";
+                let cumulative = ref 0 in
+                Array.iteri
+                  (fun i c ->
+                    cumulative := !cumulative + c;
+                    let le =
+                      if i >= Array.length h.bounds then "+Inf" else number h.bounds.(i)
+                    in
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_bucket%s %d\n" name
+                         (label_string (labels @ [ ("le", le) ]))
+                         !cumulative))
+                  h.counts;
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_sum%s %s\n" name (label_string labels) (number h.sum));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_count%s %d\n" name (label_string labels) h.count)
+          end)
+        samples)
+    (List.rev !group_order);
+  Buffer.contents buf
+
+let write file =
+  let out = open_out file in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> output_string out (render ()))

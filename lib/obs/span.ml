@@ -1,0 +1,93 @@
+type span = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;
+  duration_s : float;
+}
+
+type event = {
+  e_parent : int option;
+  e_name : string;
+  e_attrs : (string * string) list;
+  at_s : float;
+}
+
+type record =
+  | Span of span
+  | Event of event
+
+type frame = {
+  f_id : int;
+  f_depth : int;
+  f_name : string;
+  f_attrs : (string * string) list;
+  f_start : float;
+}
+
+let epoch = ref (Clock.now ())
+let next_id = ref 0
+let stack : frame list ref = ref []
+let finished : record list ref = ref []
+
+let reset () =
+  epoch := Clock.now ();
+  next_id := 0;
+  stack := [];
+  finished := []
+
+let () = Control.on_enable := reset :: !Control.on_enable
+
+let with_span ?(attrs = []) name f =
+  if not !Control.enabled then f ()
+  else begin
+    let id = !next_id in
+    incr next_id;
+    let parent, depth =
+      match !stack with
+      | [] -> None, 0
+      | fr :: _ -> Some fr.f_id, fr.f_depth + 1
+    in
+    let frame =
+      { f_id = id; f_depth = depth; f_name = name; f_attrs = attrs; f_start = Clock.now () }
+    in
+    stack := frame :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with fr :: rest when fr.f_id = id -> stack := rest | _ -> ());
+        finished :=
+          Span
+            {
+              id;
+              parent;
+              depth;
+              name;
+              attrs;
+              start_s = frame.f_start -. !epoch;
+              duration_s = Clock.now () -. frame.f_start;
+            }
+          :: !finished)
+      f
+  end
+
+let event ?(attrs = []) name =
+  if !Control.enabled then
+    finished :=
+      Event
+        {
+          e_parent = (match !stack with [] -> None | fr :: _ -> Some fr.f_id);
+          e_name = name;
+          e_attrs = attrs;
+          at_s = Clock.now () -. !epoch;
+        }
+      :: !finished
+
+(* Sort by start time; among spans starting on the same (coarse) clock
+   reading, creation id recovers the nesting order. *)
+let records () =
+  let key = function Span s -> (s.start_s, s.id) | Event e -> (e.at_s, max_int) in
+  List.stable_sort (fun a b -> compare (key a) (key b)) (List.rev !finished)
+
+let spans () = List.filter_map (function Span s -> Some s | Event _ -> None) (records ())

@@ -1,0 +1,47 @@
+(** Span-based tracing: nested, named spans with attributes.
+
+    [with_span] brackets a computation; finished spans accumulate in a
+    process-global buffer with parent/depth links, in start order.
+    Instantaneous [event]s share the stream. When telemetry is
+    disabled ([Control.on () = false]) [with_span] runs its thunk
+    directly — the no-op fast path costs one branch, so hot loops can
+    stay instrumented. Timestamps come from [Clock] and are reported
+    relative to the epoch (the last [Control.enable] or [reset]). *)
+
+type span = {
+  id : int;
+  parent : int option;
+  depth : int;  (** 0 for root spans *)
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;  (** seconds since the epoch *)
+  duration_s : float;
+}
+
+type event = {
+  e_parent : int option;
+  e_name : string;
+  e_attrs : (string * string) list;
+  at_s : float;
+}
+
+type record =
+  | Span of span
+  | Event of event
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** The span is recorded even if the thunk raises. Attributes are
+    captured at entry. *)
+
+val event : ?attrs:(string * string) list -> string -> unit
+(** Record an instantaneous event under the currently open span. *)
+
+val records : unit -> record list
+(** Every finished span and event, ordered by start time. Spans still
+    open (e.g. when exporting from inside [with_span]) are absent. *)
+
+val spans : unit -> span list
+(** Just the spans of [records], same order. *)
+
+val reset : unit -> unit
+(** Clear the buffer and re-anchor the epoch at now. *)

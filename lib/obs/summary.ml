@@ -1,0 +1,100 @@
+module Table = Cap_util.Table
+
+let series_name name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      name ^ "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels) ^ "}"
+
+let span_table () =
+  let table =
+    Table.create ~headers:[ "span"; "count"; "total(ms)"; "mean(ms)"; "max(ms)" ] ()
+  in
+  (* Aggregate by name, first-seen order. *)
+  let stats : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  let names = ref [] in
+  List.iter
+    (fun (s : Span.span) ->
+      let count, total, most =
+        match Hashtbl.find_opt stats s.Span.name with
+        | Some entry -> entry
+        | None ->
+            let entry = (ref 0, ref 0., ref 0.) in
+            Hashtbl.replace stats s.Span.name entry;
+            names := s.Span.name :: !names;
+            entry
+      in
+      incr count;
+      total := !total +. s.Span.duration_s;
+      most := max !most s.Span.duration_s)
+    (Span.spans ());
+  List.iter
+    (fun name ->
+      let count, total, most = Hashtbl.find stats name in
+      Table.add_row table
+        [
+          name;
+          string_of_int !count;
+          Table.cell_float ~decimals:3 (!total *. 1e3);
+          Table.cell_float ~decimals:3 (!total *. 1e3 /. float_of_int !count);
+          Table.cell_float ~decimals:3 (!most *. 1e3);
+        ])
+    (List.rev !names);
+  table
+
+let metrics_table () =
+  let table = Table.create ~headers:[ "metric"; "value" ] () in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match s.Metrics.data with
+      | Metrics.Counter_sample v | Metrics.Gauge_sample v ->
+          Table.add_row table
+            [ series_name s.Metrics.name s.Metrics.labels; Printf.sprintf "%.12g" v ]
+      | Metrics.Histogram_sample _ -> ())
+    (Metrics.collect ());
+  table
+
+let histogram_table () =
+  let table =
+    Table.create ~headers:[ "histogram"; "count"; "mean"; "p50"; "p95"; "max" ] ()
+  in
+  let cell v = if Float.is_nan v then "-" else Table.cell_float ~decimals:4 v in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match s.Metrics.data with
+      | Metrics.Histogram_sample h ->
+          let quantile q =
+            Metrics.Histogram.estimate_quantile ~bounds:h.bounds ~counts:h.counts
+              ~count:h.count ~minimum:h.min ~maximum:h.max q
+          in
+          let mean = if h.count = 0 then nan else h.sum /. float_of_int h.count in
+          Table.add_row table
+            [
+              series_name s.Metrics.name s.Metrics.labels;
+              string_of_int h.count;
+              cell mean;
+              cell (quantile 0.5);
+              cell (quantile 0.95);
+              cell (if h.count = 0 then nan else h.max);
+            ]
+      | Metrics.Counter_sample _ | Metrics.Gauge_sample _ -> ())
+    (Metrics.collect ());
+  table
+
+let render () =
+  let section title table =
+    (* a table with only headers renders two lines (header + rule) *)
+    let body = Table.render table in
+    if List.length (String.split_on_char '\n' body) <= 3 then ""
+    else Printf.sprintf "== %s ==\n%s" title body
+  in
+  String.concat ""
+    (List.filter
+       (fun s -> s <> "")
+       [
+         section "spans" (span_table ());
+         section "counters & gauges" (metrics_table ());
+         section "histograms" (histogram_table ());
+       ])
+
+let print () = print_string (render ())

@@ -91,7 +91,29 @@ let validate_movement config ~zones =
       if Cap_model.Zone_map.zone_count map <> zones then
         invalid_arg "Dve_sim: zone map does not match the world's zone count"
 
-let run rng config ~world ~algorithm =
+let events_total ~kind =
+  Cap_obs.Metrics.Counter.create "sim_events_total" ~labels:[ ("type", kind) ]
+    ~help:"Simulation events processed, by type"
+
+let arrival_events = events_total ~kind:"arrival"
+let departure_events = events_total ~kind:"departure"
+let move_events = events_total ~kind:"move"
+let sample_events = events_total ~kind:"sample"
+let flash_events = events_total ~kind:"flash"
+
+let reassignments_total =
+  Cap_obs.Metrics.Counter.create "sim_reassignments_total"
+    ~help:"Full reassignments triggered by the policy"
+
+let reassign_seconds =
+  Cap_obs.Metrics.Histogram.create "sim_reassign_seconds"
+    ~help:"Wall time of one policy-triggered reassignment"
+
+let live_clients_gauge =
+  Cap_obs.Metrics.Gauge.create "sim_live_clients"
+    ~help:"Connected clients at the last processed event"
+
+let run_body rng config ~world ~algorithm =
   validate config;
   validate_movement config ~zones:(World.zone_count world);
   validate_diurnal config ~regions:world.World.regions;
@@ -144,6 +166,7 @@ let run rng config ~world ~algorithm =
     ids, w, a
   in
   let reassign () =
+    let t0 = Cap_obs.Clock.now () in
     let ids, w, _ = snapshot () in
     let assignment = Two_phase.run algorithm rng w in
     targets := Array.copy assignment.Assignment.target_of_zone;
@@ -152,7 +175,9 @@ let run rng config ~world ~algorithm =
         let c = Hashtbl.find clients id in
         c.contact <- assignment.Assignment.contact_of_client.(i))
       ids;
-    incr reassignments
+    incr reassignments;
+    Cap_obs.Metrics.Counter.incr reassignments_total;
+    Cap_obs.Metrics.Histogram.observe reassign_seconds (Cap_obs.Clock.elapsed_since t0)
   in
   let schedule_departure id at =
     Event_queue.schedule queue
@@ -196,6 +221,7 @@ let run rng config ~world ~algorithm =
   | Some f -> Event_queue.schedule queue ~time:f.at (Flash f)
   | None -> ());
   let sample_metrics at =
+    Cap_obs.Metrics.Gauge.set live_clients_gauge (float_of_int (Hashtbl.length clients));
     let _, w, a = snapshot () in
     let pqos = Assignment.pqos a w in
     Trace.record trace
@@ -216,14 +242,18 @@ let run rng config ~world ~algorithm =
     | Some (at, event) -> (
         match event with
         | Arrival ->
+            Cap_obs.Metrics.Counter.incr arrival_events;
             let node = sample_arrival_node at in
             let zone = Distribution.sample_zone sampler rng ~node in
             ignore (spawn ~node ~zone ~contact:!targets.(zone) ~at);
             Event_queue.schedule queue
               ~time:(at +. Rng.exponential rng ~rate:config.arrival_rate)
               Arrival
-        | Departure id -> Hashtbl.remove clients id
+        | Departure id ->
+            Cap_obs.Metrics.Counter.incr departure_events;
+            Hashtbl.remove clients id
         | Move id -> (
+            Cap_obs.Metrics.Counter.incr move_events;
             match Hashtbl.find_opt clients id with
             | None -> ()
             | Some c ->
@@ -233,6 +263,7 @@ let run rng config ~world ~algorithm =
                    | Roam map -> Cap_model.Zone_map.random_neighbor rng map c.zone));
                 schedule_move id at)
         | Sample ->
+            Cap_obs.Metrics.Counter.incr sample_events;
             let pqos = sample_metrics at in
             (match config.policy with
             | Policy.On_threshold threshold when pqos < threshold -> reassign ()
@@ -245,6 +276,7 @@ let run rng config ~world ~algorithm =
                 Event_queue.schedule queue ~time:(at +. period) Reassign
             | Policy.Never | Policy.On_threshold _ -> ())
         | Flash f ->
+            Cap_obs.Metrics.Counter.incr flash_events;
             let zone =
               match f.target_zone with
               | Some z -> z
@@ -262,3 +294,6 @@ let run rng config ~world ~algorithm =
   done;
   let _, final_world, final_assignment = snapshot () in
   { trace; reassignments = !reassignments; final_world; final_assignment }
+
+let run rng config ~world ~algorithm =
+  Cap_obs.Span.with_span "dve_sim/run" (fun () -> run_body rng config ~world ~algorithm)

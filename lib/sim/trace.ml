@@ -42,3 +42,33 @@ let to_table t =
   table
 
 let to_csv t = Table.to_csv (to_table t)
+
+let csv_header = "time,clients,pQoS,util,reassigns"
+
+let of_csv csv =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' csv)
+  in
+  match lines with
+  | [] -> invalid_arg "Trace.of_csv: empty input"
+  | header :: rows ->
+      if String.trim header <> csv_header then
+        invalid_arg ("Trace.of_csv: unexpected header: " ^ header);
+      let t = create () in
+      List.iter
+        (fun row ->
+          match String.split_on_char ',' row with
+          | [ time; clients; pqos; utilization; reassignments ] -> (
+              match
+                ( float_of_string_opt time,
+                  int_of_string_opt clients,
+                  float_of_string_opt pqos,
+                  float_of_string_opt utilization,
+                  int_of_string_opt reassignments )
+              with
+              | Some time, Some clients, Some pqos, Some utilization, Some reassignments ->
+                  record t { time; clients; pqos; utilization; reassignments }
+              | _ -> invalid_arg ("Trace.of_csv: malformed row: " ^ row))
+          | _ -> invalid_arg ("Trace.of_csv: malformed row: " ^ row))
+        rows;
+      t

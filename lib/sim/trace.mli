@@ -27,3 +27,8 @@ val final : t -> point option
 
 val to_table : t -> Cap_util.Table.t
 val to_csv : t -> string
+
+val of_csv : string -> t
+(** Parse [to_csv] output back into a trace (values at the CSV's
+    printed precision: time to 0.1, pQoS/utilization to 0.001).
+    Raises [Invalid_argument] on a malformed header or row. *)
