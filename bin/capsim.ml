@@ -396,12 +396,33 @@ let plots_cmd =
 (* ------------------------------------------------------------------ *)
 (* sim                                                                 *)
 
+let parse_policy s =
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "never" ] -> Ok Cap_sim.Policy.Never
+  | [ "periodic"; v ] -> (
+      match float_of_string_opt v with
+      | Some f when f > 0. -> Ok (Cap_sim.Policy.Periodic f)
+      | Some _ | None -> Error "periodic: bad period")
+  | [ "threshold"; v ] -> (
+      match float_of_string_opt v with
+      | Some f when f > 0. && f <= 1. ->
+          Ok (Cap_sim.Policy.On_threshold { pqos = f; min_interval = 0. })
+      | Some _ | None -> Error "threshold: bad level")
+  | [ "threshold"; v; cooldown ] -> (
+      match float_of_string_opt v, float_of_string_opt cooldown with
+      | Some f, Some c when f > 0. && f <= 1. && c >= 0. ->
+          Ok (Cap_sim.Policy.On_threshold { pqos = f; min_interval = c })
+      | _ -> Error "threshold: bad level or cooldown")
+  | _ -> Error ("unknown policy: " ^ s)
+
 let sim_cmd =
   let duration_arg =
     Arg.(value & opt float 600. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
   in
   let policy_arg =
-    let doc = "Reassignment policy: never, periodic:SECONDS, or threshold:PQOS." in
+    let doc =
+      "Reassignment policy: never, periodic:SECONDS, or threshold:PQOS[:COOLDOWN]."
+    in
     Arg.(value & opt string "periodic:100" & info [ "policy" ] ~docv:"POLICY" ~doc)
   in
   let algorithm_arg =
@@ -422,19 +443,6 @@ let sim_cmd =
   let trace_csv_arg =
     let doc = "Also write the time series to this CSV file." in
     Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
-  in
-  let parse_policy s =
-    match String.split_on_char ':' (String.lowercase_ascii s) with
-    | [ "never" ] -> Ok Cap_sim.Policy.Never
-    | [ "periodic"; v ] -> (
-        match float_of_string_opt v with
-        | Some f when f > 0. -> Ok (Cap_sim.Policy.Periodic f)
-        | Some _ | None -> Error "periodic: bad period")
-    | [ "threshold"; v ] -> (
-        match float_of_string_opt v with
-        | Some f when f > 0. && f <= 1. -> Ok (Cap_sim.Policy.On_threshold f)
-        | Some _ | None -> Error "threshold: bad level")
-    | _ -> Error ("unknown policy: " ^ s)
   in
   let parse_flash s =
     match String.split_on_char ':' s with
@@ -512,7 +520,192 @@ let sim_cmd =
   in
   Cmd.v (Cmd.info "sim" ~doc:"Run the dynamic churn simulation.") term
 
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+
+let chaos_cmd =
+  let module Fault = Cap_faults.Fault in
+  let duration_arg =
+    Arg.(value & opt float 600. & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
+  in
+  let policy_arg =
+    let doc =
+      "Reassignment policy: never, periodic:SECONDS, or threshold:PQOS[:COOLDOWN]."
+    in
+    Arg.(value & opt string "periodic:100" & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let algorithm_arg =
+    Arg.(value & opt string "GreZ-GreC" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"Algorithm.")
+  in
+  let crash_arg =
+    let doc =
+      "Crash SERVER at time AT. SERVER is an index, or 'max' for the initially \
+       most-loaded server. Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "crash" ] ~docv:"AT:SERVER" ~doc)
+  in
+  let recover_arg =
+    let doc = "Recover SERVER at time AT. Repeatable." in
+    Arg.(value & opt_all string [] & info [ "recover" ] ~docv:"AT:SERVER" ~doc)
+  in
+  let degrade_arg =
+    let doc = "Add MS of delay to every path through SERVER from time AT. Repeatable." in
+    Arg.(value & opt_all string [] & info [ "degrade" ] ~docv:"AT:SERVER:MS" ~doc)
+  in
+  let mtbf_arg =
+    let doc = "Mean time between failures for the Poisson fault generator (with --mttr)." in
+    Arg.(value & opt (some float) None & info [ "mtbf" ] ~docv:"SECONDS" ~doc)
+  in
+  let mttr_arg =
+    let doc = "Mean time to repair for the Poisson fault generator (with --mtbf)." in
+    Arg.(value & opt (some float) None & info [ "mttr" ] ~docv:"SECONDS" ~doc)
+  in
+  let failover_moves_arg =
+    let doc = "Zone-move budget for each failure-aware refresh (evacuations are free)." in
+    Arg.(value & opt int 16 & info [ "failover-moves" ] ~docv:"N" ~doc)
+  in
+  let trace_csv_arg =
+    let doc = "Also write the time series to this CSV file." in
+    Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
+  in
+  (* "AT:SERVER" or "AT:SERVER:MS"; SERVER is an index or "max" *)
+  let parse_spec kind s =
+    let server_of = function
+      | "max" -> Ok `Max
+      | tok -> (
+          match int_of_string_opt tok with
+          | Some i when i >= 0 -> Ok (`Index i)
+          | Some _ | None -> Error (Printf.sprintf "bad %s spec: %s" kind s))
+    in
+    let parts = String.split_on_char ':' s in
+    match kind, parts with
+    | ("crash" | "recover"), [ at; server ] -> (
+        match float_of_string_opt at, server_of server with
+        | Some at, Ok server -> Ok (at, server, None)
+        | _ -> Error (Printf.sprintf "bad %s spec: %s" kind s))
+    | "degrade", [ at; server; ms ] -> (
+        match float_of_string_opt at, server_of server, float_of_string_opt ms with
+        | Some at, Ok server, Some ms -> Ok (at, server, Some ms)
+        | _ -> Error (Printf.sprintf "bad %s spec: %s" kind s))
+    | _ -> Error (Printf.sprintf "bad %s spec: %s (expected AT:SERVER%s)" kind s
+                    (if kind = "degrade" then ":MS" else ""))
+  in
+  let parse_all kind specs =
+    List.fold_right
+      (fun s acc ->
+        match acc, parse_spec kind s with
+        | Error e, _ | _, Error e -> Error e
+        | Ok tail, Ok spec -> Ok ((kind, spec) :: tail))
+      specs (Ok [])
+  in
+  let run obs config seed duration policy algorithm failover_moves crashes recovers
+      degrades mtbf mttr trace_csv =
+    with_obs obs @@ fun () ->
+    let specs =
+      match parse_all "crash" crashes, parse_all "recover" recovers,
+            parse_all "degrade" degrades with
+      | Ok c, Ok r, Ok d -> Ok (c @ r @ d)
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+    in
+    match scenario_of_string config, parse_policy policy,
+          Cap_core.Two_phase.find algorithm, specs with
+    | Error (`Msg m), _, _, _ | _, Error m, _, _ | _, _, _, Error m ->
+        prerr_endline m;
+        1
+    | _, _, None, _ ->
+        Printf.eprintf "unknown algorithm: %s\n" algorithm;
+        1
+    | Ok scenario, Ok policy, Some algorithm, Ok specs -> (
+        try
+          let rng = Rng.create ~seed in
+          let world = World.generate rng scenario in
+          let most_loaded =
+            (* resolved against the initial assignment, before any churn *)
+            if List.exists (fun (_, (_, server, _)) -> server = `Max) specs then begin
+              let a = Cap_core.Two_phase.run algorithm (Rng.split rng) world in
+              let loads = Assignment.server_loads a world in
+              let best = ref 0 in
+              Array.iteri (fun s l -> if l > loads.(!best) then best := s) loads;
+              Printf.printf "resolved 'max' to server %d (initially most loaded)\n" !best;
+              Some !best
+            end
+            else None
+          in
+          let resolve = function `Index i -> i | `Max -> Option.get most_loaded in
+          let manual =
+            List.map
+              (fun (kind, (at, server, ms)) ->
+                let server = resolve server in
+                let event =
+                  match kind, ms with
+                  | "crash", _ -> Fault.Crash server
+                  | "recover", _ -> Fault.Recover server
+                  | "degrade", Some delay_penalty -> Fault.Degrade { server; delay_penalty }
+                  | _ -> assert false
+                in
+                { Fault.at; event })
+              specs
+          in
+          let generated =
+            match mtbf, mttr with
+            | Some mtbf, Some mttr ->
+                Fault.poisson (Rng.split rng) ~servers:(World.server_count world) ~mtbf
+                  ~mttr ~duration
+            | None, None -> []
+            | _ -> invalid_arg "chaos: --mtbf and --mttr must be given together"
+          in
+          let faults = Fault.merge [ manual; generated ] in
+          if faults = [] then
+            invalid_arg "chaos: no faults given (use --crash/--degrade or --mtbf/--mttr)";
+          Printf.printf "fault schedule: %s\n" (Fault.describe faults);
+          let config =
+            {
+              Cap_sim.Dve_sim.default_config with
+              duration;
+              policy;
+              faults;
+              failover_moves;
+            }
+          in
+          let outcome = Cap_sim.Dve_sim.run rng config ~world ~algorithm in
+          Table.print (Cap_sim.Trace.to_table outcome.Cap_sim.Dve_sim.trace);
+          Printf.printf "reassignments: %d\n" outcome.Cap_sim.Dve_sim.reassignments;
+          let report = Cap_sim.Chaos.analyze outcome in
+          Table.print (Cap_sim.Chaos.to_table outcome report);
+          (match trace_csv with
+          | None -> ()
+          | Some file ->
+              let out = open_out file in
+              output_string out (Cap_sim.Trace.to_csv outcome.Cap_sim.Dve_sim.trace);
+              close_out out;
+              Printf.printf "wrote trace to %s\n" file);
+          match report.Cap_sim.Chaos.invariant_violations with
+          | [] -> 0
+          | violations ->
+              Printf.eprintf "INVARIANT VIOLATIONS (%d):\n" (List.length violations);
+              List.iter (Printf.eprintf "  %s\n") violations;
+              1
+        with Invalid_argument m ->
+          prerr_endline m;
+          1)
+  in
+  let term =
+    Term.(
+      const run $ obs_term $ config_arg $ seed_arg $ duration_arg $ policy_arg
+      $ algorithm_arg $ failover_moves_arg $ crash_arg $ recover_arg $ degrade_arg
+      $ mtbf_arg $ mttr_arg $ trace_csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the churn simulation under an injected server-fault schedule and report \
+          availability, MTTR and pQoS-during-failure.")
+    term
+
 let () =
   let doc = "client-to-server assignment for distributed virtual environments" in
   let info = Cmd.info "capsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ report_cmd; run_cmd; compare_cmd; optimal_cmd; plan_cmd; sim_cmd; plots_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ report_cmd; run_cmd; compare_cmd; optimal_cmd; plan_cmd; sim_cmd; chaos_cmd; plots_cmd ]))

@@ -76,5 +76,5 @@ let () =
           Printf.sprintf "%.3f" (Cap_sim.Trace.min_pqos trace);
           string_of_int outcome.Cap_sim.Dve_sim.reassignments;
         ])
-    [ Cap_sim.Policy.Never; Cap_sim.Policy.On_threshold 0.85 ];
+    [ Cap_sim.Policy.Never; Cap_sim.Policy.On_threshold { pqos = 0.85; min_interval = 0. } ];
   Table.print summary

@@ -15,7 +15,7 @@ let () =
     [
       Cap_sim.Policy.Never;
       Cap_sim.Policy.Periodic 120.;
-      Cap_sim.Policy.On_threshold 0.88;
+      Cap_sim.Policy.On_threshold { pqos = 0.88; min_interval = 0. };
     ]
   in
   let summary =

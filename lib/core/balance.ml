@@ -33,7 +33,7 @@ let assign world =
       let server =
         match !best with
         | Some (s, _) -> s
-        | None -> Server_load.fallback_server ~loads ~capacities
+        | None -> Server_load.fallback_server ~loads ~capacities ()
       in
       targets.(z) <- server;
       loads.(server) <- loads.(server) +. rates.(z))

@@ -1,6 +1,7 @@
 module World = Cap_model.World
 module Traffic = Cap_model.Traffic
 module Scenario = Cap_model.Scenario
+module Assignment = Cap_model.Assignment
 
 let late_clients_total =
   Cap_obs.Metrics.Counter.create "grec_late_clients_total"
@@ -10,7 +11,12 @@ let refined_clients_total =
   Cap_obs.Metrics.Counter.create "grec_refined_clients_total"
     ~help:"Late clients actually moved to a cheaper contact server"
 
-let assign ?(rule = Regret.Best_minus_second) world ~targets =
+let assign ?(rule = Regret.Best_minus_second) ?alive world ~targets =
+  (match alive with
+  | Some mask when Array.length mask <> World.server_count world ->
+      invalid_arg "Grec.assign: alive mask does not match the world's servers"
+  | Some _ | None -> ());
+  let usable s = match alive with None -> true | Some mask -> mask.(s) in
   let k = World.client_count world in
   let bound = world.World.scenario.Scenario.delay_bound in
   let traffic = world.World.scenario.Scenario.traffic in
@@ -21,14 +27,16 @@ let assign ?(rule = Regret.Best_minus_second) world ~targets =
   let loads = Array.make (World.server_count world) 0. in
   Array.iteri
     (fun z target ->
-      loads.(target) <- loads.(target) +. Traffic.zone_rate traffic ~population:population.(z))
+      if target <> Assignment.unassigned then
+        loads.(target) <- loads.(target) +. Traffic.zone_rate traffic ~population:population.(z))
     targets;
   let contacts = Array.make k 0 in
   let late = ref [] in
   for c = k - 1 downto 0 do
     let target = targets.(world.World.client_zones.(c)) in
     contacts.(c) <- target;
-    if World.client_server_rtt world ~client:c ~server:target > bound then late := c :: !late
+    if target <> Assignment.unassigned then
+      if World.client_server_rtt world ~client:c ~server:target > bound then late := c :: !late
   done;
   let forwarding c =
     Traffic.forwarding_rate traffic ~zone_population:population.(world.World.client_zones.(c))
@@ -50,7 +58,8 @@ let assign ?(rule = Regret.Best_minus_second) world ~targets =
           (fun acc (s, _) ->
             match acc with
             | Some _ -> acc
-            | None -> if loads.(s) +. extra s <= capacities.(s) then Some s else None)
+            | None ->
+                if usable s && loads.(s) +. extra s <= capacities.(s) then Some s else None)
           None item.Regret.prefs
       in
       match chosen with

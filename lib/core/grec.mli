@@ -8,8 +8,18 @@
     bandwidth and is always feasible, so the phase always completes). *)
 
 val assign :
-  ?rule:Regret.rule -> Cap_model.World.t -> targets:int array -> int array
+  ?rule:Regret.rule ->
+  ?alive:bool array ->
+  Cap_model.World.t ->
+  targets:int array ->
+  int array
 (** Contact server of each client, deterministically. Desirability
     ties are broken towards the lower relayed delay, then the lower
     server index. Server loads start from the zone loads implied by
-    [targets]. *)
+    [targets].
+
+    Failure awareness: a zone whose target is
+    {!Cap_model.Assignment.unassigned} contributes no load and its
+    clients get the [unassigned] contact (they are shed, not crashed).
+    With an [alive] mask, dead servers are never chosen as contacts.
+    Raises [Invalid_argument] on a mask-length mismatch. *)

@@ -28,7 +28,12 @@ let fallback_placements_total =
   Cap_obs.Metrics.Counter.create "grez_fallback_placements_total"
     ~help:"Zones that fit no server and went to the fallback"
 
-let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) world =
+let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) ?alive world =
+  (match alive with
+  | Some mask when Array.length mask <> World.server_count world ->
+      invalid_arg "Grez.assign: alive mask does not match the world's servers"
+  | Some _ | None -> ());
+  let usable s = match alive with None -> true | Some mask -> mask.(s) in
   let n = World.zone_count world in
   let fallbacks = ref 0 in
   let costs = Cost.initial_matrix world in
@@ -41,7 +46,7 @@ let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) world =
     targets.(z) <- s;
     loads.(s) <- loads.(s) +. rates.(z)
   in
-  let feasible z s = loads.(s) +. rates.(z) <= capacities.(s) in
+  let feasible z s = usable s && loads.(s) +. rates.(z) <= capacities.(s) in
   if not dynamic then begin
     let items =
       Regret.order
@@ -64,7 +69,7 @@ let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) world =
         | Some s -> place z s
         | None ->
             incr fallbacks;
-            place z (Server_load.fallback_server ~loads ~capacities))
+            place z (Server_load.fallback_server ?alive ~loads ~capacities ()))
       items
   end
   else begin
@@ -129,7 +134,7 @@ let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) world =
           List.iter
             (fun z ->
               incr fallbacks;
-              place z (Server_load.fallback_server ~loads ~capacities))
+              place z (Server_load.fallback_server ?alive ~loads ~capacities ()))
             !remaining;
           remaining := []
     done

@@ -11,6 +11,7 @@
 val assign :
   ?rule:Regret.rule ->
   ?dynamic:bool ->
+  ?alive:bool array ->
   Cap_model.World.t ->
   int array
 (** Returns the target server of each zone, deterministically.
@@ -21,4 +22,9 @@ val assign :
     of once up front — an extension ablated in the experiments.
     Desirability ties are broken towards the server with the lower mean
     observed delay to the zone's clients. Infeasible leftovers fall
-    back to the largest-residual server, as in {!Ranz}. *)
+    back to the largest-residual server, as in {!Ranz}.
+
+    [alive] (default: all servers) restricts placement to the servers
+    whose entry is [true]; dead servers are never targeted, even by the
+    fallback. Raises [Invalid_argument] if the mask's length does not
+    match the world's servers or if it leaves no alive server. *)

@@ -29,29 +29,50 @@ let refreshes_total =
   Cap_obs.Metrics.Counter.create "incremental_refreshes_total"
     ~help:"Incremental refresh invocations"
 
-let refresh_body ~max_zone_moves world ~previous =
+let evacuations_total =
+  Cap_obs.Metrics.Counter.create "incremental_evacuations_total"
+    ~help:"Zones moved off dead servers (or shed) by failure-aware refreshes"
+
+let shed_zones_total =
+  Cap_obs.Metrics.Counter.create "incremental_shed_zones_total"
+    ~help:"Zones left unassigned because no alive server could host them"
+
+let refresh_body ~max_zone_moves ?alive world ~previous =
   let zones = World.zone_count world in
   if Array.length previous.Assignment.target_of_zone <> zones then
     invalid_arg "Incremental.refresh: assignment does not match the world";
+  (match alive with
+  | Some mask when Array.length mask <> World.server_count world ->
+      invalid_arg "Incremental.refresh: alive mask does not match the world's servers"
+  | Some _ | None -> ());
+  let usable s = match alive with None -> true | Some mask -> mask.(s) in
   let targets = Array.copy previous.Assignment.target_of_zone in
   let rates = Server_load.zone_rates world in
   let capacities = world.World.capacities in
   let loads = Array.make (World.server_count world) 0. in
-  Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) targets;
+  Array.iteri
+    (fun z s -> if s <> Assignment.unassigned then loads.(s) <- loads.(s) +. rates.(z))
+    targets;
   let costs = Cost.initial_matrix world in
   let budget = ref (max max_zone_moves 0) in
-  let move z destination =
-    loads.(targets.(z)) <- loads.(targets.(z)) -. rates.(z);
+  (* Re-target a zone; decrementing the budget is the caller's call
+     because forced evacuations off dead servers are never budgeted. *)
+  let place z destination =
+    if targets.(z) <> Assignment.unassigned then
+      loads.(targets.(z)) <- loads.(targets.(z)) -. rates.(z);
     loads.(destination) <- loads.(destination) +. rates.(z);
-    targets.(z) <- destination;
+    targets.(z) <- destination
+  in
+  let move z destination =
+    place z destination;
     decr budget
   in
-  (* Cheapest feasible destination for a zone, by C^I then load. *)
+  (* Cheapest feasible alive destination for a zone, by C^I then load. *)
   let best_destination z =
     let best = ref None in
     Array.iteri
       (fun s load ->
-        if s <> targets.(z) && load +. rates.(z) <= capacities.(s) then begin
+        if s <> targets.(z) && usable s && load +. rates.(z) <= capacities.(s) then begin
           let cost = costs.(z).(s) in
           match !best with
           | Some (_, c, l) when c < cost || (c = cost && l <= load) -> ()
@@ -60,6 +81,38 @@ let refresh_body ~max_zone_moves world ~previous =
       loads;
     match !best with Some (s, cost, _) -> Some (s, cost) | None -> None
   in
+  (* Phase 0 (failure-aware only): evacuate zones orphaned on dead
+     servers, and try to re-admit zones that a previous degradation
+     left unassigned. These moves are mandatory for correctness — a
+     dead server must end up hosting nothing — so they do not consume
+     the optimization budget. Largest zones first: they are the
+     hardest to fit, and placing them before the small ones is the
+     classic decreasing-first bin-packing order. A zone that fits on
+     no alive server is shed ([Assignment.unassigned]) instead of
+     overloading a survivor or raising. *)
+  if alive <> None then begin
+    let homeless = ref [] in
+    Array.iteri
+      (fun z s ->
+        if s = Assignment.unassigned then homeless := z :: !homeless
+        else if not (usable s) then begin
+          (* lift the zone off the dead server before re-placing *)
+          loads.(s) <- loads.(s) -. rates.(z);
+          targets.(z) <- Assignment.unassigned;
+          homeless := z :: !homeless;
+          Cap_obs.Metrics.Counter.incr evacuations_total
+        end)
+      targets;
+    let homeless =
+      List.sort (fun z1 z2 -> compare (rates.(z2), z1) (rates.(z1), z2)) !homeless
+    in
+    List.iter
+      (fun z ->
+        match best_destination z with
+        | Some (destination, _) -> place z destination
+        | None -> Cap_obs.Metrics.Counter.incr shed_zones_total)
+      homeless
+  end;
   (* Phase 1: repair capacity violations (churn can overload a server
      that was fine before). Move the smallest zones off the most
      overloaded server first: they are the cheapest handoffs. *)
@@ -68,7 +121,7 @@ let refresh_body ~max_zone_moves world ~previous =
     Array.iteri
       (fun s load ->
         let excess = load -. capacities.(s) in
-        if excess > 1e-9 then begin
+        if usable s && excess > 1e-9 then begin
           match !worst with
           | Some (_, e) when e >= excess -> ()
           | _ -> worst := Some (s, excess)
@@ -104,27 +157,28 @@ let refresh_body ~max_zone_moves world ~previous =
     let best = ref None in
     Array.iteri
       (fun z current ->
-        match best_destination z with
-        | Some (destination, cost) ->
-            let gain = costs.(z).(current) - cost in
-            if gain > 0 then begin
-              match !best with
-              | Some (_, _, g) when g >= gain -> ()
-              | _ -> best := Some (z, destination, gain)
-            end
-        | None -> ())
+        if current <> Assignment.unassigned then
+          match best_destination z with
+          | Some (destination, cost) ->
+              let gain = costs.(z).(current) - cost in
+              if gain > 0 then begin
+                match !best with
+                | Some (_, _, g) when g >= gain -> ()
+                | _ -> best := Some (z, destination, gain)
+              end
+          | None -> ())
       targets;
     match !best with
     | Some (z, destination, _) -> move z destination
     | None -> continue_improving := false
   done;
-  let contacts = Grec.assign world ~targets in
+  let contacts = Grec.assign ?alive world ~targets in
   let current = Assignment.make ~target_of_zone:targets ~contact_of_client:contacts in
   let migration = migration_between ~previous ~current in
   Cap_obs.Metrics.Counter.incr refreshes_total;
   Cap_obs.Metrics.Counter.add zone_moves_total (float_of_int migration.zone_moves);
   current, migration
 
-let refresh ?(max_zone_moves = 8) world ~previous =
+let refresh ?(max_zone_moves = 8) ?alive world ~previous =
   Cap_obs.Span.with_span "incremental/refresh" (fun () ->
-      refresh_body ~max_zone_moves world ~previous)
+      refresh_body ~max_zone_moves ?alive world ~previous)

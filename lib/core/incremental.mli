@@ -22,6 +22,7 @@ val migration_between :
 
 val refresh :
   ?max_zone_moves:int ->
+  ?alive:bool array ->
   Cap_model.World.t ->
   previous:Cap_model.Assignment.t ->
   Cap_model.Assignment.t * migration
@@ -29,4 +30,15 @@ val refresh :
     match [world]'s current zones and clients — after churn, first run
     {!Cap_model.Churn.adapt}) using at most [max_zone_moves] zone
     relocations (default 8). Contacts are always recomputed with GreC.
-    The reported migration is measured against [previous]. *)
+    The reported migration is measured against [previous].
+
+    With an [alive] mask this is the failover path: zones orphaned on
+    dead servers are first evacuated to the cheapest alive server with
+    room (largest zones first), and zones left unassigned by an earlier
+    failure are re-admitted when capacity has returned. These forced
+    moves do not consume [max_zone_moves] — only the optimization
+    phases are budgeted — and a zone that fits on no alive server is
+    shed to {!Cap_model.Assignment.unassigned} (its clients too) rather
+    than raising or overloading a survivor. Dead servers are never a
+    destination, for zones or contacts. Raises [Invalid_argument] on a
+    mask-length mismatch. *)

@@ -25,7 +25,7 @@ let assign rng world =
         loads;
       let server =
         match !feasible with
-        | [] -> Server_load.fallback_server ~loads ~capacities
+        | [] -> Server_load.fallback_server ~loads ~capacities ()
         | candidates -> Rng.choice rng (Array.of_list candidates)
       in
       targets.(z) <- server;

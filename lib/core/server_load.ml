@@ -6,14 +6,19 @@ let zone_rates world =
   let traffic = world.World.scenario.Scenario.traffic in
   Array.map (fun population -> Traffic.zone_rate traffic ~population) (World.zone_population world)
 
-let fallback_server ~loads ~capacities =
-  let best = ref 0 and best_residual = ref neg_infinity in
+let usable alive s = match alive with None -> true | Some mask -> mask.(s)
+
+let fallback_server ?alive ~loads ~capacities () =
+  let best = ref (-1) and best_residual = ref neg_infinity in
   Array.iteri
     (fun s load ->
-      let residual = capacities.(s) -. load in
-      if residual > !best_residual then begin
-        best := s;
-        best_residual := residual
+      if usable alive s then begin
+        let residual = capacities.(s) -. load in
+        if residual > !best_residual then begin
+          best := s;
+          best_residual := residual
+        end
       end)
     loads;
+  if !best < 0 then invalid_arg "Server_load.fallback_server: no alive server";
   !best

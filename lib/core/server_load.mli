@@ -4,6 +4,9 @@ val zone_rates : Cap_model.World.t -> float array
 (** Bandwidth [R_z] of each zone in bits/s under the current
     populations. *)
 
-val fallback_server : loads:float array -> capacities:float array -> int
+val fallback_server :
+  ?alive:bool array -> loads:float array -> capacities:float array -> unit -> int
 (** Server with the largest residual capacity — the destination of a
-    zone that fits nowhere (infeasible instances only). *)
+    zone that fits nowhere (infeasible instances only). Servers whose
+    [alive] entry is false are never chosen; raises [Invalid_argument]
+    when the mask leaves no candidate. *)

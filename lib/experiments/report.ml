@@ -48,7 +48,7 @@ let banner title =
 let run_dynamics ?(runs = 3) ?(seed = 1) () =
   let scenario = Cap_model.Scenario.default in
   let policies =
-    [ Cap_sim.Policy.Never; Cap_sim.Policy.Periodic 100.; Cap_sim.Policy.On_threshold 0.9 ]
+    [ Cap_sim.Policy.Never; Cap_sim.Policy.Periodic 100.; Cap_sim.Policy.On_threshold { pqos = 0.9; min_interval = 0. } ]
   in
   let table =
     Table.create

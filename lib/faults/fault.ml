@@ -1,0 +1,105 @@
+module Rng = Cap_util.Rng
+
+type event =
+  | Crash of int
+  | Recover of int
+  | Degrade of { server : int; delay_penalty : float }
+
+type timed = {
+  at : float;
+  event : event;
+}
+
+type schedule = timed list
+
+let server_of = function
+  | Crash s | Recover s | Degrade { server = s; _ } -> s
+
+let describe_event = function
+  | Crash s -> Printf.sprintf "crash(s%d)" s
+  | Recover s -> Printf.sprintf "recover(s%d)" s
+  | Degrade { server; delay_penalty } ->
+      Printf.sprintf "degrade(s%d,+%gms)" server delay_penalty
+
+let describe schedule =
+  match schedule with
+  | [] -> "no faults"
+  | events ->
+      String.concat ", "
+        (List.map (fun { at; event } -> Printf.sprintf "%g:%s" at (describe_event event)) events)
+
+let validate ~servers schedule =
+  List.iter
+    (fun { at; event } ->
+      if at < 0. || Float.is_nan at then
+        invalid_arg "Fault.validate: event scheduled at a negative time";
+      let s = server_of event in
+      if s < 0 || s >= servers then
+        invalid_arg (Printf.sprintf "Fault.validate: server %d out of range" s);
+      match event with
+      | Degrade { delay_penalty; _ } ->
+          if delay_penalty <= 0. || Float.is_nan delay_penalty then
+            invalid_arg "Fault.validate: degrade penalty must be positive"
+      | Crash _ | Recover _ -> ())
+    schedule;
+  List.stable_sort (fun a b -> compare a.at b.at) schedule
+
+let crash_count schedule =
+  List.length (List.filter (fun { event; _ } -> match event with Crash _ -> true | _ -> false) schedule)
+
+(* ------------------------------------------------------------------ *)
+(* generators                                                          *)
+
+(* Per-server alternating renewal process: up for Exp(1/mtbf), down
+   for Exp(1/mttr), repeated over [0, duration). Deterministic in the
+   generator's stream: server order is fixed and each server gets its
+   own split stream, so one server's draw count never shifts
+   another's. *)
+let poisson rng ~servers ~mtbf ~mttr ~duration =
+  if servers <= 0 then invalid_arg "Fault.poisson: servers must be positive";
+  if mtbf <= 0. then invalid_arg "Fault.poisson: mtbf must be positive";
+  if mttr <= 0. then invalid_arg "Fault.poisson: mttr must be positive";
+  if duration <= 0. then invalid_arg "Fault.poisson: duration must be positive";
+  let events = ref [] in
+  for s = 0 to servers - 1 do
+    let stream = Rng.split rng in
+    let t = ref (Rng.exponential stream ~rate:(1. /. mtbf)) in
+    let continue = ref true in
+    while !continue && !t < duration do
+      events := { at = !t; event = Crash s } :: !events;
+      let downtime = Rng.exponential stream ~rate:(1. /. mttr) in
+      let back = !t +. downtime in
+      if back < duration then begin
+        events := { at = back; event = Recover s } :: !events;
+        t := back +. Rng.exponential stream ~rate:(1. /. mtbf)
+      end
+      else continue := false
+    done
+  done;
+  validate ~servers (List.rev !events)
+
+(* A correlated regional outage: every server of the region goes down
+   at [at] and comes back [downtime] later, each with a small jitter so
+   the failure looks like a cascading rack/AZ loss rather than one
+   atomic instant. *)
+let regional_outage rng ~region_of_server ~region ~at ~downtime ?(jitter = 0.) () =
+  if at < 0. then invalid_arg "Fault.regional_outage: negative start time";
+  if downtime <= 0. then invalid_arg "Fault.regional_outage: downtime must be positive";
+  if jitter < 0. then invalid_arg "Fault.regional_outage: negative jitter";
+  let servers = Array.length region_of_server in
+  let events = ref [] in
+  Array.iteri
+    (fun s r ->
+      if r = region then begin
+        let delta () = if jitter = 0. then 0. else Rng.float rng jitter in
+        let down_at = at +. delta () in
+        events :=
+          { at = down_at +. downtime; event = Recover s }
+          :: { at = down_at; event = Crash s }
+          :: !events
+      end)
+    region_of_server;
+  validate ~servers (List.rev !events)
+
+let merge schedules =
+  List.stable_sort (fun a b -> compare a.at b.at) (List.concat schedules)

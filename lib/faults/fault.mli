@@ -1,0 +1,64 @@
+(** Deterministic, seedable server-fault schedules.
+
+    A schedule is a time-ordered list of fault events against the
+    servers of one world. The dynamic simulator replays it, updating a
+    {!Cap_model.Health} mask and triggering failure-aware reassignment;
+    because every generator draws from an explicit {!Cap_util.Rng.t},
+    any chaos run is a pure function of its seed. *)
+
+type event =
+  | Crash of int      (** the server stops: capacity 0, infinite delay *)
+  | Recover of int    (** the server returns, fully healthy *)
+  | Degrade of {
+      server : int;
+      delay_penalty : float;  (** extra RTT in ms on every path touching it *)
+    }  (** the server stays up but answers slowly (overload, GC pause,
+          congested uplink) *)
+
+type timed = {
+  at : float;  (** simulated seconds *)
+  event : event;
+}
+
+type schedule = timed list
+
+val server_of : event -> int
+val describe_event : event -> string
+val describe : schedule -> string
+
+val validate : servers:int -> schedule -> schedule
+(** Check times (non-negative), server indices (within [servers]) and
+    degrade penalties (positive), and return the schedule sorted by
+    time (stable). Raises [Invalid_argument] on any violation. *)
+
+val crash_count : schedule -> int
+
+val poisson :
+  Cap_util.Rng.t ->
+  servers:int ->
+  mtbf:float ->
+  mttr:float ->
+  duration:float ->
+  schedule
+(** Independent per-server alternating renewal processes: each server
+    is up for an exponential time with mean [mtbf], down for an
+    exponential time with mean [mttr], repeating over [0, duration).
+    Raises [Invalid_argument] on non-positive parameters. *)
+
+val regional_outage :
+  Cap_util.Rng.t ->
+  region_of_server:int array ->
+  region:int ->
+  at:float ->
+  downtime:float ->
+  ?jitter:float ->
+  unit ->
+  schedule
+(** Correlated outage: every server whose region matches goes down at
+    [at] (plus an optional uniform jitter in [0, jitter)) and recovers
+    [downtime] later — the "an availability zone fell over" scenario.
+    [region_of_server] maps server ids to regions (for a generated
+    world, [world.region_of_node.(world.server_nodes.(s))]). *)
+
+val merge : schedule list -> schedule
+(** Interleave schedules in time order (stable). *)

@@ -1,0 +1,64 @@
+module World = Cap_model.World
+module Assignment = Cap_model.Assignment
+module Health = Cap_model.Health
+
+let violations_total =
+  Cap_obs.Metrics.Counter.create "faults_invariant_violations_total"
+    ~help:"Post-event invariant violations detected during chaos runs"
+
+let check ~world ~health ~assignment =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let m = World.server_count world in
+  let zones = World.zone_count world in
+  let clients = World.client_count world in
+  let targets = assignment.Assignment.target_of_zone in
+  let contacts = assignment.Assignment.contact_of_client in
+  if Array.length targets <> zones then
+    add "target_of_zone has %d entries for %d zones" (Array.length targets) zones;
+  if Array.length contacts <> clients then
+    add "contact_of_client has %d entries for %d clients" (Array.length contacts) clients;
+  if Health.server_count health <> m then
+    add "health mask covers %d servers, world has %d" (Health.server_count health) m;
+  if !problems = [] then begin
+    Array.iteri
+      (fun z s ->
+        if s <> Assignment.unassigned then begin
+          if s < 0 || s >= m then add "zone %d targets out-of-range server %d" z s
+          else if not (Health.is_alive health s) then add "zone %d targets dead server %d" z s
+        end)
+      targets;
+    Array.iteri
+      (fun c s ->
+        if s <> Assignment.unassigned then begin
+          if s < 0 || s >= m then add "client %d contacts out-of-range server %d" c s
+          else if not (Health.is_alive health s) then
+            add "client %d contacts dead server %d" c s
+        end)
+      contacts;
+    (* A client is shed exactly when its zone is: anything else means
+       the failover path lost track of somebody. *)
+    Array.iteri
+      (fun c s ->
+        let z = world.World.client_zones.(c) in
+        if z >= 0 && z < zones then begin
+          let target = targets.(z) in
+          if s = Assignment.unassigned && target <> Assignment.unassigned then
+            add "client %d unassigned but its zone %d is hosted by server %d" c z target;
+          if s <> Assignment.unassigned && target = Assignment.unassigned then
+            add "client %d contacts server %d but its zone %d is unassigned" c s z
+        end)
+      contacts
+  end;
+  (* Alive servers may be legitimately over capacity when churn has
+     outgrown the provisioned total — that is a QoS problem, not a
+     failover bug. A dead server carrying any load is always a bug. *)
+  if !problems = [] then
+    Array.iteri
+      (fun s load ->
+        if (not (Health.is_alive health s)) && load > 0. then
+          add "dead server %d still carries load %.0f" s load)
+      (Assignment.server_loads assignment world);
+  let problems = List.rev !problems in
+  Cap_obs.Metrics.Counter.add violations_total (float_of_int (List.length problems));
+  problems

@@ -1,0 +1,18 @@
+(** Post-event invariant checker for chaos runs.
+
+    After every fault event and failover, the assignment must satisfy:
+    no zone is hosted by (and no client contacts) a dead or
+    out-of-range server; a client is unassigned exactly when its zone
+    is; and no dead server carries any load. Alive servers over
+    capacity are deliberately not flagged — under churn the population
+    can outgrow the provisioned total, which is a QoS problem the
+    heuristics handle by overloading, not a failover bug. *)
+
+val check :
+  world:Cap_model.World.t ->
+  health:Cap_model.Health.t ->
+  assignment:Cap_model.Assignment.t ->
+  string list
+(** Human-readable violations; empty when all invariants hold. Each
+    violation also increments the
+    [faults_invariant_violations_total] counter. *)

@@ -3,6 +3,8 @@ type t = {
   contact_of_client : int array;
 }
 
+let unassigned = -1
+
 let make ~target_of_zone ~contact_of_client =
   { target_of_zone = Array.copy target_of_zone; contact_of_client = Array.copy contact_of_client }
 
@@ -17,8 +19,10 @@ let target_of_client t world c = t.target_of_zone.(world.World.client_zones.(c))
 let client_delay t world c =
   let contact = t.contact_of_client.(c) in
   let target = target_of_client t world c in
-  World.true_client_server_rtt world ~client:c ~server:contact
-  +. World.true_server_server_rtt world contact target
+  if contact = unassigned || target = unassigned then infinity
+  else
+    World.true_client_server_rtt world ~client:c ~server:contact
+    +. World.true_server_server_rtt world contact target
 
 let has_qos t world c =
   client_delay t world c <= world.World.scenario.Scenario.delay_bound
@@ -43,12 +47,13 @@ let server_loads t world =
   let traffic = world.World.scenario.Scenario.traffic in
   Array.iteri
     (fun z target ->
-      loads.(target) <- loads.(target) +. Traffic.zone_rate traffic ~population:population.(z))
+      if target <> unassigned then
+        loads.(target) <- loads.(target) +. Traffic.zone_rate traffic ~population:population.(z))
     t.target_of_zone;
   Array.iteri
     (fun c contact ->
       let target = target_of_client t world c in
-      if contact <> target then begin
+      if contact <> unassigned && target <> unassigned && contact <> target then begin
         let rate =
           Traffic.forwarding_rate traffic
             ~zone_population:population.(world.World.client_zones.(c))
@@ -81,12 +86,26 @@ let violations t world =
       clients;
   if !problems = [] then begin
     Array.iteri
-      (fun z s -> if s < 0 || s >= m then add "zone %d assigned to invalid server %d" z s)
+      (fun z s ->
+        if s <> unassigned && (s < 0 || s >= m) then
+          add "zone %d assigned to invalid server %d" z s)
       t.target_of_zone;
     Array.iteri
-      (fun c s -> if s < 0 || s >= m then add "client %d assigned to invalid server %d" c s)
+      (fun c s ->
+        if s <> unassigned && (s < 0 || s >= m) then
+          add "client %d assigned to invalid server %d" c s)
       t.contact_of_client
   end;
+  if !problems = [] then
+    (* the unassigned sentinel is only legal on a client whose zone is
+       itself unassigned (and vice versa) *)
+    Array.iteri
+      (fun c contact ->
+        let target = t.target_of_zone.(world.World.client_zones.(c)) in
+        if (contact = unassigned) <> (target = unassigned) then
+          add "client %d contact %d inconsistent with its zone's target %d" c contact
+            target)
+      t.contact_of_client;
   if !problems = [] then
     Array.iteri
       (fun s load ->
@@ -96,6 +115,14 @@ let violations t world =
   List.rev !problems
 
 let is_valid t world = violations t world = []
+
+let unassigned_zones t =
+  Array.fold_left (fun acc s -> if s = unassigned then acc + 1 else acc) 0 t.target_of_zone
+
+let unassigned_clients t =
+  Array.fold_left
+    (fun acc s -> if s = unassigned then acc + 1 else acc)
+    0 t.contact_of_client
 
 let overloaded_servers t world =
   let loads = server_loads t world in

@@ -9,9 +9,16 @@
     the world's true delays. *)
 
 type t = {
-  target_of_zone : int array;     (** zone id -> server id *)
-  contact_of_client : int array;  (** client id -> server id *)
+  target_of_zone : int array;     (** zone id -> server id, or {!unassigned} *)
+  contact_of_client : int array;  (** client id -> server id, or {!unassigned} *)
 }
+
+val unassigned : int
+(** Sentinel ([-1]) for a zone or client that currently has no server:
+    the explicit degraded state when surviving capacity cannot host
+    everyone after failures. Unassigned clients have infinite delay and
+    no QoS, consume no server bandwidth, and are not a structural
+    violation — they are shed load waiting to be re-homed. *)
 
 val make : target_of_zone:int array -> contact_of_client:int array -> t
 (** Copies its arguments. *)
@@ -23,7 +30,7 @@ val target_of_client : t -> World.t -> int -> int
 
 val client_delay : t -> World.t -> int -> float
 (** True round-trip delay of a client to its target server via its
-    contact server. *)
+    contact server; [infinity] when either is {!unassigned}. *)
 
 val has_qos : t -> World.t -> int -> bool
 
@@ -50,3 +57,9 @@ val is_valid : t -> World.t -> bool
 
 val overloaded_servers : t -> World.t -> int list
 (** Servers whose load exceeds capacity (beyond the epsilon). *)
+
+val unassigned_zones : t -> int
+(** Zones whose target is {!unassigned}. *)
+
+val unassigned_clients : t -> int
+(** Clients whose contact is {!unassigned}. *)

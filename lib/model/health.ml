@@ -1,0 +1,67 @@
+type t = {
+  alive : bool array;
+  delay_penalty : float array;
+}
+
+let create ~servers =
+  if servers <= 0 then invalid_arg "Health.create: servers must be positive";
+  { alive = Array.make servers true; delay_penalty = Array.make servers 0. }
+
+let copy t = { alive = Array.copy t.alive; delay_penalty = Array.copy t.delay_penalty }
+
+let server_count t = Array.length t.alive
+
+let check t s =
+  if s < 0 || s >= server_count t then invalid_arg "Health: server out of range"
+
+let is_alive t s =
+  check t s;
+  t.alive.(s)
+
+let alive_count t =
+  Array.fold_left (fun acc up -> if up then acc + 1 else acc) 0 t.alive
+
+let all_alive t = alive_count t = server_count t
+
+let is_pristine t =
+  all_alive t && Array.for_all (fun penalty -> penalty = 0.) t.delay_penalty
+
+let alive_mask t = Array.copy t.alive
+
+let crash t s =
+  check t s;
+  t.alive.(s) <- false;
+  t.delay_penalty.(s) <- 0.
+
+let recover t s =
+  check t s;
+  t.alive.(s) <- true;
+  t.delay_penalty.(s) <- 0.
+
+let degrade t s ~delay_penalty =
+  check t s;
+  if delay_penalty < 0. then invalid_arg "Health.degrade: negative delay penalty";
+  if t.alive.(s) then t.delay_penalty.(s) <- delay_penalty
+
+let apply t world =
+  if server_count t <> World.server_count world then
+    invalid_arg "Health.apply: mask does not match the world's servers";
+  let capacities =
+    Array.mapi
+      (fun s capacity -> if t.alive.(s) then capacity else 0.)
+      world.World.capacities
+  in
+  let server_delay_penalty =
+    Array.init (server_count t) (fun s ->
+        if t.alive.(s) then t.delay_penalty.(s) else infinity)
+  in
+  { world with World.capacities; server_delay_penalty }
+
+let describe t =
+  let parts = ref [] in
+  for s = server_count t - 1 downto 0 do
+    if not t.alive.(s) then parts := Printf.sprintf "s%d down" s :: !parts
+    else if t.delay_penalty.(s) > 0. then
+      parts := Printf.sprintf "s%d +%gms" s t.delay_penalty.(s) :: !parts
+  done;
+  match !parts with [] -> "all up" | parts -> String.concat ", " parts

@@ -1,0 +1,54 @@
+(** Server availability mask — the model-layer view of failures.
+
+    A [Health.t] tracks, per server, whether it is up and how much
+    extra RTT it currently adds (a "degraded" server answers, slowly).
+    {!apply} projects the mask onto a {!World.t}: a dead server's
+    capacity drops to 0 and its delay penalty becomes [infinity] (so
+    any client still routed through it has unbounded delay and no QoS);
+    a degraded server keeps its capacity but inflates every path that
+    touches it.
+
+    The mask is mutable — the dynamic simulator updates it in place as
+    fault events fire — and worlds stay immutable: re-apply the mask to
+    the pristine world after every change. *)
+
+type t = {
+  alive : bool array;          (** server id -> is the server up? *)
+  delay_penalty : float array; (** server id -> extra RTT, ms (alive servers only) *)
+}
+
+val create : servers:int -> t
+(** All servers up, no penalties. Raises [Invalid_argument] if
+    [servers <= 0]. *)
+
+val copy : t -> t
+
+val server_count : t -> int
+val is_alive : t -> int -> bool
+val alive_count : t -> int
+val all_alive : t -> bool
+
+val is_pristine : t -> bool
+(** Everything up and no delay penalties: {!apply} would be the
+    identity. *)
+
+val alive_mask : t -> bool array
+(** A fresh copy of the per-server liveness array, for the [?alive]
+    parameter of the failure-aware solvers. *)
+
+val crash : t -> int -> unit
+(** Mark a server down (clearing any degradation). Idempotent. *)
+
+val recover : t -> int -> unit
+(** Mark a server up again with no penalty. Idempotent. *)
+
+val degrade : t -> int -> delay_penalty:float -> unit
+(** Set an alive server's delay penalty; ignored for a dead server.
+    Raises [Invalid_argument] on a negative penalty. *)
+
+val apply : t -> World.t -> World.t
+(** A world whose capacities and per-server delay penalties reflect
+    the mask. Raises [Invalid_argument] on a server-count mismatch. *)
+
+val describe : t -> string
+(** e.g. ["all up"] or ["s2 down, s4 +80ms"]. *)

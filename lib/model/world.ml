@@ -12,6 +12,7 @@ type t = {
   regions : int;
   server_nodes : int array;
   capacities : float array;
+  server_delay_penalty : float array;
   client_nodes : int array;
   client_zones : int array;
   sampler : Distribution.t;
@@ -92,6 +93,7 @@ let generate rng (scenario : Scenario.t) =
     regions;
     server_nodes;
     capacities;
+    server_delay_penalty = Array.make scenario.Scenario.servers 0.;
     client_nodes;
     client_zones;
     sampler;
@@ -141,12 +143,14 @@ let total_capacity t = Array.fold_left ( +. ) 0. t.capacities
 
 let rtt_in model t ~client ~server =
   Delay.rtt model t.client_nodes.(client) t.server_nodes.(server)
+  +. t.server_delay_penalty.(server)
 
 let server_rtt_in model t s1 s2 =
   if s1 = s2 then 0.
   else
     t.scenario.Scenario.inter_server_factor
     *. Delay.rtt model t.server_nodes.(s1) t.server_nodes.(s2)
+    +. t.server_delay_penalty.(s1) +. t.server_delay_penalty.(s2)
 
 let client_server_rtt t ~client ~server = rtt_in t.observed t ~client ~server
 let server_server_rtt t s1 s2 = server_rtt_in t.observed t s1 s2

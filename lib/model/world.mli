@@ -15,6 +15,11 @@ type t = {
   regions : int;
   server_nodes : int array;         (** server id -> topology node *)
   capacities : float array;         (** server id -> capacity, bits/s *)
+  server_delay_penalty : float array;
+      (** server id -> additive RTT penalty, ms: 0 for a healthy
+          server, positive for a degraded one, [infinity] for a dead
+          one (see {!Health}). Applied to every path touching the
+          server, in both the observed and the true delay model. *)
   client_nodes : int array;         (** client id -> topology node *)
   client_zones : int array;         (** client id -> zone id *)
   sampler : Distribution.t;         (** placement sampler (reused by churn) *)

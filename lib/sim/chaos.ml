@@ -1,0 +1,118 @@
+module Table = Cap_util.Table
+
+type report = {
+  availability : float;
+  client_availability : float;
+  steady_pqos : float option;
+  pqos_during_failure : float option;
+  mttr : float option;
+  worst_recovery : float option;
+  unresolved_episodes : int;
+  max_dip : float;
+  shed_peak : int;
+  zone_migrations : int;
+  invariant_violations : string list;
+}
+
+let mean = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+
+let analyze (outcome : Dve_sim.outcome) =
+  let points = Trace.points outcome.Dve_sim.trace in
+  let samples = List.length points in
+  let availability =
+    if samples = 0 then 1.
+    else
+      float_of_int
+        (List.length (List.filter (fun p -> p.Trace.unassigned = 0) points))
+      /. float_of_int samples
+  in
+  let client_availability =
+    match
+      mean
+        (List.filter_map
+           (fun p ->
+             if p.Trace.clients = 0 then None
+             else
+               Some
+                 (float_of_int (p.Trace.clients - p.Trace.unassigned)
+                 /. float_of_int p.Trace.clients))
+           points)
+    with
+    | Some v -> v
+    | None -> 1.
+  in
+  let steady_pqos =
+    mean
+      (List.filter_map
+         (fun p ->
+           if p.Trace.down_servers = 0 && p.Trace.unassigned = 0 then Some p.Trace.pqos
+           else None)
+         points)
+  in
+  let pqos_during_failure =
+    mean
+      (List.filter_map
+         (fun p -> if p.Trace.down_servers > 0 then Some p.Trace.pqos else None)
+         points)
+  in
+  let faults = outcome.Dve_sim.faults in
+  let recoveries =
+    List.filter_map
+      (fun (e : Dve_sim.episode) ->
+        Option.map (fun ended -> ended -. e.Dve_sim.started_at) e.Dve_sim.recovered_at)
+      faults.Dve_sim.episodes
+  in
+  let mttr = mean recoveries in
+  let worst_recovery =
+    match recoveries with [] -> None | xs -> Some (List.fold_left max 0. xs)
+  in
+  let unresolved_episodes =
+    List.length
+      (List.filter
+         (fun (e : Dve_sim.episode) -> e.Dve_sim.recovered_at = None)
+         faults.Dve_sim.episodes)
+  in
+  let max_dip =
+    List.fold_left
+      (fun acc (e : Dve_sim.episode) ->
+        max acc (e.Dve_sim.pre_pqos -. e.Dve_sim.min_pqos))
+      0. faults.Dve_sim.episodes
+  in
+  {
+    availability;
+    client_availability;
+    steady_pqos;
+    pqos_during_failure;
+    mttr;
+    worst_recovery;
+    unresolved_episodes;
+    max_dip;
+    shed_peak = faults.Dve_sim.shed_peak;
+    zone_migrations = faults.Dve_sim.zone_migrations;
+    invariant_violations = faults.Dve_sim.invariant_violations;
+  }
+
+let to_table (outcome : Dve_sim.outcome) report =
+  let faults = outcome.Dve_sim.faults in
+  let table = Table.create ~headers:[ "metric"; "value" ] () in
+  let row name value = Table.add_row table [ name; value ] in
+  let opt fmt = function None -> "-" | Some v -> Printf.sprintf fmt v in
+  row "crashes / recoveries / degradations"
+    (Printf.sprintf "%d / %d / %d" faults.Dve_sim.crashes faults.Dve_sim.recoveries
+       faults.Dve_sim.degradations);
+  row "failovers (retries)"
+    (Printf.sprintf "%d (%d)" faults.Dve_sim.failovers faults.Dve_sim.retries);
+  row "availability (no shed clients)" (Printf.sprintf "%.4f" report.availability);
+  row "client availability" (Printf.sprintf "%.4f" report.client_availability);
+  row "pQoS steady-state" (opt "%.4f" report.steady_pqos);
+  row "pQoS during failure" (opt "%.4f" report.pqos_during_failure);
+  row "MTTR (s)" (opt "%.1f" report.mttr);
+  row "worst recovery (s)" (opt "%.1f" report.worst_recovery);
+  row "unresolved episodes" (string_of_int report.unresolved_episodes);
+  row "max pQoS dip depth" (Printf.sprintf "%.4f" report.max_dip);
+  row "peak shed clients" (string_of_int report.shed_peak);
+  row "zone migrations (failover)" (string_of_int report.zone_migrations);
+  row "invariant violations" (string_of_int (List.length report.invariant_violations));
+  table

@@ -1,0 +1,33 @@
+(** Post-run analysis of a chaos (fault-injection) simulation: the
+    availability and recovery metrics the [capsim chaos] harness
+    reports. All rates are over the trace's sample grid; durations are
+    simulated seconds. *)
+
+type report = {
+  availability : float;
+      (** fraction of samples with zero shed clients *)
+  client_availability : float;
+      (** mean assigned fraction of the live population (1.0 when the
+          trace is empty) *)
+  steady_pqos : float option;
+      (** mean pQoS over fully healthy samples; [None] if there were
+          none *)
+  pqos_during_failure : float option;
+      (** mean pQoS over samples with at least one dead server *)
+  mttr : float option;
+      (** mean time from crash to recovery over closed episodes *)
+  worst_recovery : float option;
+  unresolved_episodes : int;
+      (** episodes still open when the run ended *)
+  max_dip : float;
+      (** deepest pQoS dip below the pre-crash level, over episodes *)
+  shed_peak : int;
+  zone_migrations : int;
+  invariant_violations : string list;
+}
+
+val analyze : Dve_sim.outcome -> report
+
+val to_table : Dve_sim.outcome -> report -> Cap_util.Table.t
+(** Human-readable summary combining the raw fault counters and the
+    derived metrics. *)

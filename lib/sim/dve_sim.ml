@@ -2,7 +2,10 @@ module Rng = Cap_util.Rng
 module World = Cap_model.World
 module Assignment = Cap_model.Assignment
 module Distribution = Cap_model.Distribution
+module Health = Cap_model.Health
+module Fault = Cap_faults.Fault
 module Two_phase = Cap_core.Two_phase
+module Incremental = Cap_core.Incremental
 
 type flash_crowd = {
   at : float;
@@ -24,6 +27,9 @@ type config = {
   flash_crowd : flash_crowd option;
   movement : movement;
   diurnal : Diurnal.t option;
+  faults : Fault.schedule;
+  failover_moves : int;
+  retry_interval : float;
 }
 
 let default_config =
@@ -37,16 +43,52 @@ let default_config =
     flash_crowd = None;
     movement = Teleport;
     diurnal = None;
+    faults = [];
+    failover_moves = 16;
+    retry_interval = 10.;
   }
 
 let roaming_config ~zones =
   { default_config with movement = Roam (Cap_model.Zone_map.square_for ~zones) }
+
+type episode = {
+  started_at : float;
+  recovered_at : float option;
+  pre_pqos : float;
+  min_pqos : float;
+}
+
+type fault_report = {
+  crashes : int;
+  recoveries : int;
+  degradations : int;
+  failovers : int;
+  retries : int;
+  shed_peak : int;
+  zone_migrations : int;
+  episodes : episode list;
+  invariant_violations : string list;
+}
+
+let no_faults =
+  {
+    crashes = 0;
+    recoveries = 0;
+    degradations = 0;
+    failovers = 0;
+    retries = 0;
+    shed_peak = 0;
+    zone_migrations = 0;
+    episodes = [];
+    invariant_violations = [];
+  }
 
 type outcome = {
   trace : Trace.t;
   reassignments : int;
   final_world : World.t;
   final_assignment : Assignment.t;
+  faults : fault_report;
 }
 
 type event =
@@ -56,6 +98,8 @@ type event =
   | Sample
   | Reassign
   | Flash of flash_crowd
+  | Fault_event of Fault.event
+  | Retry of int  (* re-homing attempt number, for backoff *)
 
 type live_client = {
   node : int;
@@ -63,12 +107,18 @@ type live_client = {
   mutable contact : int;
 }
 
+(* A crash episode counts as recovered once nobody is shed and pQoS is
+   back within this margin of its pre-crash level. *)
+let recovery_tolerance = 0.05
+
 let validate config =
   if config.duration <= 0. then invalid_arg "Dve_sim: duration must be positive";
   if config.arrival_rate < 0. then invalid_arg "Dve_sim: negative arrival rate";
   if config.mean_session <= 0. then invalid_arg "Dve_sim: mean_session must be positive";
   if config.mean_move_interval <= 0. then invalid_arg "Dve_sim: mean_move_interval must be positive";
   if config.sample_interval <= 0. then invalid_arg "Dve_sim: sample_interval must be positive";
+  if config.failover_moves < 0 then invalid_arg "Dve_sim: negative failover budget";
+  if config.retry_interval <= 0. then invalid_arg "Dve_sim: retry_interval must be positive";
   (match config.flash_crowd with
   | Some f ->
       if f.at < 0. then invalid_arg "Dve_sim: flash crowd in the past";
@@ -113,10 +163,46 @@ let live_clients_gauge =
   Cap_obs.Metrics.Gauge.create "sim_live_clients"
     ~help:"Connected clients at the last processed event"
 
+let crashes_total =
+  Cap_obs.Metrics.Counter.create "faults_crashes_total"
+    ~help:"Server crash events injected"
+
+let recoveries_total =
+  Cap_obs.Metrics.Counter.create "faults_recoveries_total"
+    ~help:"Server recovery events injected"
+
+let degradations_total =
+  Cap_obs.Metrics.Counter.create "faults_degradations_total"
+    ~help:"Server degradation events injected"
+
+let failovers_total =
+  Cap_obs.Metrics.Counter.create "faults_failovers_total"
+    ~help:"Failure-aware reassignments run after fault events"
+
+let retries_total =
+  Cap_obs.Metrics.Counter.create "faults_rehoming_retries_total"
+    ~help:"Backoff retries attempting to re-home shed clients"
+
+let down_servers_gauge =
+  Cap_obs.Metrics.Gauge.create "faults_down_servers"
+    ~help:"Servers currently dead"
+
+let shed_clients_gauge =
+  Cap_obs.Metrics.Gauge.create "faults_shed_clients"
+    ~help:"Clients currently unassigned (shed by failures)"
+
+let recovery_seconds =
+  Cap_obs.Metrics.Histogram.create "faults_recovery_seconds"
+    ~help:"Simulated seconds from a crash to service recovery"
+
 let run_body rng config ~world ~algorithm =
   validate config;
   validate_movement config ~zones:(World.zone_count world);
   validate_diurnal config ~regions:world.World.regions;
+  let fault_schedule =
+    Fault.validate ~servers:(World.server_count world) config.faults
+  in
+  let has_faults = fault_schedule <> [] in
   (* node ids per region, for diurnal arrival placement *)
   let region_nodes =
     lazy
@@ -137,8 +223,15 @@ let run_body rng config ~world ~algorithm =
               float_of_int (Array.length nodes) *. Diurnal.factor d ~region ~time:at)
             buckets
         in
-        let region = Rng.weighted_index rng weights in
-        buckets.(region).(Rng.int rng (Array.length buckets.(region)))
+        (* every region can sit in its trough at once (amplitude 1):
+           fall back to the placement sampler instead of feeding
+           all-zero weights to the weighted draw *)
+        if Array.fold_left ( +. ) 0. weights <= 0. then
+          Distribution.sample_node world.World.sampler rng
+        else begin
+          let region = Rng.weighted_index rng weights in
+          buckets.(region).(Rng.int rng (Array.length buckets.(region)))
+        end
   in
   let queue = Event_queue.create () in
   let clients : (int, live_client) Hashtbl.t = Hashtbl.create 256 in
@@ -147,6 +240,11 @@ let run_body rng config ~world ~algorithm =
   let reassignments = ref 0 in
   let trace = Trace.create () in
   let sampler = world.World.sampler in
+  let health = Health.create ~servers:(World.server_count world) in
+  (* The world as it currently is: pristine when everything is up,
+     health-projected (zero capacity, infinite delay on dead servers)
+     otherwise. Algorithms and metrics both read this view. *)
+  let current_world () = if Health.is_pristine health then world else Health.apply health world in
   (* Snapshot the live population as a world + assignment, in sim-id
      order so that rebuilding is deterministic. *)
   let snapshot () =
@@ -161,20 +259,130 @@ let run_body rng config ~world ~algorithm =
         zones.(i) <- c.zone;
         contacts.(i) <- c.contact)
       ids;
-    let w = World.replace_clients world ~client_nodes:nodes ~client_zones:zones in
+    let w = World.replace_clients (current_world ()) ~client_nodes:nodes ~client_zones:zones in
     let a = Assignment.make ~target_of_zone:!targets ~contact_of_client:contacts in
     ids, w, a
   in
+  let count_unassigned () =
+    Hashtbl.fold
+      (fun _ c acc -> if c.contact = Assignment.unassigned then acc + 1 else acc)
+      clients 0
+  in
+  (* --- fault bookkeeping ------------------------------------------ *)
+  let crashes = ref 0
+  and recoveries = ref 0
+  and degradations = ref 0
+  and failovers = ref 0
+  and retries = ref 0
+  and shed_peak = ref 0
+  and zone_migrations = ref 0 in
+  let episodes = ref [] in
+  let active_episode : (float * float * float ref) option ref = ref None in
+  (* (started_at, pre_pqos, min_pqos so far) *)
+  let invariant_violations = ref [] in
+  let violations_kept = 50 in
+  let current_pqos () =
+    let _, w, a = snapshot () in
+    Assignment.pqos a w
+  in
+  let open_episode at =
+    if !active_episode = None then begin
+      let pre = current_pqos () in
+      active_episode := Some (at, pre, ref pre)
+    end
+  in
+  let update_episode at pqos =
+    match !active_episode with
+    | None -> ()
+    | Some (started, pre, low) ->
+        low := min !low pqos;
+        if count_unassigned () = 0 && pqos >= pre -. recovery_tolerance then begin
+          episodes :=
+            { started_at = started; recovered_at = Some at; pre_pqos = pre; min_pqos = !low }
+            :: !episodes;
+          Cap_obs.Metrics.Histogram.observe recovery_seconds (at -. started);
+          active_episode := None
+        end
+  in
+  (* Post-event checks: the structural invariants (no zone or client on
+     a dead server, shed state consistent, capacities respected) and
+     the recovery bookkeeping. *)
+  let post_event at =
+    if has_faults then begin
+      let _, w, a = snapshot () in
+      let violations = Cap_faults.Invariants.check ~world:w ~health ~assignment:a in
+      if violations <> [] && List.length !invariant_violations < violations_kept then
+        invariant_violations := !invariant_violations @ violations;
+      shed_peak := max !shed_peak (Assignment.unassigned_clients a);
+      Cap_obs.Metrics.Gauge.set shed_clients_gauge
+        (float_of_int (Assignment.unassigned_clients a));
+      Cap_obs.Metrics.Gauge.set down_servers_gauge
+        (float_of_int (World.server_count world - Health.alive_count health));
+      update_episode at (Assignment.pqos a w)
+    end
+  in
+  (* Failure-aware reassignment: migrate orphaned zones off dead
+     servers (re-admitting previously shed ones) with a bounded number
+     of optimization moves, then rebuild contacts. Total blackout
+     degrades to everyone-unassigned instead of raising. *)
+  let failover () =
+    incr failovers;
+    Cap_obs.Metrics.Counter.incr failovers_total;
+    if Health.alive_count health = 0 then begin
+      targets := Array.map (fun _ -> Assignment.unassigned) !targets;
+      Hashtbl.iter (fun _ c -> c.contact <- Assignment.unassigned) clients
+    end
+    else begin
+      let ids, w, previous = snapshot () in
+      let assignment, migration =
+        Incremental.refresh ~max_zone_moves:config.failover_moves
+          ~alive:(Health.alive_mask health) w ~previous
+      in
+      zone_migrations := !zone_migrations + migration.Incremental.zone_moves;
+      targets := Array.copy assignment.Assignment.target_of_zone;
+      List.iteri
+        (fun i id ->
+          (Hashtbl.find clients id).contact <- assignment.Assignment.contact_of_client.(i))
+        ids
+    end
+  in
+  let retry_pending = ref false in
+  let max_backoff_doublings = 5 in
+  let schedule_retry at ~attempt =
+    if count_unassigned () > 0 && not !retry_pending then begin
+      let backoff =
+        config.retry_interval *. (2. ** float_of_int (min (attempt - 1) max_backoff_doublings))
+      in
+      retry_pending := true;
+      Event_queue.schedule queue ~time:(at +. backoff) (Retry attempt)
+    end
+  in
   let reassign () =
     let t0 = Cap_obs.Clock.now () in
-    let ids, w, _ = snapshot () in
-    let assignment = Two_phase.run algorithm rng w in
-    targets := Array.copy assignment.Assignment.target_of_zone;
-    List.iteri
-      (fun i id ->
-        let c = Hashtbl.find clients id in
-        c.contact <- assignment.Assignment.contact_of_client.(i))
-      ids;
+    if Health.alive_count health = 0 then begin
+      (* no servers: a full reassignment cannot help; stay shed *)
+      targets := Array.map (fun _ -> Assignment.unassigned) !targets;
+      Hashtbl.iter (fun _ c -> c.contact <- Assignment.unassigned) clients
+    end
+    else begin
+      let ids, w, _ = snapshot () in
+      let assignment = Two_phase.run algorithm rng w in
+      (* The two-phase algorithms see zeroed capacities but may still
+         park empty zones on a dead server; a zero-budget failure-aware
+         refresh evacuates them (and re-admits shed zones). *)
+      let assignment =
+        if Health.all_alive health then assignment
+        else
+          fst
+            (Incremental.refresh ~max_zone_moves:0 ~alive:(Health.alive_mask health) w
+               ~previous:assignment)
+      in
+      targets := Array.copy assignment.Assignment.target_of_zone;
+      List.iteri
+        (fun i id ->
+          (Hashtbl.find clients id).contact <- assignment.Assignment.contact_of_client.(i))
+        ids
+    end;
     incr reassignments;
     Cap_obs.Metrics.Counter.incr reassignments_total;
     Cap_obs.Metrics.Histogram.observe reassign_seconds (Cap_obs.Clock.elapsed_since t0)
@@ -220,7 +428,13 @@ let run_body rng config ~world ~algorithm =
   (match config.flash_crowd with
   | Some f -> Event_queue.schedule queue ~time:f.at (Flash f)
   | None -> ());
+  List.iter
+    (fun { Fault.at; event } -> Event_queue.schedule queue ~time:at (Fault_event event))
+    fault_schedule;
+  let last_sample_time = ref 0. in
+  let last_threshold_reassign = ref neg_infinity in
   let sample_metrics at =
+    last_sample_time := at;
     Cap_obs.Metrics.Gauge.set live_clients_gauge (float_of_int (Hashtbl.length clients));
     let _, w, a = snapshot () in
     let pqos = Assignment.pqos a w in
@@ -231,7 +445,10 @@ let run_body rng config ~world ~algorithm =
         pqos;
         utilization = Assignment.utilization a w;
         reassignments = !reassignments;
+        unassigned = Assignment.unassigned_clients a;
+        down_servers = World.server_count world - Health.alive_count health;
       };
+    update_episode at pqos;
     pqos
   in
   let finished = ref false in
@@ -257,24 +474,66 @@ let run_body rng config ~world ~algorithm =
             match Hashtbl.find_opt clients id with
             | None -> ()
             | Some c ->
-                (c.zone <-
-                   (match config.movement with
-                   | Teleport -> Distribution.sample_zone sampler rng ~node:c.node
-                   | Roam map -> Cap_model.Zone_map.random_neighbor rng map c.zone));
+                c.zone <-
+                  (match config.movement with
+                  | Teleport -> Distribution.sample_zone sampler rng ~node:c.node
+                  | Roam map -> Cap_model.Zone_map.random_neighbor rng map c.zone);
+                (* Wandering into a shed zone queues the client;
+                   wandering out of one re-homes it. Contacts otherwise
+                   stay sticky until the next reassignment. *)
+                (if has_faults then begin
+                   let target = !targets.(c.zone) in
+                   if
+                     c.contact = Assignment.unassigned
+                     <> (target = Assignment.unassigned)
+                   then c.contact <- target
+                 end);
                 schedule_move id at)
         | Sample ->
             Cap_obs.Metrics.Counter.incr sample_events;
             let pqos = sample_metrics at in
             (match config.policy with
-            | Policy.On_threshold threshold when pqos < threshold -> reassign ()
+            | Policy.On_threshold { pqos = threshold; min_interval }
+              when pqos < threshold && at -. !last_threshold_reassign >= min_interval ->
+                last_threshold_reassign := at;
+                reassign ();
+                post_event at
             | Policy.Never | Policy.Periodic _ | Policy.On_threshold _ -> ());
             Event_queue.schedule queue ~time:(at +. config.sample_interval) Sample
         | Reassign -> (
             reassign ();
+            post_event at;
             match config.policy with
             | Policy.Periodic period ->
                 Event_queue.schedule queue ~time:(at +. period) Reassign
             | Policy.Never | Policy.On_threshold _ -> ())
+        | Fault_event fault ->
+            (match fault with
+            | Fault.Crash s ->
+                incr crashes;
+                Cap_obs.Metrics.Counter.incr crashes_total;
+                open_episode at;
+                Health.crash health s
+            | Fault.Recover s ->
+                incr recoveries;
+                Cap_obs.Metrics.Counter.incr recoveries_total;
+                Health.recover health s
+            | Fault.Degrade { server; delay_penalty } ->
+                incr degradations;
+                Cap_obs.Metrics.Counter.incr degradations_total;
+                Health.degrade health server ~delay_penalty);
+            failover ();
+            post_event at;
+            schedule_retry at ~attempt:1
+        | Retry attempt ->
+            retry_pending := false;
+            if count_unassigned () > 0 then begin
+              incr retries;
+              Cap_obs.Metrics.Counter.incr retries_total;
+              if Health.alive_count health > 0 then failover ();
+              post_event at;
+              schedule_retry at ~attempt:(attempt + 1)
+            end
         | Flash f ->
             Cap_obs.Metrics.Counter.incr flash_events;
             let zone =
@@ -292,8 +551,36 @@ let run_body rng config ~world ~algorithm =
               (fun idx -> (Hashtbl.find clients ids.(idx)).zone <- zone)
               chosen)
   done;
+  (* The event loop discards anything past [duration]; snapshot once
+     more so the trace's last row is the state at the end of the run,
+     not up to one sample interval earlier. *)
+  if !last_sample_time < config.duration then ignore (sample_metrics config.duration);
+  (* A still-open episode is reported as unresolved. *)
+  (match !active_episode with
+  | Some (started, pre, low) ->
+      episodes :=
+        { started_at = started; recovered_at = None; pre_pqos = pre; min_pqos = !low }
+        :: !episodes
+  | None -> ());
   let _, final_world, final_assignment = snapshot () in
-  { trace; reassignments = !reassignments; final_world; final_assignment }
+  {
+    trace;
+    reassignments = !reassignments;
+    final_world;
+    final_assignment;
+    faults =
+      {
+        crashes = !crashes;
+        recoveries = !recoveries;
+        degradations = !degradations;
+        failovers = !failovers;
+        retries = !retries;
+        shed_peak = !shed_peak;
+        zone_migrations = !zone_migrations;
+        episodes = List.rev !episodes;
+        invariant_violations = !invariant_violations;
+      };
+  }
 
 let run rng config ~world ~algorithm =
   Cap_obs.Span.with_span "dve_sim/run" (fun () -> run_body rng config ~world ~algorithm)

@@ -1,4 +1,4 @@
-(** Discrete-event simulation of a live DVE under churn.
+(** Discrete-event simulation of a live DVE under churn and failures.
 
     Clients arrive as a Poisson process, stay for exponentially
     distributed sessions, and move between zones at exponentially
@@ -7,6 +7,14 @@
     connect to their zone's current target server; a {!Policy.t}
     decides when the two-phase assignment algorithm is re-executed for
     everyone. Metrics are sampled on a fixed grid.
+
+    A {!Cap_faults.Fault.schedule} injects server crashes, recoveries
+    and degradations. Each fault event triggers a failure-aware
+    incremental reassignment (orphaned zones migrate off dead servers;
+    when surviving capacity is insufficient, zones and their clients
+    are shed to the explicit {!Cap_model.Assignment.unassigned} state
+    and re-homed with exponential-backoff retries). After every fault
+    event the structural invariants are checked and recorded.
 
     This extends the paper's one-shot join/leave/move experiment
     (Table 3) into a continuous-time setting. *)
@@ -42,23 +50,65 @@ type config = {
       (** when set, new arrivals land in regions weighted by the
           time-of-day factor (region sizes still matter); must have one
           phase per world region *)
+  faults : Cap_faults.Fault.schedule;
+      (** server fault events to inject, validated against the world's
+          server count; empty = no failures *)
+  failover_moves : int;
+      (** zone-move budget for the optimization phases of each
+          failure-aware refresh (forced evacuations are free) *)
+  retry_interval : float;
+      (** base delay before retrying to re-home shed clients; doubles
+          per attempt up to a factor of 32 *)
 }
 
 val default_config : config
 (** 600 s, 1 client/s arrivals, 500 s sessions, 120 s between moves,
     20 s sampling, reassignment every 100 s, no flash crowd,
-    teleporting movement. *)
+    teleporting movement, no faults, 16 failover moves, 10 s retry
+    backoff base. *)
 
 val roaming_config : zones:int -> config
 (** {!default_config} with [Roam] movement over the most-square grid
     for the given zone count. Raises [Invalid_argument] if the zone
     count is not positive. *)
 
+type episode = {
+  started_at : float;          (** time of the crash that opened it *)
+  recovered_at : float option; (** [None] when still open at the end of the run *)
+  pre_pqos : float;            (** pQoS just before the crash *)
+  min_pqos : float;            (** deepest dip during the episode *)
+}
+(** One service-disruption episode: opens at a crash (if none is
+    already open), closes when no client is shed and pQoS is back
+    within {!recovery_tolerance} of its pre-crash level. *)
+
+val recovery_tolerance : float
+(** 0.05: an episode counts as recovered when pQoS is within this
+    margin of its pre-crash value (and nobody is shed). *)
+
+type fault_report = {
+  crashes : int;
+  recoveries : int;
+  degradations : int;
+  failovers : int;       (** failure-aware refreshes run *)
+  retries : int;         (** backoff re-homing attempts *)
+  shed_peak : int;       (** worst observed count of unassigned clients *)
+  zone_migrations : int; (** zone handoffs spent by failover refreshes *)
+  episodes : episode list;  (** chronological *)
+  invariant_violations : string list;
+      (** post-event invariant violations (first 50); must be empty on
+          a healthy implementation *)
+}
+
+val no_faults : fault_report
+(** The all-zero report, for comparisons and tests. *)
+
 type outcome = {
   trace : Trace.t;
   reassignments : int;
   final_world : Cap_model.World.t;
   final_assignment : Cap_model.Assignment.t;
+  faults : fault_report;
 }
 
 val run :
@@ -69,4 +119,7 @@ val run :
   outcome
 (** Simulate starting from [world]'s client population, initially
     assigned by [algorithm]. Raises [Invalid_argument] on non-positive
-    durations/intervals or a negative arrival rate. *)
+    durations/intervals, a negative arrival rate, or a fault schedule
+    that fails {!Cap_faults.Fault.validate}. Fault handling itself
+    never raises: insufficient surviving capacity degrades to
+    [unassigned] clients. *)

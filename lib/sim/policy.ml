@@ -1,17 +1,24 @@
 type t =
   | Never
   | Periodic of float
-  | On_threshold of float
+  | On_threshold of {
+      pqos : float;
+      min_interval : float;
+    }
 
 let describe = function
   | Never -> "never"
   | Periodic s -> Printf.sprintf "periodic(%gs)" s
-  | On_threshold q -> Printf.sprintf "threshold(pQoS<%g)" q
+  | On_threshold { pqos; min_interval } ->
+      if min_interval = 0. then Printf.sprintf "threshold(pQoS<%g)" pqos
+      else Printf.sprintf "threshold(pQoS<%g, cooldown %gs)" pqos min_interval
 
 let validate t =
   (match t with
   | Never -> ()
   | Periodic s -> if s <= 0. then invalid_arg "Policy: period must be positive"
-  | On_threshold q ->
-      if q <= 0. || q > 1. then invalid_arg "Policy: threshold outside (0, 1]");
+  | On_threshold { pqos; min_interval } ->
+      if pqos <= 0. || pqos > 1. then invalid_arg "Policy: threshold outside (0, 1]";
+      if min_interval < 0. || Float.is_nan min_interval then
+        invalid_arg "Policy: negative cooldown");
   t

@@ -8,11 +8,19 @@ type t =
           column, extended in time) *)
   | Periodic of float
       (** re-execute every given number of simulated seconds *)
-  | On_threshold of float
-      (** re-execute whenever sampled pQoS falls below the threshold *)
+  | On_threshold of {
+      pqos : float;          (** trigger when sampled pQoS falls below this *)
+      min_interval : float;  (** hysteresis: seconds that must elapse since
+                                 the last threshold-triggered reassignment
+                                 before another may fire (0 = none) *)
+    }
+      (** re-execute whenever sampled pQoS falls below the threshold,
+          but at most once per [min_interval] — without the cooldown a
+          persistently-low pQoS (e.g. insufficient capacity) would
+          trigger a full reassignment at every sample tick *)
 
 val describe : t -> string
 
 val validate : t -> t
-(** Raises [Invalid_argument] on a non-positive period or a threshold
-    outside (0, 1]. *)
+(** Raises [Invalid_argument] on a non-positive period, a threshold
+    outside (0, 1], or a negative cooldown. *)

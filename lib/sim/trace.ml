@@ -6,6 +6,8 @@ type point = {
   pqos : float;
   utilization : float;
   reassignments : int;
+  unassigned : int;
+  down_servers : int;
 }
 
 type t = { mutable rev_points : point list }
@@ -22,11 +24,15 @@ let mean_pqos t =
 
 let min_pqos t = List.fold_left (fun acc p -> min acc p.pqos) 1. t.rev_points
 
+let max_unassigned t = List.fold_left (fun acc p -> max acc p.unassigned) 0 t.rev_points
+
 let final t = match t.rev_points with [] -> None | p :: _ -> Some p
 
 let to_table t =
   let table =
-    Table.create ~headers:[ "time"; "clients"; "pQoS"; "util"; "reassigns" ] ()
+    Table.create
+      ~headers:[ "time"; "clients"; "pQoS"; "util"; "reassigns"; "unassigned"; "down" ]
+      ()
   in
   List.iter
     (fun p ->
@@ -37,13 +43,15 @@ let to_table t =
           Table.cell_float ~decimals:3 p.pqos;
           Table.cell_float ~decimals:3 p.utilization;
           string_of_int p.reassignments;
+          string_of_int p.unassigned;
+          string_of_int p.down_servers;
         ])
     (points t);
   table
 
 let to_csv t = Table.to_csv (to_table t)
 
-let csv_header = "time,clients,pQoS,util,reassigns"
+let csv_header = "time,clients,pQoS,util,reassigns,unassigned,down"
 
 let of_csv csv =
   let lines =
@@ -58,16 +66,25 @@ let of_csv csv =
       List.iter
         (fun row ->
           match String.split_on_char ',' row with
-          | [ time; clients; pqos; utilization; reassignments ] -> (
+          | [ time; clients; pqos; utilization; reassignments; unassigned; down ] -> (
               match
                 ( float_of_string_opt time,
                   int_of_string_opt clients,
                   float_of_string_opt pqos,
                   float_of_string_opt utilization,
-                  int_of_string_opt reassignments )
+                  int_of_string_opt reassignments,
+                  int_of_string_opt unassigned,
+                  int_of_string_opt down )
               with
-              | Some time, Some clients, Some pqos, Some utilization, Some reassignments ->
-                  record t { time; clients; pqos; utilization; reassignments }
+              | ( Some time,
+                  Some clients,
+                  Some pqos,
+                  Some utilization,
+                  Some reassignments,
+                  Some unassigned,
+                  Some down_servers ) ->
+                  record t
+                    { time; clients; pqos; utilization; reassignments; unassigned; down_servers }
               | _ -> invalid_arg ("Trace.of_csv: malformed row: " ^ row))
           | _ -> invalid_arg ("Trace.of_csv: malformed row: " ^ row))
         rows;

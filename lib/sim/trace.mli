@@ -6,6 +6,9 @@ type point = {
   pqos : float;
   utilization : float;
   reassignments : int;  (** cumulative re-executions so far *)
+  unassigned : int;     (** clients currently shed with no server
+                            (orphaned by failures, awaiting re-homing) *)
+  down_servers : int;   (** servers currently dead *)
 }
 
 type t
@@ -22,6 +25,9 @@ val mean_pqos : t -> float
 
 val min_pqos : t -> float
 (** 1.0 if empty. *)
+
+val max_unassigned : t -> int
+(** Worst sampled count of shed clients; 0 if empty. *)
 
 val final : t -> point option
 

@@ -1,0 +1,392 @@
+module Rng = Cap_util.Rng
+module World = Cap_model.World
+module Health = Cap_model.Health
+module Assignment = Cap_model.Assignment
+module Fault = Cap_faults.Fault
+module Invariants = Cap_faults.Invariants
+module Sim = Cap_sim.Dve_sim
+module Policy = Cap_sim.Policy
+module Trace = Cap_sim.Trace
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Health mask                                                         *)
+
+let test_health_basics () =
+  let h = Health.create ~servers:5 in
+  Alcotest.(check bool) "all alive" true (Health.all_alive h);
+  Alcotest.(check string) "all up" "all up" (Health.describe h);
+  Health.crash h 2;
+  Health.degrade h 4 ~delay_penalty:80.;
+  Alcotest.(check bool) "s2 dead" false (Health.is_alive h 2);
+  Alcotest.(check int) "four alive" 4 (Health.alive_count h);
+  Alcotest.(check string) "describe" "s2 down, s4 +80ms" (Health.describe h);
+  (* degrading a dead server is ignored, crashing clears the penalty *)
+  Health.degrade h 2 ~delay_penalty:50.;
+  Health.crash h 4;
+  Health.recover h 4;
+  Alcotest.(check (float 1e-9)) "penalty cleared" 0. h.Health.delay_penalty.(4);
+  Health.recover h 2;
+  Alcotest.(check bool) "recovered" true (Health.all_alive h);
+  Alcotest.check_raises "negative penalty"
+    (Invalid_argument "Health.degrade: negative delay penalty") (fun () ->
+      Health.degrade h 0 ~delay_penalty:(-1.));
+  Alcotest.check_raises "bad server" (Invalid_argument "Health: server out of range")
+    (fun () -> Health.crash h 7)
+
+let test_health_apply () =
+  let w = Fixtures.standard () in
+  let h = Health.create ~servers:2 in
+  Health.crash h 1;
+  let projected = Health.apply h w in
+  Alcotest.(check (float 1e-9)) "dead capacity zeroed" 0. projected.World.capacities.(1);
+  Alcotest.(check bool) "dead penalty infinite" true
+    (projected.World.server_delay_penalty.(1) = infinity);
+  Alcotest.(check (float 1e-9)) "survivor untouched" w.World.capacities.(0)
+    projected.World.capacities.(0);
+  (* a client on the dead server now has unbounded delay *)
+  let a = Assignment.make ~target_of_zone:[| 0; 1 |] ~contact_of_client:[| 0; 0; 1; 1 |] in
+  Alcotest.(check bool) "delay through dead server unbounded" true
+    (Assignment.client_delay a projected 2 = infinity);
+  (* degradation inflates delay without killing the server *)
+  Health.recover h 1;
+  Health.degrade h 1 ~delay_penalty:40.;
+  let slowed = Health.apply h w in
+  Alcotest.(check (float 1e-9)) "degraded keeps capacity" w.World.capacities.(1)
+    slowed.World.capacities.(1);
+  Alcotest.(check (float 1e-9)) "delay inflated by penalty"
+    (Assignment.client_delay a w 2 +. 40.)
+    (Assignment.client_delay a slowed 2)
+
+(* ------------------------------------------------------------------ *)
+(* Fault schedules                                                     *)
+
+let test_schedule_validate () =
+  let ok = [ { Fault.at = 5.; event = Fault.Crash 1 }; { Fault.at = 2.; event = Fault.Recover 0 } ] in
+  (match Fault.validate ~servers:2 ok with
+  | [ a; b ] ->
+      Alcotest.(check (float 1e-9)) "sorted" 2. a.Fault.at;
+      Alcotest.(check (float 1e-9)) "sorted 2" 5. b.Fault.at
+  | _ -> Alcotest.fail "expected both events back");
+  let bad schedule = try ignore (Fault.validate ~servers:2 schedule); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative time" true (bad [ { Fault.at = -1.; event = Fault.Crash 0 } ]);
+  Alcotest.(check bool) "server out of range" true (bad [ { Fault.at = 0.; event = Fault.Crash 9 } ]);
+  Alcotest.(check bool) "bad penalty" true
+    (bad [ { Fault.at = 0.; event = Fault.Degrade { server = 0; delay_penalty = 0. } } ])
+
+let test_poisson_generator () =
+  let gen seed = Fault.poisson (Rng.create ~seed) ~servers:4 ~mtbf:50. ~mttr:20. ~duration:500. in
+  let a = gen 3 and b = gen 3 and c = gen 4 in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Alcotest.(check bool) "seed-sensitive" true (a <> c);
+  Alcotest.(check bool) "produces faults" true (Fault.crash_count a > 0);
+  (* per server, events alternate crash / recover in time order *)
+  for s = 0 to 3 do
+    let mine = List.filter (fun t -> Fault.server_of t.Fault.event = s) a in
+    ignore
+      (List.fold_left
+         (fun expect_crash t ->
+           (match t.Fault.event with
+           | Fault.Crash _ ->
+               Alcotest.(check bool) "crash expected" true expect_crash
+           | Fault.Recover _ ->
+               Alcotest.(check bool) "recover expected" false expect_crash
+           | Fault.Degrade _ -> Alcotest.fail "poisson never degrades");
+           not expect_crash)
+         true mine)
+  done;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "within horizon" true (t.Fault.at >= 0. && t.Fault.at < 500.))
+    a
+
+let test_regional_outage () =
+  let w = Fixtures.generated () in
+  let region_of_server =
+    Array.map (fun n -> w.World.region_of_node.(n)) w.World.server_nodes
+  in
+  let region = region_of_server.(0) in
+  let expected =
+    Array.fold_left (fun acc r -> if r = region then acc + 1 else acc) 0 region_of_server
+  in
+  let schedule =
+    Fault.regional_outage (Rng.create ~seed:5) ~region_of_server ~region ~at:30.
+      ~downtime:60. ~jitter:5. ()
+  in
+  Alcotest.(check int) "every regional server crashes" expected (Fault.crash_count schedule);
+  Alcotest.(check int) "and recovers" (2 * expected) (List.length schedule);
+  List.iter
+    (fun t ->
+      match t.Fault.event with
+      | Fault.Crash s ->
+          Alcotest.(check int) "right region" region region_of_server.(s);
+          Alcotest.(check bool) "jittered start" true (t.Fault.at >= 30. && t.Fault.at < 35.)
+      | Fault.Recover _ -> ()
+      | Fault.Degrade _ -> Alcotest.fail "outage never degrades")
+    schedule
+
+let test_merge () =
+  let a = [ { Fault.at = 10.; event = Fault.Crash 0 }; { Fault.at = 30.; event = Fault.Recover 0 } ] in
+  let b = [ { Fault.at = 20.; event = Fault.Crash 1 } ] in
+  let times = List.map (fun t -> t.Fault.at) (Fault.merge [ a; b ]) in
+  Alcotest.(check (list (float 1e-9))) "time ordered" [ 10.; 20.; 30. ] times
+
+(* ------------------------------------------------------------------ *)
+(* failure-aware refresh                                               *)
+
+let test_refresh_evacuates_dead_server () =
+  let w = Fixtures.standard () in
+  let previous =
+    Assignment.make ~target_of_zone:[| 0; 1 |] ~contact_of_client:[| 0; 0; 1; 1 |]
+  in
+  let next, migration =
+    Cap_core.Incremental.refresh ~max_zone_moves:0 ~alive:[| true; false |] w ~previous
+  in
+  Alcotest.(check int) "orphan moved to survivor" 0 next.Assignment.target_of_zone.(1);
+  Alcotest.(check int) "one zone move" 1 migration.Cap_core.Incremental.zone_moves;
+  Array.iter
+    (fun contact -> Alcotest.(check int) "no contact on dead server" 0 contact)
+    next.Assignment.contact_of_client;
+  Alcotest.(check int) "nothing shed" 0 (Assignment.unassigned_zones next)
+
+let test_refresh_sheds_when_capacity_insufficient () =
+  (* each 2-client zone needs pop*(pop+1)*1000 = 6000 bps; the sole
+     survivor can hold exactly one *)
+  let w = Fixtures.standard ~capacities:[| 6000.; 1e9 |] () in
+  let previous =
+    Assignment.make ~target_of_zone:[| 0; 1 |] ~contact_of_client:[| 0; 0; 1; 1 |]
+  in
+  let next, _ =
+    Cap_core.Incremental.refresh ~alive:[| true; false |] w ~previous
+  in
+  Alcotest.(check int) "survivor keeps its zone" 0 next.Assignment.target_of_zone.(0);
+  Alcotest.(check int) "orphan shed explicitly" Assignment.unassigned
+    next.Assignment.target_of_zone.(1);
+  Alcotest.(check int) "shed zone's clients unassigned" Assignment.unassigned
+    next.Assignment.contact_of_client.(2);
+  Alcotest.(check int) "one zone shed" 1 (Assignment.unassigned_zones next);
+  Alcotest.(check int) "two clients shed" 2 (Assignment.unassigned_clients next);
+  Alcotest.(check (list string)) "loads stay valid" [] (Assignment.violations next w);
+  (* capacity back: the shed zone is re-admitted *)
+  let healed, _ = Cap_core.Incremental.refresh ~alive:[| true; true |] w ~previous:next in
+  Alcotest.(check int) "re-admitted" 0 (Assignment.unassigned_zones healed)
+
+let test_refresh_all_dead_sheds_everything () =
+  let w = Fixtures.standard () in
+  let previous =
+    Assignment.make ~target_of_zone:[| 0; 1 |] ~contact_of_client:[| 0; 0; 1; 1 |]
+  in
+  let next, _ = Cap_core.Incremental.refresh ~alive:[| false; false |] w ~previous in
+  Alcotest.(check int) "all zones shed" 2 (Assignment.unassigned_zones next);
+  Alcotest.(check int) "all clients shed" 4 (Assignment.unassigned_clients next)
+
+(* ------------------------------------------------------------------ *)
+(* invariant checker                                                   *)
+
+let test_invariants_flag_bad_states () =
+  let w = Fixtures.standard () in
+  let h = Health.create ~servers:2 in
+  let a = Assignment.make ~target_of_zone:[| 0; 1 |] ~contact_of_client:[| 0; 0; 1; 1 |] in
+  Alcotest.(check (list string)) "healthy state passes" []
+    (Invariants.check ~world:(Health.apply h w) ~health:h ~assignment:a);
+  Health.crash h 1;
+  let dead_world = Health.apply h w in
+  Alcotest.(check bool) "zone on dead server flagged" true
+    (Invariants.check ~world:dead_world ~health:h ~assignment:a <> []);
+  (* shedding the orphaned zone and its clients satisfies the checker *)
+  let shed =
+    Assignment.make
+      ~target_of_zone:[| 0; Assignment.unassigned |]
+      ~contact_of_client:[| 0; 0; Assignment.unassigned; Assignment.unassigned |]
+  in
+  Alcotest.(check (list string)) "shed state passes" []
+    (Invariants.check ~world:dead_world ~health:h ~assignment:shed);
+  (* a client shed without its zone (or vice versa) is inconsistent *)
+  let inconsistent =
+    Assignment.make ~target_of_zone:[| 0; Assignment.unassigned |]
+      ~contact_of_client:[| 0; 0; 0; 0 |]
+  in
+  Alcotest.(check bool) "half-shed flagged" true
+    (Invariants.check ~world:dead_world ~health:h ~assignment:inconsistent <> [])
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end chaos runs                                               *)
+
+let algorithm = Cap_core.Two_phase.grez_grec
+
+let run_chaos ?(duration = 400.) ?(seed = 3) ?(policy = Policy.Periodic 50.) faults =
+  let w = Fixtures.generated ~seed () in
+  (* a stable population (no arrivals, effectively infinite sessions)
+     isolates fault effects: pQoS can actually return to its pre-crash
+     level instead of drifting with churn *)
+  let config =
+    {
+      Sim.default_config with
+      duration;
+      policy;
+      sample_interval = 10.;
+      arrival_rate = 0.;
+      mean_session = 1e7;
+      faults;
+      retry_interval = 5.;
+    }
+  in
+  Sim.run (Rng.create ~seed) config ~world:w ~algorithm
+
+let most_loaded_server ~seed =
+  let w = Fixtures.generated ~seed () in
+  let a = Cap_core.Two_phase.run algorithm (Rng.create ~seed) w in
+  let loads = Assignment.server_loads a w in
+  let best = ref 0 in
+  Array.iteri (fun s l -> if l > loads.(!best) then best := s) loads;
+  !best
+
+let test_crash_then_recover_round_trips () =
+  let victim = most_loaded_server ~seed:3 in
+  let outcome =
+    run_chaos
+      [
+        { Fault.at = 100.; event = Fault.Crash victim };
+        { Fault.at = 200.; event = Fault.Recover victim };
+      ]
+  in
+  let faults = outcome.Sim.faults in
+  Alcotest.(check int) "one crash" 1 faults.Sim.crashes;
+  Alcotest.(check int) "one recovery" 1 faults.Sim.recoveries;
+  Alcotest.(check bool) "failovers ran" true (faults.Sim.failovers >= 2);
+  Alcotest.(check (list string)) "no invariant violations" [] faults.Sim.invariant_violations;
+  Alcotest.(check int) "one episode" 1 (List.length faults.Sim.episodes);
+  let episode = List.hd faults.Sim.episodes in
+  (match episode.Sim.recovered_at with
+  | None -> Alcotest.fail "episode never recovered"
+  | Some ended ->
+      (* an immediate, fully-repairing failover recovers at the crash
+         instant itself (MTTR 0) *)
+      Alcotest.(check bool) "recovered at or after the crash" true
+        (ended >= episode.Sim.started_at));
+  (* recovery means pQoS back within tolerance of its pre-crash level *)
+  (match Trace.final outcome.Sim.trace with
+  | None -> Alcotest.fail "expected samples"
+  | Some p ->
+      Alcotest.(check int) "nobody left shed" 0 p.Trace.unassigned;
+      Alcotest.(check int) "all servers back" 0 p.Trace.down_servers);
+  Alcotest.(check bool) "pQoS dipped or moved during the outage" true
+    (episode.Sim.min_pqos <= episode.Sim.pre_pqos)
+
+let test_total_failure_degrades_without_raising () =
+  (* kill every server; the run must complete with everyone explicitly
+     unassigned, not raise *)
+  let crash_all =
+    List.init 5 (fun s -> { Fault.at = 50.; event = Fault.Crash s })
+  in
+  let outcome = run_chaos ~duration:100. crash_all in
+  let faults = outcome.Sim.faults in
+  Alcotest.(check (list string)) "invariants hold even with zero capacity" []
+    faults.Sim.invariant_violations;
+  Alcotest.(check bool) "clients were shed" true (faults.Sim.shed_peak > 0);
+  Alcotest.(check bool) "final population fully shed" true
+    (Assignment.unassigned_clients outcome.Sim.final_assignment
+    = World.client_count outcome.Sim.final_world);
+  match Trace.final outcome.Sim.trace with
+  | None -> Alcotest.fail "expected samples"
+  | Some p -> Alcotest.(check int) "all servers down in trace" 5 p.Trace.down_servers
+
+let test_capacity_returns_and_clients_rehome () =
+  let crash_all = List.init 5 (fun s -> { Fault.at = 50.; event = Fault.Crash s }) in
+  let recover_all = List.init 5 (fun s -> { Fault.at = 80.; event = Fault.Recover s }) in
+  let outcome = run_chaos ~duration:200. (Fault.merge [ crash_all; recover_all ]) in
+  let faults = outcome.Sim.faults in
+  Alcotest.(check (list string)) "no invariant violations" [] faults.Sim.invariant_violations;
+  Alcotest.(check bool) "shed during blackout" true (faults.Sim.shed_peak > 0);
+  Alcotest.(check int) "everyone re-homed" 0
+    (Assignment.unassigned_clients outcome.Sim.final_assignment)
+
+let test_seeded_chaos_invariants =
+  QCheck.Test.make ~name:"invariants hold across seeded poisson chaos" ~count:3
+    QCheck.small_nat (fun n ->
+      let seed = n + 1 in
+      let faults =
+        Fault.poisson (Rng.create ~seed:(seed + 100)) ~servers:5 ~mtbf:120. ~mttr:40.
+          ~duration:300.
+      in
+      let outcome = run_chaos ~duration:300. ~seed faults in
+      outcome.Sim.faults.Sim.invariant_violations = [])
+
+let test_degrade_dips_pqos () =
+  (* a heavy penalty on every server must show up as a pQoS drop *)
+  let outcome =
+    run_chaos ~duration:100. ~policy:Policy.Never
+      (List.init 5 (fun s ->
+           { Fault.at = 50.; event = Fault.Degrade { server = s; delay_penalty = 500. } }))
+  in
+  Alcotest.(check int) "degradations counted" 5 outcome.Sim.faults.Sim.degradations;
+  Alcotest.(check (list string)) "no invariant violations" []
+    outcome.Sim.faults.Sim.invariant_violations;
+  let before, after =
+    List.partition (fun p -> p.Trace.time <= 50.) (Trace.points outcome.Sim.trace)
+  in
+  let mean ps = List.fold_left (fun acc p -> acc +. p.Trace.pqos) 0. ps /. float_of_int (List.length ps) in
+  Alcotest.(check bool) "pQoS collapsed under +500ms everywhere" true
+    (mean after < mean before -. 0.3)
+
+let test_chaos_determinism () =
+  let faults =
+    Fault.poisson (Rng.create ~seed:9) ~servers:5 ~mtbf:100. ~mttr:30. ~duration:200.
+  in
+  let a = run_chaos ~duration:200. faults and b = run_chaos ~duration:200. faults in
+  Alcotest.(check bool) "same trace" true
+    (Trace.points a.Sim.trace = Trace.points b.Sim.trace);
+  Alcotest.(check bool) "same fault report" true (a.Sim.faults = b.Sim.faults)
+
+let test_chaos_report () =
+  let victim = most_loaded_server ~seed:3 in
+  let outcome =
+    run_chaos
+      [
+        { Fault.at = 100.; event = Fault.Crash victim };
+        { Fault.at = 200.; event = Fault.Recover victim };
+      ]
+  in
+  let report = Cap_sim.Chaos.analyze outcome in
+  Alcotest.(check bool) "availability in range" true
+    (report.Cap_sim.Chaos.availability >= 0. && report.Cap_sim.Chaos.availability <= 1.);
+  Alcotest.(check bool) "mttr present" true (report.Cap_sim.Chaos.mttr <> None);
+  Alcotest.(check bool) "failure-window pQoS present" true
+    (report.Cap_sim.Chaos.pqos_during_failure <> None);
+  Alcotest.(check int) "no unresolved episodes" 0 report.Cap_sim.Chaos.unresolved_episodes;
+  Alcotest.(check bool) "table renders" true
+    (Cap_util.Table.render (Cap_sim.Chaos.to_table outcome report) <> "")
+
+let tests =
+  [
+    ( "faults/health",
+      [
+        case "health basics" test_health_basics;
+        case "health apply" test_health_apply;
+      ] );
+    ( "faults/schedule",
+      [
+        case "validate" test_schedule_validate;
+        case "poisson generator" test_poisson_generator;
+        case "regional outage" test_regional_outage;
+        case "merge" test_merge;
+      ] );
+    ( "faults/refresh",
+      [
+        case "evacuates dead server" test_refresh_evacuates_dead_server;
+        case "sheds on insufficient capacity" test_refresh_sheds_when_capacity_insufficient;
+        case "all dead sheds everything" test_refresh_all_dead_sheds_everything;
+        case "invariant checker" test_invariants_flag_bad_states;
+      ] );
+    ( "faults/chaos",
+      [
+        case "crash then recover round-trips" test_crash_then_recover_round_trips;
+        case "total failure degrades, never raises" test_total_failure_degrades_without_raising;
+        case "capacity returns, clients re-home" test_capacity_returns_and_clients_rehome;
+        case "degrade dips pQoS" test_degrade_dips_pqos;
+        case "determinism" test_chaos_determinism;
+        case "chaos report" test_chaos_report;
+        QCheck_alcotest.to_alcotest test_seeded_chaos_invariants;
+      ] );
+  ]

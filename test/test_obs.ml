@@ -208,9 +208,12 @@ let test_trace_csv_round_trip () =
   let trace = Cap_sim.Trace.create () in
   let points =
     [
-      { Cap_sim.Trace.time = 20.; clients = 100; pqos = 0.875; utilization = 0.5; reassignments = 0 };
-      { Cap_sim.Trace.time = 40.; clients = 104; pqos = 0.912; utilization = 0.625; reassignments = 1 };
-      { Cap_sim.Trace.time = 60.; clients = 99; pqos = 0.75; utilization = 0.375; reassignments = 2 };
+      { Cap_sim.Trace.time = 20.; clients = 100; pqos = 0.875; utilization = 0.5;
+        reassignments = 0; unassigned = 0; down_servers = 0 };
+      { Cap_sim.Trace.time = 40.; clients = 104; pqos = 0.912; utilization = 0.625;
+        reassignments = 1; unassigned = 7; down_servers = 1 };
+      { Cap_sim.Trace.time = 60.; clients = 99; pqos = 0.75; utilization = 0.375;
+        reassignments = 2; unassigned = 0; down_servers = 0 };
     ]
   in
   List.iter (Cap_sim.Trace.record trace) points;
@@ -226,7 +229,10 @@ let test_trace_csv_round_trip () =
       Alcotest.(check (float 1e-9))
         "utilization" a.Cap_sim.Trace.utilization b.Cap_sim.Trace.utilization;
       Alcotest.(check int)
-        "reassignments" a.Cap_sim.Trace.reassignments b.Cap_sim.Trace.reassignments)
+        "reassignments" a.Cap_sim.Trace.reassignments b.Cap_sim.Trace.reassignments;
+      Alcotest.(check int) "unassigned" a.Cap_sim.Trace.unassigned b.Cap_sim.Trace.unassigned;
+      Alcotest.(check int)
+        "down servers" a.Cap_sim.Trace.down_servers b.Cap_sim.Trace.down_servers)
     points
     (Cap_sim.Trace.points round_tripped);
   Alcotest.check_raises "malformed header"
@@ -234,7 +240,7 @@ let test_trace_csv_round_trip () =
       ignore (Cap_sim.Trace.of_csv "nope\n1,2,3,4,5\n"));
   Alcotest.check_raises "malformed row"
     (Invalid_argument "Trace.of_csv: malformed row: 1,2,3") (fun () ->
-      ignore (Cap_sim.Trace.of_csv "time,clients,pQoS,util,reassigns\n1,2,3\n"))
+      ignore (Cap_sim.Trace.of_csv "time,clients,pQoS,util,reassigns,unassigned,down\n1,2,3\n"))
 
 let test_instrumented_solver =
   with_obs (fun () ->

@@ -64,7 +64,7 @@ let prop_zone_rates_helper =
 
 let test_fallback_server_helper () =
   let s =
-    Server_load.fallback_server ~loads:[| 5.; 1.; 9. |] ~capacities:[| 10.; 4.; 10. |]
+    Server_load.fallback_server ~loads:[| 5.; 1.; 9. |] ~capacities:[| 10.; 4.; 10. |] ()
   in
   Alcotest.(check int) "largest residual" 0 s
 

@@ -18,6 +18,9 @@ let config ?(policy = Policy.Never) ?(duration = 100.) ?flash_crowd
     flash_crowd;
     movement;
     diurnal;
+    faults = [];
+    failover_moves = 16;
+    retry_interval = 10.;
   }
 
 let run ?policy ?duration ?flash_crowd ?(seed = 1) () =
@@ -29,11 +32,15 @@ let test_policy_module () =
   Alcotest.(check string) "never" "never" (Policy.describe Policy.Never);
   Alcotest.(check string) "periodic" "periodic(30s)" (Policy.describe (Policy.Periodic 30.));
   Alcotest.(check string) "threshold" "threshold(pQoS<0.9)"
-    (Policy.describe (Policy.On_threshold 0.9));
+    (Policy.describe (Policy.On_threshold { pqos = 0.9; min_interval = 0. }));
+  Alcotest.(check string) "threshold with cooldown" "threshold(pQoS<0.9, cooldown 60s)"
+    (Policy.describe (Policy.On_threshold { pqos = 0.9; min_interval = 60. }));
   Alcotest.check_raises "bad period" (Invalid_argument "Policy: period must be positive")
     (fun () -> ignore (Policy.validate (Policy.Periodic 0.)));
   Alcotest.check_raises "bad threshold" (Invalid_argument "Policy: threshold outside (0, 1]")
-    (fun () -> ignore (Policy.validate (Policy.On_threshold 1.5)))
+    (fun () -> ignore (Policy.validate (Policy.On_threshold { pqos = 1.5; min_interval = 0. })));
+  Alcotest.check_raises "bad cooldown" (Invalid_argument "Policy: negative cooldown")
+    (fun () -> ignore (Policy.validate (Policy.On_threshold { pqos = 0.9; min_interval = -1. })))
 
 let test_trace_module () =
   let t = Trace.create () in
@@ -42,7 +49,15 @@ let test_trace_module () =
   Alcotest.(check (float 1e-9)) "min empty" 1. (Trace.min_pqos t);
   Alcotest.(check bool) "final empty" true (Trace.final t = None);
   let point time pqos =
-    { Trace.time; clients = 10; pqos; utilization = 0.5; reassignments = 0 }
+    {
+      Trace.time;
+      clients = 10;
+      pqos;
+      utilization = 0.5;
+      reassignments = 0;
+      unassigned = 0;
+      down_servers = 0;
+    }
   in
   Trace.record t (point 1. 0.8);
   Trace.record t (point 2. 0.6);
@@ -77,12 +92,36 @@ let test_policy_periodic () =
 
 let test_policy_threshold_reacts () =
   let never = run ~policy:Policy.Never ~duration:200. () in
-  let threshold = run ~policy:(Policy.On_threshold 0.99) ~duration:200. () in
+  let threshold =
+    run ~policy:(Policy.On_threshold { pqos = 0.99; min_interval = 0. }) ~duration:200. ()
+  in
   (* an aggressive threshold must trigger at least once where the
      static assignment drifts *)
   Alcotest.(check bool) "triggered" true (threshold.Sim.reassignments > 0);
   Alcotest.(check bool) "mean pQoS at least as good" true
     (Trace.mean_pqos threshold.Sim.trace >= Trace.mean_pqos never.Sim.trace -. 0.02)
+
+let test_threshold_cooldown_limits () =
+  (* an aggressive threshold with no cooldown fires on (nearly) every
+     sample; a cooldown as long as the run allows at most one firing *)
+  let eager =
+    run ~policy:(Policy.On_threshold { pqos = 0.99; min_interval = 0. }) ~duration:200. ()
+  in
+  let cooled =
+    run ~policy:(Policy.On_threshold { pqos = 0.99; min_interval = 1000. }) ~duration:200. ()
+  in
+  Alcotest.(check bool) "eager fires more than once" true (eager.Sim.reassignments > 1);
+  Alcotest.(check bool) "cooldown caps at one" true (cooled.Sim.reassignments <= 1)
+
+let test_final_sample_off_grid () =
+  (* 95 s duration with a 10 s grid: samples at 10..90 plus a final
+     flush at exactly t = 95 *)
+  let outcome = run ~duration:95. () in
+  let times = List.map (fun p -> p.Trace.time) (Trace.points outcome.Sim.trace) in
+  Alcotest.(check int) "ten samples" 10 (List.length times);
+  match List.rev times with
+  | last :: _ -> Alcotest.(check (float 1e-6)) "last at duration" 95. last
+  | [] -> Alcotest.fail "expected samples"
 
 let test_population_evolves () =
   let outcome = run ~duration:150. () in
@@ -226,6 +265,8 @@ let tests =
         case "policy never" test_policy_never;
         case "policy periodic" test_policy_periodic;
         case "policy threshold reacts" test_policy_threshold_reacts;
+        case "threshold cooldown limits reassignments" test_threshold_cooldown_limits;
+        case "final sample off grid" test_final_sample_off_grid;
         case "population evolves" test_population_evolves;
         case "determinism" test_determinism;
         case "validation" test_validation;
