@@ -4,15 +4,50 @@
      report   reproduce the paper's tables and figures
      run      run one algorithm on one configuration
      optimal  run the branch-and-bound baseline on one configuration
-     sim      run the dynamic churn simulation *)
+     sim      run the dynamic churn simulation
+     chaos    run the simulation under injected server faults
+     resume   continue a checkpointed sim/chaos run from a snapshot
+     validate check scenario notation / worlds / trace CSVs
+
+   Exit codes (unified convention):
+     0  success
+     1  invariant or QoS failure (e.g. chaos invariant violations)
+     2  usage, parse, or validation error *)
 
 module Rng = Cap_util.Rng
 module Table = Cap_util.Table
 module Scenario = Cap_model.Scenario
+module Validate = Cap_model.Validate
 module World = Cap_model.World
 module Assignment = Cap_model.Assignment
+module Dve_sim = Cap_sim.Dve_sim
+module Envelope = Cap_snapshot.Envelope
+module Sim_run = Cap_snapshot.Sim_run
 
 open Cmdliner
+
+let exit_violation = 1
+let exit_usage = 2
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info exit_violation
+      ~doc:
+        "on an invariant or QoS failure: the inputs were valid but the run ended in a \
+         bad state (e.g. $(b,chaos) post-event invariant violations).";
+    Cmd.Exit.info exit_usage
+      ~doc:
+        "on usage, parse, or validation errors: malformed scenario notation, bad \
+         flags, malformed trace CSVs, or unreadable/corrupt/mismatched snapshot \
+         files.";
+  ]
+
+let binary_version = "1.1.0"
+
+let version_string =
+  Printf.sprintf "capsim %s (snapshot format v%d)" binary_version
+    Envelope.format_version
 
 let runs_arg =
   let doc = "Number of simulation runs to average (the paper uses 50)." in
@@ -31,7 +66,9 @@ let time_limit_arg =
   Arg.(value & opt float 5. & info [ "time-limit" ] ~docv:"SECONDS" ~doc)
 
 let scenario_of_string s =
-  try Ok (Scenario.of_notation s) with Invalid_argument m -> Error (`Msg m)
+  match Validate.scenario_notation s with
+  | Ok scenario -> Ok scenario
+  | Error issue -> Error (`Msg ("invalid scenario: " ^ Validate.describe issue))
 
 (* ------------------------------------------------------------------ *)
 (* telemetry (Cap_obs), shared by every subcommand                     *)
@@ -113,7 +150,7 @@ let report_cmd =
     match sections with
     | Error e ->
         prerr_endline e;
-        1
+        exit_usage
     | Ok sections ->
         List.iter
           (Cap_experiments.Report.print_section ?runs ~seed ~optimal_time_limit:time_limit)
@@ -124,7 +161,8 @@ let report_cmd =
     Term.(const run $ obs_term $ runs_arg $ seed_arg $ time_limit_arg $ sections_arg)
   in
   let info =
-    Cmd.info "report" ~doc:"Reproduce the paper's tables and figures (with paper values inline)."
+    Cmd.info "report" ~exits
+      ~doc:"Reproduce the paper's tables and figures (with paper values inline)."
   in
   Cmd.v info term
 
@@ -149,10 +187,10 @@ let run_cmd =
     match scenario_of_string config, Cap_core.Two_phase.find algorithm with
     | Error (`Msg m), _ ->
         prerr_endline m;
-        1
+        exit_usage
     | _, None ->
         Printf.eprintf "unknown algorithm: %s\n" algorithm;
-        1
+        exit_usage
     | Ok scenario, Some algorithm ->
         let rng = Rng.create ~seed in
         let world = World.generate rng scenario in
@@ -191,7 +229,7 @@ let run_cmd =
       const run $ obs_term $ config_arg $ algorithm_arg $ seed_arg $ error_arg
       $ delays_csv_arg)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run one assignment algorithm on one configuration.") term
+  Cmd.v (Cmd.info "run" ~exits ~doc:"Run one assignment algorithm on one configuration.") term
 
 (* ------------------------------------------------------------------ *)
 (* optimal                                                             *)
@@ -202,7 +240,7 @@ let optimal_cmd =
     match scenario_of_string config with
     | Error (`Msg m) ->
         prerr_endline m;
-        1
+        exit_usage
     | Ok scenario ->
         let rng = Rng.create ~seed in
         let world = World.generate rng scenario in
@@ -232,7 +270,8 @@ let optimal_cmd =
   in
   let term = Term.(const run $ obs_term $ config_arg $ seed_arg $ time_limit_arg) in
   Cmd.v
-    (Cmd.info "optimal" ~doc:"Run the branch-and-bound baseline (the lp_solve substitute).")
+    (Cmd.info "optimal" ~exits
+       ~doc:"Run the branch-and-bound baseline (the lp_solve substitute).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -248,7 +287,7 @@ let compare_cmd =
     match scenario_of_string config with
     | Error (`Msg m) ->
         prerr_endline m;
-        1
+        exit_usage
     | Ok scenario ->
         let rng = Rng.create ~seed in
         let world = World.generate rng scenario in
@@ -320,7 +359,7 @@ let compare_cmd =
       const run $ obs_term $ config_arg $ seed_arg $ time_limit_arg $ with_optimal_arg)
   in
   Cmd.v
-    (Cmd.info "compare"
+    (Cmd.info "compare" ~exits
        ~doc:"Compare every algorithm (and the load-balancing baseline) on one world.")
     term
 
@@ -340,10 +379,10 @@ let plan_cmd =
     match scenario_of_string config, Cap_core.Two_phase.find algorithm with
     | Error (`Msg m), _ ->
         prerr_endline m;
-        1
+        exit_usage
     | _, None ->
         Printf.eprintf "unknown algorithm: %s\n" algorithm;
-        1
+        exit_usage
     | Ok scenario, Some algorithm -> (
         try
           let plan =
@@ -361,14 +400,15 @@ let plan_cmd =
           0
         with Invalid_argument m ->
           prerr_endline m;
-          1)
+          exit_usage)
   in
   let term =
     Term.(
       const run $ obs_term $ config_arg $ seed_arg $ runs_arg $ target_arg $ algorithm_arg)
   in
   Cmd.v
-    (Cmd.info "plan" ~doc:"Find the total capacity needed for a target pQoS (bisection).")
+    (Cmd.info "plan" ~exits
+       ~doc:"Find the total capacity needed for a target pQoS (bisection).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -390,7 +430,7 @@ let plots_cmd =
   in
   let term = Term.(const run $ obs_term $ runs_arg $ seed_arg $ out_arg) in
   Cmd.v
-    (Cmd.info "plots" ~doc:"Export figure data as CSV plus gnuplot scripts.")
+    (Cmd.info "plots" ~exits ~doc:"Export figure data as CSV plus gnuplot scripts.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -414,6 +454,104 @@ let parse_policy s =
           Ok (Cap_sim.Policy.On_threshold { pqos = f; min_interval = c })
       | _ -> Error "threshold: bad level or cooldown")
   | _ -> Error ("unknown policy: " ^ s)
+
+(* ------------------------------------------------------------------ *)
+(* checkpointing, shared by sim, chaos and resume                      *)
+
+type checkpoint_options = {
+  ck_path : string option;
+  ck_every : float option;
+}
+
+let checkpoint_term =
+  let path_arg =
+    let doc =
+      "Write crash-safe snapshots of the running simulation to $(docv) (atomically: \
+       temp file + rename, so a crash mid-write never corrupts the previous \
+       snapshot). Combine with $(b,--checkpoint-every) for periodic captures; \
+       SIGTERM always captures a final snapshot and stops the run. Resume with \
+       $(b,capsim resume) $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let every_arg =
+    let doc =
+      "Capture a snapshot every $(docv) simulated seconds (requires \
+       $(b,--checkpoint))."
+    in
+    Arg.(value & opt (some float) None & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
+  in
+  Term.(const (fun ck_path ck_every -> { ck_path; ck_every }) $ path_arg $ every_arg)
+
+let sigterm_requested = ref false
+
+let install_sigterm () =
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> sigterm_requested := true))
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* Build the simulator hook for the given flags, or a usage error when
+   they are inconsistent. [spec] records how to rebuild the run. *)
+let checkpoint_hook options (spec : Sim_run.spec) =
+  match options with
+  | { ck_path = None; ck_every = Some _ } ->
+      Error "--checkpoint-every requires --checkpoint FILE"
+  | { ck_path = None; ck_every = None } -> Ok None
+  | { ck_path = Some _; ck_every = Some t } when t <= 0. ->
+      Error "--checkpoint-every: must be positive"
+  | { ck_path = Some path; ck_every } ->
+      install_sigterm ();
+      Ok
+        (Some
+           {
+             Dve_sim.every = ck_every;
+             request = (fun () -> !sigterm_requested);
+             write =
+               (fun ~reason ck ->
+                 match Sim_run.save ~path { Sim_run.spec; state = ck } with
+                 | Ok () ->
+                     if reason = Dve_sim.Requested then
+                       Printf.eprintf
+                         "checkpoint written to %s (t=%.1fs); continue with: capsim \
+                          resume %s\n\
+                          %!"
+                         path
+                         (Dve_sim.checkpoint_time ck)
+                         path
+                 | Error e ->
+                     Printf.eprintf "checkpoint write failed: %s\n%!"
+                       (Envelope.describe e));
+           })
+
+(* Outcome reporting shared by sim, chaos and resume; returns the exit
+   code (chaos invariant violations are the QoS-failure case). *)
+let report_sim_outcome ~command ~trace_csv (outcome : Dve_sim.outcome) =
+  Table.print (Cap_sim.Trace.to_table outcome.Dve_sim.trace);
+  Printf.printf "reassignments: %d\n" outcome.Dve_sim.reassignments;
+  let violations =
+    match command with
+    | Sim_run.Sim -> []
+    | Sim_run.Chaos ->
+        let report = Cap_sim.Chaos.analyze outcome in
+        Table.print (Cap_sim.Chaos.to_table outcome report);
+        report.Cap_sim.Chaos.invariant_violations
+  in
+  (match trace_csv with
+  | None -> ()
+  | Some file ->
+      let out = open_out file in
+      output_string out (Cap_sim.Trace.to_csv outcome.Dve_sim.trace);
+      close_out out;
+      Printf.printf "wrote trace to %s\n" file);
+  if outcome.Dve_sim.interrupted then
+    print_endline
+      "run interrupted: the tables above cover the simulated time up to the final \
+       checkpoint";
+  match violations with
+  | [] -> 0
+  | violations ->
+      Printf.eprintf "INVARIANT VIOLATIONS (%d):\n" (List.length violations);
+      List.iter (Printf.eprintf "  %s\n") violations;
+      exit_violation
 
 let sim_cmd =
   let duration_arg =
@@ -453,19 +591,19 @@ let sim_cmd =
         | _ -> Error ("bad flash spec: " ^ s))
     | _ -> Error ("bad flash spec: " ^ s)
   in
-  let run obs config seed duration policy algorithm roam flash diurnal trace_csv =
+  let run obs config seed duration policy algorithm roam flash diurnal trace_csv ck =
     with_obs obs @@ fun () ->
     match scenario_of_string config, parse_policy policy, Cap_core.Two_phase.find algorithm with
     | Error (`Msg m), _, _ ->
         prerr_endline m;
-        1
+        exit_usage
     | _, Error m, _ ->
         prerr_endline m;
-        1
+        exit_usage
     | _, _, None ->
         Printf.eprintf "unknown algorithm: %s\n" algorithm;
-        1
-    | Ok scenario, Ok policy, Some algorithm -> (
+        exit_usage
+    | Ok scenario, Ok policy, Some algo -> (
         let flash_crowd =
           match flash with
           | None -> Ok None
@@ -474,8 +612,8 @@ let sim_cmd =
         match flash_crowd with
         | Error m ->
             prerr_endline m;
-            1
-        | Ok flash_crowd ->
+            exit_usage
+        | Ok flash_crowd -> (
             let rng = Rng.create ~seed in
             let world = World.generate rng scenario in
             let movement =
@@ -484,41 +622,57 @@ let sim_cmd =
                   (Cap_model.Zone_map.square_for ~zones:(World.zone_count world))
               else Cap_sim.Dve_sim.Teleport
             in
-            let diurnal =
+            let diurnal_model =
               Option.map
                 (fun amplitude ->
                   Cap_sim.Diurnal.random (Rng.split rng) ~regions:world.World.regions
                     ~amplitude ())
                 diurnal
             in
-            let config =
+            let sim_config =
               {
                 Cap_sim.Dve_sim.default_config with
                 duration;
                 policy;
                 movement;
                 flash_crowd;
-                diurnal;
+                diurnal = diurnal_model;
               }
             in
-            let outcome = Cap_sim.Dve_sim.run rng config ~world ~algorithm in
-            Table.print (Cap_sim.Trace.to_table outcome.Cap_sim.Dve_sim.trace);
-            Printf.printf "reassignments: %d\n" outcome.Cap_sim.Dve_sim.reassignments;
-            (match trace_csv with
-            | None -> ()
-            | Some file ->
-                let out = open_out file in
-                output_string out (Cap_sim.Trace.to_csv outcome.Cap_sim.Dve_sim.trace);
-                close_out out;
-                Printf.printf "wrote trace to %s\n" file);
-            0)
+            let spec =
+              {
+                Sim_run.command = Sim_run.Sim;
+                scenario = config;
+                seed;
+                algorithm;
+                duration;
+                policy;
+                roam;
+                flash = flash_crowd;
+                diurnal_amplitude = diurnal;
+                faults = [];
+                failover_moves = sim_config.Cap_sim.Dve_sim.failover_moves;
+                world_fingerprint = Sim_run.fingerprint world;
+              }
+            in
+            match checkpoint_hook ck spec with
+            | Error m ->
+                prerr_endline m;
+                exit_usage
+            | Ok hook ->
+                let outcome =
+                  Cap_sim.Dve_sim.run ?checkpoint:hook rng sim_config ~world
+                    ~algorithm:algo
+                in
+                report_sim_outcome ~command:Sim_run.Sim ~trace_csv outcome))
   in
   let term =
     Term.(
       const run $ obs_term $ config_arg $ seed_arg $ duration_arg $ policy_arg
-      $ algorithm_arg $ roam_arg $ flash_arg $ diurnal_arg $ trace_csv_arg)
+      $ algorithm_arg $ roam_arg $ flash_arg $ diurnal_arg $ trace_csv_arg
+      $ checkpoint_term)
   in
-  Cmd.v (Cmd.info "sim" ~doc:"Run the dynamic churn simulation.") term
+  Cmd.v (Cmd.info "sim" ~exits ~doc:"Run the dynamic churn simulation.") term
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
@@ -599,7 +753,7 @@ let chaos_cmd =
       specs (Ok [])
   in
   let run obs config seed duration policy algorithm failover_moves crashes recovers
-      degrades mtbf mttr trace_csv =
+      degrades mtbf mttr trace_csv ck =
     with_obs obs @@ fun () ->
     let specs =
       match parse_all "crash" crashes, parse_all "recover" recovers,
@@ -611,18 +765,18 @@ let chaos_cmd =
           Cap_core.Two_phase.find algorithm, specs with
     | Error (`Msg m), _, _, _ | _, Error m, _, _ | _, _, _, Error m ->
         prerr_endline m;
-        1
+        exit_usage
     | _, _, None, _ ->
         Printf.eprintf "unknown algorithm: %s\n" algorithm;
-        1
-    | Ok scenario, Ok policy, Some algorithm, Ok specs -> (
+        exit_usage
+    | Ok scenario, Ok policy, Some algo, Ok specs -> (
         try
           let rng = Rng.create ~seed in
           let world = World.generate rng scenario in
           let most_loaded =
             (* resolved against the initial assignment, before any churn *)
             if List.exists (fun (_, (_, server, _)) -> server = `Max) specs then begin
-              let a = Cap_core.Two_phase.run algorithm (Rng.split rng) world in
+              let a = Cap_core.Two_phase.run algo (Rng.split rng) world in
               let loads = Assignment.server_loads a world in
               let best = ref 0 in
               Array.iteri (fun s l -> if l > loads.(!best) then best := s) loads;
@@ -658,7 +812,7 @@ let chaos_cmd =
           if faults = [] then
             invalid_arg "chaos: no faults given (use --crash/--degrade or --mtbf/--mttr)";
           Printf.printf "fault schedule: %s\n" (Fault.describe faults);
-          let config =
+          let sim_config =
             {
               Cap_sim.Dve_sim.default_config with
               duration;
@@ -667,45 +821,244 @@ let chaos_cmd =
               failover_moves;
             }
           in
-          let outcome = Cap_sim.Dve_sim.run rng config ~world ~algorithm in
-          Table.print (Cap_sim.Trace.to_table outcome.Cap_sim.Dve_sim.trace);
-          Printf.printf "reassignments: %d\n" outcome.Cap_sim.Dve_sim.reassignments;
-          let report = Cap_sim.Chaos.analyze outcome in
-          Table.print (Cap_sim.Chaos.to_table outcome report);
-          (match trace_csv with
-          | None -> ()
-          | Some file ->
-              let out = open_out file in
-              output_string out (Cap_sim.Trace.to_csv outcome.Cap_sim.Dve_sim.trace);
-              close_out out;
-              Printf.printf "wrote trace to %s\n" file);
-          match report.Cap_sim.Chaos.invariant_violations with
-          | [] -> 0
-          | violations ->
-              Printf.eprintf "INVARIANT VIOLATIONS (%d):\n" (List.length violations);
-              List.iter (Printf.eprintf "  %s\n") violations;
-              1
+          let spec =
+            {
+              Sim_run.command = Sim_run.Chaos;
+              scenario = config;
+              seed;
+              algorithm;
+              duration;
+              policy;
+              roam = false;
+              flash = None;
+              diurnal_amplitude = None;
+              (* the fully resolved schedule: resume does not replay the
+                 'max' lookup or the Poisson generator *)
+              faults;
+              failover_moves;
+              world_fingerprint = Sim_run.fingerprint world;
+            }
+          in
+          match checkpoint_hook ck spec with
+          | Error m ->
+              prerr_endline m;
+              exit_usage
+          | Ok hook ->
+              let outcome =
+                Cap_sim.Dve_sim.run ?checkpoint:hook rng sim_config ~world
+                  ~algorithm:algo
+              in
+              report_sim_outcome ~command:Sim_run.Chaos ~trace_csv outcome
         with Invalid_argument m ->
           prerr_endline m;
-          1)
+          exit_usage)
   in
   let term =
     Term.(
       const run $ obs_term $ config_arg $ seed_arg $ duration_arg $ policy_arg
       $ algorithm_arg $ failover_moves_arg $ crash_arg $ recover_arg $ degrade_arg
-      $ mtbf_arg $ mttr_arg $ trace_csv_arg)
+      $ mtbf_arg $ mttr_arg $ trace_csv_arg $ checkpoint_term)
   in
   Cmd.v
-    (Cmd.info "chaos"
+    (Cmd.info "chaos" ~exits
        ~doc:
          "Run the churn simulation under an injected server-fault schedule and report \
           availability, MTTR and pQoS-during-failure.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* resume                                                              *)
+
+let resume_cmd =
+  let path_arg =
+    let doc = "Snapshot file written by $(b,sim)/$(b,chaos) $(b,--checkpoint)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SNAPSHOT" ~doc)
+  in
+  let trace_csv_arg =
+    let doc = "Also write the time series (full, from t=0) to this CSV file." in
+    Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
+  in
+  let run obs path ck trace_csv =
+    with_obs obs @@ fun () ->
+    match Sim_run.load ~path with
+    | Error e ->
+        Printf.eprintf "capsim: %s\n" (Envelope.describe e);
+        exit_usage
+    | Ok ({ Sim_run.spec; state } as snapshot) -> (
+        match
+          ( Validate.scenario_notation spec.Sim_run.scenario,
+            Cap_core.Two_phase.find spec.Sim_run.algorithm )
+        with
+        | Error issue, _ ->
+            Printf.eprintf "capsim: snapshot scenario: %s\n" (Validate.describe issue);
+            exit_usage
+        | _, None ->
+            Printf.eprintf "capsim: snapshot algorithm %s is not known to this binary\n"
+              spec.Sim_run.algorithm;
+            exit_usage
+        | Ok scenario, Some algo ->
+            (* replay the original setup order exactly: create the seeded
+               RNG, generate the world, then (sim only) split for the
+               diurnal model — the simulation RNG itself is restored from
+               the checkpoint *)
+            let rng = Rng.create ~seed:spec.Sim_run.seed in
+            let world = World.generate rng scenario in
+            let fingerprint = Sim_run.fingerprint world in
+            if fingerprint <> spec.Sim_run.world_fingerprint then begin
+              Printf.eprintf
+                "capsim: snapshot world mismatch: regenerated fingerprint %s but the \
+                 snapshot recorded %s (produced by a different capsim build?)\n"
+                fingerprint spec.Sim_run.world_fingerprint;
+              exit_usage
+            end
+            else begin
+              let movement =
+                if spec.Sim_run.roam then
+                  Cap_sim.Dve_sim.Roam
+                    (Cap_model.Zone_map.square_for ~zones:(World.zone_count world))
+                else Cap_sim.Dve_sim.Teleport
+              in
+              let diurnal =
+                Option.map
+                  (fun amplitude ->
+                    Cap_sim.Diurnal.random (Rng.split rng)
+                      ~regions:world.World.regions ~amplitude ())
+                  spec.Sim_run.diurnal_amplitude
+              in
+              let sim_config =
+                {
+                  Cap_sim.Dve_sim.default_config with
+                  duration = spec.Sim_run.duration;
+                  policy = spec.Sim_run.policy;
+                  movement;
+                  flash_crowd = spec.Sim_run.flash;
+                  diurnal;
+                  faults = spec.Sim_run.faults;
+                  failover_moves = spec.Sim_run.failover_moves;
+                }
+              in
+              (* keep checkpointing to the same file unless told otherwise *)
+              let ck = { ck with ck_path = Some (Option.value ck.ck_path ~default:path) } in
+              match checkpoint_hook ck spec with
+              | Error m ->
+                  prerr_endline m;
+                  exit_usage
+              | Ok hook -> (
+                  Printf.printf "resuming %s\n" (Sim_run.describe snapshot);
+                  match
+                    Cap_sim.Dve_sim.resume ?checkpoint:hook sim_config ~world
+                      ~algorithm:algo state
+                  with
+                  | outcome ->
+                      report_sim_outcome ~command:spec.Sim_run.command ~trace_csv outcome
+                  | exception Invalid_argument m ->
+                      Printf.eprintf "capsim: %s\n" m;
+                      exit_usage)
+            end)
+  in
+  let term =
+    Term.(const run $ obs_term $ path_arg $ checkpoint_term $ trace_csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "resume" ~exits
+       ~doc:
+         "Continue a checkpointed $(b,sim) or $(b,chaos) run from a snapshot file. The \
+          resumed run is deterministic: its trace is identical to the uninterrupted \
+          run's, including the prefix recorded before the checkpoint. Checkpointing \
+          continues to the same file unless $(b,--checkpoint) overrides it.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+
+let validate_cmd =
+  let trace_csv_arg =
+    let doc = "Also validate this trace CSV (as written by $(b,--trace-csv))." in
+    Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
+  in
+  let snapshot_arg =
+    let doc = "Also validate this snapshot file (envelope, checksum and payload)." in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let run obs config seed trace_csv snapshot =
+    with_obs obs @@ fun () ->
+    let problem = ref false in
+    (match Validate.scenario_notation config with
+    | Error issue ->
+        problem := true;
+        Printf.eprintf "scenario %s: %s\n" config (Validate.describe issue)
+    | Ok scenario -> (
+        Printf.printf "scenario %s: ok\n" (Scenario.notation scenario);
+        let rng = Rng.create ~seed in
+        let world = World.generate rng scenario in
+        match Validate.world world with
+        | [] ->
+            Printf.printf
+              "world (seed %d): ok — %d servers, %d zones, %d clients, fingerprint %s\n"
+              seed (World.server_count world) (World.zone_count world)
+              (Array.length world.World.client_nodes)
+              (Sim_run.fingerprint world)
+        | issues ->
+            problem := true;
+            List.iter
+              (fun i -> Printf.eprintf "world (seed %d): %s\n" seed (Validate.describe i))
+              issues));
+    (match trace_csv with
+    | None -> ()
+    | Some file -> (
+        match In_channel.with_open_bin file In_channel.input_all with
+        | csv -> (
+            match Cap_sim.Trace.parse_csv csv with
+            | Ok trace ->
+                Printf.printf "trace %s: ok — %d samples\n" file
+                  (List.length (Cap_sim.Trace.points trace))
+            | Error e ->
+                problem := true;
+                Printf.eprintf "trace %s: %s\n" file (Cap_sim.Trace.describe_error e))
+        | exception Sys_error reason ->
+            problem := true;
+            Printf.eprintf "trace %s: %s\n" file reason));
+    (match snapshot with
+    | None -> ()
+    | Some file -> (
+        match Sim_run.load ~path:file with
+        | Ok snap ->
+            Printf.printf "snapshot %s: ok — %s\n" file (Sim_run.describe snap)
+        | Error e ->
+            problem := true;
+            Printf.eprintf "snapshot %s: %s\n" file (Envelope.describe e)));
+    if !problem then exit_usage else 0
+  in
+  let term =
+    Term.(const run $ obs_term $ config_arg $ seed_arg $ trace_csv_arg $ snapshot_arg)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~exits
+       ~doc:
+         "Validate inputs without running anything: scenario notation and the world it \
+          generates, and optionally a trace CSV and a snapshot file. Exits 0 when \
+          everything is well-formed, 2 otherwise, with one structured diagnostic line \
+          per problem.")
+    term
+
 let () =
   let doc = "client-to-server assignment for distributed virtual environments" in
-  let info = Cmd.info "capsim" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ report_cmd; run_cmd; compare_cmd; optimal_cmd; plan_cmd; sim_cmd; chaos_cmd; plots_cmd ]))
+  let info = Cmd.info "capsim" ~version:version_string ~doc ~exits in
+  let group =
+    Cmd.group info
+      [
+        report_cmd; run_cmd; compare_cmd; optimal_cmd; plan_cmd; sim_cmd; chaos_cmd;
+        resume_cmd; validate_cmd; plots_cmd;
+      ]
+  in
+  (* ~catch:false + the handler below: user errors anywhere in the stack
+     surface as one diagnostic line and the usage exit code, never a raw
+     backtrace. cmdliner's own CLI parse failures (cli_error = 124) are
+     folded into the same convention. *)
+  let code =
+    try Cmd.eval' ~catch:false group with
+    | Invalid_argument m | Failure m | Sys_error m ->
+        Printf.eprintf "capsim: %s\n" m;
+        exit_usage
+  in
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

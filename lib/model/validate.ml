@@ -1,0 +1,121 @@
+type issue = {
+  field : string;
+  value : string;
+  reason : string;
+}
+
+let describe i = Printf.sprintf "field %s = %S: %s" i.field i.value i.reason
+
+let issue field value reason = { field; value; reason }
+
+(* ------------------------------------------------------------------ *)
+(* scenario notation                                                   *)
+
+let strip_suffix ~suffix ~field token =
+  let n = String.length token and sn = String.length suffix in
+  if n > sn && String.sub token (n - sn) sn = suffix then Ok (String.sub token 0 (n - sn))
+  else Error (issue field token (Printf.sprintf "missing %S suffix" suffix))
+
+let positive_int ~field token =
+  match int_of_string_opt token with
+  | None -> Error (issue field token "not an integer")
+  | Some i when i <= 0 -> Error (issue field token "must be positive")
+  | Some i -> Ok i
+
+let positive_float ~field token =
+  match float_of_string_opt token with
+  | None -> Error (issue field token "not a number")
+  | Some f when Float.is_nan f -> Error (issue field token "must not be NaN")
+  | Some f when f <= 0. -> Error (issue field token "must be positive")
+  | Some f when not (Float.is_finite f) -> Error (issue field token "must be finite")
+  | Some f -> Ok f
+
+let scenario_notation s =
+  let ( let* ) = Result.bind in
+  let s = String.trim s in
+  match String.split_on_char '-' s with
+  | [ sv; zn; cl; cp ] -> (
+      let* sv = strip_suffix ~suffix:"s" ~field:"servers" sv in
+      let* servers = positive_int ~field:"servers" sv in
+      let* zn = strip_suffix ~suffix:"z" ~field:"zones" zn in
+      let* zones = positive_int ~field:"zones" zn in
+      let* cl = strip_suffix ~suffix:"c" ~field:"clients" cl in
+      let* clients = positive_int ~field:"clients" cl in
+      let* cp = strip_suffix ~suffix:"cp" ~field:"capacity" cp in
+      let* capacity = positive_float ~field:"capacity" cp in
+      (* cross-field consistency is still checked by Scenario.make *)
+      match Scenario.make ~servers ~zones ~clients ~total_capacity_mbps:capacity () with
+      | scenario -> Ok scenario
+      | exception Invalid_argument reason -> Error (issue "scenario" s reason))
+  | parts ->
+      Error
+        (issue "notation" s
+           (Printf.sprintf "expected Ns-Nz-Nc-Xcp (4 dash-separated fields, got %d)"
+              (List.length parts)))
+
+(* ------------------------------------------------------------------ *)
+(* world                                                               *)
+
+let world (w : World.t) =
+  let issues = ref [] in
+  let add field value reason = issues := issue field value reason :: !issues in
+  let nodes = World.node_count w in
+  let zones = World.zone_count w in
+  Array.iteri
+    (fun s c ->
+      if Float.is_nan c then add (Printf.sprintf "capacity s%d" s) "nan" "must be a number"
+      else if c <= 0. then
+        add (Printf.sprintf "capacity s%d" s) (Printf.sprintf "%g" c) "must be positive"
+      else if not (Float.is_finite c) then
+        add (Printf.sprintf "capacity s%d" s) (Printf.sprintf "%g" c) "must be finite")
+    w.World.capacities;
+  Array.iteri
+    (fun s p ->
+      (* infinity is the legitimate dead-server projection *)
+      if Float.is_nan p then
+        add (Printf.sprintf "delay penalty s%d" s) "nan" "must be a number"
+      else if p < 0. then
+        add (Printf.sprintf "delay penalty s%d" s) (Printf.sprintf "%g" p)
+          "must be non-negative")
+    w.World.server_delay_penalty;
+  Array.iteri
+    (fun srv node ->
+      if node < 0 || node >= nodes then
+        add (Printf.sprintf "server s%d node" srv) (string_of_int node)
+          (Printf.sprintf "outside the topology (%d nodes)" nodes))
+    w.World.server_nodes;
+  Array.iteri
+    (fun c node ->
+      if node < 0 || node >= nodes then
+        add (Printf.sprintf "client %d node" c) (string_of_int node)
+          (Printf.sprintf "outside the topology (%d nodes)" nodes))
+    w.World.client_nodes;
+  Array.iteri
+    (fun c zone ->
+      if zone < 0 || zone >= zones then
+        add (Printf.sprintf "client %d zone" c) (string_of_int zone)
+          (Printf.sprintf "outside the virtual world (%d zones)" zones))
+    w.World.client_zones;
+  (* Delay model: symmetric, finite, non-negative, NaN-free. A
+     non-finite off-diagonal entry means the topology is disconnected
+     from the delay model's point of view. *)
+  let delay = w.World.delay in
+  let delay_nodes = Cap_topology.Delay.node_count delay in
+  for u = 0 to delay_nodes - 1 do
+    for v = u to delay_nodes - 1 do
+      let d = Cap_topology.Delay.rtt delay u v in
+      let pair = Printf.sprintf "delay (%d,%d)" u v in
+      if Float.is_nan d then add pair "nan" "must be a number"
+      else if d < 0. then add pair (Printf.sprintf "%g" d) "must be non-negative"
+      else if not (Float.is_finite d) then
+        add pair (Printf.sprintf "%g" d) "infinite: topology is disconnected"
+      else begin
+        let back = Cap_topology.Delay.rtt delay v u in
+        if not (d = back) then
+          add pair
+            (Printf.sprintf "%g vs %g" d back)
+            "delay matrix is asymmetric"
+      end
+    done
+  done;
+  List.rev !issues

@@ -1,0 +1,30 @@
+(** Typed validation of user-supplied inputs.
+
+    Every check returns structured diagnostics — which field, the
+    offending value as written, and why it is wrong — instead of
+    raising [Invalid_argument] with a prose message. The CLI renders
+    an {!issue} as a single line and exits with the usage/validation
+    status (2); library callers can pattern-match on the fields. *)
+
+type issue = {
+  field : string;   (** e.g. ["servers"], ["capacity s3"], ["delay (4,7)"] *)
+  value : string;   (** the offending value, as written or printed *)
+  reason : string;  (** what is wrong with it *)
+}
+
+val describe : issue -> string
+(** One line: ["field servers = \"2x\": not an integer"]. *)
+
+val scenario_notation : string -> (Scenario.t, issue) result
+(** Parse paper notation ("20s-80z-1000c-500cp") with per-field
+    diagnostics: wrong shape, missing suffixes, non-numeric or
+    non-positive values, and scenario-level consistency (total
+    capacity below the per-server minimum, more servers than topology
+    nodes) all come back as typed issues. Never raises. *)
+
+val world : World.t -> issue list
+(** Deep structural checks on a world: capacities must be positive and
+    finite, per-server delay penalties non-negative and non-NaN,
+    client nodes/zones in range, and the delay model symmetric,
+    non-negative, NaN-free and connected (all finite). Empty for a
+    healthy world. *)

@@ -205,6 +205,28 @@ let collect () =
       { name = e.name; help = e.help; labels = e.labels; data })
     !order
 
+(* Counters and gauges in registration order; histograms are omitted
+   (their state is not restorable through this interface). *)
+let export_values () =
+  List.rev
+    (List.filter_map
+       (fun e ->
+         match e.instrument with
+         | I_counter r | I_gauge r -> Some ((e.name, e.labels), !r)
+         | I_histogram _ -> None)
+       !order)
+
+(* Restore is a state operation, not a recording: it applies even while
+   Control is off, and silently skips instruments that are not (yet)
+   registered in this process. *)
+let restore_values values =
+  List.iter
+    (fun (key, v) ->
+      match Hashtbl.find_opt table key with
+      | Some { instrument = I_counter r | I_gauge r; _ } -> r := v
+      | Some { instrument = I_histogram _; _ } | None -> ())
+    values
+
 (* Zero values rather than dropping series: module-level instruments
    (the solvers') register once at program start and must survive. *)
 let reset () =

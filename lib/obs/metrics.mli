@@ -95,6 +95,16 @@ and data =
 val collect : unit -> sample list
 (** All registered instruments in registration order. *)
 
+val export_values : unit -> ((string * label list) * float) list
+(** Current values of every counter and gauge, in registration order
+    (histograms are omitted). Used by snapshots to persist telemetry
+    across a checkpoint/resume cycle. *)
+
+val restore_values : ((string * label list) * float) list -> unit
+(** Overwrite counter/gauge values from {!export_values} output.
+    Applies even while recording is disabled; entries whose instrument
+    is not registered in this process are ignored. *)
+
 val reset : unit -> unit
 (** Zero every registered instrument's recorded values. Registrations
     (and existing handles) survive, so module-level instruments keep

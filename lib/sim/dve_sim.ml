@@ -89,6 +89,7 @@ type outcome = {
   final_world : World.t;
   final_assignment : Assignment.t;
   faults : fault_report;
+  interrupted : bool;
 }
 
 type event =
@@ -105,6 +106,48 @@ type live_client = {
   node : int;
   mutable zone : int;
   mutable contact : int;
+}
+
+(* Everything the event loop mutates, as plain data (no closures, no
+   shared mutable structures): a checkpoint plus the original config,
+   world and algorithm fully determines the rest of the run. *)
+type checkpoint = {
+  ck_time : float;
+  ck_rng : string;
+  ck_clients : (int * int * int * int) array;  (* id, node, zone, contact *)
+  ck_next_id : int;
+  ck_targets : int array;
+  ck_reassignments : int;
+  ck_trace : Trace.point array;  (* chronological *)
+  ck_alive : bool array;
+  ck_delay_penalty : float array;
+  ck_queue : event Event_queue.dump;
+  ck_last_sample : float;
+  ck_last_threshold_reassign : float;
+  ck_crashes : int;
+  ck_recoveries : int;
+  ck_degradations : int;
+  ck_failovers : int;
+  ck_retries : int;
+  ck_shed_peak : int;
+  ck_zone_migrations : int;
+  ck_episodes : episode array;  (* closed episodes, chronological *)
+  ck_active : (float * float * float) option;
+  ck_violations : string array;
+  ck_retry_pending : bool;
+  ck_obs : ((string * (string * string) list) * float) array;
+}
+
+let checkpoint_time ck = ck.ck_time
+let checkpoint_clients ck = Array.length ck.ck_clients
+let checkpoint_rng_state ck = ck.ck_rng
+
+type checkpoint_reason = Scheduled | Requested
+
+type checkpoint_hook = {
+  every : float option;
+  request : unit -> bool;
+  write : reason:checkpoint_reason -> checkpoint -> unit;
 }
 
 (* A crash episode counts as recovered once nobody is shed and pQoS is
@@ -195,7 +238,7 @@ let recovery_seconds =
   Cap_obs.Metrics.Histogram.create "faults_recovery_seconds"
     ~help:"Simulated seconds from a crash to service recovery"
 
-let run_body rng config ~world ~algorithm =
+let run_body ?hook rng config ~world ~algorithm ~start =
   validate config;
   validate_movement config ~zones:(World.zone_count world);
   validate_diurnal config ~regions:world.World.regions;
@@ -233,12 +276,20 @@ let run_body rng config ~world ~algorithm =
           buckets.(region).(Rng.int rng (Array.length buckets.(region)))
         end
   in
-  let queue = Event_queue.create () in
+  let queue =
+    match start with
+    | `Fresh -> Event_queue.create ()
+    | `Restore ck -> Event_queue.restore ck.ck_queue
+  in
   let clients : (int, live_client) Hashtbl.t = Hashtbl.create 256 in
   let next_id = ref 0 in
   let targets = ref [||] in
   let reassignments = ref 0 in
-  let trace = Trace.create () in
+  let trace =
+    match start with
+    | `Fresh -> Trace.create ()
+    | `Restore ck -> Trace.of_points (Array.to_list ck.ck_trace)
+  in
   let sampler = world.World.sampler in
   let health = Health.create ~servers:(World.server_count world) in
   (* The world as it currently is: pristine when everything is up,
@@ -405,34 +456,75 @@ let run_body rng config ~world ~algorithm =
     schedule_move id at;
     id
   in
-  (* Seed the initial population from the world and assign it. *)
-  let initial = Two_phase.run algorithm rng world in
-  targets := Array.copy initial.Assignment.target_of_zone;
-  Array.iteri
-    (fun i node ->
-      ignore
-        (spawn ~node
-           ~zone:world.World.client_zones.(i)
-           ~contact:initial.Assignment.contact_of_client.(i)
-           ~at:0.))
-    world.World.client_nodes;
-  reassignments := 0;
-  if config.arrival_rate > 0. then
-    Event_queue.schedule queue
-      ~time:(Rng.exponential rng ~rate:config.arrival_rate)
-      Arrival;
-  Event_queue.schedule queue ~time:config.sample_interval Sample;
-  (match config.policy with
-  | Policy.Periodic period -> Event_queue.schedule queue ~time:period Reassign
-  | Policy.Never | Policy.On_threshold _ -> ());
-  (match config.flash_crowd with
-  | Some f -> Event_queue.schedule queue ~time:f.at (Flash f)
-  | None -> ());
-  List.iter
-    (fun { Fault.at; event } -> Event_queue.schedule queue ~time:at (Fault_event event))
-    fault_schedule;
-  let last_sample_time = ref 0. in
-  let last_threshold_reassign = ref neg_infinity in
+  (match start with
+  | `Fresh ->
+      (* Seed the initial population from the world and assign it. *)
+      let initial = Two_phase.run algorithm rng world in
+      targets := Array.copy initial.Assignment.target_of_zone;
+      Array.iteri
+        (fun i node ->
+          ignore
+            (spawn ~node
+               ~zone:world.World.client_zones.(i)
+               ~contact:initial.Assignment.contact_of_client.(i)
+               ~at:0.))
+        world.World.client_nodes;
+      reassignments := 0;
+      if config.arrival_rate > 0. then
+        Event_queue.schedule queue
+          ~time:(Rng.exponential rng ~rate:config.arrival_rate)
+          Arrival;
+      Event_queue.schedule queue ~time:config.sample_interval Sample;
+      (match config.policy with
+      | Policy.Periodic period -> Event_queue.schedule queue ~time:period Reassign
+      | Policy.Never | Policy.On_threshold _ -> ());
+      (match config.flash_crowd with
+      | Some f -> Event_queue.schedule queue ~time:f.at (Flash f)
+      | None -> ());
+      List.iter
+        (fun { Fault.at; event } -> Event_queue.schedule queue ~time:at (Fault_event event))
+        fault_schedule
+  | `Restore ck ->
+      (* Pending events (arrivals, samples, faults, retries) are all in
+         the restored queue; nothing is re-scheduled here. *)
+      if
+        Array.length ck.ck_targets <> World.zone_count world
+        || Array.length ck.ck_alive <> World.server_count world
+      then invalid_arg "Dve_sim.resume: checkpoint does not match the world";
+      targets := Array.copy ck.ck_targets;
+      next_id := ck.ck_next_id;
+      reassignments := ck.ck_reassignments;
+      Array.iter
+        (fun (id, node, zone, contact) ->
+          Hashtbl.replace clients id { node; zone; contact })
+        ck.ck_clients;
+      Array.blit ck.ck_alive 0 health.Health.alive 0 (Array.length ck.ck_alive);
+      Array.blit ck.ck_delay_penalty 0 health.Health.delay_penalty 0
+        (Array.length ck.ck_delay_penalty);
+      crashes := ck.ck_crashes;
+      recoveries := ck.ck_recoveries;
+      degradations := ck.ck_degradations;
+      failovers := ck.ck_failovers;
+      retries := ck.ck_retries;
+      shed_peak := ck.ck_shed_peak;
+      zone_migrations := ck.ck_zone_migrations;
+      episodes := List.rev (Array.to_list ck.ck_episodes);
+      active_episode :=
+        (match ck.ck_active with
+        | Some (started, pre, low) -> Some (started, pre, ref low)
+        | None -> None);
+      invariant_violations := Array.to_list ck.ck_violations;
+      retry_pending := ck.ck_retry_pending;
+      Cap_obs.Metrics.restore_values (Array.to_list ck.ck_obs));
+  let last_sample_time =
+    ref (match start with `Fresh -> 0. | `Restore ck -> ck.ck_last_sample)
+  in
+  let last_threshold_reassign =
+    ref
+      (match start with
+      | `Fresh -> neg_infinity
+      | `Restore ck -> ck.ck_last_threshold_reassign)
+  in
   let sample_metrics at =
     last_sample_time := at;
     Cap_obs.Metrics.Gauge.set live_clients_gauge (float_of_int (Hashtbl.length clients));
@@ -451,13 +543,73 @@ let run_body rng config ~world ~algorithm =
     update_episode at pqos;
     pqos
   in
+  (* Capture the full loop state as plain data. Runs after an event has
+     been completely processed, so resuming replays exactly the
+     remaining events against the same RNG stream. *)
+  let capture at =
+    let ids = Hashtbl.fold (fun id c acc -> (id, c) :: acc) clients [] in
+    let ids = List.sort (fun (a, _) (b, _) -> compare a b) ids in
+    {
+      ck_time = at;
+      ck_rng = Rng.state rng;
+      ck_clients =
+        Array.of_list (List.map (fun (id, c) -> (id, c.node, c.zone, c.contact)) ids);
+      ck_next_id = !next_id;
+      ck_targets = Array.copy !targets;
+      ck_reassignments = !reassignments;
+      ck_trace = Array.of_list (Trace.points trace);
+      ck_alive = Array.copy health.Health.alive;
+      ck_delay_penalty = Array.copy health.Health.delay_penalty;
+      ck_queue = Event_queue.dump queue;
+      ck_last_sample = !last_sample_time;
+      ck_last_threshold_reassign = !last_threshold_reassign;
+      ck_crashes = !crashes;
+      ck_recoveries = !recoveries;
+      ck_degradations = !degradations;
+      ck_failovers = !failovers;
+      ck_retries = !retries;
+      ck_shed_peak = !shed_peak;
+      ck_zone_migrations = !zone_migrations;
+      ck_episodes = Array.of_list (List.rev !episodes);
+      ck_active =
+        (match !active_episode with
+        | Some (started, pre, low) -> Some (started, pre, !low)
+        | None -> None);
+      ck_violations = Array.of_list !invariant_violations;
+      ck_retry_pending = !retry_pending;
+      ck_obs = Array.of_list (Cap_obs.Metrics.export_values ());
+    }
+  in
+  let last_checkpoint =
+    ref (match start with `Fresh -> 0. | `Restore ck -> ck.ck_time)
+  in
+  let interrupted = ref false in
+  (* Checkpoint between events: the policy cadence is in sim-seconds,
+     the request flag (a SIGTERM handler's ref) stops the run after
+     writing a final snapshot. *)
+  let maybe_checkpoint at =
+    match hook with
+    | None -> ()
+    | Some h ->
+        if h.request () then begin
+          h.write ~reason:Requested (capture at);
+          last_checkpoint := at;
+          interrupted := true
+        end
+        else
+          (match h.every with
+          | Some every when at -. !last_checkpoint >= every ->
+              h.write ~reason:Scheduled (capture at);
+              last_checkpoint := at
+          | Some _ | None -> ())
+  in
   let finished = ref false in
   while not !finished do
     match Event_queue.next queue with
     | None -> finished := true
     | Some (at, _) when at > config.duration -> finished := true
-    | Some (at, event) -> (
-        match event with
+    | Some (at, event) ->
+        (match event with
         | Arrival ->
             Cap_obs.Metrics.Counter.incr arrival_events;
             let node = sample_arrival_node at in
@@ -549,19 +701,23 @@ let run_body rng config ~world ~algorithm =
             let chosen = Rng.sample_distinct rng ~k:crowd ~n:(Array.length ids) in
             Array.iter
               (fun idx -> (Hashtbl.find clients ids.(idx)).zone <- zone)
-              chosen)
+              chosen);
+        maybe_checkpoint at;
+        if !interrupted then finished := true
   done;
   (* The event loop discards anything past [duration]; snapshot once
      more so the trace's last row is the state at the end of the run,
-     not up to one sample interval earlier. *)
-  if !last_sample_time < config.duration then ignore (sample_metrics config.duration);
+     not up to one sample interval earlier. An interrupted run skips
+     this: the resumed run produces the tail. *)
+  if (not !interrupted) && !last_sample_time < config.duration then
+    ignore (sample_metrics config.duration);
   (* A still-open episode is reported as unresolved. *)
   (match !active_episode with
-  | Some (started, pre, low) ->
+  | Some (started, pre, low) when not !interrupted ->
       episodes :=
         { started_at = started; recovered_at = None; pre_pqos = pre; min_pqos = !low }
         :: !episodes
-  | None -> ());
+  | Some _ | None -> ());
   let _, final_world, final_assignment = snapshot () in
   {
     trace;
@@ -580,7 +736,14 @@ let run_body rng config ~world ~algorithm =
         episodes = List.rev !episodes;
         invariant_violations = !invariant_violations;
       };
+    interrupted = !interrupted;
   }
 
-let run rng config ~world ~algorithm =
-  Cap_obs.Span.with_span "dve_sim/run" (fun () -> run_body rng config ~world ~algorithm)
+let run ?checkpoint rng config ~world ~algorithm =
+  Cap_obs.Span.with_span "dve_sim/run" (fun () ->
+      run_body ?hook:checkpoint rng config ~world ~algorithm ~start:`Fresh)
+
+let resume ?checkpoint config ~world ~algorithm ck =
+  let rng = Rng.of_state ck.ck_rng in
+  Cap_obs.Span.with_span "dve_sim/resume" (fun () ->
+      run_body ?hook:checkpoint rng config ~world ~algorithm ~start:(`Restore ck))

@@ -109,9 +109,51 @@ type outcome = {
   final_world : Cap_model.World.t;
   final_assignment : Cap_model.Assignment.t;
   faults : fault_report;
+  interrupted : bool;
+      (** true when the run stopped early because a checkpoint hook's
+          [request] fired (e.g. SIGTERM): the trace and reports cover
+          only the simulated time up to the final checkpoint *)
+}
+
+(** {1 Checkpointing}
+
+    A {!checkpoint} is the full event-loop state as plain data —
+    clients, zone targets, pending events (arrivals, samples, faults,
+    retries), health mask, RNG state, trace so far, episode and
+    telemetry bookkeeping. Together with the original [config],
+    [world] and [algorithm], it determines the rest of the run
+    exactly: {!resume} produces the same trace, bit for bit, as the
+    uninterrupted run would have. *)
+
+type checkpoint
+
+val checkpoint_time : checkpoint -> float
+(** Simulated time at which the state was captured. *)
+
+val checkpoint_clients : checkpoint -> int
+(** Number of live clients at capture. *)
+
+val checkpoint_rng_state : checkpoint -> string
+(** The captured {!Cap_util.Rng.state}, for diagnostics. *)
+
+type checkpoint_reason =
+  | Scheduled  (** the periodic [every] cadence fired *)
+  | Requested  (** the [request] poll returned true; the run stops *)
+
+type checkpoint_hook = {
+  every : float option;
+      (** capture every this many simulated seconds; [None] = only on
+          request *)
+  request : unit -> bool;
+      (** polled after every event; when true the loop captures a final
+          checkpoint, passes it to [write] with {!Requested}, and stops
+          (the outcome has [interrupted = true]). Typically a ref set
+          by a SIGTERM handler. *)
+  write : reason:checkpoint_reason -> checkpoint -> unit;
 }
 
 val run :
+  ?checkpoint:checkpoint_hook ->
   Cap_util.Rng.t ->
   config ->
   world:Cap_model.World.t ->
@@ -123,3 +165,19 @@ val run :
     that fails {!Cap_faults.Fault.validate}. Fault handling itself
     never raises: insufficient surviving capacity degrades to
     [unassigned] clients. *)
+
+val resume :
+  ?checkpoint:checkpoint_hook ->
+  config ->
+  world:Cap_model.World.t ->
+  algorithm:Cap_core.Two_phase.t ->
+  checkpoint ->
+  outcome
+(** Continue a run from a checkpoint. [config], [world] and
+    [algorithm] must be the ones the original run used (the world as
+    originally generated — the live population is carried by the
+    checkpoint); the RNG is restored from the captured state.
+    Deterministic: the outcome's trace equals the uninterrupted run's
+    trace, including the prefix recorded before the checkpoint.
+    Raises [Invalid_argument] when the checkpoint's dimensions do not
+    match the world. *)

@@ -37,3 +37,44 @@ let peek_time t =
 let now t = t.clock
 let length t = Binary_heap.length t.heap
 let is_empty t = Binary_heap.is_empty t.heap
+
+type 'a dump = {
+  entries : (float * int * 'a) array;
+  next_seq : int;
+  clock : float;
+}
+
+let dump t =
+  let entries =
+    Array.map (fun e -> (e.time, e.seq, e.payload)) (Binary_heap.elements t.heap)
+  in
+  (* Canonical delivery order, so equal queue states dump equally no
+     matter how the heap array happens to be laid out. *)
+  Array.sort
+    (fun (ta, sa, _) (tb, sb, _) ->
+      match compare ta tb with 0 -> compare sa sb | c -> c)
+    entries;
+  { entries; next_seq = t.next_seq; clock = t.clock }
+
+let restore d =
+  if Float.is_nan d.clock || d.clock < 0. then
+    invalid_arg "Event_queue.restore: bad clock";
+  let seqs = Hashtbl.create (Array.length d.entries) in
+  Array.iter
+    (fun (time, seq, _) ->
+      if Float.is_nan time || time < d.clock then
+        invalid_arg "Event_queue.restore: entry before the clock";
+      if seq < 0 || seq >= d.next_seq then
+        invalid_arg "Event_queue.restore: sequence number out of range";
+      if Hashtbl.mem seqs seq then
+        invalid_arg "Event_queue.restore: duplicate sequence number";
+      Hashtbl.replace seqs seq ())
+    d.entries;
+  let entries =
+    Array.map (fun (time, seq, payload) -> { time; seq; payload }) d.entries
+  in
+  {
+    heap = Binary_heap.of_array ~cmp:compare_entry entries;
+    next_seq = d.next_seq;
+    clock = d.clock;
+  }

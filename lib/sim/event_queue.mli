@@ -21,3 +21,24 @@ val now : 'a t -> float
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Persistent queue state, for checkpointing a running simulation.
+    Contains no closures, so it can be marshalled as long as the
+    payload type is plain data. *)
+type 'a dump = {
+  entries : (float * int * 'a) array;
+      (** (time, sequence, payload) in delivery order *)
+  next_seq : int;
+  clock : float;
+}
+
+val dump : 'a t -> 'a dump
+(** Capture the pending events, tie-break counter and clock. The queue
+    is unchanged. *)
+
+val restore : 'a dump -> 'a t
+(** Rebuild a queue that delivers exactly the dumped events in the
+    dumped order and then continues numbering from [next_seq].
+    Raises [Invalid_argument] on an internally inconsistent dump
+    (entries before the clock, duplicate or out-of-range sequence
+    numbers, NaN times). *)

@@ -15,6 +15,7 @@ type t = { mutable rev_points : point list }
 let create () = { rev_points = [] }
 let record t p = t.rev_points <- p :: t.rev_points
 let points t = List.rev t.rev_points
+let of_points ps = { rev_points = List.rev ps }
 let length t = List.length t.rev_points
 
 let mean_pqos t =
@@ -53,39 +54,92 @@ let to_csv t = Table.to_csv (to_table t)
 
 let csv_header = "time,clients,pQoS,util,reassigns,unassigned,down"
 
-let of_csv csv =
-  let lines =
-    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' csv)
+type parse_error = {
+  line : int;
+  field : string;
+  value : string;
+  reason : string;
+}
+
+let describe_error e =
+  Printf.sprintf "line %d: field %s = %S: %s" e.line e.field e.value e.reason
+
+exception Parse of parse_error
+
+let columns =
+  [ "time"; "clients"; "pQoS"; "util"; "reassigns"; "unassigned"; "down" ]
+
+(* Tolerate CRLF line endings and a trailing newline: strip a final
+   '\r' per line and ignore blank lines (tracking original numbers so
+   diagnostics still point at the right place). *)
+let numbered_lines csv =
+  String.split_on_char '\n' csv
+  |> List.mapi (fun i l ->
+         let l =
+           let n = String.length l in
+           if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+         in
+         (i + 1, l))
+  |> List.filter (fun (_, l) -> String.trim l <> "")
+
+let parse_row ~line row =
+  let fields = String.split_on_char ',' row in
+  if List.length fields <> List.length columns then
+    raise
+      (Parse
+         {
+           line;
+           field = "row";
+           value = row;
+           reason =
+             Printf.sprintf "expected %d comma-separated fields, got %d"
+               (List.length columns) (List.length fields);
+         });
+  let cell i = List.nth fields i in
+  let bad i reason =
+    raise (Parse { line; field = List.nth columns i; value = cell i; reason })
   in
-  match lines with
-  | [] -> invalid_arg "Trace.of_csv: empty input"
-  | header :: rows ->
-      if String.trim header <> csv_header then
-        invalid_arg ("Trace.of_csv: unexpected header: " ^ header);
-      let t = create () in
-      List.iter
-        (fun row ->
-          match String.split_on_char ',' row with
-          | [ time; clients; pqos; utilization; reassignments; unassigned; down ] -> (
-              match
-                ( float_of_string_opt time,
-                  int_of_string_opt clients,
-                  float_of_string_opt pqos,
-                  float_of_string_opt utilization,
-                  int_of_string_opt reassignments,
-                  int_of_string_opt unassigned,
-                  int_of_string_opt down )
-              with
-              | ( Some time,
-                  Some clients,
-                  Some pqos,
-                  Some utilization,
-                  Some reassignments,
-                  Some unassigned,
-                  Some down_servers ) ->
-                  record t
-                    { time; clients; pqos; utilization; reassignments; unassigned; down_servers }
-              | _ -> invalid_arg ("Trace.of_csv: malformed row: " ^ row))
-          | _ -> invalid_arg ("Trace.of_csv: malformed row: " ^ row))
-        rows;
-      t
+  let float_at i =
+    match float_of_string_opt (cell i) with
+    | Some f when not (Float.is_nan f) -> f
+    | Some _ -> bad i "must not be NaN"
+    | None -> bad i "not a number"
+  in
+  let int_at i =
+    match int_of_string_opt (cell i) with
+    | Some n -> n
+    | None -> bad i "not an integer"
+  in
+  {
+    time = float_at 0;
+    clients = int_at 1;
+    pqos = float_at 2;
+    utilization = float_at 3;
+    reassignments = int_at 4;
+    unassigned = int_at 5;
+    down_servers = int_at 6;
+  }
+
+let parse_csv csv =
+  match numbered_lines csv with
+  | [] -> Error { line = 1; field = "header"; value = ""; reason = "empty input" }
+  | (header_line, header) :: rows -> (
+      try
+        if String.trim header <> csv_header then
+          raise
+            (Parse
+               {
+                 line = header_line;
+                 field = "header";
+                 value = header;
+                 reason = "expected " ^ csv_header;
+               });
+        let t = create () in
+        List.iter (fun (line, row) -> record t (parse_row ~line row)) rows;
+        Ok t
+      with Parse e -> Error e)
+
+let of_csv csv =
+  match parse_csv csv with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Trace.of_csv: " ^ describe_error e)

@@ -18,6 +18,10 @@ val record : t -> point -> unit
 val points : t -> point list
 (** In chronological (insertion) order. *)
 
+val of_points : point list -> t
+(** Rebuild a trace from {!points} output (chronological order), as
+    when resuming from a checkpoint. *)
+
 val length : t -> int
 
 val mean_pqos : t -> float
@@ -34,7 +38,23 @@ val final : t -> point option
 val to_table : t -> Cap_util.Table.t
 val to_csv : t -> string
 
-val of_csv : string -> t
+type parse_error = {
+  line : int;     (** 1-based line number in the input *)
+  field : string; (** offending column, or ["row"] / ["header"] *)
+  value : string; (** the offending text as written *)
+  reason : string;
+}
+(** Structured diagnostic for a malformed trace CSV. *)
+
+val describe_error : parse_error -> string
+(** One line: ["line 17: field pQoS = \"x\": not a number"]. *)
+
+val parse_csv : string -> (t, parse_error) result
 (** Parse [to_csv] output back into a trace (values at the CSV's
     printed precision: time to 0.1, pQoS/utilization to 0.001).
-    Raises [Invalid_argument] on a malformed header or row. *)
+    Tolerates CRLF line endings and trailing newlines; never raises on
+    malformed input. *)
+
+val of_csv : string -> t
+(** [parse_csv] wrapper that raises [Invalid_argument] with the
+    {!describe_error} text on malformed input. *)

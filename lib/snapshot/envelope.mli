@@ -1,0 +1,40 @@
+(** Versioned, checksummed snapshot container with atomic writes.
+
+    The envelope wraps an opaque payload (typically marshalled plain
+    data) in a small binary header: a magic tag, the format version, a
+    payload-kind string, an MD5 digest and the payload length. Readers
+    verify all of it before handing the payload back, so a truncated,
+    corrupted or foreign file surfaces as a typed {!error} — never a
+    crash or a silently wrong deserialisation.
+
+    Writes go to a temporary file in the same directory followed by a
+    [Sys.rename], which is atomic on POSIX filesystems: a process
+    killed mid-write leaves the previous snapshot intact. *)
+
+type error =
+  | Io_error of { path : string; reason : string }
+      (** open/read/write/rename failed *)
+  | Not_a_snapshot of { path : string }  (** magic tag missing *)
+  | Unsupported_version of { path : string; found : int; expected : int }
+  | Truncated of { path : string }
+      (** shorter than its header claims *)
+  | Corrupted of { path : string }  (** checksum mismatch *)
+  | Wrong_kind of { path : string; found : string; expected : string }
+      (** a valid snapshot of some other payload type *)
+  | Invalid_payload of { path : string; reason : string }
+      (** the payload passed the checksum but failed decoding *)
+
+val describe : error -> string
+(** One-line diagnostic, e.g.
+    ["snap.bin: corrupted snapshot (checksum mismatch)"]. *)
+
+val format_version : int
+(** Version written into (and required from) every envelope. *)
+
+val write : path:string -> kind:string -> string -> (unit, error) result
+(** [write ~path ~kind payload] atomically replaces [path] with an
+    envelope around [payload]. The kind string names the payload type
+    (e.g. ["dve-sim-run"]) and is checked on read. *)
+
+val read : path:string -> kind:string -> (string, error) result
+(** Read and fully verify an envelope, returning the payload. *)

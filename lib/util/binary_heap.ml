@@ -70,6 +70,8 @@ let pop_exn t =
   | Some x -> x
   | None -> invalid_arg "Binary_heap.pop_exn: empty heap"
 
+let elements t = Array.sub t.data 0 t.size
+
 let drain t =
   let rec loop acc =
     match pop t with

@@ -27,5 +27,9 @@ val pop : 'a t -> 'a option
 val pop_exn : 'a t -> 'a
 (** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
 
+val elements : 'a t -> 'a array
+(** Copy of the current contents in unspecified (heap-internal) order;
+    the heap is unchanged. For persisting queue state in snapshots. *)
+
 val drain : 'a t -> 'a list
 (** Remove all elements in ascending order. *)

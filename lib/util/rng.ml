@@ -11,6 +11,25 @@ let create ~seed = { state = mix (Int64.of_int seed) }
 
 let copy t = { state = t.state }
 
+(* Persistent form of the generator state, for snapshots. The prefix
+   names the algorithm so a future generator change cannot silently
+   misinterpret an old snapshot. *)
+let state_prefix = "splitmix64:"
+
+let state t = Printf.sprintf "%s%016Lx" state_prefix t.state
+
+let of_state s =
+  let plen = String.length state_prefix in
+  let fail () = invalid_arg ("Rng.of_state: malformed state: " ^ s) in
+  if String.length s <> plen + 16 || not (String.sub s 0 plen = state_prefix) then fail ();
+  let hex = String.sub s plen 16 in
+  String.iter
+    (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> () | _ -> fail ())
+    hex;
+  match Int64.of_string_opt ("0x" ^ hex) with
+  | Some state -> { state }
+  | None -> fail ()
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state

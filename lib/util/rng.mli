@@ -15,6 +15,15 @@ val create : seed:int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> string
+(** Printable form of the current state (algorithm-tagged hex),
+    suitable for persisting in a snapshot. *)
+
+val of_state : string -> t
+(** Rebuild a generator from {!state} output. The round-trip is exact:
+    [of_state (state t)] draws the same stream as [t]. Raises
+    [Invalid_argument] on a malformed or foreign state string. *)
+
 val split : t -> t
 (** [split t] derives a new generator whose stream is statistically
     independent from the remainder of [t]'s stream. [t] is advanced. *)

@@ -78,6 +78,29 @@ let prop_interleaved_matches_model =
                   popped = Some m))
         ops)
 
+let prop_elements_multiset =
+  (* [elements] is an unordered snapshot: after any add/pop interleaving
+     it holds exactly what a sorted-list model says is pending. *)
+  QCheck.Test.make ~name:"elements matches model multiset" ~count:200
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let h = int_heap () in
+      let model = ref [] in
+      List.iter
+        (function
+          | Some x ->
+              Heap.add h x;
+              model := List.sort compare (x :: !model)
+          | None -> (
+              match Heap.pop h, !model with
+              | None, [] -> ()
+              | Some _, [] | None, _ :: _ -> QCheck.Test.fail_report "pop/model disagree"
+              | Some v, m :: rest ->
+                  if v <> m then QCheck.Test.fail_report "popped wrong minimum";
+                  model := rest))
+        ops;
+      List.sort compare (Array.to_list (Heap.elements h)) = !model)
+
 let tests =
   [
     ( "util/binary_heap",
@@ -90,5 +113,6 @@ let tests =
         case "growth" test_growth;
         QCheck_alcotest.to_alcotest prop_drain_sorted;
         QCheck_alcotest.to_alcotest prop_interleaved_matches_model;
+        QCheck_alcotest.to_alcotest prop_elements_multiset;
       ] );
   ]

@@ -90,6 +90,41 @@ let prop_dijkstra_style =
         (fun (k, p) -> abs_float (Hashtbl.find best k -. p) < 1e-9)
         (pop_all h))
 
+let prop_interleaved_matches_model =
+  (* Random insert_or_decrease / pop_min interleavings against a naive
+     assoc-list model. Equal priorities have unspecified pop order, so
+     the check is: the popped key carries its model priority, that
+     priority is the model minimum, and membership stays in sync. *)
+  QCheck.Test.make ~name:"interleaved ops match assoc-list model" ~count:200
+    QCheck.(list (option (pair (int_range 0 9) (float_range 0. 50.))))
+    (fun ops ->
+      let h = Heap.create 10 in
+      let model = ref [] in
+      List.iter
+        (function
+          | Some (k, p) ->
+              Heap.insert_or_decrease h k p;
+              let current = try List.assoc k !model with Not_found -> infinity in
+              if p < current then model := (k, p) :: List.remove_assoc k !model
+          | None -> (
+              match Heap.pop_min h, !model with
+              | None, [] -> ()
+              | Some _, [] | None, _ :: _ ->
+                  QCheck.Test.fail_report "pop_min/model emptiness disagree"
+              | Some (k, p), m ->
+                  let expected =
+                    try List.assoc k m
+                    with Not_found -> QCheck.Test.fail_report "popped unknown key"
+                  in
+                  if abs_float (p -. expected) > 1e-9 then
+                    QCheck.Test.fail_report "popped key at wrong priority";
+                  if List.exists (fun (_, q) -> q < p -. 1e-9) m then
+                    QCheck.Test.fail_report "popped priority not the minimum";
+                  model := List.remove_assoc k m))
+        ops;
+      List.length !model = Heap.length h
+      && List.for_all (fun (k, _) -> Heap.mem h k) !model)
+
 let tests =
   [
     ( "util/indexed_heap",
@@ -102,5 +137,6 @@ let tests =
         case "insert_or_decrease" test_insert_or_decrease;
         QCheck_alcotest.to_alcotest prop_pop_order;
         QCheck_alcotest.to_alcotest prop_dijkstra_style;
+        QCheck_alcotest.to_alcotest prop_interleaved_matches_model;
       ] );
   ]

@@ -235,12 +235,38 @@ let test_trace_csv_round_trip () =
         "down servers" a.Cap_sim.Trace.down_servers b.Cap_sim.Trace.down_servers)
     points
     (Cap_sim.Trace.points round_tripped);
-  Alcotest.check_raises "malformed header"
-    (Invalid_argument "Trace.of_csv: unexpected header: nope") (fun () ->
-      ignore (Cap_sim.Trace.of_csv "nope\n1,2,3,4,5\n"));
-  Alcotest.check_raises "malformed row"
-    (Invalid_argument "Trace.of_csv: malformed row: 1,2,3") (fun () ->
-      ignore (Cap_sim.Trace.of_csv "time,clients,pQoS,util,reassigns,unassigned,down\n1,2,3\n"))
+  (* malformed inputs now yield structured diagnostics *)
+  (match Cap_sim.Trace.parse_csv "nope\n1,2,3,4,5\n" with
+  | Ok _ -> Alcotest.fail "bad header accepted"
+  | Error e ->
+      Alcotest.(check int) "header line" 1 e.Cap_sim.Trace.line;
+      Alcotest.(check string) "header field" "header" e.Cap_sim.Trace.field);
+  (match
+     Cap_sim.Trace.parse_csv "time,clients,pQoS,util,reassigns,unassigned,down\n1,2,3\n"
+   with
+  | Ok _ -> Alcotest.fail "short row accepted"
+  | Error e ->
+      Alcotest.(check int) "row line" 2 e.Cap_sim.Trace.line;
+      Alcotest.(check string) "row field" "row" e.Cap_sim.Trace.field);
+  (match
+     Cap_sim.Trace.parse_csv
+       "time,clients,pQoS,util,reassigns,unassigned,down\n20.0,100,0.875,0.5,0,0,0\n40.0,x,0.9,0.5,0,0,0\n"
+   with
+  | Ok _ -> Alcotest.fail "bad cell accepted"
+  | Error e ->
+      Alcotest.(check int) "cell line" 3 e.Cap_sim.Trace.line;
+      Alcotest.(check string) "cell field" "clients" e.Cap_sim.Trace.field;
+      Alcotest.(check string) "cell value" "x" e.Cap_sim.Trace.value);
+  Alcotest.check_raises "of_csv raises with the diagnostic"
+    (Invalid_argument "Trace.of_csv: line 1: field header = \"nope\": expected time,clients,pQoS,util,reassigns,unassigned,down")
+    (fun () -> ignore (Cap_sim.Trace.of_csv "nope\n1,2,3,4,5\n"));
+  (* CRLF and trailing-newline tolerance *)
+  (match
+     Cap_sim.Trace.parse_csv
+       "time,clients,pQoS,util,reassigns,unassigned,down\r\n20.0,100,0.875,0.500,0,0,0\r\n\r\n"
+   with
+  | Ok t -> Alcotest.(check int) "CRLF parsed" 1 (Cap_sim.Trace.length t)
+  | Error e -> Alcotest.failf "CRLF rejected: %s" (Cap_sim.Trace.describe_error e))
 
 let test_instrumented_solver =
   with_obs (fun () ->

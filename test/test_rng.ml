@@ -145,11 +145,52 @@ let prop_float_in_bounds =
       let v = Rng.float_in rng lo (lo +. width) in
       v >= lo && v < lo +. width)
 
+let test_state_roundtrip () =
+  let rng = Rng.create ~seed:42 in
+  (* advance so the state is mid-stream, not the seed *)
+  for _ = 1 to 17 do
+    ignore (Rng.bits64 rng)
+  done;
+  let saved = Rng.state rng in
+  let restored = Rng.of_state saved in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d identical after restore" i)
+      (Rng.bits64 rng) (Rng.bits64 restored)
+  done
+
+let test_state_printable () =
+  let s = Rng.state (Rng.create ~seed:7) in
+  check_bool "algorithm-tagged" true (String.length s > 11 && String.sub s 0 11 = "splitmix64:")
+
+let test_of_state_malformed () =
+  let malformed = [ ""; "splitmix64:"; "splitmix64:xyz"; "mt19937:0123456789abcdef"; "splitmix64:0123456789abcdef00" ] in
+  List.iter
+    (fun s ->
+      match Rng.of_state s with
+      | _ -> Alcotest.failf "of_state accepted %S" s
+      | exception Invalid_argument _ -> ())
+    malformed
+
+let prop_state_roundtrip =
+  QCheck.Test.make ~name:"state/of_state exact at any point in the stream" ~count:100
+    QCheck.(pair int (int_range 0 200))
+    (fun (seed, draws) ->
+      let rng = Rng.create ~seed in
+      for _ = 1 to draws do
+        ignore (Rng.bits64 rng)
+      done;
+      let restored = Rng.of_state (Rng.state rng) in
+      List.init 20 (fun _ -> Rng.bits64 rng) = List.init 20 (fun _ -> Rng.bits64 restored))
+
 let tests =
   [
     ( "util/rng",
       [
         case "determinism" test_determinism;
+        case "state roundtrip" test_state_roundtrip;
+        case "state printable" test_state_printable;
+        case "of_state malformed" test_of_state_malformed;
         case "seed sensitivity" test_seed_sensitivity;
         case "copy" test_copy_independent;
         case "split" test_split_independent;
@@ -164,5 +205,6 @@ let tests =
         QCheck_alcotest.to_alcotest prop_uniform_in_range;
         QCheck_alcotest.to_alcotest prop_int_in_bounds;
         QCheck_alcotest.to_alcotest prop_float_in_bounds;
+        QCheck_alcotest.to_alcotest prop_state_roundtrip;
       ] );
   ]

@@ -1,0 +1,98 @@
+module Rng = Cap_util.Rng
+module Scenario = Cap_model.Scenario
+module Validate = Cap_model.Validate
+module World = Cap_model.World
+
+let case name f = Alcotest.test_case name `Quick f
+
+let field_of = function
+  | Ok _ -> "<ok>"
+  | Error (i : Validate.issue) -> i.Validate.field
+
+let test_notation_ok () =
+  match Validate.scenario_notation "20s-80z-1000c-500cp" with
+  | Error i -> Alcotest.failf "rejected valid notation: %s" (Validate.describe i)
+  | Ok s ->
+      Alcotest.(check string) "roundtrip" "20s-80z-1000c-500cp" (Scenario.notation s)
+
+let test_notation_whitespace () =
+  match Validate.scenario_notation "  4s-8z-50c-100cp\n" with
+  | Error i -> Alcotest.failf "rejected trimmed notation: %s" (Validate.describe i)
+  | Ok s -> Alcotest.(check string) "trimmed" "4s-8z-50c-100cp" (Scenario.notation s)
+
+let test_notation_field_diagnostics () =
+  let check_field input expected =
+    Alcotest.(check string) input expected (field_of (Validate.scenario_notation input))
+  in
+  check_field "20s-80z-1000c" "notation" (* wrong shape *);
+  check_field "20x-80z-1000c-500cp" "servers" (* bad suffix *);
+  check_field "0s-80z-1000c-500cp" "servers" (* non-positive *);
+  check_field "20s-8.5z-1000c-500cp" "zones" (* non-integer *);
+  check_field "20s-80z-manyc-500cp" "clients";
+  check_field "20s-80z-1000c-nancp" "capacity" (* NaN *);
+  check_field "20s-80z-1000c-infcp" "capacity" (* infinite *)
+
+let test_notation_consistency () =
+  (* per-field values fine, but the scenario as a whole is not *)
+  match Validate.scenario_notation "20s-80z-1000c-0.001cp" with
+  | Ok _ -> Alcotest.fail "accepted a capacity below the per-server minimum"
+  | Error i -> Alcotest.(check string) "scenario-level issue" "scenario" i.Validate.field
+
+let test_notation_never_raises () =
+  List.iter
+    (fun s -> ignore (Validate.scenario_notation s))
+    [ ""; "-"; "----"; "s-z-c-cp"; "\x00"; String.make 10_000 '-' ]
+
+let generated_world () =
+  World.generate (Rng.create ~seed:5) (Scenario.of_notation "8s-32z-200c-400cp")
+
+let test_world_healthy () =
+  Alcotest.(check (list string))
+    "no issues" []
+    (List.map Validate.describe (Validate.world (generated_world ())))
+
+let test_world_bad_capacity () =
+  let w = generated_world () in
+  w.World.capacities.(2) <- -5.;
+  match Validate.world w with
+  | [] -> Alcotest.fail "missed the negative capacity"
+  | i :: _ -> Alcotest.(check string) "field" "capacity s2" i.Validate.field
+
+let test_world_nan_penalty () =
+  let w = generated_world () in
+  w.World.server_delay_penalty.(0) <- Float.nan;
+  match Validate.world w with
+  | [] -> Alcotest.fail "missed the NaN penalty"
+  | i :: _ -> Alcotest.(check string) "field" "delay penalty s0" i.Validate.field
+
+let test_world_infinite_penalty_ok () =
+  (* infinity is the legitimate dead-server projection, not an error *)
+  let w = generated_world () in
+  w.World.server_delay_penalty.(0) <- infinity;
+  Alcotest.(check (list string))
+    "still healthy" []
+    (List.map Validate.describe (Validate.world w))
+
+let test_world_client_zone_out_of_range () =
+  let w = generated_world () in
+  w.World.client_zones.(7) <- 99;
+  match Validate.world w with
+  | [] -> Alcotest.fail "missed the out-of-range zone"
+  | i :: _ -> Alcotest.(check string) "field" "client 7 zone" i.Validate.field
+
+let tests =
+  [
+    ( "model/validate",
+      [
+        case "notation ok" test_notation_ok;
+        case "notation trims whitespace" test_notation_whitespace;
+        case "notation field diagnostics" test_notation_field_diagnostics;
+        case "notation cross-field consistency" test_notation_consistency;
+        case "notation never raises" test_notation_never_raises;
+        case "healthy world" test_world_healthy;
+        case "negative capacity" test_world_bad_capacity;
+        case "NaN penalty" test_world_nan_penalty;
+        case "infinite penalty is legitimate" test_world_infinite_penalty_ok;
+        case "client zone out of range" test_world_client_zone_out_of_range;
+      ] );
+  ]
