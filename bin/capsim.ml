@@ -43,7 +43,7 @@ let exits =
          files.";
   ]
 
-let binary_version = "1.1.0"
+let binary_version = "1.2.0"
 
 let version_string =
   Printf.sprintf "capsim %s (snapshot format v%d)" binary_version
@@ -714,6 +714,41 @@ let chaos_cmd =
     let doc = "Mean time to repair for the Poisson fault generator (with --mtbf)." in
     Arg.(value & opt (some float) None & info [ "mttr" ] ~docv:"SECONDS" ~doc)
   in
+  let cut_link_arg =
+    let doc = "Cut the backbone link between servers I and J at time AT. Repeatable." in
+    Arg.(value & opt_all string [] & info [ "cut-link" ] ~docv:"AT:I-J" ~doc)
+  in
+  let restore_link_arg =
+    let doc = "Restore the I-J backbone link at time AT. Repeatable." in
+    Arg.(value & opt_all string [] & info [ "restore-link" ] ~docv:"AT:I-J" ~doc)
+  in
+  let degrade_link_arg =
+    let doc = "Add MS of delay to the I-J backbone link from time AT. Repeatable." in
+    Arg.(value & opt_all string [] & info [ "degrade-link" ] ~docv:"AT:I-J:MS" ~doc)
+  in
+  let partition_arg =
+    let doc =
+      "Split the backbone at time AT into the given server GROUPS (comma-separated \
+       ids, groups separated by '|', e.g. 0,1$(i,|)2,3; unlisted servers form one \
+       extra group), optionally healing after HEAL seconds. Repeatable."
+    in
+    Arg.(
+      value & opt_all string [] & info [ "partition" ] ~docv:"AT:GROUPS[:HEAL]" ~doc)
+  in
+  let link_mtbf_arg =
+    let doc =
+      "Mean up-time per backbone link for the Gilbert-Elliott flapping generator \
+       (with --link-mttr)."
+    in
+    Arg.(value & opt (some float) None & info [ "link-mtbf" ] ~docv:"SECONDS" ~doc)
+  in
+  let link_mttr_arg =
+    let doc =
+      "Mean down-time per backbone link for the Gilbert-Elliott flapping generator \
+       (with --link-mtbf)."
+    in
+    Arg.(value & opt (some float) None & info [ "link-mttr" ] ~docv:"SECONDS" ~doc)
+  in
   let failover_moves_arg =
     let doc = "Zone-move budget for each failure-aware refresh (evacuations are free)." in
     Arg.(value & opt int 16 & info [ "failover-moves" ] ~docv:"N" ~doc)
@@ -752,8 +787,89 @@ let chaos_cmd =
         | Ok tail, Ok spec -> Ok ((kind, spec) :: tail))
       specs (Ok [])
   in
+  (* "AT:I-J" or "AT:I-J:MS" *)
+  let parse_link_spec kind s =
+    let fail () =
+      Error
+        (Printf.sprintf "bad %s spec: %s (expected AT:I-J%s)" kind s
+           (if kind = "degrade-link" then ":MS" else ""))
+    in
+    let endpoints tok =
+      match String.split_on_char '-' tok with
+      | [ a; b ] -> (
+          match int_of_string_opt a, int_of_string_opt b with
+          | Some i, Some j when i >= 0 && j >= 0 && i <> j -> Ok (i, j)
+          | _ -> fail ())
+      | _ -> fail ()
+    in
+    match kind, String.split_on_char ':' s with
+    | ("cut-link" | "restore-link"), [ at; link ] -> (
+        match float_of_string_opt at, endpoints link with
+        | Some at, Ok (i, j) -> Ok (at, i, j, None)
+        | _ -> fail ())
+    | "degrade-link", [ at; link; ms ] -> (
+        match float_of_string_opt at, endpoints link, float_of_string_opt ms with
+        | Some at, Ok (i, j), Some ms -> Ok (at, i, j, Some ms)
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let parse_link_all kind specs =
+    List.fold_right
+      (fun s acc ->
+        match acc, parse_link_spec kind s with
+        | Error e, _ | _, Error e -> Error e
+        | Ok tail, Ok spec -> Ok ((kind, spec) :: tail))
+      specs (Ok [])
+  in
+  (* "AT:GROUPS[:HEAL]" with GROUPS like "0,1|2,3"; group membership is
+     validated later by Fault.partition, once the server count is known *)
+  let parse_partition_spec s =
+    let fail () =
+      Error
+        (Printf.sprintf
+           "bad partition spec: %s (expected AT:GROUPS[:HEAL], e.g. 120:0,1|2,3:60)" s)
+    in
+    let groups_of tok =
+      let group_of g =
+        List.fold_right
+          (fun id acc ->
+            match acc, int_of_string_opt id with
+            | Error (), _ | _, None -> Error ()
+            | Ok tail, Some i when i >= 0 -> Ok (i :: tail)
+            | _, Some _ -> Error ())
+          (String.split_on_char ',' g)
+          (Ok [])
+      in
+      List.fold_right
+        (fun g acc ->
+          match acc, group_of g with
+          | Error (), _ | _, Error () -> Error ()
+          | Ok tail, Ok ids -> Ok (ids :: tail))
+        (String.split_on_char '|' tok)
+        (Ok [])
+    in
+    match String.split_on_char ':' s with
+    | [ at; groups ] -> (
+        match float_of_string_opt at, groups_of groups with
+        | Some at, Ok gs -> Ok (at, gs, None)
+        | _ -> fail ())
+    | [ at; groups; heal ] -> (
+        match float_of_string_opt at, groups_of groups, float_of_string_opt heal with
+        | Some at, Ok gs, Some heal -> Ok (at, gs, Some heal)
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let parse_partition_all specs =
+    List.fold_right
+      (fun s acc ->
+        match acc, parse_partition_spec s with
+        | Error e, _ | _, Error e -> Error e
+        | Ok tail, Ok spec -> Ok (spec :: tail))
+      specs (Ok [])
+  in
   let run obs config seed duration policy algorithm failover_moves crashes recovers
-      degrades mtbf mttr trace_csv ck =
+      degrades mtbf mttr cut_links restore_links degrade_links partitions link_mtbf
+      link_mttr trace_csv ck =
     with_obs obs @@ fun () ->
     let specs =
       match parse_all "crash" crashes, parse_all "recover" recovers,
@@ -761,15 +877,27 @@ let chaos_cmd =
       | Ok c, Ok r, Ok d -> Ok (c @ r @ d)
       | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
     in
+    let link_specs =
+      match parse_link_all "cut-link" cut_links,
+            parse_link_all "restore-link" restore_links,
+            parse_link_all "degrade-link" degrade_links with
+      | Ok c, Ok r, Ok d -> Ok (c @ r @ d)
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+    in
+    let all_specs =
+      match specs, link_specs, parse_partition_all partitions with
+      | Ok s, Ok l, Ok p -> Ok (s, l, p)
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+    in
     match scenario_of_string config, parse_policy policy,
-          Cap_core.Two_phase.find algorithm, specs with
+          Cap_core.Two_phase.find algorithm, all_specs with
     | Error (`Msg m), _, _, _ | _, Error m, _, _ | _, _, _, Error m ->
         prerr_endline m;
         exit_usage
     | _, _, None, _ ->
         Printf.eprintf "unknown algorithm: %s\n" algorithm;
         exit_usage
-    | Ok scenario, Ok policy, Some algo, Ok specs -> (
+    | Ok scenario, Ok policy, Some algo, Ok (specs, link_specs, partition_specs) -> (
         try
           let rng = Rng.create ~seed in
           let world = World.generate rng scenario in
@@ -800,6 +928,28 @@ let chaos_cmd =
                 { Fault.at; event })
               specs
           in
+          let link_manual =
+            List.map
+              (fun (kind, (at, s1, s2, ms)) ->
+                let event =
+                  match kind, ms with
+                  | "cut-link", _ -> Fault.Link_cut { s1; s2 }
+                  | "restore-link", _ -> Fault.Link_restore { s1; s2 }
+                  | "degrade-link", Some delay_penalty ->
+                      Fault.Link_degrade { s1; s2; delay_penalty }
+                  | _ -> assert false
+                in
+                { Fault.at; event })
+              link_specs
+          in
+          let partition_manual =
+            List.concat_map
+              (fun (at, groups, heal_after) ->
+                let groups = Array.of_list (List.map Array.of_list groups) in
+                Fault.partition ~servers:(World.server_count world) ~groups ~at
+                  ?heal_after ())
+              partition_specs
+          in
           let generated =
             match mtbf, mttr with
             | Some mtbf, Some mttr ->
@@ -808,9 +958,21 @@ let chaos_cmd =
             | None, None -> []
             | _ -> invalid_arg "chaos: --mtbf and --mttr must be given together"
           in
-          let faults = Fault.merge [ manual; generated ] in
+          let link_generated =
+            match link_mtbf, link_mttr with
+            | Some mtbf, Some mttr ->
+                Fault.link_flapping (Rng.split rng)
+                  ~servers:(World.server_count world) ~mtbf ~mttr ~duration
+            | None, None -> []
+            | _ -> invalid_arg "chaos: --link-mtbf and --link-mttr must be given together"
+          in
+          let faults =
+            Fault.merge [ manual; link_manual; partition_manual; generated; link_generated ]
+          in
           if faults = [] then
-            invalid_arg "chaos: no faults given (use --crash/--degrade or --mtbf/--mttr)";
+            invalid_arg
+              "chaos: no faults given (use --crash/--degrade, --cut-link/--partition, \
+               --mtbf/--mttr or --link-mtbf/--link-mttr)";
           Printf.printf "fault schedule: %s\n" (Fault.describe faults);
           let sim_config =
             {
@@ -857,13 +1019,16 @@ let chaos_cmd =
     Term.(
       const run $ obs_term $ config_arg $ seed_arg $ duration_arg $ policy_arg
       $ algorithm_arg $ failover_moves_arg $ crash_arg $ recover_arg $ degrade_arg
-      $ mtbf_arg $ mttr_arg $ trace_csv_arg $ checkpoint_term)
+      $ mtbf_arg $ mttr_arg $ cut_link_arg $ restore_link_arg $ degrade_link_arg
+      $ partition_arg $ link_mtbf_arg $ link_mttr_arg $ trace_csv_arg
+      $ checkpoint_term)
   in
   Cmd.v
     (Cmd.info "chaos" ~exits
        ~doc:
-         "Run the churn simulation under an injected server-fault schedule and report \
-          availability, MTTR and pQoS-during-failure.")
+         "Run the churn simulation under an injected server- and link-fault schedule \
+          and report availability, MTTR, pQoS-during-failure and partition-tolerance \
+          metrics.")
     term
 
 (* ------------------------------------------------------------------ *)

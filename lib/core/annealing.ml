@@ -30,7 +30,7 @@ let accepted_total =
   Cap_obs.Metrics.Counter.create "annealing_moves_accepted_total"
     ~help:"Annealing moves accepted"
 
-let improve_body rng ~params world ~targets =
+let improve_body rng ~params ?alive world ~targets =
   if params.iterations <= 0 then invalid_arg "Annealing: iterations must be positive";
   if params.initial_temperature <= 0. then
     invalid_arg "Annealing: temperature must be positive";
@@ -40,10 +40,15 @@ let improve_body rng ~params world ~targets =
   if Array.length targets <> zones then
     invalid_arg "Annealing: assignment does not match the world";
   let servers = World.server_count world in
+  (match alive with
+  | Some mask when Array.length mask <> servers ->
+      invalid_arg "Annealing: alive mask does not match the world's servers"
+  | Some _ | None -> ());
+  let usable s = match alive with None -> true | Some mask -> mask.(s) in
   let costs = Cost.initial_matrix world in
   let rates = Server_load.zone_rates world in
   let capacities = world.World.capacities in
-  let current = Array.copy targets in
+  let current, _ = Server_load.evacuate_dead ?alive world ~targets in
   let loads = Array.make servers 0. in
   Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) current;
   let cost_before = total_cost costs current in
@@ -56,7 +61,8 @@ let improve_body rng ~params world ~targets =
     let z = Rng.int rng zones in
     let destination = Rng.int rng servers in
     let source = current.(z) in
-    if destination <> source && loads.(destination) +. rates.(z) <= capacities.(destination)
+    if destination <> source && usable destination
+       && loads.(destination) +. rates.(z) <= capacities.(destination)
     then begin
       let delta = costs.(z).(destination) - costs.(z).(source) in
       let accept =
@@ -87,5 +93,6 @@ let improve_body rng ~params world ~targets =
     proposed = params.iterations;
   }
 
-let improve rng ?(params = default_params) world ~targets =
-  Cap_obs.Span.with_span "annealing/improve" (fun () -> improve_body rng ~params world ~targets)
+let improve rng ?(params = default_params) ?alive world ~targets =
+  Cap_obs.Span.with_span "annealing/improve" (fun () ->
+      improve_body rng ~params ?alive world ~targets)

@@ -28,6 +28,7 @@ type report = {
 val improve :
   Cap_util.Rng.t ->
   ?params:params ->
+  ?alive:bool array ->
   Cap_model.World.t ->
   targets:int array ->
   report
@@ -35,4 +36,11 @@ val improve :
     capacity-feasible relocations are proposed, so a feasible input
     yields a feasible output; the cost is the paper's total initial
     cost [C_I] (Eq. 4) on observed delays. Raises [Invalid_argument]
-    on non-positive parameters or a mismatched assignment. *)
+    on non-positive parameters or a mismatched assignment.
+
+    With an [alive] mask the search is failure-aware: zones on dead
+    servers are first evacuated ({!Server_load.evacuate_dead}) and no
+    move ever proposes a dead destination, so the result — including
+    [cost_before], measured on the evacuated baseline — never touches
+    a dead server. Raises [Invalid_argument] on a mask-length
+    mismatch or an all-dead mask. *)

@@ -25,7 +25,7 @@ let offspring_total =
   Cap_obs.Metrics.Counter.create "genetic_offspring_total"
     ~help:"Crossover+mutation children evaluated"
 
-let improve_body rng ~params world ~targets =
+let improve_body rng ~params ?alive world ~targets =
   if params.population < 2 then invalid_arg "Genetic: population must be at least 2";
   if params.generations <= 0 then invalid_arg "Genetic: generations must be positive";
   if params.mutation_rate < 0. || params.mutation_rate > 1. then
@@ -34,6 +34,26 @@ let improve_body rng ~params world ~targets =
   let zones = World.zone_count world in
   if Array.length targets <> zones then invalid_arg "Genetic: assignment does not match the world";
   let servers = World.server_count world in
+  (match alive with
+  | Some mask when Array.length mask <> servers ->
+      invalid_arg "Genetic: alive mask does not match the world's servers"
+  | Some _ | None -> ());
+  (* Gene pool: only alive servers. With no mask this is the identity
+     mapping, so the unmasked RNG draw sequence is unchanged. *)
+  let gene_pool =
+    match alive with
+    | None -> Array.init servers (fun s -> s)
+    | Some mask ->
+        let pool =
+          Array.of_list
+            (List.filter (fun s -> mask.(s)) (List.init servers (fun s -> s)))
+        in
+        if Array.length pool = 0 then invalid_arg "Genetic: no alive server";
+        pool
+  in
+  (* Seed from a corpse-free assignment: crossover and alive-only
+     mutation then keep every individual off dead servers. *)
+  let targets, _ = Server_load.evacuate_dead ?alive world ~targets in
   let costs = Cost.initial_matrix world in
   let rates = Server_load.zone_rates world in
   let capacities = world.World.capacities in
@@ -60,7 +80,9 @@ let improve_body rng ~params world ~targets =
   let mutate individual =
     let child = Array.copy individual in
     Array.iteri
-      (fun z _ -> if Rng.uniform rng < params.mutation_rate then child.(z) <- Rng.int rng servers)
+      (fun z _ ->
+        if Rng.uniform rng < params.mutation_rate then
+          child.(z) <- gene_pool.(Rng.int rng (Array.length gene_pool)))
       child;
     child
   in
@@ -120,5 +142,6 @@ let improve_body rng ~params world ~targets =
     generations_run = params.generations;
   }
 
-let improve rng ?(params = default_params) world ~targets =
-  Cap_obs.Span.with_span "genetic/improve" (fun () -> improve_body rng ~params world ~targets)
+let improve rng ?(params = default_params) ?alive world ~targets =
+  Cap_obs.Span.with_span "genetic/improve" (fun () ->
+      improve_body rng ~params ?alive world ~targets)

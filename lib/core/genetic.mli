@@ -28,10 +28,19 @@ type report = {
 val improve :
   Cap_util.Rng.t ->
   ?params:params ->
+  ?alive:bool array ->
   Cap_model.World.t ->
   targets:int array ->
   report
 (** Evolve starting from a population seeded with mutations of
     [targets] (which is also kept as the initial incumbent if
     feasible). Raises [Invalid_argument] on non-positive parameters,
-    a mutation rate outside [0, 1], or a mismatched assignment. *)
+    a mutation rate outside [0, 1], or a mismatched assignment.
+
+    With an [alive] mask the search is failure-aware: the seed is
+    evacuated off dead servers ({!Server_load.evacuate_dead}), the
+    mutation gene pool is restricted to alive servers, and crossover
+    mixes alive-only parents, so no individual — in particular the
+    returned best, and [cost_before], measured on the evacuated seed —
+    ever assigns a zone to a dead server. Raises [Invalid_argument]
+    on a mask-length mismatch or an all-dead mask. *)

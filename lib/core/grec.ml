@@ -55,11 +55,20 @@ let assign ?(rule = Regret.Best_minus_second) ?alive world ~targets =
       let extra s = if s = target then 0. else forwarding c in
       let chosen =
         Array.fold_left
-          (fun acc (s, _) ->
+          (fun acc (s, desirability) ->
             match acc with
             | Some _ -> acc
             | None ->
-                if usable s && loads.(s) +. extra s <= capacities.(s) then Some s else None)
+                (* An infinitely bad contact (it cannot reach the
+                   target across the backbone) is never an answer, even
+                   when everything better is full: fall back to the
+                   direct link instead. *)
+                if
+                  desirability > neg_infinity
+                  && usable s
+                  && loads.(s) +. extra s <= capacities.(s)
+                then Some s
+                else None)
           None item.Regret.prefs
       in
       match chosen with

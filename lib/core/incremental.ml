@@ -67,12 +67,21 @@ let refresh_body ~max_zone_moves ?alive world ~previous =
     place z destination;
     decr budget
   in
-  (* Cheapest feasible alive destination for a zone, by C^I then load. *)
+  (* Cheapest feasible alive destination for a zone, by C^I then load.
+     Migrating a zone hands its state over the backbone, so under link
+     faults a hosted zone can only move to a server its current host
+     can still reach; homeless zones (evacuated off a dead server, or
+     shed earlier) are restarted and may land anywhere. *)
   let best_destination z =
+    let cur = targets.(z) in
+    let migratable s =
+      cur = Assignment.unassigned || World.servers_reachable world cur s
+    in
     let best = ref None in
     Array.iteri
       (fun s load ->
-        if s <> targets.(z) && usable s && load +. rates.(z) <= capacities.(s) then begin
+        if s <> cur && usable s && migratable s
+           && load +. rates.(z) <= capacities.(s) then begin
           let cost = costs.(z).(s) in
           match !best with
           | Some (_, c, l) when c < cost || (c = cost && l <= load) -> ()

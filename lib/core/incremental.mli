@@ -41,4 +41,12 @@ val refresh :
     shed to {!Cap_model.Assignment.unassigned} (its clients too) rather
     than raising or overloading a survivor. Dead servers are never a
     destination, for zones or contacts. Raises [Invalid_argument] on a
-    mask-length mismatch. *)
+    mask-length mismatch.
+
+    Under link faults (a world with an effective
+    {!Cap_model.World.server_mesh} baked in), a hosted zone only
+    migrates to servers its current host can still reach — zone-state
+    handoff travels over the backbone, so zones evacuate only within
+    their partition component. Homeless zones (evacuated off a dead
+    server, or previously shed) are restarted from scratch and may
+    land in any component. *)

@@ -21,11 +21,16 @@ let moves_total =
   Cap_obs.Metrics.Counter.create "local_search_moves_total"
     ~help:"Improving zone relocations applied"
 
-let improve_body ~max_rounds world ~targets =
+let improve_body ~max_rounds ?alive world ~targets =
+  (match alive with
+  | Some mask when Array.length mask <> World.server_count world ->
+      invalid_arg "Local_search: alive mask does not match the world's servers"
+  | Some _ | None -> ());
+  let usable s = match alive with None -> true | Some mask -> mask.(s) in
   let costs = Cost.initial_matrix world in
   let rates = Server_load.zone_rates world in
   let capacities = world.World.capacities in
-  let targets = Array.copy targets in
+  let targets, _ = Server_load.evacuate_dead ?alive world ~targets in
   let loads = Array.make (World.server_count world) 0. in
   Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) targets;
   let cost_before = total_cost costs targets in
@@ -40,7 +45,8 @@ let improve_body ~max_rounds world ~targets =
         let best = ref None in
         Array.iteri
           (fun s _ ->
-            if s <> current && loads.(s) +. rates.(z) <= capacities.(s) then begin
+            if s <> current && usable s && loads.(s) +. rates.(z) <= capacities.(s)
+            then begin
               let gain = costs.(z).(current) - costs.(z).(s) in
               if gain > 0 then begin
                 match !best with
@@ -63,6 +69,6 @@ let improve_body ~max_rounds world ~targets =
   Cap_obs.Metrics.Counter.add moves_total (float_of_int !moves);
   { targets; rounds = !rounds; moves = !moves; cost_before; cost_after = total_cost costs targets }
 
-let improve ?(max_rounds = 50) world ~targets =
+let improve ?(max_rounds = 50) ?alive world ~targets =
   Cap_obs.Span.with_span "local_search/improve" (fun () ->
-      improve_body ~max_rounds world ~targets)
+      improve_body ~max_rounds ?alive world ~targets)

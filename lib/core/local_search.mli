@@ -14,8 +14,20 @@ type report = {
   cost_after : int;    (** total C^I after *)
 }
 
-val improve : ?max_rounds:int -> Cap_model.World.t -> targets:int array -> report
+val improve :
+  ?max_rounds:int ->
+  ?alive:bool array ->
+  Cap_model.World.t ->
+  targets:int array ->
+  report
 (** [improve world ~targets] runs best-improvement single-zone moves.
     [max_rounds] bounds the number of passes (default 50). The input
     assignment's capacity violations, if any, are left as-is (only
-    moves into feasible servers are considered). *)
+    moves into feasible servers are considered).
+
+    With an [alive] mask the search is failure-aware: zones on dead
+    servers are first evacuated ({!Server_load.evacuate_dead}) and
+    dead servers are never relocation candidates, so the result —
+    including [cost_before], measured on the evacuated baseline —
+    never touches a dead server. Raises [Invalid_argument] on a
+    mask-length mismatch or an all-dead mask. *)

@@ -22,3 +22,54 @@ let fallback_server ?alive ~loads ~capacities () =
     loads;
   if !best < 0 then invalid_arg "Server_load.fallback_server: no alive server";
   !best
+
+(* Shared failure-aware pre-pass for the metaheuristic improvers: lift
+   every zone hosted by a dead (or out-of-range/unassigned) server and
+   re-place it on the cheapest alive server with room, largest zones
+   first; when nothing fits, fall back to the alive server with the
+   most residual capacity rather than leaving the zone on a corpse. *)
+let evacuate_dead ?alive world ~targets =
+  let servers = World.server_count world in
+  let targets = Array.copy targets in
+  let rates = zone_rates world in
+  let capacities = world.World.capacities in
+  let loads = Array.make servers 0. in
+  let homeless = ref [] in
+  Array.iteri
+    (fun z s ->
+      if s >= 0 && s < servers && usable alive s then
+        loads.(s) <- loads.(s) +. rates.(z)
+      else homeless := z :: !homeless)
+    targets;
+  let moves = ref 0 in
+  (match !homeless with
+  | [] -> ()
+  | homeless ->
+      let costs = Cost.initial_matrix world in
+      let homeless =
+        List.sort
+          (fun z1 z2 -> compare (rates.(z2), z1) (rates.(z1), z2))
+          homeless
+      in
+      List.iter
+        (fun z ->
+          let best = ref (-1) and best_key = ref (max_int, infinity) in
+          Array.iteri
+            (fun s load ->
+              if usable alive s && load +. rates.(z) <= capacities.(s) then begin
+                let key = (costs.(z).(s), load) in
+                if key < !best_key then begin
+                  best := s;
+                  best_key := key
+                end
+              end)
+            loads;
+          let destination =
+            if !best >= 0 then !best
+            else fallback_server ?alive ~loads ~capacities ()
+          in
+          loads.(destination) <- loads.(destination) +. rates.(z);
+          targets.(z) <- destination;
+          incr moves)
+        homeless);
+  targets, !moves

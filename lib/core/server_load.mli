@@ -10,3 +10,13 @@ val fallback_server :
     zone that fits nowhere (infeasible instances only). Servers whose
     [alive] entry is false are never chosen; raises [Invalid_argument]
     when the mask leaves no candidate. *)
+
+val evacuate_dead :
+  ?alive:bool array -> Cap_model.World.t -> targets:int array -> int array * int
+(** A copy of [targets] in which every zone hosted by a dead (per
+    [alive]), out-of-range or unassigned server has been re-placed on
+    the cheapest (by initial cost, then load) alive server with room —
+    largest zones first, falling back to {!fallback_server} when
+    nothing fits — plus the number of zones moved. The shared pre-pass
+    of the failure-aware metaheuristic improvers. Raises
+    [Invalid_argument] when no server is alive. *)

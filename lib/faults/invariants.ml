@@ -48,6 +48,27 @@ let check ~world ~health ~assignment =
           if s <> Assignment.unassigned && target = Assignment.unassigned then
             add "client %d contacts server %d but its zone %d is unassigned" c s z
         end)
+      contacts;
+    (* No assignment may cross a backbone partition: a client's
+       contact must still be able to forward to its zone's target
+       server. [world] here is the health-applied world, so an
+       infinite effective inter-server RTT between two alive servers
+       means they sit in different components. *)
+    Array.iteri
+      (fun c l ->
+        if l <> Assignment.unassigned && l >= 0 && l < m then begin
+          let z = world.World.client_zones.(c) in
+          if z >= 0 && z < zones then begin
+            let k = targets.(z) in
+            if
+              k <> Assignment.unassigned && k >= 0 && k < m
+              && Health.is_alive health l && Health.is_alive health k
+              && not (World.servers_reachable world l k)
+            then
+              add "client %d contacts server %d, which cannot reach target %d (partition)"
+                c l k
+          end
+        end)
       contacts
   end;
   (* Alive servers may be legitimately over capacity when churn has

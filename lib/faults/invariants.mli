@@ -3,7 +3,10 @@
     After every fault event and failover, the assignment must satisfy:
     no zone is hosted by (and no client contacts) a dead or
     out-of-range server; a client is unassigned exactly when its zone
-    is; and no dead server carries any load. Alive servers over
+    is; no client's contact sits in a different backbone partition
+    than its zone's target (checked with [world] = the health-applied
+    world, so cut links surface as infinite effective RTT); and no
+    dead server carries any load. Alive servers over
     capacity are deliberately not flagged — under churn the population
     can outgrow the provisioned total, which is a QoS problem the
     heuristics handle by overloading, not a failover bug. *)

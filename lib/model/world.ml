@@ -4,6 +4,11 @@ module Hierarchical = Cap_topology.Hierarchical
 module Backbone = Cap_topology.Backbone
 module Point = Cap_topology.Point
 
+type mesh = {
+  true_rtt : float array array;
+  observed_rtt : float array array;
+}
+
 type t = {
   scenario : Scenario.t;
   delay : Delay.t;
@@ -13,6 +18,7 @@ type t = {
   server_nodes : int array;
   capacities : float array;
   server_delay_penalty : float array;
+  server_mesh : mesh option;
   client_nodes : int array;
   client_zones : int array;
   sampler : Distribution.t;
@@ -94,6 +100,7 @@ let generate rng (scenario : Scenario.t) =
     server_nodes;
     capacities;
     server_delay_penalty = Array.make scenario.Scenario.servers 0.;
+    server_mesh = None;
     client_nodes;
     client_zones;
     sampler;
@@ -145,12 +152,26 @@ let rtt_in model t ~client ~server =
   Delay.rtt model t.client_nodes.(client) t.server_nodes.(server)
   +. t.server_delay_penalty.(server)
 
-let server_rtt_in model t s1 s2 =
+let server_rtt_base model t s1 s2 =
   if s1 = s2 then 0.
   else
     t.scenario.Scenario.inter_server_factor
     *. Delay.rtt model t.server_nodes.(s1) t.server_nodes.(s2)
-    +. t.server_delay_penalty.(s1) +. t.server_delay_penalty.(s2)
+
+let server_rtt_in model t s1 s2 =
+  if s1 = s2 then 0.
+  else
+    let base =
+      match t.server_mesh with
+      | None -> server_rtt_base model t s1 s2
+      | Some mesh ->
+          (* Physical equality: [model] is either [t.delay] or
+             [t.observed], both captured when the mesh was baked. *)
+          (if model == t.delay then mesh.true_rtt else mesh.observed_rtt).(s1).(s2)
+    in
+    base +. t.server_delay_penalty.(s1) +. t.server_delay_penalty.(s2)
+
+let servers_reachable t s1 s2 = s1 = s2 || server_rtt_in t.delay t s1 s2 < infinity
 
 let client_server_rtt t ~client ~server = rtt_in t.observed t ~client ~server
 let server_server_rtt t s1 s2 = server_rtt_in t.observed t s1 s2

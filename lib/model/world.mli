@@ -7,6 +7,18 @@
     algorithms are allowed to read; it equals the true model unless
     estimation error has been applied. *)
 
+(** Effective inter-server RTT matrices when the backbone mesh is
+    damaged (links cut or degraded — see {!Health} and
+    {!Cap_topology.Overlay}). Entries are the full server-to-server
+    delay with the well-provisioned discount already applied;
+    [infinity] marks pairs in different partition components. One
+    matrix per delay model, because algorithms route on observed
+    delays while metrics read true ones. *)
+type mesh = {
+  true_rtt : float array array;
+  observed_rtt : float array array;
+}
+
 type t = {
   scenario : Scenario.t;
   delay : Cap_topology.Delay.t;     (** true node-to-node RTTs *)
@@ -20,6 +32,12 @@ type t = {
           server, positive for a degraded one, [infinity] for a dead
           one (see {!Health}). Applied to every path touching the
           server, in both the observed and the true delay model. *)
+  server_mesh : mesh option;
+      (** [None] for a pristine, fully meshed backbone (the paper's
+          assumption, and what {!generate} produces); [Some] when link
+          health has been baked in by {!Health.apply}, replacing the
+          direct inter-server RTTs with overlay-routed effective
+          delays. *)
   client_nodes : int array;         (** client id -> topology node *)
   client_zones : int array;         (** client id -> zone id *)
   sampler : Distribution.t;         (** placement sampler (reused by churn) *)
@@ -71,10 +89,23 @@ val total_capacity : t -> float
 val client_server_rtt : t -> client:int -> server:int -> float
 val server_server_rtt : t -> int -> int -> float
 (** Inter-server RTT with the well-provisioned discount applied; 0 for
-    a server and itself. *)
+    a server and itself. Reads [server_mesh] when present, so under
+    link faults this is the overlay-routed effective delay
+    ([infinity] across a partition). *)
 
 val true_client_server_rtt : t -> client:int -> server:int -> float
 val true_server_server_rtt : t -> int -> int -> float
+
+val server_rtt_base : Cap_topology.Delay.t -> t -> int -> int -> float
+(** Pristine direct inter-server RTT in the given delay model — the
+    well-provisioned discount applied, but no per-server penalties and
+    no [server_mesh] override. This is the base matrix the overlay
+    reroutes over. *)
+
+val servers_reachable : t -> int -> int -> bool
+(** Whether two servers can exchange traffic: same server, or a finite
+    effective true RTT between them (same partition component, both
+    endpoints alive). *)
 
 val replace_clients : t -> client_nodes:int array -> client_zones:int array -> t
 (** A world with a different client population (used by churn and the

@@ -11,6 +11,12 @@ type report = {
   max_dip : float;
   shed_peak : int;
   zone_migrations : int;
+  pqos_during_partition : float option;
+  partition_episodes : int;
+  mean_reconnect : float option;
+  worst_reconnect : float option;
+  unresolved_partitions : int;
+  stranded_peak : int;
   invariant_violations : string list;
 }
 
@@ -80,6 +86,31 @@ let analyze (outcome : Dve_sim.outcome) =
         max acc (e.Dve_sim.pre_pqos -. e.Dve_sim.min_pqos))
       0. faults.Dve_sim.episodes
   in
+  let pqos_during_partition =
+    mean
+      (List.filter_map
+         (fun p -> if p.Trace.components > 1 then Some p.Trace.pqos else None)
+         points)
+  in
+  let reconnects =
+    List.filter_map
+      (fun (e : Dve_sim.partition_episode) ->
+        Option.map
+          (fun healed -> healed -. e.Dve_sim.partitioned_at)
+          e.Dve_sim.healed_at)
+      faults.Dve_sim.partitions
+  in
+  let unresolved_partitions =
+    List.length
+      (List.filter
+         (fun (e : Dve_sim.partition_episode) -> e.Dve_sim.healed_at = None)
+         faults.Dve_sim.partitions)
+  in
+  let stranded_peak =
+    List.fold_left
+      (fun acc (e : Dve_sim.partition_episode) -> max acc e.Dve_sim.peak_stranded)
+      0 faults.Dve_sim.partitions
+  in
   {
     availability;
     client_availability;
@@ -91,6 +122,13 @@ let analyze (outcome : Dve_sim.outcome) =
     max_dip;
     shed_peak = faults.Dve_sim.shed_peak;
     zone_migrations = faults.Dve_sim.zone_migrations;
+    pqos_during_partition;
+    partition_episodes = List.length faults.Dve_sim.partitions;
+    mean_reconnect = mean reconnects;
+    worst_reconnect =
+      (match reconnects with [] -> None | xs -> Some (List.fold_left max 0. xs));
+    unresolved_partitions;
+    stranded_peak;
     invariant_violations = faults.Dve_sim.invariant_violations;
   }
 
@@ -102,6 +140,9 @@ let to_table (outcome : Dve_sim.outcome) report =
   row "crashes / recoveries / degradations"
     (Printf.sprintf "%d / %d / %d" faults.Dve_sim.crashes faults.Dve_sim.recoveries
        faults.Dve_sim.degradations);
+  row "link cuts / restores / degradations"
+    (Printf.sprintf "%d / %d / %d" faults.Dve_sim.link_cuts
+       faults.Dve_sim.link_restores faults.Dve_sim.link_degradations);
   row "failovers (retries)"
     (Printf.sprintf "%d (%d)" faults.Dve_sim.failovers faults.Dve_sim.retries);
   row "availability (no shed clients)" (Printf.sprintf "%.4f" report.availability);
@@ -114,5 +155,11 @@ let to_table (outcome : Dve_sim.outcome) report =
   row "max pQoS dip depth" (Printf.sprintf "%.4f" report.max_dip);
   row "peak shed clients" (string_of_int report.shed_peak);
   row "zone migrations (failover)" (string_of_int report.zone_migrations);
+  row "partition episodes" (string_of_int report.partition_episodes);
+  row "pQoS during partition" (opt "%.4f" report.pqos_during_partition);
+  row "mean time-to-reconnect (s)" (opt "%.1f" report.mean_reconnect);
+  row "worst time-to-reconnect (s)" (opt "%.1f" report.worst_reconnect);
+  row "unresolved partitions" (string_of_int report.unresolved_partitions);
+  row "peak stranded clients (partition)" (string_of_int report.stranded_peak);
   row "invariant violations" (string_of_int (List.length report.invariant_violations));
   table

@@ -23,6 +23,19 @@ type report = {
       (** deepest pQoS dip below the pre-crash level, over episodes *)
   shed_peak : int;
   zone_migrations : int;
+  pqos_during_partition : float option;
+      (** mean pQoS over samples where the live mesh had more than one
+          component *)
+  partition_episodes : int;
+      (** backbone partition episodes (closed or still open) *)
+  mean_reconnect : float option;
+      (** mean time-to-reconnect over healed partitions *)
+  worst_reconnect : float option;
+  unresolved_partitions : int;
+      (** partitions still open when the run ended *)
+  stranded_peak : int;
+      (** worst count of unassigned clients observed during any
+          partition episode *)
   invariant_violations : string list;
 }
 

@@ -58,15 +58,27 @@ type episode = {
   min_pqos : float;
 }
 
+type partition_episode = {
+  partitioned_at : float;
+  healed_at : float option;
+  peak_components : int;
+  peak_stranded : int;
+  low_pqos : float;
+}
+
 type fault_report = {
   crashes : int;
   recoveries : int;
   degradations : int;
+  link_cuts : int;
+  link_restores : int;
+  link_degradations : int;
   failovers : int;
   retries : int;
   shed_peak : int;
   zone_migrations : int;
   episodes : episode list;
+  partitions : partition_episode list;
   invariant_violations : string list;
 }
 
@@ -75,11 +87,15 @@ let no_faults =
     crashes = 0;
     recoveries = 0;
     degradations = 0;
+    link_cuts = 0;
+    link_restores = 0;
+    link_degradations = 0;
     failovers = 0;
     retries = 0;
     shed_peak = 0;
     zone_migrations = 0;
     episodes = [];
+    partitions = [];
     invariant_violations = [];
   }
 
@@ -121,18 +137,25 @@ type checkpoint = {
   ck_trace : Trace.point array;  (* chronological *)
   ck_alive : bool array;
   ck_delay_penalty : float array;
+  ck_link_cut : bool array array;
+  ck_link_penalty : float array array;
   ck_queue : event Event_queue.dump;
   ck_last_sample : float;
   ck_last_threshold_reassign : float;
   ck_crashes : int;
   ck_recoveries : int;
   ck_degradations : int;
+  ck_link_cuts : int;
+  ck_link_restores : int;
+  ck_link_degradations : int;
   ck_failovers : int;
   ck_retries : int;
   ck_shed_peak : int;
   ck_zone_migrations : int;
   ck_episodes : episode array;  (* closed episodes, chronological *)
   ck_active : (float * float * float) option;
+  ck_partitions : partition_episode array;  (* closed, chronological *)
+  ck_active_partition : (float * int * int * float) option;
   ck_violations : string array;
   ck_retry_pending : bool;
   ck_obs : ((string * (string * string) list) * float) array;
@@ -226,9 +249,29 @@ let retries_total =
   Cap_obs.Metrics.Counter.create "faults_rehoming_retries_total"
     ~help:"Backoff retries attempting to re-home shed clients"
 
+let link_cuts_total =
+  Cap_obs.Metrics.Counter.create "faults_link_cuts_total"
+    ~help:"Inter-server link cut events injected"
+
+let link_restores_total =
+  Cap_obs.Metrics.Counter.create "faults_link_restores_total"
+    ~help:"Inter-server link restore events injected"
+
+let link_degradations_total =
+  Cap_obs.Metrics.Counter.create "faults_link_degradations_total"
+    ~help:"Inter-server link degradation events injected"
+
 let down_servers_gauge =
   Cap_obs.Metrics.Gauge.create "faults_down_servers"
     ~help:"Servers currently dead"
+
+let partition_components_gauge =
+  Cap_obs.Metrics.Gauge.create "faults_partition_components"
+    ~help:"Connected components of the live backbone mesh"
+
+let reconnect_seconds =
+  Cap_obs.Metrics.Histogram.create "faults_reconnect_seconds"
+    ~help:"Simulated seconds a backbone partition lasted"
 
 let shed_clients_gauge =
   Cap_obs.Metrics.Gauge.create "faults_shed_clients"
@@ -323,6 +366,9 @@ let run_body ?hook rng config ~world ~algorithm ~start =
   let crashes = ref 0
   and recoveries = ref 0
   and degradations = ref 0
+  and link_cuts = ref 0
+  and link_restores = ref 0
+  and link_degradations = ref 0
   and failovers = ref 0
   and retries = ref 0
   and shed_peak = ref 0
@@ -330,6 +376,11 @@ let run_body ?hook rng config ~world ~algorithm ~start =
   let episodes = ref [] in
   let active_episode : (float * float * float ref) option ref = ref None in
   (* (started_at, pre_pqos, min_pqos so far) *)
+  let partitions = ref [] in
+  let active_partition : (float * int ref * int ref * float ref) option ref =
+    ref None
+  in
+  (* (partitioned_at, peak components, peak stranded, lowest pQoS) *)
   let invariant_violations = ref [] in
   let violations_kept = 50 in
   let current_pqos () =
@@ -355,6 +406,33 @@ let run_body ?hook rng config ~world ~algorithm ~start =
           active_episode := None
         end
   in
+  (* A partition episode opens when the live mesh splits into more
+     than one component and closes the moment it is whole again (or
+     every server is dead — nothing is partitioned from anything). *)
+  let update_partition at ~components ~stranded ~pqos =
+    Cap_obs.Metrics.Gauge.set partition_components_gauge (float_of_int components);
+    match !active_partition with
+    | None ->
+        if components > 1 then
+          active_partition := Some (at, ref components, ref stranded, ref pqos)
+    | Some (started, comp, str, low) ->
+        comp := max !comp components;
+        str := max !str stranded;
+        low := min !low pqos;
+        if components <= 1 then begin
+          partitions :=
+            {
+              partitioned_at = started;
+              healed_at = Some at;
+              peak_components = !comp;
+              peak_stranded = !str;
+              low_pqos = !low;
+            }
+            :: !partitions;
+          Cap_obs.Metrics.Histogram.observe reconnect_seconds (at -. started);
+          active_partition := None
+        end
+  in
   (* Post-event checks: the structural invariants (no zone or client on
      a dead server, shed state consistent, capacities respected) and
      the recovery bookkeeping. *)
@@ -369,7 +447,11 @@ let run_body ?hook rng config ~world ~algorithm ~start =
         (float_of_int (Assignment.unassigned_clients a));
       Cap_obs.Metrics.Gauge.set down_servers_gauge
         (float_of_int (World.server_count world - Health.alive_count health));
-      update_episode at (Assignment.pqos a w)
+      let pqos = Assignment.pqos a w in
+      update_episode at pqos;
+      update_partition at
+        ~components:(Health.partition_count health)
+        ~stranded:(Assignment.unassigned_clients a) ~pqos
     end
   in
   (* Failure-aware reassignment: migrate orphaned zones off dead
@@ -501,9 +583,19 @@ let run_body ?hook rng config ~world ~algorithm ~start =
       Array.blit ck.ck_alive 0 health.Health.alive 0 (Array.length ck.ck_alive);
       Array.blit ck.ck_delay_penalty 0 health.Health.delay_penalty 0
         (Array.length ck.ck_delay_penalty);
+      Array.iteri
+        (fun i row -> Array.blit row 0 health.Health.link_cut.(i) 0 (Array.length row))
+        ck.ck_link_cut;
+      Array.iteri
+        (fun i row ->
+          Array.blit row 0 health.Health.link_penalty.(i) 0 (Array.length row))
+        ck.ck_link_penalty;
       crashes := ck.ck_crashes;
       recoveries := ck.ck_recoveries;
       degradations := ck.ck_degradations;
+      link_cuts := ck.ck_link_cuts;
+      link_restores := ck.ck_link_restores;
+      link_degradations := ck.ck_link_degradations;
       failovers := ck.ck_failovers;
       retries := ck.ck_retries;
       shed_peak := ck.ck_shed_peak;
@@ -512,6 +604,12 @@ let run_body ?hook rng config ~world ~algorithm ~start =
       active_episode :=
         (match ck.ck_active with
         | Some (started, pre, low) -> Some (started, pre, ref low)
+        | None -> None);
+      partitions := List.rev (Array.to_list ck.ck_partitions);
+      active_partition :=
+        (match ck.ck_active_partition with
+        | Some (started, comp, str, low) ->
+            Some (started, ref comp, ref str, ref low)
         | None -> None);
       invariant_violations := Array.to_list ck.ck_violations;
       retry_pending := ck.ck_retry_pending;
@@ -530,6 +628,7 @@ let run_body ?hook rng config ~world ~algorithm ~start =
     Cap_obs.Metrics.Gauge.set live_clients_gauge (float_of_int (Hashtbl.length clients));
     let _, w, a = snapshot () in
     let pqos = Assignment.pqos a w in
+    let components = Health.partition_count health in
     Trace.record trace
       {
         Trace.time = at;
@@ -539,8 +638,12 @@ let run_body ?hook rng config ~world ~algorithm ~start =
         reassignments = !reassignments;
         unassigned = Assignment.unassigned_clients a;
         down_servers = World.server_count world - Health.alive_count health;
+        components;
       };
     update_episode at pqos;
+    if has_faults then
+      update_partition at ~components
+        ~stranded:(Assignment.unassigned_clients a) ~pqos;
     pqos
   in
   (* Capture the full loop state as plain data. Runs after an event has
@@ -560,12 +663,17 @@ let run_body ?hook rng config ~world ~algorithm ~start =
       ck_trace = Array.of_list (Trace.points trace);
       ck_alive = Array.copy health.Health.alive;
       ck_delay_penalty = Array.copy health.Health.delay_penalty;
+      ck_link_cut = Array.map Array.copy health.Health.link_cut;
+      ck_link_penalty = Array.map Array.copy health.Health.link_penalty;
       ck_queue = Event_queue.dump queue;
       ck_last_sample = !last_sample_time;
       ck_last_threshold_reassign = !last_threshold_reassign;
       ck_crashes = !crashes;
       ck_recoveries = !recoveries;
       ck_degradations = !degradations;
+      ck_link_cuts = !link_cuts;
+      ck_link_restores = !link_restores;
+      ck_link_degradations = !link_degradations;
       ck_failovers = !failovers;
       ck_retries = !retries;
       ck_shed_peak = !shed_peak;
@@ -574,6 +682,11 @@ let run_body ?hook rng config ~world ~algorithm ~start =
       ck_active =
         (match !active_episode with
         | Some (started, pre, low) -> Some (started, pre, !low)
+        | None -> None);
+      ck_partitions = Array.of_list (List.rev !partitions);
+      ck_active_partition =
+        (match !active_partition with
+        | Some (started, comp, str, low) -> Some (started, !comp, !str, !low)
         | None -> None);
       ck_violations = Array.of_list !invariant_violations;
       ck_retry_pending = !retry_pending;
@@ -631,13 +744,23 @@ let run_body ?hook rng config ~world ~algorithm ~start =
                   | Teleport -> Distribution.sample_zone sampler rng ~node:c.node
                   | Roam map -> Cap_model.Zone_map.random_neighbor rng map c.zone);
                 (* Wandering into a shed zone queues the client;
-                   wandering out of one re-homes it. Contacts otherwise
-                   stay sticky until the next reassignment. *)
+                   wandering out of one re-homes it. A sticky contact
+                   that cannot reach the new zone's target across a cut
+                   backbone is re-homed to the target itself. Contacts
+                   otherwise stay sticky until the next reassignment. *)
                 (if has_faults then begin
                    let target = !targets.(c.zone) in
                    if
                      c.contact = Assignment.unassigned
                      <> (target = Assignment.unassigned)
+                   then c.contact <- target
+                   else if
+                     c.contact <> Assignment.unassigned
+                     && target <> Assignment.unassigned
+                     && (not (Health.links_pristine health))
+                     && not
+                          (World.servers_reachable (current_world ()) c.contact
+                             target)
                    then c.contact <- target
                  end);
                 schedule_move id at)
@@ -673,7 +796,19 @@ let run_body ?hook rng config ~world ~algorithm ~start =
             | Fault.Degrade { server; delay_penalty } ->
                 incr degradations;
                 Cap_obs.Metrics.Counter.incr degradations_total;
-                Health.degrade health server ~delay_penalty);
+                Health.degrade health server ~delay_penalty
+            | Fault.Link_cut { s1; s2 } ->
+                incr link_cuts;
+                Cap_obs.Metrics.Counter.incr link_cuts_total;
+                Health.cut_link health s1 s2
+            | Fault.Link_restore { s1; s2 } ->
+                incr link_restores;
+                Cap_obs.Metrics.Counter.incr link_restores_total;
+                Health.restore_link health s1 s2
+            | Fault.Link_degrade { s1; s2; delay_penalty } ->
+                incr link_degradations;
+                Cap_obs.Metrics.Counter.incr link_degradations_total;
+                Health.degrade_link health s1 s2 ~delay_penalty);
             failover ();
             post_event at;
             schedule_retry at ~attempt:1
@@ -718,6 +853,18 @@ let run_body ?hook rng config ~world ~algorithm ~start =
         { started_at = started; recovered_at = None; pre_pqos = pre; min_pqos = !low }
         :: !episodes
   | Some _ | None -> ());
+  (match !active_partition with
+  | Some (started, comp, str, low) when not !interrupted ->
+      partitions :=
+        {
+          partitioned_at = started;
+          healed_at = None;
+          peak_components = !comp;
+          peak_stranded = !str;
+          low_pqos = !low;
+        }
+        :: !partitions
+  | Some _ | None -> ());
   let _, final_world, final_assignment = snapshot () in
   {
     trace;
@@ -729,11 +876,15 @@ let run_body ?hook rng config ~world ~algorithm ~start =
         crashes = !crashes;
         recoveries = !recoveries;
         degradations = !degradations;
+        link_cuts = !link_cuts;
+        link_restores = !link_restores;
+        link_degradations = !link_degradations;
         failovers = !failovers;
         retries = !retries;
         shed_peak = !shed_peak;
         zone_migrations = !zone_migrations;
         episodes = List.rev !episodes;
+        partitions = List.rev !partitions;
         invariant_violations = !invariant_violations;
       };
     interrupted = !interrupted;

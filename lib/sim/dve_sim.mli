@@ -9,12 +9,17 @@
     everyone. Metrics are sampled on a fixed grid.
 
     A {!Cap_faults.Fault.schedule} injects server crashes, recoveries
-    and degradations. Each fault event triggers a failure-aware
-    incremental reassignment (orphaned zones migrate off dead servers;
-    when surviving capacity is insufficient, zones and their clients
-    are shed to the explicit {!Cap_model.Assignment.unassigned} state
-    and re-homed with exponential-backoff retries). After every fault
-    event the structural invariants are checked and recorded.
+    and degradations, plus inter-server link cuts, restores and
+    degradations. Each fault event triggers a failure-aware
+    incremental reassignment (orphaned zones migrate off dead servers
+    — under link faults only within their partition component; when
+    surviving capacity is insufficient, zones and their clients are
+    shed to the explicit {!Cap_model.Assignment.unassigned} state and
+    re-homed with exponential-backoff retries; clients whose contact
+    can no longer reach their target are re-homed by the same path).
+    After every fault event the structural invariants — including that
+    no assignment crosses a backbone partition — are checked and
+    recorded, and partition episodes are tracked.
 
     This extends the paper's one-shot join/leave/move experiment
     (Table 3) into a continuous-time setting. *)
@@ -86,15 +91,30 @@ val recovery_tolerance : float
 (** 0.05: an episode counts as recovered when pQoS is within this
     margin of its pre-crash value (and nobody is shed). *)
 
+type partition_episode = {
+  partitioned_at : float;   (** when the live mesh split *)
+  healed_at : float option; (** [None] when still split at the end of the run *)
+  peak_components : int;    (** most components observed while split *)
+  peak_stranded : int;      (** worst count of unassigned clients while split *)
+  low_pqos : float;         (** deepest pQoS dip while split *)
+}
+(** One backbone-partition episode: opens when the live mesh has more
+    than one connected component, closes the moment it is whole again
+    (time-to-reconnect = [healed_at - partitioned_at]). *)
+
 type fault_report = {
   crashes : int;
   recoveries : int;
   degradations : int;
+  link_cuts : int;         (** link-cut events injected *)
+  link_restores : int;     (** link-restore events injected *)
+  link_degradations : int; (** link-degradation events injected *)
   failovers : int;       (** failure-aware refreshes run *)
   retries : int;         (** backoff re-homing attempts *)
   shed_peak : int;       (** worst observed count of unassigned clients *)
   zone_migrations : int; (** zone handoffs spent by failover refreshes *)
   episodes : episode list;  (** chronological *)
+  partitions : partition_episode list;  (** chronological *)
   invariant_violations : string list;
       (** post-event invariant violations (first 50); must be empty on
           a healthy implementation *)
@@ -119,8 +139,8 @@ type outcome = {
 
     A {!checkpoint} is the full event-loop state as plain data —
     clients, zone targets, pending events (arrivals, samples, faults,
-    retries), health mask, RNG state, trace so far, episode and
-    telemetry bookkeeping. Together with the original [config],
+    retries), health mask including per-link state, RNG state, trace
+    so far, episode (crash and partition) and telemetry bookkeeping. Together with the original [config],
     [world] and [algorithm], it determines the rest of the run
     exactly: {!resume} produces the same trace, bit for bit, as the
     uninterrupted run would have. *)

@@ -8,6 +8,7 @@ type point = {
   reassignments : int;
   unassigned : int;
   down_servers : int;
+  components : int;
 }
 
 type t = { mutable rev_points : point list }
@@ -32,7 +33,8 @@ let final t = match t.rev_points with [] -> None | p :: _ -> Some p
 let to_table t =
   let table =
     Table.create
-      ~headers:[ "time"; "clients"; "pQoS"; "util"; "reassigns"; "unassigned"; "down" ]
+      ~headers:
+        [ "time"; "clients"; "pQoS"; "util"; "reassigns"; "unassigned"; "down"; "parts" ]
       ()
   in
   List.iter
@@ -46,13 +48,14 @@ let to_table t =
           string_of_int p.reassignments;
           string_of_int p.unassigned;
           string_of_int p.down_servers;
+          string_of_int p.components;
         ])
     (points t);
   table
 
 let to_csv t = Table.to_csv (to_table t)
 
-let csv_header = "time,clients,pQoS,util,reassigns,unassigned,down"
+let csv_header = "time,clients,pQoS,util,reassigns,unassigned,down,parts"
 
 type parse_error = {
   line : int;
@@ -67,7 +70,7 @@ let describe_error e =
 exception Parse of parse_error
 
 let columns =
-  [ "time"; "clients"; "pQoS"; "util"; "reassigns"; "unassigned"; "down" ]
+  [ "time"; "clients"; "pQoS"; "util"; "reassigns"; "unassigned"; "down"; "parts" ]
 
 (* Tolerate CRLF line endings and a trailing newline: strip a final
    '\r' per line and ignore blank lines (tracking original numbers so
@@ -118,6 +121,7 @@ let parse_row ~line row =
     reassignments = int_at 4;
     unassigned = int_at 5;
     down_servers = int_at 6;
+    components = int_at 7;
   }
 
 let parse_csv csv =

@@ -9,6 +9,9 @@ type point = {
   unassigned : int;     (** clients currently shed with no server
                             (orphaned by failures, awaiting re-homing) *)
   down_servers : int;   (** servers currently dead *)
+  components : int;     (** connected components of the live backbone
+                            mesh (CSV column [parts]): 1 = whole, >= 2
+                            = partitioned, 0 = every server dead *)
 }
 
 type t

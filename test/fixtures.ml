@@ -77,6 +77,7 @@ let world ?(delay_bound = 150.) ?(inter_server_factor = 0.5) ~server_nodes ~capa
     server_nodes = Array.copy server_nodes;
     capacities = Array.copy capacities;
     server_delay_penalty = Array.make servers 0.;
+    server_mesh = None;
     client_nodes = Array.of_list (List.map fst clients);
     client_zones = Array.of_list (List.map snd clients);
     sampler = sampler ~nodes:4 ~zones;

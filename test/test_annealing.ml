@@ -77,6 +77,32 @@ let prop_deterministic =
       let run () = (Annealing.improve (Rng.create ~seed) w ~targets).Annealing.targets in
       run () = run ())
 
+let test_alive_mask () =
+  let w = Fixtures.generated () in
+  let targets = Grez.assign w in
+  let alive = Array.make (World.server_count w) true in
+  alive.(2) <- false;
+  let report = Annealing.improve (Rng.create ~seed:5) ~alive w ~targets in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "never the dead server" true (s <> 2))
+    report.Annealing.targets;
+  Alcotest.(check bool) "report consistent under mask" true
+    (report.Annealing.cost_after <= report.Annealing.cost_before);
+  Alcotest.check_raises "mask length checked"
+    (Invalid_argument "Annealing: alive mask does not match the world's servers")
+    (fun () ->
+      ignore (Annealing.improve (Rng.create ~seed:5) ~alive:[| true |] w ~targets))
+
+let prop_alive_mask_respected =
+  QCheck.Test.make ~name:"anneal never lands on a dead server" ~count:8
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let dead = seed mod World.server_count w in
+      let alive = Array.init (World.server_count w) (fun s -> s <> dead) in
+      let report = Annealing.improve (Rng.create ~seed) ~alive w ~targets in
+      Array.for_all (fun s -> s <> dead) report.Annealing.targets)
+
 let tests =
   [
     ( "core/annealing",
@@ -84,8 +110,10 @@ let tests =
         case "validation" test_validation;
         case "finds fixture optimum" test_finds_fixture_optimum;
         case "report consistency" test_report_consistency;
+        case "alive mask" test_alive_mask;
         QCheck_alcotest.to_alcotest prop_never_worse;
         QCheck_alcotest.to_alcotest prop_feasible_stays_feasible;
         QCheck_alcotest.to_alcotest prop_deterministic;
+        QCheck_alcotest.to_alcotest prop_alive_mask_respected;
       ] );
   ]

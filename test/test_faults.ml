@@ -59,6 +59,121 @@ let test_health_apply () =
     (Assignment.client_delay a w 2 +. 40.)
     (Assignment.client_delay a slowed 2)
 
+let test_health_links () =
+  let h = Health.create ~servers:4 in
+  Alcotest.(check bool) "links pristine" true (Health.links_pristine h);
+  Alcotest.(check int) "one component" 1 (Health.partition_count h);
+  Health.cut_link h 0 2;
+  Alcotest.(check bool) "cut both ways" true
+    (Health.link_is_cut h 0 2 && Health.link_is_cut h 2 0);
+  Alcotest.(check int) "one cut" 1 (Health.cut_link_count h);
+  Alcotest.(check int) "still one component (reroute)" 1 (Health.partition_count h);
+  (* degrading a cut link is ignored, like degrading a dead server —
+     and stays ignored after the link is restored *)
+  Health.degrade_link h 0 2 ~delay_penalty:70.;
+  Alcotest.(check (float 1e-9)) "degrade on cut ignored" 0.
+    (Health.link_delay_penalty h 0 2);
+  Health.restore_link h 0 2;
+  Alcotest.(check (float 1e-9)) "still no penalty after restore" 0.
+    (Health.link_delay_penalty h 0 2);
+  Alcotest.(check bool) "pristine again" true (Health.is_pristine h);
+  (* a live degradation shows up and is symmetric *)
+  Health.degrade_link h 1 3 ~delay_penalty:40.;
+  Alcotest.(check (float 1e-9)) "penalty set" 40. (Health.link_delay_penalty h 3 1);
+  Alcotest.(check bool) "not pristine" false (Health.links_pristine h);
+  (* cutting clears the penalty *)
+  Health.cut_link h 1 3;
+  Health.restore_link h 1 3;
+  Alcotest.(check (float 1e-9)) "cut clears penalty" 0. (Health.link_delay_penalty h 1 3);
+  (* mixed describe: server parts then link parts *)
+  Health.crash h 1;
+  Health.cut_link h 0 2;
+  Health.degrade_link h 2 3 ~delay_penalty:40.;
+  Alcotest.(check string) "describe mixed mask" "s1 down, link 0-2 cut, link 2-3 +40ms"
+    (Health.describe h);
+  Alcotest.check_raises "equal endpoints"
+    (Invalid_argument "Health: link endpoints must differ") (fun () ->
+      Health.cut_link h 2 2);
+  Alcotest.check_raises "negative link penalty"
+    (Invalid_argument "Health.degrade_link: negative delay penalty") (fun () ->
+      Health.degrade_link h 0 3 ~delay_penalty:(-5.))
+
+let test_health_partition_count () =
+  let h = Health.create ~servers:4 in
+  (* isolate {0} from {1,2,3} *)
+  Health.cut_link h 0 1;
+  Health.cut_link h 0 2;
+  Health.cut_link h 0 3;
+  Alcotest.(check int) "two components" 2 (Health.partition_count h);
+  (* killing the rest leaves only s0's singleton component *)
+  Health.crash h 1;
+  Health.crash h 2;
+  Health.crash h 3;
+  Alcotest.(check int) "one live component" 1 (Health.partition_count h);
+  Health.crash h 0;
+  Alcotest.(check int) "all dead" 0 (Health.partition_count h)
+
+let test_health_apply_links () =
+  let w = Fixtures.generated () in
+  let h = Health.create ~servers:(World.server_count w) in
+  (* pristine mask: apply is the identity on the mesh *)
+  let same = Health.apply h w in
+  Alcotest.(check bool) "pristine apply keeps no mesh" true
+    (same.World.server_mesh = None);
+  (* cut 0-1: the effective delay reroutes, never drops below direct *)
+  Health.cut_link h 0 1;
+  let cut = Health.apply h w in
+  Alcotest.(check bool) "mesh baked" true (cut.World.server_mesh <> None);
+  Alcotest.(check bool) "rerouted delay at least direct" true
+    (World.server_server_rtt cut 0 1 >= World.server_server_rtt w 0 1);
+  Alcotest.(check bool) "still reachable over the mesh" true
+    (World.servers_reachable cut 0 1);
+  (* a fully partitioned pair is infinite and unreachable *)
+  for s = 1 to World.server_count w - 1 do
+    Health.cut_link h 0 s
+  done;
+  let split = Health.apply h w in
+  Alcotest.(check bool) "infinite across the partition" true
+    (World.server_server_rtt split 0 1 = infinity);
+  Alcotest.(check bool) "unreachable" false (World.servers_reachable split 0 1);
+  Alcotest.(check bool) "self always reachable" true (World.servers_reachable split 0 0)
+
+let prop_cut_restore_all_links_is_identity =
+  QCheck.Test.make
+    ~name:"cutting then restoring every link restores the pristine RTT matrix" ~count:10
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let m = World.server_count w in
+      let h = Health.create ~servers:m in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          Health.cut_link h i j
+        done
+      done;
+      let damaged = Health.apply h w in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          Health.restore_link h i j
+        done
+      done;
+      let healed = Health.apply h w in
+      let split_ok = ref true and exact = ref true in
+      for i = 0 to m - 1 do
+        for j = 0 to m - 1 do
+          if i <> j && World.server_server_rtt damaged i j <> infinity then
+            split_ok := false;
+          (* bitwise equality, not approximate: the overlay must
+             short-circuit to the base matrix when pristine *)
+          if World.server_server_rtt healed i j <> World.server_server_rtt w i j then
+            exact := false;
+          if
+            World.true_server_server_rtt healed i j
+            <> World.true_server_server_rtt w i j
+          then exact := false
+        done
+      done;
+      !split_ok && !exact && Health.is_pristine h)
+
 (* ------------------------------------------------------------------ *)
 (* Fault schedules                                                     *)
 
@@ -92,7 +207,9 @@ let test_poisson_generator () =
                Alcotest.(check bool) "crash expected" true expect_crash
            | Fault.Recover _ ->
                Alcotest.(check bool) "recover expected" false expect_crash
-           | Fault.Degrade _ -> Alcotest.fail "poisson never degrades");
+           | Fault.Degrade _ | Fault.Link_cut _ | Fault.Link_restore _
+           | Fault.Link_degrade _ ->
+               Alcotest.fail "poisson only crashes and recovers");
            not expect_crash)
          true mine)
   done;
@@ -123,7 +240,9 @@ let test_regional_outage () =
           Alcotest.(check int) "right region" region region_of_server.(s);
           Alcotest.(check bool) "jittered start" true (t.Fault.at >= 30. && t.Fault.at < 35.)
       | Fault.Recover _ -> ()
-      | Fault.Degrade _ -> Alcotest.fail "outage never degrades")
+      | Fault.Degrade _ | Fault.Link_cut _ | Fault.Link_restore _
+      | Fault.Link_degrade _ ->
+          Alcotest.fail "outage only crashes and recovers")
     schedule
 
 let test_merge () =
@@ -131,6 +250,122 @@ let test_merge () =
   let b = [ { Fault.at = 20.; event = Fault.Crash 1 } ] in
   let times = List.map (fun t -> t.Fault.at) (Fault.merge [ a; b ]) in
   Alcotest.(check (list (float 1e-9))) "time ordered" [ 10.; 20.; 30. ] times
+
+let test_link_events_validate () =
+  let bad schedule =
+    try
+      ignore (Fault.validate ~servers:4 schedule);
+      false
+    with Invalid_argument _ -> true
+  in
+  let ok =
+    [
+      { Fault.at = 5.; event = Fault.Link_cut { s1 = 0; s2 = 3 } };
+      { Fault.at = 9.; event = Fault.Link_restore { s1 = 3; s2 = 0 } };
+    ]
+  in
+  Alcotest.(check int) "link events pass" 2 (List.length (Fault.validate ~servers:4 ok));
+  Alcotest.(check int) "cut count" 1 (Fault.link_cut_count ok);
+  Alcotest.(check bool) "equal endpoints rejected" true
+    (bad [ { Fault.at = 0.; event = Fault.Link_cut { s1 = 1; s2 = 1 } } ]);
+  Alcotest.(check bool) "endpoint out of range" true
+    (bad [ { Fault.at = 0.; event = Fault.Link_restore { s1 = 0; s2 = 9 } } ]);
+  Alcotest.(check bool) "non-positive link penalty" true
+    (bad
+       [
+         {
+           Fault.at = 0.;
+           event = Fault.Link_degrade { s1 = 0; s2 = 1; delay_penalty = 0. };
+         };
+       ]);
+  Alcotest.(check (list int)) "servers_of link event" [ 0; 3 ]
+    (Fault.servers_of (Fault.Link_cut { s1 = 0; s2 = 3 }));
+  Alcotest.check_raises "server_of raises on link events"
+    (Invalid_argument "Fault.server_of: link event has two endpoints") (fun () ->
+      ignore (Fault.server_of (Fault.Link_cut { s1 = 0; s2 = 3 })))
+
+let test_link_flapping_generator () =
+  let gen seed =
+    Fault.link_flapping (Rng.create ~seed) ~servers:4 ~mtbf:60. ~mttr:20. ~duration:400.
+  in
+  let a = gen 3 and b = gen 3 and c = gen 4 in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Alcotest.(check bool) "seed-sensitive" true (a <> c);
+  Alcotest.(check bool) "produces cuts" true (Fault.link_cut_count a > 0);
+  (* per link, events alternate cut / restore in time order *)
+  for i = 0 to 3 do
+    for j = i + 1 to 3 do
+      let mine =
+        List.filter
+          (fun t -> List.sort compare (Fault.servers_of t.Fault.event) = [ i; j ])
+          a
+      in
+      ignore
+        (List.fold_left
+           (fun expect_cut t ->
+             (match t.Fault.event with
+             | Fault.Link_cut _ ->
+                 Alcotest.(check bool) "cut expected" true expect_cut
+             | Fault.Link_restore _ ->
+                 Alcotest.(check bool) "restore expected" false expect_cut
+             | _ -> Alcotest.fail "flapping only cuts and restores");
+             not expect_cut)
+           true mine)
+    done
+  done;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "within horizon" true (t.Fault.at >= 0. && t.Fault.at < 400.))
+    a;
+  Alcotest.check_raises "one server has no links"
+    (Invalid_argument "Fault.link_flapping: need at least two servers") (fun () ->
+      ignore (Fault.link_flapping (Rng.create ~seed:1) ~servers:1 ~mtbf:1. ~mttr:1. ~duration:1.))
+
+let test_partition_generator () =
+  (* 5 servers, explicit groups {0,1} and {2}, implicit rest {3,4}:
+     cross-group pairs = 2*1 + 2*2 + 1*2 = 8 cuts *)
+  let schedule =
+    Fault.partition ~servers:5 ~groups:[| [| 0; 1 |]; [| 2 |] |] ~at:50. ~heal_after:25. ()
+  in
+  Alcotest.(check int) "eight cuts" 8 (Fault.link_cut_count schedule);
+  Alcotest.(check int) "and as many restores" 16 (List.length schedule);
+  List.iter
+    (fun t ->
+      match t.Fault.event with
+      | Fault.Link_cut _ -> Alcotest.(check (float 1e-9)) "cuts at AT" 50. t.Fault.at
+      | Fault.Link_restore _ ->
+          Alcotest.(check (float 1e-9)) "heals at AT+HEAL" 75. t.Fault.at
+      | _ -> Alcotest.fail "partition only cuts and restores")
+    schedule;
+  (* intra-group links survive *)
+  List.iter
+    (fun t ->
+      match Fault.servers_of t.Fault.event with
+      | [ a; b ] ->
+          let group s = if s <= 1 then 0 else if s = 2 then 1 else 2 in
+          Alcotest.(check bool) "only cross-group links cut" true (group a <> group b)
+      | _ -> Alcotest.fail "link events have two endpoints")
+    schedule;
+  (* applying the cuts to a health mask yields exactly three components *)
+  let h = Health.create ~servers:5 in
+  List.iter
+    (fun t ->
+      match t.Fault.event with
+      | Fault.Link_cut { s1; s2 } -> Health.cut_link h s1 s2
+      | _ -> ())
+    schedule;
+  Alcotest.(check int) "three components" 3 (Health.partition_count h);
+  (* no heal_after: cuts only *)
+  let cuts_only = Fault.partition ~servers:5 ~groups:[| [| 0 |] |] ~at:10. () in
+  Alcotest.(check int) "cuts only" (List.length cuts_only) (Fault.link_cut_count cuts_only);
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "duplicate server rejected" true
+    (bad (fun () -> Fault.partition ~servers:5 ~groups:[| [| 0; 0 |] |] ~at:1. ()));
+  Alcotest.(check bool) "out-of-range rejected" true
+    (bad (fun () -> Fault.partition ~servers:5 ~groups:[| [| 9 |] |] ~at:1. ()));
+  Alcotest.(check bool) "non-positive heal rejected" true
+    (bad (fun () ->
+         Fault.partition ~servers:5 ~groups:[| [| 0 |] |] ~at:1. ~heal_after:0. ()))
 
 (* ------------------------------------------------------------------ *)
 (* failure-aware refresh                                               *)
@@ -339,6 +574,142 @@ let test_chaos_determinism () =
     (Trace.points a.Sim.trace = Trace.points b.Sim.trace);
   Alcotest.(check bool) "same fault report" true (a.Sim.faults = b.Sim.faults)
 
+(* ------------------------------------------------------------------ *)
+(* partition tolerance, end to end                                     *)
+
+let test_partition_chaos_round_trips () =
+  (* split {0,1} from {2,3,4} for 100 s: no assignment may ever cross
+     the partition, the episode must be recorded, and healing must
+     close it with the exact time-to-reconnect *)
+  let faults =
+    Fault.partition ~servers:5 ~groups:[| [| 0; 1 |] |] ~at:100. ~heal_after:100. ()
+  in
+  let outcome = run_chaos ~duration:400. faults in
+  let report = outcome.Sim.faults in
+  Alcotest.(check int) "six links cut" 6 report.Sim.link_cuts;
+  Alcotest.(check int) "six links restored" 6 report.Sim.link_restores;
+  Alcotest.(check (list string)) "no cross-partition assignment, ever" []
+    report.Sim.invariant_violations;
+  Alcotest.(check int) "one partition episode" 1 (List.length report.Sim.partitions);
+  let episode = List.hd report.Sim.partitions in
+  Alcotest.(check (float 1e-9)) "opened at the split" 100. episode.Sim.partitioned_at;
+  (match episode.Sim.healed_at with
+  | None -> Alcotest.fail "partition never healed"
+  | Some healed -> Alcotest.(check (float 1e-9)) "healed at the restore" 200. healed);
+  Alcotest.(check int) "two components at the peak" 2 episode.Sim.peak_components;
+  (* the mesh is whole again at the end: components back to 1 *)
+  (match Trace.final outcome.Sim.trace with
+  | None -> Alcotest.fail "expected samples"
+  | Some p -> Alcotest.(check int) "whole again" 1 p.Trace.components);
+  (* the trace saw the split *)
+  Alcotest.(check bool) "trace recorded the partition" true
+    (List.exists (fun p -> p.Trace.components = 2) (Trace.points outcome.Sim.trace));
+  let chaos = Cap_sim.Chaos.analyze outcome in
+  Alcotest.(check int) "chaos episode count" 1 chaos.Cap_sim.Chaos.partition_episodes;
+  Alcotest.(check int) "none unresolved" 0 chaos.Cap_sim.Chaos.unresolved_partitions;
+  (match chaos.Cap_sim.Chaos.mean_reconnect with
+  | None -> Alcotest.fail "reconnect time missing"
+  | Some r -> Alcotest.(check (float 1e-9)) "time-to-reconnect exact" 100. r);
+  Alcotest.(check bool) "pQoS during partition measured" true
+    (chaos.Cap_sim.Chaos.pqos_during_partition <> None)
+
+let test_link_degrade_dips_pqos () =
+  (* degrade every backbone link heavily: relayed clients slow down *)
+  let degrade =
+    List.concat
+      (List.init 5 (fun i ->
+           List.filteri (fun j _ -> j > i) (List.init 5 Fun.id)
+           |> List.map (fun j ->
+                  {
+                    Fault.at = 50.;
+                    event = Fault.Link_degrade { s1 = i; s2 = j; delay_penalty = 400. };
+                  })))
+  in
+  let outcome = run_chaos ~duration:100. ~policy:Policy.Never degrade in
+  Alcotest.(check int) "degradations counted" 10 outcome.Sim.faults.Sim.link_degradations;
+  Alcotest.(check (list string)) "no invariant violations" []
+    outcome.Sim.faults.Sim.invariant_violations;
+  Alcotest.(check int) "no partition from degradation" 0
+    (List.length outcome.Sim.faults.Sim.partitions)
+
+let test_link_chaos_determinism () =
+  let faults =
+    Fault.merge
+      [
+        Fault.link_flapping (Rng.create ~seed:9) ~servers:5 ~mtbf:80. ~mttr:30.
+          ~duration:200.;
+        Fault.poisson (Rng.create ~seed:10) ~servers:5 ~mtbf:150. ~mttr:40. ~duration:200.;
+      ]
+  in
+  let a = run_chaos ~duration:200. faults and b = run_chaos ~duration:200. faults in
+  Alcotest.(check bool) "same trace" true
+    (Trace.points a.Sim.trace = Trace.points b.Sim.trace);
+  Alcotest.(check bool) "same fault report" true (a.Sim.faults = b.Sim.faults)
+
+let test_seeded_link_chaos_invariants =
+  QCheck.Test.make ~name:"invariants hold across seeded link+server chaos" ~count:3
+    QCheck.small_nat (fun n ->
+      let seed = n + 1 in
+      let faults =
+        Fault.merge
+          [
+            Fault.link_flapping (Rng.create ~seed:(seed + 200)) ~servers:5 ~mtbf:100.
+              ~mttr:40. ~duration:300.;
+            Fault.poisson (Rng.create ~seed:(seed + 300)) ~servers:5 ~mtbf:150. ~mttr:40.
+              ~duration:300.;
+          ]
+      in
+      let outcome = run_chaos ~duration:300. ~seed faults in
+      outcome.Sim.faults.Sim.invariant_violations = [])
+
+let test_partition_checkpoint_resume () =
+  (* SIGTERM-style interruption mid-partition: resuming from any
+     checkpoint must reproduce the uninterrupted trace bitwise *)
+  let w = Fixtures.generated ~seed:3 () in
+  let faults =
+    Fault.partition ~servers:5 ~groups:[| [| 0; 1 |] |] ~at:100. ~heal_after:120. ()
+  in
+  let config =
+    {
+      Sim.default_config with
+      duration = 400.;
+      policy = Policy.Periodic 50.;
+      sample_interval = 10.;
+      arrival_rate = 0.;
+      mean_session = 1e7;
+      faults;
+      retry_interval = 5.;
+    }
+  in
+  let baseline = Sim.run (Rng.create ~seed:3) config ~world:w ~algorithm in
+  let captured = ref [] in
+  let hook =
+    {
+      Sim.every = Some 60.;
+      request = (fun () -> false);
+      write = (fun ~reason:_ ck -> captured := ck :: !captured);
+    }
+  in
+  let observed = Sim.run ~checkpoint:hook (Rng.create ~seed:3) config ~world:w ~algorithm in
+  Alcotest.(check bool) "checkpointing does not perturb the run" true
+    (Trace.points observed.Sim.trace = Trace.points baseline.Sim.trace);
+  let mid_partition =
+    List.filter
+      (fun ck ->
+        let t = Sim.checkpoint_time ck in
+        t >= 100. && t < 220.)
+      !captured
+  in
+  Alcotest.(check bool) "captured mid-partition checkpoints" true (mid_partition <> []);
+  List.iter
+    (fun ck ->
+      let resumed = Sim.resume config ~world:w ~algorithm ck in
+      Alcotest.(check bool) "resumed trace bitwise-identical" true
+        (Trace.points resumed.Sim.trace = Trace.points baseline.Sim.trace);
+      Alcotest.(check bool) "resumed fault report identical" true
+        (resumed.Sim.faults = baseline.Sim.faults))
+    !captured
+
 let test_chaos_report () =
   let victim = most_loaded_server ~seed:3 in
   let outcome =
@@ -364,6 +735,10 @@ let tests =
       [
         case "health basics" test_health_basics;
         case "health apply" test_health_apply;
+        case "link state" test_health_links;
+        case "partition count" test_health_partition_count;
+        case "apply with link damage" test_health_apply_links;
+        QCheck_alcotest.to_alcotest prop_cut_restore_all_links_is_identity;
       ] );
     ( "faults/schedule",
       [
@@ -371,6 +746,9 @@ let tests =
         case "poisson generator" test_poisson_generator;
         case "regional outage" test_regional_outage;
         case "merge" test_merge;
+        case "link events validate" test_link_events_validate;
+        case "link flapping generator" test_link_flapping_generator;
+        case "partition generator" test_partition_generator;
       ] );
     ( "faults/refresh",
       [
@@ -388,5 +766,13 @@ let tests =
         case "determinism" test_chaos_determinism;
         case "chaos report" test_chaos_report;
         QCheck_alcotest.to_alcotest test_seeded_chaos_invariants;
+      ] );
+    ( "faults/partition",
+      [
+        case "partition round-trips" test_partition_chaos_round_trips;
+        case "link degradation" test_link_degrade_dips_pqos;
+        case "link chaos determinism" test_link_chaos_determinism;
+        case "checkpoint/resume mid-partition" test_partition_checkpoint_resume;
+        QCheck_alcotest.to_alcotest test_seeded_link_chaos_invariants;
       ] );
   ]

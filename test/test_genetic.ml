@@ -73,6 +73,36 @@ let prop_deterministic =
       let run () = (Genetic.improve (Rng.create ~seed) w ~targets).Genetic.targets in
       run () = run ())
 
+let test_alive_mask () =
+  let w = Fixtures.generated () in
+  let targets = Grez.assign w in
+  let alive = Array.make (World.server_count w) true in
+  alive.(1) <- false;
+  let report = Genetic.improve (Rng.create ~seed:5) ~alive w ~targets in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "never the dead server" true (s <> 1))
+    report.Genetic.targets;
+  Alcotest.check_raises "mask length checked"
+    (Invalid_argument "Genetic: alive mask does not match the world's servers")
+    (fun () ->
+      ignore (Genetic.improve (Rng.create ~seed:5) ~alive:[| true |] w ~targets));
+  Alcotest.check_raises "all-dead mask rejected"
+    (Invalid_argument "Genetic: no alive server") (fun () ->
+      ignore
+        (Genetic.improve (Rng.create ~seed:5)
+           ~alive:(Array.make (World.server_count w) false)
+           w ~targets))
+
+let prop_alive_mask_respected =
+  QCheck.Test.make ~name:"evolution never lands on a dead server" ~count:5
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let dead = seed mod World.server_count w in
+      let alive = Array.init (World.server_count w) (fun s -> s <> dead) in
+      let report = Genetic.improve (Rng.create ~seed) ~alive w ~targets in
+      Array.for_all (fun s -> s <> dead) report.Genetic.targets)
+
 let tests =
   [
     ( "core/genetic",
@@ -80,8 +110,10 @@ let tests =
         case "validation" test_validation;
         case "finds fixture optimum" test_finds_fixture_optimum;
         case "report consistency" test_report_consistency;
+        case "alive mask" test_alive_mask;
         QCheck_alcotest.to_alcotest prop_never_worse_than_feasible_seed;
         QCheck_alcotest.to_alcotest prop_feasible_result;
         QCheck_alcotest.to_alcotest prop_deterministic;
+        QCheck_alcotest.to_alcotest prop_alive_mask_respected;
       ] );
   ]

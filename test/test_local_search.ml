@@ -65,6 +65,31 @@ let prop_no_worse_than_grez =
       let report = Ls.improve w ~targets in
       report.Ls.cost_after <= report.Ls.cost_before)
 
+let test_alive_mask () =
+  let w = Fixtures.generated () in
+  let targets = Grez.assign w in
+  let alive = Array.make (World.server_count w) true in
+  alive.(0) <- false;
+  let report = Ls.improve ~alive w ~targets in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "never the dead server" true (s <> 0))
+    report.Ls.targets;
+  Alcotest.(check bool) "never worse than the evacuated baseline" true
+    (report.Ls.cost_after <= report.Ls.cost_before);
+  Alcotest.check_raises "mask length checked"
+    (Invalid_argument "Local_search: alive mask does not match the world's servers")
+    (fun () -> ignore (Ls.improve ~alive:[| true |] w ~targets))
+
+let prop_alive_mask_respected =
+  QCheck.Test.make ~name:"local search never lands on a dead server" ~count:10
+    QCheck.small_nat (fun seed ->
+      let w = Fixtures.generated ~seed:(seed + 1) () in
+      let targets = Grez.assign w in
+      let dead = seed mod World.server_count w in
+      let alive = Array.init (World.server_count w) (fun s -> s <> dead) in
+      let report = Ls.improve ~alive w ~targets in
+      Array.for_all (fun s -> s <> dead) report.Ls.targets)
+
 let tests =
   [
     ( "core/local_search",
@@ -73,8 +98,10 @@ let tests =
         case "fixed point on optimum" test_fixed_point_on_optimum;
         case "max rounds" test_max_rounds;
         case "input not mutated" test_input_not_mutated;
+        case "alive mask" test_alive_mask;
         QCheck_alcotest.to_alcotest prop_never_increases_cost;
         QCheck_alcotest.to_alcotest prop_preserves_feasibility;
         QCheck_alcotest.to_alcotest prop_no_worse_than_grez;
+        QCheck_alcotest.to_alcotest prop_alive_mask_respected;
       ] );
   ]

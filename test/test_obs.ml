@@ -209,11 +209,11 @@ let test_trace_csv_round_trip () =
   let points =
     [
       { Cap_sim.Trace.time = 20.; clients = 100; pqos = 0.875; utilization = 0.5;
-        reassignments = 0; unassigned = 0; down_servers = 0 };
+        reassignments = 0; unassigned = 0; down_servers = 0; components = 1 };
       { Cap_sim.Trace.time = 40.; clients = 104; pqos = 0.912; utilization = 0.625;
-        reassignments = 1; unassigned = 7; down_servers = 1 };
+        reassignments = 1; unassigned = 7; down_servers = 1; components = 2 };
       { Cap_sim.Trace.time = 60.; clients = 99; pqos = 0.75; utilization = 0.375;
-        reassignments = 2; unassigned = 0; down_servers = 0 };
+        reassignments = 2; unassigned = 0; down_servers = 0; components = 1 };
     ]
   in
   List.iter (Cap_sim.Trace.record trace) points;
@@ -232,7 +232,9 @@ let test_trace_csv_round_trip () =
         "reassignments" a.Cap_sim.Trace.reassignments b.Cap_sim.Trace.reassignments;
       Alcotest.(check int) "unassigned" a.Cap_sim.Trace.unassigned b.Cap_sim.Trace.unassigned;
       Alcotest.(check int)
-        "down servers" a.Cap_sim.Trace.down_servers b.Cap_sim.Trace.down_servers)
+        "down servers" a.Cap_sim.Trace.down_servers b.Cap_sim.Trace.down_servers;
+      Alcotest.(check int)
+        "components" a.Cap_sim.Trace.components b.Cap_sim.Trace.components)
     points
     (Cap_sim.Trace.points round_tripped);
   (* malformed inputs now yield structured diagnostics *)
@@ -242,7 +244,8 @@ let test_trace_csv_round_trip () =
       Alcotest.(check int) "header line" 1 e.Cap_sim.Trace.line;
       Alcotest.(check string) "header field" "header" e.Cap_sim.Trace.field);
   (match
-     Cap_sim.Trace.parse_csv "time,clients,pQoS,util,reassigns,unassigned,down\n1,2,3\n"
+     Cap_sim.Trace.parse_csv
+       "time,clients,pQoS,util,reassigns,unassigned,down,parts\n1,2,3\n"
    with
   | Ok _ -> Alcotest.fail "short row accepted"
   | Error e ->
@@ -250,7 +253,7 @@ let test_trace_csv_round_trip () =
       Alcotest.(check string) "row field" "row" e.Cap_sim.Trace.field);
   (match
      Cap_sim.Trace.parse_csv
-       "time,clients,pQoS,util,reassigns,unassigned,down\n20.0,100,0.875,0.5,0,0,0\n40.0,x,0.9,0.5,0,0,0\n"
+       "time,clients,pQoS,util,reassigns,unassigned,down,parts\n20.0,100,0.875,0.5,0,0,0,1\n40.0,x,0.9,0.5,0,0,0,1\n"
    with
   | Ok _ -> Alcotest.fail "bad cell accepted"
   | Error e ->
@@ -258,12 +261,12 @@ let test_trace_csv_round_trip () =
       Alcotest.(check string) "cell field" "clients" e.Cap_sim.Trace.field;
       Alcotest.(check string) "cell value" "x" e.Cap_sim.Trace.value);
   Alcotest.check_raises "of_csv raises with the diagnostic"
-    (Invalid_argument "Trace.of_csv: line 1: field header = \"nope\": expected time,clients,pQoS,util,reassigns,unassigned,down")
+    (Invalid_argument "Trace.of_csv: line 1: field header = \"nope\": expected time,clients,pQoS,util,reassigns,unassigned,down,parts")
     (fun () -> ignore (Cap_sim.Trace.of_csv "nope\n1,2,3,4,5\n"));
   (* CRLF and trailing-newline tolerance *)
   (match
      Cap_sim.Trace.parse_csv
-       "time,clients,pQoS,util,reassigns,unassigned,down\r\n20.0,100,0.875,0.500,0,0,0\r\n\r\n"
+       "time,clients,pQoS,util,reassigns,unassigned,down,parts\r\n20.0,100,0.875,0.500,0,0,0,1\r\n\r\n"
    with
   | Ok t -> Alcotest.(check int) "CRLF parsed" 1 (Cap_sim.Trace.length t)
   | Error e -> Alcotest.failf "CRLF rejected: %s" (Cap_sim.Trace.describe_error e))

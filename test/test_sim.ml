@@ -57,6 +57,7 @@ let test_trace_module () =
       reassignments = 0;
       unassigned = 0;
       down_servers = 0;
+      components = 1;
     }
   in
   Trace.record t (point 1. 0.8);
