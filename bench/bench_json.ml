@@ -1,0 +1,115 @@
+(* Machine-readable benchmark baseline.
+
+   Schema "cap-bench/1", one object per file:
+
+   {
+     "schema": "cap-bench/1",
+     "date": "2026-08-06",
+     "git_rev": "0c4c674",
+     "jobs": 1,
+     "runs": 10,
+     "kernels": [
+       {"name": "cap/table1/grez-grec-20s", "ns_per_run": 1234.5,
+        "r_square": 0.999, "samples": 500},
+       ...
+     ]
+   }
+
+   The reader is deliberately not a general JSON parser: it re-reads
+   only what [write] produces (one kernel per line), which is all the
+   regression gate needs. *)
+
+type entry = {
+  name : string;
+  ns_per_run : float;
+  r_square : float option;
+  samples : int;
+}
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write ~path ~date ~git_rev ~jobs ~runs entries =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"cap-bench/1\",\n";
+  Printf.fprintf oc "  \"date\": \"%s\",\n" (escape date);
+  Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (escape git_rev);
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"runs\": %d,\n" runs;
+  Printf.fprintf oc "  \"kernels\": [";
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc "%s\n    {\"name\": \"%s\", \"ns_per_run\": %.3f, %s\"samples\": %d}"
+        (if i = 0 then "" else ",")
+        (escape e.name) e.ns_per_run
+        (match e.r_square with
+        | Some r -> Printf.sprintf "\"r_square\": %.6f, " r
+        | None -> "")
+        e.samples)
+    entries;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+(* Substring search: position just past the first occurrence of
+   [marker] in [line], if any. *)
+let after line marker =
+  let n = String.length line and m = String.length marker in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = marker then Some (String.sub line (i + m) (n - i - m))
+    else go (i + 1)
+  in
+  go 0
+
+let parse_kernel_line line =
+  match after line "\"name\": \"" with
+  | None -> None
+  | Some rest -> (
+      match String.index_opt rest '"' with
+      | None -> None
+      | Some close -> (
+          let name = String.sub rest 0 close in
+          match after rest "\"ns_per_run\": " with
+          | None -> None
+          | Some tail ->
+              let stop = ref (String.length tail) in
+              String.iteri (fun i c -> if (c = ',' || c = '}') && i < !stop then stop := i) tail;
+              (match float_of_string_opt (String.trim (String.sub tail 0 !stop)) with
+              | Some ns -> Some (name, ns)
+              | None -> None)))
+
+let read_baseline path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       match parse_kernel_line (input_line ic) with
+       | Some e -> entries := e :: !entries
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* Kernels present in both the baseline and the current run whose
+   current ns/run exceeds [threshold] times the baseline. Kernels only
+   on one side are ignored (renames must not fail the gate). *)
+let regressions ~baseline ~threshold entries =
+  List.filter_map
+    (fun e ->
+      match List.assoc_opt e.name baseline with
+      | Some old when old > 0. && e.ns_per_run > threshold *. old ->
+          Some (e.name, old, e.ns_per_run)
+      | Some _ | None -> None)
+    entries

@@ -7,7 +7,17 @@
 
    Part 2 runs Bechamel micro-benchmarks: one timed kernel per paper
    artifact (the work behind one data point of each table/figure) plus
-   the main substrate kernels. *)
+   the main substrate kernels.
+
+   Environment knobs:
+   - CAP_RUNS=n       replicate count for part 1 (default 10)
+   - CAP_JOBS=n       domain-pool size for parallel sections (default 1)
+   - CAP_BENCH_ONLY=1 skip part 1; kernels only (CI smoke mode)
+   - CAP_BENCH_JSON=f write kernel results as cap-bench/1 JSON to f
+   - CAP_BENCH_BASELINE=f  compare kernels against a committed
+     cap-bench/1 file; exit 1 if any regresses beyond
+     CAP_BENCH_THRESHOLD x (default 2) its baseline ns/run
+   - CAP_OBS=1        telemetry summary for part 1 (forces CAP_JOBS=1) *)
 
 module Rng = Cap_util.Rng
 module Scenario = Cap_model.Scenario
@@ -50,6 +60,17 @@ let report_runs () =
       | Some n when n > 0 -> n
       | Some _ | None -> 10)
   | None -> 10
+
+let env_flag name =
+  match Sys.getenv_opt name with None | Some "" | Some "0" -> false | Some _ -> true
+
+let requested_jobs () =
+  match Sys.getenv_opt "CAP_JOBS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+  | None -> 1
 
 let reproduction_report () =
   let runs = report_runs () in
@@ -188,7 +209,43 @@ let benchmark () =
   let tests = Test.make_grouped ~name:"cap" (make_tests ()) in
   let raw = Benchmark.all cfg instances tests in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
-  Analyze.merge ols instances results
+  (raw, Analyze.merge ols instances results)
+
+(* Flatten the monotonic-clock OLS table into baseline entries: one
+   (kernel name, ns/run) per test, sorted by name for stable files. *)
+let kernel_entries raw results =
+  let clock = Measure.label Instance.monotonic_clock in
+  match Hashtbl.find_opt results clock with
+  | None -> []
+  | Some table ->
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns_per_run =
+            match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+          in
+          let samples =
+            match Hashtbl.find_opt raw name with
+            | Some (b : Benchmark.t) -> b.Benchmark.stats.Benchmark.samples
+            | None -> 0
+          in
+          { Bench_json.name; ns_per_run; r_square = Analyze.OLS.r_square ols; samples }
+          :: acc)
+        table []
+      |> List.sort (fun a b -> compare a.Bench_json.name b.Bench_json.name)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> String.trim line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let today () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
 
 let print_benchmarks () =
   print_endline "\n==============================";
@@ -202,14 +259,60 @@ let print_benchmarks () =
     | Some (w, h) -> { Bechamel_notty.w; h }
     | None -> { Bechamel_notty.w = 120; h = 1 }
   in
-  let results = benchmark () in
+  let raw, results = benchmark () in
   let image =
     Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run results
   in
-  Notty_unix.output_image (Notty_unix.eol image)
+  Notty_unix.output_image (Notty_unix.eol image);
+  kernel_entries raw results
+
+let bench_threshold () =
+  match Sys.getenv_opt "CAP_BENCH_THRESHOLD" with
+  | Some v -> (
+      match float_of_string_opt (String.trim v) with
+      | Some t when t > 1. -> t
+      | Some _ | None -> 2.)
+  | None -> 2.
+
+let check_baseline entries =
+  match Sys.getenv_opt "CAP_BENCH_BASELINE" with
+  | None | Some "" -> true
+  | Some path ->
+      let baseline = Bench_json.read_baseline path in
+      let threshold = bench_threshold () in
+      let regressions = Bench_json.regressions ~baseline ~threshold entries in
+      (match regressions with
+      | [] ->
+          Printf.printf "baseline check: no kernel regressed beyond %gx vs %s\n" threshold
+            path
+      | _ ->
+          List.iter
+            (fun (name, old, current) ->
+              Printf.eprintf "REGRESSION %s: %.0f ns/run -> %.0f ns/run (> %gx)\n" name old
+                current threshold)
+            regressions);
+      regressions = []
 
 let () =
-  if obs_hook then Cap_obs.Control.enable ();
-  reproduction_report ();
-  obs_report ();
-  print_benchmarks ()
+  let jobs = requested_jobs () in
+  let jobs =
+    if obs_hook && jobs > 1 then begin
+      prerr_endline "warning: CAP_OBS telemetry is single-domain; forcing CAP_JOBS=1";
+      1
+    end
+    else jobs
+  in
+  ignore (Cap_par.Pool.ensure ~jobs);
+  if not (env_flag "CAP_BENCH_ONLY") then begin
+    if obs_hook then Cap_obs.Control.enable ();
+    reproduction_report ();
+    obs_report ()
+  end;
+  let entries = print_benchmarks () in
+  (match Sys.getenv_opt "CAP_BENCH_JSON" with
+  | None | Some "" -> ()
+  | Some path ->
+      Bench_json.write ~path ~date:(today ()) ~git_rev:(git_rev ()) ~jobs
+        ~runs:(report_runs ()) entries;
+      Printf.printf "wrote benchmark JSON to %s\n" path);
+  if not (check_baseline entries) then exit 1

@@ -77,6 +77,7 @@ type obs_options = {
   metrics_file : string option;
   trace_file : string option;
   obs_summary : bool;
+  jobs : int;
 }
 
 let obs_term =
@@ -92,17 +93,43 @@ let obs_term =
     let doc = "Print a per-span timing and metrics summary after the command." in
     Arg.(value & flag & info [ "obs-summary" ] ~doc)
   in
+  let jobs_arg =
+    let doc =
+      "Worker domains for parallel sections (delay-matrix fills, replicate \
+       runs). Results are bitwise-identical at any value; 1 (the default) \
+       disables parallelism."
+    in
+    let env = Cmd.Env.info "CAP_JOBS" ~doc:"Default for $(b,--jobs)." in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc ~env)
+  in
   Term.(
-    const (fun metrics_file trace_file obs_summary ->
-        { metrics_file; trace_file; obs_summary })
-    $ metrics_arg $ trace_arg $ summary_arg)
+    const (fun metrics_file trace_file obs_summary jobs ->
+        { metrics_file; trace_file; obs_summary; jobs })
+    $ metrics_arg $ trace_arg $ summary_arg $ jobs_arg)
 
 (* Enable telemetry iff any sink was requested, run the command, then
    drain the sinks. Telemetry stays fully disabled (the no-op fast
    path) when no flag is given. *)
 let with_obs obs body =
-  if obs.metrics_file <> None || obs.trace_file <> None || obs.obs_summary then
-    Cap_obs.Control.enable ();
+  if obs.jobs < 1 then begin
+    prerr_endline "capsim: --jobs must be at least 1";
+    exit exit_usage
+  end;
+  let telemetry = obs.metrics_file <> None || obs.trace_file <> None || obs.obs_summary in
+  (* Span tracing keeps one global stack; running it from several
+     domains at once would interleave frames. Metrics alone would only
+     risk benignly dropped increments, but the sinks are requested
+     together, so be conservative and run serial whenever telemetry is
+     on. *)
+  let jobs =
+    if telemetry && obs.jobs > 1 then begin
+      prerr_endline "warning: telemetry sinks are single-domain; forcing --jobs 1";
+      1
+    end
+    else obs.jobs
+  in
+  Cap_par.Pool.set_default_jobs jobs;
+  if telemetry then Cap_obs.Control.enable ();
   let code = body () in
   (match obs.metrics_file with
   | None -> ()

@@ -93,6 +93,30 @@ let improve_body rng ~params ?alive world ~targets =
     proposed = params.iterations;
   }
 
-let improve rng ?(params = default_params) ?alive world ~targets =
+let improve rng ?(params = default_params) ?(restarts = 1) ?(domains = 1) ?alive world
+    ~targets =
+  if restarts < 1 then invalid_arg "Annealing: restarts must be positive";
   Cap_obs.Span.with_span "annealing/improve" (fun () ->
-      improve_body rng ~params ?alive world ~targets)
+      if restarts = 1 then
+        (* Single chain: the historical code path, byte for byte — the
+           caller's RNG is consumed directly, no splitting. *)
+        improve_body rng ~params ?alive world ~targets
+      else begin
+        (* Multi-start: independent chains on streams split from [rng]
+           in index order, best-of reduction by (cost, lowest chain).
+           The chain streams and the reduction order are fixed before
+           any chain runs, so the winner is the same at any pool
+           size. *)
+        let reports =
+          Cap_par.Pool.with_local ~domains @@ fun pool ->
+          Cap_par.Pool.map_seeds pool ~rng ~runs:restarts (fun _ chain_rng ->
+              improve_body chain_rng ~params ?alive world ~targets)
+        in
+        let best = ref 0 in
+        Array.iteri
+          (fun i r -> if r.cost_after < reports.(!best).cost_after then best := i)
+          reports;
+        let accepted = Array.fold_left (fun acc r -> acc + r.accepted) 0 reports in
+        let proposed = Array.fold_left (fun acc r -> acc + r.proposed) 0 reports in
+        { reports.(!best) with accepted; proposed }
+      end)

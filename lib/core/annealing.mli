@@ -28,6 +28,8 @@ type report = {
 val improve :
   Cap_util.Rng.t ->
   ?params:params ->
+  ?restarts:int ->
+  ?domains:int ->
   ?alive:bool array ->
   Cap_model.World.t ->
   targets:int array ->
@@ -37,6 +39,17 @@ val improve :
     yields a feasible output; the cost is the paper's total initial
     cost [C_I] (Eq. 4) on observed delays. Raises [Invalid_argument]
     on non-positive parameters or a mismatched assignment.
+
+    [restarts] (default 1) runs that many independent chains, each on
+    its own RNG stream split from [rng] in index order
+    ({!Cap_util.Rng.split_n}), and returns the chain with the lowest
+    [cost_after] (ties to the lowest chain index) with [accepted] and
+    [proposed] summed over all chains. With [restarts = 1] the
+    caller's RNG is consumed directly — the historical single-chain
+    behaviour, bit for bit. [domains] (default 1) sizes a pool the
+    chains are fanned over; because the streams and the reduction
+    order are fixed up front, the result is identical at any
+    [domains].
 
     With an [alive] mask the search is failure-aware: zones on dead
     servers are first evacuated ({!Server_load.evacuate_dead}) and no

@@ -1,5 +1,6 @@
 module World = Cap_model.World
 module Scenario = Cap_model.Scenario
+module Pool = Cap_par.Pool
 
 let delay_bound (world : World.t) = world.World.scenario.Scenario.delay_bound
 
@@ -10,12 +11,27 @@ let initial world ~zone_members ~server =
       if World.client_server_rtt world ~client ~server > bound then acc + 1 else acc)
     0 zone_members
 
+(* Row-parallel over zones; each row reads the zone's clients through
+   the CSR index and the flat observed-RTT matrix, so one entry is one
+   contiguous scan instead of k pointer-chasing delay lookups. Every
+   row is written by exactly one task — the fill is deterministic at
+   any pool size. *)
 let initial_matrix world =
-  let members = World.clients_of_zone world in
+  let c = World.cached world in
   let servers = World.server_count world in
-  Array.map
-    (fun zone_members -> Array.init servers (fun server -> initial world ~zone_members ~server))
-    members
+  let zones = World.zone_count world in
+  let bound = delay_bound world in
+  let rows = Array.make zones [||] in
+  Pool.parallel_for (Pool.default ()) ~n:zones (fun z ->
+      let row = Array.make servers 0 in
+      for i = c.World.zone_off.(z) to c.World.zone_off.(z + 1) - 1 do
+        let base = c.World.zone_clients.(i) * servers in
+        for server = 0 to servers - 1 do
+          if c.World.cs_rtt.(base + server) > bound then row.(server) <- row.(server) + 1
+        done
+      done;
+      rows.(z) <- row);
+  rows
 
 let relayed_delay world ~targets ~client ~contact =
   let target = targets.(world.World.client_zones.(client)) in
@@ -25,7 +41,20 @@ let relayed_delay world ~targets ~client ~contact =
 let refined world ~targets ~client ~contact =
   max 0. (relayed_delay world ~targets ~client ~contact -. delay_bound world)
 
+(* Row-parallel over clients, on the cached flat matrices. *)
 let refined_matrix world ~targets =
+  let c = World.cached world in
   let servers = World.server_count world in
-  Array.init (World.client_count world) (fun client ->
-      Array.init servers (fun contact -> refined world ~targets ~client ~contact))
+  let clients = World.client_count world in
+  let bound = delay_bound world in
+  let rows = Array.make clients [||] in
+  Pool.parallel_for (Pool.default ()) ~n:clients (fun client ->
+      let base = client * servers in
+      let target = targets.(world.World.client_zones.(client)) in
+      rows.(client) <-
+        Array.init servers (fun contact ->
+            max 0.
+              (c.World.cs_rtt.(base + contact)
+               +. c.World.ss_rtt.((contact * servers) + target)
+               -. bound)));
+  rows

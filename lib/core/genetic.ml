@@ -25,7 +25,7 @@ let offspring_total =
   Cap_obs.Metrics.Counter.create "genetic_offspring_total"
     ~help:"Crossover+mutation children evaluated"
 
-let improve_body rng ~params ?alive world ~targets =
+let improve_body rng ~params ~domains ?alive world ~targets =
   if params.population < 2 then invalid_arg "Genetic: population must be at least 2";
   if params.generations <= 0 then invalid_arg "Genetic: generations must be positive";
   if params.mutation_rate < 0. || params.mutation_rate > 1. then
@@ -113,6 +113,20 @@ let improve_body rng ~params ?alive world ~targets =
     done;
     !best
   in
+  (* One generation = serial breeding (every RNG draw happens here, in
+     the same order as the historical fused loop), then evaluation of
+     the offspring — the pure, expensive half — fanned over the pool,
+     then a serial, index-ordered reduction into the incumbent. With
+     [domains = 1] (or none to spawn) nothing changes at all; with
+     more, the RNG stream and the reduction order are untouched, so
+     the result is bitwise-identical to the serial run. *)
+  Cap_par.Pool.with_local ~domains @@ fun pool ->
+  let eval_offspring next evals =
+    Cap_par.Pool.parallel_for pool ~n:(params.population - 1) (fun j ->
+        let i = j + 1 in
+        let child = next.(i) in
+        evals.(i) <- (penalized child, overload_of child, cost_of child))
+  in
   for _ = 1 to params.generations do
     (* elite slot: keep the current best individual as-is *)
     let elite = ref 0 in
@@ -121,10 +135,17 @@ let improve_body rng ~params ?alive world ~targets =
     let next_scores = Array.make params.population scores.(!elite) in
     for i = 1 to params.population - 1 do
       let a = population.(tournament_pick ()) and b = population.(tournament_pick ()) in
-      let child = mutate (crossover a b) in
-      next.(i) <- child;
-      next_scores.(i) <- penalized child;
-      consider child
+      next.(i) <- mutate (crossover a b)
+    done;
+    let evals = Array.make params.population (0., 0., 0) in
+    eval_offspring next evals;
+    for i = 1 to params.population - 1 do
+      let score, overload, cost = evals.(i) in
+      next_scores.(i) <- score;
+      if overload = 0. && cost < !best_feasible_cost then begin
+        best_feasible := Some (Array.copy next.(i));
+        best_feasible_cost := cost
+      end
     done;
     Array.blit next 0 population 0 params.population;
     Array.blit next_scores 0 scores 0 params.population
@@ -142,6 +163,6 @@ let improve_body rng ~params ?alive world ~targets =
     generations_run = params.generations;
   }
 
-let improve rng ?(params = default_params) ?alive world ~targets =
+let improve rng ?(params = default_params) ?(domains = 1) ?alive world ~targets =
   Cap_obs.Span.with_span "genetic/improve" (fun () ->
-      improve_body rng ~params ?alive world ~targets)
+      improve_body rng ~params ~domains ?alive world ~targets)

@@ -28,6 +28,7 @@ type report = {
 val improve :
   Cap_util.Rng.t ->
   ?params:params ->
+  ?domains:int ->
   ?alive:bool array ->
   Cap_model.World.t ->
   targets:int array ->
@@ -36,6 +37,12 @@ val improve :
     [targets] (which is also kept as the initial incumbent if
     feasible). Raises [Invalid_argument] on non-positive parameters,
     a mutation rate outside [0, 1], or a mismatched assignment.
+
+    [domains] (default 1) sizes a pool used to evaluate each
+    generation's offspring in parallel. Breeding — every RNG draw —
+    stays serial and the per-generation reduction is applied in
+    ascending offspring order, so the result is bitwise-identical to
+    the serial run at any [domains].
 
     With an [alive] mask the search is failure-aware: the seed is
     evacuated off dead servers ({!Server_load.evacuate_dead}), the

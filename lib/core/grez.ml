@@ -1,24 +1,34 @@
 module World = Cap_model.World
+module Pool = Cap_par.Pool
 
 (* Mean observed client-server RTT per (zone, server): the
    desirability tie-breaker. Empty zones tie at 0 and fall back to
-   server-index order. *)
+   server-index order. Row-parallel over zones on the cached CSR +
+   flat RTT matrix; the per-(zone, server) summation order (ascending
+   client id) matches the serial fill bit for bit. *)
 let mean_delay_matrix world =
-  let members = World.clients_of_zone world in
+  let c = World.cached world in
   let servers = World.server_count world in
-  Array.map
-    (fun zone_members ->
-      Array.init servers (fun server ->
-          if Array.length zone_members = 0 then 0.
-          else begin
-            let total =
-              Array.fold_left
-                (fun acc client -> acc +. World.client_server_rtt world ~client ~server)
-                0. zone_members
-            in
-            total /. float_of_int (Array.length zone_members)
-          end))
-    members
+  let zones = World.zone_count world in
+  let rows = Array.make zones [||] in
+  Pool.parallel_for (Pool.default ()) ~n:zones (fun z ->
+      let lo = c.World.zone_off.(z) and hi = c.World.zone_off.(z + 1) in
+      if hi = lo then rows.(z) <- Array.make servers 0.
+      else begin
+        let row = Array.make servers 0. in
+        for i = lo to hi - 1 do
+          let base = c.World.zone_clients.(i) * servers in
+          for server = 0 to servers - 1 do
+            row.(server) <- row.(server) +. c.World.cs_rtt.(base + server)
+          done
+        done;
+        let members = float_of_int (hi - lo) in
+        for server = 0 to servers - 1 do
+          row.(server) <- row.(server) /. members
+        done;
+        rows.(z) <- row
+      end);
+  rows
 
 let zones_placed_total =
   Cap_obs.Metrics.Counter.create "grez_zones_placed_total"
@@ -74,12 +84,18 @@ let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) ?alive world =
   end
   else begin
     (* Dynamic variant: after every placement, re-rank the remaining
-       zones by regret over their currently feasible servers. *)
-    let remaining = ref (List.init n (fun z -> z)) in
+       zones by regret over their currently feasible servers. The
+       remaining set lives in a swap-remove array — O(1) removal per
+       placement instead of an O(n) [List.filter] — so the variant is
+       O(n^2 m) overall. The pick is a unique maximum under
+       (regret, lowest zone id), so the scan order over the array
+       does not affect the result. *)
+    let remaining = Array.init n (fun z -> z) in
+    let live = ref n in
     let better mu1 tb1 s1 mu2 tb2 s2 =
       mu1 > mu2 || (mu1 = mu2 && (tb1 < tb2 || (tb1 = tb2 && s1 < s2)))
     in
-    while !remaining <> [] do
+    while !live > 0 do
       let evaluate z =
         (* Best and second-best feasible servers for zone z. *)
         let best = ref None and second = ref None in
@@ -113,30 +129,39 @@ let assign ?(rule = Regret.Best_minus_second) ?(dynamic = false) ?alive world =
             in
             Some (z, s, regret)
       in
-      let pick =
-        List.fold_left
-          (fun acc z ->
-            match evaluate z with
-            | None -> acc
-            | Some (_, _, regret) as candidate -> (
-                match acc with
-                | Some (z', _, regret') when regret' > regret || (regret' = regret && z' < z) ->
-                    acc
-                | _ -> candidate))
-          None !remaining
-      in
-      match pick with
+      let pick = ref None in
+      let pick_at = ref (-1) in
+      for idx = 0 to !live - 1 do
+        let z = remaining.(idx) in
+        match evaluate z with
+        | None -> ()
+        | Some (_, _, regret) as candidate -> (
+            match !pick with
+            | Some (z', _, regret') when regret' > regret || (regret' = regret && z' < z) ->
+                ()
+            | _ ->
+                pick := candidate;
+                pick_at := idx)
+      done;
+      match !pick with
       | Some (z, s, _) ->
           place z s;
-          remaining := List.filter (fun z' -> z' <> z) !remaining
+          remaining.(!pick_at) <- remaining.(!live - 1);
+          remaining.(!live - 1) <- z;
+          decr live
       | None ->
-          (* Nothing fits anywhere: drain the rest through the fallback. *)
-          List.iter
+          (* Nothing fits anywhere: drain the rest through the
+             fallback, in ascending zone order (the order the old
+             list-based remaining set preserved — the fallback choice
+             depends on the loads of earlier placements). *)
+          let rest = Array.sub remaining 0 !live in
+          Array.sort compare rest;
+          Array.iter
             (fun z ->
               incr fallbacks;
               place z (Server_load.fallback_server ?alive ~loads ~capacities ()))
-            !remaining;
-          remaining := []
+            rest;
+          live := 0
     done
   end;
   Cap_obs.Metrics.Counter.add zones_placed_total (float_of_int n);

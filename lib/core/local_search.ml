@@ -1,3 +1,4 @@
+module Rng = Cap_util.Rng
 module World = Cap_model.World
 
 type report = {
@@ -69,6 +70,62 @@ let improve_body ~max_rounds ?alive world ~targets =
   Cap_obs.Metrics.Counter.add moves_total (float_of_int !moves);
   { targets; rounds = !rounds; moves = !moves; cost_before; cost_after = total_cost costs targets }
 
-let improve ?(max_rounds = 50) ?alive world ~targets =
+(* Random restart seed: each zone keeps its server or, with
+   probability 1/4, jumps to a uniformly random usable server. The
+   descent repairs quality; the perturbation supplies the diversity a
+   deterministic best-improvement sweep otherwise lacks. *)
+let perturb rng ?alive world ~targets =
+  let servers = World.server_count world in
+  let pool =
+    match alive with
+    | None -> Array.init servers (fun s -> s)
+    | Some mask ->
+        Array.of_list (List.filter (fun s -> mask.(s)) (List.init servers (fun s -> s)))
+  in
+  if Array.length pool = 0 then invalid_arg "Local_search: no alive server";
+  Array.map
+    (fun s -> if Rng.uniform rng < 0.25 then pool.(Rng.int rng (Array.length pool)) else s)
+    targets
+
+let capacity_feasible world (r : report) =
+  let rates = Server_load.zone_rates world in
+  let capacities = world.World.capacities in
+  let loads = Array.make (World.server_count world) 0. in
+  Array.iteri (fun z s -> loads.(s) <- loads.(s) +. rates.(z)) r.targets;
+  let ok = ref true in
+  Array.iteri (fun s load -> if load > capacities.(s) then ok := false) loads;
+  !ok
+
+let improve ?(max_rounds = 50) ?(restarts = 1) ?rng ?(domains = 1) ?alive world ~targets =
+  if restarts < 1 then invalid_arg "Local_search: restarts must be positive";
   Cap_obs.Span.with_span "local_search/improve" (fun () ->
-      improve_body ~max_rounds ?alive world ~targets)
+      match restarts, rng with
+      | 1, _ -> improve_body ~max_rounds ?alive world ~targets
+      | _, None -> invalid_arg "Local_search: restarts > 1 requires an rng"
+      | _, Some rng ->
+          (* Chain 0 descends from the caller's seed unperturbed (so
+             the multi-start result is never worse than the plain
+             descent); chains 1.. descend from random perturbations,
+             each on its own pre-split RNG stream. Best
+             capacity-feasible result wins, ties to the lowest chain;
+             if no chain ends feasible — possible only when the seed
+             itself was infeasible — chain 0's result is returned,
+             matching the single-start behaviour. *)
+          let reports =
+            Cap_par.Pool.with_local ~domains @@ fun pool ->
+            Cap_par.Pool.map_seeds pool ~rng ~runs:restarts (fun i chain_rng ->
+                let targets =
+                  if i = 0 then targets else perturb chain_rng ?alive world ~targets
+                in
+                improve_body ~max_rounds ?alive world ~targets)
+          in
+          let best = ref None in
+          Array.iteri
+            (fun i r ->
+              if capacity_feasible world r then
+                match !best with
+                | Some j when reports.(j).cost_after <= r.cost_after -> ()
+                | _ -> best := Some i)
+            reports;
+          let winner = match !best with Some i -> reports.(i) | None -> reports.(0) in
+          { winner with cost_before = reports.(0).cost_before })

@@ -16,6 +16,9 @@ type report = {
 
 val improve :
   ?max_rounds:int ->
+  ?restarts:int ->
+  ?rng:Cap_util.Rng.t ->
+  ?domains:int ->
   ?alive:bool array ->
   Cap_model.World.t ->
   targets:int array ->
@@ -24,6 +27,19 @@ val improve :
     [max_rounds] bounds the number of passes (default 50). The input
     assignment's capacity violations, if any, are left as-is (only
     moves into feasible servers are considered).
+
+    [restarts] (default 1) adds random-restart diversification:
+    chain 0 descends from [targets] unperturbed, chains [1 ..
+    restarts-1] from copies with each zone reassigned to a random
+    usable server with probability 1/4, using per-chain RNG streams
+    split from [rng] in index order. The best capacity-feasible result
+    wins (ties to the lowest chain; chain 0's result if none is
+    feasible), with [cost_before] always measured on the caller's
+    seed. [restarts > 1] requires [rng] (raises [Invalid_argument]
+    otherwise); [restarts = 1] is the historical deterministic descent
+    and ignores [rng]. [domains] (default 1) sizes a pool the chains
+    are fanned over; streams and reduction order are fixed up front,
+    so the result is identical at any [domains].
 
     With an [alive] mask the search is failure-aware: zones on dead
     servers are first evacuated ({!Server_load.evacuate_dead}) and

@@ -10,10 +10,20 @@ let default_runs () =
       | Some _ | None -> paper_runs)
   | None -> paper_runs
 
-let replicate ~runs ~seed body =
+let replicate ?jobs ~runs ~seed body =
   if runs <= 0 then invalid_arg "Common.replicate: runs must be positive";
   let master = Rng.create ~seed in
-  List.init runs (fun _ -> body (Rng.split master))
+  let pool =
+    match jobs with
+    | Some jobs -> Cap_par.Pool.ensure ~jobs
+    | None -> Cap_par.Pool.default ()
+  in
+  (* map_seeds splits the per-run streams from [master] in run order
+     before fanning out — exactly the streams the historical serial
+     [List.init runs (fun _ -> body (Rng.split master))] consumed — and
+     returns results in run order, so the output is independent of the
+     pool size. *)
+  Array.to_list (Cap_par.Pool.map_seeds pool ~rng:master ~runs (fun _ rng -> body rng))
 
 let mean_by f = function
   | [] -> invalid_arg "Common.mean_by: empty list"

@@ -9,10 +9,16 @@ val default_runs : unit -> int
 (** [CAP_RUNS] from the environment if set and positive, otherwise
     {!paper_runs}. Benchmarks use this to trade precision for time. *)
 
-val replicate : runs:int -> seed:int -> (Cap_util.Rng.t -> 'a) -> 'a list
+val replicate :
+  ?jobs:int -> runs:int -> seed:int -> (Cap_util.Rng.t -> 'a) -> 'a list
 (** Run the body once per replicate, each with an independent RNG
-    stream derived deterministically from [seed]. Raises
-    [Invalid_argument] if [runs <= 0]. *)
+    stream derived deterministically from [seed], fanned across the
+    process-wide domain pool ({!Cap_par.Pool.default}). [jobs] resizes
+    that pool first; without it the current size (1 unless e.g.
+    [capsim --jobs] raised it) is used. Streams are split in run order
+    before the fan-out and results are returned in run order, so the
+    output depends only on [seed] and [runs] — never on [jobs].
+    Raises [Invalid_argument] if [runs <= 0]. *)
 
 val mean_by : ('a -> float) -> 'a list -> float
 (** Mean of a projection; raises [Invalid_argument] on []. *)

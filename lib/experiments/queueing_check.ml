@@ -22,7 +22,11 @@ let run ?runs ?(seed = 1) () =
     Common.replicate ~runs ~seed (fun rng ->
         let world = World.generate rng Scenario.default in
         let provisioned =
-          { world with World.capacities = Array.map (fun c -> 2. *. c) world.World.capacities }
+          {
+            world with
+            World.capacities = Array.map (fun c -> 2. *. c) world.World.capacities;
+            cache = Cap_model.World.fresh_cache ();
+          }
         in
         List.map
           (fun (name, assignment) ->

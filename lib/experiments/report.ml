@@ -80,7 +80,8 @@ let run_dynamics ?(runs = 3) ?(seed = 1) () =
     policies;
   table
 
-let print_section ?runs ?seed ?optimal_time_limit section =
+let print_section ?runs ?seed ?optimal_time_limit ?jobs section =
+  (match jobs with Some jobs -> Cap_par.Pool.set_default_jobs jobs | None -> ());
   match section with
   | Table1 ->
       banner "Table 1: pQoS (R) for different DVE configurations";
@@ -152,5 +153,6 @@ let print_section ?runs ?seed ?optimal_time_limit section =
          (Eq. 2) is not enough at near-saturation fills; provisioned capacity \
          restores the assumption."
 
-let print_all ?runs ?seed ?optimal_time_limit () =
+let print_all ?runs ?seed ?optimal_time_limit ?jobs () =
+  (match jobs with Some jobs -> Cap_par.Pool.set_default_jobs jobs | None -> ());
   List.iter (print_section ?runs ?seed ?optimal_time_limit) all_sections

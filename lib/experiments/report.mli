@@ -25,7 +25,11 @@ val section_of_string : string -> section option
 val section_name : section -> string
 
 val print_section :
-  ?runs:int -> ?seed:int -> ?optimal_time_limit:float -> section -> unit
-(** Run one section and print its table(s) to stdout with headers. *)
+  ?runs:int -> ?seed:int -> ?optimal_time_limit:float -> ?jobs:int -> section -> unit
+(** Run one section and print its table(s) to stdout with headers.
+    [jobs] resizes the process-wide domain pool
+    ({!Cap_par.Pool.set_default_jobs}) so replicate runs and matrix
+    fills fan out; results are identical at any [jobs]. *)
 
-val print_all : ?runs:int -> ?seed:int -> ?optimal_time_limit:float -> unit -> unit
+val print_all :
+  ?runs:int -> ?seed:int -> ?optimal_time_limit:float -> ?jobs:int -> unit -> unit

@@ -1,6 +1,4 @@
 module World = Cap_model.World
-module Traffic = Cap_model.Traffic
-module Scenario = Cap_model.Scenario
 
 type stats = {
   nodes : int;
@@ -29,22 +27,15 @@ let iap_instance world =
 let rap_instance world ~targets =
   let costs = Cap_core.Cost.refined_matrix world ~targets in
   let servers = World.server_count world in
-  let traffic = world.World.scenario.Scenario.traffic in
-  let population = World.zone_population world in
   let residual = Array.copy world.World.capacities in
   Array.iteri
-    (fun z target ->
-      residual.(target) <-
-        residual.(target) -. Traffic.zone_rate traffic ~population:population.(z))
+    (fun z target -> residual.(target) <- residual.(target) -. World.zone_rate world z)
     targets;
   let residual = Array.map (fun r -> max r 0.) residual in
   let demands =
     Array.init (World.client_count world) (fun c ->
         let target = targets.(world.World.client_zones.(c)) in
-        let forwarding =
-          Traffic.forwarding_rate traffic
-            ~zone_population:population.(world.World.client_zones.(c))
-        in
+        let forwarding = World.forwarding_rate world c in
         Array.init servers (fun s -> if s = target then 0. else forwarding))
   in
   Gap.make ~costs ~demands ~capacities:residual

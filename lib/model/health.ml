@@ -162,7 +162,14 @@ let apply t world =
       in
       Some { World.true_rtt; observed_rtt }
   in
-  { world with World.capacities; server_delay_penalty; server_mesh }
+  {
+    world with
+    World.capacities;
+    server_delay_penalty;
+    server_mesh;
+    (* capacities/penalties/mesh all feed the cached RTT matrices *)
+    cache = World.fresh_cache ();
+  }
 
 let describe t =
   let parts = ref [] in

@@ -9,6 +9,19 @@ type mesh = {
   observed_rtt : float array array;
 }
 
+type cache = {
+  c_servers : int;
+  zone_pop : int array;
+  zone_rate_of : float array;
+  zone_client_rate : float array;
+  zone_off : int array;
+  zone_clients : int array;
+  cs_rtt : float array;
+  cs_rtt_true : float array;
+  ss_rtt : float array;
+  ss_rtt_true : float array;
+}
+
 type t = {
   scenario : Scenario.t;
   delay : Delay.t;
@@ -22,7 +35,10 @@ type t = {
   client_nodes : int array;
   client_zones : int array;
   sampler : Distribution.t;
+  cache : cache option Atomic.t;
 }
+
+let fresh_cache () = Atomic.make None
 
 let server_count t = Array.length t.server_nodes
 let zone_count t = t.scenario.Scenario.zones
@@ -104,49 +120,22 @@ let generate rng (scenario : Scenario.t) =
     client_nodes;
     client_zones;
     sampler;
+    cache = fresh_cache ();
   }
 
 let with_estimation_error rng ~factor t =
-  { t with observed = Cap_topology.Estimation_error.apply rng ~factor t.delay }
+  {
+    t with
+    observed = Cap_topology.Estimation_error.apply rng ~factor t.delay;
+    cache = fresh_cache ();
+  }
 
 let with_vivaldi_observed rng ?params t =
-  { t with observed = Cap_topology.Vivaldi.estimate rng ?params t.delay }
-
-let zone_population t =
-  let pop = Array.make (zone_count t) 0 in
-  Array.iter (fun z -> pop.(z) <- pop.(z) + 1) t.client_zones;
-  pop
-
-let clients_of_zone t =
-  let members = Array.make (zone_count t) [] in
-  for c = client_count t - 1 downto 0 do
-    let z = t.client_zones.(c) in
-    members.(z) <- c :: members.(z)
-  done;
-  Array.map Array.of_list members
-
-let population_of_zone t z =
-  let count = ref 0 in
-  Array.iter (fun z' -> if z' = z then incr count) t.client_zones;
-  !count
-
-let client_rate t c =
-  let population = population_of_zone t t.client_zones.(c) in
-  Traffic.client_rate t.scenario.Scenario.traffic ~zone_population:population
-
-let forwarding_rate t c = 2. *. client_rate t c
-
-let zone_rate t z =
-  Traffic.zone_rate t.scenario.Scenario.traffic ~population:(population_of_zone t z)
-
-let total_demand t =
-  let pop = zone_population t in
-  Array.fold_left
-    (fun acc population ->
-      acc +. Traffic.zone_rate t.scenario.Scenario.traffic ~population)
-    0. pop
-
-let total_capacity t = Array.fold_left ( +. ) 0. t.capacities
+  {
+    t with
+    observed = Cap_topology.Vivaldi.estimate rng ?params t.delay;
+    cache = fresh_cache ();
+  }
 
 let rtt_in model t ~client ~server =
   Delay.rtt model t.client_nodes.(client) t.server_nodes.(server)
@@ -178,6 +167,109 @@ let server_server_rtt t s1 s2 = server_rtt_in t.observed t s1 s2
 let true_client_server_rtt t ~client ~server = rtt_in t.delay t ~client ~server
 let true_server_server_rtt t s1 s2 = server_rtt_in t.delay t s1 s2
 
+(* ------------------------------------------------------------------ *)
+(* Derived-data cache                                                  *)
+
+(* The build is a pure function of the world, so a lost race between
+   two domains just wastes one rebuild; the compare-and-set keeps a
+   single winner and the [Atomic] gives the publication the required
+   happens-before edge. Client x server fills go row-parallel over the
+   default pool (inline when already inside a pool task). *)
+let build_cache t =
+  let servers = server_count t in
+  let clients = client_count t in
+  let zones = zone_count t in
+  let traffic = t.scenario.Scenario.traffic in
+  let zone_pop = Array.make zones 0 in
+  Array.iter (fun z -> zone_pop.(z) <- zone_pop.(z) + 1) t.client_zones;
+  let zone_rate_of =
+    Array.map (fun population -> Traffic.zone_rate traffic ~population) zone_pop
+  in
+  let zone_client_rate =
+    Array.map
+      (fun population ->
+        if population = 0 then nan
+        else Traffic.client_rate traffic ~zone_population:population)
+      zone_pop
+  in
+  let zone_off = Array.make (zones + 1) 0 in
+  for z = 0 to zones - 1 do
+    zone_off.(z + 1) <- zone_off.(z) + zone_pop.(z)
+  done;
+  let zone_clients = Array.make clients 0 in
+  let cursor = Array.copy zone_off in
+  for c = 0 to clients - 1 do
+    let z = t.client_zones.(c) in
+    zone_clients.(cursor.(z)) <- c;
+    cursor.(z) <- cursor.(z) + 1
+  done;
+  let pool = Cap_par.Pool.default () in
+  let fill_cs model =
+    let m = Array.make (clients * servers) 0. in
+    Cap_par.Pool.parallel_for pool ~n:clients (fun client ->
+        let base = client * servers in
+        for server = 0 to servers - 1 do
+          m.(base + server) <- rtt_in model t ~client ~server
+        done);
+    m
+  in
+  let fill_ss model =
+    Array.init (servers * servers) (fun i ->
+        server_rtt_in model t (i / servers) (i mod servers))
+  in
+  let cs_rtt_true = fill_cs t.delay in
+  let cs_rtt = if t.observed == t.delay then cs_rtt_true else fill_cs t.observed in
+  let ss_rtt_true = fill_ss t.delay in
+  let ss_rtt = if t.observed == t.delay then ss_rtt_true else fill_ss t.observed in
+  {
+    c_servers = servers;
+    zone_pop;
+    zone_rate_of;
+    zone_client_rate;
+    zone_off;
+    zone_clients;
+    cs_rtt;
+    cs_rtt_true;
+    ss_rtt;
+    ss_rtt_true;
+  }
+
+let cached t =
+  match Atomic.get t.cache with
+  | Some cache -> cache
+  | None ->
+      let cache = build_cache t in
+      if Atomic.compare_and_set t.cache None (Some cache) then cache
+      else (match Atomic.get t.cache with Some c -> c | None -> cache)
+
+let invalidate t = Atomic.set t.cache None
+
+(* ------------------------------------------------------------------ *)
+(* Populations and rates (O(1) via the cache)                          *)
+
+let zone_population t = Array.copy (cached t).zone_pop
+
+let clients_of_zone t =
+  let { zone_off; zone_clients; _ } = cached t in
+  Array.init (zone_count t) (fun z ->
+      Array.sub zone_clients zone_off.(z) (zone_off.(z + 1) - zone_off.(z)))
+
+let population_of_zone t z =
+  let pop = (cached t).zone_pop in
+  if z < 0 || z >= Array.length pop then 0 else pop.(z)
+
+let client_rate t c = (cached t).zone_client_rate.(t.client_zones.(c))
+
+let forwarding_rate t c = 2. *. client_rate t c
+
+let zone_rate t z =
+  let rates = (cached t).zone_rate_of in
+  if z < 0 || z >= Array.length rates then 0. else rates.(z)
+
+let total_demand t = Array.fold_left ( +. ) 0. (cached t).zone_rate_of
+
+let total_capacity t = Array.fold_left ( +. ) 0. t.capacities
+
 let replace_clients t ~client_nodes ~client_zones =
   if Array.length client_nodes <> Array.length client_zones then
     invalid_arg "World.replace_clients: length mismatch";
@@ -188,4 +280,9 @@ let replace_clients t ~client_nodes ~client_zones =
   Array.iter
     (fun z -> if z < 0 || z >= zones then invalid_arg "World.replace_clients: bad zone")
     client_zones;
-  { t with client_nodes = Array.copy client_nodes; client_zones = Array.copy client_zones }
+  {
+    t with
+    client_nodes = Array.copy client_nodes;
+    client_zones = Array.copy client_zones;
+    cache = fresh_cache ();
+  }

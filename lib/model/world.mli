@@ -19,6 +19,37 @@ type mesh = {
   observed_rtt : float array array;
 }
 
+(** Lazily-built derived data, read by every solver hot path. All
+    lookups that used to scan the [k] clients ([population_of_zone],
+    [client_rate], [zone_rate]) become O(1) array reads, and the delay
+    model is densified into flat row-major matrices so matrix fills
+    walk contiguous memory. The cache is a pure function of the world;
+    any function that derives a modified world installs a fresh, empty
+    slot ({!fresh_cache}), which is what makes invalidation explicit:
+    stale data cannot survive because it lives only on the world value
+    it was computed from. *)
+type cache = private {
+  c_servers : int;  (** row stride of [cs_rtt] / [ss_rtt] *)
+  zone_pop : int array;  (** zone -> client count *)
+  zone_rate_of : float array;  (** zone -> R_z, bits/s *)
+  zone_client_rate : float array;
+      (** zone -> per-client R^T under the zone's population; [nan]
+          for empty zones (never read: a client's zone holds it) *)
+  zone_off : int array;  (** CSR offsets, length zones + 1 *)
+  zone_clients : int array;
+      (** CSR payload: clients of zone [z] are
+          [zone_clients.(zone_off.(z)) .. zone_clients.(zone_off.(z+1) - 1)],
+          ascending *)
+  cs_rtt : float array;
+      (** observed client-server RTT, [client * c_servers + server];
+          server delay penalties baked in (= {!client_server_rtt}) *)
+  cs_rtt_true : float array;  (** same, true delay model *)
+  ss_rtt : float array;
+      (** observed server-server RTT, [s1 * c_servers + s2]; mesh
+          override and penalties baked in (= {!server_server_rtt}) *)
+  ss_rtt_true : float array;  (** same, true delay model *)
+}
+
 type t = {
   scenario : Scenario.t;
   delay : Cap_topology.Delay.t;     (** true node-to-node RTTs *)
@@ -41,7 +72,26 @@ type t = {
   client_nodes : int array;         (** client id -> topology node *)
   client_zones : int array;         (** client id -> zone id *)
   sampler : Distribution.t;         (** placement sampler (reused by churn) *)
+  cache : cache option Atomic.t;
+      (** lazily-built derived data; see {!cache}. Every record update
+          that changes clients, delays, penalties or the mesh MUST
+          install {!fresh_cache} here. *)
 }
+
+val cached : t -> cache
+(** The world's derived-data cache, built on first use (client-server
+    rows fill in parallel over {!Cap_par.Pool.default}). Safe to call
+    from any domain; concurrent first calls race benignly and agree on
+    one winner. *)
+
+val fresh_cache : unit -> cache option Atomic.t
+(** An empty cache slot. Use in any [{ w with ... }] update that
+    invalidates derived data (new clients, delays, penalties, mesh). *)
+
+val invalidate : t -> unit
+(** Drop the cached derived data in place; the next {!cached} call
+    rebuilds. Only needed if a world's arrays are mutated directly —
+    the library itself never does that. *)
 
 val generate : Cap_util.Rng.t -> Scenario.t -> t
 (** Build a world: generate the topology, compute the delay model,
@@ -65,6 +115,10 @@ val node_count : t -> int
 
 val zone_population : t -> int array
 (** zone id -> number of clients currently in the zone. *)
+
+val population_of_zone : t -> int -> int
+(** Number of clients in one zone — an O(1) cached lookup (0 for an
+    out-of-range zone id). *)
 
 val clients_of_zone : t -> int array array
 (** zone id -> client ids, ascending. *)

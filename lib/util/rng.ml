@@ -36,6 +36,17 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+(* Ascending order is part of the contract: stream [i] must not depend
+   on how many streams are split after it, so parallel consumers can be
+   seeded identically to sequential ones. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  let out = Array.make n t in
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
 (* Non-negative 62-bit integer: OCaml's native int is 63-bit. *)
 let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

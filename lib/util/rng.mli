@@ -28,6 +28,13 @@ val split : t -> t
 (** [split t] derives a new generator whose stream is statistically
     independent from the remainder of [t]'s stream. [t] is advanced. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] generators split from [t] in ascending index
+    order, so [(split_n t n).(i)] equals the [i]-th of [n] successive
+    {!split} calls. This is the seeding discipline for parallel runs:
+    stream [i] depends only on [t]'s state and [i], never on how the
+    work is scheduled. Raises [Invalid_argument] if [n < 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

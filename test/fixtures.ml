@@ -81,6 +81,7 @@ let world ?(delay_bound = 150.) ?(inter_server_factor = 0.5) ~server_nodes ~capa
     client_nodes = Array.of_list (List.map fst clients);
     client_zones = Array.of_list (List.map snd clients);
     sampler = sampler ~nodes:4 ~zones;
+    cache = World.fresh_cache ();
   }
 
 (* The standard fixture used across algorithm tests:

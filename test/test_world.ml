@@ -127,6 +127,61 @@ let test_backbone_world () =
     (fun r -> Alcotest.(check bool) "region in range" true (r >= 0 && r < w.World.regions))
     w.World.region_of_node
 
+(* The cache is an Atomic slot on the (immutable) world record; every
+   record-deriving operation must install a fresh one. These tests pin
+   that contract for the two mutation paths outside World itself. *)
+
+let test_cache_replace_clients () =
+  let w = small_world () in
+  (* Force the cache, then derive a world with every client in zone 0. *)
+  let rate_before = World.client_rate w 0 in
+  let clients = World.client_count w in
+  let w' =
+    World.replace_clients w ~client_nodes:w.World.client_nodes
+      ~client_zones:(Array.make clients 0)
+  in
+  Alcotest.(check int) "derived world: all clients in zone 0" clients
+    (World.population_of_zone w' 0);
+  Alcotest.(check int) "derived world: zone 1 emptied" 0 (World.population_of_zone w' 1);
+  Alcotest.(check (float 1e-6)) "derived world: rate uses new population"
+    (Traffic.client_rate w.World.scenario.Scenario.traffic ~zone_population:clients)
+    (World.client_rate w' 0);
+  (* the original world's cache is untouched *)
+  Alcotest.(check (float 1e-6)) "original world unchanged" rate_before (World.client_rate w 0)
+
+let test_cache_health_apply () =
+  let w = small_world () in
+  let before = (World.cached w).World.cs_rtt.(0) in
+  let health = Cap_model.Health.create ~servers:(World.server_count w) in
+  Cap_model.Health.degrade health 0 ~delay_penalty:50.;
+  let w' = Cap_model.Health.apply health w in
+  let after = (World.cached w').World.cs_rtt.(0) in
+  Alcotest.(check (float 1e-9)) "degraded server penalty lands in the cache"
+    (before +. 50.) after;
+  Alcotest.(check (float 1e-9)) "cache matches the direct lookup"
+    (World.client_server_rtt w' ~client:0 ~server:0)
+    after;
+  Alcotest.(check (float 1e-9)) "original cache unchanged" before
+    ((World.cached w).World.cs_rtt.(0))
+
+let test_cache_invalidate_rebuilds () =
+  let w = small_world () in
+  let before = World.cached w in
+  World.invalidate w;
+  let after = World.cached w in
+  Alcotest.(check bool) "rebuilt cache is a new value" false (before == after);
+  Alcotest.(check bool) "rebuilt cache is identical" true (compare before after = 0)
+
+let test_cache_csr_ascending () =
+  let w = small_world () in
+  let members = World.clients_of_zone w in
+  Array.iter
+    (fun zone_members ->
+      let sorted = Array.copy zone_members in
+      Array.sort compare sorted;
+      Alcotest.(check bool) "zone members ascend" true (zone_members = sorted))
+    members
+
 let prop_client_placement_valid =
   QCheck.Test.make ~name:"clients placed on valid nodes and zones" ~count:20 QCheck.small_nat
     (fun seed ->
@@ -148,6 +203,10 @@ let tests =
         case "replace clients" test_replace_clients;
         case "determinism" test_determinism;
         case "backbone world" test_backbone_world;
+        case "cache: replace_clients installs fresh" test_cache_replace_clients;
+        case "cache: Health.apply installs fresh" test_cache_health_apply;
+        case "cache: invalidate rebuilds identically" test_cache_invalidate_rebuilds;
+        case "cache: CSR zone members ascend" test_cache_csr_ascending;
         QCheck_alcotest.to_alcotest prop_client_placement_valid;
       ] );
   ]
