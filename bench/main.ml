@@ -194,6 +194,23 @@ let make_tests () =
            Cap_core.Incremental.refresh outcome.Cap_model.Churn.world ~previous:adapted));
     Test.make ~name:"extension/lp-rounding-iap-20s"
       (Staged.stage (fun () -> Cap_milp.Lp_rounding.iap_targets default_world));
+    (* Online service: one client event against a warm daemon engine,
+       periodic background re-optimization amortized in. *)
+    Test.make ~name:"service/placement-event"
+      (let engine =
+         let assignment =
+           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
+             default_world
+         in
+         Cap_service.Engine.create ~world:default_world ~assignment
+           Cap_service.Engine.default_config
+       in
+       let zones = World.zone_count default_world in
+       let zone = ref 0 in
+       Staged.stage (fun () ->
+           zone := (!zone + 1) mod zones;
+           Cap_service.Engine.handle engine
+             (Cap_service.Proto.Move { id = 0; zone = !zone })));
     Test.make ~name:"substrate/dve-sim-60s"
       (Staged.stage (fun () ->
            Cap_sim.Dve_sim.run (Rng.split bench_rng) sim_config ~world:default_world

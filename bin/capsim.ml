@@ -7,6 +7,8 @@
      sim      run the dynamic churn simulation
      chaos    run the simulation under injected server faults
      resume   continue a checkpointed sim/chaos run from a snapshot
+     serve    run the online assignment daemon on a cap-stream/1 feed
+     loadgen  emit a deterministic cap-stream/1 event stream
      validate check scenario notation / worlds / trace CSVs
 
    Exit codes (unified convention):
@@ -23,6 +25,11 @@ module Assignment = Cap_model.Assignment
 module Dve_sim = Cap_sim.Dve_sim
 module Envelope = Cap_snapshot.Envelope
 module Sim_run = Cap_snapshot.Sim_run
+module Service_run = Cap_snapshot.Service_run
+module Engine = Cap_service.Engine
+module Daemon = Cap_service.Daemon
+module Loadgen = Cap_service.Loadgen
+module Proto = Cap_service.Proto
 
 open Cmdliner
 
@@ -1161,6 +1168,338 @@ let resume_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* loadgen                                                             *)
+
+let loadgen_cmd =
+  let rate_arg =
+    let doc = "Mean event rate, events per second of stream time." in
+    Arg.(value & opt float 10_000. & info [ "rate" ] ~docv:"EVENTS/S" ~doc)
+  in
+  let duration_arg =
+    let doc = "Stream length in seconds of stream time." in
+    Arg.(value & opt float 1. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let mix_arg =
+    let doc = "Relative join:leave:move weights." in
+    Arg.(value & opt string "3:2:5" & info [ "mix" ] ~docv:"J:L:M" ~doc)
+  in
+  let diurnal_arg =
+    let doc = "Modulate the instantaneous rate by a diurnal sinusoid over the stream." in
+    Arg.(value & flag & info [ "diurnal" ] ~doc)
+  in
+  let ctrl_arg =
+    let doc = "Inject a chaos control event (crash/recover/degrade) every $(docv) events." in
+    Arg.(value & opt (some int) None & info [ "ctrl-every" ] ~docv:"N" ~doc)
+  in
+  let no_time_arg =
+    let doc = "Omit the $(b,t) stream-clock lines." in
+    Arg.(value & flag & info [ "no-time" ] ~doc)
+  in
+  let run obs config seed rate duration mix diurnal ctrl_every no_time =
+    with_obs obs @@ fun () ->
+    let parsed_mix =
+      match String.split_on_char ':' mix |> List.map float_of_string_opt with
+      | [ Some join; Some leave; Some move ] -> Some { Loadgen.join; leave; move }
+      | _ -> None
+    in
+    match scenario_of_string config, parsed_mix with
+    | Error (`Msg m), _ ->
+        prerr_endline m;
+        exit_usage
+    | _, None ->
+        Printf.eprintf "loadgen: --mix wants three numbers, e.g. 3:2:5\n";
+        exit_usage
+    | Ok scenario, Some mix -> (
+        let gen_config =
+          {
+            Loadgen.rate;
+            duration;
+            mix;
+            diurnal;
+            ctrl_every;
+            emit_time = not no_time;
+          }
+        in
+        match Loadgen.validate gen_config with
+        | Error m ->
+            Printf.eprintf "loadgen: %s\n" m;
+            exit_usage
+        | Ok () ->
+            let rng = Rng.create ~seed in
+            let world = World.generate rng scenario in
+            let events_rng = Rng.split rng in
+            let buf = Buffer.create 65536 in
+            let emit line =
+              Buffer.add_string buf
+                (match line with
+                | Proto.Hello { scenario; seed } -> Proto.format_hello ~scenario ~seed
+                | Proto.Time at -> Proto.format_time at
+                | Proto.Event event -> Proto.format_event event
+                | Proto.End -> Proto.format_end);
+              Buffer.add_char buf '\n';
+              if Buffer.length buf >= 65536 then begin
+                Buffer.output_buffer stdout buf;
+                Buffer.clear buf
+              end
+            in
+            let events =
+              Loadgen.run events_rng ~world ~world_seed:seed gen_config ~emit
+            in
+            Buffer.output_buffer stdout buf;
+            flush stdout;
+            Printf.eprintf "loadgen: %d events for %s seed %d\n" events
+              (Scenario.notation scenario) seed;
+            0)
+  in
+  let term =
+    Term.(
+      const run $ obs_term $ config_arg $ seed_arg $ rate_arg $ duration_arg $ mix_arg
+      $ diurnal_arg $ ctrl_arg $ no_time_arg)
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~exits
+       ~doc:
+         "Emit a deterministic open-loop cap-stream/1 event stream to stdout: Poisson \
+          arrivals at $(b,--rate), a join/leave/move mix, optional diurnal modulation \
+          and chaos control events. Pipe into $(b,capsim serve --stdin). The stream \
+          is a pure function of the scenario, seed and flags.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let stdin_arg =
+    let doc = "Read the event stream from stdin (pipe mode)." in
+    Arg.(value & flag & info [ "stdin" ] ~doc)
+  in
+  let listen_arg =
+    let doc =
+      "Listen on a Unix-domain socket at $(docv), serving connections sequentially \
+       against the same engine until a stream sends $(b,end)."
+    in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"SOCKET" ~doc)
+  in
+  let expect_arg =
+    let doc =
+      "Refuse streams whose hello names a different scenario (the world recipe is \
+       otherwise adopted from the hello line)."
+    in
+    Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"CONF" ~doc)
+  in
+  let algorithm_arg =
+    let doc = "Bootstrap algorithm for the initial batch solve." in
+    Arg.(value & opt string "GreZ-GreC" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let reopt_every_arg =
+    let doc = "Events between background re-optimizations (0 disables the periodic pass)." in
+    Arg.(value & opt int 512 & info [ "reopt-every" ] ~docv:"N" ~doc)
+  in
+  let reopt_moves_arg =
+    let doc = "Zone-move budget per background re-optimization." in
+    Arg.(value & opt int 8 & info [ "reopt-moves" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc = "Admission cap on live clients; joins beyond it are shed." in
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let ck_path_arg =
+    let doc =
+      "Write crash-safe engine snapshots to $(docv) (atomic temp-file + rename). \
+       Always captured once at shutdown; combine with $(b,--checkpoint-every) for \
+       periodic captures. Resume with $(b,--resume) $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let ck_every_arg =
+    let doc = "Capture a snapshot every $(docv) events (requires $(b,--checkpoint))." in
+    Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"EVENTS" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Restore the engine from this service snapshot instead of a fresh batch solve; \
+       the stream's hello must repeat the snapshot's scenario and seed."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let latency_jsonl_arg =
+    let doc =
+      "Write the metrics registry (including the per-event latency histogram \
+       $(b,service/event_latency_seconds)) as JSON Lines to $(docv) on exit."
+    in
+    Arg.(value & opt (some string) None & info [ "latency-jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Do not echo responses (placement answers) to the output channel." in
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+  in
+  let run obs use_stdin listen expect algorithm reopt_every reopt_moves max_inflight
+      ck_path ck_every resume latency_jsonl quiet =
+    with_obs obs @@ fun () ->
+    (* the daemon always records metrics (the latency histogram is its
+       service-level report); spans stay on the main domain, so this is
+       safe at any --jobs *)
+    Cap_obs.Control.enable ();
+    let usage m =
+      Printf.eprintf "serve: %s\n" m;
+      exit exit_usage
+    in
+    if use_stdin = Option.is_some listen then
+      usage "pick exactly one of --stdin and --listen SOCKET";
+    if reopt_every < 0 then usage "--reopt-every: must be >= 0";
+    if reopt_moves < 0 then usage "--reopt-moves: must be >= 0";
+    (match max_inflight with
+    | Some n when n < 0 -> usage "--max-inflight: must be >= 0"
+    | _ -> ());
+    (match ck_every, ck_path with
+    | Some _, None -> usage "--checkpoint-every requires --checkpoint FILE"
+    | Some n, Some _ when n <= 0 -> usage "--checkpoint-every: must be positive"
+    | _ -> ());
+    let algorithm =
+      match Cap_core.Two_phase.find algorithm with
+      | Some a -> a
+      | None -> usage (Printf.sprintf "unknown algorithm: %s" algorithm)
+    in
+    let snapshot =
+      match resume with
+      | None -> None
+      | Some path -> (
+          match Service_run.load ~path with
+          | Ok snap -> Some snap
+          | Error e -> usage (Envelope.describe e))
+    in
+    let engine_config =
+      match snapshot with
+      | Some snap -> Service_run.config snap
+      | None -> { Engine.max_inflight; reopt_every; reopt_moves }
+    in
+    (* set by resolve, read by the checkpoint sink *)
+    let identity = ref None in
+    let resolve ~scenario ~seed =
+      let mismatch fmt = Printf.ksprintf (fun m -> Error m) fmt in
+      match expect with
+      | Some want when want <> scenario ->
+          mismatch "hello scenario %s does not match --expect %s" scenario want
+      | _ -> (
+          match Validate.scenario_notation scenario with
+          | Error issue ->
+              mismatch "invalid scenario in hello: %s" (Validate.describe issue)
+          | Ok parsed -> (
+              let rng = Rng.create ~seed in
+              let world = World.generate rng parsed in
+              identity := Some (scenario, seed, world);
+              match snapshot with
+              | Some snap ->
+                  if
+                    snap.Service_run.spec.Service_run.scenario <> scenario
+                    || snap.Service_run.spec.Service_run.seed <> seed
+                  then
+                    mismatch "snapshot is for %s seed %d, stream says %s seed %d"
+                      snap.Service_run.spec.Service_run.scenario
+                      snap.Service_run.spec.Service_run.seed scenario seed
+                  else Service_run.resume ~world snap
+              | None ->
+                  let assignment =
+                    Cap_core.Two_phase.run algorithm (Rng.split rng) world
+                  in
+                  Ok (Engine.create ~world ~assignment engine_config)))
+    in
+    let checkpoint_sink =
+      match ck_path with
+      | None -> None
+      | Some path ->
+          Some
+            (fun engine ->
+              match !identity with
+              | None -> ()
+              | Some (scenario, seed, world) -> (
+                  let snap =
+                    Service_run.of_engine ~scenario ~seed ~world engine_config engine
+                  in
+                  match Service_run.save ~path snap with
+                  | Ok () -> ()
+                  | Error e ->
+                      Printf.eprintf "checkpoint write failed: %s\n%!"
+                        (Envelope.describe e)))
+    in
+    let daemon_config =
+      {
+        Daemon.resolve;
+        checkpoint_every = ck_every;
+        checkpoint_sink;
+        echo_responses = not quiet;
+      }
+    in
+    let result =
+      match listen with
+      | Some path -> Daemon.serve_unix daemon_config ~path
+      | None -> Daemon.serve daemon_config ~input:stdin ~output:stdout
+    in
+    let write_latency () =
+      match latency_jsonl with
+      | None -> ()
+      | Some file ->
+          Cap_obs.Jsonl.write_metrics file;
+          Printf.eprintf "wrote metrics JSONL to %s\n" file
+    in
+    match result with
+    | Error m ->
+        write_latency ();
+        Printf.eprintf "serve: %s\n" m;
+        exit_usage
+    | Ok stats ->
+        write_latency ();
+        let latency = Daemon.latency_histogram () in
+        let q p =
+          let v = Cap_obs.Metrics.Histogram.quantile latency p in
+          if Float.is_finite v then Printf.sprintf "%.0f" (v *. 1e6) else "-"
+        in
+        let rate =
+          if stats.Daemon.wall_s > 0. then
+            float_of_int stats.Daemon.events /. stats.Daemon.wall_s
+          else 0.
+        in
+        let shed_rate =
+          if stats.Daemon.events > 0 then
+            float_of_int stats.Daemon.sheds /. float_of_int stats.Daemon.events
+          else 0.
+        in
+        Printf.eprintf
+          "serve: %d events in %.3fs (%.0f events/s), latency p50=%sus p99=%sus, %d \
+           sheds (rate %.4f), %d readmits, %d reopts, %d live, %d still shed, %d \
+           protocol errors\n"
+          stats.Daemon.events stats.Daemon.wall_s rate (q 0.5) (q 0.99)
+          stats.Daemon.sheds shed_rate stats.Daemon.readmits stats.Daemon.reopts
+          stats.Daemon.live stats.Daemon.shed_pool stats.Daemon.errors;
+        if stats.Daemon.violations <> [] then begin
+          Printf.eprintf "INVARIANT VIOLATIONS (%d):\n"
+            (List.length stats.Daemon.violations);
+          List.iter (Printf.eprintf "  %s\n") stats.Daemon.violations;
+          exit_violation
+        end
+        else if stats.Daemon.errors > 0 then exit_usage
+        else 0
+  in
+  let term =
+    Term.(
+      const run $ obs_term $ stdin_arg $ listen_arg $ expect_arg $ algorithm_arg
+      $ reopt_every_arg $ reopt_moves_arg $ max_inflight_arg $ ck_path_arg
+      $ ck_every_arg $ resume_arg $ latency_jsonl_arg $ quiet_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run the online assignment daemon: read a cap-stream/1 event stream \
+          ($(b,--stdin) or $(b,--listen) SOCKET), answer every join/leave/move with a \
+          contact-server placement in bounded time, shed what cannot be admitted, and \
+          re-optimize in the background every $(b,--reopt-every) events. The world is \
+          regenerated from the stream's hello line (scenario notation + seed); the \
+          initial population gets a batch two-phase solve. Exits 0 on a clean stream, \
+          1 if the final self-check reports invariant violations, 2 on protocol \
+          errors or unusable flags.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* validate                                                            *)
 
 let validate_cmd =
@@ -1216,6 +1555,14 @@ let validate_cmd =
         match Sim_run.load ~path:file with
         | Ok snap ->
             Printf.printf "snapshot %s: ok — %s\n" file (Sim_run.describe snap)
+        | Error (Envelope.Wrong_kind _) -> (
+            (* not a sim/chaos snapshot; try the service-daemon kind *)
+            match Service_run.load ~path:file with
+            | Ok snap ->
+                Printf.printf "snapshot %s: ok — %s\n" file (Service_run.describe snap)
+            | Error e ->
+                problem := true;
+                Printf.eprintf "snapshot %s: %s\n" file (Envelope.describe e))
         | Error e ->
             problem := true;
             Printf.eprintf "snapshot %s: %s\n" file (Envelope.describe e)));
@@ -1240,7 +1587,7 @@ let () =
     Cmd.group info
       [
         report_cmd; run_cmd; compare_cmd; optimal_cmd; plan_cmd; sim_cmd; chaos_cmd;
-        resume_cmd; validate_cmd; plots_cmd;
+        resume_cmd; serve_cmd; loadgen_cmd; validate_cmd; plots_cmd;
       ]
   in
   (* ~catch:false + the handler below: user errors anywhere in the stack

@@ -16,21 +16,31 @@ let initial world ~zone_members ~server =
    contiguous scan instead of k pointer-chasing delay lookups. Every
    row is written by exactly one task — the fill is deterministic at
    any pool size. *)
-let initial_matrix world =
+let fill_initial_matrix world rows =
   let c = World.cached world in
   let servers = World.server_count world in
   let zones = World.zone_count world in
+  if
+    Array.length rows <> zones
+    || (zones > 0 && Array.length rows.(0) <> servers)
+  then invalid_arg "Cost.fill_initial_matrix: buffer does not match the world";
   let bound = delay_bound world in
-  let rows = Array.make zones [||] in
   Pool.parallel_for (Pool.default ()) ~n:zones (fun z ->
-      let row = Array.make servers 0 in
+      let row = rows.(z) in
+      Array.fill row 0 servers 0;
       for i = c.World.zone_off.(z) to c.World.zone_off.(z + 1) - 1 do
         let base = c.World.zone_clients.(i) * servers in
         for server = 0 to servers - 1 do
           if c.World.cs_rtt.(base + server) > bound then row.(server) <- row.(server) + 1
         done
-      done;
-      rows.(z) <- row);
+      done)
+
+let initial_matrix world =
+  let rows =
+    Array.init (World.zone_count world) (fun _ ->
+        Array.make (World.server_count world) 0)
+  in
+  fill_initial_matrix world rows;
   rows
 
 let relayed_delay world ~targets ~client ~contact =

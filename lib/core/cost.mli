@@ -18,6 +18,13 @@ val initial_matrix : Cap_model.World.t -> int array array
 (** [C^I] for every zone and server: row per zone, column per server.
     O(k * m) in total. *)
 
+val fill_initial_matrix : Cap_model.World.t -> int array array -> unit
+(** [fill_initial_matrix world rows] is {!initial_matrix} written into
+    a caller-owned zones x servers buffer — the allocation-free variant
+    for callers that refresh repeatedly against same-shape worlds (see
+    {!Incremental.make_state}). Raises [Invalid_argument] when the
+    buffer shape does not match the world. *)
+
 val refined :
   Cap_model.World.t -> targets:int array -> client:int -> contact:int -> float
 (** [C^R] of selecting [contact] for [client], whose target is

@@ -37,23 +37,54 @@ let shed_zones_total =
   Cap_obs.Metrics.Counter.create "incremental_shed_zones_total"
     ~help:"Zones left unassigned because no alive server could host them"
 
-let refresh_body ~max_zone_moves ?alive world ~previous =
+(* Scratch reused across refreshes: per-zone targets, per-server
+   loads, and the zones x servers initial-cost buffer. One state
+   serves any sequence of worlds with the same zone and server counts
+   (an online service refreshing against successive client
+   populations); the cost matrix is recomputed per call — it depends
+   on the clients — but into the same rows, so a steady-state refresh
+   allocates nothing proportional to zones x servers. *)
+type state = {
+  st_zones : int;
+  st_servers : int;
+  st_targets : int array;
+  st_loads : float array;
+  st_costs : int array array;
+}
+
+let make_state world =
+  let zones = World.zone_count world in
+  let servers = World.server_count world in
+  {
+    st_zones = zones;
+    st_servers = servers;
+    st_targets = Array.make zones Assignment.unassigned;
+    st_loads = Array.make servers 0.;
+    st_costs = Array.init zones (fun _ -> Array.make servers 0);
+  }
+
+let refresh_body state ~max_zone_moves ?alive world ~previous =
   let zones = World.zone_count world in
   if Array.length previous.Assignment.target_of_zone <> zones then
     invalid_arg "Incremental.refresh: assignment does not match the world";
+  if state.st_zones <> zones || state.st_servers <> World.server_count world then
+    invalid_arg "Incremental.refresh: state does not match the world's shape";
   (match alive with
   | Some mask when Array.length mask <> World.server_count world ->
       invalid_arg "Incremental.refresh: alive mask does not match the world's servers"
   | Some _ | None -> ());
   let usable s = match alive with None -> true | Some mask -> mask.(s) in
-  let targets = Array.copy previous.Assignment.target_of_zone in
-  let rates = Server_load.zone_rates world in
+  let targets = state.st_targets in
+  Array.blit previous.Assignment.target_of_zone 0 targets 0 zones;
+  let rates = (World.cached world).World.zone_rate_of in
   let capacities = world.World.capacities in
-  let loads = Array.make (World.server_count world) 0. in
+  let loads = state.st_loads in
+  Array.fill loads 0 (Array.length loads) 0.;
   Array.iteri
     (fun z s -> if s <> Assignment.unassigned then loads.(s) <- loads.(s) +. rates.(z))
     targets;
-  let costs = Cost.initial_matrix world in
+  let costs = state.st_costs in
+  Cost.fill_initial_matrix world costs;
   let budget = ref (max max_zone_moves 0) in
   (* Re-target a zone; decrementing the budget is the caller's call
      because forced evacuations off dead servers are never budgeted. *)
@@ -188,6 +219,9 @@ let refresh_body ~max_zone_moves ?alive world ~previous =
   Cap_obs.Metrics.Counter.add zone_moves_total (float_of_int migration.zone_moves);
   current, migration
 
-let refresh ?(max_zone_moves = 8) ?alive world ~previous =
+let refresh_with state ?(max_zone_moves = 8) ?alive world ~previous =
   Cap_obs.Span.with_span "incremental/refresh" (fun () ->
-      refresh_body ~max_zone_moves ?alive world ~previous)
+      refresh_body state ~max_zone_moves ?alive world ~previous)
+
+let refresh ?max_zone_moves ?alive world ~previous =
+  refresh_with (make_state world) ?max_zone_moves ?alive world ~previous

@@ -20,6 +20,29 @@ val migration_between :
 (** Count the differences between two assignments over the same world.
     Raises [Invalid_argument] on mismatched array lengths. *)
 
+type state
+(** Reusable refresh scratch: the per-zone target and per-server load
+    arrays plus the zones x servers initial-cost buffer. One state
+    serves any sequence of worlds sharing its zone and server counts
+    (successive churned or online-service populations), so a
+    steady-state refresh loop allocates nothing proportional to
+    [zones x servers] per call. *)
+
+val make_state : Cap_model.World.t -> state
+(** Scratch sized for [world]'s zone and server counts. *)
+
+val refresh_with :
+  state ->
+  ?max_zone_moves:int ->
+  ?alive:bool array ->
+  Cap_model.World.t ->
+  previous:Cap_model.Assignment.t ->
+  Cap_model.Assignment.t * migration
+(** {!refresh} reusing the given scratch — bitwise-identical results.
+    Raises [Invalid_argument] when the state's shape does not match
+    the world. Not reentrant: one state serves one refresh at a
+    time. *)
+
 val refresh :
   ?max_zone_moves:int ->
   ?alive:bool array ->

@@ -162,6 +162,9 @@ let server_rtt_in model t s1 s2 =
 
 let servers_reachable t s1 s2 = s1 = s2 || server_rtt_in t.delay t s1 s2 < infinity
 
+let node_server_rtt t ~node ~server =
+  Delay.rtt t.observed node t.server_nodes.(server) +. t.server_delay_penalty.(server)
+
 let client_server_rtt t ~client ~server = rtt_in t.observed t ~client ~server
 let server_server_rtt t s1 s2 = server_rtt_in t.observed t s1 s2
 let true_client_server_rtt t ~client ~server = rtt_in t.delay t ~client ~server

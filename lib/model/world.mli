@@ -140,6 +140,13 @@ val total_capacity : t -> float
 (** Delays. [true_] variants always read the unperturbed model; plain
     variants read the observed model and are what algorithms use. *)
 
+val node_server_rtt : t -> node:int -> server:int -> float
+(** Observed RTT from an arbitrary topology node to a server, with the
+    server's delay penalty applied — the client-server delay of a
+    client that is not (yet) part of this world's population. Used by
+    the online service to price a joining client before it is
+    materialised. *)
+
 val client_server_rtt : t -> client:int -> server:int -> float
 val server_server_rtt : t -> int -> int -> float
 (** Inter-server RTT with the well-provisioned discount applied; 0 for

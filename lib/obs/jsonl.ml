@@ -49,3 +49,44 @@ let render () =
 let write file =
   let out = open_out file in
   Fun.protect ~finally:(fun () -> close_out out) (fun () -> output_string out (render ()))
+
+(* nan and the infinities are not JSON numbers *)
+let num v = if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let num_array a =
+  "[" ^ String.concat "," (Array.to_list (Array.map num a)) ^ "]"
+
+let int_array a =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+let metric_line (s : Metrics.sample) =
+  let head kind =
+    Printf.sprintf "{\"type\":\"%s\",\"name\":\"%s\",\"labels\":%s" kind
+      (escape_string s.Metrics.name)
+      (attrs_json s.Metrics.labels)
+  in
+  match s.Metrics.data with
+  | Metrics.Counter_sample v -> Printf.sprintf "%s,\"value\":%s}" (head "counter") (num v)
+  | Metrics.Gauge_sample v -> Printf.sprintf "%s,\"value\":%s}" (head "gauge") (num v)
+  | Metrics.Histogram_sample h ->
+      let quantile q =
+        Metrics.Histogram.estimate_quantile ~bounds:h.bounds ~counts:h.counts
+          ~count:h.count ~minimum:h.min ~maximum:h.max q
+      in
+      Printf.sprintf
+        "%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"p999\":%s,\"bounds\":%s,\"counts\":%s}"
+        (head "histogram") h.count (num h.sum) (num h.min) (num h.max)
+        (num (quantile 0.5))
+        (num (quantile 0.9))
+        (num (quantile 0.99))
+        (num (quantile 0.999))
+        (num_array h.bounds) (int_array h.counts)
+
+let render_metrics () =
+  String.concat "" (List.map (fun s -> metric_line s ^ "\n") (Metrics.collect ()))
+
+let write_metrics file =
+  let out = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () -> output_string out (render_metrics ()))

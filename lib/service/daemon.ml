@@ -1,0 +1,187 @@
+module Metrics = Cap_obs.Metrics
+module Clock = Cap_obs.Clock
+
+type stats = {
+  events : int;
+  errors : int;
+  sheds : int;
+  readmits : int;
+  reopts : int;
+  live : int;
+  shed_pool : int;
+  violations : string list;
+  wall_s : float;
+}
+
+let latency_histogram () =
+  Metrics.Histogram.create ~help:"per-event daemon handling latency, seconds"
+    "service/event_latency_seconds"
+
+let events_counter () = Metrics.Counter.create "service/events"
+let sheds_counter () = Metrics.Counter.create "service/sheds"
+let readmits_counter () = Metrics.Counter.create "service/readmits"
+let errors_counter () = Metrics.Counter.create "service/errors"
+
+type config = {
+  resolve : scenario:string -> seed:int -> (Engine.t, string) result;
+  checkpoint_every : int option;
+  checkpoint_sink : (Engine.t -> unit) option;
+  echo_responses : bool;
+}
+
+type session = {
+  config : config;
+  mutable engine : Engine.t option;
+  mutable identity : (string * int) option;
+  mutable errors : int;
+  mutable started : float option;  (* Clock.now at the first hello *)
+}
+
+let make_session config =
+  { config; engine = None; identity = None; errors = 0; started = None }
+
+let respond session output r =
+  (match r with
+  | Proto.Err _ ->
+      session.errors <- session.errors + 1;
+      Metrics.Counter.incr (errors_counter ())
+  | Proto.Shed _ -> Metrics.Counter.incr (sheds_counter ())
+  | Proto.Readmitted _ -> Metrics.Counter.incr (readmits_counter ())
+  | Proto.Assigned _ | Proto.Left _ | Proto.Ctrl_ok _ -> ());
+  if session.config.echo_responses then begin
+    output_string output (Proto.format_response r);
+    output_char output '\n'
+  end
+
+let maybe_checkpoint session engine =
+  match session.config.checkpoint_every, session.config.checkpoint_sink with
+  | Some every, Some sink when every > 0 && Engine.events_seen engine mod every = 0 ->
+      sink engine
+  | _ -> ()
+
+(* One stream of lines against the session. [`End] is an explicit
+   shutdown request, [`Eof] just the end of this connection. *)
+let serve_stream session input output =
+  let latency = latency_histogram () in
+  let events = events_counter () in
+  let rec loop () =
+    match input_line input with
+    | exception End_of_file -> `Eof
+    | raw -> (
+        match Proto.parse_line raw with
+        | Error message ->
+            respond session output (Proto.Err message);
+            flush output;
+            loop ()
+        | Ok (Proto.Hello { scenario; seed }) -> (
+            match session.identity with
+            | Some (scenario0, seed0) ->
+                if scenario0 <> scenario || seed0 <> seed then begin
+                  respond session output
+                    (Proto.Err
+                       (Printf.sprintf "hello mismatch: serving %s seed %d" scenario0
+                          seed0));
+                  flush output
+                end;
+                loop ()
+            | None -> (
+                match session.config.resolve ~scenario ~seed with
+                | Error message ->
+                    respond session output (Proto.Err message);
+                    flush output;
+                    `Fatal message
+                | Ok engine ->
+                    session.engine <- Some engine;
+                    session.identity <- Some (scenario, seed);
+                    session.started <- Some (Clock.now ());
+                    loop ()))
+        | Ok (Proto.Time at) ->
+            Option.iter (fun engine -> Engine.note_time engine at) session.engine;
+            loop ()
+        | Ok Proto.End -> `End
+        | Ok (Proto.Event event) -> (
+            match session.engine with
+            | None ->
+                respond session output (Proto.Err "event before hello");
+                flush output;
+                loop ()
+            | Some engine ->
+                let t0 = Clock.now () in
+                let responses = Engine.handle engine event in
+                Metrics.Histogram.observe latency (Clock.elapsed_since t0);
+                Metrics.Counter.incr events;
+                List.iter (respond session output) responses;
+                flush output;
+                maybe_checkpoint session engine;
+                loop ()))
+  in
+  loop ()
+
+let finish session engine output =
+  (* Checkpoint BEFORE the shutdown drain: the snapshot must capture
+     the state as of the last processed event, so a resumed stream
+     replays exactly what the uninterrupted run would have answered.
+     The drain's readmissions are a side-effect of stopping; a resumed
+     run readmits through its own reopts instead. *)
+  Option.iter (fun sink -> sink engine) session.config.checkpoint_sink;
+  let readmits = Engine.finalize engine in
+  List.iter (respond session output) readmits;
+  (try flush output with Sys_error _ -> ());
+  let wall_s =
+    match session.started with Some t0 -> Clock.elapsed_since t0 | None -> 0.
+  in
+  {
+    events = Engine.events_seen engine;
+    errors = session.errors;
+    sheds = Engine.sheds_total engine;
+    readmits = Engine.readmits_total engine;
+    reopts = Engine.reopts_total engine;
+    live = Engine.live_clients engine;
+    shed_pool = Engine.shed_pool engine;
+    violations = Engine.self_check engine;
+    wall_s;
+  }
+
+let finish_session session output =
+  match session.engine with
+  | None -> Error "stream ended before a hello line"
+  | Some engine -> Ok (finish session engine output)
+
+let serve config ~input ~output =
+  let session = make_session config in
+  match serve_stream session input output with
+  | `Fatal message -> Error message
+  | `End | `Eof -> finish_session session output
+
+let serve_unix config ~path =
+  let session = make_session config in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let input = Unix.in_channel_of_descr fd in
+        let output = Unix.out_channel_of_descr fd in
+        let outcome = serve_stream session input output in
+        let result =
+          match outcome with
+          | `Fatal message -> Error message
+          | `End -> Result.map Option.some (finish_session session output)
+          | `Eof -> Ok None
+        in
+        (try flush output with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match result with
+        | Error message ->
+            (* an unresolvable hello: nothing is being served yet *)
+            if Option.is_none session.engine then Error message else accept_loop ()
+        | Ok (Some stats) -> Ok stats
+        | Ok None -> accept_loop ()
+      in
+      accept_loop ())

@@ -1,0 +1,60 @@
+(** The serve loop: [cap-stream/1] lines in, placement responses out.
+
+    The daemon is transport-agnostic at its core — {!serve} works over
+    any pair of channels (the [--stdin] pipe mode) and {!serve_unix}
+    runs an accept loop on a Unix-domain socket, feeding sequential
+    connections into the same engine so service state outlives any one
+    client of the daemon.
+
+    The engine is created lazily from the stream's hello line via the
+    injected [resolve] callback (which regenerates the world from the
+    scenario notation and seed, runs the batch bootstrap solve, or
+    restores a checkpoint — policy stays with the caller, so this
+    library does not depend on the snapshot layer). A later hello —
+    e.g. a second connection — must repeat the same scenario and seed
+    or its stream is refused with [err].
+
+    Per-event latency is observed into the
+    [service/event_latency_seconds] histogram (no-op unless
+    {!Cap_obs.Control.enable} has been called); [service/events],
+    [service/sheds] and [service/readmits] counters ride along. *)
+
+type stats = {
+  events : int;  (** client + control events applied *)
+  errors : int;  (** malformed or inconsistent lines answered [err] *)
+  sheds : int;  (** total shed responses (admission, capacity, zone-down) *)
+  readmits : int;
+  reopts : int;  (** background re-optimization passes *)
+  live : int;  (** live clients at shutdown *)
+  shed_pool : int;  (** clients still shed at shutdown *)
+  violations : string list;
+      (** final {!Engine.self_check} after {!Engine.finalize}; empty
+          means the daemon shut down consistent *)
+  wall_s : float;  (** wall-clock time spent serving *)
+}
+
+val latency_histogram : unit -> Cap_obs.Metrics.Histogram.t
+(** The per-event latency instrument (seconds), for reporting. *)
+
+type config = {
+  resolve : scenario:string -> seed:int -> (Engine.t, string) result;
+      (** build (or restore) the engine for the stream's hello; an
+          [Error] refuses the stream *)
+  checkpoint_every : int option;
+      (** call the sink every [n] events (and once at shutdown) *)
+  checkpoint_sink : (Engine.t -> unit) option;
+  echo_responses : bool;  (** write responses to the output channel *)
+}
+
+val serve : config -> input:in_channel -> output:out_channel -> (stats, string) result
+(** Serve one stream to its [end] (or EOF, which is treated as a
+    quiet [end]): finalizes the engine, runs the self-check, and
+    returns the stats. [Error] means the stream never got going — a
+    missing or unresolvable hello. *)
+
+val serve_unix : config -> path:string -> (stats, string) result
+(** Bind a Unix-domain socket at [path] (unlinking any stale one),
+    then accept and serve connections sequentially against the same
+    engine. A connection that closes without [end] keeps the daemon
+    alive for the next one; an [end] line shuts the daemon down and
+    returns the aggregate stats. *)

@@ -1,0 +1,149 @@
+module World = Cap_model.World
+module Scenario = Cap_model.Scenario
+module Distribution = Cap_model.Distribution
+module Rng = Cap_util.Rng
+
+type mix = {
+  join : float;
+  leave : float;
+  move : float;
+}
+
+let default_mix = { join = 3.; leave = 2.; move = 5. }
+
+type config = {
+  rate : float;
+  duration : float;
+  mix : mix;
+  diurnal : bool;
+  ctrl_every : int option;
+  emit_time : bool;
+}
+
+let default_config =
+  {
+    rate = 10_000.;
+    duration = 1.;
+    mix = default_mix;
+    diurnal = false;
+    ctrl_every = None;
+    emit_time = true;
+  }
+
+let validate config =
+  let pos_finite name v =
+    if Float.is_finite v && v > 0. then Ok () else Error (name ^ " must be finite and > 0")
+  in
+  let nonneg name v =
+    if Float.is_finite v && v >= 0. then Ok () else Error (name ^ " must be finite and >= 0")
+  in
+  let ( let* ) = Result.bind in
+  let* () = pos_finite "rate" config.rate in
+  let* () = pos_finite "duration" config.duration in
+  let* () = nonneg "mix join weight" config.mix.join in
+  let* () = nonneg "mix leave weight" config.mix.leave in
+  let* () = nonneg "mix move weight" config.mix.move in
+  let* () =
+    if config.mix.join +. config.mix.leave +. config.mix.move > 0. then Ok ()
+    else Error "mix weights must not all be 0"
+  in
+  match config.ctrl_every with
+  | Some n when n < 1 -> Error "ctrl period must be >= 1"
+  | Some _ | None -> Ok ()
+
+let two_pi = 8. *. atan 1.
+
+let run rng ~world ~world_seed config ~emit =
+  (match validate config with
+  | Ok () -> ()
+  | Error message -> invalid_arg ("Loadgen: " ^ message));
+  let scenario = Scenario.notation world.World.scenario in
+  emit (Proto.Hello { scenario; seed = world_seed });
+  let servers = World.server_count world in
+  let k0 = World.client_count world in
+  (* live-id set as parallel growable arrays with swap-removal, so
+     leave/move sample a uniform live client in O(1) *)
+  let cap = ref (max 16 k0) in
+  let ids = ref (Array.make !cap 0) in
+  let nodes = ref (Array.make !cap 0) in
+  let len = ref 0 in
+  let push id node =
+    if !len = !cap then begin
+      let cap' = 2 * !cap in
+      let grow a = let b = Array.make cap' 0 in Array.blit a 0 b 0 !cap; b in
+      ids := grow !ids;
+      nodes := grow !nodes;
+      cap := cap'
+    end;
+    !ids.(!len) <- id;
+    !nodes.(!len) <- node;
+    incr len
+  in
+  for id = 0 to k0 - 1 do
+    push id world.World.client_nodes.(id)
+  done;
+  let next_id = ref k0 in
+  let sampler = world.World.sampler in
+  let weights = [| config.mix.join; config.mix.leave; config.mix.move |] in
+  let events = ref 0 in
+  let now = ref 0. in
+  let inst_rate () =
+    if config.diurnal then
+      config.rate *. (0.55 +. (0.45 *. sin (two_pi *. !now /. config.duration)))
+    else config.rate
+  in
+  let emit_join () =
+    let id = !next_id in
+    incr next_id;
+    let node = Distribution.sample_node sampler rng in
+    let zone = Distribution.sample_zone sampler rng ~node in
+    push id node;
+    emit (Proto.Event (Proto.Join { id; node; zone }))
+  in
+  let emit_ctrl () =
+    let server = Rng.int rng servers in
+    let ctrl =
+      match Rng.int rng 3 with
+      | 0 -> Proto.Crash server
+      | 1 -> Proto.Recover server
+      | _ -> Proto.Degrade (server, Rng.float_in rng 10. 200.)
+    in
+    emit (Proto.Event (Proto.Ctrl ctrl))
+  in
+  let continue = ref true in
+  while !continue do
+    now := !now +. Rng.exponential rng ~rate:(inst_rate ());
+    if !now > config.duration then continue := false
+    else begin
+      if config.emit_time then emit (Proto.Time !now);
+      incr events;
+      let chaos =
+        match config.ctrl_every with
+        | Some n -> !events mod n = 0
+        | None -> false
+      in
+      if chaos then emit_ctrl ()
+      else
+        match Rng.weighted_index rng weights with
+        | 0 -> emit_join ()
+        | kind when !len = 0 ->
+            ignore kind;
+            (* nobody to leave or move: the stream drifts back up *)
+            emit_join ()
+        | 1 ->
+            let slot = Rng.int rng !len in
+            let id = !ids.(slot) in
+            decr len;
+            !ids.(slot) <- !ids.(!len);
+            !nodes.(slot) <- !nodes.(!len);
+            emit (Proto.Event (Proto.Leave { id }))
+        | _ ->
+            let slot = Rng.int rng !len in
+            let id = !ids.(slot) in
+            let node = !nodes.(slot) in
+            let zone = Distribution.sample_zone sampler rng ~node in
+            emit (Proto.Event (Proto.Move { id; zone }))
+    end
+  done;
+  emit Proto.End;
+  !events

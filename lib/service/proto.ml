@@ -1,0 +1,137 @@
+type ctrl =
+  | Crash of int
+  | Recover of int
+  | Degrade of int * float
+
+type event =
+  | Join of { id : int; node : int; zone : int }
+  | Leave of { id : int }
+  | Move of { id : int; zone : int }
+  | Ctrl of ctrl
+
+type line =
+  | Hello of { scenario : string; seed : int }
+  | Time of float
+  | Event of event
+  | End
+
+let magic = "cap-stream/1"
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let strip s =
+  let s = String.trim s in
+  (* trim already removes \r, but be explicit about CRLF input *)
+  if String.length s > 0 && s.[String.length s - 1] = '\r' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let nat tok = match int_of_string_opt tok with Some n when n >= 0 -> Some n | _ -> None
+
+let fnum tok =
+  match float_of_string_opt tok with
+  | Some f when Float.is_finite f && f >= 0. -> Some f
+  | _ -> None
+
+let parse_line raw =
+  let s = strip raw in
+  let bad () = Error (Printf.sprintf "malformed line: %S" s) in
+  match split_words s with
+  | [ tag; scenario; seed ] when tag = magic -> (
+      match int_of_string_opt seed with
+      | Some seed -> Ok (Hello { scenario; seed })
+      | None -> bad ())
+  | [ "t"; at ] -> (
+      match fnum at with Some at -> Ok (Time at) | None -> bad ())
+  | [ "join"; id; node; zone ] -> (
+      match nat id, nat node, nat zone with
+      | Some id, Some node, Some zone -> Ok (Event (Join { id; node; zone }))
+      | _ -> bad ())
+  | [ "leave"; id ] -> (
+      match nat id with Some id -> Ok (Event (Leave { id })) | None -> bad ())
+  | [ "move"; id; zone ] -> (
+      match nat id, nat zone with
+      | Some id, Some zone -> Ok (Event (Move { id; zone }))
+      | _ -> bad ())
+  | [ "ctrl"; "crash"; server ] -> (
+      match nat server with
+      | Some server -> Ok (Event (Ctrl (Crash server)))
+      | None -> bad ())
+  | [ "ctrl"; "recover"; server ] -> (
+      match nat server with
+      | Some server -> Ok (Event (Ctrl (Recover server)))
+      | None -> bad ())
+  | [ "ctrl"; "degrade"; server; ms ] -> (
+      match nat server, fnum ms with
+      | Some server, Some ms -> Ok (Event (Ctrl (Degrade (server, ms))))
+      | _ -> bad ())
+  | [ "end" ] -> Ok End
+  | _ -> bad ()
+
+let format_hello ~scenario ~seed = Printf.sprintf "%s %s %d" magic scenario seed
+let format_time at = Printf.sprintf "t %.6f" at
+
+let format_event = function
+  | Join { id; node; zone } -> Printf.sprintf "join %d %d %d" id node zone
+  | Leave { id } -> Printf.sprintf "leave %d" id
+  | Move { id; zone } -> Printf.sprintf "move %d %d" id zone
+  | Ctrl (Crash s) -> Printf.sprintf "ctrl crash %d" s
+  | Ctrl (Recover s) -> Printf.sprintf "ctrl recover %d" s
+  | Ctrl (Degrade (s, ms)) -> Printf.sprintf "ctrl degrade %d %g" s ms
+
+let format_end = "end"
+
+type shed_reason =
+  | Admission
+  | Capacity
+  | Zone_down
+
+let shed_reason_to_string = function
+  | Admission -> "admission"
+  | Capacity -> "capacity"
+  | Zone_down -> "zone-down"
+
+let shed_reason_of_string = function
+  | "admission" -> Some Admission
+  | "capacity" -> Some Capacity
+  | "zone-down" -> Some Zone_down
+  | _ -> None
+
+type response =
+  | Assigned of { id : int; server : int }
+  | Shed of { id : int; reason : shed_reason }
+  | Readmitted of { id : int; server : int }
+  | Left of { id : int }
+  | Ctrl_ok of string
+  | Err of string
+
+let format_response = function
+  | Assigned { id; server } -> Printf.sprintf "ok %d %d" id server
+  | Shed { id; reason } -> Printf.sprintf "shed %d %s" id (shed_reason_to_string reason)
+  | Readmitted { id; server } -> Printf.sprintf "readmit %d %d" id server
+  | Left { id } -> Printf.sprintf "bye %d" id
+  | Ctrl_ok what -> Printf.sprintf "ctrl-ok %s" what
+  | Err message -> Printf.sprintf "err %s" message
+
+let parse_response raw =
+  let s = strip raw in
+  let bad () = Error (Printf.sprintf "malformed response: %S" s) in
+  match split_words s with
+  | [ "ok"; id; server ] -> (
+      match nat id, nat server with
+      | Some id, Some server -> Ok (Assigned { id; server })
+      | _ -> bad ())
+  | [ "shed"; id; reason ] -> (
+      match nat id, shed_reason_of_string reason with
+      | Some id, Some reason -> Ok (Shed { id; reason })
+      | _ -> bad ())
+  | [ "readmit"; id; server ] -> (
+      match nat id, nat server with
+      | Some id, Some server -> Ok (Readmitted { id; server })
+      | _ -> bad ())
+  | [ "bye"; id ] -> (
+      match nat id with Some id -> Ok (Left { id }) | None -> bad ())
+  | "ctrl-ok" :: what when what <> [] -> Ok (Ctrl_ok (String.concat " " what))
+  | "err" :: rest when rest <> [] -> Ok (Err (String.concat " " rest))
+  | _ -> bad ()

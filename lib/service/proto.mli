@@ -1,0 +1,89 @@
+(** The [cap-stream/1] wire protocol: newline-delimited client events
+    flowing into the assignment daemon, and newline-delimited
+    placement answers flowing back.
+
+    Request grammar (one line per message, fields space-separated):
+
+    {v
+    stream  ::= hello line* "end"
+    hello   ::= "cap-stream/1" SCENARIO SEED
+    line    ::= "t" SECONDS                 advance the stream clock
+              | "join" ID NODE ZONE         client ID appears at NODE in ZONE
+              | "leave" ID                  client ID disconnects
+              | "move" ID ZONE              client ID moves to ZONE
+              | "ctrl" CTRL                 chaos / operations channel
+    ctrl    ::= "crash" SERVER
+              | "recover" SERVER
+              | "degrade" SERVER MS
+    v}
+
+    SCENARIO is paper notation (e.g. [20s-80z-1000c-500cp]); SEED is
+    the world seed. Together they pin the topology both ends talk
+    about: the daemon regenerates the world from them, so NODE, ZONE
+    and SERVER ids are meaningful without shipping the world itself.
+
+    Response grammar:
+
+    {v
+    reply ::= "ok" ID SERVER          placed: contact server for ID
+            | "shed" ID REASON        not placed; REASON in
+                                      {admission, capacity, zone-down}
+            | "readmit" ID SERVER     a previously shed ID re-admitted
+                                      by background re-optimization
+            | "bye" ID                leave acknowledged
+            | "ctrl-ok" WHAT          control event applied
+            | "err" MESSAGE           malformed or inconsistent input
+    v}
+
+    Parsing never raises: malformed lines surface as [Error]. *)
+
+type ctrl =
+  | Crash of int
+  | Recover of int
+  | Degrade of int * float
+
+type event =
+  | Join of { id : int; node : int; zone : int }
+  | Leave of { id : int }
+  | Move of { id : int; zone : int }
+  | Ctrl of ctrl
+
+type line =
+  | Hello of { scenario : string; seed : int }
+  | Time of float
+  | Event of event
+  | End
+
+val magic : string
+(** ["cap-stream/1"], the hello tag. *)
+
+val parse_line : string -> (line, string) result
+(** Parse one request line (leading/trailing blanks and a trailing
+    [\r] tolerated). Blank lines and [#]-comments parse as errors — the
+    stream has no silent filler. *)
+
+val format_hello : scenario:string -> seed:int -> string
+val format_time : float -> string
+val format_event : event -> string
+val format_end : string
+
+type shed_reason =
+  | Admission    (** over [--max-inflight] *)
+  | Capacity     (** no alive server can absorb the client *)
+  | Zone_down    (** the client's zone is currently unassigned *)
+
+val shed_reason_to_string : shed_reason -> string
+
+type response =
+  | Assigned of { id : int; server : int }
+  | Shed of { id : int; reason : shed_reason }
+  | Readmitted of { id : int; server : int }
+  | Left of { id : int }
+  | Ctrl_ok of string
+  | Err of string
+
+val format_response : response -> string
+(** One line, no trailing newline. *)
+
+val parse_response : string -> (response, string) result
+(** Inverse of {!format_response}, for tests and stream consumers. *)

@@ -1,0 +1,46 @@
+(** Snapshot of one [capsim serve] daemon: the recipe to rebuild the
+    base world deterministically, the engine configuration, and the
+    engine's captured state (format v3).
+
+    Like {!Sim_run}, the world is not serialised: the spec records
+    scenario notation, seed and a content {!Sim_run.fingerprint} of
+    the generated world, and resume refuses to continue against a
+    world whose fingerprint differs. The engine state is stored
+    verbatim ({!Cap_service.Engine.checkpoint}), so a daemon restored
+    mid-stream continues bitwise-identically to one that was never
+    interrupted. *)
+
+type spec = {
+  scenario : string;  (** notation exactly as in the stream's hello *)
+  seed : int;
+  max_inflight : int option;
+  reopt_every : int;
+  reopt_moves : int;
+  world_fingerprint : string;
+}
+
+type t = {
+  spec : spec;
+  state : Cap_service.Engine.checkpoint;
+}
+
+val kind : string
+(** Envelope payload-kind tag for service-run snapshots. *)
+
+val of_engine :
+  scenario:string -> seed:int -> world:Cap_model.World.t ->
+  Cap_service.Engine.config -> Cap_service.Engine.t -> t
+
+val resume :
+  world:Cap_model.World.t -> t -> (Cap_service.Engine.t, string) result
+(** Rebuild the engine against [world], which must be regenerated from
+    the spec's recipe: a fingerprint mismatch (or shape mismatch) is
+    an [Error], never a silently wrong daemon. *)
+
+val config : t -> Cap_service.Engine.config
+
+val save : path:string -> t -> (unit, Envelope.error) result
+val load : path:string -> (t, Envelope.error) result
+
+val describe : t -> string
+(** One line for logs: scenario, seed, events seen and live clients. *)

@@ -88,6 +88,37 @@ let prop_migration_counts_accurate =
       let refreshed, migration = Incremental.refresh w ~previous:adapted in
       migration = Incremental.migration_between ~previous:adapted ~current:refreshed)
 
+let test_refresh_with_is_identical () =
+  (* the reusable-scratch path must be bitwise-identical to the
+     allocating one, including across repeated uses of one state *)
+  List.iter
+    (fun seed ->
+      let w, adapted = churned_state seed in
+      let state = Incremental.make_state w in
+      let fresh, fresh_m = Incremental.refresh ~max_zone_moves:4 w ~previous:adapted in
+      for _ = 1 to 2 do
+        let reused, reused_m =
+          Incremental.refresh_with state ~max_zone_moves:4 w ~previous:adapted
+        in
+        Alcotest.(check (array int)) "targets identical"
+          fresh.Assignment.target_of_zone reused.Assignment.target_of_zone;
+        Alcotest.(check (array int)) "contacts identical"
+          fresh.Assignment.contact_of_client reused.Assignment.contact_of_client;
+        Alcotest.(check int) "zone moves identical" fresh_m.Incremental.zone_moves
+          reused_m.Incremental.zone_moves;
+        Alcotest.(check int) "contact moves identical" fresh_m.Incremental.contact_moves
+          reused_m.Incremental.contact_moves
+      done)
+    [ 1; 2; 3 ]
+
+let test_refresh_with_wrong_shape_raises () =
+  let w, adapted = churned_state 1 in
+  let small = Fixtures.standard () in
+  let state = Incremental.make_state small in
+  match Incremental.refresh_with state w ~previous:adapted with
+  | _ -> Alcotest.fail "mismatched state must raise"
+  | exception Invalid_argument _ -> ()
+
 let tests =
   [
     ( "core/incremental",
@@ -98,6 +129,8 @@ let tests =
         case "improves pqos" test_improves_pqos;
         case "contact phase always runs" test_contact_phase_always_runs;
         case "wrong world raises" test_wrong_world_raises;
+        case "refresh_with is bitwise-identical" test_refresh_with_is_identical;
+        case "refresh_with rejects a mismatched state" test_refresh_with_wrong_shape_raises;
         QCheck_alcotest.to_alcotest prop_between_adapted_and_full;
         QCheck_alcotest.to_alcotest prop_migration_counts_accurate;
       ] );
