@@ -211,6 +211,16 @@ let make_tests () =
            zone := (!zone + 1) mod zones;
            Cap_service.Engine.handle engine
              (Cap_service.Proto.Move { id = 0; zone = !zone })));
+    (* WAL append: the durability cost on the event hot path — one
+       length+CRC framed write(2), fsync batched at the default 32. *)
+    Test.make ~name:"service/wal-append"
+      (let path = Filename.temp_file "cap_bench_wal" ".wal" in
+       let writer = Cap_service.Wal.create_writer ~path () in
+       at_exit (fun () ->
+           Cap_service.Wal.close_writer writer;
+           try Sys.remove path with Sys_error _ -> ());
+       let payload = "join 123456 654321 42" in
+       Staged.stage (fun () -> Cap_service.Wal.append writer payload));
     Test.make ~name:"substrate/dve-sim-60s"
       (Staged.stage (fun () ->
            Cap_sim.Dve_sim.run (Rng.split bench_rng) sim_config ~world:default_world

@@ -30,6 +30,10 @@ module Engine = Cap_service.Engine
 module Daemon = Cap_service.Daemon
 module Loadgen = Cap_service.Loadgen
 module Proto = Cap_service.Proto
+module Wal = Cap_service.Wal
+module Follower = Cap_service.Follower
+module Supervisor = Cap_service.Supervisor
+module Client = Cap_service.Client
 
 open Cmdliner
 
@@ -50,7 +54,7 @@ let exits =
          files.";
   ]
 
-let binary_version = "1.2.0"
+let binary_version = "1.3.0"
 
 let version_string =
   Printf.sprintf "capsim %s (snapshot format v%d)" binary_version
@@ -1235,6 +1239,7 @@ let loadgen_cmd =
                 | Proto.Hello { scenario; seed } -> Proto.format_hello ~scenario ~seed
                 | Proto.Time at -> Proto.format_time at
                 | Proto.Event event -> Proto.format_event event
+                | Proto.Resume seq -> Proto.format_resume seq
                 | Proto.End -> Proto.format_end);
               Buffer.add_char buf '\n';
               if Buffer.length buf >= 65536 then begin
@@ -1267,6 +1272,340 @@ let loadgen_cmd =
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
+
+type serve_params = {
+  sv_stdin : bool;
+  sv_listen : string option;
+  sv_expect : string option;
+  sv_algorithm : string;
+  sv_reopt_every : int;
+  sv_reopt_moves : int;
+  sv_max_inflight : int option;
+  sv_ck_path : string option;
+  sv_ck_every : int option;
+  sv_resume : string option;
+  sv_latency_jsonl : string option;
+  sv_quiet : bool;
+  sv_wal : string option;
+  sv_fsync_every : int;
+  sv_follow : bool;
+}
+
+let default_serve_params =
+  {
+    sv_stdin = false;
+    sv_listen = None;
+    sv_expect = None;
+    sv_algorithm = "GreZ-GreC";
+    sv_reopt_every = 512;
+    sv_reopt_moves = 8;
+    sv_max_inflight = None;
+    sv_ck_path = None;
+    sv_ck_every = None;
+    sv_resume = None;
+    sv_latency_jsonl = None;
+    sv_quiet = false;
+    sv_wal = None;
+    sv_fsync_every = 32;
+    sv_follow = false;
+  }
+
+(* hello -> engine: regenerate the world from the notation + seed, run
+   the batch bootstrap solve. Shared by serve and the torture harness's
+   in-process reference run so both build byte-identical daemons. *)
+let serve_resolve ~algorithm ~engine_config ~expect ~identity ~scenario ~seed =
+  let mismatch fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match expect with
+  | Some want when want <> scenario ->
+      mismatch "hello scenario %s does not match --expect %s" scenario want
+  | _ -> (
+      match Validate.scenario_notation scenario with
+      | Error issue ->
+          mismatch "invalid scenario in hello: %s" (Validate.describe issue)
+      | Ok parsed ->
+          let rng = Rng.create ~seed in
+          let world = World.generate rng parsed in
+          identity := Some (scenario, seed, world);
+          let assignment = Cap_core.Two_phase.run algorithm (Rng.split rng) world in
+          Ok (Engine.create ~world ~assignment engine_config))
+
+(* the serve engine room — also what the children of [capsim supervise]
+   run after fork (no exec), so everything is parameterised by
+   [serve_params] rather than read from Cmdliner *)
+let serve_main p =
+  Cap_obs.Control.enable ();
+  let usage m =
+    Printf.eprintf "serve: %s\n%!" m;
+    exit exit_usage
+  in
+  let broken m =
+    Printf.eprintf "serve: %s\n%!" m;
+    exit exit_violation
+  in
+  if p.sv_stdin = Option.is_some p.sv_listen then
+    usage "pick exactly one of --stdin and --listen SOCKET";
+  if p.sv_reopt_every < 0 then usage "--reopt-every: must be >= 0";
+  if p.sv_reopt_moves < 0 then usage "--reopt-moves: must be >= 0";
+  if p.sv_fsync_every < 0 then usage "--fsync-every: must be >= 0";
+  (match p.sv_max_inflight with
+  | Some n when n < 0 -> usage "--max-inflight: must be >= 0"
+  | _ -> ());
+  (match p.sv_ck_every, p.sv_ck_path with
+  | Some _, None -> usage "--checkpoint-every requires --checkpoint FILE"
+  | Some n, Some _ when n <= 0 -> usage "--checkpoint-every: must be positive"
+  | _ -> ());
+  if p.sv_follow && (p.sv_wal = None || p.sv_listen = None) then
+    usage "--follow needs --wal FILE and --listen SOCKET";
+  if p.sv_follow && Option.is_some p.sv_resume then
+    usage "--follow recovers from the WAL; --resume does not apply";
+  let algorithm =
+    match Cap_core.Two_phase.find p.sv_algorithm with
+    | Some a -> a
+    | None -> usage (Printf.sprintf "unknown algorithm: %s" p.sv_algorithm)
+  in
+  let snapshot =
+    match p.sv_resume with
+    | None -> None
+    | Some path -> (
+        match Service_run.load ~path with
+        | Ok snap -> Some snap
+        | Error e -> usage (Envelope.describe e))
+  in
+  let engine_config =
+    match snapshot with
+    | Some snap -> Service_run.config snap
+    | None ->
+        {
+          Engine.max_inflight = p.sv_max_inflight;
+          reopt_every = p.sv_reopt_every;
+          reopt_moves = p.sv_reopt_moves;
+        }
+  in
+  (* set by resolve (or the eager snapshot path), read by the sink *)
+  let identity = ref None in
+  let resolve ~scenario ~seed =
+    serve_resolve ~algorithm ~engine_config ~expect:p.sv_expect ~identity
+      ~scenario ~seed
+  in
+  let checkpoint_sink =
+    match p.sv_ck_path with
+    | None -> None
+    | Some path ->
+        Some
+          (fun engine ~wal_records ~response_seq ->
+            match !identity with
+            | None -> ()
+            | Some (scenario, seed, world) -> (
+                let snap =
+                  Service_run.of_engine ~wal_position:wal_records ~response_seq
+                    ~scenario ~seed ~world engine_config engine
+                in
+                match Service_run.save ~path snap with
+                | Ok () -> ()
+                | Error e ->
+                    Printf.eprintf "checkpoint write failed: %s\n%!"
+                      (Envelope.describe e)))
+  in
+  let daemon_config =
+    {
+      Daemon.resolve;
+      checkpoint_every = p.sv_ck_every;
+      checkpoint_sink;
+      echo_responses = not p.sv_quiet;
+      resume_window = Daemon.default_resume_window;
+    }
+  in
+  let note fmt = Printf.ksprintf (fun m -> Printf.eprintf "serve: %s\n%!" m) fmt in
+  (* --- build the session: fresh, snapshot+WAL recovery, or standby --- *)
+  let session =
+    if p.sv_follow then begin
+      (* hot standby: tail the primary's WAL until promoted (SIGUSR1) *)
+      let wal_path = Option.get p.sv_wal in
+      let promote_now = ref false in
+      Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> promote_now := true));
+      let orphaned () = Unix.getppid () = 1 in
+      let rec wait_for_wal () =
+        if (not (Sys.file_exists wal_path)) && not !promote_now then begin
+          if orphaned () then exit 0;
+          Unix.sleepf 0.02;
+          wait_for_wal ()
+        end
+      in
+      wait_for_wal ();
+      if not (Sys.file_exists wal_path) then begin
+        (* promoted before the primary wrote anything: start fresh *)
+        note "promoted with no WAL yet; starting fresh";
+        Daemon.make_session
+          ~wal:(Wal.create_writer ~fsync_every:p.sv_fsync_every ~path:wal_path ())
+          daemon_config
+      end
+      else
+        match Follower.create daemon_config ~path:wal_path with
+        | Error m -> usage m
+        | Ok follower ->
+            let rec tail () =
+              if not !promote_now then begin
+                if orphaned () then exit 0;
+                (match Follower.poll follower with
+                | Ok _ -> ()
+                | Error m -> broken (Printf.sprintf "standby tail: %s" m));
+                if not !promote_now then Unix.sleepf 0.02;
+                tail ()
+              end
+            in
+            tail ();
+            (match Follower.promote follower ~fsync_every:p.sv_fsync_every with
+            | Error m -> broken (Printf.sprintf "promotion failed: %s" m)
+            | Ok extra ->
+                note "promoted standby: %d records tailed, %d caught up at promotion"
+                  (Follower.records_applied follower) extra;
+                Follower.session follower)
+    end
+    else
+      match snapshot with
+      | Some snap -> (
+          (* eager resume: the engine must exist before the WAL suffix
+             can replay, so the hello is not what builds it here *)
+          let spec = snap.Service_run.spec in
+          let scenario = spec.Service_run.scenario in
+          let seed = spec.Service_run.seed in
+          (match p.sv_expect with
+          | Some want when want <> scenario ->
+              usage
+                (Printf.sprintf "snapshot is for %s, --expect says %s" scenario
+                   want)
+          | _ -> ());
+          let parsed =
+            match Validate.scenario_notation scenario with
+            | Ok s -> s
+            | Error issue ->
+                usage
+                  (Printf.sprintf "snapshot scenario: %s" (Validate.describe issue))
+          in
+          let world = World.generate (Rng.create ~seed) parsed in
+          identity := Some (scenario, seed, world);
+          let engine =
+            match Service_run.resume ~world snap with
+            | Ok e -> e
+            | Error m -> usage m
+          in
+          let wal, suffix =
+            match p.sv_wal with
+            | None -> (None, [])
+            | Some path ->
+                if not (Sys.file_exists path) then
+                  usage
+                    (Printf.sprintf
+                       "--resume with --wal %s: the log is missing, so events \
+                        past the snapshot are unrecoverable"
+                       path)
+                else (
+                  match Wal.open_append ~fsync_every:p.sv_fsync_every ~path () with
+                  | Error e -> usage (Wal.describe_read_error e)
+                  | Ok (writer, records) ->
+                      let have = List.length records in
+                      if have < spec.Service_run.wal_position then
+                        usage
+                          (Printf.sprintf
+                             "snapshot is ahead of the WAL (%d records recorded, \
+                              %d in the log)"
+                             spec.Service_run.wal_position have)
+                      else
+                        ( Some writer,
+                          List.filteri
+                            (fun i _ -> i >= spec.Service_run.wal_position)
+                            records ))
+          in
+          let session =
+            Daemon.resume_session ?wal daemon_config ~engine ~scenario ~seed
+              ~wal_records:spec.Service_run.wal_position
+              ~response_seq:spec.Service_run.response_seq
+          in
+          match Daemon.replay session suffix with
+          | Ok () ->
+              if suffix <> [] then
+                note "recovered %d WAL records past the snapshot"
+                  (List.length suffix);
+              session
+          | Error m -> broken (Printf.sprintf "WAL replay failed: %s" m))
+      | None -> (
+          match p.sv_wal with
+          | None -> Daemon.make_session daemon_config
+          | Some path ->
+              if not (Sys.file_exists path) then
+                Daemon.make_session
+                  ~wal:(Wal.create_writer ~fsync_every:p.sv_fsync_every ~path ())
+                  daemon_config
+              else (
+                (* crash recovery from the log alone: replay everything *)
+                match Wal.open_append ~fsync_every:p.sv_fsync_every ~path () with
+                | Error e -> usage (Wal.describe_read_error e)
+                | Ok (writer, records) -> (
+                    let session = Daemon.make_session ~wal:writer daemon_config in
+                    match Daemon.replay session records with
+                    | Ok () ->
+                        if records <> [] then
+                          note "recovered %d WAL records" (List.length records);
+                        session
+                    | Error m -> broken (Printf.sprintf "WAL replay failed: %s" m))))
+  in
+  let result =
+    match p.sv_listen with
+    | Some path -> (
+        match Daemon.serve_unix_session session ~path with
+        | Ok stats -> Ok stats
+        | Error (Daemon.Bind e) ->
+            (* structured diagnostic + usage exit, not a raw Unix_error *)
+            Printf.eprintf "serve: %s\n%!" (Daemon.describe_bind_error e);
+            exit exit_usage
+        | Error (Daemon.Fatal m) -> Error m)
+    | None -> Daemon.serve_session session ~input:stdin ~output:stdout
+  in
+  let write_latency () =
+    match p.sv_latency_jsonl with
+    | None -> ()
+    | Some file ->
+        Cap_obs.Jsonl.write_metrics file;
+        Printf.eprintf "wrote metrics JSONL to %s\n" file
+  in
+  match result with
+  | Error m ->
+      write_latency ();
+      Printf.eprintf "serve: %s\n" m;
+      exit_usage
+  | Ok stats ->
+      write_latency ();
+      let latency = Daemon.latency_histogram () in
+      let q pct =
+        let v = Cap_obs.Metrics.Histogram.quantile latency pct in
+        if Float.is_finite v then Printf.sprintf "%.0f" (v *. 1e6) else "-"
+      in
+      let rate =
+        if stats.Daemon.wall_s > 0. then
+          float_of_int stats.Daemon.events /. stats.Daemon.wall_s
+        else 0.
+      in
+      let shed_rate =
+        if stats.Daemon.events > 0 then
+          float_of_int stats.Daemon.sheds /. float_of_int stats.Daemon.events
+        else 0.
+      in
+      Printf.eprintf
+        "serve: %d events in %.3fs (%.0f events/s), latency p50=%sus p99=%sus, %d \
+         sheds (rate %.4f), %d readmits, %d reopts, %d resumes, %d live, %d still \
+         shed, %d protocol errors\n"
+        stats.Daemon.events stats.Daemon.wall_s rate (q 0.5) (q 0.99)
+        stats.Daemon.sheds shed_rate stats.Daemon.readmits stats.Daemon.reopts
+        stats.Daemon.resumes stats.Daemon.live stats.Daemon.shed_pool
+        stats.Daemon.errors;
+      if stats.Daemon.violations <> [] then begin
+        Printf.eprintf "INVARIANT VIOLATIONS (%d):\n"
+          (List.length stats.Daemon.violations);
+        List.iter (Printf.eprintf "  %s\n") stats.Daemon.violations;
+        exit_violation
+      end
+      else if stats.Daemon.errors > 0 then exit_usage
+      else 0
 
 let serve_cmd =
   let stdin_arg =
@@ -1333,158 +1672,59 @@ let serve_cmd =
     let doc = "Do not echo responses (placement answers) to the output channel." in
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
   in
-  let run obs use_stdin listen expect algorithm reopt_every reopt_moves max_inflight
-      ck_path ck_every resume latency_jsonl quiet =
+  let wal_arg =
+    let doc =
+      "Append every accepted request line to a write-ahead log at $(docv) before \
+       answering it. If the file already exists the daemon first replays it \
+       (crash recovery), truncating any torn tail, then continues appending."
+    in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"FILE" ~doc)
+  in
+  let fsync_every_arg =
+    let doc =
+      "fsync the WAL every $(docv) appended records (0 = only at shutdown). \
+       Batching trades machine-crash durability for throughput; process crashes \
+       (SIGKILL) lose nothing at any setting."
+    in
+    Arg.(value & opt int 32 & info [ "fsync-every" ] ~docv:"N" ~doc)
+  in
+  let follow_arg =
+    let doc =
+      "Run as a hot standby: tail the primary's WAL (given by $(b,--wal)), \
+       applying records as they land, and take over serving on SIGUSR1 \
+       (promotion). Requires $(b,--listen)."
+    in
+    Arg.(value & flag & info [ "follow" ] ~doc)
+  in
+  let run obs sv_stdin sv_listen sv_expect sv_algorithm sv_reopt_every sv_reopt_moves
+      sv_max_inflight sv_ck_path sv_ck_every sv_resume sv_latency_jsonl sv_quiet
+      sv_wal sv_fsync_every sv_follow =
     with_obs obs @@ fun () ->
-    (* the daemon always records metrics (the latency histogram is its
-       service-level report); spans stay on the main domain, so this is
-       safe at any --jobs *)
-    Cap_obs.Control.enable ();
-    let usage m =
-      Printf.eprintf "serve: %s\n" m;
-      exit exit_usage
-    in
-    if use_stdin = Option.is_some listen then
-      usage "pick exactly one of --stdin and --listen SOCKET";
-    if reopt_every < 0 then usage "--reopt-every: must be >= 0";
-    if reopt_moves < 0 then usage "--reopt-moves: must be >= 0";
-    (match max_inflight with
-    | Some n when n < 0 -> usage "--max-inflight: must be >= 0"
-    | _ -> ());
-    (match ck_every, ck_path with
-    | Some _, None -> usage "--checkpoint-every requires --checkpoint FILE"
-    | Some n, Some _ when n <= 0 -> usage "--checkpoint-every: must be positive"
-    | _ -> ());
-    let algorithm =
-      match Cap_core.Two_phase.find algorithm with
-      | Some a -> a
-      | None -> usage (Printf.sprintf "unknown algorithm: %s" algorithm)
-    in
-    let snapshot =
-      match resume with
-      | None -> None
-      | Some path -> (
-          match Service_run.load ~path with
-          | Ok snap -> Some snap
-          | Error e -> usage (Envelope.describe e))
-    in
-    let engine_config =
-      match snapshot with
-      | Some snap -> Service_run.config snap
-      | None -> { Engine.max_inflight; reopt_every; reopt_moves }
-    in
-    (* set by resolve, read by the checkpoint sink *)
-    let identity = ref None in
-    let resolve ~scenario ~seed =
-      let mismatch fmt = Printf.ksprintf (fun m -> Error m) fmt in
-      match expect with
-      | Some want when want <> scenario ->
-          mismatch "hello scenario %s does not match --expect %s" scenario want
-      | _ -> (
-          match Validate.scenario_notation scenario with
-          | Error issue ->
-              mismatch "invalid scenario in hello: %s" (Validate.describe issue)
-          | Ok parsed -> (
-              let rng = Rng.create ~seed in
-              let world = World.generate rng parsed in
-              identity := Some (scenario, seed, world);
-              match snapshot with
-              | Some snap ->
-                  if
-                    snap.Service_run.spec.Service_run.scenario <> scenario
-                    || snap.Service_run.spec.Service_run.seed <> seed
-                  then
-                    mismatch "snapshot is for %s seed %d, stream says %s seed %d"
-                      snap.Service_run.spec.Service_run.scenario
-                      snap.Service_run.spec.Service_run.seed scenario seed
-                  else Service_run.resume ~world snap
-              | None ->
-                  let assignment =
-                    Cap_core.Two_phase.run algorithm (Rng.split rng) world
-                  in
-                  Ok (Engine.create ~world ~assignment engine_config)))
-    in
-    let checkpoint_sink =
-      match ck_path with
-      | None -> None
-      | Some path ->
-          Some
-            (fun engine ->
-              match !identity with
-              | None -> ()
-              | Some (scenario, seed, world) -> (
-                  let snap =
-                    Service_run.of_engine ~scenario ~seed ~world engine_config engine
-                  in
-                  match Service_run.save ~path snap with
-                  | Ok () -> ()
-                  | Error e ->
-                      Printf.eprintf "checkpoint write failed: %s\n%!"
-                        (Envelope.describe e)))
-    in
-    let daemon_config =
+    serve_main
       {
-        Daemon.resolve;
-        checkpoint_every = ck_every;
-        checkpoint_sink;
-        echo_responses = not quiet;
+        sv_stdin;
+        sv_listen;
+        sv_expect;
+        sv_algorithm;
+        sv_reopt_every;
+        sv_reopt_moves;
+        sv_max_inflight;
+        sv_ck_path;
+        sv_ck_every;
+        sv_resume;
+        sv_latency_jsonl;
+        sv_quiet;
+        sv_wal;
+        sv_fsync_every;
+        sv_follow;
       }
-    in
-    let result =
-      match listen with
-      | Some path -> Daemon.serve_unix daemon_config ~path
-      | None -> Daemon.serve daemon_config ~input:stdin ~output:stdout
-    in
-    let write_latency () =
-      match latency_jsonl with
-      | None -> ()
-      | Some file ->
-          Cap_obs.Jsonl.write_metrics file;
-          Printf.eprintf "wrote metrics JSONL to %s\n" file
-    in
-    match result with
-    | Error m ->
-        write_latency ();
-        Printf.eprintf "serve: %s\n" m;
-        exit_usage
-    | Ok stats ->
-        write_latency ();
-        let latency = Daemon.latency_histogram () in
-        let q p =
-          let v = Cap_obs.Metrics.Histogram.quantile latency p in
-          if Float.is_finite v then Printf.sprintf "%.0f" (v *. 1e6) else "-"
-        in
-        let rate =
-          if stats.Daemon.wall_s > 0. then
-            float_of_int stats.Daemon.events /. stats.Daemon.wall_s
-          else 0.
-        in
-        let shed_rate =
-          if stats.Daemon.events > 0 then
-            float_of_int stats.Daemon.sheds /. float_of_int stats.Daemon.events
-          else 0.
-        in
-        Printf.eprintf
-          "serve: %d events in %.3fs (%.0f events/s), latency p50=%sus p99=%sus, %d \
-           sheds (rate %.4f), %d readmits, %d reopts, %d live, %d still shed, %d \
-           protocol errors\n"
-          stats.Daemon.events stats.Daemon.wall_s rate (q 0.5) (q 0.99)
-          stats.Daemon.sheds shed_rate stats.Daemon.readmits stats.Daemon.reopts
-          stats.Daemon.live stats.Daemon.shed_pool stats.Daemon.errors;
-        if stats.Daemon.violations <> [] then begin
-          Printf.eprintf "INVARIANT VIOLATIONS (%d):\n"
-            (List.length stats.Daemon.violations);
-          List.iter (Printf.eprintf "  %s\n") stats.Daemon.violations;
-          exit_violation
-        end
-        else if stats.Daemon.errors > 0 then exit_usage
-        else 0
   in
   let term =
     Term.(
       const run $ obs_term $ stdin_arg $ listen_arg $ expect_arg $ algorithm_arg
       $ reopt_every_arg $ reopt_moves_arg $ max_inflight_arg $ ck_path_arg
-      $ ck_every_arg $ resume_arg $ latency_jsonl_arg $ quiet_arg)
+      $ ck_every_arg $ resume_arg $ latency_jsonl_arg $ quiet_arg $ wal_arg
+      $ fsync_every_arg $ follow_arg)
   in
   Cmd.v
     (Cmd.info "serve" ~exits
@@ -1494,9 +1734,584 @@ let serve_cmd =
           contact-server placement in bounded time, shed what cannot be admitted, and \
           re-optimize in the background every $(b,--reopt-every) events. The world is \
           regenerated from the stream's hello line (scenario notation + seed); the \
-          initial population gets a batch two-phase solve. Exits 0 on a clean stream, \
-          1 if the final self-check reports invariant violations, 2 on protocol \
-          errors or unusable flags.")
+          initial population gets a batch two-phase solve. With $(b,--wal) every \
+          accepted line is logged before its response, so a killed daemon recovers \
+          by replay; $(b,--follow) runs a hot standby that tails the log and is \
+          promoted with SIGUSR1. Exits 0 on a clean stream, 1 if the final \
+          self-check reports invariant violations, 2 on protocol errors, unusable \
+          flags, or an unbindable socket.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* supervise                                                           *)
+
+type supervise_params = {
+  sp_serve : serve_params;  (** template for the children *)
+  sp_socket : string;
+  sp_wal : string;
+  sp_standby : bool;
+  sp_pid_file : string option;
+  sp_backoff_base : float;
+  sp_backoff_max : float;
+  sp_crash_window : float;
+  sp_max_crashes : int;
+}
+
+(* fork-without-exec: the children run [serve_main] directly, so the
+   supervisor must never have spawned Cap_par domains before forking *)
+let supervise_main p =
+  let write_pid pid =
+    match p.sp_pid_file with
+    | None -> ()
+    | Some path ->
+        let tmp = path ^ ".tmp" in
+        Out_channel.with_open_bin tmp (fun out ->
+            Printf.fprintf out "%d\n" pid);
+        Sys.rename tmp path
+  in
+  let child_params role =
+    match role with
+    | Supervisor.Primary ->
+        {
+          p.sp_serve with
+          sv_stdin = false;
+          sv_listen = Some p.sp_socket;
+          sv_wal = Some p.sp_wal;
+          sv_follow = false;
+          (* a restart resumes from the latest checkpoint when there is
+             one; the WAL suffix replay covers the rest *)
+          sv_resume =
+            (match p.sp_serve.sv_ck_path with
+            | Some ck when Sys.file_exists ck -> Some ck
+            | _ -> None);
+        }
+    | Supervisor.Standby ->
+        {
+          p.sp_serve with
+          sv_stdin = false;
+          sv_listen = Some p.sp_socket;
+          sv_wal = Some p.sp_wal;
+          sv_follow = true;
+          sv_resume = None;
+          sv_ck_path = None;
+          sv_ck_every = None;
+        }
+  in
+  let spawn role =
+    let params = child_params role in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          try serve_main params
+          with e ->
+            Printf.eprintf "serve (%s): %s\n%!" (Supervisor.role_name role)
+              (Printexc.to_string e);
+            3
+        in
+        flush stdout;
+        flush stderr;
+        Unix._exit code
+    | pid ->
+        if role = Supervisor.Primary then write_pid pid;
+        Ok pid
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "fork: %s" (Unix.error_message e))
+  in
+  let rec wait () =
+    match Unix.wait () with
+    | r -> r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  let actions =
+    {
+      Supervisor.spawn;
+      promote =
+        (fun ~pid ->
+          match Unix.kill pid Sys.sigusr1 with
+          | () ->
+              write_pid pid;
+              Ok ()
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "kill -USR1 %d: %s" pid (Unix.error_message e)));
+      wait;
+      kill =
+        (fun ~pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      sleep = Unix.sleepf;
+      now = Unix.gettimeofday;
+      log = (fun m -> Printf.eprintf "supervise: %s\n%!" m);
+    }
+  in
+  let config =
+    {
+      Supervisor.backoff_base = p.sp_backoff_base;
+      backoff_max = p.sp_backoff_max;
+      crash_window = p.sp_crash_window;
+      max_crashes = p.sp_max_crashes;
+      with_standby = p.sp_standby;
+    }
+  in
+  let outcome = Supervisor.run config actions in
+  (* reap whatever the policy killed so nothing leaks as a zombie *)
+  (try
+     while fst (Unix.waitpid [ Unix.WNOHANG ] (-1)) <> 0 do
+       ()
+     done
+   with Unix.Unix_error _ -> ());
+  Printf.eprintf "supervise: %s\n%!" (Supervisor.describe_outcome outcome);
+  match outcome with
+  | Supervisor.Clean_exit -> 0
+  | Supervisor.Crash_loop _ -> exit_violation
+  | Supervisor.Unrecoverable _ | Supervisor.Action_error _ -> exit_usage
+
+let supervise_cmd =
+  let socket_arg =
+    let doc = "Unix-domain socket the supervised daemon serves on." in
+    Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"SOCKET" ~doc)
+  in
+  let wal_arg =
+    let doc = "Write-ahead log shared by the primary and any standby." in
+    Arg.(required & opt (some string) None & info [ "wal" ] ~docv:"FILE" ~doc)
+  in
+  let standby_arg =
+    let doc =
+      "Keep a hot standby tailing the WAL; on a primary crash it is promoted \
+       (SIGUSR1) instead of cold-restarting."
+    in
+    Arg.(value & flag & info [ "standby" ] ~doc)
+  in
+  let pid_file_arg =
+    let doc = "Track the current primary's pid in $(docv) (updated on failover)." in
+    Arg.(value & opt (some string) None & info [ "pid-file" ] ~docv:"FILE" ~doc)
+  in
+  let backoff_base_arg =
+    let doc = "Initial restart backoff in seconds (doubles per crash in the window)." in
+    Arg.(value & opt float 0.1 & info [ "backoff-base" ] ~docv:"SECONDS" ~doc)
+  in
+  let backoff_max_arg =
+    let doc = "Backoff ceiling in seconds." in
+    Arg.(value & opt float 5.0 & info [ "backoff-max" ] ~docv:"SECONDS" ~doc)
+  in
+  let crash_window_arg =
+    let doc = "Sliding window in seconds for the crash-loop circuit breaker." in
+    Arg.(value & opt float 30.0 & info [ "crash-window" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_crashes_arg =
+    let doc = "Crashes tolerated inside the window before the breaker opens." in
+    Arg.(value & opt int 5 & info [ "max-crashes" ] ~docv:"N" ~doc)
+  in
+  let expect_arg =
+    let doc = "Refuse streams whose hello names a different scenario." in
+    Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"CONF" ~doc)
+  in
+  let algorithm_arg =
+    let doc = "Bootstrap algorithm for the initial batch solve." in
+    Arg.(value & opt string "GreZ-GreC" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let ck_path_arg =
+    let doc = "Checkpoint file the primary writes and restarts resume from." in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let ck_every_arg =
+    let doc = "Capture a snapshot every $(docv) events (requires $(b,--checkpoint))." in
+    Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"EVENTS" ~doc)
+  in
+  let fsync_every_arg =
+    let doc = "WAL fsync batching, as for $(b,serve)." in
+    Arg.(value & opt int 32 & info [ "fsync-every" ] ~docv:"N" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Daemon does not echo responses." in
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+  in
+  let run obs socket wal standby pid_file backoff_base backoff_max crash_window
+      max_crashes expect algorithm ck_path ck_every fsync_every quiet =
+    with_obs obs @@ fun () ->
+    if backoff_base < 0. || backoff_max < 0. then begin
+      Printf.eprintf "supervise: backoff values must be >= 0\n";
+      exit exit_usage
+    end;
+    if max_crashes < 0 then begin
+      Printf.eprintf "supervise: --max-crashes must be >= 0\n";
+      exit exit_usage
+    end;
+    supervise_main
+      {
+        sp_serve =
+          {
+            default_serve_params with
+            sv_expect = expect;
+            sv_algorithm = algorithm;
+            sv_ck_path = ck_path;
+            sv_ck_every = ck_every;
+            sv_fsync_every = fsync_every;
+            sv_quiet = quiet;
+          };
+        sp_socket = socket;
+        sp_wal = wal;
+        sp_standby = standby;
+        sp_pid_file = pid_file;
+        sp_backoff_base = backoff_base;
+        sp_backoff_max = backoff_max;
+        sp_crash_window = crash_window;
+        sp_max_crashes = max_crashes;
+      }
+  in
+  let term =
+    Term.(
+      const run $ obs_term $ socket_arg $ wal_arg $ standby_arg $ pid_file_arg
+      $ backoff_base_arg $ backoff_max_arg $ crash_window_arg $ max_crashes_arg
+      $ expect_arg $ algorithm_arg $ ck_path_arg $ ck_every_arg $ fsync_every_arg
+      $ quiet_arg)
+  in
+  Cmd.v
+    (Cmd.info "supervise" ~exits
+       ~doc:
+         "Run $(b,capsim serve --listen) under supervision: the daemon is forked, \
+          restarted with exponential backoff when it crashes, and guarded by a \
+          crash-loop circuit breaker. With $(b,--standby) a second daemon tails \
+          the WAL and is promoted in place of a cold restart when the primary \
+          dies. Exits 0 when the daemon finishes cleanly, 1 when the breaker \
+          opens, 2 on unrecoverable configuration.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* torture                                                             *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let make_temp_dir prefix =
+  let base = Filename.get_temp_dir_name () in
+  let rec go n =
+    let path =
+      Filename.concat base
+        (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) n)
+    in
+    match Unix.mkdir path 0o700 with
+    | () -> path
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (n + 1)
+  in
+  go 0
+
+let torture_cmd =
+  let rate_arg =
+    let doc = "Mean event rate of the generated stream, events/s." in
+    Arg.(value & opt float 2_000. & info [ "rate" ] ~docv:"EVENTS/S" ~doc)
+  in
+  let duration_arg =
+    let doc = "Stream length in seconds of stream time." in
+    Arg.(value & opt float 1. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let kills_arg =
+    let doc = "SIGKILLs delivered to the primary, evenly spaced over the stream." in
+    Arg.(value & opt int 2 & info [ "kills" ] ~docv:"N" ~doc)
+  in
+  let no_standby_arg =
+    let doc =
+      "Exercise the cold-restart path (WAL replay) instead of hot-standby \
+       failover."
+    in
+    Arg.(value & flag & info [ "no-standby" ] ~doc)
+  in
+  let fsync_every_arg =
+    let doc = "WAL fsync batching for the daemons under test." in
+    Arg.(value & opt int 32 & info [ "fsync-every" ] ~docv:"N" ~doc)
+  in
+  let keep_arg =
+    let doc = "Keep the work directory (WAL, reference stream, artifacts)." in
+    Arg.(value & flag & info [ "keep" ] ~doc)
+  in
+  let dir_arg =
+    let doc = "Work directory (default: a fresh one under TMPDIR)." in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let run obs config seed rate duration kills no_standby fsync_every keep dir =
+    with_obs obs @@ fun () ->
+    Cap_obs.Control.enable ();
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "torture: %s\n%!" m;
+          exit exit_usage)
+        fmt
+    in
+    let scenario =
+      match scenario_of_string config with
+      | Ok s -> s
+      | Error (`Msg m) -> fail "%s" m
+    in
+    if kills < 0 then fail "--kills must be >= 0";
+    let gen_config =
+      { Loadgen.default_config with rate; duration; emit_time = true }
+    in
+    (match Loadgen.validate gen_config with
+    | Ok () -> ()
+    | Error m -> fail "%s" m);
+    let dir =
+      match dir with
+      | Some d ->
+          (try Unix.mkdir d 0o700
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          d
+      | None -> make_temp_dir "capsim-torture"
+    in
+    let in_dir f = Filename.concat dir f in
+    let socket = in_dir "daemon.sock" in
+    let wal = in_dir "daemon.wal" in
+    let pid_file = in_dir "primary.pid" in
+    let reference_file = in_dir "reference.txt" in
+    let notation = Scenario.notation scenario in
+    (* --- the prepared event stream (hello/end stripped: the client
+       frames its own) --- *)
+    let rng = Rng.create ~seed in
+    let world = World.generate rng scenario in
+    let events_rng = Rng.split rng in
+    let lines = ref [] in
+    let events =
+      Loadgen.run events_rng ~world ~world_seed:seed gen_config ~emit:(function
+        | Proto.Hello _ | Proto.End | Proto.Resume _ -> ()
+        | Proto.Time at -> lines := Proto.format_time at :: !lines
+        | Proto.Event event -> lines := Proto.format_event event :: !lines)
+    in
+    let lines = List.rev !lines in
+    Printf.eprintf "torture: %s seed %d — %d events (%d lines), %d kill(s), %s\n%!"
+      notation seed events (List.length lines) kills
+      (if no_standby then "cold restart" else "hot standby");
+    (* --- reference run: the uninterrupted response stream. Forked so
+       the solver's Cap_par domains never exist in this process, which
+       must keep forking cleanly afterwards. --- *)
+    let stream_file = in_dir "stream.txt" in
+    Out_channel.with_open_bin stream_file (fun out ->
+        output_string out (Proto.format_hello ~scenario:notation ~seed);
+        output_char out '\n';
+        List.iter
+          (fun l ->
+            output_string out l;
+            output_char out '\n')
+          lines;
+        output_string out Proto.format_end;
+        output_char out '\n');
+    let reference_params =
+      {
+        default_serve_params with
+        sv_stdin = true;
+        sv_fsync_every = fsync_every;
+      }
+    in
+    flush stdout;
+    flush stderr;
+    let ref_pid =
+      match Unix.fork () with
+      | 0 ->
+          let code =
+            try
+              let input = open_in_bin stream_file in
+              let output = open_out_bin reference_file in
+              Unix.dup2 (Unix.descr_of_in_channel input) Unix.stdin;
+              Unix.dup2 (Unix.descr_of_out_channel output) Unix.stdout;
+              serve_main reference_params
+            with e ->
+              Printf.eprintf "torture reference: %s\n%!" (Printexc.to_string e);
+              3
+          in
+          flush stdout;
+          flush stderr;
+          Unix._exit code
+      | pid -> pid
+    in
+    (match Unix.waitpid [] ref_pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, status ->
+        let describe = function
+          | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+          | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+        in
+        fail "reference run failed (%s)" (describe status));
+    let reference =
+      In_channel.with_open_bin reference_file (fun ic ->
+          let rec go acc =
+            match In_channel.input_line ic with
+            | Some l -> go (l :: acc)
+            | None -> List.rev acc
+          in
+          go [])
+    in
+    (* --- the supervised service --- *)
+    let supervise_params =
+      {
+        sp_serve =
+          { default_serve_params with sv_fsync_every = fsync_every };
+        sp_socket = socket;
+        sp_wal = wal;
+        sp_standby = not no_standby;
+        sp_pid_file = Some pid_file;
+        sp_backoff_base = 0.02;
+        sp_backoff_max = 0.5;
+        sp_crash_window = 60.0;
+        sp_max_crashes = kills + 3;
+      }
+    in
+    flush stdout;
+    flush stderr;
+    let sup_pid =
+      match Unix.fork () with
+      | 0 ->
+          let code =
+            try supervise_main supervise_params
+            with e ->
+              Printf.eprintf "torture supervisor: %s\n%!" (Printexc.to_string e);
+              3
+          in
+          flush stdout;
+          flush stderr;
+          Unix._exit code
+      | pid -> pid
+    in
+    (* --- the client, with a SIGKILL schedule riding on received lines --- *)
+    let total = List.length reference in
+    let thresholds =
+      List.init kills (fun i -> total * (i + 1) / (kills + 1))
+    in
+    let received = ref 0 in
+    let fired = ref 0 in
+    let last_killed = ref (-1) in
+    let read_pid () =
+      match In_channel.with_open_bin pid_file In_channel.input_all with
+      | s -> int_of_string_opt (String.trim s)
+      | exception Sys_error _ -> None
+    in
+    let maybe_kill () =
+      if !fired < kills && !received >= List.nth thresholds !fired then
+        match read_pid () with
+        | Some pid when pid <> !last_killed -> (
+            match Unix.kill pid Sys.sigkill with
+            | () ->
+                last_killed := pid;
+                incr fired;
+                Printf.eprintf "torture: SIGKILL primary pid %d at response %d\n%!"
+                  pid !received
+            | exception Unix.Unix_error _ -> ())
+        | _ -> ()
+    in
+    let connect () =
+      match Client.unix_connect ~path:socket () with
+      | Error _ as e -> e
+      | Ok t ->
+          Ok
+            {
+              t with
+              Client.recv_line =
+                (fun () ->
+                  match t.Client.recv_line () with
+                  | Some _ as r ->
+                      incr received;
+                      maybe_kill ();
+                      r
+                  | None -> None);
+            }
+    in
+    let client_config =
+      Client.make_config ~max_attempts:200 ~max_episodes:(kills * 4 + 8)
+        ~backoff_base:0.005 ~backoff_max:0.2 ~connect ~scenario:notation ~seed
+        ~rng:(Rng.split rng) ()
+    in
+    let outcome = Client.run client_config ~lines in
+    let cleanup_failed () =
+      (match read_pid () with
+      | Some pid -> ( try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | None -> ());
+      (try Unix.kill sup_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] sup_pid)
+    in
+    match outcome with
+    | Error m ->
+        cleanup_failed ();
+        Printf.eprintf "torture: client gave up: %s (artifacts in %s)\n%!" m dir;
+        exit_violation
+    | Ok outcome ->
+        let sup_status =
+          match Unix.waitpid [] sup_pid with
+          | _, Unix.WEXITED c -> c
+          | _, _ -> -1
+        in
+        Cap_obs.Jsonl.write_metrics (in_dir "client-metrics.jsonl");
+        let recovery = Client.recovery_histogram () in
+        let q p =
+          let v = Cap_obs.Metrics.Histogram.quantile recovery p in
+          if Float.is_finite v then Printf.sprintf "%.0fms" (v *. 1e3) else "-"
+        in
+        (* --- the proof: byte-for-byte equality with the unbroken run --- *)
+        let rec first_divergence i ref_lines got_lines =
+          match ref_lines, got_lines with
+          | [], [] -> None
+          | r :: _, [] -> Some (i, r, "<missing>")
+          | [], g :: _ -> Some (i, "<end of reference>", g)
+          | r :: rt, g :: gt ->
+              if String.equal r g then first_divergence (i + 1) rt gt
+              else Some (i, r, g)
+        in
+        let divergence = first_divergence 0 reference outcome.Client.responses in
+        Printf.eprintf
+          "torture: %d/%d responses, %d reconnect(s), %d kill(s) fired, %d err \
+           line(s), supervisor exited %d, recovery p50=%s p95=%s max=%s\n%!"
+          (List.length outcome.Client.responses)
+          total outcome.Client.reconnects !fired
+          (List.length outcome.Client.errors)
+          sup_status (q 0.5) (q 0.95) (q 1.0);
+        let ok =
+          divergence = None && !fired = kills
+          && outcome.Client.errors = []
+          && sup_status = 0
+        in
+        if ok then begin
+          Printf.eprintf
+            "torture: PASS — client stream is byte-identical to the \
+             uninterrupted run\n%!";
+          if not keep then rm_rf dir
+          else Printf.eprintf "torture: artifacts kept in %s\n%!" dir;
+          0
+        end
+        else begin
+          (match divergence with
+          | Some (i, want, got) ->
+              Printf.eprintf
+                "torture: FAIL — stream diverges at response %d:\n  reference: \
+                 %s\n  observed:  %s\n"
+                i want got
+          | None -> ());
+          if !fired <> kills then
+            Printf.eprintf "torture: FAIL — only %d/%d kills fired\n" !fired kills;
+          if outcome.Client.errors <> [] then
+            Printf.eprintf "torture: FAIL — daemon answered err: %s\n"
+              (String.concat "; " outcome.Client.errors);
+          if sup_status <> 0 then
+            Printf.eprintf "torture: FAIL — supervisor exited %d\n" sup_status;
+          Printf.eprintf "torture: artifacts kept in %s\n%!" dir;
+          exit_violation
+        end
+  in
+  let term =
+    Term.(
+      const run $ obs_term $ config_arg $ seed_arg $ rate_arg $ duration_arg
+      $ kills_arg $ no_standby_arg $ fsync_every_arg $ keep_arg $ dir_arg)
+  in
+  Cmd.v
+    (Cmd.info "torture" ~exits
+       ~doc:
+         "Crash-recovery proof: run a supervised daemon, drive a seeded loadgen \
+          stream through the reconnecting client, SIGKILL the primary at seeded \
+          points mid-stream, and verify the client-observed response stream is \
+          byte-for-byte identical to an uninterrupted run. Reports client-side \
+          recovery-time percentiles. Exits 0 on an exact match, 1 on divergence \
+          or lost kills.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1511,7 +2326,15 @@ let validate_cmd =
     let doc = "Also validate this snapshot file (envelope, checksum and payload)." in
     Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
   in
-  let run obs config seed trace_csv snapshot =
+  let wal_arg =
+    let doc =
+      "Also report the health of this write-ahead log: record count, and whether \
+       the tail is clean, torn (recoverable — a crash mid-append), or the log is \
+       corrupted mid-stream (unrecoverable)."
+    in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"FILE" ~doc)
+  in
+  let run obs config seed trace_csv snapshot wal =
     with_obs obs @@ fun () ->
     let problem = ref false in
     (match Validate.scenario_notation config with
@@ -1566,10 +2389,27 @@ let validate_cmd =
         | Error e ->
             problem := true;
             Printf.eprintf "snapshot %s: %s\n" file (Envelope.describe e)));
+    (match wal with
+    | None -> ()
+    | Some file -> (
+        match Wal.read ~path:file with
+        | Ok (records, Wal.Clean) ->
+            Printf.printf "wal %s: ok — %d records, clean tail\n" file
+              (List.length records)
+        | Ok (records, Wal.Torn reason) ->
+            Printf.printf
+              "wal %s: ok — %d records, torn tail (%s); recoverable, the tail \
+               is truncated on the next open\n"
+              file (List.length records) reason
+        | Error e ->
+            problem := true;
+            Printf.eprintf "wal %s: %s\n" file (Wal.describe_read_error e)));
     if !problem then exit_usage else 0
   in
   let term =
-    Term.(const run $ obs_term $ config_arg $ seed_arg $ trace_csv_arg $ snapshot_arg)
+    Term.(
+      const run $ obs_term $ config_arg $ seed_arg $ trace_csv_arg $ snapshot_arg
+      $ wal_arg)
   in
   Cmd.v
     (Cmd.info "validate" ~exits
@@ -1587,7 +2427,8 @@ let () =
     Cmd.group info
       [
         report_cmd; run_cmd; compare_cmd; optimal_cmd; plan_cmd; sim_cmd; chaos_cmd;
-        resume_cmd; serve_cmd; loadgen_cmd; validate_cmd; plots_cmd;
+        resume_cmd; serve_cmd; supervise_cmd; torture_cmd; loadgen_cmd; validate_cmd;
+        plots_cmd;
       ]
   in
   (* ~catch:false + the handler below: user errors anywhere in the stack

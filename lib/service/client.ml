@@ -1,0 +1,295 @@
+module Metrics = Cap_obs.Metrics
+module Clock = Cap_obs.Clock
+module Rng = Cap_util.Rng
+
+type transport = {
+  send_line : string -> unit;
+  recv_line : unit -> string option;
+  has_input : unit -> bool;
+  close : unit -> unit;
+}
+
+type config = {
+  connect : unit -> (transport, string) result;
+  scenario : string;
+  seed : int;
+  max_attempts : int;
+  max_episodes : int;
+  backoff_base : float;
+  backoff_max : float;
+  rng : Rng.t;
+  sleep : float -> unit;
+}
+
+let make_config ?(max_attempts = 40) ?(max_episodes = 64) ?(backoff_base = 0.01)
+    ?(backoff_max = 0.5) ?(sleep = Unix.sleepf) ~connect ~scenario ~seed ~rng ()
+    =
+  {
+    connect;
+    scenario;
+    seed;
+    max_attempts;
+    max_episodes;
+    backoff_base;
+    backoff_max;
+    rng;
+    sleep;
+  }
+
+type outcome = {
+  responses : string list;
+  reconnects : int;
+  errors : string list;
+}
+
+let recovery_histogram () =
+  Metrics.Histogram.create
+    ~help:"client-observed failure-to-resume latency, seconds"
+    "service/recovery_seconds"
+
+exception Lost of string
+(* connection-level failure: reconnect and resume *)
+
+exception Fatal of string
+(* protocol-level refusal: retrying cannot help *)
+
+type state = {
+  mutable received : string list;  (* numbered responses, newest first *)
+  mutable n_received : int;
+  mutable tentative : string list;
+      (* responses after our [end] went out: the shutdown drain is
+         unnumbered, so these only commit on a clean EOF and are
+         discarded on reconnect (numbered stragglers among them get
+         replayed by resume, so nothing is lost or duplicated) *)
+  mutable cursor : int;  (* next line index to send *)
+  mutable sent_end : bool;
+  mutable reconnects : int;
+  mutable errs : string list;
+}
+
+let record st line =
+  match Proto.parse_response line with
+  | Ok (Proto.Err _) -> st.errs <- line :: st.errs
+  | Ok (Proto.Resume_ok _) -> raise (Lost "unsolicited resume-ok")
+  | Error m -> raise (Fatal (Printf.sprintf "unparseable response: %s" m))
+  | Ok _ ->
+      if st.sent_end then st.tentative <- line :: st.tentative
+      else begin
+        st.received <- line :: st.received;
+        st.n_received <- st.n_received + 1
+      end
+
+let connect_with_retry cfg =
+  let rec attempt i last_error =
+    if i >= cfg.max_attempts then
+      Error
+        (Printf.sprintf "gave up after %d connect attempts (%s)" i last_error)
+    else
+      match cfg.connect () with
+      | Ok t -> Ok t
+      | Error m ->
+          let delay =
+            Float.min cfg.backoff_max
+              (cfg.backoff_base *. Float.pow 2. (float_of_int i))
+          in
+          (* full-jitter-ish: spread retries over [delay/2, delay] so a
+             thundering herd of clients does not reconnect in lockstep *)
+          cfg.sleep (delay *. Rng.float_in cfg.rng 0.5 1.0);
+          attempt (i + 1) m
+  in
+  attempt 0 "no attempt"
+
+(* hello + resume + replay: runs on every connection (a fresh daemon
+   answers [resume 0] with [resume-ok 0 0]), so first connect and
+   reconnect share one code path. *)
+let handshake cfg conn st =
+  conn.send_line (Proto.format_hello ~scenario:cfg.scenario ~seed:cfg.seed);
+  conn.send_line (Proto.format_resume st.n_received);
+  let events, responses =
+    match conn.recv_line () with
+    | None -> raise (Lost "connection closed during handshake")
+    | Some line -> (
+        match Proto.parse_response line with
+        | Ok (Proto.Resume_ok { events; responses }) -> (events, responses)
+        | Ok (Proto.Err m) -> raise (Fatal (Printf.sprintf "resume refused: %s" m))
+        | _ -> raise (Lost "unexpected response during handshake"))
+  in
+  st.tentative <- [];
+  st.sent_end <- false;
+  for _ = 1 to responses - st.n_received do
+    match conn.recv_line () with
+    | None -> raise (Lost "connection closed mid-replay")
+    | Some line ->
+        st.received <- line :: st.received;
+        st.n_received <- st.n_received + 1
+  done;
+  (* exactly-once: the daemon has applied [events] of our lines, no
+     matter what was in flight when the last connection died *)
+  st.cursor <- events
+
+let drive conn st lines =
+  while st.cursor < Array.length lines do
+    conn.send_line lines.(st.cursor);
+    st.cursor <- st.cursor + 1;
+    while conn.has_input () do
+      match conn.recv_line () with
+      | None -> raise (Lost "connection closed mid-stream")
+      | Some line -> record st line
+    done
+  done;
+  conn.send_line Proto.format_end;
+  st.sent_end <- true;
+  let rec drain () =
+    match conn.recv_line () with
+    | None -> () (* clean EOF commits the tentative drain *)
+    | Some line ->
+        record st line;
+        drain ()
+  in
+  drain ()
+
+let run cfg ~lines =
+  let lines = Array.of_list lines in
+  let st =
+    {
+      received = [];
+      n_received = 0;
+      tentative = [];
+      cursor = 0;
+      sent_end = false;
+      reconnects = 0;
+      errs = [];
+    }
+  in
+  let rec episode n recovery_started =
+    if n > cfg.max_episodes then
+      Error (Printf.sprintf "gave up after %d reconnect episodes" cfg.max_episodes)
+    else
+      match connect_with_retry cfg with
+      | Error m -> Error m
+      | Ok conn -> (
+          match
+            handshake cfg conn st;
+            Option.iter
+              (fun t0 ->
+                Metrics.Histogram.observe (recovery_histogram ())
+                  (Clock.elapsed_since t0))
+              recovery_started;
+            drive conn st lines
+          with
+          | () ->
+              conn.close ();
+              Ok
+                {
+                  responses = List.rev_append st.received (List.rev st.tentative);
+                  reconnects = st.reconnects;
+                  errors = List.rev st.errs;
+                }
+          | exception Fatal m ->
+              conn.close ();
+              Error m
+          | exception
+              ( Lost _ | End_of_file
+              | Sys_error _
+              | Unix.Unix_error (_, _, _) ) ->
+              conn.close ();
+              st.reconnects <- st.reconnects + 1;
+              episode (n + 1) (Some (Clock.now ())))
+  in
+  episode 0 None
+
+(* ------------------------------------------------------------------ *)
+(* Unix-domain transport                                               *)
+
+let sigpipe_ignored =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+type ubuf = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable len : int;
+  mutable eof : bool;
+}
+
+let refill u =
+  if not u.eof then begin
+    if u.len = Bytes.length u.buf then begin
+      let grown = Bytes.create (max 4096 (2 * Bytes.length u.buf)) in
+      Bytes.blit u.buf 0 grown 0 u.len;
+      u.buf <- grown
+    end;
+    match Unix.read u.fd u.buf u.len (Bytes.length u.buf - u.len) with
+    | 0 -> u.eof <- true
+    | k -> u.len <- u.len + k
+  end
+
+let find_newline u =
+  let rec go i = if i >= u.len then None else if Bytes.get u.buf i = '\n' then Some i else go (i + 1) in
+  go 0
+
+let take_line u i =
+  let line = Bytes.sub_string u.buf 0 i in
+  Bytes.blit u.buf (i + 1) u.buf 0 (u.len - i - 1);
+  u.len <- u.len - i - 1;
+  let line =
+    if String.length line > 0 && line.[String.length line - 1] = '\r' then
+      String.sub line 0 (String.length line - 1)
+    else line
+  in
+  line
+
+let unix_connect ~path () =
+  Lazy.force sigpipe_ignored;
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd ->
+      let u = { fd; buf = Bytes.create 4096; len = 0; eof = false } in
+      let rec recv_line () =
+        match find_newline u with
+        | Some i -> Some (take_line u i)
+        | None ->
+            if u.eof then
+              if u.len = 0 then None
+              else begin
+                (* trailing bytes without a newline: surface then EOF *)
+                let line = Bytes.sub_string u.buf 0 u.len in
+                u.len <- 0;
+                Some line
+              end
+            else begin
+              refill u;
+              recv_line ()
+            end
+      in
+      let has_input () =
+        Option.is_some (find_newline u)
+        || u.eof
+        ||
+        match Unix.select [ u.fd ] [] [] 0. with
+        | [ _ ], _, _ -> true
+        | _ -> false
+      in
+      Ok
+        {
+          send_line =
+            (fun line -> write_all fd (Bytes.of_string (line ^ "\n")));
+          recv_line;
+          has_input;
+          close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+        }

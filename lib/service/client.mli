@@ -1,0 +1,82 @@
+(** A resilient [cap-stream/1] client: retry, reconnect, and
+    exactly-once resume.
+
+    The client drives a prepared line stream (hello and [end] are its
+    own business) against a daemon over an injectable {!transport} —
+    {!unix_connect} for real sockets, an in-memory shim in tests. When
+    the connection dies (EOF, [EPIPE], refused connect while the
+    supervisor restarts the daemon), it reconnects with exponential
+    backoff and jitter, then runs the resume handshake:
+
+    + send [hello] (idempotent — the daemon checks identity),
+    + send [resume N] where [N] is the count of numbered responses
+      received so far,
+    + read [resume-ok EVENTS RESPONSES]: the daemon has durably applied
+      [EVENTS] of our lines — the send cursor jumps there, so an event
+      that was in flight when the connection died is sent again only if
+      it never reached the WAL (exactly-once),
+    + read the [RESPONSES - N] replayed responses we missed.
+
+    Responses arriving after our [end] (the shutdown drain) are held
+    tentative: they are unnumbered, so they only commit on a clean EOF
+    and are discarded on a reconnect (any numbered stragglers among
+    them come back via replay). Consequence: the one failure window
+    this client cannot bridge is a daemon death between receiving
+    [end] and closing the connection — the drain of that particular
+    shutdown is lost (by design: an interrupted run re-derives its own
+    drain on the next [end]).
+
+    Each failure-to-resume episode is observed into the
+    [service/recovery_seconds] histogram — the client-side MTTR the
+    torture harness reports. *)
+
+type transport = {
+  send_line : string -> unit;  (** one line, no newline; may raise *)
+  recv_line : unit -> string option;  (** blocking; [None] = EOF *)
+  has_input : unit -> bool;  (** non-blocking readability probe *)
+  close : unit -> unit;
+}
+
+type config = {
+  connect : unit -> (transport, string) result;
+  scenario : string;
+  seed : int;
+  max_attempts : int;  (** connect attempts per episode *)
+  max_episodes : int;  (** reconnect episodes before giving up *)
+  backoff_base : float;
+  backoff_max : float;
+  rng : Cap_util.Rng.t;  (** jitter *)
+  sleep : float -> unit;
+}
+
+val make_config :
+  ?max_attempts:int ->
+  ?max_episodes:int ->
+  ?backoff_base:float ->
+  ?backoff_max:float ->
+  ?sleep:(float -> unit) ->
+  connect:(unit -> (transport, string) result) ->
+  scenario:string ->
+  seed:int ->
+  rng:Cap_util.Rng.t ->
+  unit ->
+  config
+
+type outcome = {
+  responses : string list;
+      (** every committed response line, in stream order — the
+          byte-identity subject of the torture proof *)
+  reconnects : int;
+  errors : string list;  (** [err] lines received (not numbered) *)
+}
+
+val recovery_histogram : unit -> Cap_obs.Metrics.Histogram.t
+
+val run : config -> lines:string list -> (outcome, string) result
+(** Drive [lines] (then [end]) to completion across as many
+    connections as it takes. [Error] = budget exhausted or the daemon
+    refused us (bad resume, unparseable response). *)
+
+val unix_connect : path:string -> unit -> (transport, string) result
+(** Connect to a daemon's Unix-domain socket. Ignores [SIGPIPE]
+    process-wide (first use) so a dead daemon surfaces as [EPIPE]. *)

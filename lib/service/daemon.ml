@@ -7,6 +7,7 @@ type stats = {
   sheds : int;
   readmits : int;
   reopts : int;
+  resumes : int;
   live : int;
   shed_pool : int;
   violations : string list;
@@ -21,99 +22,279 @@ let events_counter () = Metrics.Counter.create "service/events"
 let sheds_counter () = Metrics.Counter.create "service/sheds"
 let readmits_counter () = Metrics.Counter.create "service/readmits"
 let errors_counter () = Metrics.Counter.create "service/errors"
+let resumes_counter () = Metrics.Counter.create "service/resumes"
 
 type config = {
   resolve : scenario:string -> seed:int -> (Engine.t, string) result;
   checkpoint_every : int option;
-  checkpoint_sink : (Engine.t -> unit) option;
+  checkpoint_sink :
+    (Engine.t -> wal_records:int -> response_seq:int -> unit) option;
   echo_responses : bool;
+  resume_window : int;
 }
+
+let default_resume_window = 65536
 
 type session = {
   config : config;
   mutable engine : Engine.t option;
   mutable identity : (string * int) option;
   mutable errors : int;
+  mutable resumes : int;
   mutable started : float option;  (* Clock.now at the first hello *)
+  mutable wal : Wal.writer option;
+  mutable wal_records : int;
+      (* request records applied, hello included — equals the WAL
+         record count when a WAL is attached *)
+  mutable seq : int;       (* numbered responses emitted so far *)
+  mutable base_seq : int;  (* seq of log.(0) is base_seq + 1 *)
+  mutable log : string array;  (* formatted numbered responses *)
+  mutable log_len : int;
+  mutable replaying : bool;   (* replay rebuilds state: no WAL writes *)
+  mutable finalizing : bool;  (* shutdown drain: responses unnumbered *)
 }
 
-let make_session config =
-  { config; engine = None; identity = None; errors = 0; started = None }
+let make_session ?wal config =
+  {
+    config;
+    engine = None;
+    identity = None;
+    errors = 0;
+    resumes = 0;
+    started = None;
+    wal;
+    wal_records = 0;
+    seq = 0;
+    base_seq = 0;
+    log = [||];
+    log_len = 0;
+    replaying = false;
+    finalizing = false;
+  }
 
-let respond session output r =
+let resume_session ?wal config ~engine ~scenario ~seed ~wal_records ~response_seq
+    =
+  let session = make_session ?wal config in
+  session.engine <- Some engine;
+  session.identity <- Some (scenario, seed);
+  session.started <- Some (Clock.now ());
+  session.wal_records <- wal_records;
+  (* Responses up to the snapshot are not regenerated: resume replay
+     can only reach back to [response_seq]. Clients are guaranteed to
+     have received at least that much — responses are flushed before
+     the checkpoint that recorded it ran. *)
+  session.seq <- response_seq;
+  session.base_seq <- response_seq;
+  session
+
+let set_wal session wal = session.wal <- wal
+let session_engine session = session.engine
+let session_identity session = session.identity
+let wal_records session = session.wal_records
+let response_seq session = session.seq
+
+let events_applied session =
+  (* Request lines applied after the hello: the client-side journal
+     cursor handed back in resume-ok. *)
+  max 0 (session.wal_records - 1)
+
+let log_push session line =
+  if session.log_len = Array.length session.log then begin
+    let grown = Array.make (max 64 (2 * Array.length session.log)) "" in
+    Array.blit session.log 0 grown 0 session.log_len;
+    session.log <- grown
+  end;
+  session.log.(session.log_len) <- line;
+  session.log_len <- session.log_len + 1;
+  let window = session.config.resume_window in
+  if window > 0 && session.log_len > 2 * window then begin
+    (* Retention: keep the newest [window]; older responses age out of
+       resume range (a resume below [base_seq] is refused). *)
+    let drop = session.log_len - window in
+    Array.blit session.log drop session.log 0 window;
+    session.log_len <- window;
+    session.base_seq <- session.base_seq + drop
+  end
+
+(* Count, number, log and transmit one response. [Err] and [Resume_ok]
+   are control chatter — never numbered, never replayable. Shutdown
+   drain responses are likewise unnumbered: a resumed run re-derives
+   its own drain. *)
+let emit session send r =
   (match r with
   | Proto.Err _ ->
       session.errors <- session.errors + 1;
       Metrics.Counter.incr (errors_counter ())
   | Proto.Shed _ -> Metrics.Counter.incr (sheds_counter ())
   | Proto.Readmitted _ -> Metrics.Counter.incr (readmits_counter ())
-  | Proto.Assigned _ | Proto.Left _ | Proto.Ctrl_ok _ -> ());
-  if session.config.echo_responses then begin
-    output_string output (Proto.format_response r);
-    output_char output '\n'
-  end
+  | Proto.Assigned _ | Proto.Left _ | Proto.Ctrl_ok _ | Proto.Resume_ok _ -> ());
+  let line = Proto.format_response r in
+  (match r with
+  | Proto.Err _ | Proto.Resume_ok _ -> ()
+  | _ when session.finalizing -> ()
+  | _ ->
+      session.seq <- session.seq + 1;
+      log_push session line);
+  send line
+
+let wal_append session raw =
+  if not session.replaying then Option.iter (fun w -> Wal.append w raw) session.wal;
+  session.wal_records <- session.wal_records + 1
 
 let maybe_checkpoint session engine =
   match session.config.checkpoint_every, session.config.checkpoint_sink with
-  | Some every, Some sink when every > 0 && Engine.events_seen engine mod every = 0 ->
-      sink engine
+  | Some every, Some sink when every > 0 && Engine.events_seen engine mod every = 0
+    ->
+      sink engine ~wal_records:session.wal_records ~response_seq:session.seq
   | _ -> ()
+
+let handle_line session ~send raw =
+  match Proto.parse_line raw with
+  | Error e ->
+      emit session send (Proto.Err (Proto.describe_parse_error e));
+      `Continue
+  | Ok (Proto.Hello { scenario; seed }) -> (
+      match session.identity with
+      | Some (scenario0, seed0) ->
+          if scenario0 <> scenario || seed0 <> seed then
+            emit session send
+              (Proto.Err
+                 (Printf.sprintf "hello mismatch: serving %s seed %d" scenario0
+                    seed0));
+          `Continue
+      | None -> (
+          match session.config.resolve ~scenario ~seed with
+          | Error message ->
+              emit session send (Proto.Err message);
+              `Fatal message
+          | Ok engine ->
+              session.engine <- Some engine;
+              session.identity <- Some (scenario, seed);
+              session.started <- Some (Clock.now ());
+              (* WAL the hello (record 0): the log is self-describing. *)
+              wal_append session raw;
+              `Continue))
+  | Ok (Proto.Time at) ->
+      (match session.engine with
+      | None -> () (* clock before hello: tolerated filler, as before *)
+      | Some engine ->
+          wal_append session raw;
+          Engine.note_time engine at);
+      `Continue
+  | Ok (Proto.Resume wants) -> (
+      match session.engine with
+      | None ->
+          emit session send (Proto.Err "resume before hello");
+          `Continue
+      | Some _ ->
+          if wants > session.seq then begin
+            emit session send
+              (Proto.Err
+                 (Printf.sprintf "resume %d is ahead of the stream (at %d)"
+                    wants session.seq));
+            `Continue
+          end
+          else if wants < session.base_seq then begin
+            emit session send
+              (Proto.Err
+                 (Printf.sprintf
+                    "resume %d predates the retention window (oldest %d)" wants
+                    session.base_seq));
+            `Continue
+          end
+          else begin
+            session.resumes <- session.resumes + 1;
+            Metrics.Counter.incr (resumes_counter ());
+            emit session send
+              (Proto.Resume_ok
+                 { events = events_applied session; responses = session.seq });
+            for i = wants - session.base_seq to session.log_len - 1 do
+              send session.log.(i)
+            done;
+            `Continue
+          end)
+  | Ok Proto.End -> `End
+  | Ok (Proto.Event event) -> (
+      match session.engine with
+      | None ->
+          emit session send (Proto.Err "event before hello");
+          `Continue
+      | Some engine ->
+          (* Durability before acknowledgement: the record hits the WAL
+             (a completed write(2)) before any response leaves. *)
+          wal_append session raw;
+          let t0 = Clock.now () in
+          let responses = Engine.handle engine event in
+          Metrics.Histogram.observe (latency_histogram ()) (Clock.elapsed_since t0);
+          Metrics.Counter.incr (events_counter ());
+          List.iter (emit session send) responses;
+          maybe_checkpoint session engine;
+          `Continue)
+
+let replay session records =
+  session.replaying <- true;
+  Fun.protect
+    ~finally:(fun () -> session.replaying <- false)
+    (fun () ->
+      let problems = ref [] in
+      let send _ = () in
+      List.iter
+        (fun raw ->
+          let errors0 = session.errors in
+          (match handle_line session ~send raw with
+          | `Continue -> ()
+          | `End | `Fatal _ ->
+              problems := Printf.sprintf "unexpected WAL record %S" raw :: !problems);
+          if session.errors > errors0 then
+            problems := Printf.sprintf "rejected WAL record %S" raw :: !problems)
+        records;
+      match List.rev !problems with
+      | [] -> Ok ()
+      | ps -> Error (String.concat "; " ps))
+
+(* ------------------------------------------------------------------ *)
+(* Channel plumbing                                                    *)
+
+(* Bounded line reader: never buffers past the protocol's line bound;
+   an overlong line is consumed (to the newline) but only its length is
+   kept. *)
+let read_line_bounded input =
+  let buf = Buffer.create 128 in
+  let finish n =
+    if n > Proto.max_line_bytes then `Oversized n else `Line (Buffer.contents buf)
+  in
+  let rec go n =
+    match input_char input with
+    | exception End_of_file -> if n = 0 then `Eof else finish n
+    | '\n' -> finish n
+    | c ->
+        if n < Proto.max_line_bytes then Buffer.add_char buf c;
+        go (n + 1)
+  in
+  go 0
 
 (* One stream of lines against the session. [`End] is an explicit
    shutdown request, [`Eof] just the end of this connection. *)
 let serve_stream session input output =
-  let latency = latency_histogram () in
-  let events = events_counter () in
+  let send line =
+    if session.config.echo_responses then begin
+      output_string output line;
+      output_char output '\n'
+    end
+  in
   let rec loop () =
-    match input_line input with
-    | exception End_of_file -> `Eof
-    | raw -> (
-        match Proto.parse_line raw with
-        | Error message ->
-            respond session output (Proto.Err message);
+    match read_line_bounded input with
+    | `Eof -> `Eof
+    | `Oversized n ->
+        emit session send (Proto.Err (Proto.describe_parse_error (Proto.Oversized n)));
+        flush output;
+        loop ()
+    | `Line raw -> (
+        match handle_line session ~send raw with
+        | `Continue ->
             flush output;
             loop ()
-        | Ok (Proto.Hello { scenario; seed }) -> (
-            match session.identity with
-            | Some (scenario0, seed0) ->
-                if scenario0 <> scenario || seed0 <> seed then begin
-                  respond session output
-                    (Proto.Err
-                       (Printf.sprintf "hello mismatch: serving %s seed %d" scenario0
-                          seed0));
-                  flush output
-                end;
-                loop ()
-            | None -> (
-                match session.config.resolve ~scenario ~seed with
-                | Error message ->
-                    respond session output (Proto.Err message);
-                    flush output;
-                    `Fatal message
-                | Ok engine ->
-                    session.engine <- Some engine;
-                    session.identity <- Some (scenario, seed);
-                    session.started <- Some (Clock.now ());
-                    loop ()))
-        | Ok (Proto.Time at) ->
-            Option.iter (fun engine -> Engine.note_time engine at) session.engine;
-            loop ()
-        | Ok Proto.End -> `End
-        | Ok (Proto.Event event) -> (
-            match session.engine with
-            | None ->
-                respond session output (Proto.Err "event before hello");
-                flush output;
-                loop ()
-            | Some engine ->
-                let t0 = Clock.now () in
-                let responses = Engine.handle engine event in
-                Metrics.Histogram.observe latency (Clock.elapsed_since t0);
-                Metrics.Counter.incr events;
-                List.iter (respond session output) responses;
-                flush output;
-                maybe_checkpoint session engine;
-                loop ()))
+        | (`End | `Fatal _) as stop -> stop)
   in
   loop ()
 
@@ -123,10 +304,21 @@ let finish session engine output =
      replays exactly what the uninterrupted run would have answered.
      The drain's readmissions are a side-effect of stopping; a resumed
      run readmits through its own reopts instead. *)
-  Option.iter (fun sink -> sink engine) session.config.checkpoint_sink;
+  Option.iter
+    (fun sink ->
+      sink engine ~wal_records:session.wal_records ~response_seq:session.seq)
+    session.config.checkpoint_sink;
+  session.finalizing <- true;
   let readmits = Engine.finalize engine in
-  List.iter (respond session output) readmits;
+  let send line =
+    if session.config.echo_responses then begin
+      output_string output line;
+      output_char output '\n'
+    end
+  in
+  List.iter (emit session send) readmits;
   (try flush output with Sys_error _ -> ());
+  Option.iter Wal.close_writer session.wal;
   let wall_s =
     match session.started with Some t0 -> Clock.elapsed_since t0 | None -> 0.
   in
@@ -136,6 +328,7 @@ let finish session engine output =
     sheds = Engine.sheds_total engine;
     readmits = Engine.readmits_total engine;
     reopts = Engine.reopts_total engine;
+    resumes = session.resumes;
     live = Engine.live_clients engine;
     shed_pool = Engine.shed_pool engine;
     violations = Engine.self_check engine;
@@ -147,41 +340,104 @@ let finish_session session output =
   | None -> Error "stream ended before a hello line"
   | Some engine -> Ok (finish session engine output)
 
-let serve config ~input ~output =
-  let session = make_session config in
+let serve_session session ~input ~output =
   match serve_stream session input output with
   | `Fatal message -> Error message
   | `End | `Eof -> finish_session session output
 
-let serve_unix config ~path =
-  let session = make_session config in
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    (fun () ->
-      Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 8;
-      let rec accept_loop () =
-        let fd, _ = Unix.accept sock in
-        let input = Unix.in_channel_of_descr fd in
-        let output = Unix.out_channel_of_descr fd in
-        let outcome = serve_stream session input output in
-        let result =
-          match outcome with
-          | `Fatal message -> Error message
-          | `End -> Result.map Option.some (finish_session session output)
-          | `Eof -> Ok None
-        in
-        (try flush output with Sys_error _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        match result with
-        | Error message ->
-            (* an unresolvable hello: nothing is being served yet *)
-            if Option.is_none session.engine then Error message else accept_loop ()
-        | Ok (Some stats) -> Ok stats
-        | Ok None -> accept_loop ()
+let serve config ~input ~output = serve_session (make_session config) ~input ~output
+
+(* ------------------------------------------------------------------ *)
+(* Unix-socket serving                                                 *)
+
+type bind_error =
+  | Address_in_use of string
+  | Permission_denied of string
+  | Bind_failed of string * string
+
+let describe_bind_error = function
+  | Address_in_use path ->
+      Printf.sprintf
+        "socket %s is in use by a live daemon; stop it or pick another --listen path"
+        path
+  | Permission_denied path ->
+      Printf.sprintf "cannot bind %s: permission denied" path
+  | Bind_failed (path, reason) -> Printf.sprintf "cannot bind %s: %s" path reason
+
+let bind_unix ~path =
+  let try_bind () =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.bind sock (Unix.ADDR_UNIX path) with
+    | () -> Ok sock
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        Error e
+  in
+  match try_bind () with
+  | Ok sock -> Ok sock
+  | Error Unix.EACCES -> Error (Permission_denied path)
+  | Error Unix.EADDRINUSE -> (
+      (* A leftover socket file from a crashed daemon also binds as
+         EADDRINUSE. Probe it: connection refused means nobody is
+         accepting — safe to reclaim. Anything accepting stays. *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let stale =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> false
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+            true
+        | exception Unix.Unix_error (_, _, _) -> false
       in
-      accept_loop ())
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if not stale then Error (Address_in_use path)
+      else begin
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        match try_bind () with
+        | Ok sock -> Ok sock
+        | Error e -> Error (Bind_failed (path, Unix.error_message e))
+      end)
+  | Error e -> Error (Bind_failed (path, Unix.error_message e))
+
+type serve_unix_error =
+  | Bind of bind_error
+  | Fatal of string
+
+let describe_serve_unix_error = function
+  | Bind e -> describe_bind_error e
+  | Fatal m -> m
+
+let serve_unix_session session ~path =
+  match bind_unix ~path with
+  | Error e -> Error (Bind e)
+  | Ok sock ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          (* clean shutdown leaves no stale socket behind *)
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.listen sock 8;
+          let rec accept_loop () =
+            let fd, _ = Unix.accept sock in
+            let input = Unix.in_channel_of_descr fd in
+            let output = Unix.out_channel_of_descr fd in
+            let outcome = serve_stream session input output in
+            let result =
+              match outcome with
+              | `Fatal message -> Error message
+              | `End -> Result.map Option.some (finish_session session output)
+              | `Eof -> Ok None
+            in
+            (try flush output with Sys_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            match result with
+            | Error message ->
+                (* an unresolvable hello: nothing is being served yet *)
+                if Option.is_none session.engine then Error (Fatal message)
+                else accept_loop ()
+            | Ok (Some stats) -> Ok stats
+            | Ok None -> accept_loop ()
+          in
+          accept_loop ())
+
+let serve_unix config ~path = serve_unix_session (make_session config) ~path

@@ -1,10 +1,12 @@
 (** The serve loop: [cap-stream/1] lines in, placement responses out.
 
-    The daemon is transport-agnostic at its core — {!serve} works over
-    any pair of channels (the [--stdin] pipe mode) and {!serve_unix}
-    runs an accept loop on a Unix-domain socket, feeding sequential
-    connections into the same engine so service state outlives any one
-    client of the daemon.
+    The daemon is transport-agnostic at its core — {!handle_line}
+    applies one request line to a {!session} and hands formatted
+    response lines to a [send] callback. {!serve} wraps that over any
+    pair of channels (the [--stdin] pipe mode) and {!serve_unix} runs
+    an accept loop on a Unix-domain socket, feeding sequential
+    connections into the same session so service state outlives any
+    one client of the daemon.
 
     The engine is created lazily from the stream's hello line via the
     injected [resolve] callback (which regenerates the world from the
@@ -14,10 +16,28 @@
     e.g. a second connection — must repeat the same scenario and seed
     or its stream is refused with [err].
 
+    {2 Durability and resume}
+
+    With a {!Wal.writer} attached, every applied request line (the
+    hello, clock ticks, events) is appended to the WAL {e before} any
+    response for it is emitted, so a SIGKILL can never acknowledge an
+    event it did not persist. Recovery is {!replay}: feeding the WAL
+    records (or the suffix past a snapshot) back through
+    {!handle_line} rebuilds the engine {e and} the numbered response
+    log, because the engine is deterministic.
+
+    Every response except [err] and [resume-ok] carries an implicit
+    sequence number and is retained (up to [resume_window]) for
+    reconnecting clients: a [resume N] request answers
+    [resume-ok EVENTS RESPONSES] and replays responses [N+1..RESPONSES]
+    verbatim. Responses from the shutdown drain after [end] are
+    unnumbered — an interrupted run re-derives its own drain.
+
     Per-event latency is observed into the
     [service/event_latency_seconds] histogram (no-op unless
     {!Cap_obs.Control.enable} has been called); [service/events],
-    [service/sheds] and [service/readmits] counters ride along. *)
+    [service/sheds], [service/readmits] and [service/resumes] counters
+    ride along. *)
 
 type stats = {
   events : int;  (** client + control events applied *)
@@ -25,6 +45,7 @@ type stats = {
   sheds : int;  (** total shed responses (admission, capacity, zone-down) *)
   readmits : int;
   reopts : int;  (** background re-optimization passes *)
+  resumes : int;  (** reconnects served with a resume replay *)
   live : int;  (** live clients at shutdown *)
   shed_pool : int;  (** clients still shed at shutdown *)
   violations : string list;
@@ -42,19 +63,114 @@ type config = {
           [Error] refuses the stream *)
   checkpoint_every : int option;
       (** call the sink every [n] events (and once at shutdown) *)
-  checkpoint_sink : (Engine.t -> unit) option;
+  checkpoint_sink :
+    (Engine.t -> wal_records:int -> response_seq:int -> unit) option;
+      (** [wal_records] and [response_seq] pin the snapshot's position
+          in the WAL and the response numbering, so a resumed daemon
+          replays the right suffix *)
   echo_responses : bool;  (** write responses to the output channel *)
+  resume_window : int;
+      (** numbered responses retained for resume replay; [0] =
+          unbounded *)
 }
 
-val serve : config -> input:in_channel -> output:out_channel -> (stats, string) result
-(** Serve one stream to its [end] (or EOF, which is treated as a
-    quiet [end]): finalizes the engine, runs the self-check, and
-    returns the stats. [Error] means the stream never got going — a
-    missing or unresolvable hello. *)
+val default_resume_window : int
+(** 65536 responses. *)
 
-val serve_unix : config -> path:string -> (stats, string) result
-(** Bind a Unix-domain socket at [path] (unlinking any stale one),
-    then accept and serve connections sequentially against the same
-    engine. A connection that closes without [end] keeps the daemon
-    alive for the next one; an [end] line shuts the daemon down and
-    returns the aggregate stats. *)
+(** {1 The session core} *)
+
+type session
+(** Mutable service state shared by every connection: the engine, the
+    WAL writer, the numbered-response log, and counters. *)
+
+val make_session : ?wal:Wal.writer -> config -> session
+
+val resume_session :
+  ?wal:Wal.writer ->
+  config ->
+  engine:Engine.t ->
+  scenario:string ->
+  seed:int ->
+  wal_records:int ->
+  response_seq:int ->
+  session
+(** A session restored from a snapshot: the identity is pinned, the
+    WAL cursor and response numbering continue from the recorded
+    positions, and resume replay reaches back to [response_seq] (not
+    before — clients are guaranteed to have received that much, since
+    responses are flushed before checkpoints run). Follow with
+    {!replay} of the WAL suffix. *)
+
+val handle_line :
+  session ->
+  send:(string -> unit) ->
+  string ->
+  [ `Continue | `End | `Fatal of string ]
+(** Apply one raw request line; responses (formatted, no newline) go
+    through [send]. Never raises on any input — malformed and
+    oversized lines answer [err]. [`Fatal] means an unresolvable
+    hello. *)
+
+val replay : session -> string list -> (unit, string) result
+(** Recovery: apply WAL records with WAL writes suppressed and
+    responses discarded (they are still numbered and logged, so resume
+    replay works after recovery). [Error] reports records the session
+    rejected — a healthy WAL replays clean. *)
+
+val set_wal : session -> Wal.writer option -> unit
+(** Attach (or detach) the WAL writer — e.g. when a promoted standby
+    takes over appending. *)
+
+val session_engine : session -> Engine.t option
+val session_identity : session -> (string * int) option
+
+val wal_records : session -> int
+(** Request records applied so far, hello included. *)
+
+val response_seq : session -> int
+(** Numbered responses emitted so far. *)
+
+val events_applied : session -> int
+(** Post-hello request lines applied: the client journal cursor. *)
+
+val finish_session : session -> out_channel -> (stats, string) result
+(** Checkpoint, finalize, drain — what [end] triggers. *)
+
+(** {1 Transports} *)
+
+val serve_session :
+  session -> input:in_channel -> output:out_channel -> (stats, string) result
+(** Serve one stream to its [end] (or EOF, which is treated as a
+    quiet [end]) against an existing session: finalizes the engine,
+    runs the self-check, and returns the stats. [Error] means the
+    stream never got going — a missing or unresolvable hello. *)
+
+val serve : config -> input:in_channel -> output:out_channel -> (stats, string) result
+(** {!serve_session} over a fresh session. *)
+
+type bind_error =
+  | Address_in_use of string  (** a live daemon answered the probe *)
+  | Permission_denied of string
+  | Bind_failed of string * string  (** path, reason *)
+
+val describe_bind_error : bind_error -> string
+
+val bind_unix : path:string -> (Unix.file_descr, bind_error) result
+(** Bind a Unix-domain socket at [path]. An existing socket file is
+    probed first: connection-refused means a crashed daemon's leftover,
+    which is reclaimed (unlink + rebind); anything accepting
+    connections is left alone and reported {!Address_in_use}. *)
+
+type serve_unix_error =
+  | Bind of bind_error
+  | Fatal of string
+
+val describe_serve_unix_error : serve_unix_error -> string
+
+val serve_unix_session : session -> path:string -> (stats, serve_unix_error) result
+(** Accept and serve connections sequentially against an existing
+    session (so a recovered or promoted daemon keeps its state). The
+    socket file is removed on clean shutdown. *)
+
+val serve_unix : config -> path:string -> (stats, serve_unix_error) result
+(** {!serve_unix_session} over a fresh session. *)

@@ -648,6 +648,12 @@ let checkpoint t =
 let checkpoint_events ck = ck.ck_events
 let checkpoint_clients ck = ck.ck_live
 
+let fingerprint t =
+  (* The checkpoint is canonical plain data (relay and dirty sets are
+     sorted), so the digest is a faithful state fingerprint: two
+     engines fingerprint equal iff a resumed run is bitwise on track. *)
+  Digest.to_hex (Digest.string (Marshal.to_string (checkpoint t) []))
+
 let restore ~world config ck =
   validate_config config;
   let zones = World.zone_count world in

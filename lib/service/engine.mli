@@ -114,3 +114,8 @@ val restore : world:Cap_model.World.t -> config -> checkpoint -> t
 
 val checkpoint_events : checkpoint -> int
 val checkpoint_clients : checkpoint -> int
+
+val fingerprint : t -> string
+(** Hex digest of the marshalled (canonical) checkpoint: two engines
+    fingerprint equal exactly when their checkpointable state is
+    identical. The basis of the kill/replay identity tests. *)

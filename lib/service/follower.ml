@@ -1,0 +1,80 @@
+module Metrics = Cap_obs.Metrics
+
+let lag_gauge () =
+  Metrics.Gauge.create
+    ~help:"records a follower applied in its latest poll (catch-up burst size)"
+    "service/follower_lag_records"
+
+type t = {
+  session : Daemon.session;
+  path : string;
+  mutable tailer : Wal.tailer option;
+  mutable promoted : bool;
+}
+
+let create config ~path =
+  match Wal.open_tailer ~path with
+  | Error e -> Error (Wal.describe_read_error e)
+  | Ok tailer ->
+      Ok
+        {
+          session = Daemon.make_session config;
+          path;
+          tailer = Some tailer;
+          promoted = false;
+        }
+
+let session t = t.session
+let records_applied t = Daemon.wal_records t.session
+let is_promoted t = t.promoted
+
+let poll t =
+  match t.tailer with
+  | None -> Error "follower: already promoted"
+  | Some tailer -> (
+      match Wal.poll tailer with
+      | Error e -> Error (Wal.describe_read_error e)
+      | Ok [] -> Ok 0
+      | Ok records -> (
+          match Daemon.replay t.session records with
+          | Error e -> Error e
+          | Ok () ->
+              let n = List.length records in
+              Metrics.Gauge.set (lag_gauge ()) (float_of_int n);
+              Ok n))
+
+let catch_up t =
+  let rec go total =
+    match poll t with
+    | Error _ as e -> e
+    | Ok 0 -> Ok total
+    | Ok n -> go (total + n)
+  in
+  go 0
+
+let promote t ~fsync_every =
+  match t.tailer with
+  | None -> Error "follower: already promoted"
+  | Some tailer -> (
+      Wal.close_tailer tailer;
+      t.tailer <- None;
+      (* Re-open the log as the new primary: this truncates any torn
+         tail the dead primary left, and hands back every surviving
+         record — we apply the suffix the tailer had not yet seen. *)
+      match Wal.open_append ~fsync_every ~path:t.path () with
+      | Error e -> Error (Wal.describe_read_error e)
+      | Ok (writer, records) -> (
+          let seen = Daemon.wal_records t.session in
+          let suffix = List.filteri (fun i _ -> i >= seen) records in
+          match Daemon.replay t.session suffix with
+          | Error e ->
+              Wal.close_writer writer;
+              Error e
+          | Ok () ->
+              Daemon.set_wal t.session (Some writer);
+              t.promoted <- true;
+              Ok (List.length suffix)))
+
+let close t =
+  Option.iter Wal.close_tailer t.tailer;
+  t.tailer <- None

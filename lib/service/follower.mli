@@ -1,0 +1,42 @@
+(** Hot standby: a second daemon session fed by tailing the primary's
+    WAL instead of a socket.
+
+    The follower replays records as they land in the log, so its
+    engine tracks the primary's with bounded lag (one poll interval
+    plus whatever burst accumulated — the burst size is exported as
+    the [service/follower_lag_records] gauge). Because the WAL starts
+    at the hello, a follower holds the complete numbered-response log
+    and can serve any in-window resume after {!promote}.
+
+    Promotion is what the supervisor does when the primary dies
+    uncooperatively: {!promote} re-opens the log for appending (which
+    truncates any torn tail the SIGKILL left), applies the records the
+    tailer had not yet delivered, and attaches the writer to the
+    session — which is then ready for {!Daemon.serve_unix_session} on
+    the service socket. *)
+
+type t
+
+val create : Daemon.config -> path:string -> (t, string) result
+(** Open a tailer on the primary's WAL. Fails if the file does not
+    exist yet — retry until the primary has created it. *)
+
+val poll : t -> (int, string) result
+(** Apply the records that became complete since the last poll;
+    returns how many. [0] means caught up (or the next record is still
+    being written). *)
+
+val catch_up : t -> (int, string) result
+(** Poll until no progress. *)
+
+val promote : t -> fsync_every:int -> (int, string) result
+(** Stop tailing, truncate the torn tail, apply the remaining suffix
+    (count returned), and take over the WAL as writer. After this the
+    session is the primary. *)
+
+val session : t -> Daemon.session
+val records_applied : t -> int
+val is_promoted : t -> bool
+
+val close : t -> unit
+(** Stop tailing without promoting. *)

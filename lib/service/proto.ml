@@ -13,9 +13,20 @@ type line =
   | Hello of { scenario : string; seed : int }
   | Time of float
   | Event of event
+  | Resume of int
   | End
 
 let magic = "cap-stream/1"
+let max_line_bytes = 65536
+
+type parse_error =
+  | Malformed of string
+  | Oversized of int
+
+let describe_parse_error = function
+  | Malformed s -> Printf.sprintf "malformed line: %S" s
+  | Oversized n ->
+      Printf.sprintf "line of %d bytes exceeds the %d-byte bound" n max_line_bytes
 
 let split_words s =
   String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
@@ -35,8 +46,10 @@ let fnum tok =
   | _ -> None
 
 let parse_line raw =
+  if String.length raw > max_line_bytes then Error (Oversized (String.length raw))
+  else
   let s = strip raw in
-  let bad () = Error (Printf.sprintf "malformed line: %S" s) in
+  let bad () = Error (Malformed s) in
   match split_words s with
   | [ tag; scenario; seed ] when tag = magic -> (
       match int_of_string_opt seed with
@@ -66,11 +79,14 @@ let parse_line raw =
       match nat server, fnum ms with
       | Some server, Some ms -> Ok (Event (Ctrl (Degrade (server, ms))))
       | _ -> bad ())
+  | [ "resume"; seq ] -> (
+      match nat seq with Some seq -> Ok (Resume seq) | None -> bad ())
   | [ "end" ] -> Ok End
   | _ -> bad ()
 
 let format_hello ~scenario ~seed = Printf.sprintf "%s %s %d" magic scenario seed
 let format_time at = Printf.sprintf "t %.6f" at
+let format_resume seq = Printf.sprintf "resume %d" seq
 
 let format_event = function
   | Join { id; node; zone } -> Printf.sprintf "join %d %d %d" id node zone
@@ -104,6 +120,7 @@ type response =
   | Readmitted of { id : int; server : int }
   | Left of { id : int }
   | Ctrl_ok of string
+  | Resume_ok of { events : int; responses : int }
   | Err of string
 
 let format_response = function
@@ -112,6 +129,7 @@ let format_response = function
   | Readmitted { id; server } -> Printf.sprintf "readmit %d %d" id server
   | Left { id } -> Printf.sprintf "bye %d" id
   | Ctrl_ok what -> Printf.sprintf "ctrl-ok %s" what
+  | Resume_ok { events; responses } -> Printf.sprintf "resume-ok %d %d" events responses
   | Err message -> Printf.sprintf "err %s" message
 
 let parse_response raw =
@@ -132,6 +150,10 @@ let parse_response raw =
       | _ -> bad ())
   | [ "bye"; id ] -> (
       match nat id with Some id -> Ok (Left { id }) | None -> bad ())
+  | [ "resume-ok"; events; responses ] -> (
+      match nat events, nat responses with
+      | Some events, Some responses -> Ok (Resume_ok { events; responses })
+      | _ -> bad ())
   | "ctrl-ok" :: what when what <> [] -> Ok (Ctrl_ok (String.concat " " what))
   | "err" :: rest when rest <> [] -> Ok (Err (String.concat " " rest))
   | _ -> bad ()

@@ -12,6 +12,7 @@
               | "leave" ID                  client ID disconnects
               | "move" ID ZONE              client ID moves to ZONE
               | "ctrl" CTRL                 chaos / operations channel
+              | "resume" SEQ                reconnect: SEQ responses received
     ctrl    ::= "crash" SERVER
               | "recover" SERVER
               | "degrade" SERVER MS
@@ -32,10 +33,23 @@
                                       by background re-optimization
             | "bye" ID                leave acknowledged
             | "ctrl-ok" WHAT          control event applied
+            | "resume-ok" EVENTS RESPONSES
+                                      reconnect accepted: EVENTS client
+                                      events processed so far, RESPONSES
+                                      the current response sequence
+                                      number (replay follows)
             | "err" MESSAGE           malformed or inconsistent input
     v}
 
-    Parsing never raises: malformed lines surface as [Error]. *)
+    Every response except [err] and [resume-ok] carries an implicit
+    sequence number (1, 2, ...) assigned by the daemon in emission
+    order; a reconnecting client quotes the count of responses it has
+    received in its [resume] line and the daemon replays the rest.
+
+    Parsing never raises: malformed lines surface as [Error], and
+    lines longer than {!max_line_bytes} are rejected with
+    {!Oversized} before any per-word work (the daemon's reader
+    likewise never buffers past the bound). *)
 
 type ctrl =
   | Crash of int
@@ -52,19 +66,33 @@ type line =
   | Hello of { scenario : string; seed : int }
   | Time of float
   | Event of event
+  | Resume of int  (** responses already received on a prior connection *)
   | End
 
 val magic : string
 (** ["cap-stream/1"], the hello tag. *)
 
-val parse_line : string -> (line, string) result
+val max_line_bytes : int
+(** 64 KiB: the longest request line the protocol admits. Anything
+    longer is rejected before parsing — and readers are expected to
+    stop buffering at this bound. *)
+
+type parse_error =
+  | Malformed of string  (** the (stripped) line that failed to parse *)
+  | Oversized of int     (** actual byte length of a too-long line *)
+
+val describe_parse_error : parse_error -> string
+(** Human-readable one-liner, suitable for an [err] response. *)
+
+val parse_line : string -> (line, parse_error) result
 (** Parse one request line (leading/trailing blanks and a trailing
     [\r] tolerated). Blank lines and [#]-comments parse as errors — the
-    stream has no silent filler. *)
+    stream has no silent filler. Never raises. *)
 
 val format_hello : scenario:string -> seed:int -> string
 val format_time : float -> string
 val format_event : event -> string
+val format_resume : int -> string
 val format_end : string
 
 type shed_reason =
@@ -80,6 +108,7 @@ type response =
   | Readmitted of { id : int; server : int }
   | Left of { id : int }
   | Ctrl_ok of string
+  | Resume_ok of { events : int; responses : int }
   | Err of string
 
 val format_response : response -> string

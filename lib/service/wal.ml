@@ -1,0 +1,298 @@
+module Metrics = Cap_obs.Metrics
+
+let magic = "CAPWAL/1\n"
+let magic_bytes = String.length magic
+let header_bytes = 8
+let max_payload_bytes = Proto.max_line_bytes
+let torn_counter () = Metrics.Counter.create "service/wal_torn_records"
+
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven. *)
+let crc_table =
+  lazy
+    (let table = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       table.(n) <- !c
+     done;
+     table)
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.set_int32_be b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b header_bytes n;
+  b
+
+(* ---------- scanning ---------- *)
+
+type tail =
+  | Clean
+  | Torn of string
+
+type read_error =
+  | Io of string
+  | Bad_magic
+  | Corrupted of { index : int; reason : string }
+
+let describe_tail = function
+  | Clean -> "clean"
+  | Torn reason -> Printf.sprintf "torn tail (%s)" reason
+
+let describe_read_error = function
+  | Io m -> Printf.sprintf "wal: %s" m
+  | Bad_magic -> "wal: bad magic (not a CAPWAL/1 file)"
+  | Corrupted { index; reason } ->
+      Printf.sprintf "wal: record %d corrupted: %s" index reason
+
+(* Scan [data] from byte [start], first record numbered [first_index].
+   Returns the records in order, the tail state, and the byte offset
+   one past the last valid record (the truncation point for repair).
+
+   Torn vs corrupted: damage at the very end of the file is what a
+   crash mid-append leaves behind, so it is survivable — a truncated
+   header, a truncated payload, or a CRC failure on the *final* record
+   all scan as [Torn]. A CRC failure with more data after it, or a
+   length field no writer could have produced, means the middle of the
+   log is damaged and replay cannot be trusted: [Corrupted]. *)
+let scan data start ~first_index =
+  let len = String.length data in
+  let records = ref [] in
+  let rec go pos index =
+    if pos = len then Ok (List.rev !records, Clean, pos)
+    else if len - pos < header_bytes then
+      Ok (List.rev !records, Torn "truncated record header", pos)
+    else
+      let n = Int32.to_int (String.get_int32_be data pos) in
+      if n < 0 || n > max_payload_bytes then
+        Error
+          (Corrupted
+             {
+               index;
+               reason = Printf.sprintf "implausible record length %d" n;
+             })
+      else if len - pos - header_bytes < n then
+        Ok (List.rev !records, Torn "truncated record payload", pos)
+      else
+        let stored = String.get_int32_be data (pos + 4) in
+        let payload = String.sub data (pos + header_bytes) n in
+        if crc32 payload <> stored then
+          if pos + header_bytes + n = len then
+            Ok (List.rev !records, Torn "crc mismatch on final record", pos)
+          else Error (Corrupted { index; reason = "crc mismatch" })
+        else begin
+          records := payload :: !records;
+          go (pos + header_bytes + n) (index + 1)
+        end
+  in
+  go start first_index
+
+let is_magic_prefix data =
+  String.length data <= magic_bytes
+  && data = String.sub magic 0 (String.length data)
+
+(* Read the whole file and locate the valid prefix. *)
+let read_raw ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error (Io m)
+  | data ->
+      if String.length data < magic_bytes then
+        if is_magic_prefix data then Ok ([], Torn "truncated magic", 0)
+        else Error Bad_magic
+      else if String.sub data 0 magic_bytes <> magic then Error Bad_magic
+      else scan data magic_bytes ~first_index:0
+
+let note_torn = function
+  | Torn _ -> Metrics.Counter.incr (torn_counter ())
+  | Clean -> ()
+
+let read ~path =
+  match read_raw ~path with
+  | Error _ as e -> e
+  | Ok (records, tail, _) ->
+      note_torn tail;
+      Ok (records, tail)
+
+(* ---------- writer ---------- *)
+
+type writer = {
+  fd : Unix.file_descr;
+  w_path : string;
+  fsync_every : int;
+  mutable pending_sync : int;
+  mutable written : int;
+  mutable closed : bool;
+}
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+let writer_path w = w.w_path
+let records_written w = w.written
+
+let create_writer ?(fsync_every = 32) ~path () =
+  let fd =
+    Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644
+  in
+  write_all fd (Bytes.of_string magic);
+  { fd; w_path = path; fsync_every; pending_sync = 0; written = 0; closed = false }
+
+let sync w =
+  if w.pending_sync > 0 then begin
+    Unix.fsync w.fd;
+    w.pending_sync <- 0
+  end
+
+let append w payload =
+  if String.length payload > max_payload_bytes then
+    invalid_arg "Wal.append: payload exceeds max_line_bytes";
+  (* A plain write() suffices for process-crash durability: the bytes
+     live in the page cache once the syscall returns, so a SIGKILL of
+     this process cannot lose them. fsync batching below is only about
+     machine crashes. *)
+  write_all w.fd (encode payload);
+  w.written <- w.written + 1;
+  w.pending_sync <- w.pending_sync + 1;
+  if w.fsync_every > 0 && w.pending_sync >= w.fsync_every then sync w
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    (try sync w with Unix.Unix_error _ -> ());
+    try Unix.close w.fd with Unix.Unix_error _ -> ()
+  end
+
+let open_append ?(fsync_every = 32) ~path () =
+  match read_raw ~path with
+  | Error _ as e -> e
+  | Ok (records, tail, valid_end) ->
+      note_torn tail;
+      let valid_end = max valid_end magic_bytes in
+      (match
+         let fd = Unix.openfile path [ O_WRONLY; O_CLOEXEC ] 0o644 in
+         (* Repair: drop the torn tail (and a truncated magic) so new
+            appends start on a record boundary. *)
+         Unix.ftruncate fd valid_end;
+         if valid_end = magic_bytes then begin
+           ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+           write_all fd (Bytes.of_string magic)
+         end;
+         ignore (Unix.lseek fd 0 Unix.SEEK_END);
+         fd
+       with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Io (Unix.error_message e))
+      | fd ->
+          Ok
+            ( {
+                fd;
+                w_path = path;
+                fsync_every;
+                pending_sync = 0;
+                written = List.length records;
+                closed = false;
+              },
+              records ))
+
+(* ---------- tailer ---------- *)
+
+type tailer = {
+  t_fd : Unix.file_descr;
+  t_path : string;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  mutable seen_magic : bool;
+  mutable t_records : int;
+  mutable t_closed : bool;
+}
+
+let open_tailer ~path =
+  match Unix.openfile path [ O_RDONLY; O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+  | fd ->
+      Ok
+        {
+          t_fd = fd;
+          t_path = path;
+          buf = Buffer.create 4096;
+          chunk = Bytes.create 65536;
+          seen_magic = false;
+          t_records = 0;
+          t_closed = false;
+        }
+
+let tailer_path t = t.t_path
+let tailer_records t = t.t_records
+
+let poll t =
+  let rec drain () =
+    match Unix.read t.t_fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> ()
+    | k ->
+        Buffer.add_subbytes t.buf t.chunk 0 k;
+        drain ()
+    | exception Unix.Unix_error (e, _, _) -> raise (Sys_error (Unix.error_message e))
+  in
+  match drain () with
+  | exception Sys_error m -> Error (Io m)
+  | () ->
+      let data = Buffer.contents t.buf in
+      let start =
+        if t.seen_magic then Some 0
+        else if String.length data >= magic_bytes then
+          if String.sub data 0 magic_bytes = magic then begin
+            t.seen_magic <- true;
+            Some magic_bytes
+          end
+          else None
+        else if is_magic_prefix data then Some (String.length data) (* wait *)
+        else None
+      in
+      (match start with
+      | None -> Error Bad_magic
+      | Some start when start = String.length data && not t.seen_magic ->
+          Ok [] (* magic not fully on disk yet *)
+      | Some start -> (
+          match scan data start ~first_index:t.t_records with
+          | Error _ as e -> e
+          | Ok (records, _tail, consumed) ->
+              (* A torn tail here just means the next record is still in
+                 flight — keep the bytes and try again next poll. *)
+              t.t_records <- t.t_records + List.length records;
+              let rest = String.sub data consumed (String.length data - consumed) in
+              Buffer.clear t.buf;
+              Buffer.add_string t.buf rest;
+              Ok records))
+
+let close_tailer t =
+  if not t.t_closed then begin
+    t.t_closed <- true;
+    try Unix.close t.t_fd with Unix.Unix_error _ -> ()
+  end

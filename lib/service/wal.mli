@@ -1,0 +1,98 @@
+(** Write-ahead log for the assignment daemon.
+
+    File format:
+
+    {v
+    file   ::= "CAPWAL/1\n" record*
+    record ::= u32_be LENGTH | u32_be CRC32(payload) | payload
+    v}
+
+    Each payload is one raw [cap-stream/1] request line (no trailing
+    newline) — the first record of a log is the hello line, so a WAL is
+    self-describing: replaying it through a fresh session reproduces
+    the exact engine state and response stream (the engine draws no
+    randomness).
+
+    Durability contract: {!append} issues the [write(2)] before
+    returning, so an accepted event survives a SIGKILL of the daemon
+    (the bytes are in the page cache). [fsync] is batched — every
+    [fsync_every] records (default 32; [0] never, [1] every record) —
+    and only matters for whole-machine crashes.
+
+    Damage at the very tail of the file (what a crash mid-append
+    leaves) is survivable: it reads back as [Torn], is counted in the
+    [service/wal_torn_records] metric, and {!open_append} truncates it
+    so new appends start on a record boundary. Damage anywhere else is
+    [Corrupted] and fatal — the suffix cannot be trusted. *)
+
+val magic : string
+(** ["CAPWAL/1\n"]. *)
+
+val max_payload_bytes : int
+(** = {!Proto.max_line_bytes}; longer payloads are rejected and longer
+    length fields brand a file corrupted. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3) of a string, exposed for tests. *)
+
+type tail =
+  | Clean
+  | Torn of string  (** why the tail was cut short, for logs *)
+
+type read_error =
+  | Io of string
+  | Bad_magic
+  | Corrupted of { index : int; reason : string }
+      (** record [index] (0-based) is damaged mid-log *)
+
+val describe_tail : tail -> string
+val describe_read_error : read_error -> string
+
+val read : path:string -> (string list * tail, read_error) result
+(** All valid records in order plus the tail state. A torn tail bumps
+    [service/wal_torn_records]. *)
+
+(** {2 Writing} *)
+
+type writer
+
+val create_writer : ?fsync_every:int -> path:string -> unit -> writer
+(** Truncate/create [path] and write the magic. Raises [Unix_error] on
+    unopenable paths — callers own the diagnostic. *)
+
+val open_append :
+  ?fsync_every:int -> path:string -> unit -> (writer * string list, read_error) result
+(** Open an existing log for appending: scan it, truncate any torn
+    tail, and return the surviving records (for replay) alongside a
+    writer positioned at the end. *)
+
+val append : writer -> string -> unit
+(** Append one record; the [write(2)] has happened when this returns.
+    Raises [Invalid_argument] past {!max_payload_bytes}. *)
+
+val sync : writer -> unit
+(** Force an [fsync] now regardless of batching. *)
+
+val close_writer : writer -> unit
+(** Final [fsync] + close. Idempotent. *)
+
+val writer_path : writer -> string
+val records_written : writer -> int
+
+(** {2 Tailing (hot standby)} *)
+
+type tailer
+(** An incremental reader over a log another process is appending to. *)
+
+val open_tailer : path:string -> (tailer, read_error) result
+
+val poll : tailer -> (string list, read_error) result
+(** Records that became complete since the last poll (possibly none).
+    An incomplete record at the tail is not an error — it is simply
+    withheld until a later poll sees the rest of its bytes. *)
+
+val tailer_path : tailer -> string
+val tailer_records : tailer -> int
+(** Count of records returned so far. *)
+
+val close_tailer : tailer -> unit

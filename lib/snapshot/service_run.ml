@@ -7,6 +7,8 @@ type spec = {
   reopt_every : int;
   reopt_moves : int;
   world_fingerprint : string;
+  wal_position : int;
+  response_seq : int;
 }
 
 type t = {
@@ -16,7 +18,8 @@ type t = {
 
 let kind = "cap-service-run"
 
-let of_engine ~scenario ~seed ~world (config : Engine.config) engine =
+let of_engine ?(wal_position = 0) ?(response_seq = 0) ~scenario ~seed ~world
+    (config : Engine.config) engine =
   {
     spec =
       {
@@ -26,6 +29,8 @@ let of_engine ~scenario ~seed ~world (config : Engine.config) engine =
         reopt_every = config.Engine.reopt_every;
         reopt_moves = config.Engine.reopt_moves;
         world_fingerprint = Sim_run.fingerprint world;
+        wal_position;
+        response_seq;
       };
     state = Engine.checkpoint engine;
   }

@@ -1,6 +1,6 @@
 (** Snapshot of one [capsim serve] daemon: the recipe to rebuild the
     base world deterministically, the engine configuration, and the
-    engine's captured state (format v3).
+    engine's captured state (format v4).
 
     Like {!Sim_run}, the world is not serialised: the spec records
     scenario notation, seed and a content {!Sim_run.fingerprint} of
@@ -17,6 +17,12 @@ type spec = {
   reopt_every : int;
   reopt_moves : int;
   world_fingerprint : string;
+  wal_position : int;
+      (** WAL records (hello included) applied when the snapshot was
+          taken: recovery replays the WAL suffix past this point *)
+  response_seq : int;
+      (** numbered responses emitted by then: the resumed daemon's
+          response numbering (and resume-replay floor) continues here *)
 }
 
 type t = {
@@ -28,8 +34,11 @@ val kind : string
 (** Envelope payload-kind tag for service-run snapshots. *)
 
 val of_engine :
+  ?wal_position:int -> ?response_seq:int ->
   scenario:string -> seed:int -> world:Cap_model.World.t ->
   Cap_service.Engine.config -> Cap_service.Engine.t -> t
+(** [wal_position]/[response_seq] default to 0 — WAL-less daemons
+    don't care. *)
 
 val resume :
   world:Cap_model.World.t -> t -> (Cap_service.Engine.t, string) result

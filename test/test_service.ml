@@ -27,6 +27,8 @@ let test_line_round_trip () =
       Proto.Event (Proto.Ctrl (Proto.Crash 2));
       Proto.Event (Proto.Ctrl (Proto.Recover 2));
       Proto.Event (Proto.Ctrl (Proto.Degrade (1, 80.)));
+      Proto.Resume 17;
+      Proto.Resume 0;
       Proto.End;
     ]
   in
@@ -37,6 +39,7 @@ let test_line_round_trip () =
         | Proto.Hello { scenario; seed } -> Proto.format_hello ~scenario ~seed
         | Proto.Time at -> Proto.format_time at
         | Proto.Event event -> Proto.format_event event
+        | Proto.Resume seq -> Proto.format_resume seq
         | Proto.End -> Proto.format_end
       in
       match Proto.parse_line formatted with
@@ -44,7 +47,9 @@ let test_line_round_trip () =
           Alcotest.(check bool)
             (Printf.sprintf "round-trip %S" formatted)
             true (parsed = line)
-      | Error m -> Alcotest.failf "%S failed to parse: %s" formatted m)
+      | Error e ->
+          Alcotest.failf "%S failed to parse: %s" formatted
+            (Proto.describe_parse_error e))
     lines
 
 let test_response_round_trip () =
@@ -58,6 +63,7 @@ let test_response_round_trip () =
       Proto.Left { id = 3 };
       Proto.Ctrl_ok "crash 2";
       Proto.Err "malformed line";
+      Proto.Resume_ok { events = 812; responses = 790 };
     ]
   in
   List.iter
@@ -90,6 +96,9 @@ let test_malformed_lines () =
       "t -1";
       "t nan";
       "hello 20s 1";
+      "resume";
+      "resume -1";
+      "resume x";
     ];
   (* CRLF and padding are tolerated *)
   match Proto.parse_line "  join 1 2 3\r" with
@@ -309,6 +318,7 @@ let render_stream seed config =
       | Proto.Hello { scenario; seed } -> Proto.format_hello ~scenario ~seed
       | Proto.Time at -> Proto.format_time at
       | Proto.Event event -> Proto.format_event event
+      | Proto.Resume seq -> Proto.format_resume seq
       | Proto.End -> Proto.format_end);
     Buffer.add_char buf '\n'
   in
@@ -331,7 +341,9 @@ let test_loadgen_stream_is_valid () =
     (fun line ->
       match Proto.parse_line line with
       | Ok _ -> ()
-      | Error m -> Alcotest.failf "loadgen emitted a bad line: %s" m)
+      | Error e ->
+          Alcotest.failf "loadgen emitted a bad line: %s"
+            (Proto.describe_parse_error e))
     lines;
   (match Proto.parse_line (List.hd lines) with
   | Ok (Proto.Hello _) -> ()
@@ -382,7 +394,13 @@ let daemon_config () =
     let assignment = Two_phase.run Two_phase.grez_grec (Rng.create ~seed) world in
     Ok (Engine.create ~world ~assignment Engine.default_config)
   in
-  { Daemon.resolve; checkpoint_every = None; checkpoint_sink = None; echo_responses = true }
+  {
+    Daemon.resolve;
+    checkpoint_every = None;
+    checkpoint_sink = None;
+    echo_responses = true;
+    resume_window = Daemon.default_resume_window;
+  }
 
 let test_daemon_serves_a_stream () =
   let _, stream =

@@ -1,0 +1,764 @@
+module Proto = Cap_service.Proto
+module Wal = Cap_service.Wal
+module Engine = Cap_service.Engine
+module Daemon = Cap_service.Daemon
+module Follower = Cap_service.Follower
+module Supervisor = Cap_service.Supervisor
+module Client = Cap_service.Client
+module Loadgen = Cap_service.Loadgen
+module World = Cap_model.World
+module Scenario = Cap_model.Scenario
+module Two_phase = Cap_core.Two_phase
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+let temp_path suffix =
+  let path = Filename.temp_file "cap_wal_test" suffix in
+  Sys.remove path;
+  path
+
+let with_temp_path suffix f =
+  let path = temp_path suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path data = Out_channel.with_open_bin path (fun o -> output_string o data)
+
+let append_bytes path data =
+  let out =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o600 path
+  in
+  output_string out data;
+  close_out out
+
+let truncate_file path n = Unix.truncate path n
+
+(* ------------------------------------------------------------------ *)
+(* WAL format                                                          *)
+
+let test_crc32_vector () =
+  (* the standard IEEE 802.3 check value *)
+  Alcotest.(check int32) "crc32(123456789)" 0xCBF43926l (Wal.crc32 "123456789")
+
+let sample_records = [ "hello 5s-12z-120c-60cp 7"; "t 0.125000"; "join 500 3 2"; "" ]
+
+let write_sample path =
+  let w = Wal.create_writer ~fsync_every:2 ~path () in
+  List.iter (Wal.append w) sample_records;
+  Wal.close_writer w;
+  w
+
+let test_round_trip () =
+  with_temp_path ".wal" @@ fun path ->
+  let w = write_sample path in
+  Alcotest.(check int) "records_written" (List.length sample_records)
+    (Wal.records_written w);
+  Alcotest.(check string) "writer_path" path (Wal.writer_path w);
+  match Wal.read ~path with
+  | Ok (records, Wal.Clean) ->
+      Alcotest.(check (list string)) "records survive" sample_records records
+  | Ok (_, Wal.Torn reason) -> Alcotest.failf "unexpected torn tail: %s" reason
+  | Error e -> Alcotest.failf "read failed: %s" (Wal.describe_read_error e)
+
+let test_append_rejects_oversized () =
+  with_temp_path ".wal" @@ fun path ->
+  let w = Wal.create_writer ~path () in
+  Fun.protect
+    ~finally:(fun () -> Wal.close_writer w)
+    (fun () ->
+      match Wal.append w (String.make (Wal.max_payload_bytes + 1) 'x') with
+      | () -> Alcotest.fail "oversized payload must be rejected"
+      | exception Invalid_argument _ -> ())
+
+(* every way a crash can shear the tail must read back as [Torn] with
+   the prefix intact, and [open_append] must truncate it cleanly *)
+let check_torn mutilate expected_records =
+  with_temp_path ".wal" @@ fun path ->
+  ignore (write_sample path);
+  mutilate path;
+  (match Wal.read ~path with
+  | Ok (records, Wal.Torn _) ->
+      Alcotest.(check (list string)) "prefix survives" expected_records records
+  | Ok (_, Wal.Clean) -> Alcotest.fail "tail should read as torn"
+  | Error e -> Alcotest.failf "torn tail must not be fatal: %s" (Wal.describe_read_error e));
+  match Wal.open_append ~path () with
+  | Error e -> Alcotest.failf "open_append failed: %s" (Wal.describe_read_error e)
+  | Ok (w, records) ->
+      Alcotest.(check (list string)) "open_append recovers the prefix"
+        expected_records records;
+      Wal.append w "move 1 2";
+      Wal.close_writer w;
+      (match Wal.read ~path with
+      | Ok (records, Wal.Clean) ->
+          Alcotest.(check (list string)) "appends land on a clean boundary"
+            (expected_records @ [ "move 1 2" ]) records
+      | Ok (_, Wal.Torn reason) -> Alcotest.failf "still torn after truncation: %s" reason
+      | Error e -> Alcotest.failf "reread failed: %s" (Wal.describe_read_error e))
+
+let prefix_3 = [ "hello 5s-12z-120c-60cp 7"; "t 0.125000"; "join 500 3 2" ]
+
+let test_torn_tails () =
+  (* truncated mid-payload of the final record *)
+  check_torn (fun path -> truncate_file path (String.length (read_file path) - 1)) prefix_3;
+  (* the final record is empty, so cutting 1..8 bytes eats into its header *)
+  check_torn (fun path -> truncate_file path (String.length (read_file path) - 5)) prefix_3;
+  (* a bare length header with no crc/payload yet *)
+  check_torn (fun path -> append_bytes path "\x00\x00\x00\x09") sample_records;
+  (* header + partial payload of a record still being written *)
+  check_torn
+    (fun path -> append_bytes path ("\x00\x00\x00\x09" ^ "\xde\xad\xbe\xef" ^ "join"))
+    sample_records;
+  (* CRC mismatch on the FINAL record: indistinguishable from a crash
+     mid-append, so it is torn, not corrupt. The final record has an
+     empty payload — its CRC field is the file's last four bytes. *)
+  check_torn
+    (fun path ->
+      let data = read_file path in
+      let flipped = Bytes.of_string data in
+      Bytes.set flipped (String.length data - 2) '\xff';
+      write_file path (Bytes.to_string flipped))
+    prefix_3
+
+let test_corruption_is_fatal () =
+  (* CRC mismatch mid-log (not the final record) *)
+  with_temp_path ".wal" @@ fun path ->
+  ignore (write_sample path);
+  let data = read_file path in
+  let flipped = Bytes.of_string data in
+  (* record 0's payload starts right after magic + 8 bytes of header *)
+  Bytes.set flipped (String.length Wal.magic + 8) 'X';
+  write_file path (Bytes.to_string flipped);
+  (match Wal.read ~path with
+  | Error (Wal.Corrupted { index = 0; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wal.describe_read_error e)
+  | Ok _ -> Alcotest.fail "mid-log corruption must be fatal");
+  (* implausible length field mid-log *)
+  with_temp_path ".wal" @@ fun path ->
+  write_file path (Wal.magic ^ "\xff\xff\xff\xff" ^ "\x00\x00\x00\x00" ^ "tail-rec");
+  (match Wal.read ~path with
+  | Error (Wal.Corrupted _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wal.describe_read_error e)
+  | Ok _ -> Alcotest.fail "an implausible length must brand the log corrupt");
+  (* wrong magic *)
+  with_temp_path ".wal" @@ fun path ->
+  write_file path "NOTAWAL1\n";
+  match Wal.read ~path with
+  | Error Wal.Bad_magic -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wal.describe_read_error e)
+  | Ok _ -> Alcotest.fail "bad magic must be refused"
+
+let test_tailer_incremental () =
+  with_temp_path ".wal" @@ fun path ->
+  let w = Wal.create_writer ~path () in
+  Wal.append w "one";
+  Wal.append w "two";
+  let tailer =
+    match Wal.open_tailer ~path with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "open_tailer: %s" (Wal.describe_read_error e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Wal.close_tailer tailer;
+      Wal.close_writer w)
+    (fun () ->
+      (match Wal.poll tailer with
+      | Ok got -> Alcotest.(check (list string)) "first poll" [ "one"; "two" ] got
+      | Error e -> Alcotest.failf "poll: %s" (Wal.describe_read_error e));
+      (match Wal.poll tailer with
+      | Ok got -> Alcotest.(check (list string)) "caught up" [] got
+      | Error e -> Alcotest.failf "poll: %s" (Wal.describe_read_error e));
+      Wal.append w "three";
+      (* a record the writer is mid-way through is withheld, not an error *)
+      append_bytes path "\x00\x00\x00\x08";
+      (match Wal.poll tailer with
+      | Ok got -> Alcotest.(check (list string)) "complete records only" [ "three" ] got
+      | Error e -> Alcotest.failf "poll: %s" (Wal.describe_read_error e));
+      (* completing the in-flight record makes it visible *)
+      append_bytes path (let crc = Wal.crc32 "fourfour" in
+                         let b = Buffer.create 12 in
+                         Buffer.add_int32_be b crc;
+                         Buffer.add_string b "fourfour";
+                         Buffer.contents b);
+      (match Wal.poll tailer with
+      | Ok got -> Alcotest.(check (list string)) "completed record arrives" [ "fourfour" ] got
+      | Error e -> Alcotest.failf "poll: %s" (Wal.describe_read_error e));
+      Alcotest.(check int) "tailer_records" 4 (Wal.tailer_records tailer))
+
+(* ------------------------------------------------------------------ *)
+(* daemon fixtures                                                     *)
+
+let service_scenario =
+  Scenario.make ~servers:5 ~zones:12 ~clients:120 ~total_capacity_mbps:400. ()
+
+let notation = Scenario.notation service_scenario
+
+let daemon_config () =
+  let resolve ~scenario ~seed =
+    ignore scenario;
+    let world = World.generate (Rng.create ~seed) service_scenario in
+    let assignment = Two_phase.run Two_phase.grez_grec (Rng.create ~seed) world in
+    Ok (Engine.create ~world ~assignment Engine.default_config)
+  in
+  {
+    Daemon.resolve;
+    checkpoint_every = None;
+    checkpoint_sink = None;
+    echo_responses = true;
+    resume_window = Daemon.default_resume_window;
+  }
+
+(* hello + the loadgen's t/event lines, raw, ready for handle_line *)
+let stream_lines seed =
+  let world = World.generate (Rng.create ~seed) service_scenario in
+  let config = { Loadgen.default_config with Loadgen.rate = 300.; ctrl_every = Some 90 } in
+  let lines = ref [] in
+  let emit = function
+    | Proto.Hello _ | Proto.End | Proto.Resume _ -> ()
+    | Proto.Time at -> lines := Proto.format_time at :: !lines
+    | Proto.Event e -> lines := Proto.format_event e :: !lines
+  in
+  ignore (Loadgen.run (Rng.create ~seed:(seed + 1000)) ~world ~world_seed:seed config ~emit);
+  Proto.format_hello ~scenario:notation ~seed :: List.rev !lines
+
+let feed session lines =
+  let out = ref [] in
+  let send l = out := l :: !out in
+  List.iter
+    (fun raw ->
+      match Daemon.handle_line session ~send raw with
+      | `Continue -> ()
+      | `End | `Fatal _ -> Alcotest.failf "stream stalled on %S" raw)
+    lines;
+  List.rev !out
+
+(* the full numbered response log, extracted through the protocol
+   itself: resume 0 answers resume-ok then replays everything *)
+let full_log session =
+  let out = ref [] in
+  let send l = out := l :: !out in
+  (match Daemon.handle_line session ~send "resume 0" with
+  | `Continue -> ()
+  | _ -> Alcotest.fail "resume 0 must not end the stream");
+  match List.rev !out with
+  | ok :: replayed -> (
+      match Proto.parse_response ok with
+      | Ok (Proto.Resume_ok { events; responses }) ->
+          Alcotest.(check int) "resume-ok RESPONSES matches the replay"
+            responses (List.length replayed);
+          (events, replayed)
+      | _ -> Alcotest.failf "expected resume-ok, got %S" ok)
+  | [] -> Alcotest.fail "resume 0 answered nothing"
+
+(* ------------------------------------------------------------------ *)
+(* crash recovery: snapshot-free WAL replay is bitwise-identical       *)
+
+(* Satellite (c): 3 seeds x 3 kill points, one of them mid-record. The
+   recovered daemon must reproduce the uninterrupted run's engine
+   fingerprint AND its numbered response stream, byte for byte. *)
+let check_kill_resume seed =
+  let lines = stream_lines seed in
+  let n = List.length lines in
+  (* the uninterrupted run (no WAL needed: it is the reference) *)
+  let reference = Daemon.make_session (daemon_config ()) in
+  ignore (feed reference lines);
+  let ref_events, ref_log = full_log reference in
+  Alcotest.(check int) "reference journal cursor" (n - 1) ref_events;
+  let ref_fingerprint =
+    match Daemon.session_engine reference with
+    | Some e -> Engine.fingerprint e
+    | None -> Alcotest.fail "reference has no engine"
+  in
+  let kill_points = [ n / 4, false; n / 2, false; 2 * n / 3, true ] in
+  List.iter
+    (fun (cut, tear) ->
+      with_temp_path ".wal" @@ fun path ->
+      (* run to the kill point with a WAL attached, then "SIGKILL":
+         drop the session without finishing *)
+      let w = Wal.create_writer ~fsync_every:8 ~path () in
+      let doomed = Daemon.make_session ~wal:w (daemon_config ()) in
+      ignore (feed doomed (List.filteri (fun i _ -> i < cut) lines));
+      Wal.close_writer w;
+      if tear then
+        (* the append the crash interrupted: header + partial payload *)
+        append_bytes path ("\x00\x00\x00\x40" ^ "\x00\x00\x00\x00" ^ "join 99");
+      (* recovery: replay the log, then serve the rest of the stream *)
+      let writer, records =
+        match Wal.open_append ~path () with
+        | Ok wr -> wr
+        | Error e -> Alcotest.failf "open_append: %s" (Wal.describe_read_error e)
+      in
+      Alcotest.(check int) "every applied record survived the kill" cut
+        (List.length records);
+      let recovered = Daemon.make_session ~wal:writer (daemon_config ()) in
+      (match Daemon.replay recovered records with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "replay rejected a healthy WAL: %s" m);
+      Alcotest.(check int) "wal cursor restored" cut (Daemon.wal_records recovered);
+      ignore (feed recovered (List.filteri (fun i _ -> i >= cut) lines));
+      Wal.close_writer writer;
+      let got_events, got_log = full_log recovered in
+      Alcotest.(check int) "journal cursor identical" ref_events got_events;
+      Alcotest.(check (list string)) "response stream is byte-identical" ref_log got_log;
+      let got_fingerprint =
+        match Daemon.session_engine recovered with
+        | Some e -> Engine.fingerprint e
+        | None -> Alcotest.fail "recovered session has no engine"
+      in
+      Alcotest.(check string) "engine fingerprint is bitwise-identical"
+        ref_fingerprint got_fingerprint)
+    kill_points
+
+let test_kill_resume_seeds () = List.iter check_kill_resume [ 11; 22; 33 ]
+
+let test_resume_protocol_errors () =
+  let session = Daemon.make_session (daemon_config ()) in
+  let out = ref [] in
+  let send l = out := l :: !out in
+  (* resume before hello *)
+  (match Daemon.handle_line session ~send "resume 0" with
+  | `Continue -> ()
+  | _ -> Alcotest.fail "resume before hello must not be fatal");
+  (match !out with
+  | [ e ] when String.length e >= 3 && String.sub e 0 3 = "err" -> ()
+  | _ -> Alcotest.fail "resume before hello must answer err");
+  ignore (feed session (stream_lines 44));
+  (* resume ahead of the stream *)
+  out := [];
+  ignore (Daemon.handle_line session ~send (Proto.format_resume 1_000_000));
+  match !out with
+  | [ e ] when String.length e >= 3 && String.sub e 0 3 = "err" -> ()
+  | _ -> Alcotest.fail "resume ahead of the stream must answer err"
+
+(* ------------------------------------------------------------------ *)
+(* parse hardening (satellite a)                                       *)
+
+let prop_parse_never_raises =
+  QCheck.Test.make ~name:"parse_line never raises" ~count:2000
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match Proto.parse_line s with Ok _ | Error _ -> true)
+
+let prop_parse_fuzzed_requests =
+  (* near-miss structured lines: valid verbs with mangled arguments *)
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun verb args -> String.concat " " (verb :: args))
+        (oneofl [ "hello"; "t"; "join"; "leave"; "move"; "ctrl"; "resume"; "end"; "x" ])
+        (list_size (0 -- 5)
+           (oneofl [ "0"; "-1"; "99999999999999999999"; "nan"; "inf"; "x"; ""; "1.5" ])))
+  in
+  QCheck.Test.make ~name:"parse_line total on near-miss lines" ~count:2000
+    (QCheck.make gen)
+    (fun s -> match Proto.parse_line s with Ok _ | Error _ -> true)
+
+let test_parse_oversized () =
+  let long = "join " ^ String.make Proto.max_line_bytes '1' in
+  (match Proto.parse_line long with
+  | Error (Proto.Oversized n) ->
+      Alcotest.(check int) "reports the offending length" (String.length long) n
+  | Error (Proto.Malformed _) -> Alcotest.fail "oversized must be typed Oversized"
+  | Ok _ -> Alcotest.fail "oversized line must not parse");
+  (* exactly at the bound is not oversized *)
+  let at_bound = "join " ^ String.make (Proto.max_line_bytes - 5) '1' in
+  Alcotest.(check int) "fixture is at the bound" Proto.max_line_bytes
+    (String.length at_bound);
+  match Proto.parse_line at_bound with
+  | Error (Proto.Malformed _) -> ()
+  | Error (Proto.Oversized _) -> Alcotest.fail "at-bound line is not oversized"
+  | Ok _ -> Alcotest.fail "absurd join must still be malformed"
+
+(* ------------------------------------------------------------------ *)
+(* client: reconnect and exactly-once resume (in-memory transport)     *)
+
+(* A simulated daemon "process": handle_line over an in-memory queue,
+   durable state in a real WAL file, killable between responses. The
+   kill schedule fires after the Nth delivered response; recovery is
+   exactly what capsim does — open_append + replay. *)
+type sim_daemon = {
+  wal_path : string;
+  mutable session : Daemon.session option;  (* None = process is dead *)
+  mutable delivered : int;
+  mutable kill_at : int list;
+}
+
+let sim_connect daemon () =
+  (* supervisor stand-in: (re)start the daemon if it is down *)
+  (match daemon.session with
+  | Some _ -> ()
+  | None ->
+      if Sys.file_exists daemon.wal_path then (
+        match Wal.open_append ~path:daemon.wal_path () with
+        | Error e -> Alcotest.failf "recovery open_append: %s" (Wal.describe_read_error e)
+        | Ok (writer, records) ->
+            let session = Daemon.make_session ~wal:writer (daemon_config ()) in
+            (match Daemon.replay session records with
+            | Ok () -> ()
+            | Error m -> Alcotest.failf "recovery replay: %s" m);
+            daemon.session <- Some session)
+      else
+        daemon.session <-
+          Some
+            (Daemon.make_session
+               ~wal:(Wal.create_writer ~path:daemon.wal_path ())
+               (daemon_config ())));
+  let queue = Queue.create () in
+  let eof = ref false in
+  let die () =
+    daemon.session <- None;
+    Queue.clear queue;
+    eof := true
+  in
+  let send_line line =
+    match daemon.session with
+    | None -> raise End_of_file
+    | Some session -> (
+        match Daemon.handle_line session ~send:(fun r -> Queue.add r queue) line with
+        | `Continue -> ()
+        | `Fatal m -> Alcotest.failf "sim daemon refused the stream: %s" m
+        | `End ->
+            (* drain through a real channel, as finish_session demands *)
+            let drain = Filename.temp_file "cap_wal_drain" ".txt" in
+            let out = open_out drain in
+            (match Daemon.finish_session session out with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "finish failed: %s" m);
+            close_out out;
+            String.split_on_char '\n' (read_file drain)
+            |> List.iter (fun l -> if l <> "" then Queue.add l queue);
+            Sys.remove drain;
+            daemon.session <- None;
+            eof := true)
+  in
+  let recv_line () =
+    (* the kill schedule rides on delivered responses *)
+    match daemon.kill_at with
+    | k :: rest when daemon.delivered >= k && daemon.session <> None ->
+        daemon.kill_at <- rest;
+        die ();
+        None
+    | _ ->
+        if Queue.is_empty queue then if !eof then None else None
+        else begin
+          daemon.delivered <- daemon.delivered + 1;
+          Some (Queue.pop queue)
+        end
+  in
+  let has_input () = (not (Queue.is_empty queue)) || !eof in
+  Ok { Client.send_line; recv_line; has_input; close = (fun () -> ()) }
+
+let test_client_reconnects_exactly_once () =
+  with_temp_path ".wal" @@ fun wal_path ->
+  let seed = 21 in
+  let lines = List.tl (stream_lines seed) in
+  (* the reference: one clean run, same lines, drain included *)
+  let reference =
+    let d = { wal_path = temp_path ".wal"; session = None; delivered = 0; kill_at = [] } in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove d.wal_path with Sys_error _ -> ())
+      (fun () ->
+        let config =
+          Client.make_config
+            ~connect:(sim_connect d) ~scenario:notation ~seed
+            ~rng:(Rng.create ~seed:99) ~sleep:(fun _ -> ()) ()
+        in
+        match Client.run config ~lines with
+        | Ok outcome ->
+            Alcotest.(check int) "reference needs no reconnect" 0
+              outcome.Client.reconnects;
+            outcome.Client.responses
+        | Error m -> Alcotest.failf "reference client failed: %s" m)
+  in
+  Alcotest.(check bool) "reference saw responses" true (List.length reference > 50);
+  (* the tortured run: the daemon dies twice mid-stream *)
+  let d = { wal_path; session = None; delivered = 0; kill_at = [ 25; 120 ] } in
+  let config =
+    Client.make_config
+      ~connect:(sim_connect d) ~scenario:notation ~seed
+      ~rng:(Rng.create ~seed:100) ~sleep:(fun _ -> ()) ()
+  in
+  match Client.run config ~lines with
+  | Error m -> Alcotest.failf "client gave up: %s" m
+  | Ok outcome ->
+      Alcotest.(check int) "both kills forced reconnects" 2 outcome.Client.reconnects;
+      Alcotest.(check (list string)) "no err lines" [] outcome.Client.errors;
+      Alcotest.(check (list string))
+        "client-observed stream is byte-identical to the unbroken run" reference
+        outcome.Client.responses
+
+(* ------------------------------------------------------------------ *)
+(* follower: tail, lag, promote                                        *)
+
+let test_follower_promote_identity () =
+  with_temp_path ".wal" @@ fun path ->
+  let seed = 31 in
+  let lines = stream_lines seed in
+  let n = List.length lines in
+  let cut = n / 2 in
+  let w = Wal.create_writer ~path () in
+  let primary = Daemon.make_session ~wal:w (daemon_config ()) in
+  ignore (feed primary (List.filteri (fun i _ -> i < cut) lines));
+  let follower =
+    match Follower.create (daemon_config ()) ~path with
+    | Ok f -> f
+    | Error m -> Alcotest.failf "follower create: %s" m
+  in
+  (match Follower.catch_up follower with
+  | Ok applied -> Alcotest.(check int) "caught up to the prefix" cut applied
+  | Error m -> Alcotest.failf "catch_up: %s" m);
+  (* primary advances; the follower lags until it polls *)
+  ignore (feed primary (List.filteri (fun i _ -> i >= cut) lines));
+  Alcotest.(check int) "lag before poll" cut (Follower.records_applied follower);
+  (* primary "dies" (writer dropped mid-record), follower takes over *)
+  Wal.close_writer w;
+  append_bytes path "\x00\x00\x00\x20\xaa";
+  (match Follower.promote follower ~fsync_every:32 with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "promote: %s" m);
+  Alcotest.(check bool) "promoted" true (Follower.is_promoted follower);
+  Alcotest.(check int) "nothing lost in the handover" n
+    (Daemon.wal_records (Follower.session follower));
+  (* the promoted session IS the primary, bit for bit *)
+  let want =
+    match Daemon.session_engine primary with
+    | Some e -> Engine.fingerprint e
+    | None -> Alcotest.fail "primary has no engine"
+  in
+  let got =
+    match Daemon.session_engine (Follower.session follower) with
+    | Some e -> Engine.fingerprint e
+    | None -> Alcotest.fail "follower has no engine"
+  in
+  Alcotest.(check string) "promoted engine is bitwise-identical" want got;
+  (* and it keeps appending on a clean boundary *)
+  let out = ref [] in
+  ignore
+    (Daemon.handle_line (Follower.session follower)
+       ~send:(fun l -> out := l :: !out)
+       "join 7777 1 1");
+  match Wal.read ~path with
+  | Ok (records, Wal.Clean) ->
+      Alcotest.(check int) "promoted append landed" (n + 1) (List.length records)
+  | Ok (_, Wal.Torn reason) -> Alcotest.failf "torn after promotion: %s" reason
+  | Error e -> Alcotest.failf "reread: %s" (Wal.describe_read_error e)
+
+(* ------------------------------------------------------------------ *)
+(* supervisor policy (scripted virtual machine)                        *)
+
+type script_state = {
+  mutable clock : float;
+  mutable next_pid : int;
+  mutable spawned : (Supervisor.role * int) list;  (* newest first *)
+  mutable promoted : int list;
+  mutable killed : int list;
+  mutable slept : float list;
+  mutable waits : (int * Unix.process_status) list;
+}
+
+let scripted ?(on_wait = fun _ -> ()) () =
+  let st =
+    {
+      clock = 0.;
+      next_pid = 100;
+      spawned = [];
+      promoted = [];
+      killed = [];
+      slept = [];
+      waits = [];
+    }
+  in
+  let actions =
+    {
+      Supervisor.spawn =
+        (fun role ->
+          let pid = st.next_pid in
+          st.next_pid <- pid + 1;
+          st.spawned <- (role, pid) :: st.spawned;
+          Ok pid);
+      promote =
+        (fun ~pid ->
+          st.promoted <- pid :: st.promoted;
+          Ok ());
+      wait =
+        (fun () ->
+          on_wait st;
+          match st.waits with
+          | [] -> Alcotest.fail "supervisor waited with no scripted status"
+          | w :: rest ->
+              st.waits <- rest;
+              w);
+      kill = (fun ~pid -> st.killed <- pid :: st.killed);
+      sleep =
+        (fun d ->
+          st.slept <- d :: st.slept;
+          st.clock <- st.clock +. d);
+      now = (fun () -> st.clock);
+      log = (fun _ -> ());
+    }
+  in
+  st, actions
+
+let config ?(with_standby = false) ?(max_crashes = 3) () =
+  {
+    Supervisor.backoff_base = 0.1;
+    backoff_max = 1.0;
+    crash_window = 10.0;
+    max_crashes;
+    with_standby;
+  }
+
+let test_supervisor_clean_exit () =
+  let st, actions = scripted () in
+  st.waits <- [ (100, Unix.WEXITED 0) ];
+  (match Supervisor.run (config ()) actions with
+  | Supervisor.Clean_exit -> ()
+  | o -> Alcotest.failf "expected clean exit, got %s" (Supervisor.describe_outcome o));
+  Alcotest.(check int) "one spawn" 1 (List.length st.spawned)
+
+let test_supervisor_unrecoverable () =
+  let st, actions = scripted () in
+  st.waits <- [ (100, Unix.WEXITED 2) ];
+  match Supervisor.run (config ()) actions with
+  | Supervisor.Unrecoverable 2 -> ()
+  | o -> Alcotest.failf "expected unrecoverable, got %s" (Supervisor.describe_outcome o)
+
+let test_supervisor_backoff_restart () =
+  let st, actions = scripted () in
+  st.waits <-
+    [
+      (100, Unix.WSIGNALED Sys.sigkill);
+      (101, Unix.WSIGNALED Sys.sigsegv);
+      (102, Unix.WEXITED 0);
+    ];
+  (match Supervisor.run (config ()) actions with
+  | Supervisor.Clean_exit -> ()
+  | o -> Alcotest.failf "expected clean exit, got %s" (Supervisor.describe_outcome o));
+  Alcotest.(check int) "three spawns" 3 (List.length st.spawned);
+  (* exponential: 0.1 then 0.2 *)
+  Alcotest.(check (list (float 1e-9))) "backoff doubles" [ 0.2; 0.1 ] st.slept
+
+let test_supervisor_crash_loop_breaker () =
+  let st, actions = scripted () in
+  st.waits <- List.init 10 (fun i -> (100 + i, Unix.WSIGNALED Sys.sigkill));
+  match Supervisor.run (config ~max_crashes:3 ()) actions with
+  | Supervisor.Crash_loop 4 -> ()
+  | o -> Alcotest.failf "expected crash loop at 4, got %s" (Supervisor.describe_outcome o)
+
+let test_supervisor_window_forgives_old_crashes () =
+  (* crashes spaced wider than the window never accumulate *)
+  let on_wait st = st.clock <- st.clock +. 100. in
+  let st, actions = scripted ~on_wait () in
+  st.waits <-
+    List.init 8 (fun i -> (100 + i, Unix.WSIGNALED Sys.sigkill))
+    @ [ (108, Unix.WEXITED 0) ];
+  (match Supervisor.run (config ~max_crashes:2 ()) actions with
+  | Supervisor.Clean_exit -> ()
+  | o -> Alcotest.failf "expected clean exit, got %s" (Supervisor.describe_outcome o));
+  Alcotest.(check int) "nine spawns" 9 (List.length st.spawned)
+
+let test_supervisor_failover_beats_restart () =
+  let st, actions = scripted () in
+  (* primary 100, standby 101; primary dies -> 101 promoted, 102 spawned
+     as the new standby; promoted primary then exits cleanly *)
+  st.waits <- [ (100, Unix.WSIGNALED Sys.sigkill); (101, Unix.WEXITED 0) ];
+  (match Supervisor.run (config ~with_standby:true ()) actions with
+  | Supervisor.Clean_exit -> ()
+  | o -> Alcotest.failf "expected clean exit, got %s" (Supervisor.describe_outcome o));
+  Alcotest.(check (list int)) "standby was promoted" [ 101 ] st.promoted;
+  Alcotest.(check (list int)) "no backoff on failover" [] (List.map int_of_float st.slept);
+  Alcotest.(check (list int)) "replacement standby killed at clean exit" [ 102 ] st.killed;
+  let roles = List.rev_map fst st.spawned in
+  Alcotest.(check int) "three children total" 3 (List.length roles);
+  match roles with
+  | [ Supervisor.Primary; Supervisor.Standby; Supervisor.Standby ] -> ()
+  | _ -> Alcotest.fail "spawn order should be primary, standby, standby"
+
+let test_supervisor_standby_crash_respawns () =
+  let st, actions = scripted () in
+  (* the standby (101) dies; a new one (102) replaces it; then the
+     primary exits cleanly and 102 is reaped *)
+  st.waits <- [ (101, Unix.WSIGNALED Sys.sigkill); (100, Unix.WEXITED 0) ];
+  (match Supervisor.run (config ~with_standby:true ()) actions with
+  | Supervisor.Clean_exit -> ()
+  | o -> Alcotest.failf "expected clean exit, got %s" (Supervisor.describe_outcome o));
+  Alcotest.(check (list int)) "nothing promoted" [] st.promoted;
+  Alcotest.(check (list int)) "replacement standby killed" [ 102 ] st.killed
+
+(* ------------------------------------------------------------------ *)
+(* socket binding (satellite f)                                        *)
+
+let test_bind_unix_reclaims_stale_socket () =
+  let dir = Filename.temp_file "cap_wal_sock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "d.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* first bind on a fresh path *)
+      let fd =
+        match Daemon.bind_unix ~path with
+        | Ok fd -> fd
+        | Error e -> Alcotest.failf "fresh bind: %s" (Daemon.describe_bind_error e)
+      in
+      (* a crashed daemon leaves the file behind with nobody accepting *)
+      Unix.close fd;
+      Alcotest.(check bool) "stale socket file left behind" true (Sys.file_exists path);
+      let fd =
+        match Daemon.bind_unix ~path with
+        | Ok fd -> fd
+        | Error e ->
+            Alcotest.failf "stale socket must be reclaimed: %s"
+              (Daemon.describe_bind_error e)
+      in
+      (* a live listener must NOT be evicted *)
+      Unix.listen fd 8;
+      (match Daemon.bind_unix ~path with
+      | Error (Daemon.Address_in_use _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Daemon.describe_bind_error e)
+      | Ok fd2 ->
+          Unix.close fd2;
+          Alcotest.fail "binding over a live daemon must fail");
+      Unix.close fd)
+
+let tests =
+  [
+    ( "wal",
+      [
+        case "crc32 matches the IEEE check value" test_crc32_vector;
+        case "records round-trip with a clean tail" test_round_trip;
+        case "oversized payloads are rejected" test_append_rejects_oversized;
+        case "torn tails read clean and truncate on open" test_torn_tails;
+        case "mid-log corruption is fatal" test_corruption_is_fatal;
+        case "tailer yields only complete records" test_tailer_incremental;
+        case "kill + WAL replay is bitwise-identical (3 seeds x 3 kills)"
+          test_kill_resume_seeds;
+        case "resume outside the window answers err" test_resume_protocol_errors;
+        QCheck_alcotest.to_alcotest prop_parse_never_raises;
+        QCheck_alcotest.to_alcotest prop_parse_fuzzed_requests;
+        case "oversized lines get the typed error" test_parse_oversized;
+        case "client reconnects with exactly-once resume"
+          test_client_reconnects_exactly_once;
+        case "follower tails, promotes, and matches the primary"
+          test_follower_promote_identity;
+        case "supervisor: clean exit stops supervision" test_supervisor_clean_exit;
+        case "supervisor: exit 2 is not restarted" test_supervisor_unrecoverable;
+        case "supervisor: crashes restart with doubling backoff"
+          test_supervisor_backoff_restart;
+        case "supervisor: circuit breaker opens on a crash loop"
+          test_supervisor_crash_loop_breaker;
+        case "supervisor: the window forgives old crashes"
+          test_supervisor_window_forgives_old_crashes;
+        case "supervisor: failover beats restart" test_supervisor_failover_beats_restart;
+        case "supervisor: a dead standby is replaced"
+          test_supervisor_standby_crash_respawns;
+        case "bind reclaims stale sockets, refuses live ones"
+          test_bind_unix_reclaims_stale_socket;
+      ] );
+  ]
