@@ -221,6 +221,32 @@ let make_tests () =
            try Sys.remove path with Sys_error _ -> ());
        let payload = "join 123456 654321 42" in
        Staged.stage (fun () -> Cap_service.Wal.append writer payload));
+    (* WAL append on the segmented layout: the same hot path plus the
+       amortized cost of segment rotation (8 KiB segments) and the
+       periodic snapshot-anchored GC that keeps the chain short. *)
+    Test.make ~name:"service/wal-rotate"
+      (let base = Filename.temp_file "cap_bench_walrot" ".wal" in
+       Sys.remove base;
+       let writer =
+         Cap_service.Wal.create_writer ~segment_bytes:8192 ~path:base ()
+       in
+       at_exit (fun () ->
+           Cap_service.Wal.close_writer writer;
+           let dir = Filename.dirname base and stem = Filename.basename base in
+           Array.iter
+             (fun name ->
+               if
+                 String.length name >= String.length stem
+                 && String.sub name 0 (String.length stem) = stem
+               then
+                 try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+             (Sys.readdir dir));
+       let payload = "join 123456 654321 42" in
+       Staged.stage (fun () ->
+           Cap_service.Wal.append writer payload;
+           let written = Cap_service.Wal.records_written writer in
+           if written mod 1024 = 0 then
+             ignore (Cap_service.Wal.gc writer ~covered:written : int)));
     Test.make ~name:"substrate/dve-sim-60s"
       (Staged.stage (fun () ->
            Cap_sim.Dve_sim.run (Rng.split bench_rng) sim_config ~world:default_world

@@ -34,6 +34,7 @@ module Wal = Cap_service.Wal
 module Follower = Cap_service.Follower
 module Supervisor = Cap_service.Supervisor
 module Client = Cap_service.Client
+module Disk_torture = Cap_service.Disk_torture
 
 open Cmdliner
 
@@ -1288,6 +1289,7 @@ type serve_params = {
   sv_quiet : bool;
   sv_wal : string option;
   sv_fsync_every : int;
+  sv_segment_bytes : int option;
   sv_follow : bool;
 }
 
@@ -1307,6 +1309,7 @@ let default_serve_params =
     sv_quiet = false;
     sv_wal = None;
     sv_fsync_every = 32;
+    sv_segment_bytes = None;
     sv_follow = false;
   }
 
@@ -1347,6 +1350,10 @@ let serve_main p =
   if p.sv_reopt_every < 0 then usage "--reopt-every: must be >= 0";
   if p.sv_reopt_moves < 0 then usage "--reopt-moves: must be >= 0";
   if p.sv_fsync_every < 0 then usage "--fsync-every: must be >= 0";
+  (match p.sv_segment_bytes with
+  | Some n when n <= 0 -> usage "--wal-segment-bytes: must be positive"
+  | Some _ when p.sv_wal = None -> usage "--wal-segment-bytes needs --wal FILE"
+  | _ -> ());
   (match p.sv_max_inflight with
   | Some n when n < 0 -> usage "--max-inflight: must be >= 0"
   | _ -> ());
@@ -1356,8 +1363,6 @@ let serve_main p =
   | _ -> ());
   if p.sv_follow && (p.sv_wal = None || p.sv_listen = None) then
     usage "--follow needs --wal FILE and --listen SOCKET";
-  if p.sv_follow && Option.is_some p.sv_resume then
-    usage "--follow recovers from the WAL; --resume does not apply";
   let algorithm =
     match Cap_core.Two_phase.find p.sv_algorithm with
     | Some a -> a
@@ -1387,6 +1392,29 @@ let serve_main p =
     serve_resolve ~algorithm ~engine_config ~expect:p.sv_expect ~identity
       ~scenario ~seed
   in
+  (* shared by eager --resume and the snapshot-bootstrapped standby *)
+  let resume_engine snap =
+    let spec = snap.Service_run.spec in
+    let scenario = spec.Service_run.scenario in
+    let seed = spec.Service_run.seed in
+    (match p.sv_expect with
+    | Some want when want <> scenario ->
+        usage (Printf.sprintf "snapshot is for %s, --expect says %s" scenario want)
+    | _ -> ());
+    let parsed =
+      match Validate.scenario_notation scenario with
+      | Ok s -> s
+      | Error issue ->
+          usage (Printf.sprintf "snapshot scenario: %s" (Validate.describe issue))
+    in
+    let world = World.generate (Rng.create ~seed) parsed in
+    identity := Some (scenario, seed, world);
+    match Service_run.resume ~world snap with
+    | Ok engine -> (engine, spec)
+    | Error m -> usage m
+  in
+  (* the live writer, for snapshot-anchored GC from the checkpoint sink *)
+  let wal_ref = ref None in
   let checkpoint_sink =
     match p.sv_ck_path with
     | None -> None
@@ -1401,7 +1429,17 @@ let serve_main p =
                     ~scenario ~seed ~world engine_config engine
                 in
                 match Service_run.save ~path snap with
-                | Ok () -> ()
+                | Ok () ->
+                    (* the checkpoint is durable: segments wholly below
+                       its WAL position are dead weight *)
+                    Option.iter
+                      (fun w ->
+                        let deleted = Wal.gc w ~covered:wal_records in
+                        if deleted > 0 then
+                          Printf.eprintf
+                            "serve: wal gc: %d segment(s) dropped, %d bytes live\n%!"
+                            deleted (Wal.total_bytes w))
+                      !wal_ref
                 | Error e ->
                     Printf.eprintf "checkpoint write failed: %s\n%!"
                       (Envelope.describe e)))
@@ -1416,8 +1454,16 @@ let serve_main p =
     }
   in
   let note fmt = Printf.ksprintf (fun m -> Printf.eprintf "serve: %s\n%!" m) fmt in
+  let new_writer ~path =
+    Wal.create_writer ~fsync_every:p.sv_fsync_every
+      ?segment_bytes:p.sv_segment_bytes ~path ()
+  in
+  let reopen ~path =
+    Wal.open_append ~fsync_every:p.sv_fsync_every
+      ?segment_bytes:p.sv_segment_bytes ~path ()
+  in
   (* --- build the session: fresh, snapshot+WAL recovery, or standby --- *)
-  let session =
+  let build_session () =
     if p.sv_follow then begin
       (* hot standby: tail the primary's WAL until promoted (SIGUSR1) *)
       let wal_path = Option.get p.sv_wal in
@@ -1425,22 +1471,44 @@ let serve_main p =
       Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> promote_now := true));
       let orphaned () = Unix.getppid () = 1 in
       let rec wait_for_wal () =
-        if (not (Sys.file_exists wal_path)) && not !promote_now then begin
+        if (not (Wal.log_exists ~path:wal_path ())) && not !promote_now then begin
           if orphaned () then exit 0;
           Unix.sleepf 0.02;
           wait_for_wal ()
         end
       in
       wait_for_wal ();
-      if not (Sys.file_exists wal_path) then begin
+      if not (Wal.log_exists ~path:wal_path ()) then begin
         (* promoted before the primary wrote anything: start fresh *)
+        if snapshot <> None then
+          usage
+            "a checkpoint exists but the log is gone; refusing to serve fresh \
+             state over recorded history";
         note "promoted with no WAL yet; starting fresh";
-        Daemon.make_session
-          ~wal:(Wal.create_writer ~fsync_every:p.sv_fsync_every ~path:wal_path ())
-          daemon_config
+        let writer = new_writer ~path:wal_path in
+        wal_ref := Some writer;
+        Daemon.make_session ~wal:writer daemon_config
       end
       else
-        match Follower.create daemon_config ~path:wal_path with
+        let follower =
+          match snapshot with
+          | None -> Follower.create daemon_config ~path:wal_path
+          | Some snap ->
+              (* GC may have dropped the log\'s head behind the latest
+                 checkpoint: restore the snapshot and tail from its
+                 recorded WAL position instead of record 0 *)
+              let engine, spec = resume_engine snap in
+              let session =
+                Daemon.resume_session daemon_config ~engine
+                  ~scenario:spec.Service_run.scenario
+                  ~seed:spec.Service_run.seed
+                  ~wal_records:spec.Service_run.wal_position
+                  ~response_seq:spec.Service_run.response_seq
+              in
+              Follower.create ~session ~from:spec.Service_run.wal_position
+                daemon_config ~path:wal_path
+        in
+        match follower with
         | Error m -> usage m
         | Ok follower ->
             let rec tail () =
@@ -1454,7 +1522,10 @@ let serve_main p =
               end
             in
             tail ();
-            (match Follower.promote follower ~fsync_every:p.sv_fsync_every with
+            (match
+               Follower.promote follower ~fsync_every:p.sv_fsync_every
+                 ?segment_bytes:p.sv_segment_bytes ()
+             with
             | Error m -> broken (Printf.sprintf "promotion failed: %s" m)
             | Ok extra ->
                 note "promoted standby: %d records tailed, %d caught up at promotion"
@@ -1466,54 +1537,43 @@ let serve_main p =
       | Some snap -> (
           (* eager resume: the engine must exist before the WAL suffix
              can replay, so the hello is not what builds it here *)
-          let spec = snap.Service_run.spec in
+          let engine, spec = resume_engine snap in
           let scenario = spec.Service_run.scenario in
           let seed = spec.Service_run.seed in
-          (match p.sv_expect with
-          | Some want when want <> scenario ->
-              usage
-                (Printf.sprintf "snapshot is for %s, --expect says %s" scenario
-                   want)
-          | _ -> ());
-          let parsed =
-            match Validate.scenario_notation scenario with
-            | Ok s -> s
-            | Error issue ->
-                usage
-                  (Printf.sprintf "snapshot scenario: %s" (Validate.describe issue))
-          in
-          let world = World.generate (Rng.create ~seed) parsed in
-          identity := Some (scenario, seed, world);
-          let engine =
-            match Service_run.resume ~world snap with
-            | Ok e -> e
-            | Error m -> usage m
-          in
           let wal, suffix =
             match p.sv_wal with
             | None -> (None, [])
             | Some path ->
-                if not (Sys.file_exists path) then
+                if not (Wal.log_exists ~path ()) then
                   usage
                     (Printf.sprintf
                        "--resume with --wal %s: the log is missing, so events \
                         past the snapshot are unrecoverable"
                        path)
                 else (
-                  match Wal.open_append ~fsync_every:p.sv_fsync_every ~path () with
+                  match reopen ~path with
                   | Error e -> usage (Wal.describe_read_error e)
                   | Ok (writer, records) ->
-                      let have = List.length records in
+                      wal_ref := Some writer;
+                      let base = Wal.base_index writer in
+                      let have = base + List.length records in
                       if have < spec.Service_run.wal_position then
                         usage
                           (Printf.sprintf
                              "snapshot is ahead of the WAL (%d records recorded, \
                               %d in the log)"
                              spec.Service_run.wal_position have)
+                      else if base > spec.Service_run.wal_position then
+                        usage
+                          (Printf.sprintf
+                             "the log was GC\'d past this snapshot (oldest \
+                              surviving record %d, snapshot at %d) — resume \
+                              from the checkpoint that anchored the GC"
+                             base spec.Service_run.wal_position)
                       else
                         ( Some writer,
                           List.filteri
-                            (fun i _ -> i >= spec.Service_run.wal_position)
+                            (fun i _ -> base + i >= spec.Service_run.wal_position)
                             records ))
           in
           let session =
@@ -1532,15 +1592,25 @@ let serve_main p =
           match p.sv_wal with
           | None -> Daemon.make_session daemon_config
           | Some path ->
-              if not (Sys.file_exists path) then
-                Daemon.make_session
-                  ~wal:(Wal.create_writer ~fsync_every:p.sv_fsync_every ~path ())
-                  daemon_config
+              if not (Wal.log_exists ~path ()) then begin
+                let writer = new_writer ~path in
+                wal_ref := Some writer;
+                Daemon.make_session ~wal:writer daemon_config
+              end
               else (
                 (* crash recovery from the log alone: replay everything *)
-                match Wal.open_append ~fsync_every:p.sv_fsync_every ~path () with
+                match reopen ~path with
                 | Error e -> usage (Wal.describe_read_error e)
                 | Ok (writer, records) -> (
+                    if Wal.base_index writer > 0 then
+                      usage
+                        (Printf.sprintf
+                           "the log was GC\'d (oldest surviving record %d): \
+                            replay from the log alone cannot rebuild the \
+                            engine — pass --resume with the anchoring \
+                            checkpoint"
+                           (Wal.base_index writer));
+                    wal_ref := Some writer;
                     let session = Daemon.make_session ~wal:writer daemon_config in
                     match Daemon.replay session records with
                     | Ok () ->
@@ -1549,17 +1619,32 @@ let serve_main p =
                         session
                     | Error m -> broken (Printf.sprintf "WAL replay failed: %s" m))))
   in
+  let session =
+    try build_session ()
+    with Wal.Write_error { path; error } ->
+      usage (Printf.sprintf "wal %s: %s" path (Unix.error_message error))
+  in
   let result =
-    match p.sv_listen with
-    | Some path -> (
-        match Daemon.serve_unix_session session ~path with
-        | Ok stats -> Ok stats
-        | Error (Daemon.Bind e) ->
-            (* structured diagnostic + usage exit, not a raw Unix_error *)
-            Printf.eprintf "serve: %s\n%!" (Daemon.describe_bind_error e);
-            exit exit_usage
-        | Error (Daemon.Fatal m) -> Error m)
-    | None -> Daemon.serve_session session ~input:stdin ~output:stdout
+    try
+      match p.sv_listen with
+      | Some path -> (
+          match Daemon.serve_unix_session session ~path with
+          | Ok stats -> Ok stats
+          | Error (Daemon.Bind e) ->
+              (* structured diagnostic + usage exit, not a raw Unix_error *)
+              Printf.eprintf "serve: %s\n%!" (Daemon.describe_bind_error e);
+              exit exit_usage
+          | Error (Daemon.Fatal m) -> Error m)
+      | None -> Daemon.serve_session session ~input:stdin ~output:stdout
+    with Wal.Fsync_error { path; error } ->
+      (* fsyncgate: the kernel may have dropped the dirty pages while
+         clearing the error, so a retried fsync can claim success over
+         lost data — exit and recover by replay instead *)
+      Printf.eprintf
+        "serve: wal fsync failed on %s (%s); exiting to recover by replay — a \
+         failed fsync is never retried\n%!"
+        path (Unix.error_message error);
+      exit exit_usage
   in
   let write_latency () =
     match p.sv_latency_jsonl with
@@ -1604,8 +1689,17 @@ let serve_main p =
         List.iter (Printf.eprintf "  %s\n") stats.Daemon.violations;
         exit_violation
       end
-      else if stats.Daemon.errors > 0 then exit_usage
-      else 0
+      else
+        match stats.Daemon.degraded with
+        | Some reason ->
+            (* unrecoverable exit: restarting onto the same full disk
+               would just crash-loop, so the supervisor must stop *)
+            Printf.eprintf
+              "serve: served degraded after a wal write failure (%s); exiting \
+               unrecoverable\n"
+              reason;
+            exit_usage
+        | None -> if stats.Daemon.errors > 0 then exit_usage else 0
 
 let serve_cmd =
   let stdin_arg =
@@ -1692,13 +1786,27 @@ let serve_cmd =
     let doc =
       "Run as a hot standby: tail the primary's WAL (given by $(b,--wal)), \
        applying records as they land, and take over serving on SIGUSR1 \
-       (promotion). Requires $(b,--listen)."
+       (promotion). Requires $(b,--listen). With $(b,--resume) the standby \
+       bootstraps from the checkpoint and tails from its WAL position, which \
+       is how a standby joins a log whose head was garbage-collected."
     in
     Arg.(value & flag & info [ "follow" ] ~doc)
   in
+  let segment_bytes_arg =
+    let doc =
+      "Rotate the WAL into numbered segment files ($(i,FILE).000001, ...) once \
+       the active one reaches $(docv) bytes; with $(b,--checkpoint) segments \
+       wholly covered by the latest snapshot are garbage-collected, bounding \
+       the log's disk footprint. Requires $(b,--wal)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "wal-segment-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let run obs sv_stdin sv_listen sv_expect sv_algorithm sv_reopt_every sv_reopt_moves
       sv_max_inflight sv_ck_path sv_ck_every sv_resume sv_latency_jsonl sv_quiet
-      sv_wal sv_fsync_every sv_follow =
+      sv_wal sv_fsync_every sv_segment_bytes sv_follow =
     with_obs obs @@ fun () ->
     serve_main
       {
@@ -1716,6 +1824,7 @@ let serve_cmd =
         sv_quiet;
         sv_wal;
         sv_fsync_every;
+        sv_segment_bytes;
         sv_follow;
       }
   in
@@ -1724,7 +1833,7 @@ let serve_cmd =
       const run $ obs_term $ stdin_arg $ listen_arg $ expect_arg $ algorithm_arg
       $ reopt_every_arg $ reopt_moves_arg $ max_inflight_arg $ ck_path_arg
       $ ck_every_arg $ resume_arg $ latency_jsonl_arg $ quiet_arg $ wal_arg
-      $ fsync_every_arg $ follow_arg)
+      $ fsync_every_arg $ segment_bytes_arg $ follow_arg)
   in
   Cmd.v
     (Cmd.info "serve" ~exits
@@ -1792,9 +1901,13 @@ let supervise_main p =
           sv_listen = Some p.sp_socket;
           sv_wal = Some p.sp_wal;
           sv_follow = true;
-          sv_resume = None;
-          sv_ck_path = None;
-          sv_ck_every = None;
+          (* a standby spawned after GC cannot replay the log from
+             record 0: bootstrap it from the checkpoint and tail from
+             there (and keep checkpointing after promotion) *)
+          sv_resume =
+            (match p.sp_serve.sv_ck_path with
+            | Some ck when Sys.file_exists ck -> Some ck
+            | _ -> None);
         }
   in
   let spawn role =
@@ -1921,12 +2034,20 @@ let supervise_cmd =
     let doc = "WAL fsync batching, as for $(b,serve)." in
     Arg.(value & opt int 32 & info [ "fsync-every" ] ~docv:"N" ~doc)
   in
+  let segment_bytes_arg =
+    let doc = "WAL segment rotation threshold, as for $(b,serve)." in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "wal-segment-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let quiet_arg =
     let doc = "Daemon does not echo responses." in
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
   in
   let run obs socket wal standby pid_file backoff_base backoff_max crash_window
-      max_crashes expect algorithm ck_path ck_every fsync_every quiet =
+      max_crashes expect algorithm ck_path ck_every fsync_every segment_bytes
+      quiet =
     with_obs obs @@ fun () ->
     if backoff_base < 0. || backoff_max < 0. then begin
       Printf.eprintf "supervise: backoff values must be >= 0\n";
@@ -1946,6 +2067,7 @@ let supervise_cmd =
             sv_ck_path = ck_path;
             sv_ck_every = ck_every;
             sv_fsync_every = fsync_every;
+            sv_segment_bytes = segment_bytes;
             sv_quiet = quiet;
           };
         sp_socket = socket;
@@ -1963,7 +2085,7 @@ let supervise_cmd =
       const run $ obs_term $ socket_arg $ wal_arg $ standby_arg $ pid_file_arg
       $ backoff_base_arg $ backoff_max_arg $ crash_window_arg $ max_crashes_arg
       $ expect_arg $ algorithm_arg $ ck_path_arg $ ck_every_arg $ fsync_every_arg
-      $ quiet_arg)
+      $ segment_bytes_arg $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "supervise" ~exits
@@ -2028,11 +2150,34 @@ let torture_cmd =
     let doc = "Keep the work directory (WAL, reference stream, artifacts)." in
     Arg.(value & flag & info [ "keep" ] ~doc)
   in
+  let disk_faults_arg =
+    let doc =
+      "In-process disk-fault torture instead of the SIGKILL suite: run the \
+       stream against a WAL on an in-memory filesystem, then replay recovery \
+       from every prefix of the injected write stream, from byte-granular cuts \
+       inside each write, and from scheduled EIO/ENOSPC/short-write/\
+       fsync-failure/power-cut faults — failing unless every recovered \
+       response stream is a byte-prefix of the uninterrupted run's."
+    in
+    Arg.(value & flag & info [ "disk-faults" ] ~doc)
+  in
+  let segment_bytes_arg =
+    let doc =
+      "WAL segment rotation threshold for the daemons under test (default in \
+       $(b,--disk-faults) mode: 4096, so rotation sits inside the tortured \
+       window)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "wal-segment-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let dir_arg =
     let doc = "Work directory (default: a fresh one under TMPDIR)." in
     Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
   in
-  let run obs config seed rate duration kills no_standby fsync_every keep dir =
+  let run obs config seed rate duration kills no_standby fsync_every keep dir
+      disk_faults segment_bytes =
     with_obs obs @@ fun () ->
     Cap_obs.Control.enable ();
     let fail fmt =
@@ -2081,6 +2226,84 @@ let torture_cmd =
         | Proto.Event event -> lines := Proto.format_event event :: !lines)
     in
     let lines = List.rev !lines in
+    if disk_faults then begin
+      (* keep the exact request stream on disk so a FAIL is replayable
+         from the artifacts alone *)
+      Out_channel.with_open_bin (in_dir "stream.txt") (fun out ->
+          output_string out (Proto.format_hello ~scenario:notation ~seed);
+          output_char out '\n';
+          List.iter
+            (fun l ->
+              output_string out l;
+              output_char out '\n')
+            lines);
+      (* in-process every-prefix torture over an in-memory filesystem —
+         no forks, no real disk; the heavy lifting is {!Disk_torture} *)
+      let algorithm =
+        match Cap_core.Two_phase.find "GreZ-GreC" with
+        | Some a -> a
+        | None -> fail "bootstrap algorithm missing"
+      in
+      let engine_config =
+        { Engine.max_inflight = None; reopt_every = 512; reopt_moves = 8 }
+      in
+      (* recovery re-resolves the hello at every crash point: memoize
+         the world + bootstrap assignment (Engine.create copies both,
+         so each recovery still gets a fresh engine) *)
+      let cache = Hashtbl.create 4 in
+      let resolve ~scenario ~seed =
+        let key = (scenario, seed) in
+        let materialize = function
+          | Error m -> Error m
+          | Ok (world, assignment) ->
+              Ok (Engine.create ~world ~assignment engine_config)
+        in
+        match Hashtbl.find_opt cache key with
+        | Some r -> materialize r
+        | None ->
+            let r =
+              match Validate.scenario_notation scenario with
+              | Error issue ->
+                  Error
+                    (Printf.sprintf "invalid scenario in hello: %s"
+                       (Validate.describe issue))
+              | Ok parsed ->
+                  let rng = Rng.create ~seed in
+                  let world = World.generate rng parsed in
+                  let assignment =
+                    Cap_core.Two_phase.run algorithm (Rng.split rng) world
+                  in
+                  Ok (world, assignment)
+            in
+            Hashtbl.add cache key r;
+            materialize r
+      in
+      let hello = Proto.format_hello ~scenario:notation ~seed in
+      let segment_bytes = Option.value segment_bytes ~default:4096 in
+      Printf.eprintf
+        "torture: disk faults — %s seed %d, %d lines, %d-byte segments\n%!"
+        notation seed (List.length lines + 1) segment_bytes;
+      match
+        Disk_torture.run
+          ~log:(fun m -> Printf.eprintf "torture: %s\n%!" m)
+          ~segment_bytes ~resolve ~lines:(hello :: lines) ~seed ()
+      with
+      | Ok r ->
+          Printf.eprintf
+            "torture: PASS — every recovery a byte-prefix of the reference \
+             (%d journal prefixes, %d mid-write cuts, %d fault runs: %d \
+             degraded, %d fsync-fatal, %d power cuts)\n%!"
+            r.Disk_torture.prefixes_checked r.Disk_torture.cuts_checked
+            r.Disk_torture.fault_runs r.Disk_torture.degraded_runs
+            r.Disk_torture.fsync_fatal r.Disk_torture.power_cut_runs;
+          if not keep then rm_rf dir
+          else Printf.eprintf "torture: artifacts kept in %s\n%!" dir;
+          0
+      | Error m ->
+          Printf.eprintf "torture: FAIL — %s\n%!" m;
+          exit_violation
+    end
+    else begin
     Printf.eprintf "torture: %s seed %d — %d events (%d lines), %d kill(s), %s\n%!"
       notation seed events (List.length lines) kills
       (if no_standby then "cold restart" else "hot standby");
@@ -2148,7 +2371,11 @@ let torture_cmd =
     let supervise_params =
       {
         sp_serve =
-          { default_serve_params with sv_fsync_every = fsync_every };
+          {
+            default_serve_params with
+            sv_fsync_every = fsync_every;
+            sv_segment_bytes = segment_bytes;
+          };
         sp_socket = socket;
         sp_wal = wal;
         sp_standby = not no_standby;
@@ -2297,11 +2524,13 @@ let torture_cmd =
           Printf.eprintf "torture: artifacts kept in %s\n%!" dir;
           exit_violation
         end
+    end
   in
   let term =
     Term.(
       const run $ obs_term $ config_arg $ seed_arg $ rate_arg $ duration_arg
-      $ kills_arg $ no_standby_arg $ fsync_every_arg $ keep_arg $ dir_arg)
+      $ kills_arg $ no_standby_arg $ fsync_every_arg $ keep_arg $ dir_arg
+      $ disk_faults_arg $ segment_bytes_arg)
   in
   Cmd.v
     (Cmd.info "torture" ~exits
@@ -2392,15 +2621,30 @@ let validate_cmd =
     (match wal with
     | None -> ()
     | Some file -> (
-        match Wal.read ~path:file with
-        | Ok (records, Wal.Clean) ->
-            Printf.printf "wal %s: ok — %d records, clean tail\n" file
-              (List.length records)
-        | Ok (records, Wal.Torn reason) ->
-            Printf.printf
-              "wal %s: ok — %d records, torn tail (%s); recoverable, the tail \
-               is truncated on the next open\n"
-              file (List.length records) reason
+        match Wal.read_log ~path:file () with
+        | Ok info ->
+            let layout =
+              match info.Wal.li_segments with
+              | [] -> ""
+              | segs ->
+                  Printf.sprintf " across %d segment(s)%s" (List.length segs)
+                    (if info.Wal.li_base > 0 then
+                       Printf.sprintf
+                         " (gc'd: oldest surviving record %d, replay needs \
+                          the anchoring checkpoint)"
+                         info.Wal.li_base
+                     else "")
+            in
+            let records = List.length info.Wal.li_records in
+            (match info.Wal.li_tail with
+            | Wal.Clean ->
+                Printf.printf "wal %s: ok — %d records%s, clean tail\n" file
+                  records layout
+            | Wal.Torn reason ->
+                Printf.printf
+                  "wal %s: ok — %d records%s, torn tail (%s); recoverable, the \
+                   tail is truncated on the next open\n"
+                  file records layout reason)
         | Error e ->
             problem := true;
             Printf.eprintf "wal %s: %s\n" file (Wal.describe_read_error e)));

@@ -12,6 +12,8 @@ type stats = {
   shed_pool : int;
   violations : string list;
   wall_s : float;
+  degraded : string option;
+      (* why the WAL stopped persisting, when it did (disk full / EIO) *)
 }
 
 let latency_histogram () =
@@ -52,6 +54,10 @@ type session = {
   mutable log_len : int;
   mutable replaying : bool;   (* replay rebuilds state: no WAL writes *)
   mutable finalizing : bool;  (* shutdown drain: responses unnumbered *)
+  mutable degraded : string option;
+      (* sticky: a failed WAL write(2) means events can no longer be
+         made durable, so they are refused (shed wal-failed) instead of
+         acknowledged — existing state keeps being served *)
 }
 
 let make_session ?wal config =
@@ -70,6 +76,7 @@ let make_session ?wal config =
     log_len = 0;
     replaying = false;
     finalizing = false;
+    degraded = None;
   }
 
 let resume_session ?wal config ~engine ~scenario ~seed ~wal_records ~response_seq
@@ -92,6 +99,10 @@ let session_engine session = session.engine
 let session_identity session = session.identity
 let wal_records session = session.wal_records
 let response_seq session = session.seq
+let degraded_reason session = session.degraded
+
+let numbered_log session =
+  Array.to_list (Array.sub session.log 0 session.log_len)
 
 let events_applied session =
   (* Request lines applied after the hello: the client-side journal
@@ -137,9 +148,36 @@ let emit session send r =
       log_push session line);
   send line
 
+(* Persist one request record. [false] means the daemon is (now)
+   degraded: the record is NOT durable and the event must be refused,
+   not applied. A failed write(2) (ENOSPC, EIO) trips degraded mode —
+   sticky, one diagnostic line, no crash. A failed fsync is different:
+   {!Wal.Fsync_error} propagates — fsyncgate semantics say the only
+   safe continuation is to exit (2) and recover by replay, which the
+   supervisor treats as unrecoverable rather than restart fodder. *)
 let wal_append session raw =
-  if not session.replaying then Option.iter (fun w -> Wal.append w raw) session.wal;
-  session.wal_records <- session.wal_records + 1
+  if session.degraded <> None then false
+  else if session.replaying then begin
+    session.wal_records <- session.wal_records + 1;
+    true
+  end
+  else
+    match Option.iter (fun w -> Wal.append w raw) session.wal with
+    | () ->
+        session.wal_records <- session.wal_records + 1;
+        true
+    | exception Wal.Write_error { path; error } ->
+        let reason =
+          Printf.sprintf "%s: %s" path (Unix.error_message error)
+        in
+        session.degraded <- Some reason;
+        Printf.eprintf
+          "serve: wal write failed (%s); degraded read-only mode — new \
+           events are shed (wal-failed), existing assignments keep being \
+           served\n\
+           %!"
+          reason;
+        false
 
 let maybe_checkpoint session engine =
   match session.config.checkpoint_every, session.config.checkpoint_sink with
@@ -172,14 +210,15 @@ let handle_line session ~send raw =
               session.identity <- Some (scenario, seed);
               session.started <- Some (Clock.now ());
               (* WAL the hello (record 0): the log is self-describing. *)
-              wal_append session raw;
+              ignore (wal_append session raw : bool);
               `Continue))
   | Ok (Proto.Time at) ->
       (match session.engine with
       | None -> () (* clock before hello: tolerated filler, as before *)
       | Some engine ->
-          wal_append session raw;
-          Engine.note_time engine at);
+          (* An unpersisted clock tick must not advance the engine: the
+             WAL replay would diverge from what clients saw. *)
+          if wal_append session raw then Engine.note_time engine at);
       `Continue
   | Ok (Proto.Resume wants) -> (
       match session.engine with
@@ -221,14 +260,27 @@ let handle_line session ~send raw =
           `Continue
       | Some engine ->
           (* Durability before acknowledgement: the record hits the WAL
-             (a completed write(2)) before any response leaves. *)
-          wal_append session raw;
-          let t0 = Clock.now () in
-          let responses = Engine.handle engine event in
-          Metrics.Histogram.observe (latency_histogram ()) (Clock.elapsed_since t0);
-          Metrics.Counter.incr (events_counter ());
-          List.iter (emit session send) responses;
-          maybe_checkpoint session engine;
+             (a completed write(2)) before any response leaves. If it
+             cannot, the event is refused — acknowledging a mutation
+             the log does not hold would be lying to the client. *)
+          if wal_append session raw then begin
+            let t0 = Clock.now () in
+            let responses = Engine.handle engine event in
+            Metrics.Histogram.observe (latency_histogram ())
+              (Clock.elapsed_since t0);
+            Metrics.Counter.incr (events_counter ());
+            List.iter (emit session send) responses;
+            maybe_checkpoint session engine
+          end
+          else
+            (match event with
+            | Proto.Join { id; _ } | Proto.Leave { id } | Proto.Move { id; _ }
+              ->
+                emit session send
+                  (Proto.Shed { id; reason = Proto.Wal_failed })
+            | Proto.Ctrl _ ->
+                emit session send
+                  (Proto.Err "degraded: wal write failed; ctrl refused"));
           `Continue)
 
 let replay session records =
@@ -333,6 +385,7 @@ let finish session engine output =
     shed_pool = Engine.shed_pool engine;
     violations = Engine.self_check engine;
     wall_s;
+    degraded = session.degraded;
   }
 
 let finish_session session output =

@@ -52,6 +52,11 @@ type stats = {
       (** final {!Engine.self_check} after {!Engine.finalize}; empty
           means the daemon shut down consistent *)
   wall_s : float;  (** wall-clock time spent serving *)
+  degraded : string option;
+      (** [Some reason] if a failed WAL [write(2)] tripped degraded
+          read-only mode mid-stream; the right exit code is 2
+          (unrecoverable) so a supervisor does not crash-loop a daemon
+          whose disk is full *)
 }
 
 val latency_histogram : unit -> Cap_obs.Metrics.Histogram.t
@@ -107,9 +112,16 @@ val handle_line :
   string ->
   [ `Continue | `End | `Fatal of string ]
 (** Apply one raw request line; responses (formatted, no newline) go
-    through [send]. Never raises on any input — malformed and
+    through [send]. Never raises on any malformed input — bad and
     oversized lines answer [err]. [`Fatal] means an unresolvable
-    hello. *)
+    hello.
+
+    Disk-fault policy: a failed WAL [write(2)] trips sticky degraded
+    mode — the event is {e not} applied and is answered
+    [shed ID wal-failed] (ctrl lines get [err]); one diagnostic line
+    goes to stderr; no exception escapes. A failed WAL fsync raises
+    {!Wal.Fsync_error} out of this function — fsyncgate: the caller
+    must exit 2 and recover by replay, never retry. *)
 
 val replay : session -> string list -> (unit, string) result
 (** Recovery: apply WAL records with WAL writes suppressed and
@@ -129,6 +141,14 @@ val wal_records : session -> int
 
 val response_seq : session -> int
 (** Numbered responses emitted so far. *)
+
+val degraded_reason : session -> string option
+(** [Some reason] once a failed WAL write tripped degraded mode. *)
+
+val numbered_log : session -> string list
+(** The retained numbered responses, oldest first — the recovered
+    response stream a torture harness compares against a reference
+    run. *)
 
 val events_applied : session -> int
 (** Post-hello request lines applied: the client journal cursor. *)

@@ -1,0 +1,52 @@
+(** Every-prefix crash-recovery torture for the durability stack.
+
+    One {!run} proves, for one request stream, that recovery from
+    {e any} interruption of the write stream yields a daemon whose
+    numbered response log is a byte-prefix of the uninterrupted run's:
+
+    - a {b reference run} (no WAL) records the ground-truth response
+      stream;
+    - a {b recorded run} writes the WAL to an in-memory filesystem
+      ({!Io.Mem}) whose journal captures every mutation;
+    - every journal prefix — and byte-granular cuts inside each
+      [write(2)] — is materialized onto a fresh filesystem and
+      recovered from ({!Wal.open_append} + {!Daemon.replay}); the
+      recovered log must be a prefix of the reference and must never
+      shrink as the surviving history grows;
+    - scheduled faults ([EIO]/[ENOSPC]/short-write at seed-derived
+      operation indices) must trip sticky degraded mode, never crash
+      the stream, and still recover to a prefix;
+    - a scheduled fsync failure must escape as {!Wal.Fsync_error}
+      (fsyncgate: the daemon treats it as fatal, never retries);
+    - power-cut-after-N-bytes runs lose everything past the threshold
+      and still recover to a prefix.
+
+    The harness takes the [resolve] callback and the request [lines]
+    as inputs, so it runs against any scenario capsim (or a test) can
+    produce without depending on either. *)
+
+type report = {
+  reference_responses : int;
+  journal_entries : int;
+  prefixes_checked : int;
+  cuts_checked : int;
+  fault_runs : int;
+  degraded_runs : int;
+  fsync_fatal : int;
+  power_cut_runs : int;
+}
+
+val run :
+  ?log:(string -> unit) ->
+  ?segment_bytes:int ->
+  ?fault_points:int list ->
+  resolve:(scenario:string -> seed:int -> (Engine.t, string) result) ->
+  lines:string list ->
+  seed:int ->
+  unit ->
+  (report, string) result
+(** [Error] is the first violated property, with the crash point and
+    the recovered-vs-reference counts. [fault_points] overrides the
+    seed-derived operation indices (mostly for tests); [segment_bytes]
+    runs the whole torture over a rotating segmented log. [log]
+    receives one progress line per phase. *)

@@ -8,21 +8,18 @@ let lag_gauge () =
 type t = {
   session : Daemon.session;
   path : string;
+  io : Io.t;
   mutable tailer : Wal.tailer option;
   mutable promoted : bool;
 }
 
-let create config ~path =
-  match Wal.open_tailer ~path with
+let create ?(io = Io.real) ?session ?(from = 0) config ~path =
+  let session =
+    match session with Some s -> s | None -> Daemon.make_session config
+  in
+  match Wal.open_tailer ~io ~from ~path () with
   | Error e -> Error (Wal.describe_read_error e)
-  | Ok tailer ->
-      Ok
-        {
-          session = Daemon.make_session config;
-          path;
-          tailer = Some tailer;
-          promoted = false;
-        }
+  | Ok tailer -> Ok { session; path; io; tailer = Some tailer; promoted = false }
 
 let session t = t.session
 let records_applied t = Daemon.wal_records t.session
@@ -52,7 +49,7 @@ let catch_up t =
   in
   go 0
 
-let promote t ~fsync_every =
+let promote t ~fsync_every ?segment_bytes () =
   match t.tailer with
   | None -> Error "follower: already promoted"
   | Some tailer -> (
@@ -61,19 +58,48 @@ let promote t ~fsync_every =
       (* Re-open the log as the new primary: this truncates any torn
          tail the dead primary left, and hands back every surviving
          record — we apply the suffix the tailer had not yet seen. *)
-      match Wal.open_append ~fsync_every ~path:t.path () with
+      match Wal.open_append ~io:t.io ~fsync_every ?segment_bytes ~path:t.path ()
+      with
       | Error e -> Error (Wal.describe_read_error e)
       | Ok (writer, records) -> (
+          (* Re-verify the tail against what we already applied. The
+             tailer can outrun durability: with batched fsync, bytes it
+             read from the page cache may not have survived a power
+             cut, so the re-scanned log can be *shorter* than what this
+             standby applied. Appending there would renumber — or
+             interleave — records clients already got answers for. *)
           let seen = Daemon.wal_records t.session in
-          let suffix = List.filteri (fun i _ -> i >= seen) records in
-          match Daemon.replay t.session suffix with
-          | Error e ->
-              Wal.close_writer writer;
-              Error e
-          | Ok () ->
-              Daemon.set_wal t.session (Some writer);
-              t.promoted <- true;
-              Ok (List.length suffix)))
+          let base = Wal.base_index writer in
+          let on_disk = base + List.length records in
+          if base > seen then begin
+            Wal.close_writer writer;
+            Error
+              (Printf.sprintf
+                 "promote: log now begins at record %d but this follower only \
+                  applied %d — GC outran the tailer; bootstrap a fresh \
+                  follower from the snapshot"
+                 base seen)
+          end
+          else if on_disk < seen then begin
+            Wal.close_writer writer;
+            Error
+              (Printf.sprintf
+                 "promote: log holds %d records but this follower applied %d \
+                  — the tail this standby tailed did not survive on disk; \
+                  refusing to append after lost records"
+                 on_disk seen)
+          end
+          else
+            let suffix = List.filteri (fun i _ -> base + i >= seen) records in
+            match Daemon.replay t.session suffix with
+            | Error e ->
+                Wal.close_writer writer;
+                Error e
+            | Ok () ->
+                assert (Daemon.wal_records t.session = Wal.records_written writer);
+                Daemon.set_wal t.session (Some writer);
+                t.promoted <- true;
+                Ok (List.length suffix)))
 
 let close t =
   Option.iter Wal.close_tailer t.tailer;

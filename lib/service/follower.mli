@@ -17,9 +17,22 @@
 
 type t
 
-val create : Daemon.config -> path:string -> (t, string) result
-(** Open a tailer on the primary's WAL. Fails if the file does not
-    exist yet — retry until the primary has created it. *)
+val create :
+  ?io:Io.t ->
+  ?session:Daemon.session ->
+  ?from:int ->
+  Daemon.config ->
+  path:string ->
+  (t, string) result
+(** Open a tailer on the primary's WAL (legacy or segmented — the
+    tailer follows segment rotation). Fails if no log exists yet —
+    retry until the primary has created it.
+
+    A follower of a GC'd segmented log cannot replay from record 0;
+    pass a [session] restored from the anchoring snapshot
+    ({!Daemon.resume_session}) together with [from] = the snapshot's
+    [wal_position], and tailing starts inside the segment that holds
+    that record. *)
 
 val poll : t -> (int, string) result
 (** Apply the records that became complete since the last poll;
@@ -29,10 +42,19 @@ val poll : t -> (int, string) result
 val catch_up : t -> (int, string) result
 (** Poll until no progress. *)
 
-val promote : t -> fsync_every:int -> (int, string) result
+val promote :
+  t -> fsync_every:int -> ?segment_bytes:int -> unit -> (int, string) result
 (** Stop tailing, truncate the torn tail, apply the remaining suffix
-    (count returned), and take over the WAL as writer. After this the
-    session is the primary. *)
+    (count returned), and take over the WAL as writer — rotation
+    continues at [segment_bytes] on a segmented log. After this the
+    session is the primary.
+
+    The tail is re-verified first: if the re-scanned log holds fewer
+    records than this follower already applied (a torn final record
+    the tailer had read from the page cache but the disk lost), or GC
+    deleted ground the follower never saw, promotion is refused with
+    an [Error] — appending there would duplicate or interleave
+    acknowledged records. *)
 
 val session : t -> Daemon.session
 val records_applied : t -> int

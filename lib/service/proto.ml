@@ -102,16 +102,19 @@ type shed_reason =
   | Admission
   | Capacity
   | Zone_down
+  | Wal_failed
 
 let shed_reason_to_string = function
   | Admission -> "admission"
   | Capacity -> "capacity"
   | Zone_down -> "zone-down"
+  | Wal_failed -> "wal-failed"
 
 let shed_reason_of_string = function
   | "admission" -> Some Admission
   | "capacity" -> Some Capacity
   | "zone-down" -> Some Zone_down
+  | "wal-failed" -> Some Wal_failed
   | _ -> None
 
 type response =

@@ -99,6 +99,10 @@ type shed_reason =
   | Admission    (** over [--max-inflight] *)
   | Capacity     (** no alive server can absorb the client *)
   | Zone_down    (** the client's zone is currently unassigned *)
+  | Wal_failed
+      (** the daemon is in degraded read-only mode: the WAL can no
+          longer persist events (disk full / I/O error), so mutating
+          events are refused rather than acknowledged undurably *)
 
 val shed_reason_to_string : shed_reason -> string
 

@@ -43,21 +43,44 @@ let encode ~kind payload =
   Buffer.add_string buf payload;
   Buffer.contents buf
 
-let write ~path ~kind payload =
+(* Crash consistency: encode to a temp file, fsync it, then rename
+   over the target — a reader never sees a half-written snapshot, and
+   the rename is only reachable once the payload is durable. All bytes
+   go through the injectable [io], so the disk-fault torture exercises
+   this path too; any write or fsync failure (ENOSPC, EIO, a failing
+   fsync) aborts before the rename, leaving the previous snapshot
+   intact, and surfaces as [Io_error]. *)
+let write ?(io = Cap_service.Io.real) ~path ~kind payload =
   let tmp = path ^ ".tmp" in
+  let cleanup () =
+    try if io.exists tmp then io.unlink tmp
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
   try
-    let out = open_out_bin tmp in
+    let f = io.open_out_ ~create:true ~trunc:true tmp in
     (try
-       output_string out (encode ~kind payload);
-       close_out out
+       let b = Bytes.of_string (encode ~kind payload) in
+       let len = Bytes.length b in
+       let rec go off =
+         if off < len then go (off + f.Cap_service.Io.f_write b off (len - off))
+       in
+       go 0;
+       f.f_fsync ();
+       f.f_close ()
      with e ->
-       close_out_noerr out;
+       (try f.f_close () with Sys_error _ | Unix.Unix_error _ -> ());
        raise e);
-    Sys.rename tmp path;
+    io.rename tmp path;
     Ok ()
-  with Sys_error reason ->
-    (try if Sys.file_exists tmp then Sys.remove tmp with Sys_error _ -> ());
-    Error (Io_error { path; reason })
+  with
+  | Sys_error reason ->
+      cleanup ();
+      Error (Io_error { path; reason })
+  | Unix.Unix_error (e, op, _) ->
+      cleanup ();
+      Error
+        (Io_error
+           { path; reason = Printf.sprintf "%s: %s" op (Unix.error_message e) })
 
 (* Cursor-style decoding: every read is bounds-checked so a short file
    becomes [Truncated], never an exception. *)

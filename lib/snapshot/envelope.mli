@@ -31,10 +31,16 @@ val describe : error -> string
 val format_version : int
 (** Version written into (and required from) every envelope. *)
 
-val write : path:string -> kind:string -> string -> (unit, error) result
+val write :
+  ?io:Cap_service.Io.t ->
+  path:string -> kind:string -> string -> (unit, error) result
 (** [write ~path ~kind payload] atomically replaces [path] with an
-    envelope around [payload]. The kind string names the payload type
-    (e.g. ["dve-sim-run"]) and is checked on read. *)
+    envelope around [payload]: temp file, fsync, rename — a write or
+    fsync failure aborts before the rename, so the previous snapshot
+    survives a full disk. The kind string names the payload type
+    (e.g. ["dve-sim-run"]) and is checked on read. All bytes go
+    through [io] (default {!Cap_service.Io.real}), so disk-fault
+    torture drives this path too. *)
 
 val read : path:string -> kind:string -> (string, error) result
 (** Read and fully verify an envelope, returning the payload. *)

@@ -56,9 +56,9 @@ let resume ~world t =
     | exception Invalid_argument reason -> Error reason
 
 (* plain data only; Marshal raises at write time if a closure sneaks in *)
-let save ~path t =
+let save ?io ~path t =
   match Marshal.to_string t [] with
-  | payload -> Envelope.write ~path ~kind payload
+  | payload -> Envelope.write ?io ~path ~kind payload
   | exception Invalid_argument reason -> Error (Envelope.Io_error { path; reason })
 
 let load ~path =

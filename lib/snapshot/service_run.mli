@@ -48,7 +48,8 @@ val resume :
 
 val config : t -> Cap_service.Engine.config
 
-val save : path:string -> t -> (unit, Envelope.error) result
+val save :
+  ?io:Cap_service.Io.t -> path:string -> t -> (unit, Envelope.error) result
 val load : path:string -> (t, Envelope.error) result
 
 val describe : t -> string

@@ -51,9 +51,9 @@ let fingerprint world =
 (* The payload is marshalled without [Closures]: every field is plain
    data, and Marshal raises at write time if a closure ever sneaks into
    the checkpoint, which would break resume across processes. *)
-let save ~path t =
+let save ?io ~path t =
   match Marshal.to_string t [] with
-  | payload -> Envelope.write ~path ~kind payload
+  | payload -> Envelope.write ?io ~path ~kind payload
   | exception Invalid_argument reason -> Error (Envelope.Io_error { path; reason })
 
 let load ~path =

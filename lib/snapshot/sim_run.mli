@@ -42,7 +42,8 @@ val fingerprint : Cap_model.World.t -> string
     inter-server delay structure. Equal for worlds generated from the
     same scenario and seed by the same binary. *)
 
-val save : path:string -> t -> (unit, Envelope.error) result
+val save :
+  ?io:Cap_service.Io.t -> path:string -> t -> (unit, Envelope.error) result
 (** Atomically write the snapshot (see {!Envelope.write}). *)
 
 val load : path:string -> (t, Envelope.error) result

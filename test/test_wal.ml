@@ -1,5 +1,8 @@
 module Proto = Cap_service.Proto
 module Wal = Cap_service.Wal
+module Io = Cap_service.Io
+module Disk_torture = Cap_service.Disk_torture
+module Envelope = Cap_snapshot.Envelope
 module Engine = Cap_service.Engine
 module Daemon = Cap_service.Daemon
 module Follower = Cap_service.Follower
@@ -57,7 +60,7 @@ let test_round_trip () =
   Alcotest.(check int) "records_written" (List.length sample_records)
     (Wal.records_written w);
   Alcotest.(check string) "writer_path" path (Wal.writer_path w);
-  match Wal.read ~path with
+  match Wal.read ~path () with
   | Ok (records, Wal.Clean) ->
       Alcotest.(check (list string)) "records survive" sample_records records
   | Ok (_, Wal.Torn reason) -> Alcotest.failf "unexpected torn tail: %s" reason
@@ -79,7 +82,7 @@ let check_torn mutilate expected_records =
   with_temp_path ".wal" @@ fun path ->
   ignore (write_sample path);
   mutilate path;
-  (match Wal.read ~path with
+  (match Wal.read ~path () with
   | Ok (records, Wal.Torn _) ->
       Alcotest.(check (list string)) "prefix survives" expected_records records
   | Ok (_, Wal.Clean) -> Alcotest.fail "tail should read as torn"
@@ -91,7 +94,7 @@ let check_torn mutilate expected_records =
         expected_records records;
       Wal.append w "move 1 2";
       Wal.close_writer w;
-      (match Wal.read ~path with
+      (match Wal.read ~path () with
       | Ok (records, Wal.Clean) ->
           Alcotest.(check (list string)) "appends land on a clean boundary"
             (expected_records @ [ "move 1 2" ]) records
@@ -131,21 +134,21 @@ let test_corruption_is_fatal () =
   (* record 0's payload starts right after magic + 8 bytes of header *)
   Bytes.set flipped (String.length Wal.magic + 8) 'X';
   write_file path (Bytes.to_string flipped);
-  (match Wal.read ~path with
+  (match Wal.read ~path () with
   | Error (Wal.Corrupted { index = 0; _ }) -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Wal.describe_read_error e)
   | Ok _ -> Alcotest.fail "mid-log corruption must be fatal");
   (* implausible length field mid-log *)
   with_temp_path ".wal" @@ fun path ->
   write_file path (Wal.magic ^ "\xff\xff\xff\xff" ^ "\x00\x00\x00\x00" ^ "tail-rec");
-  (match Wal.read ~path with
+  (match Wal.read ~path () with
   | Error (Wal.Corrupted _) -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Wal.describe_read_error e)
   | Ok _ -> Alcotest.fail "an implausible length must brand the log corrupt");
   (* wrong magic *)
   with_temp_path ".wal" @@ fun path ->
   write_file path "NOTAWAL1\n";
-  match Wal.read ~path with
+  match Wal.read ~path () with
   | Error Wal.Bad_magic -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Wal.describe_read_error e)
   | Ok _ -> Alcotest.fail "bad magic must be refused"
@@ -156,7 +159,7 @@ let test_tailer_incremental () =
   Wal.append w "one";
   Wal.append w "two";
   let tailer =
-    match Wal.open_tailer ~path with
+    match Wal.open_tailer ~path () with
     | Ok t -> t
     | Error e -> Alcotest.failf "open_tailer: %s" (Wal.describe_read_error e)
   in
@@ -516,7 +519,7 @@ let test_follower_promote_identity () =
   (* primary "dies" (writer dropped mid-record), follower takes over *)
   Wal.close_writer w;
   append_bytes path "\x00\x00\x00\x20\xaa";
-  (match Follower.promote follower ~fsync_every:32 with
+  (match Follower.promote follower ~fsync_every:32 () with
   | Ok _ -> ()
   | Error m -> Alcotest.failf "promote: %s" m);
   Alcotest.(check bool) "promoted" true (Follower.is_promoted follower);
@@ -540,11 +543,468 @@ let test_follower_promote_identity () =
     (Daemon.handle_line (Follower.session follower)
        ~send:(fun l -> out := l :: !out)
        "join 7777 1 1");
-  match Wal.read ~path with
+  match Wal.read ~path () with
   | Ok (records, Wal.Clean) ->
       Alcotest.(check int) "promoted append landed" (n + 1) (List.length records)
   | Ok (_, Wal.Torn reason) -> Alcotest.failf "torn after promotion: %s" reason
   | Error e -> Alcotest.failf "reread: %s" (Wal.describe_read_error e)
+
+(* ------------------------------------------------------------------ *)
+(* segmented layout: rotation, GC, mutilations at segment boundaries   *)
+
+(* a temp base path whose whole namespace (base.NNNNNN, base.manifest,
+   leftover .tmp files) is cleaned up afterwards *)
+let with_temp_base f =
+  let base = temp_path ".wal" in
+  let dir = Filename.dirname base and stem = Filename.basename base in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name ->
+          if
+            String.length name >= String.length stem
+            && String.sub name 0 (String.length stem) = stem
+          then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir))
+    (fun () -> f base)
+
+let seg_records =
+  List.init 40 (fun i -> Printf.sprintf "join %d %d %d" (1000 + i) (i mod 12) (i mod 3))
+
+let build_seg_log ?(fsync_every = 0) path =
+  let w = Wal.create_writer ~fsync_every ~segment_bytes:128 ~path () in
+  List.iter (Wal.append w) seg_records;
+  Wal.close_writer w;
+  w
+
+let test_segment_rotation_round_trip () =
+  with_temp_base @@ fun path ->
+  let w = build_seg_log path in
+  let segs = Wal.segments w in
+  Alcotest.(check bool) "the log rotated" true (List.length segs > 2);
+  (match segs with
+  | (1, 0) :: _ -> ()
+  | _ -> Alcotest.fail "segment 1 must hold record 0");
+  let last, _ = List.nth segs (List.length segs - 1) in
+  Alcotest.(check string) "appends go to the last segment"
+    (Wal.seg_name path last) (Wal.active_path w);
+  (* the bytes gauge mirrors the on-disk footprint exactly *)
+  let on_disk =
+    List.fold_left
+      (fun acc (n, _) -> acc + String.length (read_file (Wal.seg_name path n)))
+      0 segs
+  in
+  Alcotest.(check int) "total_bytes matches the files" on_disk (Wal.total_bytes w);
+  (match Wal.read ~path () with
+  | Ok (records, Wal.Clean) ->
+      Alcotest.(check (list string)) "records survive rotation" seg_records records
+  | Ok (_, Wal.Torn reason) -> Alcotest.failf "unexpected torn tail: %s" reason
+  | Error e -> Alcotest.failf "read: %s" (Wal.describe_read_error e));
+  (match Wal.read_log ~path () with
+  | Ok li ->
+      Alcotest.(check int) "base is 0 before gc" 0 li.Wal.li_base;
+      Alcotest.(check (list (pair int int))) "chain is self-describing" segs
+        li.Wal.li_segments
+  | Error e -> Alcotest.failf "read_log: %s" (Wal.describe_read_error e));
+  Alcotest.(check bool) "advisory manifest exists" true
+    (Sys.file_exists (Wal.manifest_path path));
+  (* open_append keeps the segmented layout and lands on a clean boundary *)
+  match Wal.open_append ~segment_bytes:128 ~path () with
+  | Error e -> Alcotest.failf "open_append: %s" (Wal.describe_read_error e)
+  | Ok (w2, records) ->
+      Alcotest.(check int) "every record recovered" 40 (List.length records);
+      Wal.append w2 "move 1042 5";
+      Wal.close_writer w2;
+      (match Wal.read ~path () with
+      | Ok (records, Wal.Clean) ->
+          Alcotest.(check int) "append after reopen" 41 (List.length records)
+      | Ok (_, Wal.Torn reason) -> Alcotest.failf "torn after reopen: %s" reason
+      | Error e -> Alcotest.failf "reread: %s" (Wal.describe_read_error e))
+
+let seg_prefix n = List.filteri (fun i _ -> i < n) seg_records
+
+let test_segment_boundary_mutilations () =
+  (* torn tail in the final segment: survivable, truncated on open *)
+  with_temp_base (fun path ->
+      let w = build_seg_log path in
+      let active = Wal.active_path w in
+      truncate_file active (String.length (read_file active) - 1);
+      (match Wal.read ~path () with
+      | Ok (records, Wal.Torn _) ->
+          Alcotest.(check (list string)) "prefix survives" (seg_prefix 39) records
+      | Ok (_, Wal.Clean) -> Alcotest.fail "tail should read torn"
+      | Error e -> Alcotest.failf "torn tail must not be fatal: %s" (Wal.describe_read_error e));
+      match Wal.open_append ~segment_bytes:128 ~path () with
+      | Error e -> Alcotest.failf "open_append: %s" (Wal.describe_read_error e)
+      | Ok (w2, records) ->
+          Alcotest.(check int) "recovers the prefix" 39 (List.length records);
+          Wal.append w2 "move 1 2";
+          Wal.close_writer w2;
+          (match Wal.read ~path () with
+          | Ok (records, Wal.Clean) ->
+              Alcotest.(check (list string)) "clean boundary after truncation"
+                (seg_prefix 39 @ [ "move 1 2" ]) records
+          | Ok (_, Wal.Torn reason) -> Alcotest.failf "still torn: %s" reason
+          | Error e -> Alcotest.failf "reread: %s" (Wal.describe_read_error e)));
+  (* a half-written rotation header (crash mid-rotation) is a torn
+     tail, and open_append repairs it *)
+  with_temp_base (fun path ->
+      let w = build_seg_log path in
+      let next = 1 + fst (List.nth (Wal.segments w) (List.length (Wal.segments w) - 1)) in
+      write_file (Wal.seg_name path next) (String.sub Wal.seg_magic 0 4);
+      (match Wal.read ~path () with
+      | Ok (records, Wal.Torn _) ->
+          Alcotest.(check (list string)) "no record lost" seg_records records
+      | Ok (_, Wal.Clean) -> Alcotest.fail "torn header should read torn"
+      | Error e -> Alcotest.failf "torn header must not be fatal: %s" (Wal.describe_read_error e));
+      match Wal.open_append ~segment_bytes:128 ~path () with
+      | Error e -> Alcotest.failf "open_append: %s" (Wal.describe_read_error e)
+      | Ok (w2, records) ->
+          Alcotest.(check int) "rotation repaired" 40 (List.length records);
+          Wal.close_writer w2);
+  (* the manifest is advisory: deleting or corrupting it blocks nothing *)
+  with_temp_base (fun path ->
+      ignore (build_seg_log path);
+      Sys.remove (Wal.manifest_path path);
+      (match Wal.read ~path () with
+      | Ok (records, Wal.Clean) ->
+          Alcotest.(check int) "reads without a manifest" 40 (List.length records)
+      | _ -> Alcotest.fail "a deleted manifest must not block recovery");
+      write_file (Wal.manifest_path path) "garbage that is not a manifest\n";
+      match Wal.read ~path () with
+      | Ok (records, Wal.Clean) ->
+          Alcotest.(check int) "reads past a corrupt manifest" 40 (List.length records)
+      | _ -> Alcotest.fail "a corrupt manifest must not block recovery");
+  (* damage mid-chain is fatal: flipped payload byte in segment 1 *)
+  with_temp_base (fun path ->
+      ignore (build_seg_log path);
+      let seg1 = Wal.seg_name path 1 in
+      let data = Bytes.of_string (read_file seg1) in
+      let header = String.length Wal.seg_magic + 8 in
+      Bytes.set data (header + 8) 'X';
+      write_file seg1 (Bytes.to_string data);
+      match Wal.read ~path () with
+      | Error (Wal.Corrupted _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Wal.describe_read_error e)
+      | Ok _ -> Alcotest.fail "mid-chain corruption must be fatal");
+  (* a gap in the chain is fatal: a deleted middle segment *)
+  with_temp_base (fun path ->
+      ignore (build_seg_log path);
+      Sys.remove (Wal.seg_name path 2);
+      match Wal.read ~path () with
+      | Error (Wal.Corrupted _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Wal.describe_read_error e)
+      | Ok _ -> Alcotest.fail "a chain gap must be fatal")
+
+let test_segment_gc () =
+  with_temp_base @@ fun path ->
+  let w = Wal.create_writer ~fsync_every:0 ~segment_bytes:128 ~path () in
+  List.iter (Wal.append w) seg_records;
+  let segs = Wal.segments w in
+  Alcotest.(check bool) "enough segments to gc" true (List.length segs >= 4);
+  (* a checkpoint covering up to segment 3's first record frees 1 and 2 *)
+  let covered = snd (List.nth segs 2) in
+  Alcotest.(check int) "two covered segments dropped" 2 (Wal.gc w ~covered);
+  Alcotest.(check int) "base index advanced" covered (Wal.base_index w);
+  Alcotest.(check int) "gc is idempotent" 0 (Wal.gc w ~covered);
+  Alcotest.(check bool) "gc'd segment gone" false (Sys.file_exists (Wal.seg_name path 1));
+  (* covering everything still never deletes the active segment *)
+  let closed_left = List.length (Wal.segments w) - 1 in
+  Alcotest.(check int) "all closed segments dropped" closed_left
+    (Wal.gc w ~covered:(Wal.records_written w));
+  Alcotest.(check int) "the active segment survives" 1 (List.length (Wal.segments w));
+  let base = Wal.base_index w in
+  (* the survivor still appends, and absolute indices are preserved *)
+  Wal.append w "join 9999 1 1";
+  Alcotest.(check int) "absolute count includes gc'd records" 41 (Wal.records_written w);
+  Wal.close_writer w;
+  match Wal.read_log ~path () with
+  | Error e -> Alcotest.failf "read_log: %s" (Wal.describe_read_error e)
+  | Ok li ->
+      Alcotest.(check int) "read_log reports the surviving base" base li.Wal.li_base;
+      let full = seg_records @ [ "join 9999 1 1" ] in
+      Alcotest.(check (list string)) "surviving suffix intact"
+        (List.filteri (fun i _ -> i >= base) full)
+        li.Wal.li_records
+
+(* satellite: every prefix-truncation of a multi-segment write stream
+   recovers to a byte-prefix of what was appended, and the recovered
+   floor never goes backwards as more of the history survives *)
+let test_every_prefix_of_segmented_log_recovers () =
+  let path = "prefix.wal" in
+  let fs = Io.Mem.create () in
+  let records =
+    List.init 25 (fun i -> Printf.sprintf "join %d %d %d" (2000 + i) (i mod 12) (i mod 3))
+  in
+  let arr = Array.of_list records in
+  let w = Wal.create_writer ~io:(Io.Mem.io fs) ~fsync_every:4 ~segment_bytes:160 ~path () in
+  List.iter (Wal.append w) records;
+  Wal.close_writer w;
+  let journal = Array.of_list (Io.Mem.journal fs) in
+  Alcotest.(check bool) "the journal saw the whole stream" true
+    (Array.length journal > 25);
+  (* recover from a crash image (always through a clone: recovery
+     repairs the disk it opens) and demand a prefix *)
+  let recovered_count image what =
+    let io = Io.Mem.io (Io.Mem.clone image) in
+    if not (Wal.log_exists ~io ~path ()) then 0
+    else
+      match Wal.open_append ~io ~path () with
+      | Error e ->
+          Alcotest.failf "%s: recovery failed: %s" what (Wal.describe_read_error e)
+      | Ok (w2, recs) ->
+          Wal.close_writer w2;
+          List.iteri
+            (fun i r ->
+              if i >= Array.length arr || r <> arr.(i) then
+                Alcotest.failf "%s: record %d diverged from the append stream" what i)
+            recs;
+          List.length recs
+  in
+  let floor = ref 0 in
+  let replayed = Io.Mem.create () in
+  Array.iteri
+    (fun i entry ->
+      let n = recovered_count replayed (Printf.sprintf "prefix %d" i) in
+      if n < !floor then
+        Alcotest.failf "prefix %d: recovery went backwards (%d < %d)" i n !floor;
+      floor := n;
+      (* a power cut mid-write(2): half the bytes of this entry land *)
+      (match entry with
+      | Io.Mem.Write { data; _ } when String.length data > 1 -> (
+          match Io.Mem.cut_write entry (String.length data / 2) with
+          | None -> ()
+          | Some cut ->
+              let torn = Io.Mem.clone replayed in
+              Io.Mem.apply torn cut;
+              ignore (recovered_count torn (Printf.sprintf "cut inside entry %d" i)))
+      | _ -> ());
+      Io.Mem.apply replayed entry)
+    journal;
+  Alcotest.(check int) "the full journal recovers everything" 25
+    (recovered_count replayed "full journal")
+
+let test_tailer_across_segments () =
+  with_temp_base @@ fun path ->
+  let w = Wal.create_writer ~fsync_every:0 ~segment_bytes:128 ~path () in
+  let first5 = seg_prefix 5 in
+  List.iter (Wal.append w) first5;
+  let drain tailer =
+    let rec go acc =
+      match Wal.poll tailer with
+      | Error e -> Alcotest.failf "poll: %s" (Wal.describe_read_error e)
+      | Ok [] -> acc
+      | Ok records -> go (acc @ records)
+    in
+    go []
+  in
+  let tailer =
+    match Wal.open_tailer ~path () with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "open_tailer: %s" (Wal.describe_read_error e)
+  in
+  Fun.protect
+    ~finally:(fun () -> Wal.close_tailer tailer)
+    (fun () ->
+      Alcotest.(check (list string)) "first poll" first5 (drain tailer);
+      (* the writer rotates several times; the tailer follows the chain *)
+      List.iteri (fun i r -> if i >= 5 then Wal.append w r) seg_records;
+      Wal.close_writer w;
+      Alcotest.(check bool) "the writer really rotated" true
+        (List.length (Wal.segments w) > 2);
+      Alcotest.(check (list string)) "tailer crosses rotations"
+        (List.filteri (fun i _ -> i >= 5) seg_records)
+        (drain tailer);
+      Alcotest.(check int) "tailer cursor is absolute" 40 (Wal.tailer_records tailer));
+  (* ~from starts tailing mid-chain, inside the right segment *)
+  let tailer =
+    match Wal.open_tailer ~from:17 ~path () with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "open_tailer ~from: %s" (Wal.describe_read_error e)
+  in
+  Fun.protect
+    ~finally:(fun () -> Wal.close_tailer tailer)
+    (fun () ->
+      Alcotest.(check (list string)) "suffix from record 17"
+        (List.filteri (fun i _ -> i >= 17) seg_records)
+        (drain tailer))
+
+(* ------------------------------------------------------------------ *)
+(* promote safety: a standby must refuse to build on lost ground       *)
+
+let test_promote_refuses_lost_tail () =
+  with_temp_path ".wal" @@ fun path ->
+  let lines = stream_lines 31 in
+  let n = List.length lines in
+  let w = Wal.create_writer ~fsync_every:0 ~path () in
+  let primary = Daemon.make_session ~wal:w (daemon_config ()) in
+  ignore (feed primary lines);
+  let follower =
+    match Follower.create (daemon_config ()) ~path with
+    | Ok f -> f
+    | Error m -> Alcotest.failf "follower create: %s" m
+  in
+  (match Follower.catch_up follower with
+  | Ok applied -> Alcotest.(check int) "follower applied everything" n applied
+  | Error m -> Alcotest.failf "catch_up: %s" m);
+  Wal.close_writer w;
+  (* the machine dies and the disk comes back short: the final record
+     the tailer read from the page cache never became durable *)
+  truncate_file path (String.length (read_file path) - 1);
+  (match Follower.promote follower ~fsync_every:32 () with
+  | Ok _ -> Alcotest.fail "promotion over lost records must be refused"
+  | Error m ->
+      Alcotest.(check bool) "the refusal names the lost tail" true
+        (String.length m > 0));
+  Alcotest.(check bool) "not promoted" false (Follower.is_promoted follower)
+
+let test_promote_refuses_gc_gap () =
+  with_temp_base @@ fun path ->
+  let lines = stream_lines 31 in
+  let n = List.length lines in
+  let cut = n / 2 in
+  let w = Wal.create_writer ~fsync_every:0 ~segment_bytes:256 ~path () in
+  let primary = Daemon.make_session ~wal:w (daemon_config ()) in
+  ignore (feed primary (List.filteri (fun i _ -> i < cut) lines));
+  let follower =
+    match Follower.create (daemon_config ()) ~path with
+    | Ok f -> f
+    | Error m -> Alcotest.failf "follower create: %s" m
+  in
+  (match Follower.catch_up follower with
+  | Ok applied -> Alcotest.(check int) "follower holds the prefix" cut applied
+  | Error m -> Alcotest.failf "catch_up: %s" m);
+  (* the primary races ahead and a checkpoint-anchored gc deletes
+     ground the lagging follower never tailed *)
+  ignore (feed primary (List.filteri (fun i _ -> i >= cut) lines));
+  ignore (Wal.gc w ~covered:(Wal.records_written w));
+  Alcotest.(check bool) "gc really outran the follower" true
+    (Wal.base_index w > cut);
+  Wal.close_writer w;
+  (match Follower.promote follower ~fsync_every:32 () with
+  | Ok _ -> Alcotest.fail "promotion across a gc gap must be refused"
+  | Error m ->
+      Alcotest.(check bool) "the refusal mentions gc" true
+        (String.length m > 0));
+  Alcotest.(check bool) "not promoted" false (Follower.is_promoted follower)
+
+(* ------------------------------------------------------------------ *)
+(* typed failure policy: degraded mode and fsyncgate                   *)
+
+let test_enospc_trips_sticky_degraded_mode () =
+  let lines = stream_lines 17 in
+  let fs = Io.Mem.create () in
+  (* ops: op 0 is create_writer's magic, then one write(2) per append —
+     op 4 lands on the 4th appended record, mid-stream *)
+  let io, inj = Io.faulty (Io.plan [ (4, Io.Enospc) ]) (Io.Mem.io fs) in
+  let w = Wal.create_writer ~io ~fsync_every:0 ~path:"degraded.wal" () in
+  let session = Daemon.make_session ~wal:w (daemon_config ()) in
+  let responses = feed session lines in
+  Alcotest.(check int) "the fault fired exactly once" 1 (Io.faults_injected inj);
+  (match Daemon.degraded_reason session with
+  | Some _ -> ()
+  | None -> Alcotest.fail "a failed wal write must trip degraded mode");
+  let shed_wal_failed =
+    List.filter
+      (fun r ->
+        match Proto.parse_response r with
+        | Ok (Proto.Shed { reason = Proto.Wal_failed; _ }) -> true
+        | _ -> false)
+      responses
+  in
+  (* sticky: every event after the fault is refused, not just the one
+     whose write failed *)
+  Alcotest.(check bool) "events after the fault are shed wal-failed" true
+    (List.length shed_wal_failed > 1);
+  (* the log holds exactly the records acknowledged before the fault,
+     and nothing after: replaying it must not diverge. Op 0 wrote the
+     magic, ops 1-3 persisted records 0-2, op 4 (record 3) failed. *)
+  Alcotest.(check int) "no record acknowledged after the fault" 3
+    (Daemon.wal_records session)
+
+let test_fsyncgate_poisons_the_writer () =
+  let fs = Io.Mem.create () in
+  (* fsync_every:1 makes ops alternate write/fsync after the magic:
+     op 2 is the first record's fsync *)
+  let io, inj = Io.faulty (Io.plan [ (2, Io.Fsync_fail) ]) (Io.Mem.io fs) in
+  let w = Wal.create_writer ~io ~fsync_every:1 ~path:"fsync.wal" () in
+  (match Wal.append w "hello 5s-12z-120c-60cp 7" with
+  | () -> Alcotest.fail "the doomed fsync must raise"
+  | exception Wal.Fsync_error _ -> ());
+  Alcotest.(check int) "the fault fired" 1 (Io.faults_injected inj);
+  (* the writer is poisoned: every later operation re-raises instead of
+     retrying the fsync (fsyncgate — a retry could claim durability the
+     kernel already gave up on) *)
+  (match Wal.append w "t 0.5" with
+  | () -> Alcotest.fail "append on a poisoned writer must re-raise"
+  | exception Wal.Fsync_error _ -> ());
+  (match Wal.sync w with
+  | () -> Alcotest.fail "sync on a poisoned writer must re-raise"
+  | exception Wal.Fsync_error _ -> ());
+  (* close is cleanup, not a durability claim: the failure already
+     surfaced, so a poisoned close must not raise a second time *)
+  match Wal.close_writer w with
+  | () -> ()
+  | exception Wal.Fsync_error _ ->
+      Alcotest.fail "poisoned close must not re-raise during cleanup"
+
+(* ------------------------------------------------------------------ *)
+(* snapshot envelope through the injectable io                         *)
+
+let test_envelope_writes_through_io () =
+  let fs = Io.Mem.create () in
+  let payload = String.init 1024 (fun i -> Char.chr (i mod 256)) in
+  (match Envelope.write ~io:(Io.Mem.io fs) ~path:"snap.bin" ~kind:"test-kind" payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mem write: %s" (Envelope.describe e));
+  Alcotest.(check bool) "the temp file was renamed away" true
+    (Io.Mem.file fs "snap.bin.tmp" = None);
+  let raw =
+    match Io.Mem.file fs "snap.bin" with
+    | Some raw -> raw
+    | None -> Alcotest.fail "snapshot missing from the mem fs"
+  in
+  (* the bytes are a real envelope: the ordinary reader accepts them *)
+  with_temp_path ".snap" (fun path ->
+      write_file path raw;
+      match Envelope.read ~path ~kind:"test-kind" with
+      | Ok got -> Alcotest.(check string) "payload round-trips" payload got
+      | Error e -> Alcotest.failf "read back: %s" (Envelope.describe e));
+  (* ENOSPC before the rename: the write fails typed and the previous
+     snapshot survives untouched *)
+  let io, _inj = Io.faulty (Io.plan [ (0, Io.Enospc) ]) (Io.Mem.io fs) in
+  (match Envelope.write ~io ~path:"snap.bin" ~kind:"test-kind" "v2" with
+  | Error (Envelope.Io_error _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Envelope.describe e)
+  | Ok () -> Alcotest.fail "a full disk must fail the write");
+  Alcotest.(check bool) "no temp file left behind" true
+    (Io.Mem.file fs "snap.bin.tmp" = None);
+  match Io.Mem.file fs "snap.bin" with
+  | Some still -> Alcotest.(check string) "previous snapshot intact" raw still
+  | None -> Alcotest.fail "the failed write destroyed the previous snapshot"
+
+(* ------------------------------------------------------------------ *)
+(* the torture harness itself, on a small stream                       *)
+
+let test_disk_torture_harness () =
+  let lines = List.filteri (fun i _ -> i < 30) (stream_lines 5) in
+  let resolve ~scenario ~seed =
+    ignore scenario;
+    let world = World.generate (Rng.create ~seed) service_scenario in
+    let assignment = Two_phase.run Two_phase.grez_grec (Rng.create ~seed) world in
+    Ok (Engine.create ~world ~assignment Engine.default_config)
+  in
+  match Disk_torture.run ~segment_bytes:256 ~resolve ~lines ~seed:5 () with
+  | Error m -> Alcotest.failf "torture: %s" m
+  | Ok r ->
+      Alcotest.(check bool) "every journal prefix was replayed" true
+        (r.Disk_torture.prefixes_checked >= r.Disk_torture.journal_entries);
+      Alcotest.(check bool) "mid-write cuts were probed" true
+        (r.Disk_torture.cuts_checked > 0);
+      Alcotest.(check bool) "scheduled faults ran" true
+        (r.Disk_torture.fault_runs > 0);
+      Alcotest.(check bool) "power cuts ran" true
+        (r.Disk_torture.power_cut_runs > 0)
 
 (* ------------------------------------------------------------------ *)
 (* supervisor policy (scripted virtual machine)                        *)
@@ -747,6 +1207,22 @@ let tests =
           test_client_reconnects_exactly_once;
         case "follower tails, promotes, and matches the primary"
           test_follower_promote_identity;
+        case "segments rotate, read back whole, and reopen appendable"
+          test_segment_rotation_round_trip;
+        case "segment-boundary damage: torn tails heal, mid-chain is fatal"
+          test_segment_boundary_mutilations;
+        case "gc drops covered segments, never the active one" test_segment_gc;
+        case "every prefix of a segmented write stream recovers"
+          test_every_prefix_of_segmented_log_recovers;
+        case "tailer follows rotation and starts mid-chain" test_tailer_across_segments;
+        case "promote refuses a tail the disk lost" test_promote_refuses_lost_tail;
+        case "promote refuses ground gc deleted" test_promote_refuses_gc_gap;
+        case "enospc trips sticky degraded mode" test_enospc_trips_sticky_degraded_mode;
+        case "a failed fsync poisons the writer" test_fsyncgate_poisons_the_writer;
+        case "snapshot envelope writes through the injectable io"
+          test_envelope_writes_through_io;
+        case "disk torture harness passes on a short stream"
+          test_disk_torture_harness;
         case "supervisor: clean exit stops supervision" test_supervisor_clean_exit;
         case "supervisor: exit 2 is not restarted" test_supervisor_unrecoverable;
         case "supervisor: crashes restart with doubling backoff"
