@@ -247,6 +247,28 @@ let make_tests () =
            let written = Cap_service.Wal.records_written writer in
            if written mod 1024 = 0 then
              ignore (Cap_service.Wal.gc writer ~covered:written : int)));
+    (* Reactor front-end overhead: one request line through the
+       simulated fabric — wait, read, frame, deadline bookkeeping,
+       response enqueue and flush — with a trivial handler, so the
+       engine's cost (service/placement-event) is excluded. *)
+    Test.make ~name:"service/conn-event"
+      (let module Net = Cap_service.Net in
+       let sim = Net.Sim.create () in
+       let peer = Net.Sim.add_peer sim ~name:"bench" [] in
+       let reactor = Net.Reactor.create (Net.Sim.backend sim) in
+       let on_line r ~conn _line =
+         Net.Reactor.send r conn "ok 0 0";
+         `Continue
+       in
+       let poll () =
+         ignore
+           (Net.Reactor.poll_once reactor ~on_line
+             : [ `Progress | `Stopped | `Stalled ])
+       in
+       poll () (* accept the benchmark connection *);
+       Staged.stage (fun () ->
+           Net.Sim.inject sim peer "t 1.5\n";
+           poll ()));
     Test.make ~name:"substrate/dve-sim-60s"
       (Staged.stage (fun () ->
            Cap_sim.Dve_sim.run (Rng.split bench_rng) sim_config ~world:default_world

@@ -35,6 +35,8 @@ module Follower = Cap_service.Follower
 module Supervisor = Cap_service.Supervisor
 module Client = Cap_service.Client
 module Disk_torture = Cap_service.Disk_torture
+module Daemon_net = Cap_service.Net
+module Net_torture = Cap_service.Net_torture
 
 open Cmdliner
 
@@ -1291,6 +1293,12 @@ type serve_params = {
   sv_fsync_every : int;
   sv_segment_bytes : int option;
   sv_follow : bool;
+  (* reactor front-end knobs (--listen mode only) *)
+  sv_backlog : int;
+  sv_idle_timeout : float;
+  sv_max_write_buffer : int;
+  sv_max_conns : int;
+  sv_max_events_per_sec : float option;
 }
 
 let default_serve_params =
@@ -1311,6 +1319,12 @@ let default_serve_params =
     sv_fsync_every = 32;
     sv_segment_bytes = None;
     sv_follow = false;
+    sv_backlog = Daemon_net.default_config.Daemon_net.backlog;
+    sv_idle_timeout = Daemon_net.default_config.Daemon_net.idle_timeout;
+    sv_max_write_buffer = Daemon_net.default_config.Daemon_net.max_write_buffer;
+    sv_max_conns = Daemon_net.default_config.Daemon_net.max_conns;
+    sv_max_events_per_sec =
+      Daemon_net.default_config.Daemon_net.max_events_per_sec;
   }
 
 (* hello -> engine: regenerate the world from the notation + seed, run
@@ -1363,6 +1377,13 @@ let serve_main p =
   | _ -> ());
   if p.sv_follow && (p.sv_wal = None || p.sv_listen = None) then
     usage "--follow needs --wal FILE and --listen SOCKET";
+  if p.sv_backlog <= 0 then usage "--backlog: must be positive";
+  if p.sv_idle_timeout <= 0. then usage "--idle-timeout: must be positive";
+  if p.sv_max_write_buffer <= 0 then usage "--max-write-buffer: must be positive";
+  if p.sv_max_conns <= 0 then usage "--max-conns: must be positive";
+  (match p.sv_max_events_per_sec with
+  | Some r when r <= 0. -> usage "--max-events-per-sec: must be positive"
+  | _ -> ());
   let algorithm =
     match Cap_core.Two_phase.find p.sv_algorithm with
     | Some a -> a
@@ -1628,7 +1649,16 @@ let serve_main p =
     try
       match p.sv_listen with
       | Some path -> (
-          match Daemon.serve_unix_session session ~path with
+          let net =
+            {
+              Daemon_net.max_conns = p.sv_max_conns;
+              backlog = p.sv_backlog;
+              idle_timeout = p.sv_idle_timeout;
+              max_write_buffer = p.sv_max_write_buffer;
+              max_events_per_sec = p.sv_max_events_per_sec;
+            }
+          in
+          match Daemon.serve_unix_session ~net session ~path with
           | Ok stats -> Ok stats
           | Error (Daemon.Bind e) ->
               (* structured diagnostic + usage exit, not a raw Unix_error *)
@@ -1708,8 +1738,10 @@ let serve_cmd =
   in
   let listen_arg =
     let doc =
-      "Listen on a Unix-domain socket at $(docv), serving connections sequentially \
-       against the same engine until a stream sends $(b,end)."
+      "Listen on a Unix-domain socket at $(docv), serving connections concurrently \
+       against the same engine until a stream sends $(b,end). See $(b,--backlog), \
+       $(b,--idle-timeout), $(b,--max-write-buffer), $(b,--max-conns) and \
+       $(b,--max-events-per-sec) for the front-end's hardening knobs."
     in
     Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"SOCKET" ~doc)
   in
@@ -1804,9 +1836,57 @@ let serve_cmd =
       & opt (some int) None
       & info [ "wal-segment-bytes" ] ~docv:"BYTES" ~doc)
   in
+  let backlog_arg =
+    let doc = "listen(2) backlog for the daemon's socket." in
+    Arg.(
+      value
+      & opt int default_serve_params.sv_backlog
+      & info [ "backlog" ] ~docv:"N" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Evict a connection that has not completed a request line within $(docv) \
+       seconds — whether silent or trickling bytes without a newline."
+    in
+    Arg.(
+      value
+      & opt float default_serve_params.sv_idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_write_buffer_arg =
+    let doc =
+      "Evict a connection as a slow consumer once it owes the daemon more than \
+       $(docv) unsent response bytes."
+    in
+    Arg.(
+      value
+      & opt int default_serve_params.sv_max_write_buffer
+      & info [ "max-write-buffer" ] ~docv:"BYTES" ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "Concurrent connections served; accepts beyond the cap are shed with a \
+       one-line $(b,busy) response and closed."
+    in
+    Arg.(
+      value
+      & opt int default_serve_params.sv_max_conns
+      & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let max_events_per_sec_arg =
+    let doc =
+      "Per-connection token-bucket rate limit (burst of one second's budget); \
+       a connection exceeding it is evicted. Off by default."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-events-per-sec" ] ~docv:"RATE" ~doc)
+  in
   let run obs sv_stdin sv_listen sv_expect sv_algorithm sv_reopt_every sv_reopt_moves
       sv_max_inflight sv_ck_path sv_ck_every sv_resume sv_latency_jsonl sv_quiet
-      sv_wal sv_fsync_every sv_segment_bytes sv_follow =
+      sv_wal sv_fsync_every sv_segment_bytes sv_follow sv_backlog sv_idle_timeout
+      sv_max_write_buffer sv_max_conns sv_max_events_per_sec =
     with_obs obs @@ fun () ->
     serve_main
       {
@@ -1826,6 +1906,11 @@ let serve_cmd =
         sv_fsync_every;
         sv_segment_bytes;
         sv_follow;
+        sv_backlog;
+        sv_idle_timeout;
+        sv_max_write_buffer;
+        sv_max_conns;
+        sv_max_events_per_sec;
       }
   in
   let term =
@@ -1833,7 +1918,9 @@ let serve_cmd =
       const run $ obs_term $ stdin_arg $ listen_arg $ expect_arg $ algorithm_arg
       $ reopt_every_arg $ reopt_moves_arg $ max_inflight_arg $ ck_path_arg
       $ ck_every_arg $ resume_arg $ latency_jsonl_arg $ quiet_arg $ wal_arg
-      $ fsync_every_arg $ segment_bytes_arg $ follow_arg)
+      $ fsync_every_arg $ segment_bytes_arg $ follow_arg $ backlog_arg
+      $ idle_timeout_arg $ max_write_buffer_arg $ max_conns_arg
+      $ max_events_per_sec_arg)
   in
   Cmd.v
     (Cmd.info "serve" ~exits
@@ -2172,12 +2259,37 @@ let torture_cmd =
       & opt (some int) None
       & info [ "wal-segment-bytes" ] ~docv:"BYTES" ~doc)
   in
+  let net_faults_arg =
+    let doc =
+      "In-process network-fault torture instead of the SIGKILL suite: serve \
+       the stream over the deterministic $(b,Net.Sim) fabric to well-behaved \
+       clients with a seeded mix of adversaries attached (slowloris \
+       tricklers, stallers, malformed-line flooders, mid-line resetters, \
+       stalled slow consumers, oversized-line senders) — failing unless \
+       every well-behaved client's byte stream is identical to an \
+       undisturbed reference run, every adversary is evicted with the \
+       expected typed reason, and the reactor never blocks past its idle \
+       deadline."
+    in
+    Arg.(value & flag & info [ "net-faults" ] ~doc)
+  in
+  let net_clients_arg =
+    let doc =
+      "Well-behaved clients the stream is split across ($(b,--net-faults) \
+       mode)."
+    in
+    Arg.(value & opt int 4 & info [ "net-clients" ] ~docv:"N" ~doc)
+  in
+  let net_adversaries_arg =
+    let doc = "Hostile connections attached in $(b,--net-faults) mode." in
+    Arg.(value & opt int 6 & info [ "net-adversaries" ] ~docv:"N" ~doc)
+  in
   let dir_arg =
     let doc = "Work directory (default: a fresh one under TMPDIR)." in
     Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
   in
   let run obs config seed rate duration kills no_standby fsync_every keep dir
-      disk_faults segment_bytes =
+      disk_faults segment_bytes net_faults net_clients net_adversaries =
     with_obs obs @@ fun () ->
     Cap_obs.Control.enable ();
     let fail fmt =
@@ -2193,6 +2305,8 @@ let torture_cmd =
       | Error (`Msg m) -> fail "%s" m
     in
     if kills < 0 then fail "--kills must be >= 0";
+    if disk_faults && net_faults then
+      fail "pick at most one of --disk-faults and --net-faults";
     let gen_config =
       { Loadgen.default_config with rate; duration; emit_time = true }
     in
@@ -2226,19 +2340,11 @@ let torture_cmd =
         | Proto.Event event -> lines := Proto.format_event event :: !lines)
     in
     let lines = List.rev !lines in
-    if disk_faults then begin
-      (* keep the exact request stream on disk so a FAIL is replayable
-         from the artifacts alone *)
-      Out_channel.with_open_bin (in_dir "stream.txt") (fun out ->
-          output_string out (Proto.format_hello ~scenario:notation ~seed);
-          output_char out '\n';
-          List.iter
-            (fun l ->
-              output_string out l;
-              output_char out '\n')
-            lines);
-      (* in-process every-prefix torture over an in-memory filesystem —
-         no forks, no real disk; the heavy lifting is {!Disk_torture} *)
+    (* hello -> engine with the world + bootstrap assignment memoized:
+       in-process torture re-resolves the same hello on every recovery
+       (disk faults) or daemon pass (net faults), and Engine.create
+       copies its inputs, so each resolve still gets a fresh engine *)
+    let memo_resolve () =
       let algorithm =
         match Cap_core.Two_phase.find "GreZ-GreC" with
         | Some a -> a
@@ -2247,11 +2353,8 @@ let torture_cmd =
       let engine_config =
         { Engine.max_inflight = None; reopt_every = 512; reopt_moves = 8 }
       in
-      (* recovery re-resolves the hello at every crash point: memoize
-         the world + bootstrap assignment (Engine.create copies both,
-         so each recovery still gets a fresh engine) *)
       let cache = Hashtbl.create 4 in
-      let resolve ~scenario ~seed =
+      fun ~scenario ~seed ->
         let key = (scenario, seed) in
         let materialize = function
           | Error m -> Error m
@@ -2277,7 +2380,24 @@ let torture_cmd =
             in
             Hashtbl.add cache key r;
             materialize r
-      in
+    in
+    (* keep the exact request stream on disk so a FAIL is replayable
+       from the artifacts alone *)
+    let write_stream_artifact () =
+      Out_channel.with_open_bin (in_dir "stream.txt") (fun out ->
+          output_string out (Proto.format_hello ~scenario:notation ~seed);
+          output_char out '\n';
+          List.iter
+            (fun l ->
+              output_string out l;
+              output_char out '\n')
+            lines)
+    in
+    if disk_faults then begin
+      write_stream_artifact ();
+      (* in-process every-prefix torture over an in-memory filesystem —
+         no forks, no real disk; the heavy lifting is {!Disk_torture} *)
+      let resolve = memo_resolve () in
       let hello = Proto.format_hello ~scenario:notation ~seed in
       let segment_bytes = Option.value segment_bytes ~default:4096 in
       Printf.eprintf
@@ -2301,6 +2421,77 @@ let torture_cmd =
           0
       | Error m ->
           Printf.eprintf "torture: FAIL — %s\n%!" m;
+          exit_violation
+    end
+    else if net_faults then begin
+      if net_clients < 1 then fail "--net-clients must be >= 1";
+      if net_adversaries < 0 then fail "--net-adversaries must be >= 0";
+      write_stream_artifact ();
+      (* in-process adversarial-network torture over the Net.Sim
+         fabric — no forks, no real sockets; the heavy lifting is
+         {!Net_torture} *)
+      let resolve = memo_resolve () in
+      Printf.eprintf
+        "torture: net faults — %s seed %d, %d lines across %d client(s), %d \
+         adversarie(s)\n%!"
+        notation seed (List.length lines) net_clients net_adversaries;
+      let result =
+        Net_torture.run
+          ~log:(fun m -> Printf.eprintf "torture: %s\n%!" m)
+          {
+            Net_torture.resolve;
+            scenario = notation;
+            seed;
+            lines;
+            clients = net_clients;
+            adversaries = net_adversaries;
+          }
+      in
+      (* always drop the metrics registry next to the stream: on FAIL
+         the pair is the replayable CI artifact *)
+      Cap_obs.Jsonl.write_metrics (in_dir "net-metrics.jsonl");
+      match result with
+      | Ok r ->
+          let evictions =
+            r.Net_torture.evictions
+            |> List.map (fun (e, n) ->
+                   Printf.sprintf "%s=%d" (Daemon_net.eviction_to_string e) n)
+            |> String.concat " "
+          in
+          let rate_of wall =
+            if wall > 0. then float_of_int r.Net_torture.events /. wall else 0.
+          in
+          let a2r = Daemon_net.accept_to_response_histogram () in
+          let q pct =
+            let v = Cap_obs.Metrics.Histogram.quantile a2r pct in
+            if Float.is_finite v then Printf.sprintf "%.0f" (v *. 1e6) else "-"
+          in
+          Printf.eprintf
+            "torture: PASS — well-behaved streams byte-identical under \
+             adversarial load (%d events, %d numbered responses, %d client \
+             bytes; evictions %s, %d busy; max backend wait %.3fs and max read \
+             latency %.3fs within the %.3fs deadline)\n%!"
+            r.Net_torture.events r.Net_torture.responses
+            r.Net_torture.client_bytes evictions r.Net_torture.busy_rejected
+            r.Net_torture.max_wait_requested r.Net_torture.max_read_latency
+            r.Net_torture.idle_timeout;
+          Printf.eprintf
+            "torture: reference %.0f events/s (%.3fs), adversarial %.0f \
+             events/s (%.3fs), accept-to-response p50=%sus p99=%sus\n%!"
+            (rate_of r.Net_torture.reference_wall_s)
+            r.Net_torture.reference_wall_s
+            (rate_of r.Net_torture.adversarial_wall_s)
+            r.Net_torture.adversarial_wall_s (q 0.5) (q 0.99);
+          List.iter
+            (fun (name, reason) ->
+              Printf.eprintf "torture:   %s closed %s\n%!" name reason)
+            r.Net_torture.adversary_closes;
+          if not keep then rm_rf dir
+          else Printf.eprintf "torture: artifacts kept in %s\n%!" dir;
+          0
+      | Error m ->
+          Printf.eprintf "torture: FAIL — %s\n%!" m;
+          Printf.eprintf "torture: artifacts kept in %s\n%!" dir;
           exit_violation
     end
     else begin
@@ -2428,6 +2619,15 @@ let torture_cmd =
             | exception Unix.Unix_error _ -> ())
         | _ -> ()
     in
+    (* Pace the sends: the reactor drains a socket-buffered stream in
+       a handful of polls, so an unthrottled client would have every
+       response already in flight before it reads the first one — and
+       the response-count-triggered SIGKILLs would land after the WAL
+       is already complete, proving nothing. A short breath every few
+       lines keeps the daemon's progress in step with the client's
+       observed responses, so kills interrupt genuine mid-stream
+       state. *)
+    let sent = ref 0 in
     let connect () =
       match Client.unix_connect ~path:socket () with
       | Error _ as e -> e
@@ -2435,6 +2635,11 @@ let torture_cmd =
           Ok
             {
               t with
+              Client.send_line =
+                (fun line ->
+                  t.Client.send_line line;
+                  incr sent;
+                  if !sent mod 16 = 0 then Unix.sleepf 0.001);
               Client.recv_line =
                 (fun () ->
                   match t.Client.recv_line () with
@@ -2464,10 +2669,30 @@ let torture_cmd =
         Printf.eprintf "torture: client gave up: %s (artifacts in %s)\n%!" m dir;
         exit_violation
     | Ok outcome ->
+        (* The supervisor exits once its daemon drains the [end]; a
+           daemon that never does would wedge the harness, so the wait
+           is bounded — on timeout everything is killed and the run is
+           reported as a failure instead of hanging. *)
         let sup_status =
-          match Unix.waitpid [] sup_pid with
-          | _, Unix.WEXITED c -> c
-          | _, _ -> -1
+          let deadline = Unix.gettimeofday () +. 30. in
+          let rec wait () =
+            match Unix.waitpid [ Unix.WNOHANG ] sup_pid with
+            | 0, _ ->
+                if Unix.gettimeofday () > deadline then begin
+                  Printf.eprintf
+                    "torture: supervisor still alive 30s after the client \
+                     finished; killing it\n%!";
+                  cleanup_failed ();
+                  -1
+                end
+                else begin
+                  Unix.sleepf 0.05;
+                  wait ()
+                end
+            | _, Unix.WEXITED c -> c
+            | _, _ -> -1
+          in
+          wait ()
         in
         Cap_obs.Jsonl.write_metrics (in_dir "client-metrics.jsonl");
         let recovery = Client.recovery_histogram () in
@@ -2530,7 +2755,8 @@ let torture_cmd =
     Term.(
       const run $ obs_term $ config_arg $ seed_arg $ rate_arg $ duration_arg
       $ kills_arg $ no_standby_arg $ fsync_every_arg $ keep_arg $ dir_arg
-      $ disk_faults_arg $ segment_bytes_arg)
+      $ disk_faults_arg $ segment_bytes_arg $ net_faults_arg $ net_clients_arg
+      $ net_adversaries_arg)
   in
   Cmd.v
     (Cmd.info "torture" ~exits
@@ -2539,8 +2765,11 @@ let torture_cmd =
           stream through the reconnecting client, SIGKILL the primary at seeded \
           points mid-stream, and verify the client-observed response stream is \
           byte-for-byte identical to an uninterrupted run. Reports client-side \
-          recovery-time percentiles. Exits 0 on an exact match, 1 on divergence \
-          or lost kills.")
+          recovery-time percentiles. $(b,--disk-faults) swaps in the in-process \
+          disk-fault suite (every-prefix WAL recovery); $(b,--net-faults) swaps \
+          in the adversarial-network suite (hostile peers on the simulated \
+          fabric must not perturb well-behaved streams). Exits 0 on an exact \
+          match, 1 on divergence or lost kills.")
     term
 
 (* ------------------------------------------------------------------ *)

@@ -63,6 +63,9 @@ type state = {
          replayed by resume, so nothing is lost or duplicated) *)
   mutable cursor : int;  (* next line index to send *)
   mutable sent_end : bool;
+  mutable saw_bye : bool;
+      (* the daemon's shutdown ack arrived: only then is an EOF a
+         clean end of stream rather than a severed connection *)
   mutable reconnects : int;
   mutable errs : string list;
 }
@@ -70,9 +73,14 @@ type state = {
 let record st line =
   match Proto.parse_response line with
   | Ok (Proto.Err _) -> st.errs <- line :: st.errs
+  | Ok Proto.Busy ->
+      (* the daemon shed us at its connection cap: back off, reconnect
+         and resume exactly like a dropped connection *)
+      raise (Lost "server busy")
   | Ok (Proto.Resume_ok _) -> raise (Lost "unsolicited resume-ok")
   | Error m -> raise (Fatal (Printf.sprintf "unparseable response: %s" m))
-  | Ok _ ->
+  | Ok r ->
+      (match r with Proto.Bye -> st.saw_bye <- true | _ -> ());
       if st.sent_end then st.tentative <- line :: st.tentative
       else begin
         st.received <- line :: st.received;
@@ -116,6 +124,7 @@ let handshake cfg conn st =
   in
   st.tentative <- [];
   st.sent_end <- false;
+  st.saw_bye <- false;
   for _ = 1 to responses - st.n_received do
     match conn.recv_line () with
     | None -> raise (Lost "connection closed mid-replay")
@@ -141,7 +150,12 @@ let drive conn st lines =
   st.sent_end <- true;
   let rec drain () =
     match conn.recv_line () with
-    | None -> () (* clean EOF commits the tentative drain *)
+    | None ->
+        (* only a [bye]-acknowledged EOF commits the tentative drain:
+           a SIGKILLed daemon's socket closes exactly like a finished
+           one, and trusting the bare EOF would silently truncate the
+           stream — reconnect and resume instead *)
+        if not st.saw_bye then raise (Lost "connection closed before bye")
     | Some line ->
         record st line;
         drain ()
@@ -157,6 +171,7 @@ let run cfg ~lines =
       tentative = [];
       cursor = 0;
       sent_end = false;
+      saw_bye = false;
       reconnects = 0;
       errs = [];
     }

@@ -138,10 +138,11 @@ let emit session send r =
       Metrics.Counter.incr (errors_counter ())
   | Proto.Shed _ -> Metrics.Counter.incr (sheds_counter ())
   | Proto.Readmitted _ -> Metrics.Counter.incr (readmits_counter ())
-  | Proto.Assigned _ | Proto.Left _ | Proto.Ctrl_ok _ | Proto.Resume_ok _ -> ());
+  | Proto.Assigned _ | Proto.Left _ | Proto.Ctrl_ok _ | Proto.Resume_ok _
+  | Proto.Busy | Proto.Bye -> ());
   let line = Proto.format_response r in
   (match r with
-  | Proto.Err _ | Proto.Resume_ok _ -> ()
+  | Proto.Err _ | Proto.Resume_ok _ | Proto.Busy | Proto.Bye -> ()
   | _ when session.finalizing -> ()
   | _ ->
       session.seq <- session.seq + 1;
@@ -350,7 +351,7 @@ let serve_stream session input output =
   in
   loop ()
 
-let finish session engine output =
+let finish_send session engine ~send =
   (* Checkpoint BEFORE the shutdown drain: the snapshot must capture
      the state as of the last processed event, so a resumed stream
      replays exactly what the uninterrupted run would have answered.
@@ -362,14 +363,13 @@ let finish session engine output =
     session.config.checkpoint_sink;
   session.finalizing <- true;
   let readmits = Engine.finalize engine in
-  let send line =
-    if session.config.echo_responses then begin
-      output_string output line;
-      output_char output '\n'
-    end
-  in
+  let send line = if session.config.echo_responses then send line in
   List.iter (emit session send) readmits;
-  (try flush output with Sys_error _ -> ());
+  (* the shutdown ack, last: everything before it reached the stream.
+     An EOF that arrives without it is a severed connection — a
+     SIGKILLed daemon closes its socket exactly like a finished one,
+     and this line is the only thing that tells them apart. *)
+  emit session send Proto.Bye;
   Option.iter Wal.close_writer session.wal;
   let wall_s =
     match session.started with Some t0 -> Clock.elapsed_since t0 | None -> 0.
@@ -387,6 +387,20 @@ let finish session engine output =
     wall_s;
     degraded = session.degraded;
   }
+
+let finish session engine output =
+  let send line =
+    output_string output line;
+    output_char output '\n'
+  in
+  let stats = finish_send session engine ~send in
+  (try flush output with Sys_error _ -> ());
+  stats
+
+let finish_session_send session ~send =
+  match session.engine with
+  | None -> Error "stream ended before a hello line"
+  | Some engine -> Ok (finish_send session engine ~send)
 
 let finish_session session output =
   match session.engine with
@@ -417,7 +431,7 @@ let describe_bind_error = function
       Printf.sprintf "cannot bind %s: permission denied" path
   | Bind_failed (path, reason) -> Printf.sprintf "cannot bind %s: %s" path reason
 
-let bind_unix ~path =
+let bind_unix ?(probe_timeout = 0.5) ~path () =
   let try_bind () =
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.bind sock (Unix.ADDR_UNIX path) with
@@ -432,14 +446,34 @@ let bind_unix ~path =
   | Error Unix.EADDRINUSE -> (
       (* A leftover socket file from a crashed daemon also binds as
          EADDRINUSE. Probe it: connection refused means nobody is
-         accepting — safe to reclaim. Anything accepting stays. *)
+         accepting — safe to reclaim. Anything accepting stays. The
+         probe is non-blocking with a bounded wait: a half-dead peer
+         (bound, backlog full, never accepting) must not wedge the
+         probe forever, and an unresponsive socket is treated as live
+         — never reclaim an address someone may still hold. *)
       let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.set_nonblock probe;
+      let refused = function
+        | Unix.ECONNREFUSED | Unix.ENOENT -> true
+        | _ -> false
+      in
       let stale =
         match Unix.connect probe (Unix.ADDR_UNIX path) with
         | () -> false
-        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
-            true
-        | exception Unix.Unix_error (_, _, _) -> false
+        | exception Unix.Unix_error (e, _, _) when refused e -> true
+        | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+            (* settle within the timeout or assume live *)
+            match Unix.select [] [ probe ] [] probe_timeout with
+            | [], [], [] -> false
+            | _ -> (
+                match Unix.getsockopt_error probe with
+                | Some e -> refused e
+                | None -> false)
+            | exception Unix.Unix_error (_, _, _) -> false)
+        | exception Unix.Unix_error (_, _, _) ->
+            (* EAGAIN here means a full backlog: something is bound
+               and wedged, but alive enough to keep its address *)
+            false
       in
       (try Unix.close probe with Unix.Unix_error _ -> ());
       if not stale then Error (Address_in_use path)
@@ -459,8 +493,41 @@ let describe_serve_unix_error = function
   | Bind e -> describe_bind_error e
   | Fatal m -> m
 
-let serve_unix_session session ~path =
-  match bind_unix ~path with
+(* The reactor front-end: N concurrent connections multiplexed into
+   the one shared session. WAL ordering is preserved by construction —
+   [handle_line] appends (and, per policy, flushes) the record before
+   it hands any response line to [send], and [send] only ever enqueues
+   bytes on the connection's write buffer. *)
+let serve_net_session ?(net = Net.default_config) ?inspect session backend =
+  let outcome = ref None in
+  let on_line reactor ~conn raw =
+    let send line = Net.Reactor.send reactor conn line in
+    match handle_line session ~send raw with
+    | `Continue -> `Continue
+    | `End ->
+        outcome := Some (finish_session_send session ~send);
+        `Stop
+    | `Fatal message ->
+        if Option.is_none session.engine then begin
+          (* an unresolvable hello: nothing is being served yet *)
+          outcome := Some (Error message);
+          `Stop
+        end
+        else `Continue
+  in
+  let reactor = Net.Reactor.create ~config:net backend in
+  Option.iter (fun f -> f reactor) inspect;
+  match Net.Reactor.run reactor ~on_line with
+  | (`Stopped | `Stalled) -> (
+      match !outcome with
+      | Some result -> result
+      | None ->
+          (* the fabric drained without an [end]: a quiet EOF *)
+          finish_session_send session ~send:(fun _ -> ()))
+
+let serve_unix_session ?net session ~path =
+  let net = Option.value net ~default:Net.default_config in
+  match bind_unix ~path () with
   | Error e -> Error (Bind e)
   | Ok sock ->
       Fun.protect
@@ -469,28 +536,10 @@ let serve_unix_session session ~path =
           (* clean shutdown leaves no stale socket behind *)
           try Unix.unlink path with Unix.Unix_error _ -> ())
         (fun () ->
-          Unix.listen sock 8;
-          let rec accept_loop () =
-            let fd, _ = Unix.accept sock in
-            let input = Unix.in_channel_of_descr fd in
-            let output = Unix.out_channel_of_descr fd in
-            let outcome = serve_stream session input output in
-            let result =
-              match outcome with
-              | `Fatal message -> Error message
-              | `End -> Result.map Option.some (finish_session session output)
-              | `Eof -> Ok None
-            in
-            (try flush output with Sys_error _ -> ());
-            (try Unix.close fd with Unix.Unix_error _ -> ());
-            match result with
-            | Error message ->
-                (* an unresolvable hello: nothing is being served yet *)
-                if Option.is_none session.engine then Error (Fatal message)
-                else accept_loop ()
-            | Ok (Some stats) -> Ok stats
-            | Ok None -> accept_loop ()
-          in
-          accept_loop ())
+          Unix.listen sock net.Net.backlog;
+          let backend = Net.unix_backend ~listen:sock () in
+          match serve_net_session ~net session backend with
+          | Ok stats -> Ok stats
+          | Error message -> Error (Fatal message))
 
-let serve_unix config ~path = serve_unix_session (make_session config) ~path
+let serve_unix ?net config ~path = serve_unix_session ?net (make_session config) ~path

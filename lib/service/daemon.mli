@@ -4,9 +4,11 @@
     applies one request line to a {!session} and hands formatted
     response lines to a [send] callback. {!serve} wraps that over any
     pair of channels (the [--stdin] pipe mode) and {!serve_unix} runs
-    an accept loop on a Unix-domain socket, feeding sequential
+    a {!Net.Reactor} on a Unix-domain socket, multiplexing concurrent
     connections into the same session so service state outlives any
-    one client of the daemon.
+    one client of the daemon — with read deadlines, bounded write
+    buffers, rate limits and a connection cap keeping any one hostile
+    peer from wedging the rest (see {!Net}).
 
     The engine is created lazily from the stream's hello line via the
     injected [resolve] callback (which regenerates the world from the
@@ -156,6 +158,11 @@ val events_applied : session -> int
 val finish_session : session -> out_channel -> (stats, string) result
 (** Checkpoint, finalize, drain — what [end] triggers. *)
 
+val finish_session_send :
+  session -> send:(string -> unit) -> (stats, string) result
+(** {!finish_session} over a send callback instead of a channel — the
+    reactor transport's shutdown path. *)
+
 (** {1 Transports} *)
 
 val serve_session :
@@ -175,11 +182,16 @@ type bind_error =
 
 val describe_bind_error : bind_error -> string
 
-val bind_unix : path:string -> (Unix.file_descr, bind_error) result
+val bind_unix :
+  ?probe_timeout:float -> path:string -> unit -> (Unix.file_descr, bind_error) result
 (** Bind a Unix-domain socket at [path]. An existing socket file is
     probed first: connection-refused means a crashed daemon's leftover,
     which is reclaimed (unlink + rebind); anything accepting
-    connections is left alone and reported {!Address_in_use}. *)
+    connections is left alone and reported {!Address_in_use}. The
+    probe is non-blocking and gives up after [probe_timeout] seconds
+    (default 0.5) — a half-dead peer (bound but never accepting)
+    cannot wedge the probe, and an unresponsive socket is treated as
+    live rather than reclaimed. *)
 
 type serve_unix_error =
   | Bind of bind_error
@@ -187,10 +199,28 @@ type serve_unix_error =
 
 val describe_serve_unix_error : serve_unix_error -> string
 
-val serve_unix_session : session -> path:string -> (stats, serve_unix_error) result
-(** Accept and serve connections sequentially against an existing
-    session (so a recovered or promoted daemon keeps its state). The
-    socket file is removed on clean shutdown. *)
+val serve_net_session :
+  ?net:Net.config ->
+  ?inspect:(Net.Reactor.t -> unit) ->
+  session ->
+  Net.backend ->
+  (stats, string) result
+(** Serve the session over a {!Net.Reactor} on any backend — the real
+    {!Net.unix_backend} or the deterministic {!Net.Sim} fabric.
+    Concurrent connections share the session; [end] from any of them
+    finalizes (draining the shutdown responses to that connection); a
+    fully drained fabric without an [end] is treated as a quiet EOF.
+    WAL ordering is preserved by construction: {!handle_line} appends
+    the record before any response line reaches a write buffer. *)
 
-val serve_unix : config -> path:string -> (stats, serve_unix_error) result
+val serve_unix_session :
+  ?net:Net.config -> session -> path:string -> (stats, serve_unix_error) result
+(** Accept and serve connections {e concurrently} against an existing
+    session (so a recovered or promoted daemon keeps its state), under
+    [net]'s deadlines, buffer bounds, rate limits and connection cap
+    (default {!Net.default_config}). The socket file is removed on
+    clean shutdown. *)
+
+val serve_unix :
+  ?net:Net.config -> config -> path:string -> (stats, serve_unix_error) result
 (** {!serve_unix_session} over a fresh session. *)

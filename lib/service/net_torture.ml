@@ -1,0 +1,344 @@
+module Clock = Cap_obs.Clock
+module Rng = Cap_util.Rng
+
+type config = {
+  resolve : scenario:string -> seed:int -> (Engine.t, string) result;
+  scenario : string;
+  seed : int;
+  lines : string list;
+  clients : int;
+  adversaries : int;
+}
+
+type report = {
+  events : int;
+  responses : int;
+  client_bytes : int;
+  adversary_closes : (string * string) list;
+  evictions : (Net.eviction * int) list;
+  busy_rejected : int;
+  max_wait_requested : float;
+  max_read_latency : float;
+  idle_timeout : float;
+  reference_wall_s : float;
+  adversarial_wall_s : float;
+}
+
+let ( let* ) = Result.bind
+
+(* The simulated schedule: line [i] is delivered at [(i+1) * dt], so
+   every well-behaved request has a distinct delivery time and both
+   runs process them in the same order — the backbone of the
+   byte-identity gate. *)
+let dt = 0.005
+
+type adversary_kind =
+  | Trickler
+  | Staller
+  | Flooder
+  | Resetter
+  | Slow_consumer
+  | Oversizer
+
+let all_kinds = [| Trickler; Staller; Flooder; Resetter; Slow_consumer; Oversizer |]
+
+let kind_name = function
+  | Trickler -> "trickler"
+  | Staller -> "staller"
+  | Flooder -> "flooder"
+  | Resetter -> "resetter"
+  | Slow_consumer -> "slow-consumer"
+  | Oversizer -> "oversizer"
+
+let expected_close = function
+  | Trickler | Staller -> Net.Evicted Net.Idle
+  | Flooder -> Net.Evicted Net.Rate
+  | Resetter -> Net.Peer_reset
+  | Slow_consumer -> Net.Evicted Net.Slow
+  | Oversizer -> Net.Evicted Net.Oversized
+
+(* One well-behaved client: hello + resume, then its share of the
+   stream on schedule; odd-indexed clients drop the connection halfway
+   and resume — the reconnect path must survive the adversaries too. *)
+let client_script ~clients ~j ~connect_at lines =
+  let mine =
+    List.filteri (fun i _ -> i mod clients = j) (List.mapi (fun i l -> (i, l)) lines)
+  in
+  let midpoint = List.length mine / 2 in
+  let cur = ref connect_at in
+  let steps = ref [ Net.Sim.Hello_resume ] in
+  List.iteri
+    (fun k (i, line) ->
+      let t = float_of_int (i + 1) *. dt in
+      if t > !cur then begin
+        steps := Net.Sim.Wait (t -. !cur) :: !steps;
+        cur := t
+      end;
+      steps := Net.Sim.Send (line ^ "\n") :: !steps;
+      if j land 1 = 1 && k = midpoint then begin
+        let delay = 0.31 *. dt in
+        steps := Net.Sim.Hello_resume :: Net.Sim.Reconnect delay :: !steps;
+        cur := !cur +. delay
+      end)
+    mine;
+  List.rev !steps
+
+let adversary_script rng ~idle_timeout ~rate = function
+  | Trickler ->
+      (* bytes forever, never a newline: only the deadline stops it *)
+      let n = 64 in
+      [ Net.Sim.Trickle
+          { data = String.make n 'x'; interval = 4. *. idle_timeout /. float_of_int n } ]
+  | Staller -> [ Net.Sim.Wait (4. *. idle_timeout) ]
+  | Flooder ->
+      let n = (2 * int_of_float rate) + 16 in
+      let b = Buffer.create (n * 12) in
+      for k = 1 to n do
+        Buffer.add_string b (Printf.sprintf "#flood %d\n" k)
+      done;
+      [ Net.Sim.Send (Buffer.contents b) ]
+  | Resetter ->
+      [ Net.Sim.Send "join 4242 0";  (* mid-line: no newline *)
+        Net.Sim.Wait (Rng.float_in rng 0.1 0.4 *. idle_timeout);
+        Net.Sim.Reset ]
+  | Slow_consumer ->
+      (* ask for the whole replay, then stop reading it *)
+      [ Net.Sim.Stall; Net.Sim.Hello_resume; Net.Sim.Wait (2. *. idle_timeout) ]
+  | Oversizer -> [ Net.Sim.Send (String.make (Proto.max_line_bytes + 4464) 'z') ]
+
+type peers = {
+  well_behaved : Net.Sim.peer list;  (* closer included *)
+  adversarial : (Net.Sim.peer * adversary_kind) list;
+}
+
+(* Build one sim: the same well-behaved population every time, plus
+   [kinds] adversaries at seed-derived times. *)
+let build_sim cfg ~idle_timeout ~rate ~kinds =
+  let n = List.length cfg.lines in
+  let t_end = float_of_int (n + 2) *. dt in
+  let sim =
+    Net.Sim.create ~kernel_buffer:512
+      ~hello:(Proto.format_hello ~scenario:cfg.scenario ~seed:cfg.seed)
+      ()
+  in
+  let well =
+    List.init cfg.clients (fun j ->
+        let connect_at = 0.0001 *. float_of_int (j + 1) in
+        Net.Sim.add_peer sim ~at:connect_at
+          ~name:(Printf.sprintf "client-%d" j)
+          (client_script ~clients:cfg.clients ~j ~connect_at cfg.lines))
+  in
+  let closer =
+    Net.Sim.add_peer sim ~at:t_end ~name:"closer" [ Net.Sim.Send "end\n" ]
+  in
+  let rng = Rng.create ~seed:(cfg.seed * 7919 + 17) in
+  let adversarial =
+    List.mapi
+      (fun k kind ->
+        let at =
+          match kind with
+          | Slow_consumer ->
+              (* late enough that the replay it refuses to read
+                 overflows the write-buffer bound *)
+              Rng.float_in rng (0.78 *. t_end) (0.85 *. t_end)
+          | _ ->
+              Rng.float_in rng (2. *. dt)
+                (t_end -. (3. *. idle_timeout))
+        in
+        let name = Printf.sprintf "%s-%d" (kind_name kind) k in
+        ( Net.Sim.add_peer sim ~at ~name
+            (adversary_script rng ~idle_timeout ~rate kind),
+          kind ))
+      kinds
+  in
+  (sim, { well_behaved = well @ [ closer ]; adversarial })
+
+let serve cfg ~net sim =
+  let session =
+    Daemon.make_session
+      {
+        Daemon.resolve = cfg.resolve;
+        checkpoint_every = None;
+        checkpoint_sink = None;
+        echo_responses = true;
+        resume_window = 0;
+      }
+  in
+  let reactor = ref None in
+  let inspect r = reactor := Some r in
+  let t0 = Clock.now () in
+  match Daemon.serve_net_session ~net ~inspect session (Net.Sim.backend sim) with
+  | Error m -> Error (Printf.sprintf "daemon error under sim fabric: %s" m)
+  | Ok stats -> Ok (session, stats, Option.get !reactor, Clock.elapsed_since t0)
+
+let check_identity ~reference ~adversarial =
+  let pairs = List.combine reference adversarial in
+  let rec go bytes = function
+    | [] -> Ok bytes
+    | ((name, ref_bytes), (name', adv_bytes)) :: rest ->
+        if name <> name' then Error (Printf.sprintf "peer mismatch: %s vs %s" name name')
+        else if not (String.equal ref_bytes adv_bytes) then
+          let n = min (String.length ref_bytes) (String.length adv_bytes) in
+          let d = ref 0 in
+          while !d < n && ref_bytes.[!d] = adv_bytes.[!d] do incr d done;
+          Error
+            (Printf.sprintf
+               "well-behaved client %s diverged at byte %d (reference %d bytes, \
+                adversarial %d bytes)"
+               name !d (String.length ref_bytes) (String.length adv_bytes))
+        else go (bytes + String.length ref_bytes) rest
+  in
+  go 0 pairs
+
+let run ?(log = fun _ -> ()) cfg =
+  let n = List.length cfg.lines in
+  let* () =
+    if cfg.clients < 1 then Error "need at least one well-behaved client"
+    else if n < 200 then
+      Error
+        (Printf.sprintf
+           "stream of %d lines is too short to outlive the eviction deadlines \
+            (need >= 200)"
+           n)
+    else Ok ()
+  in
+  let idle_timeout =
+    Float.max 0.05 (5. *. float_of_int cfg.clients *. dt)
+  in
+  let rate = Float.max 100. (2. /. (float_of_int cfg.clients *. dt)) in
+  let net =
+    {
+      Net.max_conns = cfg.clients + cfg.adversaries + 4;
+      backlog = 64;
+      idle_timeout;
+      max_write_buffer = 1024;
+      max_events_per_sec = Some rate;
+    }
+  in
+  let rng = Rng.create ~seed:cfg.seed in
+  let kinds =
+    List.init cfg.adversaries (fun k ->
+        if k < Array.length all_kinds then all_kinds.(k)
+        else Rng.choice rng all_kinds)
+  in
+  (* reference: the same clients, nobody hostile *)
+  log (Printf.sprintf "reference: %d clients over %d lines" cfg.clients n);
+  let ref_sim, ref_peers = build_sim cfg ~idle_timeout ~rate ~kinds:[] in
+  let* ref_session, ref_stats, _, ref_wall = serve cfg ~net ref_sim in
+  let ref_log = Daemon.numbered_log ref_session in
+  let ref_bytes =
+    List.fold_left (fun a l -> a + String.length l + 1) 0 ref_log
+  in
+  let* () =
+    if ref_bytes < 4096 then
+      Error
+        (Printf.sprintf
+           "reference produced only %d response bytes; too few to overflow the \
+            slow-consumer write buffer (need >= 4096)"
+           ref_bytes)
+    else Ok ()
+  in
+  let ref_received =
+    List.map (fun p -> (Net.Sim.peer_name p, Net.Sim.received p)) ref_peers.well_behaved
+  in
+  (* adversarial: same clients + the seeded hostile mix *)
+  log
+    (Printf.sprintf "adversarial: +%d adversaries (%s)" cfg.adversaries
+       (String.concat "," (List.map kind_name kinds)));
+  let adv_sim, adv_peers = build_sim cfg ~idle_timeout ~rate ~kinds in
+  let* adv_session, adv_stats, adv_reactor, adv_wall = serve cfg ~net adv_sim in
+  (* gate 1: byte-identity for every well-behaved client *)
+  let adv_received =
+    List.map (fun p -> (Net.Sim.peer_name p, Net.Sim.received p)) adv_peers.well_behaved
+  in
+  let* client_bytes = check_identity ~reference:ref_received ~adversarial:adv_received in
+  (* gate 2: the daemon's own numbered stream is untouched *)
+  let* () =
+    let adv_log = Daemon.numbered_log adv_session in
+    if List.length adv_log <> List.length ref_log
+       || not (List.for_all2 String.equal ref_log adv_log)
+    then Error "daemon numbered response log diverged under adversaries"
+    else if ref_stats.Daemon.events <> adv_stats.Daemon.events then
+      Error
+        (Printf.sprintf "event counts diverged: reference %d, adversarial %d"
+           ref_stats.Daemon.events adv_stats.Daemon.events)
+    else Ok ()
+  in
+  (* gate 3: every adversary went down with its typed reason *)
+  let closes = Net.Reactor.close_log adv_reactor in
+  let* adversary_closes =
+    List.fold_left
+      (fun acc (peer, kind) ->
+        let* acc = acc in
+        let name = Net.Sim.peer_name peer in
+        match List.rev (Net.Sim.conn_ids peer) with
+        | [] -> Error (Printf.sprintf "adversary %s never connected" name)
+        | last :: _ -> (
+            match List.assoc_opt last closes with
+            | None ->
+                Error
+                  (Printf.sprintf "adversary %s was never closed (still wedged?)"
+                     name)
+            | Some reason ->
+                let want = expected_close kind in
+                if reason <> want then
+                  Error
+                    (Printf.sprintf "adversary %s closed as %s, expected %s" name
+                       (Net.close_reason_to_string reason)
+                       (Net.close_reason_to_string want))
+                else
+                  Ok ((name, Net.close_reason_to_string reason) :: acc)))
+      (Ok []) adv_peers.adversarial
+  in
+  let adversary_closes = List.rev adversary_closes in
+  let reactor_stats = Net.Reactor.stats adv_reactor in
+  (* gate 4: the eviction counters account for the adversaries *)
+  let* () =
+    let counted = List.fold_left (fun a (_, c) -> a + c) 0 reactor_stats.Net.evictions in
+    let expected =
+      List.length
+        (List.filter
+           (fun (_, k) -> match expected_close k with Net.Evicted _ -> true | _ -> false)
+           adv_peers.adversarial)
+    in
+    if counted < expected then
+      Error
+        (Printf.sprintf "only %d evictions counted in metrics, expected >= %d"
+           counted expected)
+    else Ok ()
+  in
+  (* gate 5: the reactor never blocked past the deadline, and no
+     request byte sat unread past it *)
+  let max_wait = Net.Sim.max_wait_requested adv_sim in
+  let max_latency = Net.Sim.max_read_latency adv_sim in
+  let* () =
+    if max_wait > idle_timeout +. 1e-9 then
+      Error
+        (Printf.sprintf "reactor blocked %.4fs, past the %.4fs deadline" max_wait
+           idle_timeout)
+    else if max_latency > idle_timeout +. 1e-9 then
+      Error
+        (Printf.sprintf "a request byte waited %.4fs unread, past the %.4fs deadline"
+           max_latency idle_timeout)
+    else Ok ()
+  in
+  log
+    (Printf.sprintf
+       "gates held: %d client bytes identical, %d adversaries down, max wait %.4fs"
+       client_bytes
+       (List.length adversary_closes)
+       max_wait);
+  Ok
+    {
+      events = adv_stats.Daemon.events;
+      responses = Daemon.response_seq adv_session;
+      client_bytes;
+      adversary_closes;
+      evictions = reactor_stats.Net.evictions;
+      busy_rejected = reactor_stats.Net.busy_rejected;
+      max_wait_requested = max_wait;
+      max_read_latency = max_latency;
+      idle_timeout;
+      reference_wall_s = ref_wall;
+      adversarial_wall_s = adv_wall;
+    }

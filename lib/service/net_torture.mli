@@ -1,0 +1,58 @@
+(** Adversarial-network torture for the reactor front-end.
+
+    One {!run} proves, for one request stream, that hostile peers
+    cannot corrupt, delay or wedge service to well-behaved ones:
+
+    - a {b reference run} serves the stream over {!Net.Sim} to
+      well-behaved clients only (including mid-stream reconnect +
+      [resume] clients) and records each client's byte stream;
+    - an {b adversarial run} replays the {e same} well-behaved scripts
+      with a seeded mix of adversaries attached: tricklers (bytes
+      forever, never a newline), stallers (connect and go silent),
+      flooders (malformed lines past the rate limit), mid-line
+      resetters, stalled slow consumers (resume, then stop reading),
+      and oversized-line senders;
+    - gates: every well-behaved client's received byte stream is
+      identical to the reference run's; the daemon's numbered response
+      log is identical; every adversary is closed with the expected
+      typed reason (and counted in the reactor's eviction stats); the
+      reactor never asked its backend to block longer than the idle
+      deadline; and no request byte sat unread longer than the
+      deadline.
+
+    Determinism rests on two facts: the engine is a pure function of
+    the event stream, and adversaries never mutate it — malformed
+    lines answer unnumbered [err], resume replay re-sends without
+    re-numbering, and evictions are connection-local. The sim's clock
+    gives every well-behaved line a distinct delivery time, so both
+    runs process them in the same order. *)
+
+type config = {
+  resolve : scenario:string -> seed:int -> (Engine.t, string) result;
+  scenario : string;
+  seed : int;  (** seeds the adversarial mix (kinds, timing, junk) *)
+  lines : string list;  (** request lines, hello and [end] excluded *)
+  clients : int;  (** well-behaved clients the stream is split across *)
+  adversaries : int;
+}
+
+type report = {
+  events : int;  (** events the daemon applied *)
+  responses : int;  (** numbered responses *)
+  client_bytes : int;  (** well-behaved bytes compared for identity *)
+  adversary_closes : (string * string) list;
+      (** adversary name → typed close reason, e.g. [("flooder-2", "evicted:rate")] *)
+  evictions : (Net.eviction * int) list;
+  busy_rejected : int;
+  max_wait_requested : float;
+  max_read_latency : float;
+  idle_timeout : float;  (** the deadline both maxima are gated on *)
+  reference_wall_s : float;
+  adversarial_wall_s : float;
+}
+
+val run : ?log:(string -> unit) -> config -> (report, string) result
+(** [Error] is the first violated gate. Needs [lines] long enough to
+    outlive the adversaries' eviction deadlines — a few hundred
+    events; {!run} reports an [Error] otherwise rather than passing
+    vacuously. [log] receives one progress line per phase. *)

@@ -125,6 +125,8 @@ type response =
   | Ctrl_ok of string
   | Resume_ok of { events : int; responses : int }
   | Err of string
+  | Busy
+  | Bye
 
 let format_response = function
   | Assigned { id; server } -> Printf.sprintf "ok %d %d" id server
@@ -134,6 +136,8 @@ let format_response = function
   | Ctrl_ok what -> Printf.sprintf "ctrl-ok %s" what
   | Resume_ok { events; responses } -> Printf.sprintf "resume-ok %d %d" events responses
   | Err message -> Printf.sprintf "err %s" message
+  | Busy -> "busy"
+  | Bye -> "bye"
 
 let parse_response raw =
   let s = strip raw in
@@ -159,4 +163,6 @@ let parse_response raw =
       | _ -> bad ())
   | "ctrl-ok" :: what when what <> [] -> Ok (Ctrl_ok (String.concat " " what))
   | "err" :: rest when rest <> [] -> Ok (Err (String.concat " " rest))
+  | [ "busy" ] -> Ok Busy
+  | [ "bye" ] -> Ok Bye
   | _ -> bad ()

@@ -39,6 +39,13 @@
                                       the current response sequence
                                       number (replay follows)
             | "err" MESSAGE           malformed or inconsistent input
+            | "busy"                  connection shed at the cap; the
+                                      daemon closes right after this
+                                      line — back off and reconnect
+            | "bye"                   clean shutdown: the final line
+                                      after [end]'s readmit drain; an
+                                      EOF without it is a severed
+                                      connection, not a finished one
     v}
 
     Every response except [err] and [resume-ok] carries an implicit
@@ -114,6 +121,18 @@ type response =
   | Ctrl_ok of string
   | Resume_ok of { events : int; responses : int }
   | Err of string
+  | Busy
+      (** the daemon is at its connection cap ([--max-conns]): the
+          connection is being closed immediately after this line —
+          reconnect later (clients treat it like a lost connection
+          and back off) *)
+  | Bye
+      (** the shutdown acknowledgment: the unnumbered final line of a
+          clean [end], sent after the drain's readmit responses. An
+          EOF {e without} a preceding [bye] means the connection was
+          severed mid-stream (a SIGKILLed daemon closes its socket
+          exactly like a finished one) — clients must reconnect and
+          resume rather than trust the bare EOF *)
 
 val format_response : response -> string
 (** One line, no trailing newline. *)

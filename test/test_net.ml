@@ -1,0 +1,509 @@
+module Net = Cap_service.Net
+module Net_torture = Cap_service.Net_torture
+module Proto = Cap_service.Proto
+module Daemon = Cap_service.Daemon
+module Client = Cap_service.Client
+module Engine = Cap_service.Engine
+module Loadgen = Cap_service.Loadgen
+module Scenario = Cap_model.Scenario
+module World = Cap_model.World
+module Two_phase = Cap_core.Two_phase
+module Rng = Cap_util.Rng
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* incremental framing                                                 *)
+
+(* every chunking of the same bytes must frame identically *)
+let test_framer_chunking_identity () =
+  let payload = "join 1 2 3\r\nt 0.5\n\na\000b\nlast line\n" in
+  let frame chunks =
+    let f = Net.Framer.create () in
+    List.concat_map
+      (fun chunk ->
+        let events = Net.Framer.feed f chunk in
+        Alcotest.(check bool)
+          "pending within bound" true
+          (Net.Framer.pending f <= Proto.max_line_bytes);
+        events)
+      chunks
+  in
+  let reference = frame [ payload ] in
+  Alcotest.(check int) "five lines" 5 (List.length reference);
+  (* every single split point, including mid-CRLF *)
+  for i = 0 to String.length payload do
+    let a = String.sub payload 0 i in
+    let b = String.sub payload i (String.length payload - i) in
+    if frame [ a; b ] <> reference then
+      Alcotest.failf "split at byte %d changed the framing" i
+  done;
+  (* byte-at-a-time *)
+  let singles = List.init (String.length payload) (fun i -> String.make 1 payload.[i]) in
+  Alcotest.(check bool) "byte-at-a-time identical" true (frame singles = reference);
+  (* the CR survives for Proto to strip *)
+  match reference with
+  | Net.Framer.Line first :: _ ->
+      Alcotest.(check string) "CR left on the line" "join 1 2 3\r" first;
+      (match Proto.parse_line first with
+      | Ok (Proto.Event (Proto.Join _)) -> ()
+      | _ -> Alcotest.fail "CRLF join should parse")
+  | _ -> Alcotest.fail "first event should be a line"
+
+let test_framer_oversized_byte_at_a_time () =
+  let bound = 32 in
+  let f = Net.Framer.create ~max_line_bytes:bound () in
+  for _ = 1 to bound do
+    Alcotest.(check bool) "under the bound: no events" true
+      (Net.Framer.feed f "x" = [])
+  done;
+  (match Net.Framer.feed f "x" with
+  | [ Net.Framer.Oversized n ] ->
+      Alcotest.(check int) "reported the moment the bound is crossed" (bound + 1) n
+  | _ -> Alcotest.fail "crossing the bound must report Oversized immediately");
+  Alcotest.(check int) "payload dropped, not buffered" 0 (Net.Framer.pending f);
+  (* the rest of the attacker's line is swallowed without re-reporting *)
+  Alcotest.(check bool) "no duplicate report" true (Net.Framer.feed f "yyyy" = []);
+  (* the newline closes the poisoned line silently; framing recovers *)
+  Alcotest.(check bool) "poisoned line not emitted" true (Net.Framer.feed f "\n" = []);
+  match Net.Framer.feed f "ok\n" with
+  | [ Net.Framer.Line l ] -> Alcotest.(check string) "framing recovered" "ok" l
+  | _ -> Alcotest.fail "the line after an oversized one must frame"
+
+(* random byte soup through the framer: the parser never raises and
+   the framer never buffers past its bound *)
+let test_framer_parse_fuzz () =
+  let rng = Rng.create ~seed:77 in
+  let alphabet = "jointlv 0123456789\r\n\000\xff.-" in
+  let bound = 64 in
+  for _ = 1 to 200 do
+    let f = Net.Framer.create ~max_line_bytes:bound () in
+    let len = Rng.int_in rng 1 400 in
+    let soup =
+      String.init len (fun _ ->
+          alphabet.[Rng.int_in rng 0 (String.length alphabet - 1)])
+    in
+    let rec feed off =
+      if off < String.length soup then begin
+        let n = min (Rng.int_in rng 1 17) (String.length soup - off) in
+        let events = Net.Framer.feed f (String.sub soup off n) in
+        List.iter
+          (function
+            | Net.Framer.Line line -> (
+                match Proto.parse_line line with
+                | Ok _ | Error _ -> ()
+                | exception e ->
+                    Alcotest.failf "parse raised on %S: %s" line
+                      (Printexc.to_string e))
+            | Net.Framer.Oversized k ->
+                Alcotest.(check bool) "oversized past the bound" true (k > bound))
+          events;
+        if Net.Framer.pending f > bound then
+          Alcotest.failf "framer buffered %d > bound %d" (Net.Framer.pending f)
+            bound;
+        feed (off + n)
+      end
+    in
+    feed 0
+  done
+
+(* ------------------------------------------------------------------ *)
+(* token bucket                                                        *)
+
+let test_bucket () =
+  let b = Net.Bucket.create ~rate:10. ~burst:3. ~now:0. in
+  for i = 1 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "burst take %d" i) true
+      (Net.Bucket.take b ~now:0.)
+  done;
+  Alcotest.(check bool) "burst exhausted" false (Net.Bucket.take b ~now:0.);
+  (* 0.1s at 10/s refills exactly one token *)
+  Alcotest.(check bool) "refilled by elapsed time" true
+    (Net.Bucket.take b ~now:0.1);
+  Alcotest.(check bool) "only one token refilled" false
+    (Net.Bucket.take b ~now:0.1);
+  (* a long quiet spell caps at the burst, not the elapsed budget *)
+  ignore (Net.Bucket.take b ~now:100. : bool);
+  Alcotest.(check bool) "capped at burst" true (Net.Bucket.level b <= 3.)
+
+(* ------------------------------------------------------------------ *)
+(* reactor eviction paths over the simulated fabric                    *)
+
+let echo r ~conn _line =
+  Net.Reactor.send r conn "ok";
+  `Continue
+
+let close_reason_of reactor id =
+  match List.assoc_opt id (Net.Reactor.close_log reactor) with
+  | Some reason -> Net.close_reason_to_string reason
+  | None -> "<open>"
+
+let run_sim ?(config = Net.default_config) ?(on_line = echo) sim =
+  let reactor = Net.Reactor.create ~config (Net.Sim.backend sim) in
+  let outcome = Net.Reactor.run reactor ~on_line in
+  (reactor, outcome)
+
+let test_idle_eviction () =
+  let sim = Net.Sim.create () in
+  let bad = Net.Sim.add_peer sim ~name:"bad" [ Send "junk"; Wait 5.; Close ] in
+  let good =
+    Net.Sim.add_peer sim ~name:"good"
+      [
+        Send "one\n"; Wait 0.5; Send "two\n"; Wait 0.5; Send "three\n";
+        (* leave time for the last response to land before the FIN *)
+        Wait 0.2; Close;
+      ]
+  in
+  let config = { Net.default_config with idle_timeout = 1.0 } in
+  let reactor, outcome = run_sim ~config sim in
+  Alcotest.(check bool) "fabric drains" true (outcome = `Stalled);
+  Alcotest.(check string) "silent peer evicted" "evicted:idle"
+    (close_reason_of reactor (List.hd (Net.Sim.conn_ids bad)));
+  Alcotest.(check string) "well-behaved peer unharmed" "eof"
+    (close_reason_of reactor (List.hd (Net.Sim.conn_ids good)));
+  Alcotest.(check string) "well-behaved peer got every response" "ok\nok\nok\n"
+    (Net.Sim.received good);
+  Alcotest.(check int) "one idle eviction counted" 1
+    (List.assoc Net.Idle (Net.Reactor.stats reactor).Net.evictions)
+
+(* slowloris: bytes keep arriving under the deadline interval, but no
+   completed line ever does — the deadline must not be reset by bytes *)
+let test_slowloris_eviction () =
+  let sim = Net.Sim.create () in
+  let loris =
+    Net.Sim.add_peer sim ~name:"loris"
+      [ Trickle { data = String.make 30 'x'; interval = 0.2 } ]
+  in
+  let config = { Net.default_config with idle_timeout = 1.0 } in
+  let reactor, _ = run_sim ~config sim in
+  Alcotest.(check string) "trickler evicted as idle" "evicted:idle"
+    (close_reason_of reactor (List.hd (Net.Sim.conn_ids loris)));
+  Alcotest.(check bool) "eviction came while bytes were still flowing" true
+    (Net.Sim.now sim < 6.1)
+
+let test_oversized_eviction () =
+  let sim = Net.Sim.create () in
+  let peer =
+    Net.Sim.add_peer sim ~name:"big"
+      [ Send (String.make (Proto.max_line_bytes + 2) 'z') ]
+  in
+  let reactor, _ = run_sim sim in
+  Alcotest.(check string) "oversized eviction" "evicted:oversized"
+    (close_reason_of reactor (List.hd (Net.Sim.conn_ids peer)));
+  let got = Net.Sim.received peer in
+  Alcotest.(check bool) "err line delivered before the close" true
+    (String.length got >= 3 && String.sub got 0 3 = "err")
+
+let test_rate_eviction () =
+  let sim = Net.Sim.create () in
+  let flood = String.concat "" (List.init 10 (fun _ -> "t 1\n")) in
+  let peer = Net.Sim.add_peer sim ~name:"flooder" [ Send flood ] in
+  let config = { Net.default_config with max_events_per_sec = Some 5. } in
+  let reactor, _ = run_sim ~config sim in
+  Alcotest.(check string) "rate eviction" "evicted:rate"
+    (close_reason_of reactor (List.hd (Net.Sim.conn_ids peer)));
+  Alcotest.(check string) "the burst was served before the eviction"
+    "ok\nok\nok\nok\nok\n" (Net.Sim.received peer)
+
+(* a stalled peer: connects, triggers a response, never reads it *)
+let test_slow_consumer_eviction () =
+  let sim = Net.Sim.create ~kernel_buffer:32 () in
+  let peer = Net.Sim.add_peer sim ~name:"stalled" [ Stall; Send "go\n" ] in
+  let config = { Net.default_config with max_write_buffer = 64 } in
+  let on_line r ~conn line =
+    if line = "go" then Net.Reactor.send r conn (String.make 200 'R');
+    `Continue
+  in
+  let reactor, _ = run_sim ~config ~on_line sim in
+  Alcotest.(check string) "slow-consumer eviction" "evicted:slow"
+    (close_reason_of reactor (List.hd (Net.Sim.conn_ids peer)));
+  Alcotest.(check int) "one slow eviction counted" 1
+    (List.assoc Net.Slow (Net.Reactor.stats reactor).Net.evictions)
+
+let test_busy_shed () =
+  let sim = Net.Sim.create () in
+  let first = Net.Sim.add_peer sim ~name:"first" [ Send "a\n"; Wait 1. ] in
+  let second = Net.Sim.add_peer sim ~at:0.1 ~name:"second" [ Wait 1. ] in
+  let config = { Net.default_config with max_conns = 1; idle_timeout = 2. } in
+  let reactor, _ = run_sim ~config sim in
+  Alcotest.(check string) "excess accept shed with busy" "busy"
+    (close_reason_of reactor (List.hd (Net.Sim.conn_ids second)));
+  Alcotest.(check string) "the busy line reached the peer" "busy\n"
+    (Net.Sim.received second);
+  Alcotest.(check int) "shed counted" 1
+    (Net.Reactor.stats reactor).Net.busy_rejected;
+  Alcotest.(check string) "the first connection was served" "ok\n"
+    (Net.Sim.received first)
+
+let test_midline_reset () =
+  let sim = Net.Sim.create () in
+  let peer = Net.Sim.add_peer sim ~name:"rst" [ Send "join 1 2"; Reset ] in
+  let reactor, _ = run_sim sim in
+  Alcotest.(check string) "reset recorded" "reset"
+    (close_reason_of reactor (List.hd (Net.Sim.conn_ids peer)));
+  Alcotest.(check int) "reset counted" 1
+    (Net.Reactor.stats reactor).Net.peer_resets
+
+(* ------------------------------------------------------------------ *)
+(* the daemon over the reactor                                         *)
+
+let net_scenario =
+  Scenario.make ~servers:5 ~zones:12 ~clients:120 ~total_capacity_mbps:400. ()
+
+let make_world seed = World.generate (Rng.create ~seed) net_scenario
+
+let net_resolve ~scenario ~seed =
+  ignore scenario;
+  let world = make_world seed in
+  let assignment = Two_phase.run Two_phase.grez_grec (Rng.create ~seed) world in
+  Ok (Engine.create ~world ~assignment Engine.default_config)
+
+let net_daemon_config =
+  {
+    Daemon.resolve = net_resolve;
+    checkpoint_every = None;
+    checkpoint_sink = None;
+    echo_responses = true;
+    resume_window = Daemon.default_resume_window;
+  }
+
+let event_lines ?(events = 400) seed =
+  let world = make_world seed in
+  let config =
+    { Loadgen.default_config with Loadgen.rate = float_of_int events; duration = 1. }
+  in
+  let log = ref [] in
+  let emit = function
+    | Proto.Event e -> log := Proto.format_event e :: !log
+    | _ -> ()
+  in
+  ignore
+    (Loadgen.run (Rng.create ~seed:(seed + 1000)) ~world ~world_seed:seed config
+       ~emit
+      : int);
+  List.rev !log
+
+(* two concurrent clients split one stream; a third connection ends it *)
+let serve_two_clients seed =
+  let lines = event_lines ~events:40 seed in
+  let half = List.length lines / 2 in
+  let first = List.filteri (fun i _ -> i < half) lines in
+  let rest = List.filteri (fun i _ -> i >= half) lines in
+  let script lines =
+    Net.Sim.Hello_resume
+    :: List.concat_map (fun l -> [ Net.Sim.Send (l ^ "\n"); Net.Sim.Wait 0.01 ]) lines
+  in
+  let sim =
+    Net.Sim.create
+      ~hello:(Proto.format_hello ~scenario:(Scenario.notation net_scenario) ~seed)
+      ()
+  in
+  let p1 = Net.Sim.add_peer sim ~at:0.0001 ~name:"p1" (script first) in
+  let p2 = Net.Sim.add_peer sim ~at:0.0002 ~name:"p2" (script rest) in
+  let _closer = Net.Sim.add_peer sim ~at:2.0 ~name:"closer" [ Send "end\n" ] in
+  let session = Daemon.make_session net_daemon_config in
+  let result = Daemon.serve_net_session session (Net.Sim.backend sim) in
+  (result, Net.Sim.received p1, Net.Sim.received p2)
+
+let test_daemon_concurrent_clients () =
+  match serve_two_clients 21 with
+  | Ok stats, r1, r2 ->
+      Alcotest.(check bool) "events flowed" true (stats.Daemon.events > 0);
+      Alcotest.(check int) "no protocol errors" 0 stats.Daemon.errors;
+      Alcotest.(check (list string)) "clean shutdown" [] stats.Daemon.violations;
+      Alcotest.(check bool) "both connections answered" true
+        (String.length r1 > 0 && String.length r2 > 0)
+  | Error m, _, _ -> Alcotest.failf "serve failed: %s" m
+
+(* a clean [end] answers with a final unnumbered [bye]: the only line
+   that distinguishes a finished stream from a severed connection,
+   since a SIGKILLed daemon's socket closes exactly like this one *)
+let test_end_answers_bye () =
+  let seed = 23 in
+  let lines = event_lines ~events:20 seed in
+  let sim =
+    Net.Sim.create
+      ~hello:(Proto.format_hello ~scenario:(Scenario.notation net_scenario) ~seed)
+      ()
+  in
+  let script =
+    Net.Sim.Hello_resume
+    :: List.map (fun l -> Net.Sim.Send (l ^ "\n")) lines
+    @ [ Net.Sim.Send "end\n" ]
+  in
+  let p = Net.Sim.add_peer sim ~at:0.0001 ~name:"p" script in
+  let session = Daemon.make_session net_daemon_config in
+  (match Daemon.serve_net_session session (Net.Sim.backend sim) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "serve failed: %s" m);
+  let r = Net.Sim.received p in
+  let tail = "\nbye\n" in
+  Alcotest.(check bool) "responses flowed before the ack" true
+    (String.length r > String.length tail);
+  Alcotest.(check string) "the stream's last line is the shutdown ack" tail
+    (String.sub r (String.length r - String.length tail) (String.length tail))
+
+(* EOF without [bye] must not commit the post-[end] drain: the client
+   treats the bare close as a severed connection, reconnects, and
+   resumes exactly-once *)
+let test_client_refuses_byeless_eof () =
+  let conns = ref 0 in
+  let connect () =
+    incr conns;
+    let n = !conns in
+    let inbox = Queue.create () in
+    let push r = Queue.add (Proto.format_response r) inbox in
+    let send_line line =
+      match Proto.parse_line line with
+      | Ok (Proto.Hello _) -> ()
+      | Ok (Proto.Resume seq) ->
+          push (Proto.Resume_ok { events = (if n = 1 then 0 else 1); responses = seq })
+      | Ok (Proto.Event _) -> push (Proto.Assigned { id = 1; server = 0 })
+      | Ok Proto.End ->
+          (* the first daemon dies between [end] and its ack — the
+             drain just stops; the second finishes cleanly *)
+          if n > 1 then push Proto.Bye
+      | _ -> ()
+    in
+    let recv_line () =
+      if Queue.is_empty inbox then None else Some (Queue.pop inbox)
+    in
+    let has_input () = not (Queue.is_empty inbox) in
+    Ok { Client.send_line; recv_line; has_input; close = (fun () -> ()) }
+  in
+  let config =
+    Client.make_config ~connect ~scenario:"s" ~seed:1 ~rng:(Rng.create ~seed:7)
+      ~sleep:(fun _ -> ()) ()
+  in
+  let lines = [ Proto.format_event (Proto.Join { id = 1; node = 0; zone = 0 }) ] in
+  match Client.run config ~lines with
+  | Error m -> Alcotest.failf "client gave up: %s" m
+  | Ok outcome ->
+      Alcotest.(check int) "the bye-less EOF forced one reconnect" 1
+        outcome.Client.reconnects;
+      Alcotest.(check (list string)) "exactly-once despite the severed close"
+        [ "ok 1 0"; "bye" ] outcome.Client.responses
+
+let test_daemon_reactor_deterministic () =
+  let run () =
+    match serve_two_clients 22 with
+    | Ok _, r1, r2 -> r1 ^ "\x00" ^ r2
+    | Error m, _, _ -> Alcotest.failf "serve failed: %s" m
+  in
+  Alcotest.(check string) "byte-identical across runs" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* bind probe                                                          *)
+
+(* a bound listener whose backlog is full: the probe's connect can
+   neither complete nor be refused, so only the timeout ends it — and
+   an unresponsive socket must be treated as live, never reclaimed *)
+let test_bind_probe_timeout () =
+  let dir = Filename.temp_file "cap_net_probe" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "wedged.sock" in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let fill = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !fill;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind listener (Unix.ADDR_UNIX path);
+      Unix.listen listener 1;
+      (* fill the backlog without ever accepting *)
+      (try
+         for _ = 1 to 8 do
+           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           fill := fd :: !fill;
+           Unix.set_nonblock fd;
+           Unix.connect fd (Unix.ADDR_UNIX path)
+         done
+       with Unix.Unix_error _ -> ());
+      let t0 = Unix.gettimeofday () in
+      let result = Daemon.bind_unix ~probe_timeout:0.2 ~path () in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (match result with
+      | Error (Daemon.Address_in_use _) -> ()
+      | Error e ->
+          Alcotest.failf "expected Address_in_use, got: %s"
+            (Daemon.describe_bind_error e)
+      | Ok fd ->
+          Unix.close fd;
+          Alcotest.fail "a wedged-but-bound socket must not be reclaimed");
+      Alcotest.(check bool)
+        (Printf.sprintf "probe gave up promptly (%.3fs)" elapsed)
+        true (elapsed < 2.0);
+      Alcotest.(check bool) "socket file left alone" true (Sys.file_exists path))
+
+(* ------------------------------------------------------------------ *)
+(* the full adversarial harness                                        *)
+
+let test_net_torture_smoke () =
+  let seed = 3 in
+  let lines = event_lines ~events:700 seed in
+  match
+    Net_torture.run
+      {
+        Net_torture.resolve = net_resolve;
+        scenario = Scenario.notation net_scenario;
+        seed;
+        lines;
+        clients = 2;
+        adversaries = 3;
+      }
+  with
+  | Error m -> Alcotest.failf "net torture failed: %s" m
+  | Ok r ->
+      Alcotest.(check int) "three adversaries accounted for" 3
+        (List.length r.Net_torture.adversary_closes);
+      Alcotest.(check bool) "identity compared real bytes" true
+        (r.Net_torture.client_bytes > 0);
+      Alcotest.(check bool) "something was evicted" true
+        (List.exists (fun (_, n) -> n > 0) r.Net_torture.evictions);
+      Alcotest.(check bool) "the reactor never blocked past the deadline" true
+        (r.Net_torture.max_wait_requested
+        <= r.Net_torture.idle_timeout +. 1e-9)
+
+let test_net_torture_rejects_short_streams () =
+  match
+    Net_torture.run
+      {
+        Net_torture.resolve = net_resolve;
+        scenario = Scenario.notation net_scenario;
+        seed = 1;
+        lines = [ "t 1" ];
+        clients = 1;
+        adversaries = 1;
+      }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a vacuously short stream must be rejected"
+
+let tests =
+  [
+    ( "net",
+      [
+        case "framer is chunking-invariant" test_framer_chunking_identity;
+        case "framer reports oversized mid-read" test_framer_oversized_byte_at_a_time;
+        case "framer + parser survive byte soup" test_framer_parse_fuzz;
+        case "token bucket refills by elapsed time" test_bucket;
+        case "idle peers are evicted on deadline" test_idle_eviction;
+        case "slowloris trickle cannot hold a connection" test_slowloris_eviction;
+        case "oversized lines answer err then evict" test_oversized_eviction;
+        case "flooders are evicted at the rate limit" test_rate_eviction;
+        case "stalled consumers are evicted at the buffer bound" test_slow_consumer_eviction;
+        case "accepts past the cap shed busy" test_busy_shed;
+        case "mid-line resets are contained" test_midline_reset;
+        case "daemon serves concurrent clients" test_daemon_concurrent_clients;
+        case "a clean end answers bye" test_end_answers_bye;
+        case "clients refuse a bye-less EOF" test_client_refuses_byeless_eof;
+        case "reactor serving is deterministic" test_daemon_reactor_deterministic;
+        case "bind probe times out on a wedged socket" test_bind_probe_timeout;
+        case "adversarial torture holds its gates" test_net_torture_smoke;
+        case "torture refuses vacuous streams" test_net_torture_rejects_short_streams;
+      ] );
+  ]

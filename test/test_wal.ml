@@ -1163,7 +1163,7 @@ let test_bind_unix_reclaims_stale_socket () =
     (fun () ->
       (* first bind on a fresh path *)
       let fd =
-        match Daemon.bind_unix ~path with
+        match Daemon.bind_unix ~path () with
         | Ok fd -> fd
         | Error e -> Alcotest.failf "fresh bind: %s" (Daemon.describe_bind_error e)
       in
@@ -1171,7 +1171,7 @@ let test_bind_unix_reclaims_stale_socket () =
       Unix.close fd;
       Alcotest.(check bool) "stale socket file left behind" true (Sys.file_exists path);
       let fd =
-        match Daemon.bind_unix ~path with
+        match Daemon.bind_unix ~path () with
         | Ok fd -> fd
         | Error e ->
             Alcotest.failf "stale socket must be reclaimed: %s"
@@ -1179,7 +1179,7 @@ let test_bind_unix_reclaims_stale_socket () =
       in
       (* a live listener must NOT be evicted *)
       Unix.listen fd 8;
-      (match Daemon.bind_unix ~path with
+      (match Daemon.bind_unix ~path () with
       | Error (Daemon.Address_in_use _) -> ()
       | Error e -> Alcotest.failf "wrong error: %s" (Daemon.describe_bind_error e)
       | Ok fd2 ->
