@@ -80,14 +80,23 @@ let parse_kernel_line line =
       | None -> None
       | Some close -> (
           let name = String.sub rest 0 close in
-          match after rest "\"ns_per_run\": " with
+          let field marker =
+            match after rest marker with
+            | None -> None
+            | Some tail ->
+                let stop = ref (String.length tail) in
+                String.iteri
+                  (fun i c -> if (c = ',' || c = '}') && i < !stop then stop := i)
+                  tail;
+                float_of_string_opt (String.trim (String.sub tail 0 !stop))
+          in
+          match field "\"ns_per_run\": " with
           | None -> None
-          | Some tail ->
-              let stop = ref (String.length tail) in
-              String.iteri (fun i c -> if (c = ',' || c = '}') && i < !stop then stop := i) tail;
-              (match float_of_string_opt (String.trim (String.sub tail 0 !stop)) with
-              | Some ns -> Some (name, ns)
-              | None -> None)))
+          | Some ns_per_run ->
+              let samples =
+                match field "\"samples\": " with Some s -> int_of_float s | None -> 0
+              in
+              Some { name; ns_per_run; r_square = field "\"r_square\": "; samples }))
 
 let read_baseline path =
   let ic = open_in path in
@@ -102,14 +111,33 @@ let read_baseline path =
   close_in ic;
   List.rev !entries
 
+(* A measurement is trustworthy enough to gate CI on when it was timed
+   manually with a wall clock (no OLS fit: [r_square] omitted) or when
+   the OLS fit both had samples and explained the data. Noisy kernels
+   are still measured and written to the baseline, but a 2x excursion
+   on a fit with r-square 0.6 is as likely scheduler jitter as a real
+   regression, so comparisons involving one are reported as warnings
+   instead of failing the gate. *)
+let reliable e =
+  match e.r_square with
+  | None -> true
+  | Some r2 -> e.samples >= 3 && (r2 >= 0.8 || e.samples >= 50)
+
 (* Kernels present in both the baseline and the current run whose
-   current ns/run exceeds [threshold] times the baseline. Kernels only
+   current ns/run exceeds [threshold] times the baseline, split into
+   (gate-failing, warn-only) by [reliable] on both sides. Kernels only
    on one side are ignored (renames must not fail the gate). *)
 let regressions ~baseline ~threshold entries =
-  List.filter_map
-    (fun e ->
-      match List.assoc_opt e.name baseline with
-      | Some old when old > 0. && e.ns_per_run > threshold *. old ->
-          Some (e.name, old, e.ns_per_run)
-      | Some _ | None -> None)
-    entries
+  let slow, noisy =
+    List.fold_left
+      (fun (slow, noisy) e ->
+        match List.find_opt (fun b -> b.name = e.name) baseline with
+        | Some old
+          when old.ns_per_run > 0. && e.ns_per_run > threshold *. old.ns_per_run ->
+            let hit = (e.name, old.ns_per_run, e.ns_per_run) in
+            if reliable e && reliable old then (hit :: slow, noisy)
+            else (slow, hit :: noisy)
+        | Some _ | None -> (slow, noisy))
+      ([], []) entries
+  in
+  (List.rev slow, List.rev noisy)

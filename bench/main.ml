@@ -9,14 +9,24 @@
    artifact (the work behind one data point of each table/figure) plus
    the main substrate kernels.
 
+   Part 3 runs the cap/scale kernels: million-client world build plus
+   aggregated two-phase solve, timed manually (each run takes seconds,
+   far beyond Bechamel's sampling budget) and merged into the same
+   cap-bench/1 output.
+
    Environment knobs:
    - CAP_RUNS=n       replicate count for part 1 (default 10)
    - CAP_JOBS=n       domain-pool size for parallel sections (default 1)
    - CAP_BENCH_ONLY=1 skip part 1; kernels only (CI smoke mode)
+   - CAP_SCALE_ONLY=1 skip parts 1 and 2; scale kernels only
+   - CAP_SCALE_MAX_CLIENTS=n  skip scale kernels larger than n clients
+   - CAP_SCALE_EXACT=1  scale kernels solve per-client (dense matrices)
+     instead of aggregated; kernel names get an "-exact" suffix
    - CAP_BENCH_JSON=f write kernel results as cap-bench/1 JSON to f
    - CAP_BENCH_BASELINE=f  compare kernels against a committed
      cap-bench/1 file; exit 1 if any regresses beyond
      CAP_BENCH_THRESHOLD x (default 2) its baseline ns/run
+     (noisy OLS fits warn instead of gating; see Bench_json.reliable)
    - CAP_OBS=1        telemetry summary for part 1 (forces CAP_JOBS=1) *)
 
 module Rng = Cap_util.Rng
@@ -86,7 +96,18 @@ let reproduction_report () =
 open Bechamel
 open Toolkit
 
+(* Each kernel registers a warmup thunk alongside its Bechamel test:
+   one untimed invocation before sampling starts fills the lazy world
+   caches and faults in the code paths, so the timed samples never
+   straddle a cold first run (the cold run was what dragged the OLS
+   r-square of the longest kernels down to ~0.6 and made the 2x gate
+   flap). *)
 let make_tests () =
+  let warmups = ref [] in
+  let kernel name fn =
+    warmups := (fun () -> ignore (fn ())) :: !warmups;
+    Test.make ~name (Staged.stage fn)
+  in
   let rng = Rng.create ~seed:99 in
   let default_world = World.generate rng Scenario.default in
   let small_world = World.generate rng (List.hd Scenario.small_configurations) in
@@ -106,182 +127,172 @@ let make_tests () =
   let sim_config =
     { Cap_sim.Dve_sim.default_config with Cap_sim.Dve_sim.duration = 60.; sample_interval = 10. }
   in
-  [
-    (* Table 1: one data point = one two-phase algorithm on one world. *)
-    Test.make ~name:"table1/ranz-virc-20s"
-      (Staged.stage (fun () ->
-           Cap_core.Two_phase.run Cap_core.Two_phase.ranz_virc (Rng.split bench_rng)
-             default_world));
-    Test.make ~name:"table1/grez-virc-20s"
-      (Staged.stage (fun () ->
-           Cap_core.Two_phase.run Cap_core.Two_phase.grez_virc (Rng.split bench_rng)
-             default_world));
-    Test.make ~name:"table1/grez-grec-20s"
-      (Staged.stage (fun () ->
-           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
-             default_world));
-    Test.make ~name:"table1/grez-grec-30s"
-      (Staged.stage (fun () ->
-           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng) big_world));
-    (* Table 1, optimal column: branch-and-bound on the small config. *)
-    Test.make ~name:"table1/optimal-iap-bb-5s"
-      (Staged.stage (fun () ->
-           let options =
-             { Cap_milp.Branch_bound.default_options with time_limit = 1.; max_nodes = 200_000 }
-           in
-           Cap_milp.Branch_bound.solve ~options iap_gap));
-    (* Fig 4: delay samples + CDF evaluation over the plotting grid. *)
-    Test.make ~name:"fig4/delay-cdf-30s"
-      (Staged.stage (fun () ->
-           let cdf =
-             Cap_util.Stats.Cdf.of_samples (Assignment.delay_samples big_assignment big_world)
-           in
-           Array.map (Cap_util.Stats.Cdf.eval cdf) grid));
-    (* Fig 5: one data point = a correlated world + the best algorithm. *)
-    Test.make ~name:"fig5/correlated-point"
-      (Staged.stage (fun () ->
-           let world = World.generate (Rng.split bench_rng) correlated in
-           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng) world));
-    (* Fig 6: one data point = a clustered world + the best algorithm. *)
-    Test.make ~name:"fig6/clustered-point"
-      (Staged.stage (fun () ->
-           let world = World.generate (Rng.split bench_rng) clustered in
-           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng) world));
-    (* Table 3: churn perturbation + assignment adaptation. *)
-    Test.make ~name:"table3/churn-adapt"
-      (Staged.stage (fun () ->
-           let outcome =
-             Cap_model.Churn.apply (Rng.split bench_rng) Cap_model.Churn.paper_spec
-               default_world
-           in
-           let initial =
+  let tests =
+    [
+      (* Table 1: one data point = one two-phase algorithm on one world. *)
+      kernel "table1/ranz-virc-20s" (fun () ->
+          Cap_core.Two_phase.run Cap_core.Two_phase.ranz_virc (Rng.split bench_rng)
+            default_world);
+      kernel "table1/grez-virc-20s" (fun () ->
+          Cap_core.Two_phase.run Cap_core.Two_phase.grez_virc (Rng.split bench_rng)
+            default_world);
+      kernel "table1/grez-grec-20s" (fun () ->
+          Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
+            default_world);
+      kernel "table1/grez-grec-30s" (fun () ->
+          Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
+            big_world);
+      (* Table 1, optimal column: branch-and-bound on the small config. *)
+      kernel "table1/optimal-iap-bb-5s" (fun () ->
+          let options =
+            { Cap_milp.Branch_bound.default_options with time_limit = 1.; max_nodes = 200_000 }
+          in
+          Cap_milp.Branch_bound.solve ~options iap_gap);
+      (* Fig 4: delay samples + CDF evaluation over the plotting grid. *)
+      kernel "fig4/delay-cdf-30s" (fun () ->
+          let cdf =
+            Cap_util.Stats.Cdf.of_samples (Assignment.delay_samples big_assignment big_world)
+          in
+          Array.map (Cap_util.Stats.Cdf.eval cdf) grid);
+      (* Fig 5: one data point = a correlated world + the best algorithm. *)
+      kernel "fig5/correlated-point" (fun () ->
+          let world = World.generate (Rng.split bench_rng) correlated in
+          Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng) world);
+      (* Fig 6: one data point = a clustered world + the best algorithm. *)
+      kernel "fig6/clustered-point" (fun () ->
+          let world = World.generate (Rng.split bench_rng) clustered in
+          Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng) world);
+      (* Table 3: churn perturbation + assignment adaptation. *)
+      kernel "table3/churn-adapt" (fun () ->
+          let outcome =
+            Cap_model.Churn.apply (Rng.split bench_rng) Cap_model.Churn.paper_spec
+              default_world
+          in
+          let initial =
+            Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
+              default_world
+          in
+          Cap_model.Churn.adapt outcome ~old:initial);
+      (* Table 4: perturbing the delay model with estimation error. *)
+      kernel "table4/estimation-error-e2" (fun () ->
+          World.with_estimation_error (Rng.split bench_rng) ~factor:2. default_world);
+      (* Substrates. *)
+      kernel "substrate/brite-topology-500" (fun () ->
+          Cap_topology.Hierarchical.generate (Rng.split bench_rng)
+            Cap_topology.Hierarchical.default_params);
+      kernel "substrate/world-gen-default" (fun () ->
+          World.generate (Rng.split bench_rng) Scenario.default);
+      kernel "substrate/simplex-iap-lp-5s" (fun () -> Cap_milp.Simplex.solve iap_lp);
+      kernel "substrate/transit-stub-topology-500" (fun () ->
+          Cap_topology.Transit_stub.generate (Rng.split bench_rng)
+            Cap_topology.Transit_stub.default_params);
+      (* Extensions. *)
+      kernel "extension/vivaldi-embed-500" (fun () ->
+          Cap_topology.Vivaldi.estimate (Rng.split bench_rng) default_world.World.delay);
+      kernel "extension/incremental-refresh" (fun () ->
+          let outcome =
+            Cap_model.Churn.apply (Rng.split bench_rng) Cap_model.Churn.paper_spec
+              default_world
+          in
+          let initial =
+            Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
+              default_world
+          in
+          let adapted = Cap_model.Churn.adapt outcome ~old:initial in
+          Cap_core.Incremental.refresh outcome.Cap_model.Churn.world ~previous:adapted);
+      kernel "extension/lp-rounding-iap-20s" (fun () ->
+          Cap_milp.Lp_rounding.iap_targets default_world);
+      (* Online service: one client event against a warm daemon engine,
+         periodic background re-optimization amortized in. *)
+      kernel "service/placement-event"
+        (let engine =
+           let assignment =
              Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
                default_world
            in
-           Cap_model.Churn.adapt outcome ~old:initial));
-    (* Table 4: perturbing the delay model with estimation error. *)
-    Test.make ~name:"table4/estimation-error-e2"
-      (Staged.stage (fun () ->
-           World.with_estimation_error (Rng.split bench_rng) ~factor:2. default_world));
-    (* Substrates. *)
-    Test.make ~name:"substrate/brite-topology-500"
-      (Staged.stage (fun () ->
-           Cap_topology.Hierarchical.generate (Rng.split bench_rng)
-             Cap_topology.Hierarchical.default_params));
-    Test.make ~name:"substrate/world-gen-default"
-      (Staged.stage (fun () -> World.generate (Rng.split bench_rng) Scenario.default));
-    Test.make ~name:"substrate/simplex-iap-lp-5s"
-      (Staged.stage (fun () -> Cap_milp.Simplex.solve iap_lp));
-    Test.make ~name:"substrate/transit-stub-topology-500"
-      (Staged.stage (fun () ->
-           Cap_topology.Transit_stub.generate (Rng.split bench_rng)
-             Cap_topology.Transit_stub.default_params));
-    (* Extensions. *)
-    Test.make ~name:"extension/vivaldi-embed-500"
-      (Staged.stage (fun () ->
-           Cap_topology.Vivaldi.estimate (Rng.split bench_rng) default_world.World.delay));
-    Test.make ~name:"extension/incremental-refresh"
-      (Staged.stage (fun () ->
-           let outcome =
-             Cap_model.Churn.apply (Rng.split bench_rng) Cap_model.Churn.paper_spec
-               default_world
-           in
-           let initial =
-             Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
-               default_world
-           in
-           let adapted = Cap_model.Churn.adapt outcome ~old:initial in
-           Cap_core.Incremental.refresh outcome.Cap_model.Churn.world ~previous:adapted));
-    Test.make ~name:"extension/lp-rounding-iap-20s"
-      (Staged.stage (fun () -> Cap_milp.Lp_rounding.iap_targets default_world));
-    (* Online service: one client event against a warm daemon engine,
-       periodic background re-optimization amortized in. *)
-    Test.make ~name:"service/placement-event"
-      (let engine =
-         let assignment =
-           Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split bench_rng)
-             default_world
+           Cap_service.Engine.create ~world:default_world ~assignment
+             Cap_service.Engine.default_config
          in
-         Cap_service.Engine.create ~world:default_world ~assignment
-           Cap_service.Engine.default_config
-       in
-       let zones = World.zone_count default_world in
-       let zone = ref 0 in
-       Staged.stage (fun () ->
+         let zones = World.zone_count default_world in
+         let zone = ref 0 in
+         fun () ->
            zone := (!zone + 1) mod zones;
            Cap_service.Engine.handle engine
-             (Cap_service.Proto.Move { id = 0; zone = !zone })));
-    (* WAL append: the durability cost on the event hot path — one
-       length+CRC framed write(2), fsync batched at the default 32. *)
-    Test.make ~name:"service/wal-append"
-      (let path = Filename.temp_file "cap_bench_wal" ".wal" in
-       let writer = Cap_service.Wal.create_writer ~path () in
-       at_exit (fun () ->
-           Cap_service.Wal.close_writer writer;
-           try Sys.remove path with Sys_error _ -> ());
-       let payload = "join 123456 654321 42" in
-       Staged.stage (fun () -> Cap_service.Wal.append writer payload));
-    (* WAL append on the segmented layout: the same hot path plus the
-       amortized cost of segment rotation (8 KiB segments) and the
-       periodic snapshot-anchored GC that keeps the chain short. *)
-    Test.make ~name:"service/wal-rotate"
-      (let base = Filename.temp_file "cap_bench_walrot" ".wal" in
-       Sys.remove base;
-       let writer =
-         Cap_service.Wal.create_writer ~segment_bytes:8192 ~path:base ()
-       in
-       at_exit (fun () ->
-           Cap_service.Wal.close_writer writer;
-           let dir = Filename.dirname base and stem = Filename.basename base in
-           Array.iter
-             (fun name ->
-               if
-                 String.length name >= String.length stem
-                 && String.sub name 0 (String.length stem) = stem
-               then
-                 try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
-             (Sys.readdir dir));
-       let payload = "join 123456 654321 42" in
-       Staged.stage (fun () ->
+             (Cap_service.Proto.Move { id = 0; zone = !zone }));
+      (* WAL append: the durability cost on the event hot path — one
+         length+CRC framed write(2), fsync batched at the default 32. *)
+      kernel "service/wal-append"
+        (let path = Filename.temp_file "cap_bench_wal" ".wal" in
+         let writer = Cap_service.Wal.create_writer ~path () in
+         at_exit (fun () ->
+             Cap_service.Wal.close_writer writer;
+             try Sys.remove path with Sys_error _ -> ());
+         let payload = "join 123456 654321 42" in
+         fun () -> Cap_service.Wal.append writer payload);
+      (* WAL append on the segmented layout: the same hot path plus the
+         amortized cost of segment rotation (8 KiB segments) and the
+         periodic snapshot-anchored GC that keeps the chain short. *)
+      kernel "service/wal-rotate"
+        (let base = Filename.temp_file "cap_bench_walrot" ".wal" in
+         Sys.remove base;
+         let writer =
+           Cap_service.Wal.create_writer ~segment_bytes:8192 ~path:base ()
+         in
+         at_exit (fun () ->
+             Cap_service.Wal.close_writer writer;
+             let dir = Filename.dirname base and stem = Filename.basename base in
+             Array.iter
+               (fun name ->
+                 if
+                   String.length name >= String.length stem
+                   && String.sub name 0 (String.length stem) = stem
+                 then
+                   try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+               (Sys.readdir dir));
+         let payload = "join 123456 654321 42" in
+         fun () ->
            Cap_service.Wal.append writer payload;
            let written = Cap_service.Wal.records_written writer in
            if written mod 1024 = 0 then
-             ignore (Cap_service.Wal.gc writer ~covered:written : int)));
-    (* Reactor front-end overhead: one request line through the
-       simulated fabric — wait, read, frame, deadline bookkeeping,
-       response enqueue and flush — with a trivial handler, so the
-       engine's cost (service/placement-event) is excluded. *)
-    Test.make ~name:"service/conn-event"
-      (let module Net = Cap_service.Net in
-       let sim = Net.Sim.create () in
-       let peer = Net.Sim.add_peer sim ~name:"bench" [] in
-       let reactor = Net.Reactor.create (Net.Sim.backend sim) in
-       let on_line r ~conn _line =
-         Net.Reactor.send r conn "ok 0 0";
-         `Continue
-       in
-       let poll () =
-         ignore
-           (Net.Reactor.poll_once reactor ~on_line
-             : [ `Progress | `Stopped | `Stalled ])
-       in
-       poll () (* accept the benchmark connection *);
-       Staged.stage (fun () ->
+             ignore (Cap_service.Wal.gc writer ~covered:written : int));
+      (* Reactor front-end overhead: one request line through the
+         simulated fabric — wait, read, frame, deadline bookkeeping,
+         response enqueue and flush — with a trivial handler, so the
+         engine's cost (service/placement-event) is excluded. *)
+      kernel "service/conn-event"
+        (let module Net = Cap_service.Net in
+         let sim = Net.Sim.create () in
+         let peer = Net.Sim.add_peer sim ~name:"bench" [] in
+         let reactor = Net.Reactor.create (Net.Sim.backend sim) in
+         let on_line r ~conn _line =
+           Net.Reactor.send r conn "ok 0 0";
+           `Continue
+         in
+         let poll () =
+           ignore
+             (Net.Reactor.poll_once reactor ~on_line
+               : [ `Progress | `Stopped | `Stalled ])
+         in
+         poll () (* accept the benchmark connection *);
+         fun () ->
            Net.Sim.inject sim peer "t 1.5\n";
-           poll ()));
-    Test.make ~name:"substrate/dve-sim-60s"
-      (Staged.stage (fun () ->
-           Cap_sim.Dve_sim.run (Rng.split bench_rng) sim_config ~world:default_world
-             ~algorithm:Cap_core.Two_phase.grez_grec));
-  ]
+           poll ());
+      kernel "substrate/dve-sim-60s" (fun () ->
+          Cap_sim.Dve_sim.run (Rng.split bench_rng) sim_config ~world:default_world
+            ~algorithm:Cap_core.Two_phase.grez_grec);
+    ]
+  in
+  (tests, List.rev !warmups)
 
 let benchmark () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false ()
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 1.) ~kde:None ~stabilize:false ()
   in
-  let tests = Test.make_grouped ~name:"cap" (make_tests ()) in
+  let tests, warmups = make_tests () in
+  List.iter (fun warm -> warm ()) warmups;
+  let tests = Test.make_grouped ~name:"cap" tests in
   let raw = Benchmark.all cfg instances tests in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   (raw, Analyze.merge ols instances results)
@@ -341,6 +352,107 @@ let print_benchmarks () =
   Notty_unix.output_image (Notty_unix.eol image);
   kernel_entries raw results
 
+(* ------------------------------------------------------------------ *)
+(* cap/scale kernels: million-client world build + aggregated solve.
+
+   One run takes seconds — far past Bechamel's sampling budget — so
+   each kernel is timed with a single manual wall-clock run and
+   recorded with [r_square] omitted and [samples] = 1; the regression
+   gate treats manual timings as reliable. The scenario keeps the
+   paper's shape but at data-center scale: 500 servers, 1000 zones,
+   per-client traffic capped at 50 visible peers, and total capacity
+   provisioned at 1.6 Mbps per client so the instance stays feasible.
+   The aggregated solver never materializes the client x server delay
+   matrix, so the 1M kernel runs in O(clients + zones x servers)
+   memory. *)
+
+let scale_max_clients () =
+  match Sys.getenv_opt "CAP_SCALE_MAX_CLIENTS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> max_int)
+  | None -> max_int
+
+let scale_scenario ~clients =
+  let base =
+    Scenario.make ~servers:500 ~zones:1000 ~clients
+      ~total_capacity_mbps:(1.6 *. float_of_int clients) ()
+  in
+  {
+    base with
+    Scenario.traffic = Cap_model.Traffic.with_visibility_cap 50 base.Scenario.traffic;
+  }
+
+(* Peak RSS of this process in KiB, from /proc (0 where unavailable).
+   Cumulative over the process lifetime, so run the largest scale
+   kernel last and read it per-kernel only in single-kernel runs. *)
+let max_rss_kib () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rss = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+             Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" (fun v ->
+                 rss := v)
+         done
+       with End_of_file | Scanf.Scan_failure _ | Failure _ -> ());
+      close_in ic;
+      !rss
+
+let scale_benchmarks () =
+  let variants =
+    [
+      ("scale/10k-clients", 10_000);
+      ("scale/100k-clients", 100_000);
+      ("scale/1m-clients", 1_000_000);
+    ]
+  in
+  let cap = scale_max_clients () in
+  (* CAP_SCALE_EXACT=1 solves the same worlds with the per-client
+     GreZ-GreC instead (forcing the dense client x server matrices) —
+     the comparison column of EXPERIMENTS.md. The "-exact" suffix
+     keeps these out of the committed baseline's kernel names. *)
+  let exact = env_flag "CAP_SCALE_EXACT" in
+  print_endline "\n==============================";
+  print_endline "= Scale kernels (wall clock) =";
+  print_endline "==============================";
+  List.filter_map
+    (fun (name, clients) ->
+      let name = if exact then name ^ "-exact" else name in
+      if clients > cap then begin
+        Printf.printf "cap/%s: skipped (CAP_SCALE_MAX_CLIENTS=%d)\n%!" name cap;
+        None
+      end
+      else begin
+        let scenario = scale_scenario ~clients in
+        let t0 = Unix.gettimeofday () in
+        let rng = Rng.create ~seed:42 in
+        let world = World.generate rng scenario in
+        let assignment =
+          if exact then
+            Cap_core.Two_phase.run Cap_core.Two_phase.grez_grec (Rng.split rng) world
+          else Cap_core.Agg_solve.solve (Rng.split rng) world
+        in
+        let seconds = Unix.gettimeofday () -. t0 in
+        Printf.printf "cap/%s: %.2f s (utilization %.3f, valid %b, max RSS %d KiB)\n%!"
+          name seconds
+          (Assignment.utilization assignment world)
+          (Assignment.is_valid assignment world)
+          (max_rss_kib ());
+        Some
+          {
+            Bench_json.name = "cap/" ^ name;
+            ns_per_run = seconds *. 1e9;
+            r_square = None;
+            samples = 1;
+          }
+      end)
+    variants
+
 let bench_threshold () =
   match Sys.getenv_opt "CAP_BENCH_THRESHOLD" with
   | Some v -> (
@@ -355,8 +467,15 @@ let check_baseline entries =
   | Some path ->
       let baseline = Bench_json.read_baseline path in
       let threshold = bench_threshold () in
-      let regressions = Bench_json.regressions ~baseline ~threshold entries in
-      (match regressions with
+      let slow, noisy = Bench_json.regressions ~baseline ~threshold entries in
+      List.iter
+        (fun (name, old, current) ->
+          Printf.eprintf
+            "warning: %s exceeded %gx (%.0f -> %.0f ns/run) but one side's fit is too \
+             noisy to gate on\n"
+            name threshold old current)
+        noisy;
+      (match slow with
       | [] ->
           Printf.printf "baseline check: no kernel regressed beyond %gx vs %s\n" threshold
             path
@@ -365,8 +484,8 @@ let check_baseline entries =
             (fun (name, old, current) ->
               Printf.eprintf "REGRESSION %s: %.0f ns/run -> %.0f ns/run (> %gx)\n" name old
                 current threshold)
-            regressions);
-      regressions = []
+            slow);
+      slow = []
 
 let () =
   let jobs = requested_jobs () in
@@ -378,12 +497,18 @@ let () =
     else jobs
   in
   ignore (Cap_par.Pool.ensure ~jobs);
-  if not (env_flag "CAP_BENCH_ONLY") then begin
+  let scale_only = env_flag "CAP_SCALE_ONLY" in
+  if (not (env_flag "CAP_BENCH_ONLY")) && not scale_only then begin
     if obs_hook then Cap_obs.Control.enable ();
     reproduction_report ();
     obs_report ()
   end;
-  let entries = print_benchmarks () in
+  let entries = if scale_only then [] else print_benchmarks () in
+  let entries =
+    List.sort
+      (fun a b -> compare a.Bench_json.name b.Bench_json.name)
+      (entries @ scale_benchmarks ())
+  in
   (match Sys.getenv_opt "CAP_BENCH_JSON" with
   | None | Some "" -> ()
   | Some path ->

@@ -84,6 +84,41 @@ let scenario_of_string s =
   | Ok scenario -> Ok scenario
   | Error issue -> Error (`Msg ("invalid scenario: " ^ Validate.describe issue))
 
+(* --aggregate / --buckets: solve over weighted client aggregates
+   instead of individual clients (run and sim subcommands). *)
+
+let aggregate_arg =
+  let doc =
+    "Solve over weighted client aggregates (zone $(i,x) coordinate cluster) \
+     instead of individual clients: same two-phase structure, thousands of \
+     groups instead of millions of clients, never materializes the client x \
+     server delay matrix. Only meaningful with the GreZ-GreC algorithm."
+  in
+  Arg.(value & flag & info [ "aggregate" ] ~doc)
+
+let buckets_arg =
+  let doc = "Coordinate clusters per zone used by $(b,--aggregate)." in
+  Arg.(
+    value
+    & opt int Cap_model.Aggregate.default_buckets
+    & info [ "buckets" ] ~docv:"N" ~doc)
+
+(* [None] = unknown algorithm name; [Some (Error _)] = a flag conflict. *)
+let resolve_algorithm ~aggregate ~buckets name =
+  match Cap_core.Two_phase.find name with
+  | None -> None
+  | Some algorithm ->
+      if not aggregate then Some (Ok algorithm)
+      else if buckets < 1 then Some (Error "capsim: --buckets must be at least 1")
+      else if algorithm.Cap_core.Two_phase.name <> Cap_core.Two_phase.grez_grec.Cap_core.Two_phase.name
+      then
+        Some
+          (Error
+             (Printf.sprintf
+                "capsim: --aggregate only supports the GreZ-GreC algorithm (got %s)"
+                algorithm.Cap_core.Two_phase.name))
+      else Some (Ok (Cap_core.Agg_solve.two_phase ~buckets ()))
+
 (* ------------------------------------------------------------------ *)
 (* telemetry (Cap_obs), shared by every subcommand                     *)
 
@@ -223,16 +258,19 @@ let run_cmd =
     let doc = "Write every client's delay to this CSV file (for CDF plots)." in
     Arg.(value & opt (some string) None & info [ "delays-csv" ] ~docv:"FILE" ~doc)
   in
-  let run obs config algorithm seed error_factor delays_csv =
+  let run obs config algorithm aggregate buckets seed error_factor delays_csv =
     with_obs obs @@ fun () ->
-    match scenario_of_string config, Cap_core.Two_phase.find algorithm with
+    match scenario_of_string config, resolve_algorithm ~aggregate ~buckets algorithm with
     | Error (`Msg m), _ ->
         prerr_endline m;
         exit_usage
     | _, None ->
         Printf.eprintf "unknown algorithm: %s\n" algorithm;
         exit_usage
-    | Ok scenario, Some algorithm ->
+    | _, Some (Error msg) ->
+        prerr_endline msg;
+        exit_usage
+    | Ok scenario, Some (Ok algorithm) ->
         let rng = Rng.create ~seed in
         let world = World.generate rng scenario in
         let world =
@@ -267,8 +305,8 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ obs_term $ config_arg $ algorithm_arg $ seed_arg $ error_arg
-      $ delays_csv_arg)
+      const run $ obs_term $ config_arg $ algorithm_arg $ aggregate_arg $ buckets_arg
+      $ seed_arg $ error_arg $ delays_csv_arg)
   in
   Cmd.v (Cmd.info "run" ~exits ~doc:"Run one assignment algorithm on one configuration.") term
 
@@ -632,9 +670,14 @@ let sim_cmd =
         | _ -> Error ("bad flash spec: " ^ s))
     | _ -> Error ("bad flash spec: " ^ s)
   in
-  let run obs config seed duration policy algorithm roam flash diurnal trace_csv ck =
+  let run obs config seed duration policy algorithm aggregate buckets roam flash diurnal
+      trace_csv ck =
     with_obs obs @@ fun () ->
-    match scenario_of_string config, parse_policy policy, Cap_core.Two_phase.find algorithm with
+    match
+      ( scenario_of_string config,
+        parse_policy policy,
+        resolve_algorithm ~aggregate ~buckets algorithm )
+    with
     | Error (`Msg m), _, _ ->
         prerr_endline m;
         exit_usage
@@ -644,7 +687,10 @@ let sim_cmd =
     | _, _, None ->
         Printf.eprintf "unknown algorithm: %s\n" algorithm;
         exit_usage
-    | Ok scenario, Ok policy, Some algo -> (
+    | _, _, Some (Error m) ->
+        prerr_endline m;
+        exit_usage
+    | Ok scenario, Ok policy, Some (Ok algo) -> (
         let flash_crowd =
           match flash with
           | None -> Ok None
@@ -710,8 +756,8 @@ let sim_cmd =
   let term =
     Term.(
       const run $ obs_term $ config_arg $ seed_arg $ duration_arg $ policy_arg
-      $ algorithm_arg $ roam_arg $ flash_arg $ diurnal_arg $ trace_csv_arg
-      $ checkpoint_term)
+      $ algorithm_arg $ aggregate_arg $ buckets_arg $ roam_arg $ flash_arg
+      $ diurnal_arg $ trace_csv_arg $ checkpoint_term)
   in
   Cmd.v (Cmd.info "sim" ~exits ~doc:"Run the dynamic churn simulation.") term
 

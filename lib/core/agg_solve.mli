@@ -1,0 +1,36 @@
+(** Aggregated two-phase solving: GreZ + GreC over weighted client
+    groups ({!Cap_model.Aggregate}) instead of individual clients.
+
+    The zone phase computes the paper's C^I matrix and mean-delay
+    tie-break from the group rows in O(groups * m); the contact phase
+    ranks {e late groups} by the group refined cost and then places a
+    group's members one at a time along its preference list, so
+    capacity limits can split a group across contact servers exactly
+    the way per-client GreC splits a run of identical clients. The
+    result is always a full per-client assignment; the k x m dense
+    matrices are never materialised.
+
+    With [buckets >= nodes] (every group a single (zone, node) class)
+    the group costs equal the per-client costs, so the aggregated
+    solve matches the exact GreZ-GreC solve up to tie-breaking — the
+    property pinned by the exactness tests. Solves are bitwise
+    deterministic per rng state and pool-size independent. *)
+
+val assign_zones : ?rule:Regret.rule -> Cap_model.Aggregate.t -> int array
+(** Weighted GreZ: zone -> server targets. *)
+
+val refine_contacts :
+  ?rule:Regret.rule -> Cap_model.Aggregate.t -> targets:int array -> int array
+(** Group-level GreC: per-client contact servers (members of a split
+    group may land on different contacts). Raises [Invalid_argument]
+    when [targets] does not match the world. *)
+
+val solve :
+  Cap_util.Rng.t -> ?buckets:int -> Cap_model.World.t -> Cap_model.Assignment.t
+(** Build an aggregation and run both phases. *)
+
+val two_phase : ?buckets:int -> unit -> Two_phase.t
+(** The aggregated solver packaged as a drop-in ["GreZ-GreC(agg)"]
+    algorithm: both phases share one aggregation per world (rebuilt
+    whenever the algorithm handle sees a new world value, e.g. across
+    churn reassignments). *)

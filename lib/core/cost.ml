@@ -4,11 +4,20 @@ module Pool = Cap_par.Pool
 
 let delay_bound (world : World.t) = world.World.scenario.Scenario.delay_bound
 
+(* All hot-path costs read the cached float32 matrices, so the
+   observed RTT a cost sees is the f32-rounded one everywhere: late
+   detection (Grec), desirability ([refined]), tie-breaks
+   ([relayed_delay]) and the matrix fills below agree bit for bit. *)
+
+let cs_read world ~client ~server =
+  let d = World.dense world in
+  Bigarray.Array1.get d.World.cs_rtt ((client * World.server_count world) + server)
+
 let initial world ~zone_members ~server =
   let bound = delay_bound world in
   Array.fold_left
     (fun acc client ->
-      if World.client_server_rtt world ~client ~server > bound then acc + 1 else acc)
+      if cs_read world ~client ~server > bound then acc + 1 else acc)
     0 zone_members
 
 (* Row-parallel over zones; each row reads the zone's clients through
@@ -18,6 +27,7 @@ let initial world ~zone_members ~server =
    any pool size. *)
 let fill_initial_matrix world rows =
   let c = World.cached world in
+  let d = World.dense world in
   let servers = World.server_count world in
   let zones = World.zone_count world in
   if
@@ -25,13 +35,15 @@ let fill_initial_matrix world rows =
     || (zones > 0 && Array.length rows.(0) <> servers)
   then invalid_arg "Cost.fill_initial_matrix: buffer does not match the world";
   let bound = delay_bound world in
+  let cs = d.World.cs_rtt in
   Pool.parallel_for (Pool.default ()) ~n:zones (fun z ->
       let row = rows.(z) in
       Array.fill row 0 servers 0;
       for i = c.World.zone_off.(z) to c.World.zone_off.(z + 1) - 1 do
         let base = c.World.zone_clients.(i) * servers in
         for server = 0 to servers - 1 do
-          if c.World.cs_rtt.(base + server) > bound then row.(server) <- row.(server) + 1
+          if Bigarray.Array1.unsafe_get cs (base + server) > bound then
+            row.(server) <- row.(server) + 1
         done
       done)
 
@@ -43,10 +55,13 @@ let initial_matrix world =
   fill_initial_matrix world rows;
   rows
 
+let ss_read world s1 s2 =
+  let c = World.cached world in
+  Bigarray.Array1.get c.World.ss_rtt ((s1 * World.server_count world) + s2)
+
 let relayed_delay world ~targets ~client ~contact =
   let target = targets.(world.World.client_zones.(client)) in
-  World.client_server_rtt world ~client ~server:contact
-  +. World.server_server_rtt world contact target
+  cs_read world ~client ~server:contact +. ss_read world contact target
 
 let refined world ~targets ~client ~contact =
   max 0. (relayed_delay world ~targets ~client ~contact -. delay_bound world)
@@ -54,9 +69,11 @@ let refined world ~targets ~client ~contact =
 (* Row-parallel over clients, on the cached flat matrices. *)
 let refined_matrix world ~targets =
   let c = World.cached world in
+  let d = World.dense world in
   let servers = World.server_count world in
   let clients = World.client_count world in
   let bound = delay_bound world in
+  let cs = d.World.cs_rtt and ss = c.World.ss_rtt in
   let rows = Array.make clients [||] in
   Pool.parallel_for (Pool.default ()) ~n:clients (fun client ->
       let base = client * servers in
@@ -64,7 +81,7 @@ let refined_matrix world ~targets =
       rows.(client) <-
         Array.init servers (fun contact ->
             max 0.
-              (c.World.cs_rtt.(base + contact)
-               +. c.World.ss_rtt.((contact * servers) + target)
+              (Bigarray.Array1.unsafe_get cs (base + contact)
+               +. Bigarray.Array1.unsafe_get ss ((contact * servers) + target)
                -. bound)));
   rows

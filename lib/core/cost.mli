@@ -2,7 +2,10 @@
 
     Both metrics are computed on the world's {e observed} delays — the
     information actually available to an assignment algorithm — which
-    may differ from true delays under estimation error (Table 4).
+    may differ from true delays under estimation error (Table 4). All
+    reads go through the cached float32 matrices
+    ({!Cap_model.World.dense}), so every cost, tie-break and
+    late-client test sees the same f32-rounded RTT value.
 
     - Initial (Eq. 3): [C^I_ij] is the number of clients of zone [z_j]
       that would be without QoS if [z_j] were hosted on server [s_i],

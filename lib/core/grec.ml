@@ -32,11 +32,16 @@ let assign ?(rule = Regret.Best_minus_second) ?alive world ~targets =
     targets;
   let contacts = Array.make k 0 in
   let late = ref [] in
+  (* Late detection reads the same f32 matrix the refinement costs
+     read, so a client is late exactly when its refined cost can be
+     positive. *)
+  let cs = (World.dense world).World.cs_rtt in
+  let servers = World.server_count world in
   for c = k - 1 downto 0 do
     let target = targets.(world.World.client_zones.(c)) in
     contacts.(c) <- target;
     if target <> Assignment.unassigned then
-      if World.client_server_rtt world ~client:c ~server:target > bound then late := c :: !late
+      if Bigarray.Array1.get cs ((c * servers) + target) > bound then late := c :: !late
   done;
   let forwarding c =
     Traffic.forwarding_rate traffic ~zone_population:population.(world.World.client_zones.(c))

@@ -8,8 +8,10 @@ module Pool = Cap_par.Pool
    client id) matches the serial fill bit for bit. *)
 let mean_delay_matrix world =
   let c = World.cached world in
+  let d = World.dense world in
   let servers = World.server_count world in
   let zones = World.zone_count world in
+  let cs = d.World.cs_rtt in
   let rows = Array.make zones [||] in
   Pool.parallel_for (Pool.default ()) ~n:zones (fun z ->
       let lo = c.World.zone_off.(z) and hi = c.World.zone_off.(z + 1) in
@@ -19,7 +21,7 @@ let mean_delay_matrix world =
         for i = lo to hi - 1 do
           let base = c.World.zone_clients.(i) * servers in
           for server = 0 to servers - 1 do
-            row.(server) <- row.(server) +. c.World.cs_rtt.(base + server)
+            row.(server) <- row.(server) +. Bigarray.Array1.unsafe_get cs (base + server)
           done
         done;
         let members = float_of_int (hi - lo) in

@@ -16,6 +16,13 @@ type t = {
   preferred : int array array; (* region -> preferred zone ids *)
   region_of_node : int -> int;
   correlation : float;
+  (* prepared prefix-sum samplers: bit-identical draws to running
+     Rng.weighted_index on the corresponding weight arrays, but
+     O(log n) per client instead of O(n) — the difference between
+     seconds and minutes when sampling a million clients *)
+  node_sampler : Rng.weighted;
+  zone_sampler : Rng.weighted;
+  preferred_samplers : Rng.weighted array; (* region -> sampler *)
 }
 
 let clustered_weights rng ~count ~clusters ~weight ~what =
@@ -59,18 +66,28 @@ let prepare rng ~physical ~virtual_world ~correlation ~nodes ~zones ~region_of_n
     for r = 0 to regions - 1 do
       preferred.(r) <- [| shuffled.(r mod zones) |]
     done;
-  { node_weights; zone_weights; preferred; region_of_node; correlation }
+  {
+    node_weights;
+    zone_weights;
+    preferred;
+    region_of_node;
+    correlation;
+    node_sampler = Rng.weighted node_weights;
+    zone_sampler = Rng.weighted zone_weights;
+    preferred_samplers =
+      Array.map
+        (fun zones -> Rng.weighted (Array.map (fun z -> zone_weights.(z)) zones))
+        preferred;
+  }
 
-let sample_node t rng = Rng.weighted_index rng t.node_weights
+let sample_node t rng = Rng.weighted_draw rng t.node_sampler
 
 let sample_zone t rng ~node =
   let from_preferred = t.correlation > 0. && Rng.uniform rng < t.correlation in
   if from_preferred then begin
     let region = t.region_of_node node in
-    let zones = t.preferred.(region) in
-    let weights = Array.map (fun z -> t.zone_weights.(z)) zones in
-    zones.(Rng.weighted_index rng weights)
+    t.preferred.(region).(Rng.weighted_draw rng t.preferred_samplers.(region))
   end
-  else Rng.weighted_index rng t.zone_weights
+  else Rng.weighted_draw rng t.zone_sampler
 
 let preferred_zones t ~region = Array.to_list t.preferred.(region)

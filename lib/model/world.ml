@@ -9,6 +9,13 @@ type mesh = {
   observed_rtt : float array array;
 }
 
+type f32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type dense = {
+  cs_rtt : f32;
+  cs_rtt_true : f32;
+}
+
 type cache = {
   c_servers : int;
   zone_pop : int array;
@@ -16,10 +23,11 @@ type cache = {
   zone_client_rate : float array;
   zone_off : int array;
   zone_clients : int array;
-  cs_rtt : float array;
-  cs_rtt_true : float array;
-  ss_rtt : float array;
-  ss_rtt_true : float array;
+  ns_rtt : f32;
+  ns_rtt_true : f32;
+  ss_rtt : f32;
+  ss_rtt_true : f32;
+  dense : dense option Atomic.t;
 }
 
 type t = {
@@ -178,6 +186,46 @@ let true_server_server_rtt t s1 s2 = server_rtt_in t.delay t s1 s2
    single winner and the [Atomic] gives the publication the required
    happens-before edge. Client x server fills go row-parallel over the
    default pool (inline when already inside a pool task). *)
+
+let f32_create n = Bigarray.Array1.create Bigarray.Float32 Bigarray.C_layout n
+
+(* Rows per parallel task in the dense fill: enough rows that a task
+   is a few cache lines of bookkeeping per memcpy burst, few enough
+   that the pool load-balances. Values never depend on the schedule,
+   so the block size cannot affect results. *)
+let fill_block = 256
+
+let fill_ns t model =
+  let nodes = node_count t and servers = server_count t in
+  let m = f32_create (nodes * servers) in
+  let pool = Cap_par.Pool.default () in
+  Cap_par.Pool.parallel_for pool ~n:nodes (fun node ->
+      let base = node * servers in
+      for server = 0 to servers - 1 do
+        Bigarray.Array1.unsafe_set m (base + server)
+          (Delay.rtt model node t.server_nodes.(server)
+          +. t.server_delay_penalty.(server))
+      done);
+  m
+
+(* Client rows are copies of their node's row (penalties are already
+   baked into [ns]), so the k x m fill is k strided memcpys instead of
+   k*m delay lookups. *)
+let fill_cs t ~ns =
+  let servers = server_count t and clients = client_count t in
+  let m = f32_create (clients * servers) in
+  let pool = Cap_par.Pool.default () in
+  let blocks = (clients + fill_block - 1) / fill_block in
+  Cap_par.Pool.parallel_for pool ~n:blocks (fun b ->
+      let lo = b * fill_block in
+      let hi = min clients (lo + fill_block) - 1 in
+      for client = lo to hi do
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub ns (t.client_nodes.(client) * servers) servers)
+          (Bigarray.Array1.sub m (client * servers) servers)
+      done);
+  m
+
 let build_cache t =
   let servers = server_count t in
   let clients = client_count t in
@@ -206,22 +254,15 @@ let build_cache t =
     zone_clients.(cursor.(z)) <- c;
     cursor.(z) <- cursor.(z) + 1
   done;
-  let pool = Cap_par.Pool.default () in
-  let fill_cs model =
-    let m = Array.make (clients * servers) 0. in
-    Cap_par.Pool.parallel_for pool ~n:clients (fun client ->
-        let base = client * servers in
-        for server = 0 to servers - 1 do
-          m.(base + server) <- rtt_in model t ~client ~server
-        done);
+  let fill_ss model =
+    let m = f32_create (servers * servers) in
+    for i = 0 to (servers * servers) - 1 do
+      Bigarray.Array1.unsafe_set m i (server_rtt_in model t (i / servers) (i mod servers))
+    done;
     m
   in
-  let fill_ss model =
-    Array.init (servers * servers) (fun i ->
-        server_rtt_in model t (i / servers) (i mod servers))
-  in
-  let cs_rtt_true = fill_cs t.delay in
-  let cs_rtt = if t.observed == t.delay then cs_rtt_true else fill_cs t.observed in
+  let ns_rtt_true = fill_ns t t.delay in
+  let ns_rtt = if t.observed == t.delay then ns_rtt_true else fill_ns t t.observed in
   let ss_rtt_true = fill_ss t.delay in
   let ss_rtt = if t.observed == t.delay then ss_rtt_true else fill_ss t.observed in
   {
@@ -231,10 +272,11 @@ let build_cache t =
     zone_client_rate;
     zone_off;
     zone_clients;
-    cs_rtt;
-    cs_rtt_true;
+    ns_rtt;
+    ns_rtt_true;
     ss_rtt;
     ss_rtt_true;
+    dense = Atomic.make None;
   }
 
 let cached t =
@@ -244,6 +286,24 @@ let cached t =
       let cache = build_cache t in
       if Atomic.compare_and_set t.cache None (Some cache) then cache
       else (match Atomic.get t.cache with Some c -> c | None -> cache)
+
+(* The k x m matrices live behind their own slot inside the cache
+   value: at k = 1M, m = 500 they are 2 GB of float32, and the
+   aggregated solve path never touches them. Same benign CAS race as
+   [cached]; invalidation is inherited, because the slot dies with the
+   cache value it sits in. *)
+let dense t =
+  let c = cached t in
+  match Atomic.get c.dense with
+  | Some d -> d
+  | None ->
+      let cs_rtt_true = fill_cs t ~ns:c.ns_rtt_true in
+      let cs_rtt =
+        if t.observed == t.delay then cs_rtt_true else fill_cs t ~ns:c.ns_rtt
+      in
+      let d = { cs_rtt; cs_rtt_true } in
+      if Atomic.compare_and_set c.dense None (Some d) then d
+      else (match Atomic.get c.dense with Some d -> d | None -> d)
 
 let invalidate t = Atomic.set t.cache None
 

@@ -19,17 +19,39 @@ type mesh = {
   observed_rtt : float array array;
 }
 
+type f32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Unboxed float32 matrix storage: flat, row-major, C layout. Half
+    the bytes of a float array, no per-row boxing, and invisible to
+    the OCaml GC — the representation every dense RTT matrix below
+    uses. Reads and writes convert through double; RTTs are stored
+    f32-rounded (one part in 2^24, microseconds at the millisecond
+    magnitudes involved). *)
+
+(** The client x server RTT matrices — by far the largest derived
+    data (2 GB at k = 1M, m = 500 per model) — forced separately via
+    {!dense} so that aggregated solves, which work on group-level
+    matrices instead, never materialise them. *)
+type dense = private {
+  cs_rtt : f32;
+      (** observed client-server RTT, [client * c_servers + server];
+          server delay penalties baked in (= {!client_server_rtt}
+          f32-rounded) *)
+  cs_rtt_true : f32;  (** same, true delay model *)
+}
+
 (** Lazily-built derived data, read by every solver hot path. All
     lookups that used to scan the [k] clients ([population_of_zone],
     [client_rate], [zone_rate]) become O(1) array reads, and the delay
-    model is densified into flat row-major matrices so matrix fills
-    walk contiguous memory. The cache is a pure function of the world;
-    any function that derives a modified world installs a fresh, empty
-    slot ({!fresh_cache}), which is what makes invalidation explicit:
-    stale data cannot survive because it lives only on the world value
-    it was computed from. *)
+    model is densified into flat row-major float32 matrices so matrix
+    fills walk contiguous memory. The cache is a pure function of the
+    world; any function that derives a modified world installs a
+    fresh, empty slot ({!fresh_cache}), which is what makes
+    invalidation explicit: stale data cannot survive because it lives
+    only on the world value it was computed from. The client x server
+    matrices hang off the cache value in their own {!dense} slot, so
+    they inherit the same invalidation-by-construction contract. *)
 type cache = private {
-  c_servers : int;  (** row stride of [cs_rtt] / [ss_rtt] *)
+  c_servers : int;  (** row stride of [cs_rtt] / [ss_rtt] / [ns_rtt] *)
   zone_pop : int array;  (** zone -> client count *)
   zone_rate_of : float array;  (** zone -> R_z, bits/s *)
   zone_client_rate : float array;
@@ -40,14 +62,19 @@ type cache = private {
       (** CSR payload: clients of zone [z] are
           [zone_clients.(zone_off.(z)) .. zone_clients.(zone_off.(z+1) - 1)],
           ascending *)
-  cs_rtt : float array;
-      (** observed client-server RTT, [client * c_servers + server];
-          server delay penalties baked in (= {!client_server_rtt}) *)
-  cs_rtt_true : float array;  (** same, true delay model *)
-  ss_rtt : float array;
+  ns_rtt : f32;
+      (** observed node-server RTT, [node * c_servers + server];
+          penalties baked in (= {!node_server_rtt} f32-rounded). The
+          client rows of {!dense} are copies of these rows; client
+          aggregation reads them directly. *)
+  ns_rtt_true : f32;  (** same, true delay model *)
+  ss_rtt : f32;
       (** observed server-server RTT, [s1 * c_servers + s2]; mesh
           override and penalties baked in (= {!server_server_rtt}) *)
-  ss_rtt_true : float array;  (** same, true delay model *)
+  ss_rtt_true : f32;  (** same, true delay model *)
+  dense : dense option Atomic.t;
+      (** client x server matrices, forced by {!dense}; access through
+          that function, not this slot *)
 }
 
 type t = {
@@ -79,10 +106,17 @@ type t = {
 }
 
 val cached : t -> cache
-(** The world's derived-data cache, built on first use (client-server
-    rows fill in parallel over {!Cap_par.Pool.default}). Safe to call
-    from any domain; concurrent first calls race benignly and agree on
-    one winner. *)
+(** The world's derived-data cache, built on first use (node-server
+    rows fill in parallel over {!Cap_par.Pool.default}). O(k + n*m):
+    does NOT force the k x m client matrices — see {!dense}. Safe to
+    call from any domain; concurrent first calls race benignly and
+    agree on one winner. *)
+
+val dense : t -> dense
+(** The k x m client-server RTT matrices, built on first use by
+    blocked row-parallel copies of the cached node rows. Exact-mode
+    solvers force this; aggregated solves never call it. Same benign
+    concurrency as {!cached}. *)
 
 val fresh_cache : unit -> cache option Atomic.t
 (** An empty cache slot. Use in any [{ w with ... }] update that

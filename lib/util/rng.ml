@@ -105,6 +105,39 @@ let sample_distinct t ~k ~n =
   done;
   Array.sub idx 0 k
 
+(* Prefix sums of the weights, accumulated left to right exactly like
+   the linear scan in [weighted_index] so both draw bit-identical
+   indices from the same stream position. *)
+type weighted = { prefix : float array }
+
+let weighted w =
+  let n = Array.length w in
+  let prefix = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. w.(i);
+    prefix.(i) <- !acc
+  done;
+  if n = 0 || not (prefix.(n - 1) > 0.) then
+    invalid_arg "Rng.weighted: weights must sum to > 0";
+  { prefix }
+
+let weighted_draw t { prefix } =
+  let n = Array.length prefix in
+  let target = float t prefix.(n - 1) in
+  (* smallest i < n - 1 with target < prefix.(i), else n - 1: the same
+     index the one-pass scan would return *)
+  if n = 1 || target < prefix.(0) then 0
+  else begin
+    (* invariant: prefix.(lo) <= target, target < prefix.(hi) or hi = n - 1 *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if target < prefix.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
 let weighted_index t w =
   let total = Array.fold_left ( +. ) 0. w in
   if not (total > 0.) then invalid_arg "Rng.weighted_index: weights must sum to > 0";

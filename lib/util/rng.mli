@@ -74,4 +74,19 @@ val sample_distinct : t -> k:int -> n:int -> int array
 
 val weighted_index : t -> float array -> int
 (** [weighted_index t w] draws index [i] with probability proportional
-    to [w.(i)]. Weights must be non-negative with a positive sum. *)
+    to [w.(i)]. Weights must be non-negative with a positive sum. One
+    draw costs O(|w|); prepare a {!weighted} for repeated draws. *)
+
+type weighted
+(** A weight vector prepared for O(log n) draws. *)
+
+val weighted : float array -> weighted
+(** Prepare a weight vector for {!weighted_draw}. Weights must be
+    non-negative with a positive sum (raises [Invalid_argument]
+    otherwise). *)
+
+val weighted_draw : t -> weighted -> int
+(** Like {!weighted_index} on the prepared vector, by binary search on
+    its prefix sums. Consumes exactly one stream draw and returns the
+    bit-identical index [weighted_index] would have returned, so the
+    two are interchangeable without perturbing any seeded run. *)

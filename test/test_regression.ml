@@ -22,7 +22,10 @@ let test_world_pins () =
 let algorithm_pins =
   [
     "RanZ-VirC", 0.587, 0.5772;
-    "RanZ-GreC", 0.813, 0.95208;
+    (* R bumped 0.95208 -> 0.9532 when the observed-RTT cache moved to
+       float32: one late client's contact choice sits on a rounded
+       threshold. pQoS values were unaffected. *)
+    "RanZ-GreC", 0.813, 0.9532;
     "GreZ-VirC", 0.892, 0.5772;
     "GreZ-GreC", 0.960, 0.67168;
   ]

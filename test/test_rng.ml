@@ -123,6 +123,31 @@ let test_weighted_index () =
     (Invalid_argument "Rng.weighted_index: weights must sum to > 0") (fun () ->
       ignore (Rng.weighted_index rng [| 0.; 0. |]))
 
+(* The prepared sampler promises bit-identical draws to the one-shot
+   scan from the same stream position, for any weight vector. *)
+let prop_weighted_draw_matches_index =
+  let gen =
+    QCheck.Gen.(
+      pair small_signed_int
+        (array_size (int_range 1 40) (map (fun w -> float_of_int w /. 4.) (int_range 0 32))))
+  in
+  QCheck.Test.make ~name:"weighted_draw = weighted_index" ~count:1000
+    (QCheck.make gen) (fun (seed, weights) ->
+      QCheck.assume (Array.exists (fun w -> w > 0.) weights);
+      let a = Rng.create ~seed and b = Rng.create ~seed in
+      let prepared = Rng.weighted weights in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        ok := !ok && Rng.weighted_index a weights = Rng.weighted_draw b prepared
+      done;
+      !ok)
+
+let test_weighted_draw_zero_sum () =
+  Alcotest.check_raises "all zero" (Invalid_argument "Rng.weighted: weights must sum to > 0")
+    (fun () -> ignore (Rng.weighted [| 0.; 0. |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.weighted: weights must sum to > 0")
+    (fun () -> ignore (Rng.weighted [||]))
+
 let prop_uniform_in_range =
   QCheck.Test.make ~name:"uniform in [0,1)" ~count:500 QCheck.int (fun seed ->
       let rng = Rng.create ~seed in
@@ -202,6 +227,8 @@ let tests =
         case "choice" test_choice;
         case "sample_distinct" test_sample_distinct;
         case "weighted_index" test_weighted_index;
+        case "weighted zero sum" test_weighted_draw_zero_sum;
+        QCheck_alcotest.to_alcotest prop_weighted_draw_matches_index;
         QCheck_alcotest.to_alcotest prop_uniform_in_range;
         QCheck_alcotest.to_alcotest prop_int_in_bounds;
         QCheck_alcotest.to_alcotest prop_float_in_bounds;

@@ -149,28 +149,111 @@ let test_cache_replace_clients () =
   (* the original world's cache is untouched *)
   Alcotest.(check (float 1e-6)) "original world unchanged" rate_before (World.client_rate w 0)
 
+(* float32 storage: one part in 2^24 of relative rounding, with
+   generous headroom. An absolute term covers values near zero. *)
+let f32_tolerance x = 1e-5 *. (1. +. Float.abs x)
+
+let check_f32 msg expected got =
+  if Float.abs (got -. expected) > f32_tolerance expected then
+    Alcotest.failf "%s: expected %.9g within f32 tolerance, got %.9g" msg expected got
+
 let test_cache_health_apply () =
   let w = small_world () in
-  let before = (World.cached w).World.cs_rtt.(0) in
+  let before = Bigarray.Array1.get (World.dense w).World.cs_rtt 0 in
   let health = Cap_model.Health.create ~servers:(World.server_count w) in
   Cap_model.Health.degrade health 0 ~delay_penalty:50.;
   let w' = Cap_model.Health.apply health w in
-  let after = (World.cached w').World.cs_rtt.(0) in
-  Alcotest.(check (float 1e-9)) "degraded server penalty lands in the cache"
-    (before +. 50.) after;
-  Alcotest.(check (float 1e-9)) "cache matches the direct lookup"
+  let after = Bigarray.Array1.get (World.dense w').World.cs_rtt 0 in
+  check_f32 "degraded server penalty lands in the cache" (before +. 50.) after;
+  check_f32 "cache matches the direct lookup"
     (World.client_server_rtt w' ~client:0 ~server:0)
     after;
   Alcotest.(check (float 1e-9)) "original cache unchanged" before
-    ((World.cached w).World.cs_rtt.(0))
+    (Bigarray.Array1.get (World.dense w).World.cs_rtt 0)
 
 let test_cache_invalidate_rebuilds () =
   let w = small_world () in
   let before = World.cached w in
+  let before_dense = World.dense w in
   World.invalidate w;
   let after = World.cached w in
+  let after_dense = World.dense w in
   Alcotest.(check bool) "rebuilt cache is a new value" false (before == after);
-  Alcotest.(check bool) "rebuilt cache is identical" true (compare before after = 0)
+  Alcotest.(check bool) "zone data identical" true
+    (before.World.zone_pop = after.World.zone_pop
+    && before.World.zone_off = after.World.zone_off
+    && before.World.zone_clients = after.World.zone_clients
+    && before.World.zone_rate_of = after.World.zone_rate_of);
+  (* Bigarrays compare structurally via their custom compare. *)
+  Alcotest.(check bool) "f32 matrices identical" true
+    (compare before.World.ss_rtt after.World.ss_rtt = 0
+    && compare before.World.ss_rtt_true after.World.ss_rtt_true = 0
+    && compare before.World.ns_rtt after.World.ns_rtt = 0
+    && compare before.World.ns_rtt_true after.World.ns_rtt_true = 0
+    && compare before_dense.World.cs_rtt after_dense.World.cs_rtt = 0
+    && compare before_dense.World.cs_rtt_true after_dense.World.cs_rtt_true = 0)
+
+(* Satellite: the f32 flat matrices must agree with the boxed
+   double-precision lookups within float32 tolerance, on every kind of
+   derived world, and every deriving operation must install a fresh
+   (empty) cache slot. *)
+
+let check_matrices_agree w =
+  let c = World.cached w in
+  let d = World.dense w in
+  let m = World.server_count w in
+  for cl = 0 to World.client_count w - 1 do
+    for s = 0 to m - 1 do
+      check_f32 "cs_rtt vs observed_rtt"
+        (World.client_server_rtt w ~client:cl ~server:s)
+        (Bigarray.Array1.get d.World.cs_rtt ((cl * m) + s));
+      check_f32 "cs_rtt_true vs true_rtt"
+        (World.true_client_server_rtt w ~client:cl ~server:s)
+        (Bigarray.Array1.get d.World.cs_rtt_true ((cl * m) + s))
+    done
+  done;
+  for s1 = 0 to m - 1 do
+    for s2 = 0 to m - 1 do
+      check_f32 "ss_rtt vs observed_rtt" (World.server_server_rtt w s1 s2)
+        (Bigarray.Array1.get c.World.ss_rtt ((s1 * m) + s2));
+      check_f32 "ss_rtt_true vs true_rtt" (World.true_server_server_rtt w s1 s2)
+        (Bigarray.Array1.get c.World.ss_rtt_true ((s1 * m) + s2))
+    done
+  done;
+  for node = 0 to min 49 (World.node_count w - 1) do
+    for s = 0 to m - 1 do
+      check_f32 "ns_rtt vs observed_rtt" (World.node_server_rtt w ~node ~server:s)
+        (Bigarray.Array1.get c.World.ns_rtt ((node * m) + s))
+    done
+  done
+
+let check_fresh_slot msg w' =
+  Alcotest.(check bool) msg true (Atomic.get w'.World.cache = None)
+
+let test_f32_agreement_derived () =
+  List.iter
+    (fun seed ->
+      let w = small_world ~seed () in
+      check_matrices_agree w;
+      let rng = Rng.create ~seed:(seed + 100) in
+      let perturbed = World.with_estimation_error rng ~factor:2. w in
+      check_fresh_slot "estimation error installs fresh slot" perturbed;
+      check_matrices_agree perturbed;
+      let vivaldi = World.with_vivaldi_observed (Rng.create ~seed:(seed + 200)) w in
+      check_fresh_slot "vivaldi installs fresh slot" vivaldi;
+      check_matrices_agree vivaldi;
+      let health = Cap_model.Health.create ~servers:(World.server_count w) in
+      Cap_model.Health.degrade health 1 ~delay_penalty:35.;
+      Cap_model.Health.cut_link health 0 2;
+      let damaged = Cap_model.Health.apply health w in
+      check_fresh_slot "Health.apply installs fresh slot" damaged;
+      check_matrices_agree damaged;
+      let replaced =
+        World.replace_clients w ~client_nodes:[| 0; 1; 2 |] ~client_zones:[| 0; 1; 2 |]
+      in
+      check_fresh_slot "replace_clients installs fresh slot" replaced;
+      check_matrices_agree replaced)
+    [ 1; 2; 3 ]
 
 let test_cache_csr_ascending () =
   let w = small_world () in
@@ -207,6 +290,8 @@ let tests =
         case "cache: Health.apply installs fresh" test_cache_health_apply;
         case "cache: invalidate rebuilds identically" test_cache_invalidate_rebuilds;
         case "cache: CSR zone members ascend" test_cache_csr_ascending;
+        case "cache: f32 matrices agree with boxed lookups on derived worlds"
+          test_f32_agreement_derived;
         QCheck_alcotest.to_alcotest prop_client_placement_valid;
       ] );
   ]
